@@ -1,0 +1,44 @@
+//! E2 — combined complexity: the exponential naive baseline against the
+//! polynomial context-value-table evaluator (paper Section 1 motivation and
+//! Proposition 2.7).
+//!
+//! The query family is `//a/b/parent::a/b/…` with a growing number of
+//! repetitions on a fixed document whose `a` element has `k = 3` children.
+//! The naive evaluator's time grows as `3^reps`; the DP evaluator's grows
+//! linearly in `reps`.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xpeval_core::{DpEvaluator, NaiveEvaluator};
+use xpeval_dom::Document;
+use xpeval_workloads::{blowup_document, blowup_query};
+
+fn document() -> Document {
+    // A single `a` element with 3 `b` children.
+    blowup_document(3)
+}
+
+fn bench_combined(c: &mut Criterion) {
+    let doc = document();
+    let mut group = c.benchmark_group("combined_complexity");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for reps in [2usize, 4, 6, 8, 10] {
+        let query = blowup_query(reps);
+        group.bench_with_input(BenchmarkId::new("naive", reps), &reps, |b, _| {
+            b.iter(|| {
+                let mut ev = NaiveEvaluator::new(&doc);
+                ev.evaluate(&query).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("context_value_table", reps), &reps, |b, _| {
+            b.iter(|| DpEvaluator::new(&doc, &query).evaluate().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_combined);
+criterion_main!(benches);

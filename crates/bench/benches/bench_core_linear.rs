@@ -1,0 +1,48 @@
+//! E12 — Core XPath in O(|D|·|Q|) (Proposition 2.7).
+//!
+//! Two sweeps with the set-at-a-time evaluator: document size at a fixed
+//! query, and query length at a fixed document.  Both curves should be
+//! (close to) linear; the same sweeps with the DP evaluator give the
+//! comparison baseline.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use xpeval_core::{CoreXPathEvaluator, DpEvaluator};
+use xpeval_workloads::{star_chain_query, wide_document};
+
+fn bench_document_sweep(c: &mut Criterion) {
+    let query = xpeval_syntax::parse_query("//a[child::b and not(child::d)]").unwrap();
+    let mut group = c.benchmark_group("core_linear_document_sweep");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for width in [50usize, 200, 800, 3200] {
+        let doc = wide_document(width, 4);
+        group.throughput(Throughput::Elements(doc.len() as u64));
+        group.bench_with_input(BenchmarkId::new("set_at_a_time", doc.len()), &doc, |b, doc| {
+            b.iter(|| CoreXPathEvaluator::new(doc).evaluate_query(&query).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("context_value_table", doc.len()), &doc, |b, doc| {
+            b.iter(|| DpEvaluator::new(doc, &query).evaluate().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_sweep(c: &mut Criterion) {
+    let doc = wide_document(300, 4);
+    let mut group = c.benchmark_group("core_linear_query_sweep");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for len in [2usize, 8, 32, 128] {
+        let query = star_chain_query(len, &["a", "b", "c", "d"]);
+        group.bench_with_input(BenchmarkId::new("set_at_a_time", len), &len, |b, _| {
+            b.iter(|| CoreXPathEvaluator::new(&doc).evaluate_query(&query).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_document_sweep, bench_query_sweep);
+criterion_main!(benches);

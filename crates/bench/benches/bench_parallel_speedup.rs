@@ -1,0 +1,39 @@
+//! E7 — Theorems 5.5/6.2 and Remark 5.6: the LOGCFL fragments pWF/pXPath can
+//! be evaluated in parallel.
+//!
+//! The parallel evaluator distributes the per-node Singleton-Success
+//! decisions over worker threads; this bench sweeps the thread count on a
+//! fixed pWF query and document, and also reports the sequential DP
+//! evaluator for scale.  The reproducible claim is the *shape*: time drops
+//! as threads are added for the LOGCFL-fragment queries.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xpeval_core::{DpEvaluator, ParallelEvaluator};
+use xpeval_workloads::auction_site_document;
+
+fn bench_parallel(c: &mut Criterion) {
+    let doc = auction_site_document(&mut StdRng::seed_from_u64(3), 120);
+    let query = xpeval_syntax::parse_query("//item[bid/@increase > 6 and position() < 40]/name")
+        .unwrap();
+
+    let mut group = c.benchmark_group("parallel_speedup_pwf");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("singleton_success_threads", threads), &threads, |b, &t| {
+            let ev = ParallelEvaluator::new(&doc, t);
+            b.iter(|| ev.evaluate(&query).unwrap())
+        });
+    }
+    group.bench_function("context_value_table_sequential", |b| {
+        b.iter(|| DpEvaluator::new(&doc, &query).evaluate().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

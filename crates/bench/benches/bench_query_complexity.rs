@@ -1,0 +1,35 @@
+//! E11 — Theorem 7.3: query complexity.
+//!
+//! The document is held fixed while the query grows (PF chains and Core
+//! XPath conditions of increasing size); without multiplication/concat the
+//! evaluation time must scale polynomially — in practice close to linearly —
+//! in |Q|.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xpeval_core::{CoreXPathEvaluator, DpEvaluator};
+use xpeval_workloads::{oscillating_query, random_tree_document};
+
+fn bench_query_complexity(c: &mut Criterion) {
+    let doc = random_tree_document(&mut StdRng::seed_from_u64(6), 500, &["a", "b", "c", "d"]);
+
+    let mut group = c.benchmark_group("query_complexity");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for len in [4usize, 16, 64, 256] {
+        let query = oscillating_query(len);
+        group.bench_with_input(BenchmarkId::new("pf_chain_dp", len), &len, |b, _| {
+            b.iter(|| DpEvaluator::new(&doc, &query).evaluate().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pf_chain_linear", len), &len, |b, _| {
+            b.iter(|| CoreXPathEvaluator::new(&doc).evaluate_query(&query).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_complexity);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E5 — Theorem 4.3 / Figure 5: graph reachability via PF queries.
+//!
+//! Measures building the reduction document/query and evaluating the PF
+//! query for random digraphs of growing size, with plain BFS as the
+//! baseline the reduction is checked against.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xpeval_core::CoreXPathEvaluator;
+use xpeval_reductions::reachability_to_pf;
+use xpeval_workloads::random_digraph;
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reachability_thm43");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for n in [4usize, 8, 12, 16] {
+        let graph = random_digraph(&mut StdRng::seed_from_u64(2), n, 0.2);
+        group.bench_with_input(BenchmarkId::new("build_reduction", n), &n, |b, _| {
+            b.iter(|| reachability_to_pf(&graph, 1, n))
+        });
+        let reduction = reachability_to_pf(&graph, 1, n);
+        group.bench_with_input(BenchmarkId::new("evaluate_pf_query", n), &n, |b, _| {
+            b.iter(|| {
+                CoreXPathEvaluator::new(&reduction.document)
+                    .evaluate_query(&reduction.query)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bfs_baseline", n), &n, |b, _| {
+            b.iter(|| graph.reachable(1, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reachability);
+criterion_main!(benches);

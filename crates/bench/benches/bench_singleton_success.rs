@@ -1,0 +1,43 @@
+//! E6 — Lemma 5.4 / Table 1: the Singleton-Success decision procedure.
+//!
+//! Measures a single Singleton-Success decision (is one node in the
+//! result?), the recovery of the full node set by looping over the document
+//! (Theorem 5.5), and the DP evaluator as the materializing baseline, on the
+//! pWF query corpus.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xpeval_core::{Context, DpEvaluator, SingletonSuccess, SuccessTarget};
+use xpeval_workloads::{auction_site_document, pwf_query_corpus};
+
+fn bench_singleton_success(c: &mut Criterion) {
+    let doc = auction_site_document(&mut StdRng::seed_from_u64(8), 60);
+    let ctx = Context::root(&doc);
+    let some_node = doc.all_elements().nth(doc.element_count() / 2).unwrap();
+
+    let mut group = c.benchmark_group("singleton_success_table1");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (name, query) in pwf_query_corpus() {
+        group.bench_with_input(BenchmarkId::new("decide_single_node", name), &query, |b, q| {
+            let checker = SingletonSuccess::new(&doc, q).unwrap();
+            b.iter(|| checker.decide(ctx, &SuccessTarget::Node(some_node)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("node_set_via_loop", name), &query, |b, q| {
+            b.iter(|| {
+                let checker = SingletonSuccess::new(&doc, q).unwrap();
+                checker.node_set(ctx).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("context_value_table", name), &query, |b, q| {
+            b.iter(|| DpEvaluator::new(&doc, q).evaluate().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_singleton_success);
+criterion_main!(benches);

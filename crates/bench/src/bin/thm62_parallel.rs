@@ -1,0 +1,75 @@
+//! E7 — Theorems 5.5/6.2, Remark 5.6: parallel evaluation of pWF/pXPath.
+//!
+//! Sweeps the worker-thread count for the data-parallel Singleton-Success
+//! evaluator on pWF/pXPath queries over an auction document and prints the
+//! measured speed-up relative to one thread; also shows that a P-hard
+//! (Core XPath with negation) query is rejected by the parallel evaluator.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xpeval_bench::{micros, timed, TextTable};
+use xpeval_core::{DpEvaluator, ParallelEvaluator};
+use xpeval_syntax::parse_query;
+use xpeval_workloads::auction_site_document;
+
+fn main() {
+    println!("E7 — parallel evaluation of the LOGCFL fragments (pWF/pXPath)\n");
+    let doc = auction_site_document(&mut StdRng::seed_from_u64(21), 150);
+    println!("document: {} nodes\n", doc.len());
+
+    let queries = [
+        ("pWF positional", "//item[position() + 1 = last()]"),
+        ("pXPath attribute filter", "//item[bid/@increase > 6]/name"),
+        ("pXPath string filter", "//person[starts-with(@id, 'person1')]/name"),
+    ];
+
+    let mut table = TextTable::new(&["query", "threads", "time (us)", "speed-up vs 1 thread", "|result|"]);
+    for (name, src) in queries {
+        let query = parse_query(src).unwrap();
+        let mut base = None;
+        for threads in [1usize, 2, 4, 8] {
+            let ev = ParallelEvaluator::new(&doc, threads);
+            // Warm up once, then measure the median of three runs.
+            let _ = ev.evaluate(&query).unwrap();
+            let mut times = Vec::new();
+            let mut result_len = 0;
+            for _ in 0..3 {
+                let (v, t) = timed(|| ev.evaluate(&query).unwrap());
+                result_len = v.expect_nodes().len();
+                times.push(t);
+            }
+            times.sort();
+            let t = times[1];
+            let speedup = match base {
+                None => {
+                    base = Some(t);
+                    1.0
+                }
+                Some(b) => b.as_secs_f64() / t.as_secs_f64(),
+            };
+            table.row(&[
+                name.to_string(),
+                threads.to_string(),
+                micros(t),
+                format!("{speedup:.2}x"),
+                result_len.to_string(),
+            ]);
+        }
+        let (_, dp_time) = timed(|| DpEvaluator::new(&doc, &query).evaluate().unwrap());
+        table.row(&[
+            name.to_string(),
+            "CVT (sequential reference)".to_string(),
+            micros(dp_time),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+    }
+    table.print();
+
+    let hard = parse_query("//item[not(child::bid)][1]").unwrap();
+    let rejected = ParallelEvaluator::new(&doc, 4).evaluate(&hard).is_err();
+    println!(
+        "query outside pWF/pXPath ('//item[not(child::bid)][1]', iterated predicates) rejected by \
+         the parallel evaluator: {rejected}"
+    );
+}

@@ -1,0 +1,65 @@
+//! E10 — Theorems 7.1/7.2: data complexity.
+//!
+//! Holds a handful of queries fixed and grows the document, printing the
+//! wall-clock time and the per-node work of the evaluators.  The curves must
+//! be low-degree polynomial in |D| (the paper places the problem in L for a
+//! fixed query; Theorem 7.1 gives L-hardness already for PF via tree
+//! reachability, which is the first query of the sweep).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xpeval_bench::{micros, timed, TextTable};
+use xpeval_core::{CoreXPathEvaluator, DpEvaluator};
+use xpeval_syntax::parse_query;
+use xpeval_workloads::{chain_document, random_tree_document};
+
+fn main() {
+    println!("E10 — data complexity: fixed queries, growing documents\n");
+
+    // Theorem 7.1's query: tree reachability /descendant-or-self::v1/descendant::v2
+    // — on our chain documents the tags are a/leaf.
+    let queries = [
+        ("tree reachability (Thm 7.1)", "/descendant-or-self::a/descendant::leaf"),
+        ("Core XPath with negation", "//a[descendant::c and not(child::b)]"),
+        ("pWF positional", "//b[position() = last()]/parent::*"),
+    ];
+
+    let mut table = TextTable::new(&[
+        "query",
+        "|D| (nodes)",
+        "cvt time (us)",
+        "cvt table entries",
+        "linear evaluator time (us)",
+    ]);
+
+    for (name, src) in queries {
+        let query = parse_query(src).unwrap();
+        for size in [200usize, 800, 3200, 12800] {
+            let doc = if name.contains("reachability") {
+                chain_document(size)
+            } else {
+                random_tree_document(&mut StdRng::seed_from_u64(9), size, &["a", "b", "c", "d"])
+            };
+            let mut dp = DpEvaluator::new(&doc, &query);
+            let (_, dp_time) = timed(|| dp.evaluate().unwrap());
+            let linear_time = if xpeval_syntax::classify(&query).fragment
+                <= xpeval_syntax::Fragment::CoreXPath
+            {
+                let ev = CoreXPathEvaluator::new(&doc);
+                let (_, t) = timed(|| ev.evaluate_query(&query).unwrap());
+                micros(t)
+            } else {
+                "-".to_string()
+            };
+            table.row(&[
+                name.to_string(),
+                doc.len().to_string(),
+                micros(dp_time),
+                dp.table_entries().to_string(),
+                linear_time,
+            ]);
+        }
+    }
+    table.print();
+    println!("Expected shape: time grows low-degree polynomially (roughly linearly) in |D| for every fixed query.");
+}

@@ -1,0 +1,78 @@
+//! E11 — Theorem 7.3: query complexity.
+//!
+//! Holds the document fixed and grows the query (PF chains and Core XPath
+//! conditions, without multiplication or concat), printing evaluation time
+//! and context-value-table sizes; the growth must be polynomial (roughly
+//! linear) in |Q|.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xpeval_bench::{micros, timed, TextTable};
+use xpeval_core::{CoreXPathEvaluator, DpEvaluator};
+use xpeval_workloads::{oscillating_query, random_tree_document, star_chain_query};
+
+fn main() {
+    println!("E11 — query complexity: fixed document, growing queries (no * / concat)\n");
+    let doc = random_tree_document(&mut StdRng::seed_from_u64(17), 600, &["a", "b", "c", "d"]);
+    println!("document: {} nodes\n", doc.len());
+
+    let mut table = TextTable::new(&[
+        "query family",
+        "|Q| (steps)",
+        "cvt time (us)",
+        "cvt table entries",
+        "linear evaluator time (us)",
+    ]);
+
+    for len in [4usize, 16, 64, 256, 1024] {
+        let query = oscillating_query(len);
+        let mut dp = DpEvaluator::new(&doc, &query);
+        let (_, dp_time) = timed(|| dp.evaluate().unwrap());
+        let ev = CoreXPathEvaluator::new(&doc);
+        let (_, lin_time) = timed(|| ev.evaluate_query(&query).unwrap());
+        table.row(&[
+            "oscillating PF chain".to_string(),
+            len.to_string(),
+            micros(dp_time),
+            dp.table_entries().to_string(),
+            micros(lin_time),
+        ]);
+    }
+
+    for len in [4usize, 16, 64, 256] {
+        let query = star_chain_query(len, &["a", "b", "c"]);
+        let mut dp = DpEvaluator::new(&doc, &query);
+        let (_, dp_time) = timed(|| dp.evaluate().unwrap());
+        let ev = CoreXPathEvaluator::new(&doc);
+        let (_, lin_time) = timed(|| ev.evaluate_query(&query).unwrap());
+        table.row(&[
+            "descendant/child PF chain".to_string(),
+            len.to_string(),
+            micros(dp_time),
+            dp.table_entries().to_string(),
+            micros(lin_time),
+        ]);
+    }
+
+    // Core XPath queries of growing condition size: nested single-branch
+    // conditions of increasing depth.
+    for depth in [2usize, 8, 32, 128] {
+        let mut src = String::from("//a");
+        src.push_str(&"[child::b[descendant::c".repeat(depth));
+        src.push_str(&"]]".repeat(depth));
+        let query = xpeval_syntax::parse_query(&src).unwrap();
+        let mut dp = DpEvaluator::new(&doc, &query);
+        let (_, dp_time) = timed(|| dp.evaluate().unwrap());
+        let ev = CoreXPathEvaluator::new(&doc);
+        let (_, lin_time) = timed(|| ev.evaluate_query(&query).unwrap());
+        table.row(&[
+            "nested Core XPath conditions".to_string(),
+            query.size().to_string(),
+            micros(dp_time),
+            dp.table_entries().to_string(),
+            micros(lin_time),
+        ]);
+    }
+    table.print();
+    println!("Expected shape: time grows polynomially (roughly linearly) in |Q| for the fixed document.");
+}

@@ -1,0 +1,116 @@
+//! # xpeval-bench — benchmark and experiment harness
+//!
+//! Regenerates every figure and table of the paper's results, in two forms:
+//!
+//! * **Criterion benches** (`benches/`) measure wall-clock scaling: combined
+//!   complexity (naive vs DP), linear Core XPath evaluation, the circuit and
+//!   reachability reductions, parallel speed-up, data complexity and query
+//!   complexity, and Singleton-Success checking.
+//! * **Experiment binaries** (`src/bin/`) print the qualitative reproductions
+//!   (fragment lattice of Figure 1, the carry-bit walk-through of Figures
+//!   2–4, the Table 1 construct coverage, …) as plain-text tables that feed
+//!   EXPERIMENTS.md.
+//!
+//! This library crate holds the small amount of shared infrastructure: a
+//! plain-text table printer and deterministic workload set-ups reused by
+//! both forms.
+
+use std::time::{Duration, Instant};
+
+/// A plain-text table printer used by the experiment binaries so their
+/// output can be pasted into EXPERIMENTS.md directly.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must have as many cells as the header).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table in GitHub-flavoured markdown.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&fmt_row(&sep));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Runs a closure and returns its result together with the elapsed time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration in microseconds with three decimals (stable width for
+/// the text tables).
+pub fn micros(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = TextTable::new(&["n", "value"]);
+        t.row(&["1".to_string(), "10".to_string()]);
+        t.row(&["200".to_string(), "x".to_string()]);
+        let r = t.render();
+        assert!(r.starts_with("| n   | value |"));
+        assert!(r.contains("| 200 | x     |"));
+        assert_eq!(r.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_is_checked() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only one".to_string()]);
+    }
+
+    #[test]
+    fn timed_returns_result_and_duration() {
+        let (v, d) = timed(|| 40 + 2);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() > 0 || d.as_nanos() == 0);
+        assert!(micros(Duration::from_micros(1500)).starts_with("1500"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Example circuits and random circuit generators.
+//!
+//! [`carry_bit_circuit`] is the running example of the paper (Figure 2): the
+//! carry bit of a two-bit full adder, with gates numbered exactly as in the
+//! figure.  The random generators produce ordered monotone circuits and
+//! semi-unbounded circuits for the property tests and benches of the
+//! reduction experiments (E3 and E4 in DESIGN.md).
+
+use crate::monotone::{GateId, GateKind, MonotoneCircuit};
+use crate::sac1::Sac1Circuit;
+use rand::Rng;
+
+/// The 2-bit full-adder carry-bit circuit of Figure 2.
+///
+/// Inputs (in order): `a1, b1, a0, b0` — gates `G1 … G4`.  The carry bit is
+/// `c1 = (a1 ∧ b1) ∨ (a1 ∧ c0) ∨ (b1 ∧ c0)` with `c0 = a0 ∧ b0`; the gates
+/// `G5 … G9` are created in exactly the paper's numbering (`G5 = c0`,
+/// `G9` the output ∨-gate).
+pub fn carry_bit_circuit() -> MonotoneCircuit {
+    let mut c = MonotoneCircuit::new(4);
+    let (a1, b1, a0, b0) = (GateId(0), GateId(1), GateId(2), GateId(3));
+    let g5 = c.and(vec![a0, b0]); // c0 = a0 ∧ b0
+    let g6 = c.and(vec![a1, b1]);
+    let g7 = c.and(vec![a1, g5]);
+    let g8 = c.and(vec![b1, g5]);
+    let g9 = c.or(vec![g6, g7, g8]);
+    debug_assert_eq!(g9, GateId(8));
+    c
+}
+
+/// Input assignment `(a1, b1, a0, b0)` for [`carry_bit_circuit`] given the
+/// two 2-bit numbers `a` and `b` (values 0–3).
+pub fn carry_bit_inputs(a: u8, b: u8) -> [bool; 4] {
+    [a & 0b10 != 0, b & 0b10 != 0, a & 0b01 != 0, b & 0b01 != 0]
+}
+
+/// Generates a random ordered monotone circuit with `num_inputs` inputs and
+/// `num_internal` internal gates (random kinds, random fan-in 1–4 drawn from
+/// earlier gates) together with a random input assignment.
+pub fn random_monotone_circuit<R: Rng>(
+    rng: &mut R,
+    num_inputs: usize,
+    num_internal: usize,
+) -> (MonotoneCircuit, Vec<bool>) {
+    assert!(num_inputs >= 1 && num_internal >= 1);
+    let mut circuit = MonotoneCircuit::new(num_inputs);
+    for _ in 0..num_internal {
+        let available = circuit.len();
+        let fan_in = rng.gen_range(1..=4.min(available));
+        let mut inputs: Vec<GateId> = Vec::with_capacity(fan_in);
+        for _ in 0..fan_in {
+            inputs.push(GateId(rng.gen_range(0..available)));
+        }
+        inputs.sort();
+        inputs.dedup();
+        let kind = if rng.gen_bool(0.5) { GateKind::And } else { GateKind::Or };
+        circuit.add_gate(kind, inputs).expect("generated gate is valid");
+    }
+    let assignment = (0..num_inputs).map(|_| rng.gen_bool(0.5)).collect();
+    (circuit, assignment)
+}
+
+/// Generates a random semi-unbounded circuit (∧ fan-in exactly ≤ 2, ∨ fan-in
+/// up to 4) with a random input assignment.
+pub fn random_sac1_circuit<R: Rng>(
+    rng: &mut R,
+    num_inputs: usize,
+    num_internal: usize,
+) -> (Sac1Circuit, Vec<bool>) {
+    assert!(num_inputs >= 1 && num_internal >= 1);
+    let mut circuit = MonotoneCircuit::new(num_inputs);
+    for _ in 0..num_internal {
+        let available = circuit.len();
+        let kind = if rng.gen_bool(0.5) { GateKind::And } else { GateKind::Or };
+        let max_fan_in = match kind {
+            GateKind::And => 2.min(available),
+            _ => 4.min(available),
+        };
+        let fan_in = rng.gen_range(1..=max_fan_in);
+        let mut inputs: Vec<GateId> = Vec::with_capacity(fan_in);
+        for _ in 0..fan_in {
+            inputs.push(GateId(rng.gen_range(0..available)));
+        }
+        inputs.sort();
+        inputs.dedup();
+        circuit.add_gate(kind, inputs).expect("generated gate is valid");
+    }
+    let assignment = (0..num_inputs).map(|_| rng.gen_bool(0.5)).collect();
+    (Sac1Circuit::new(circuit).expect("generated circuit is semi-unbounded"), assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn carry_bit_matches_arithmetic() {
+        let c = carry_bit_circuit();
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                let expected = a + b >= 4;
+                assert_eq!(c.evaluate(&carry_bit_inputs(a, b)).unwrap(), expected, "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn carry_bit_has_the_figure_2_shape() {
+        let c = carry_bit_circuit();
+        assert_eq!(c.num_inputs(), 4);
+        assert_eq!(c.num_internal(), 5);
+        assert_eq!(c.gate(GateId(8)).kind, GateKind::Or);
+        assert_eq!(c.gate(GateId(8)).inputs.len(), 3);
+        for k in 4..8 {
+            assert_eq!(c.gate(GateId(k)).kind, GateKind::And);
+            assert_eq!(c.gate(GateId(k)).inputs.len(), 2);
+        }
+    }
+
+    #[test]
+    fn random_monotone_circuits_are_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let (c, inputs) = random_monotone_circuit(&mut rng, 6, 20);
+            assert!(c.validate().is_ok());
+            assert_eq!(inputs.len(), 6);
+            c.evaluate(&inputs).unwrap();
+        }
+    }
+
+    #[test]
+    fn random_sac1_circuits_are_semi_unbounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let (c, inputs) = random_sac1_circuit(&mut rng, 5, 15);
+            assert!(c.circuit().gates().iter().all(|g| {
+                g.kind != GateKind::And || g.inputs.len() <= 2
+            }));
+            c.evaluate(&inputs).unwrap();
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_a_seed() {
+        let (c1, i1) = random_monotone_circuit(&mut StdRng::seed_from_u64(9), 4, 8);
+        let (c2, i2) = random_monotone_circuit(&mut StdRng::seed_from_u64(9), 4, 8);
+        assert_eq!(c1, c2);
+        assert_eq!(i1, i2);
+    }
+}

@@ -1,0 +1,144 @@
+//! The layered gate serialization of Figure 3.
+//!
+//! The proof of Theorem 3.2 treats the circuit "as if layered, with all
+//! gates of a layer of the same type (∧ or ∨) and only exactly one with
+//! fan-in greater than one": layer `L_k` (for `k = 1 … N`) computes the real
+//! gate `G(M+k)` and propagates all previously available values
+//! `G1 … G(M+k−1)` through "dummy" gates of fan-in one.  This module makes
+//! that serialized view explicit; the reductions crate uses it to assign the
+//! `I_k`/`O_k` labels and the tests use it to double-check that the
+//! serialized circuit computes the same function as the original one.
+
+use crate::monotone::{GateId, GateKind, MonotoneCircuit};
+
+/// One layer of the serialized circuit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Layer {
+    /// 1-based layer index `k`; the layer computes gate `G(M+k)`.
+    pub k: usize,
+    /// The single gate of fan-in possibly greater than one in this layer.
+    pub real_gate: GateId,
+    /// Its type, which by convention is the type of every gate in the layer
+    /// (the types of the fan-in-one dummies do not matter, see footnote 7).
+    pub kind: GateKind,
+    /// The gates whose values are propagated by dummy fan-in-one gates:
+    /// `G1 … G(M+k−1)`.
+    pub dummies: Vec<GateId>,
+    /// The inputs of the real gate (the wires labelled `I_k` in Figure 3).
+    pub inputs: Vec<GateId>,
+}
+
+/// The layered serialization of a monotone circuit (Figure 3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Layering {
+    num_inputs: usize,
+    layers: Vec<Layer>,
+}
+
+impl Layering {
+    /// Serializes a circuit into layers `L_1 … L_N`.
+    pub fn new(circuit: &MonotoneCircuit) -> Self {
+        let m = circuit.num_inputs();
+        let layers = (0..circuit.num_internal())
+            .map(|i| {
+                let gate_id = GateId(m + i);
+                let gate = circuit.gate(gate_id);
+                Layer {
+                    k: i + 1,
+                    real_gate: gate_id,
+                    kind: gate.kind,
+                    dummies: (0..m + i).map(GateId).collect(),
+                    inputs: gate.inputs.clone(),
+                }
+            })
+            .collect();
+        Layering { num_inputs: m, layers }
+    }
+
+    /// Number of layers (`N`).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The layers in order `L_1 … L_N`.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// The layer computing gate `G(M+k)` (1-based `k`).
+    pub fn layer(&self, k: usize) -> &Layer {
+        &self.layers[k - 1]
+    }
+
+    /// Evaluates the circuit layer by layer, exactly in the serialized
+    /// order, returning the value available for every gate after the last
+    /// layer.  Agreement with [`MonotoneCircuit::evaluate_all`] is the
+    /// correctness check for the serialization.
+    pub fn evaluate(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.num_inputs, "wrong number of circuit inputs");
+        let mut values: Vec<bool> = inputs.to_vec();
+        for layer in &self.layers {
+            let new_value = match layer.kind {
+                GateKind::And => layer.inputs.iter().all(|&i| values[i.index()]),
+                GateKind::Or => layer.inputs.iter().any(|&i| values[i.index()]),
+                GateKind::Input => unreachable!("internal gates are never inputs"),
+            };
+            // Dummies propagate existing values unchanged; only the real
+            // gate adds a new one.
+            values.push(new_value);
+        }
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{carry_bit_circuit, random_monotone_circuit};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn carry_bit_layering_matches_figure_3() {
+        let c = carry_bit_circuit();
+        let layering = Layering::new(&c);
+        assert_eq!(layering.num_layers(), 5);
+        // Layers L1..L4 are ∧, L5 is ∨ — exactly as in Figure 3.
+        for k in 1..=4 {
+            assert_eq!(layering.layer(k).kind, GateKind::And, "layer {k}");
+        }
+        assert_eq!(layering.layer(5).kind, GateKind::Or);
+        // Layer k propagates G1..G(M+k-1) through dummies.
+        assert_eq!(layering.layer(1).dummies.len(), 4);
+        assert_eq!(layering.layer(5).dummies.len(), 8);
+        assert_eq!(layering.layer(5).real_gate, GateId(8));
+        assert_eq!(layering.layer(5).inputs, vec![GateId(5), GateId(6), GateId(7)]);
+    }
+
+    #[test]
+    fn layered_evaluation_agrees_with_direct_evaluation() {
+        let c = carry_bit_circuit();
+        let layering = Layering::new(&c);
+        for bits in 0..16u8 {
+            let inputs = [bits & 8 != 0, bits & 4 != 0, bits & 2 != 0, bits & 1 != 0];
+            assert_eq!(layering.evaluate(&inputs), c.evaluate_all(&inputs).unwrap());
+        }
+    }
+
+    #[test]
+    fn layered_evaluation_agrees_on_random_circuits() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..25 {
+            let (circuit, inputs) = random_monotone_circuit(&mut rng, 5, 12);
+            let layering = Layering::new(&circuit);
+            assert_eq!(layering.evaluate(&inputs), circuit.evaluate_all(&inputs).unwrap());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of circuit inputs")]
+    fn wrong_input_count_panics() {
+        let layering = Layering::new(&carry_bit_circuit());
+        layering.evaluate(&[true]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # xpeval-circuits — boolean circuits for the paper's hardness reductions
+//!
+//! The P-hardness and LOGCFL-hardness results of
+//! *"The Complexity of XPath Query Evaluation"* (PODS 2003) are proved by
+//! reductions from circuit value problems:
+//!
+//! * Theorem 3.2 reduces the **monotone circuit value problem** to Core
+//!   XPath evaluation,
+//! * Theorem 4.2 reduces the **SAC¹ circuit value problem** (semi-unbounded
+//!   circuits of logarithmic depth, Definition 2.1/Proposition 2.2) to
+//!   positive Core XPath evaluation,
+//! * Theorem 5.7 reuses the monotone construction for pWF with iterated
+//!   predicates.
+//!
+//! This crate provides the circuit substrate those reductions need:
+//! [`MonotoneCircuit`] with its ordered-gate invariant, evaluation and
+//! random generation, the layered serialization of Figure 3
+//! ([`layering::Layering`]), semi-unbounded circuits ([`sac1`]), and the
+//! 2-bit full-adder carry-bit circuit of Figure 2
+//! ([`examples::carry_bit_circuit`]).
+
+pub mod examples;
+pub mod layering;
+pub mod monotone;
+pub mod sac1;
+
+pub use examples::{carry_bit_circuit, carry_bit_inputs, random_monotone_circuit, random_sac1_circuit};
+pub use layering::Layering;
+pub use monotone::{CircuitError, Gate, GateId, GateKind, MonotoneCircuit};
+pub use sac1::Sac1Circuit;

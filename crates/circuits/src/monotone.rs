@@ -1,0 +1,353 @@
+//! Monotone boolean circuits.
+//!
+//! The circuits follow the conventions of the proof of Theorem 3.2: `M`
+//! input gates `G1 … GM` followed by `N` internal ∧/∨ gates `G(M+1) … G(M+N)`
+//! numbered so that no gate depends on a gate with a larger index; the last
+//! gate is the output.  Fan-in is unbounded (the proof explicitly permits
+//! this, including fan-in one).
+
+use std::fmt;
+
+/// Identifier of a gate.  The paper's `G1 … G(M+N)` numbering corresponds to
+/// `GateId(0) … GateId(M+N-1)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub usize);
+
+impl GateId {
+    /// Zero-based index into the gate table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// The paper's 1-based name `G{i}`.
+    pub fn paper_name(self) -> String {
+        format!("G{}", self.0 + 1)
+    }
+}
+
+/// The kind of a gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// An input gate (no incoming wires).
+    Input,
+    /// A conjunction of all incoming wires.
+    And,
+    /// A disjunction of all incoming wires.
+    Or,
+}
+
+/// One gate: its kind and the gates feeding into it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Gate {
+    pub kind: GateKind,
+    pub inputs: Vec<GateId>,
+}
+
+/// Errors detected by [`MonotoneCircuit::validate`] / the builder methods.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A gate references a gate with an index that is not smaller than its
+    /// own (violating the topological numbering required by Theorem 3.2).
+    ForwardReference { gate: GateId, input: GateId },
+    /// An input gate has incoming wires, or an internal gate has none.
+    BadFanIn { gate: GateId },
+    /// The circuit has no internal gate (nothing to evaluate).
+    NoOutput,
+    /// The number of supplied input values differs from the number of input
+    /// gates.
+    WrongInputCount { expected: usize, got: usize },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::ForwardReference { gate, input } => write!(
+                f,
+                "gate {} references {} which does not precede it",
+                gate.paper_name(),
+                input.paper_name()
+            ),
+            CircuitError::BadFanIn { gate } => {
+                write!(f, "gate {} has an invalid fan-in", gate.paper_name())
+            }
+            CircuitError::NoOutput => write!(f, "circuit has no internal gate"),
+            CircuitError::WrongInputCount { expected, got } => {
+                write!(f, "expected {expected} input values, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// A monotone boolean circuit in the paper's ordered-gate form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MonotoneCircuit {
+    num_inputs: usize,
+    gates: Vec<Gate>,
+}
+
+impl MonotoneCircuit {
+    /// Creates a circuit with `num_inputs` input gates `G1 … GM` and no
+    /// internal gates yet.
+    pub fn new(num_inputs: usize) -> Self {
+        let gates = (0..num_inputs)
+            .map(|_| Gate { kind: GateKind::Input, inputs: Vec::new() })
+            .collect();
+        MonotoneCircuit { num_inputs, gates }
+    }
+
+    /// Number of input gates (`M` in the paper).
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of internal (non-input) gates (`N` in the paper).
+    pub fn num_internal(&self) -> usize {
+        self.gates.len() - self.num_inputs
+    }
+
+    /// Total number of gates `M + N`.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True if the circuit has no gates at all.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gates in index order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The gate table entry for `id`.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// The i-th input gate (0-based).
+    pub fn input(&self, i: usize) -> GateId {
+        assert!(i < self.num_inputs, "input index out of range");
+        GateId(i)
+    }
+
+    /// The output gate `G(M+N)` (the last gate).
+    pub fn output(&self) -> GateId {
+        GateId(self.gates.len() - 1)
+    }
+
+    /// True if `id` is an input gate.
+    pub fn is_input(&self, id: GateId) -> bool {
+        id.index() < self.num_inputs
+    }
+
+    /// Adds an internal gate fed by `inputs`, returning its id.  Inputs must
+    /// refer to already existing gates, preserving the ordering invariant.
+    pub fn add_gate(&mut self, kind: GateKind, inputs: Vec<GateId>) -> Result<GateId, CircuitError> {
+        let id = GateId(self.gates.len());
+        if kind == GateKind::Input {
+            return Err(CircuitError::BadFanIn { gate: id });
+        }
+        if inputs.is_empty() {
+            return Err(CircuitError::BadFanIn { gate: id });
+        }
+        for &i in &inputs {
+            if i.index() >= id.index() {
+                return Err(CircuitError::ForwardReference { gate: id, input: i });
+            }
+        }
+        self.gates.push(Gate { kind, inputs });
+        Ok(id)
+    }
+
+    /// Convenience: adds an ∧-gate.
+    pub fn and(&mut self, inputs: Vec<GateId>) -> GateId {
+        self.add_gate(GateKind::And, inputs).expect("invalid and-gate")
+    }
+
+    /// Convenience: adds an ∨-gate.
+    pub fn or(&mut self, inputs: Vec<GateId>) -> GateId {
+        self.add_gate(GateKind::Or, inputs).expect("invalid or-gate")
+    }
+
+    /// Checks the structural invariants (ordering, fan-in, presence of an
+    /// output gate).
+    pub fn validate(&self) -> Result<(), CircuitError> {
+        if self.num_internal() == 0 {
+            return Err(CircuitError::NoOutput);
+        }
+        for (ix, gate) in self.gates.iter().enumerate() {
+            let id = GateId(ix);
+            match gate.kind {
+                GateKind::Input => {
+                    if !gate.inputs.is_empty() {
+                        return Err(CircuitError::BadFanIn { gate: id });
+                    }
+                }
+                GateKind::And | GateKind::Or => {
+                    if gate.inputs.is_empty() {
+                        return Err(CircuitError::BadFanIn { gate: id });
+                    }
+                    for &i in &gate.inputs {
+                        if i.index() >= ix {
+                            return Err(CircuitError::ForwardReference { gate: id, input: i });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates every gate under the given input assignment and returns the
+    /// per-gate values (`values[i]` is the value of gate `G(i+1)`).
+    pub fn evaluate_all(&self, inputs: &[bool]) -> Result<Vec<bool>, CircuitError> {
+        if inputs.len() != self.num_inputs {
+            return Err(CircuitError::WrongInputCount {
+                expected: self.num_inputs,
+                got: inputs.len(),
+            });
+        }
+        self.validate()?;
+        let mut values = Vec::with_capacity(self.gates.len());
+        for gate in &self.gates {
+            let v = match gate.kind {
+                GateKind::Input => inputs[values.len()],
+                GateKind::And => gate.inputs.iter().all(|&i| values[i.index()]),
+                GateKind::Or => gate.inputs.iter().any(|&i| values[i.index()]),
+            };
+            values.push(v);
+        }
+        Ok(values)
+    }
+
+    /// Evaluates the circuit's output gate.
+    pub fn evaluate(&self, inputs: &[bool]) -> Result<bool, CircuitError> {
+        Ok(*self.evaluate_all(inputs)?.last().expect("validated circuit has gates"))
+    }
+
+    /// Maximum fan-in over all internal gates.
+    pub fn max_fan_in(&self) -> usize {
+        self.gates.iter().map(|g| g.inputs.len()).max().unwrap_or(0)
+    }
+
+    /// Depth of the circuit: the longest path (in internal gates) from an
+    /// input to the output.
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.gates.len()];
+        for (ix, gate) in self.gates.iter().enumerate() {
+            if gate.kind != GateKind::Input {
+                depth[ix] = 1 + gate.inputs.iter().map(|&i| depth[i.index()]).max().unwrap_or(0);
+            }
+        }
+        depth.last().copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example: carry bit of a 2-bit adder (Figure 2), built by
+    /// hand here to keep this module self-contained.
+    fn carry() -> MonotoneCircuit {
+        let mut c = MonotoneCircuit::new(4); // a1 b1 a0 b0  = G1..G4
+        let (a1, b1, a0, b0) = (GateId(0), GateId(1), GateId(2), GateId(3));
+        let g5 = c.and(vec![a0, b0]); // c0
+        let g6 = c.and(vec![a1, b1]);
+        let g7 = c.and(vec![a1, g5]);
+        let g8 = c.and(vec![b1, g5]);
+        let _g9 = c.or(vec![g6, g7, g8]);
+        c
+    }
+
+    #[test]
+    fn carry_bit_truth_table() {
+        let c = carry();
+        assert_eq!(c.num_inputs(), 4);
+        assert_eq!(c.num_internal(), 5);
+        // carry of a1a0 + b1b0: overflow iff a + b >= 4.
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                let inputs = [a & 2 != 0, b & 2 != 0, a & 1 != 0, b & 1 != 0];
+                let expected = (a + b) >= 4;
+                assert_eq!(c.evaluate(&inputs).unwrap(), expected, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_all_reports_every_gate() {
+        let c = carry();
+        let values = c.evaluate_all(&[true, true, true, true]).unwrap();
+        assert_eq!(values.len(), 9);
+        assert!(values.iter().all(|&v| v));
+        let values = c.evaluate_all(&[false, false, false, false]).unwrap();
+        assert!(values[4..].iter().all(|&v| !v));
+    }
+
+    #[test]
+    fn ordering_invariant_is_enforced() {
+        let mut c = MonotoneCircuit::new(2);
+        let err = c.add_gate(GateKind::And, vec![GateId(5)]).unwrap_err();
+        assert!(matches!(err, CircuitError::ForwardReference { .. }));
+        let err = c.add_gate(GateKind::And, vec![]).unwrap_err();
+        assert!(matches!(err, CircuitError::BadFanIn { .. }));
+        let err = c.add_gate(GateKind::Input, vec![]).unwrap_err();
+        assert!(matches!(err, CircuitError::BadFanIn { .. }));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let c = MonotoneCircuit::new(3);
+        assert_eq!(c.validate(), Err(CircuitError::NoOutput));
+        let c = carry();
+        assert!(c.validate().is_ok());
+        assert_eq!(
+            c.evaluate(&[true, true]),
+            Err(CircuitError::WrongInputCount { expected: 4, got: 2 })
+        );
+    }
+
+    #[test]
+    fn fan_in_one_gates_are_allowed() {
+        // The Theorem 3.2 encoding explicitly permits fan-in one ("dummy"
+        // propagation gates).
+        let mut c = MonotoneCircuit::new(1);
+        let g = c.and(vec![GateId(0)]);
+        let g2 = c.or(vec![g]);
+        assert_eq!(c.evaluate(&[true]).unwrap(), true);
+        assert_eq!(c.evaluate(&[false]).unwrap(), false);
+        assert_eq!(c.output(), g2);
+    }
+
+    #[test]
+    fn depth_and_fan_in_metrics() {
+        let c = carry();
+        assert_eq!(c.depth(), 3); // G9 ← G7 ← G5 ← inputs
+        assert_eq!(c.max_fan_in(), 3); // the output or-gate
+        assert_eq!(c.len(), 9);
+        assert!(!c.is_empty());
+        assert!(c.is_input(GateId(0)));
+        assert!(!c.is_input(GateId(8)));
+        assert_eq!(c.input(2), GateId(2));
+        assert_eq!(c.output().paper_name(), "G9");
+        assert_eq!(c.gate(GateId(8)).kind, GateKind::Or);
+    }
+
+    #[test]
+    #[should_panic(expected = "input index out of range")]
+    fn input_accessor_bounds() {
+        carry().input(4);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CircuitError::ForwardReference { gate: GateId(4), input: GateId(7) };
+        assert!(e.to_string().contains("G5"));
+        assert!(e.to_string().contains("G8"));
+        assert!(CircuitError::NoOutput.to_string().contains("no internal gate"));
+    }
+}

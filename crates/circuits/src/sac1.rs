@@ -1,0 +1,129 @@
+//! Semi-unbounded circuits (SAC¹).
+//!
+//! Definition 2.1 of the paper: a *semi-unbounded* circuit is a monotone
+//! circuit whose ∧-gates have bounded fan-in (w.l.o.g. two) while ∨-gates may
+//! have unbounded fan-in; SAC¹ is the class of problems solvable by
+//! L-uniform families of such circuits of depth `O(log n)`.  By
+//! Proposition 2.2 the SAC¹ circuit value problem is LOGCFL-complete, which
+//! is why Theorem 4.2 reduces it to positive Core XPath.
+
+use crate::monotone::{CircuitError, GateKind, MonotoneCircuit};
+
+/// A monotone circuit validated to be semi-unbounded (∧ fan-in ≤ 2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sac1Circuit {
+    circuit: MonotoneCircuit,
+}
+
+/// Why a circuit failed the semi-unboundedness check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Sac1Error {
+    /// Underlying structural problem.
+    Circuit(CircuitError),
+    /// An ∧-gate has fan-in greater than two.
+    WideAnd { gate_index: usize, fan_in: usize },
+}
+
+impl std::fmt::Display for Sac1Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Sac1Error::Circuit(e) => write!(f, "{e}"),
+            Sac1Error::WideAnd { gate_index, fan_in } => {
+                write!(f, "and-gate G{} has fan-in {fan_in} > 2", gate_index + 1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for Sac1Error {}
+
+impl Sac1Circuit {
+    /// Validates that `circuit` is semi-unbounded and wraps it.
+    pub fn new(circuit: MonotoneCircuit) -> Result<Self, Sac1Error> {
+        circuit.validate().map_err(Sac1Error::Circuit)?;
+        for (ix, gate) in circuit.gates().iter().enumerate() {
+            if gate.kind == GateKind::And && gate.inputs.len() > 2 {
+                return Err(Sac1Error::WideAnd { gate_index: ix, fan_in: gate.inputs.len() });
+            }
+        }
+        Ok(Sac1Circuit { circuit })
+    }
+
+    /// The underlying monotone circuit.
+    pub fn circuit(&self) -> &MonotoneCircuit {
+        &self.circuit
+    }
+
+    /// Evaluates the circuit.
+    pub fn evaluate(&self, inputs: &[bool]) -> Result<bool, CircuitError> {
+        self.circuit.evaluate(inputs)
+    }
+
+    /// Circuit depth (longest input-to-output path through internal gates).
+    pub fn depth(&self) -> usize {
+        self.circuit.depth()
+    }
+
+    /// Is the depth within `c · ⌈log₂(size)⌉`?  SAC¹ families must have
+    /// logarithmic depth; the reproduction uses this check when generating
+    /// workloads for Theorem 4.2 (whose query size is exponential in the
+    /// ∧-depth and therefore polynomial only for logarithmic depth).
+    pub fn has_log_depth(&self, c: usize) -> bool {
+        let size = self.circuit.len().max(2);
+        let log = (usize::BITS - (size - 1).leading_zeros()) as usize;
+        self.depth() <= c * log.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monotone::GateId;
+
+    fn small_sac1() -> MonotoneCircuit {
+        let mut c = MonotoneCircuit::new(4);
+        let g5 = c.or(vec![GateId(0), GateId(1), GateId(2), GateId(3)]); // wide or is fine
+        let g6 = c.and(vec![GateId(0), GateId(1)]);
+        let _g7 = c.or(vec![g5, g6]);
+        c
+    }
+
+    #[test]
+    fn accepts_semi_unbounded_circuits() {
+        let sac = Sac1Circuit::new(small_sac1()).unwrap();
+        assert_eq!(sac.evaluate(&[true, false, false, false]).unwrap(), true);
+        assert_eq!(sac.evaluate(&[false, false, false, false]).unwrap(), false);
+        assert_eq!(sac.depth(), 2);
+        assert!(sac.has_log_depth(2));
+        assert_eq!(sac.circuit().len(), 7);
+    }
+
+    #[test]
+    fn rejects_wide_and_gates() {
+        let mut c = MonotoneCircuit::new(3);
+        c.and(vec![GateId(0), GateId(1), GateId(2)]);
+        let err = Sac1Circuit::new(c).unwrap_err();
+        assert!(matches!(err, Sac1Error::WideAnd { fan_in: 3, .. }));
+        assert!(err.to_string().contains("fan-in 3"));
+    }
+
+    #[test]
+    fn rejects_structurally_invalid_circuits() {
+        let c = MonotoneCircuit::new(2);
+        assert!(matches!(Sac1Circuit::new(c), Err(Sac1Error::Circuit(CircuitError::NoOutput))));
+    }
+
+    #[test]
+    fn log_depth_check() {
+        // A long and-chain has linear depth: not SAC¹ for small constants.
+        let mut c = MonotoneCircuit::new(1);
+        let mut prev = GateId(0);
+        for _ in 0..40 {
+            prev = c.and(vec![prev]);
+        }
+        let sac = Sac1Circuit::new(c).unwrap();
+        assert_eq!(sac.depth(), 40);
+        assert!(!sac.has_log_depth(2));
+        assert!(sac.has_log_depth(10));
+    }
+}

@@ -1,0 +1,208 @@
+//! Unified engine facade over the evaluation strategies.
+//!
+//! Downstream code (examples, benches, integration tests) talks to a single
+//! [`Engine`] and picks an [`EvalStrategy`]; the engine dispatches to the
+//! matching evaluator and reports which fragment the query belongs to, so
+//! callers can follow the paper's guidance: linear-time set-at-a-time
+//! evaluation for Core XPath, parallel evaluation for pWF/pXPath, and the
+//! polynomial context-value-table algorithm for everything else.
+
+use crate::context::Context;
+use crate::corexpath::CoreXPathEvaluator;
+use crate::dp::DpEvaluator;
+use crate::error::EvalError;
+use crate::naive::NaiveEvaluator;
+use crate::parallel::ParallelEvaluator;
+use crate::success::SingletonSuccess;
+use crate::value::Value;
+use xpeval_dom::Document;
+use xpeval_syntax::{classify, Expr, FragmentReport};
+
+/// The evaluation strategies implemented by this crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvalStrategy {
+    /// The context-value-table dynamic program (Proposition 2.7): polynomial
+    /// combined complexity for all of XPath 1.0.  This is the default.
+    ContextValueTable,
+    /// Direct re-evaluation semantics (the exponential baseline of the
+    /// paper's introduction).
+    Naive,
+    /// The O(|D|·|Q|) set-at-a-time algorithm; only accepts Core XPath.
+    CoreXPathLinear,
+    /// Data-parallel Singleton-Success evaluation for pWF/pXPath
+    /// (Theorems 5.5/6.2, Remark 5.6) with the given number of threads.
+    Parallel { threads: usize },
+    /// Sequential Singleton-Success evaluation (Lemma 5.4 / Theorem 5.5).
+    SingletonSuccess,
+}
+
+impl Default for EvalStrategy {
+    fn default() -> Self {
+        EvalStrategy::ContextValueTable
+    }
+}
+
+/// Facade dispatching queries to an evaluation strategy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Engine {
+    strategy: EvalStrategy,
+}
+
+impl Engine {
+    /// Creates an engine with the given strategy.
+    pub fn new(strategy: EvalStrategy) -> Self {
+        Engine { strategy }
+    }
+
+    /// The strategy this engine uses.
+    pub fn strategy(&self) -> EvalStrategy {
+        self.strategy
+    }
+
+    /// Classifies the query according to Figure 1 of the paper.
+    pub fn classify(&self, query: &Expr) -> FragmentReport {
+        classify(query)
+    }
+
+    /// Picks the strategy the paper would recommend for a query: linear
+    /// set-at-a-time evaluation for Core XPath, parallel evaluation for the
+    /// LOGCFL fragments, the DP algorithm otherwise.
+    pub fn recommended_for(query: &Expr, threads: usize) -> Engine {
+        use xpeval_syntax::Fragment::*;
+        let report = classify(query);
+        let strategy = match report.fragment {
+            PF | PositiveCoreXPath | CoreXPath => EvalStrategy::CoreXPathLinear,
+            PWF | PXPath => EvalStrategy::Parallel { threads },
+            _ => EvalStrategy::ContextValueTable,
+        };
+        Engine::new(strategy)
+    }
+
+    /// Evaluates a query against a document from the canonical root context.
+    pub fn evaluate(&self, doc: &Document, query: &Expr) -> Result<Value, EvalError> {
+        self.evaluate_with_context(doc, query, Context::root(doc))
+    }
+
+    /// Evaluates a query from an explicit context triple.
+    pub fn evaluate_with_context(
+        &self,
+        doc: &Document,
+        query: &Expr,
+        ctx: Context,
+    ) -> Result<Value, EvalError> {
+        match self.strategy {
+            EvalStrategy::ContextValueTable => {
+                DpEvaluator::new(doc, query).evaluate_with_context(ctx)
+            }
+            EvalStrategy::Naive => NaiveEvaluator::new(doc).evaluate_with_context(query, ctx),
+            EvalStrategy::CoreXPathLinear => {
+                let ev = CoreXPathEvaluator::new(doc);
+                let nodes = ev.evaluate_from(query, &[ctx.node])?;
+                Ok(Value::NodeSet(nodes))
+            }
+            EvalStrategy::Parallel { threads } => {
+                ParallelEvaluator::new(doc, threads).evaluate_with_context(query, ctx)
+            }
+            EvalStrategy::SingletonSuccess => {
+                let checker = SingletonSuccess::new(doc, query)?;
+                use xpeval_syntax::ast::ExprType;
+                match query.expr_type() {
+                    ExprType::NodeSet => Ok(Value::NodeSet(checker.node_set(ctx)?)),
+                    ExprType::Boolean => Ok(Value::Boolean(checker.eval_boolean(query, ctx)?)),
+                    _ => checker.eval_scalar(query, ctx),
+                }
+            }
+        }
+    }
+
+    /// Parses and evaluates a query given as a string; convenience for
+    /// examples and tests.
+    pub fn evaluate_str(&self, doc: &Document, query: &str) -> Result<Value, EvalError> {
+        let parsed = xpeval_syntax::parse_query(query)
+            .map_err(|e| EvalError::unsupported(format!("parse error: {e}")))?;
+        self.evaluate(doc, &parsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpeval_dom::parse_xml;
+    use xpeval_syntax::{parse_query, Fragment};
+
+    const BOOKS: &str = r#"<lib><book year="2001"><title>A</title></book><book year="2003"><title>B</title><cite/></book></lib>"#;
+
+    #[test]
+    fn default_strategy_is_the_dp_algorithm() {
+        assert_eq!(Engine::default().strategy(), EvalStrategy::ContextValueTable);
+    }
+
+    #[test]
+    fn all_strategies_agree_on_a_core_query() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let q = parse_query("/lib/book[child::cite]/title").unwrap();
+        let reference = Engine::new(EvalStrategy::ContextValueTable).evaluate(&doc, &q).unwrap();
+        for strategy in [
+            EvalStrategy::Naive,
+            EvalStrategy::CoreXPathLinear,
+            EvalStrategy::Parallel { threads: 2 },
+            EvalStrategy::SingletonSuccess,
+        ] {
+            let got = Engine::new(strategy).evaluate(&doc, &q).unwrap();
+            assert_eq!(got, reference, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn recommendation_follows_the_paper() {
+        let threads = 4;
+        let q = parse_query("/a/b/c").unwrap();
+        assert_eq!(
+            Engine::recommended_for(&q, threads).strategy(),
+            EvalStrategy::CoreXPathLinear
+        );
+        let q = parse_query("//a[not(child::b)]").unwrap();
+        assert_eq!(
+            Engine::recommended_for(&q, threads).strategy(),
+            EvalStrategy::CoreXPathLinear
+        );
+        let q = parse_query("//a[position() = last()]").unwrap();
+        assert_eq!(
+            Engine::recommended_for(&q, threads).strategy(),
+            EvalStrategy::Parallel { threads }
+        );
+        let q = parse_query("//a[@id = 3]").unwrap();
+        assert_eq!(
+            Engine::recommended_for(&q, threads).strategy(),
+            EvalStrategy::Parallel { threads }
+        );
+        let q = parse_query("count(//a) > 2").unwrap();
+        assert_eq!(
+            Engine::recommended_for(&q, threads).strategy(),
+            EvalStrategy::ContextValueTable
+        );
+    }
+
+    #[test]
+    fn classify_is_exposed() {
+        let q = parse_query("//a[not(child::b)]").unwrap();
+        let report = Engine::default().classify(&q);
+        assert_eq!(report.fragment, Fragment::CoreXPath);
+    }
+
+    #[test]
+    fn evaluate_str_convenience() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let v = Engine::default().evaluate_str(&doc, "count(//book)").unwrap();
+        assert_eq!(v, Value::Number(2.0));
+        assert!(Engine::default().evaluate_str(&doc, "not valid xpath ///").is_err());
+    }
+
+    #[test]
+    fn fragment_errors_propagate() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let q = parse_query("//book[position() = 1]").unwrap();
+        let res = Engine::new(EvalStrategy::CoreXPathLinear).evaluate(&doc, &q);
+        assert!(matches!(res, Err(EvalError::UnsupportedFragment { .. })));
+    }
+}

@@ -1,0 +1,79 @@
+//! Evaluation errors.
+
+use std::fmt;
+use xpeval_syntax::Fragment;
+
+/// Error raised by the evaluators in this crate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// The query uses a function the engine does not implement.
+    UnknownFunction { name: String },
+    /// A function was called with the wrong number of arguments.
+    WrongArity { name: String, expected: String, got: usize },
+    /// A value had the wrong type for the operation.
+    TypeError { message: String },
+    /// The selected evaluator only supports a fragment of XPath and the
+    /// query lies outside it (e.g. the linear-time evaluator is only defined
+    /// for Core XPath, the Singleton-Success procedure for pWF/pXPath plus
+    /// bounded negation).
+    UnsupportedFragment {
+        /// The fragment the evaluator supports.
+        supported: Fragment,
+        /// Description of the offending construct.
+        construct: String,
+    },
+    /// Any other unsupported construct.
+    Unsupported { message: String },
+}
+
+impl EvalError {
+    pub(crate) fn type_error(message: impl Into<String>) -> Self {
+        EvalError::TypeError { message: message.into() }
+    }
+
+    pub(crate) fn unsupported(message: impl Into<String>) -> Self {
+        EvalError::Unsupported { message: message.into() }
+    }
+
+    pub(crate) fn fragment(supported: Fragment, construct: impl Into<String>) -> Self {
+        EvalError::UnsupportedFragment { supported, construct: construct.into() }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownFunction { name } => write!(f, "unknown function '{name}()'"),
+            EvalError::WrongArity { name, expected, got } => {
+                write!(f, "function '{name}()' expects {expected} argument(s), got {got}")
+            }
+            EvalError::TypeError { message } => write!(f, "type error: {message}"),
+            EvalError::UnsupportedFragment { supported, construct } => write!(
+                f,
+                "this evaluator supports only the {supported} fragment; query uses {construct}"
+            ),
+            EvalError::Unsupported { message } => write!(f, "unsupported: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = EvalError::UnknownFunction { name: "frobnicate".into() };
+        assert!(e.to_string().contains("frobnicate"));
+        let e = EvalError::WrongArity { name: "concat".into(), expected: "2+".into(), got: 1 };
+        assert!(e.to_string().contains("concat"));
+        let e = EvalError::type_error("boom");
+        assert!(e.to_string().contains("boom"));
+        let e = EvalError::fragment(Fragment::CoreXPath, "arithmetic");
+        assert!(e.to_string().contains("Core XPath"));
+        let e = EvalError::unsupported("variables");
+        assert!(e.to_string().contains("variables"));
+    }
+}

@@ -1,0 +1,423 @@
+//! The XPath 1.0 core function library (§4 of the recommendation).
+//!
+//! All evaluators share this implementation: they evaluate the argument
+//! expressions with their own strategy and then delegate to
+//! [`call_function`].  `not(..)` never reaches this module because the
+//! parser represents it as a dedicated AST node.
+
+use crate::context::Context;
+use crate::error::EvalError;
+use crate::value::Value;
+use xpeval_dom::Document;
+
+/// Names of the functions implemented by [`call_function`].
+pub const SUPPORTED_FUNCTIONS: &[&str] = &[
+    "position",
+    "last",
+    "count",
+    "sum",
+    "true",
+    "false",
+    "boolean",
+    "number",
+    "string",
+    "concat",
+    "contains",
+    "starts-with",
+    "substring",
+    "substring-before",
+    "substring-after",
+    "string-length",
+    "normalize-space",
+    "translate",
+    "name",
+    "local-name",
+    "floor",
+    "ceiling",
+    "round",
+];
+
+/// Whether a function name is known to the engine (including `not`, which is
+/// handled structurally).
+pub fn is_supported(name: &str) -> bool {
+    name == "not" || SUPPORTED_FUNCTIONS.contains(&name)
+}
+
+fn arity_error(name: &str, expected: &str, got: usize) -> EvalError {
+    EvalError::WrongArity { name: name.to_string(), expected: expected.to_string(), got }
+}
+
+/// Evaluates a call to a core-library function over already-evaluated
+/// argument values.
+pub fn call_function(
+    name: &str,
+    args: Vec<Value>,
+    ctx: &Context,
+    doc: &Document,
+) -> Result<Value, EvalError> {
+    match name {
+        "position" => {
+            expect_arity(name, &args, 0)?;
+            Ok(Value::Number(ctx.position as f64))
+        }
+        "last" => {
+            expect_arity(name, &args, 0)?;
+            Ok(Value::Number(ctx.size as f64))
+        }
+        "true" => {
+            expect_arity(name, &args, 0)?;
+            Ok(Value::Boolean(true))
+        }
+        "false" => {
+            expect_arity(name, &args, 0)?;
+            Ok(Value::Boolean(false))
+        }
+        "count" => {
+            expect_arity(name, &args, 1)?;
+            let nodes = args.into_iter().next().unwrap().into_nodes()?;
+            Ok(Value::Number(nodes.len() as f64))
+        }
+        "sum" => {
+            expect_arity(name, &args, 1)?;
+            let nodes = args.into_iter().next().unwrap().into_nodes()?;
+            let total: f64 = nodes
+                .iter()
+                .map(|&n| crate::value::parse_xpath_number(&doc.string_value(n)))
+                .sum();
+            Ok(Value::Number(total))
+        }
+        "boolean" => {
+            expect_arity(name, &args, 1)?;
+            Ok(Value::Boolean(args[0].to_boolean()))
+        }
+        "number" => {
+            let v = optional_arg(name, args, ctx, doc)?;
+            Ok(Value::Number(v.to_number(doc)))
+        }
+        "string" => {
+            let v = optional_arg(name, args, ctx, doc)?;
+            Ok(Value::Str(v.to_xpath_string(doc)))
+        }
+        "concat" => {
+            if args.len() < 2 {
+                return Err(arity_error(name, "2 or more", args.len()));
+            }
+            let mut out = String::new();
+            for a in &args {
+                out.push_str(&a.to_xpath_string(doc));
+            }
+            Ok(Value::Str(out))
+        }
+        "contains" => {
+            expect_arity(name, &args, 2)?;
+            let hay = args[0].to_xpath_string(doc);
+            let needle = args[1].to_xpath_string(doc);
+            Ok(Value::Boolean(hay.contains(&needle)))
+        }
+        "starts-with" => {
+            expect_arity(name, &args, 2)?;
+            let hay = args[0].to_xpath_string(doc);
+            let prefix = args[1].to_xpath_string(doc);
+            Ok(Value::Boolean(hay.starts_with(&prefix)))
+        }
+        "substring-before" => {
+            expect_arity(name, &args, 2)?;
+            let hay = args[0].to_xpath_string(doc);
+            let sep = args[1].to_xpath_string(doc);
+            Ok(Value::Str(hay.split_once(&sep).map(|(a, _)| a.to_string()).unwrap_or_default()))
+        }
+        "substring-after" => {
+            expect_arity(name, &args, 2)?;
+            let hay = args[0].to_xpath_string(doc);
+            let sep = args[1].to_xpath_string(doc);
+            Ok(Value::Str(hay.split_once(&sep).map(|(_, b)| b.to_string()).unwrap_or_default()))
+        }
+        "substring" => {
+            if args.len() != 2 && args.len() != 3 {
+                return Err(arity_error(name, "2 or 3", args.len()));
+            }
+            let s = args[0].to_xpath_string(doc);
+            let chars: Vec<char> = s.chars().collect();
+            let start = args[1].to_number(doc);
+            let len = args.get(2).map(|v| v.to_number(doc));
+            Ok(Value::Str(xpath_substring(&chars, start, len)))
+        }
+        "string-length" => {
+            let v = optional_arg(name, args, ctx, doc)?;
+            Ok(Value::Number(v.to_xpath_string(doc).chars().count() as f64))
+        }
+        "normalize-space" => {
+            let v = optional_arg(name, args, ctx, doc)?;
+            let s = v.to_xpath_string(doc);
+            Ok(Value::Str(s.split_whitespace().collect::<Vec<_>>().join(" ")))
+        }
+        "translate" => {
+            expect_arity(name, &args, 3)?;
+            let s = args[0].to_xpath_string(doc);
+            let from: Vec<char> = args[1].to_xpath_string(doc).chars().collect();
+            let to: Vec<char> = args[2].to_xpath_string(doc).chars().collect();
+            let out: String = s
+                .chars()
+                .filter_map(|c| match from.iter().position(|&f| f == c) {
+                    Some(i) => to.get(i).copied(),
+                    None => Some(c),
+                })
+                .collect();
+            Ok(Value::Str(out))
+        }
+        "name" | "local-name" => {
+            if args.len() > 1 {
+                return Err(arity_error(name, "0 or 1", args.len()));
+            }
+            let node = match args.into_iter().next() {
+                Some(v) => v.into_nodes()?.first().copied(),
+                None => Some(ctx.node),
+            };
+            let s = node.and_then(|n| doc.name(n).map(str::to_string)).unwrap_or_default();
+            Ok(Value::Str(s))
+        }
+        "floor" => {
+            expect_arity(name, &args, 1)?;
+            Ok(Value::Number(args[0].to_number(doc).floor()))
+        }
+        "ceiling" => {
+            expect_arity(name, &args, 1)?;
+            Ok(Value::Number(args[0].to_number(doc).ceil()))
+        }
+        "round" => {
+            expect_arity(name, &args, 1)?;
+            let n = args[0].to_number(doc);
+            // XPath round(): round half up (towards +infinity).
+            Ok(Value::Number((n + 0.5).floor()))
+        }
+        _ => Err(EvalError::UnknownFunction { name: name.to_string() }),
+    }
+}
+
+fn expect_arity(name: &str, args: &[Value], n: usize) -> Result<(), EvalError> {
+    if args.len() == n {
+        Ok(())
+    } else {
+        Err(arity_error(name, &n.to_string(), args.len()))
+    }
+}
+
+/// For functions whose single optional argument defaults to a node set
+/// containing only the context node.
+fn optional_arg(
+    name: &str,
+    args: Vec<Value>,
+    ctx: &Context,
+    _doc: &Document,
+) -> Result<Value, EvalError> {
+    match args.len() {
+        0 => Ok(Value::NodeSet(vec![ctx.node])),
+        1 => Ok(args.into_iter().next().unwrap()),
+        n => Err(arity_error(name, "0 or 1", n)),
+    }
+}
+
+/// `substring()` with XPath's rounding-based index rules (§4.2), which give
+/// the famous `substring("12345", 1.5, 2.6) = "234"` behaviour.
+fn xpath_substring(chars: &[char], start: f64, len: Option<f64>) -> String {
+    let round = |x: f64| (x + 0.5).floor();
+    let start_r = round(start);
+    if start_r.is_nan() {
+        return String::new();
+    }
+    let end = match len {
+        Some(l) => {
+            let e = start_r + round(l);
+            if e.is_nan() {
+                return String::new();
+            }
+            e
+        }
+        None => f64::INFINITY,
+    };
+    chars
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            let pos = (*i + 1) as f64;
+            pos >= start_r && pos < end
+        })
+        .map(|(_, c)| *c)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpeval_dom::parse_xml;
+
+    fn setup() -> (Document, Context) {
+        let doc = parse_xml("<r><a>1</a><a>2</a><b> spaced  text </b></r>").unwrap();
+        let ctx = Context::root(&doc);
+        (doc, ctx)
+    }
+
+    fn call(name: &str, args: Vec<Value>) -> Value {
+        let (doc, ctx) = setup();
+        call_function(name, args, &ctx, &doc).unwrap()
+    }
+
+    #[test]
+    fn position_and_last_read_the_context() {
+        let (doc, _) = setup();
+        let ctx = Context::new(doc.root(), 3, 9);
+        assert_eq!(call_function("position", vec![], &ctx, &doc).unwrap(), Value::Number(3.0));
+        assert_eq!(call_function("last", vec![], &ctx, &doc).unwrap(), Value::Number(9.0));
+    }
+
+    #[test]
+    fn count_and_sum() {
+        let (doc, ctx) = setup();
+        let a_nodes: Vec<_> = doc.all_elements().filter(|&n| doc.name(n) == Some("a")).collect();
+        let v = call_function("count", vec![Value::node_set(&doc, a_nodes.clone())], &ctx, &doc)
+            .unwrap();
+        assert_eq!(v, Value::Number(2.0));
+        let v = call_function("sum", vec![Value::node_set(&doc, a_nodes)], &ctx, &doc).unwrap();
+        assert_eq!(v, Value::Number(3.0));
+        assert!(call_function("count", vec![Value::Number(1.0)], &ctx, &doc).is_err());
+    }
+
+    #[test]
+    fn boolean_number_string() {
+        assert_eq!(call("boolean", vec![Value::Str("x".into())]), Value::Boolean(true));
+        assert_eq!(call("number", vec![Value::Str("42".into())]), Value::Number(42.0));
+        assert_eq!(call("string", vec![Value::Number(7.0)]), Value::Str("7".into()));
+        assert_eq!(call("true", vec![]), Value::Boolean(true));
+        assert_eq!(call("false", vec![]), Value::Boolean(false));
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(
+            call("concat", vec![Value::Str("a".into()), Value::Str("b".into()), Value::Number(1.0)]),
+            Value::Str("ab1".into())
+        );
+        assert_eq!(
+            call("contains", vec![Value::Str("hello".into()), Value::Str("ell".into())]),
+            Value::Boolean(true)
+        );
+        assert_eq!(
+            call("starts-with", vec![Value::Str("hello".into()), Value::Str("he".into())]),
+            Value::Boolean(true)
+        );
+        assert_eq!(
+            call("substring-before", vec![Value::Str("1999/04/01".into()), Value::Str("/".into())]),
+            Value::Str("1999".into())
+        );
+        assert_eq!(
+            call("substring-after", vec![Value::Str("1999/04/01".into()), Value::Str("/".into())]),
+            Value::Str("04/01".into())
+        );
+        assert_eq!(
+            call("string-length", vec![Value::Str("abcd".into())]),
+            Value::Number(4.0)
+        );
+        assert_eq!(
+            call("normalize-space", vec![Value::Str("  a  b \n c ".into())]),
+            Value::Str("a b c".into())
+        );
+        assert_eq!(
+            call(
+                "translate",
+                vec![Value::Str("bar".into()), Value::Str("abc".into()), Value::Str("ABC".into())]
+            ),
+            Value::Str("BAr".into())
+        );
+        assert_eq!(
+            call(
+                "translate",
+                vec![Value::Str("--aaa--".into()), Value::Str("abc-".into()), Value::Str("ABC".into())]
+            ),
+            Value::Str("AAA".into())
+        );
+    }
+
+    #[test]
+    fn substring_rounding_rules() {
+        assert_eq!(
+            call("substring", vec![Value::Str("12345".into()), Value::Number(2.0), Value::Number(3.0)]),
+            Value::Str("234".into())
+        );
+        assert_eq!(
+            call("substring", vec![Value::Str("12345".into()), Value::Number(1.5), Value::Number(2.6)]),
+            Value::Str("234".into())
+        );
+        assert_eq!(
+            call("substring", vec![Value::Str("12345".into()), Value::Number(0.0), Value::Number(3.0)]),
+            Value::Str("12".into())
+        );
+        assert_eq!(
+            call("substring", vec![Value::Str("12345".into()), Value::Number(2.0)]),
+            Value::Str("2345".into())
+        );
+    }
+
+    #[test]
+    fn numeric_functions() {
+        assert_eq!(call("floor", vec![Value::Number(2.7)]), Value::Number(2.0));
+        assert_eq!(call("ceiling", vec![Value::Number(2.1)]), Value::Number(3.0));
+        assert_eq!(call("round", vec![Value::Number(2.5)]), Value::Number(3.0));
+        assert_eq!(call("round", vec![Value::Number(-2.5)]), Value::Number(-2.0));
+    }
+
+    #[test]
+    fn name_functions() {
+        let (doc, ctx) = setup();
+        let b: Vec<_> = doc.all_elements().filter(|&n| doc.name(n) == Some("b")).collect();
+        let v = call_function("name", vec![Value::node_set(&doc, b)], &ctx, &doc).unwrap();
+        assert_eq!(v, Value::Str("b".into()));
+        // Defaults to the context node (the root, which has no name).
+        let v = call_function("name", vec![], &ctx, &doc).unwrap();
+        assert_eq!(v, Value::Str(String::new()));
+        let v = call_function("local-name", vec![Value::empty()], &ctx, &doc).unwrap();
+        assert_eq!(v, Value::Str(String::new()));
+    }
+
+    #[test]
+    fn defaulting_functions_use_context_node() {
+        let (doc, _) = setup();
+        let b = doc
+            .all_elements()
+            .find(|&n| doc.name(n) == Some("b"))
+            .unwrap();
+        let ctx = Context::new(b, 1, 1);
+        let v = call_function("string", vec![], &ctx, &doc).unwrap();
+        assert_eq!(v, Value::Str(" spaced  text ".into()));
+        let v = call_function("normalize-space", vec![], &ctx, &doc).unwrap();
+        assert_eq!(v, Value::Str("spaced text".into()));
+        let v = call_function("string-length", vec![], &ctx, &doc).unwrap();
+        assert_eq!(v, Value::Number(14.0));
+    }
+
+    #[test]
+    fn arity_errors() {
+        let (doc, ctx) = setup();
+        assert!(call_function("position", vec![Value::Number(1.0)], &ctx, &doc).is_err());
+        assert!(call_function("concat", vec![Value::Str("a".into())], &ctx, &doc).is_err());
+        assert!(call_function("contains", vec![Value::Str("a".into())], &ctx, &doc).is_err());
+        assert!(call_function("substring", vec![Value::Str("a".into())], &ctx, &doc).is_err());
+        assert!(call_function("nosuchfn", vec![], &ctx, &doc).is_err());
+    }
+
+    #[test]
+    fn supported_list_is_consistent() {
+        let (doc, ctx) = setup();
+        assert!(is_supported("not"));
+        for &name in SUPPORTED_FUNCTIONS {
+            assert!(is_supported(name));
+            // Calling with an absurd arity must yield a WrongArity or a
+            // sensible value, never UnknownFunction.
+            let r = call_function(name, vec![Value::Number(1.0); 7], &ctx, &doc);
+            assert!(
+                !matches!(r, Err(EvalError::UnknownFunction { .. })),
+                "{name} reported unknown"
+            );
+        }
+        assert!(!is_supported("id"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # xpeval-core — XPath evaluation engines
+//!
+//! This crate implements the evaluation algorithms studied in
+//! *"The Complexity of XPath Query Evaluation"* (Gottlob, Koch, Pichler;
+//! PODS 2003) together with the baselines they are compared against:
+//!
+//! | Module | Algorithm | Paper reference |
+//! |---|---|---|
+//! | [`dp`] | Context-value-table dynamic programming (polynomial combined complexity) | Proposition 2.7, Theorem 7.2 |
+//! | [`naive`] | Direct per-context re-evaluation (exponential in the query, as in contemporary engines) | Section 1 |
+//! | [`corexpath`] | Set-at-a-time O(&#124;D&#124;·&#124;Q&#124;) evaluation of Core XPath | Proposition 2.7 |
+//! | [`success`] | The Singleton-Success NAuxPDA decision procedure | Definition 5.3, Lemma 5.4, Table 1 |
+//! | [`parallel`] | Data-parallel evaluation of pWF/pXPath via Singleton-Success | Theorems 5.5/6.2, Remark 5.6 |
+//!
+//! Shared infrastructure: the XPath value domain ([`value`]), contexts and
+//! context-value-table keys ([`context`]), the core function library
+//! ([`functions`]) and the step semantics ([`steps`]).  The [`engine`]
+//! module offers a single façade over all strategies.
+
+pub mod context;
+pub mod corexpath;
+pub mod dp;
+pub mod engine;
+pub mod error;
+pub mod functions;
+pub mod naive;
+pub mod parallel;
+pub mod steps;
+pub mod success;
+pub mod value;
+
+pub use context::{Context, ContextKey};
+pub use corexpath::{CoreXPathEvaluator, NodeBitSet};
+pub use dp::{DpEvaluator, DpStats};
+pub use engine::{Engine, EvalStrategy};
+pub use error::EvalError;
+pub use naive::{NaiveEvaluator, NaiveStats};
+pub use parallel::ParallelEvaluator;
+pub use success::{SingletonSuccess, SuccessTarget};
+pub use value::Value;

@@ -1,0 +1,194 @@
+//! Parallel evaluation of the LOGCFL fragments (pWF / pXPath).
+//!
+//! Remark 5.6 of the paper observes that LOGCFL ⊆ NC², so pWF and pXPath
+//! queries can be evaluated by a highly parallel algorithm.  The membership
+//! proof (Theorem 5.5) already exhibits the decomposition: the node-set
+//! result of a query is recovered by deciding the **Singleton-Success**
+//! problem once per document node, and those |D| decisions are completely
+//! independent of each other.
+//!
+//! [`ParallelEvaluator`] exploits exactly this independence: the candidate
+//! nodes are partitioned into chunks, each worker thread runs its own
+//! [`SingletonSuccess`] checker over its chunk, and the selected nodes are
+//! concatenated.  This is a thread-pool realization of the PRAM/circuit
+//! parallelism the paper appeals to — absolute processor counts differ, but
+//! the *shape* (near-linear speed-up for large documents, no speed-up for
+//! P-hard queries which the evaluator rejects) is the reproducible claim,
+//! and the `bench_parallel_speedup` bench measures it.
+//!
+//! Scalar (boolean/number/string) queries are decided by a single
+//! Singleton-Success call; only node-set queries benefit from the
+//! data-parallel loop.
+
+use crate::context::Context;
+use crate::error::EvalError;
+use crate::success::SingletonSuccess;
+use crate::value::Value;
+use xpeval_dom::{Document, NodeId};
+use xpeval_syntax::ast::ExprType;
+use xpeval_syntax::Expr;
+
+/// Data-parallel evaluator for pWF/pXPath queries.
+pub struct ParallelEvaluator<'d> {
+    doc: &'d Document,
+    threads: usize,
+}
+
+impl<'d> ParallelEvaluator<'d> {
+    /// Creates an evaluator that uses `threads` worker threads
+    /// (values of 0 and 1 both mean sequential evaluation).
+    pub fn new(doc: &'d Document, threads: usize) -> Self {
+        ParallelEvaluator { doc, threads: threads.max(1) }
+    }
+
+    /// Number of worker threads used for node-set queries.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates the query from the canonical root context.
+    pub fn evaluate(&self, query: &Expr) -> Result<Value, EvalError> {
+        self.evaluate_with_context(query, Context::root(self.doc))
+    }
+
+    /// Evaluates the query from an explicit context.
+    pub fn evaluate_with_context(&self, query: &Expr, ctx: Context) -> Result<Value, EvalError> {
+        // Validate the fragment up front (same restrictions as the
+        // Singleton-Success checker, i.e. Definition 6.1 plus bounded
+        // negation).
+        let checker = SingletonSuccess::new(self.doc, query)?;
+        match query.expr_type() {
+            ExprType::NodeSet => {
+                drop(checker);
+                let nodes = self.parallel_node_set(query, ctx)?;
+                Ok(Value::NodeSet(nodes))
+            }
+            ExprType::Boolean => Ok(Value::Boolean(checker.eval_boolean(query, ctx)?)),
+            ExprType::Number | ExprType::Str => checker.eval_scalar(query, ctx),
+        }
+    }
+
+    /// The Theorem 5.5 loop ("decide Singleton-Success for every v ∈ dom"),
+    /// distributed over worker threads with crossbeam's scoped threads.
+    fn parallel_node_set(&self, query: &Expr, ctx: Context) -> Result<Vec<NodeId>, EvalError> {
+        let candidates: Vec<NodeId> = self.doc.all_nodes().collect();
+        if self.threads <= 1 || candidates.len() < 2 {
+            let checker = SingletonSuccess::new(self.doc, query)?;
+            return checker.node_set(ctx);
+        }
+
+        let chunk_size = candidates.len().div_ceil(self.threads);
+        let doc = self.doc;
+        let results: Result<Vec<Vec<NodeId>>, EvalError> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in candidates.chunks(chunk_size) {
+                handles.push(scope.spawn(move |_| -> Result<Vec<NodeId>, EvalError> {
+                    // Each worker owns an independent checker (and therefore
+                    // its own memo tables), mirroring the independent
+                    // NAuxPDA runs of the membership proof.
+                    let checker = SingletonSuccess::new(doc, query)?;
+                    let mut selected = Vec::new();
+                    for &v in chunk {
+                        if checker.decide(ctx, &crate::success::SuccessTarget::Node(v))? {
+                            selected.push(v);
+                        }
+                    }
+                    Ok(selected)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope failed");
+
+        let mut out: Vec<NodeId> = results?.into_iter().flatten().collect();
+        self.doc.sort_document_order(&mut out);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::DpEvaluator;
+    use xpeval_dom::parse_xml;
+    use xpeval_syntax::parse_query;
+
+    const BOOKS: &str = r#"<lib><book year="2001"><title>A</title></book><book year="2003"><title>B</title><cite/></book><paper year="2003"><title>C</title></paper></lib>"#;
+
+    fn agree(xml: &str, query: &str, threads: usize) {
+        let doc = parse_xml(xml).unwrap();
+        let q = parse_query(query).unwrap();
+        let dp = DpEvaluator::new(&doc, &q).evaluate().unwrap();
+        let par = ParallelEvaluator::new(&doc, threads).evaluate(&q).unwrap();
+        assert_eq!(dp, par, "disagreement on {query} with {threads} threads");
+    }
+
+    #[test]
+    fn agrees_with_dp_across_thread_counts() {
+        for threads in [1, 2, 4] {
+            for q in [
+                "/lib/book/title",
+                "//book[@year = 2003]/title",
+                "//book[position() + 1 = last()]",
+                "//book[not(child::cite)]",
+                "//title | //cite",
+                "count(//book) = 2",
+                "concat('x', 'y')",
+                "1 + 2",
+            ] {
+                // count() is rejected — skip it here, it is covered by the
+                // rejection test below.
+                if q.starts_with("count") {
+                    continue;
+                }
+                agree(BOOKS, q, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_document_parallel_equivalence() {
+        let mut xml = String::from("<r>");
+        for i in 0..200 {
+            xml.push_str(&format!("<item idx=\"{i}\"><sub/>{}</item>", i % 7));
+        }
+        xml.push_str("</r>");
+        let doc = parse_xml(&xml).unwrap();
+        let q = parse_query("//item[child::sub and position() < 100]").unwrap();
+        let seq = ParallelEvaluator::new(&doc, 1).evaluate(&q).unwrap();
+        let par = ParallelEvaluator::new(&doc, 4).evaluate(&q).unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq.expect_nodes().len(), 99);
+    }
+
+    #[test]
+    fn rejects_queries_outside_the_parallel_fragment() {
+        let doc = parse_xml(BOOKS).unwrap();
+        for q in ["count(//book)", "//book[child::cite][1]"] {
+            let query = parse_query(q).unwrap();
+            let res = ParallelEvaluator::new(&doc, 2).evaluate(&query);
+            assert!(res.is_err(), "{q} should be rejected");
+        }
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        let doc = parse_xml(BOOKS).unwrap();
+        assert_eq!(ParallelEvaluator::new(&doc, 0).threads(), 1);
+        assert_eq!(ParallelEvaluator::new(&doc, 8).threads(), 8);
+    }
+
+    #[test]
+    fn boolean_and_scalar_queries() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let q = parse_query("boolean(//cite)").unwrap();
+        let v = ParallelEvaluator::new(&doc, 4).evaluate(&q).unwrap();
+        assert_eq!(v, Value::Boolean(true));
+        let q = parse_query("2 * 3 + 1").unwrap();
+        let v = ParallelEvaluator::new(&doc, 4).evaluate(&q).unwrap();
+        assert_eq!(v, Value::Number(7.0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Shared location-step semantics.
+//!
+//! Both the naive evaluator and the context-value-table evaluator apply
+//! location steps through [`apply_step`], which implements the XPath 1.0
+//! semantics of a single step `axis::test[p1]...[pk]` relative to one
+//! context node: candidates are produced by the axis in document order,
+//! proximity positions are assigned (reverse axes count backwards), and each
+//! predicate filters the candidate list in turn, re-deriving positions after
+//! every filter exactly as the recommendation prescribes.
+
+use crate::context::Context;
+use crate::error::EvalError;
+use crate::value::Value;
+use xpeval_dom::{Document, NodeId};
+use xpeval_syntax::{Expr, Step};
+
+/// Applies one location step from a single context node.
+///
+/// `eval_pred` is the callback used to evaluate predicate expressions; the
+/// naive evaluator passes plain recursion, the DP evaluator passes its
+/// memoizing recursion.  Returns the selected nodes in document order.
+pub fn apply_step<F>(
+    doc: &Document,
+    from: NodeId,
+    step: &Step,
+    eval_pred: &mut F,
+) -> Result<Vec<NodeId>, EvalError>
+where
+    F: FnMut(&Expr, Context) -> Result<Value, EvalError>,
+{
+    // Candidates in document order.
+    let mut candidates: Vec<NodeId> = doc.axis_step(from, step.axis, &step.node_test);
+    for pred in &step.predicates {
+        candidates = filter_by_predicate(doc, &candidates, step.axis.is_reverse(), pred, eval_pred)?;
+    }
+    Ok(candidates)
+}
+
+/// Filters a candidate list by one predicate, assigning proximity positions.
+pub fn filter_by_predicate<F>(
+    _doc: &Document,
+    candidates: &[NodeId],
+    reverse_axis: bool,
+    pred: &Expr,
+    eval_pred: &mut F,
+) -> Result<Vec<NodeId>, EvalError>
+where
+    F: FnMut(&Expr, Context) -> Result<Value, EvalError>,
+{
+    let size = candidates.len();
+    let mut kept = Vec::with_capacity(size);
+    for (idx, &node) in candidates.iter().enumerate() {
+        // Proximity position: 1-based, counted from the far end for reverse
+        // axes (XPath 1.0 §2.4).
+        let position = if reverse_axis { size - idx } else { idx + 1 };
+        let ctx = Context::new(node, position, size);
+        let value = eval_pred(pred, ctx)?;
+        if predicate_holds(&value, position) {
+            kept.push(node);
+        }
+    }
+    Ok(kept)
+}
+
+/// The predicate truth rule of XPath 1.0 §2.4: a number predicate holds when
+/// it equals the proximity position; every other value is converted to a
+/// boolean.
+pub fn predicate_holds(value: &Value, position: usize) -> bool {
+    match value {
+        Value::Number(n) => *n == position as f64,
+        other => other.to_boolean(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpeval_dom::{parse_xml, Axis, NodeTest};
+    use xpeval_syntax::parse_query;
+
+    fn doc() -> Document {
+        parse_xml("<r><a>1</a><a>2</a><a>3</a><b/></r>").unwrap()
+    }
+
+    /// A predicate evaluator good enough for these unit tests: numbers,
+    /// position() and last() only.
+    fn tiny_eval(expr: &Expr, ctx: Context) -> Result<Value, EvalError> {
+        Ok(match expr {
+            Expr::Number(n) => Value::Number(*n),
+            Expr::FunctionCall { name, .. } if name == "position" => {
+                Value::Number(ctx.position as f64)
+            }
+            Expr::FunctionCall { name, .. } if name == "last" => Value::Number(ctx.size as f64),
+            Expr::Relational { op, left, right } => {
+                let l = tiny_eval(left, ctx)?;
+                let r = tiny_eval(right, ctx)?;
+                Value::Boolean(op.apply(l.to_number(&doc()), r.to_number(&doc())))
+            }
+            _ => Value::Boolean(true),
+        })
+    }
+
+    #[test]
+    fn numeric_predicate_selects_by_position() {
+        let d = doc();
+        let r = d.first_child(d.root()).unwrap();
+        let step = match parse_query("child::a[2]").unwrap() {
+            Expr::Path(p) => p.steps[0].clone(),
+            _ => unreachable!(),
+        };
+        let out = apply_step(&d, r, &step, &mut tiny_eval).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(d.string_value(out[0]), "2");
+    }
+
+    #[test]
+    fn position_counts_backwards_on_reverse_axes() {
+        let d = doc();
+        let r = d.first_child(d.root()).unwrap();
+        let b = d.last_child(r).unwrap();
+        // preceding-sibling::a[1] from <b/> is the *nearest* preceding <a>,
+        // i.e. the one with string value "3".
+        let step = Step::with_predicate(
+            Axis::PrecedingSibling,
+            NodeTest::name("a"),
+            Expr::Number(1.0),
+        );
+        let out = apply_step(&d, b, &step, &mut tiny_eval).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(d.string_value(out[0]), "3");
+        // ... and the result is still reported in document order.
+        let step = Step::new(Axis::PrecedingSibling, NodeTest::name("a"));
+        let out = apply_step(&d, b, &step, &mut tiny_eval).unwrap();
+        let values: Vec<String> = out.iter().map(|&n| d.string_value(n)).collect();
+        assert_eq!(values, vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn predicate_sequences_rederive_positions() {
+        let d = doc();
+        let r = d.first_child(d.root()).unwrap();
+        // child::a[position() >= 2][1] — first filter keeps {2,3}, second
+        // keeps the first of the remaining list, i.e. "2".
+        let q = parse_query("child::a[position() >= 2][1]").unwrap();
+        let step = match q {
+            Expr::Path(p) => p.steps[0].clone(),
+            _ => unreachable!(),
+        };
+        let out = apply_step(&d, r, &step, &mut tiny_eval).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(d.string_value(out[0]), "2");
+    }
+
+    #[test]
+    fn last_refers_to_candidate_count() {
+        let d = doc();
+        let r = d.first_child(d.root()).unwrap();
+        let q = parse_query("child::a[position() = last()]").unwrap();
+        let step = match q {
+            Expr::Path(p) => p.steps[0].clone(),
+            _ => unreachable!(),
+        };
+        let out = apply_step(&d, r, &step, &mut tiny_eval).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(d.string_value(out[0]), "3");
+    }
+
+    #[test]
+    fn predicate_truth_rule() {
+        assert!(predicate_holds(&Value::Number(3.0), 3));
+        assert!(!predicate_holds(&Value::Number(3.0), 2));
+        assert!(predicate_holds(&Value::Boolean(true), 99));
+        assert!(!predicate_holds(&Value::empty(), 1));
+        assert!(predicate_holds(&Value::Str("x".into()), 1));
+    }
+}

@@ -1,0 +1,547 @@
+//! The Singleton-Success decision procedure (Lemma 5.4, Table 1).
+//!
+//! The paper proves that pWF (and pXPath) query evaluation is in LOGCFL by
+//! exhibiting an NAuxPDA that decides the **Singleton-Success** problem
+//! (Definition 5.3): given a document `D`, a query `Q`, a context triple and
+//! a candidate value `v`, does `Q` evaluate to `v` (or, for node-set
+//! queries, to a set containing the node `v`)?  The machine traverses the
+//! query parse tree, *guesses* a context and result value at every node and
+//! verifies the guesses against the local consistency conditions of Table 1
+//! — crucially **without ever materializing a node set**.
+//!
+//! [`SingletonSuccess`] is the deterministic simulation of that machine:
+//! nondeterministic guesses become exhaustive search with memoization, and
+//! every row of Table 1 appears as one arm of the checker
+//! (see [`SingletonSuccess::selects`] for the location-path rows and the
+//! scalar evaluation for the operator rows).  Following Theorem 5.5, the
+//! full node-set result can be recovered by deciding Singleton-Success once
+//! per document node ([`SingletonSuccess::node_set`]) — this is also the
+//! unit of work that the parallel evaluator distributes across threads.
+//!
+//! The bounded-negation extension of Theorems 5.9/6.3 is supported: `not(π)`
+//! is decided by a loop over the document that verifies no node is selected.
+
+use crate::context::Context;
+use crate::error::EvalError;
+use crate::functions::{call_function, is_supported};
+use crate::steps::predicate_holds;
+use crate::value::Value;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use xpeval_dom::{Document, NodeId};
+use xpeval_syntax::ast::ExprType;
+use xpeval_syntax::{Expr, Fragment, LocationPath};
+
+/// The candidate result value of a Singleton-Success instance
+/// (Definition 5.3: a single node for node-set queries, `true` for boolean
+/// queries, or a number/string).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SuccessTarget {
+    /// Is this node a member of the query's node-set result?
+    Node(NodeId),
+    /// Does the boolean query evaluate to true?
+    True,
+    /// Does the number query evaluate to this number?
+    Number(f64),
+    /// Does the string query evaluate to this string?
+    Str(String),
+}
+
+/// Functions the paper's Definition 6.1 removes from pXPath; queries using
+/// them are rejected by [`SingletonSuccess::new`].
+const FORBIDDEN_FUNCTIONS: &[&str] = &[
+    "count",
+    "sum",
+    "string",
+    "number",
+    "local-name",
+    "namespace-uri",
+    "name",
+    "string-length",
+    "normalize-space",
+];
+
+/// Deterministic simulation of the Lemma 5.4 NAuxPDA.
+pub struct SingletonSuccess<'d, 'q> {
+    doc: &'d Document,
+    query: &'q Expr,
+    /// Memo for `can_reach`: (path identity, step index, from node, target node).
+    reach_memo: RefCell<HashMap<(usize, usize, NodeId, NodeId), bool>>,
+    /// Memo for boolean condition checks: (expr identity, node, position, size).
+    bool_memo: RefCell<HashMap<(usize, NodeId, usize, usize), bool>>,
+}
+
+impl<'d, 'q> SingletonSuccess<'d, 'q> {
+    /// Creates a checker for `query` over `doc`.
+    ///
+    /// The query must lie in the fragment the NAuxPDA of Lemma 5.4 /
+    /// Theorem 6.2 handles: single predicates (no iterated predicate
+    /// sequences), no forbidden functions, no relational comparison with a
+    /// boolean operand.  Negation is allowed (Theorems 5.9/6.3: bounded
+    /// negation stays in LOGCFL).
+    pub fn new(doc: &'d Document, query: &'q Expr) -> Result<Self, EvalError> {
+        validate(query)?;
+        Ok(SingletonSuccess {
+            doc,
+            query,
+            reach_memo: RefCell::new(HashMap::new()),
+            bool_memo: RefCell::new(HashMap::new()),
+        })
+    }
+
+    /// Decides the Singleton-Success instance `(D, Q, ctx, target)`.
+    pub fn decide(&self, ctx: Context, target: &SuccessTarget) -> Result<bool, EvalError> {
+        match target {
+            SuccessTarget::Node(v) => self.selects(self.query, ctx, *v),
+            SuccessTarget::True => self.eval_boolean(self.query, ctx),
+            SuccessTarget::Number(n) => {
+                let got = self.eval_scalar(self.query, ctx)?.to_number(self.doc);
+                Ok(got == *n || (got.is_nan() && n.is_nan()))
+            }
+            SuccessTarget::Str(s) => {
+                let got = self.eval_scalar(self.query, ctx)?.to_xpath_string(self.doc);
+                Ok(&got == s)
+            }
+        }
+    }
+
+    /// Recovers the full node-set result by deciding Singleton-Success once
+    /// per document node (the loop of Theorem 5.5).
+    pub fn node_set(&self, ctx: Context) -> Result<Vec<NodeId>, EvalError> {
+        let mut out = Vec::new();
+        for v in self.doc.all_nodes() {
+            if self.selects(self.query, ctx, v)? {
+                out.push(v);
+            }
+        }
+        self.doc.sort_document_order(&mut out);
+        Ok(out)
+    }
+
+    // -- Table 1, node-set rows ---------------------------------------------
+
+    /// Membership test "node `target` is selected by `expr` from context
+    /// `ctx`" — the `χ::t`, `/π`, `π1/π2` and `π1|π2` rows of Table 1.
+    pub fn selects(&self, expr: &Expr, ctx: Context, target: NodeId) -> Result<bool, EvalError> {
+        match expr {
+            Expr::Path(path) => self.path_selects(path, ctx, target),
+            Expr::Union(a, b) => {
+                Ok(self.selects(a, ctx, target)? || self.selects(b, ctx, target)?)
+            }
+            other => Err(EvalError::type_error(format!(
+                "expression {other} is not node-set typed"
+            ))),
+        }
+    }
+
+    fn path_selects(
+        &self,
+        path: &LocationPath,
+        ctx: Context,
+        target: NodeId,
+    ) -> Result<bool, EvalError> {
+        // Row "/π": the context node is replaced by the root.
+        let start = if path.absolute { self.doc.root() } else { ctx.node };
+        self.can_reach(path, 0, start, target)
+    }
+
+    /// Row "π1/π2" of Table 1, iterated: can `target` be reached from `from`
+    /// through the remaining steps?  The intermediate node (the paper's
+    /// guessed `n2 = r1`) is searched exhaustively with memoization.
+    fn can_reach(
+        &self,
+        path: &LocationPath,
+        step_ix: usize,
+        from: NodeId,
+        target: NodeId,
+    ) -> Result<bool, EvalError> {
+        if step_ix == path.steps.len() {
+            return Ok(from == target);
+        }
+        let key = (path as *const LocationPath as usize, step_ix, from, target);
+        if let Some(&b) = self.reach_memo.borrow().get(&key) {
+            return Ok(b);
+        }
+        let step = &path.steps[step_ix];
+        // Row "χ::t[e]": Y is the set of nodes reachable from `from` via
+        // χ::t; the predicate is checked with the position of the candidate
+        // in Y and |Y| as the context — note that Y is only *iterated*, never
+        // stored, mirroring the log-space argument of the paper.
+        let candidates = self.doc.axis_step(from, step.axis, &step.node_test);
+        let size = candidates.len();
+        let mut result = false;
+        for (idx, &cand) in candidates.iter().enumerate() {
+            let position = if step.axis.is_reverse() { size - idx } else { idx + 1 };
+            let mut ok = true;
+            for pred in &step.predicates {
+                if !self.predicate_holds_at(pred, Context::new(cand, position, size))? {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok && self.can_reach(path, step_ix + 1, cand, target)? {
+                result = true;
+                break;
+            }
+        }
+        self.reach_memo.borrow_mut().insert(key, result);
+        Ok(result)
+    }
+
+    fn predicate_holds_at(&self, pred: &Expr, ctx: Context) -> Result<bool, EvalError> {
+        if pred.is_nodeset_typed() {
+            return self.exists(pred, ctx);
+        }
+        // Scalar predicate: numbers select by position (XPath §2.4), other
+        // values by boolean conversion.
+        let v = self.eval_scalar(pred, ctx)?;
+        Ok(predicate_holds(&v, ctx.position))
+    }
+
+    /// Existential semantics of a location path in condition position
+    /// (footnote 3 of the paper): at least one node must match.
+    fn exists(&self, expr: &Expr, ctx: Context) -> Result<bool, EvalError> {
+        for v in self.doc.all_nodes() {
+            if self.selects(expr, ctx, v)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// First selected node in document order (used when a node-set operand
+    /// is coerced to a string inside a scalar function).
+    fn first_selected(&self, expr: &Expr, ctx: Context) -> Result<Option<NodeId>, EvalError> {
+        let mut best: Option<NodeId> = None;
+        for v in self.doc.all_nodes() {
+            if self.selects(expr, ctx, v)? {
+                best = match best {
+                    Some(b) if self.doc.pre(b) <= self.doc.pre(v) => Some(b),
+                    _ => Some(v),
+                };
+            }
+        }
+        Ok(best)
+    }
+
+    // -- Table 1, boolean and scalar rows -----------------------------------
+
+    /// The `boolean(π)`, `e1 and e2`, `e1 or e2` and `e1 RelOp e2` rows,
+    /// plus the bounded-negation extension of Theorem 5.9.
+    pub fn eval_boolean(&self, expr: &Expr, ctx: Context) -> Result<bool, EvalError> {
+        let key = (expr as *const Expr as usize, ctx.node, ctx.position, ctx.size);
+        if let Some(&b) = self.bool_memo.borrow().get(&key) {
+            return Ok(b);
+        }
+        let out = match expr {
+            Expr::And(a, b) => self.eval_boolean(a, ctx)? && self.eval_boolean(b, ctx)?,
+            Expr::Or(a, b) => self.eval_boolean(a, ctx)? || self.eval_boolean(b, ctx)?,
+            // Theorem 5.9: not(π) is decided by a loop over dom checking
+            // that no node is selected; nested occurrences recurse, with the
+            // nesting depth bounded by the query.
+            Expr::Not(e) => !self.eval_boolean(e, ctx)?,
+            Expr::Path(_) | Expr::Union(_, _) => self.exists(expr, ctx)?,
+            Expr::Relational { op, left, right } => self.relational(*op, left, right, ctx)?,
+            other => self.eval_scalar(other, ctx)?.to_boolean(),
+        };
+        self.bool_memo.borrow_mut().insert(key, out);
+        Ok(out)
+    }
+
+    /// `e1 RelOp e2` with existential semantics over node-set operands
+    /// (the general `F[[Op]]` principle of Theorem 6.2): a node-set operand
+    /// contributes the string value of each selected node, searched by a
+    /// loop over the document instead of materializing the set.
+    fn relational(
+        &self,
+        op: xpeval_syntax::RelOp,
+        left: &Expr,
+        right: &Expr,
+        ctx: Context,
+    ) -> Result<bool, EvalError> {
+        let lvals = self.atomic_values(left, ctx)?;
+        let rvals = self.atomic_values(right, ctx)?;
+        for l in &lvals {
+            for r in &rvals {
+                if l.compare(op, r, self.doc) {
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// The atomic values contributed by an operand of a comparison: a scalar
+    /// contributes itself, a node-set operand contributes the string value
+    /// of every node it selects.
+    fn atomic_values(&self, expr: &Expr, ctx: Context) -> Result<Vec<Value>, EvalError> {
+        if expr.is_nodeset_typed() {
+            let mut out = Vec::new();
+            for v in self.doc.all_nodes() {
+                if self.selects(expr, ctx, v)? {
+                    out.push(Value::Str(self.doc.string_value(v)));
+                }
+            }
+            Ok(out)
+        } else {
+            Ok(vec![self.eval_scalar(expr, ctx)?])
+        }
+    }
+
+    /// Scalar (number / string / boolean) evaluation — the leaf rows
+    /// `position()`, `last()`, constants, and the `ArithOp` row of Table 1.
+    pub fn eval_scalar(&self, expr: &Expr, ctx: Context) -> Result<Value, EvalError> {
+        match expr {
+            Expr::Number(n) => Ok(Value::Number(*n)),
+            Expr::Literal(s) => Ok(Value::Str(s.clone())),
+            Expr::Arithmetic { op, left, right } => {
+                let l = self.scalar_number(left, ctx)?;
+                let r = self.scalar_number(right, ctx)?;
+                Ok(Value::Number(op.apply(l, r)))
+            }
+            Expr::Neg(e) => Ok(Value::Number(-self.scalar_number(e, ctx)?)),
+            Expr::And(_, _) | Expr::Or(_, _) | Expr::Not(_) | Expr::Relational { .. } => {
+                Ok(Value::Boolean(self.eval_boolean(expr, ctx)?))
+            }
+            Expr::Path(_) | Expr::Union(_, _) => Err(EvalError::type_error(
+                "node-set expression in scalar position (use selects/exists)",
+            )),
+            Expr::FunctionCall { name, args } => {
+                if name == "boolean" && args.len() == 1 && args[0].is_nodeset_typed() {
+                    // Table 1 row "boolean(π)".
+                    return Ok(Value::Boolean(self.exists(&args[0], ctx)?));
+                }
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    if a.is_nodeset_typed() {
+                        // Node-set argument to a string/number function:
+                        // coerce via the first selected node, found by
+                        // iteration rather than materialization.
+                        let s = match self.first_selected(a, ctx)? {
+                            Some(n) => self.doc.string_value(n),
+                            None => String::new(),
+                        };
+                        values.push(Value::Str(s));
+                    } else {
+                        values.push(self.eval_scalar(a, ctx)?);
+                    }
+                }
+                call_function(name, values, &ctx, self.doc)
+            }
+        }
+    }
+
+    fn scalar_number(&self, expr: &Expr, ctx: Context) -> Result<f64, EvalError> {
+        if expr.is_nodeset_typed() {
+            let s = match self.first_selected(expr, ctx)? {
+                Some(n) => self.doc.string_value(n),
+                None => String::new(),
+            };
+            return Ok(crate::value::parse_xpath_number(&s));
+        }
+        Ok(self.eval_scalar(expr, ctx)?.to_number(self.doc))
+    }
+}
+
+/// Helper trait: static "is this expression node-set typed" test used by the
+/// checker to route between the node-set rows and the scalar rows of
+/// Table 1.
+trait NodeSetTyped {
+    fn is_nodeset_typed(&self) -> bool;
+}
+
+impl NodeSetTyped for Expr {
+    fn is_nodeset_typed(&self) -> bool {
+        matches!(self, Expr::Path(_) | Expr::Union(_, _))
+    }
+}
+
+/// Validates that a query lies in the fragment covered by the checker
+/// (pWF / pXPath, optionally with negation per Theorems 5.9/6.3).
+fn validate(query: &Expr) -> Result<(), EvalError> {
+    let mut error: Option<EvalError> = None;
+    query.visit(&mut |e| {
+        if error.is_some() {
+            return;
+        }
+        match e {
+            Expr::Path(p) => {
+                for step in &p.steps {
+                    if step.predicates.len() >= 2 {
+                        error = Some(EvalError::fragment(
+                            Fragment::PXPath,
+                            "iterated predicates [e1][e2] (Definition 6.1(1))",
+                        ));
+                    }
+                }
+            }
+            Expr::Relational { left, right, .. } => {
+                let boolean_operand = matches!(left.expr_type(), ExprType::Boolean)
+                    || matches!(right.expr_type(), ExprType::Boolean);
+                if boolean_operand {
+                    error = Some(EvalError::fragment(
+                        Fragment::PXPath,
+                        "a relational comparison with a boolean operand (Definition 6.1(3))",
+                    ));
+                }
+            }
+            Expr::FunctionCall { name, .. } => {
+                if FORBIDDEN_FUNCTIONS.contains(&name.as_str()) {
+                    error = Some(EvalError::fragment(
+                        Fragment::PXPath,
+                        format!("the {name}() function (Definition 6.1(2))"),
+                    ));
+                } else if !is_supported(name) {
+                    error = Some(EvalError::UnknownFunction { name: name.clone() });
+                }
+            }
+            _ => {}
+        }
+    });
+    match error {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::DpEvaluator;
+    use xpeval_dom::parse_xml;
+    use xpeval_syntax::parse_query;
+
+    const BOOKS: &str = r#"<lib><book year="2001"><title>A</title></book><book year="2003"><title>B</title><cite/></book><paper year="2003"><title>C</title></paper></lib>"#;
+
+    fn checker_agrees_with_dp(xml: &str, query: &str) {
+        let doc = parse_xml(xml).unwrap();
+        let q = parse_query(query).unwrap();
+        let dp = DpEvaluator::new(&doc, &q).evaluate().unwrap();
+        let ss = SingletonSuccess::new(&doc, &q).unwrap();
+        let ctx = Context::root(&doc);
+        match dp {
+            Value::NodeSet(expected) => {
+                let got = ss.node_set(ctx).unwrap();
+                assert_eq!(got, expected, "node-set disagreement on {query}");
+                // Spot-check decide() on members and non-members.
+                for v in doc.all_nodes() {
+                    let is_member = expected.contains(&v);
+                    assert_eq!(
+                        ss.decide(ctx, &SuccessTarget::Node(v)).unwrap(),
+                        is_member,
+                        "membership of {v:?} in {query}"
+                    );
+                }
+            }
+            Value::Boolean(b) => {
+                assert_eq!(ss.decide(ctx, &SuccessTarget::True).unwrap(), b, "{query}");
+            }
+            Value::Number(n) => {
+                assert!(ss.decide(ctx, &SuccessTarget::Number(n)).unwrap(), "{query}");
+                assert!(!ss.decide(ctx, &SuccessTarget::Number(n + 1.0)).unwrap(), "{query}");
+            }
+            Value::Str(s) => {
+                assert!(ss.decide(ctx, &SuccessTarget::Str(s.clone())).unwrap(), "{query}");
+                assert!(!ss.decide(ctx, &SuccessTarget::Str(format!("{s}x"))).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_dp_on_pwf_queries() {
+        for q in [
+            "/lib/book/title",
+            "//book[@year = 2003]/title",
+            "//book[position() = 2]",
+            "//book[position() + 1 = last()]",
+            "//book[child::cite]/title",
+            "//title | //cite",
+            "//book[2]",
+            "/lib/*[last()]",
+        ] {
+            checker_agrees_with_dp(BOOKS, q);
+        }
+    }
+
+    #[test]
+    fn agrees_with_dp_on_scalar_queries() {
+        for q in [
+            "1 + 2 * 3",
+            "position() = 1",
+            "concat('a', 'b')",
+            "contains('hello', 'ell')",
+            "floor(2.5) + ceiling(0.5)",
+            "boolean(//cite)",
+            "boolean(//nosuch)",
+        ] {
+            checker_agrees_with_dp(BOOKS, q);
+        }
+    }
+
+    #[test]
+    fn bounded_negation_extension() {
+        // Theorem 5.9 / 6.3: negation handled by looping over dom.
+        for q in [
+            "//book[not(child::cite)]",
+            "//book[not(child::cite) and @year = 2003]",
+            "//*[not(parent::lib) and not(child::*)]",
+            "not(//nosuch)",
+            "//book[not(not(child::cite))]",
+        ] {
+            checker_agrees_with_dp(BOOKS, q);
+        }
+    }
+
+    #[test]
+    fn rejects_constructs_outside_the_fragment() {
+        let doc = parse_xml(BOOKS).unwrap();
+        for q in [
+            "//book[child::cite][position() = 1]", // iterated predicates
+            "count(//book)",                        // forbidden function
+            "//book[string(title) = 'A']",          // forbidden function
+            "//book[(child::cite and child::title) = true()]", // boolean relop operand
+            "sum(//book/@year)",
+        ] {
+            let query = parse_query(q).unwrap();
+            let res = SingletonSuccess::new(&doc, &query);
+            assert!(res.is_err(), "{q} should have been rejected");
+        }
+    }
+
+    #[test]
+    fn decide_respects_the_context_triple() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let q = parse_query("position() = 2").unwrap();
+        let ss = SingletonSuccess::new(&doc, &q).unwrap();
+        assert!(!ss.decide(Context::new(doc.root(), 1, 3), &SuccessTarget::True).unwrap());
+        assert!(ss.decide(Context::new(doc.root(), 2, 3), &SuccessTarget::True).unwrap());
+    }
+
+    #[test]
+    fn relative_queries_from_an_inner_context_node() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let book2 = doc.all_elements().filter(|&n| doc.name(n) == Some("book")).nth(1).unwrap();
+        let q = parse_query("child::title").unwrap();
+        let ss = SingletonSuccess::new(&doc, &q).unwrap();
+        let got = ss.node_set(Context::new(book2, 1, 1)).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(doc.string_value(got[0]), "B");
+    }
+
+    #[test]
+    fn nodeset_comparisons_are_existential() {
+        checker_agrees_with_dp(BOOKS, "//book[@year = //paper/@year]");
+        checker_agrees_with_dp(BOOKS, "//book[@year < 2002]");
+        checker_agrees_with_dp(BOOKS, "//book[title = 'B']");
+    }
+
+    #[test]
+    fn unknown_functions_are_rejected_up_front() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let q = parse_query("frobnicate(1)").unwrap();
+        assert!(matches!(
+            SingletonSuccess::new(&doc, &q),
+            Err(EvalError::UnknownFunction { .. })
+        ));
+    }
+}

@@ -1,0 +1,413 @@
+//! The XPath 1.0 value domain and its coercion rules.
+//!
+//! Every XPath expression evaluates to one of four types (XPath 1.0 §1):
+//! node-set, boolean, number or string.  The conversion and comparison rules
+//! implemented here (§3.4, §4) are shared by all evaluators in this crate so
+//! that they agree bit-for-bit — the cross-evaluator agreement property tests
+//! in `tests/` rely on this.
+
+use crate::error::EvalError;
+use xpeval_dom::{Document, NodeId};
+use xpeval_syntax::RelOp;
+
+/// An XPath 1.0 value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A set of nodes, kept sorted in document order without duplicates.
+    NodeSet(Vec<NodeId>),
+    Boolean(bool),
+    Number(f64),
+    Str(String),
+}
+
+impl Value {
+    /// The empty node set.
+    pub fn empty() -> Value {
+        Value::NodeSet(Vec::new())
+    }
+
+    /// Builds a node-set value, normalizing to document order and removing
+    /// duplicates.
+    pub fn node_set(doc: &Document, mut nodes: Vec<NodeId>) -> Value {
+        doc.sort_document_order(&mut nodes);
+        Value::NodeSet(nodes)
+    }
+
+    /// True if the value is a node-set.
+    pub fn is_node_set(&self) -> bool {
+        matches!(self, Value::NodeSet(_))
+    }
+
+    /// Boolean conversion (XPath 1.0 §4.3 `boolean()`).
+    pub fn to_boolean(&self) -> bool {
+        match self {
+            Value::NodeSet(ns) => !ns.is_empty(),
+            Value::Boolean(b) => *b,
+            Value::Number(n) => *n != 0.0 && !n.is_nan(),
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// Number conversion (XPath 1.0 §4.4 `number()`).
+    pub fn to_number(&self, doc: &Document) -> f64 {
+        match self {
+            Value::Number(n) => *n,
+            Value::Boolean(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Value::Str(s) => parse_xpath_number(s),
+            Value::NodeSet(_) => parse_xpath_number(&self.to_xpath_string(doc)),
+        }
+    }
+
+    /// String conversion (XPath 1.0 §4.2 `string()`).
+    pub fn to_xpath_string(&self, doc: &Document) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Boolean(b) => if *b { "true" } else { "false" }.to_string(),
+            Value::Number(n) => number_to_string(*n),
+            Value::NodeSet(ns) => match ns.first() {
+                Some(&n) => doc.string_value(n),
+                None => String::new(),
+            },
+        }
+    }
+
+    /// Returns the node set, or an error if the value has a different type.
+    pub fn into_nodes(self) -> Result<Vec<NodeId>, EvalError> {
+        match self {
+            Value::NodeSet(ns) => Ok(ns),
+            other => Err(EvalError::type_error(format!(
+                "expected a node set, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Returns the node set, panicking otherwise.  Convenience for examples
+    /// and tests where the query is statically known to be node-set typed.
+    pub fn expect_nodes(&self) -> &[NodeId] {
+        match self {
+            Value::NodeSet(ns) => ns,
+            other => panic!("expected a node set, got {}", other.type_name()),
+        }
+    }
+
+    /// Name of the value's type as used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::NodeSet(_) => "node-set",
+            Value::Boolean(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::Str(_) => "string",
+        }
+    }
+
+    /// XPath 1.0 comparison semantics (§3.4), covering the existential
+    /// semantics of comparisons that involve node-sets.
+    pub fn compare(&self, op: RelOp, other: &Value, doc: &Document) -> bool {
+        use Value::*;
+        match (self, other) {
+            (NodeSet(a), NodeSet(b)) => match op {
+                RelOp::Eq | RelOp::Ne => a.iter().any(|&x| {
+                    let sx = doc.string_value(x);
+                    b.iter().any(|&y| op.apply_str(&sx, &doc.string_value(y)))
+                }),
+                _ => a.iter().any(|&x| {
+                    let nx = parse_xpath_number(&doc.string_value(x));
+                    b.iter()
+                        .any(|&y| op.apply(nx, parse_xpath_number(&doc.string_value(y))))
+                }),
+            },
+            (NodeSet(a), rhs) => compare_nodeset_scalar(a, op, rhs, doc, false),
+            (lhs, NodeSet(b)) => compare_nodeset_scalar(b, op, lhs, doc, true),
+            (lhs, rhs) => match op {
+                RelOp::Eq | RelOp::Ne => {
+                    if matches!(lhs, Boolean(_)) || matches!(rhs, Boolean(_)) {
+                        op.apply_bool(lhs.to_boolean(), rhs.to_boolean())
+                    } else if matches!(lhs, Number(_)) || matches!(rhs, Number(_)) {
+                        op.apply(lhs.to_number(doc), rhs.to_number(doc))
+                    } else {
+                        op.apply_str(&lhs.to_xpath_string(doc), &rhs.to_xpath_string(doc))
+                    }
+                }
+                _ => op.apply(lhs.to_number(doc), rhs.to_number(doc)),
+            },
+        }
+    }
+}
+
+fn compare_nodeset_scalar(
+    nodes: &[NodeId],
+    op: RelOp,
+    scalar: &Value,
+    doc: &Document,
+    flipped: bool,
+) -> bool {
+    let op = if flipped { flip(op) } else { op };
+    match scalar {
+        Value::Boolean(b) => op.apply_bool(!nodes.is_empty(), *b),
+        Value::Number(n) => nodes
+            .iter()
+            .any(|&x| op.apply(parse_xpath_number(&doc.string_value(x)), *n)),
+        Value::Str(s) => match op {
+            RelOp::Eq | RelOp::Ne => nodes.iter().any(|&x| op.apply_str(&doc.string_value(x), s)),
+            _ => nodes
+                .iter()
+                .any(|&x| op.apply(parse_xpath_number(&doc.string_value(x)), parse_xpath_number(s))),
+        },
+        Value::NodeSet(_) => unreachable!("handled by caller"),
+    }
+}
+
+/// Mirrors an operator across the equality/inequality axis: `a op b` with the
+/// node-set on the right becomes `b flipped-op a` with the node-set on the
+/// left.
+fn flip(op: RelOp) -> RelOp {
+    match op {
+        RelOp::Eq => RelOp::Eq,
+        RelOp::Ne => RelOp::Ne,
+        RelOp::Lt => RelOp::Gt,
+        RelOp::Le => RelOp::Ge,
+        RelOp::Gt => RelOp::Lt,
+        RelOp::Ge => RelOp::Le,
+    }
+}
+
+/// Extension methods on [`RelOp`] for the non-numeric comparison modes.
+pub trait RelOpExt {
+    fn apply_str(self, a: &str, b: &str) -> bool;
+    fn apply_bool(self, a: bool, b: bool) -> bool;
+}
+
+impl RelOpExt for RelOp {
+    fn apply_str(self, a: &str, b: &str) -> bool {
+        match self {
+            RelOp::Eq => a == b,
+            RelOp::Ne => a != b,
+            // Relational comparison of strings goes through numbers in
+            // XPath 1.0.
+            _ => self.apply(parse_xpath_number(a), parse_xpath_number(b)),
+        }
+    }
+
+    fn apply_bool(self, a: bool, b: bool) -> bool {
+        match self {
+            RelOp::Eq => a == b,
+            RelOp::Ne => a != b,
+            _ => self.apply(if a { 1.0 } else { 0.0 }, if b { 1.0 } else { 0.0 }),
+        }
+    }
+}
+
+/// Parses a string as an XPath number: optional whitespace, optional minus
+/// sign, digits with optional fraction.  Anything else is NaN (XPath 1.0
+/// §4.4).
+pub fn parse_xpath_number(s: &str) -> f64 {
+    let t = s.trim();
+    if t.is_empty() {
+        return f64::NAN;
+    }
+    let body = t.strip_prefix('-').unwrap_or(t);
+    let valid = !body.is_empty()
+        && body.chars().all(|c| c.is_ascii_digit() || c == '.')
+        && body.chars().filter(|&c| c == '.').count() <= 1
+        && body != ".";
+    if valid {
+        t.parse().unwrap_or(f64::NAN)
+    } else {
+        f64::NAN
+    }
+}
+
+/// Converts a number to its XPath string form (XPath 1.0 §4.2): integers
+/// print without a decimal point, NaN prints as `NaN`, infinities as
+/// `Infinity`/`-Infinity`.
+pub fn number_to_string(n: f64) -> String {
+    if n.is_nan() {
+        "NaN".to_string()
+    } else if n.is_infinite() {
+        if n > 0.0 { "Infinity" } else { "-Infinity" }.to_string()
+    } else if n == 0.0 {
+        "0".to_string()
+    } else if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpeval_dom::parse_xml;
+
+    fn doc() -> Document {
+        parse_xml("<r><a>1</a><a>2</a><b>xyz</b><c>2</c></r>").unwrap()
+    }
+
+    fn nodes_named(doc: &Document, name: &str) -> Vec<NodeId> {
+        doc.all_elements().filter(|&n| doc.name(n) == Some(name)).collect()
+    }
+
+    #[test]
+    fn boolean_conversion() {
+        assert!(!Value::empty().to_boolean());
+        assert!(Value::NodeSet(vec![NodeId::from_index(0)]).to_boolean());
+        assert!(Value::Number(1.5).to_boolean());
+        assert!(!Value::Number(0.0).to_boolean());
+        assert!(!Value::Number(f64::NAN).to_boolean());
+        assert!(Value::Str("x".into()).to_boolean());
+        assert!(!Value::Str("".into()).to_boolean());
+        assert!(Value::Boolean(true).to_boolean());
+    }
+
+    #[test]
+    fn number_conversion() {
+        let d = doc();
+        assert_eq!(Value::Boolean(true).to_number(&d), 1.0);
+        assert_eq!(Value::Boolean(false).to_number(&d), 0.0);
+        assert_eq!(Value::Str(" 42 ".into()).to_number(&d), 42.0);
+        assert_eq!(Value::Str("-1.5".into()).to_number(&d), -1.5);
+        assert!(Value::Str("abc".into()).to_number(&d).is_nan());
+        assert!(Value::Str("".into()).to_number(&d).is_nan());
+        assert!(Value::Str("1.2.3".into()).to_number(&d).is_nan());
+        // First node in document order is <a>1</a>.
+        let ns = Value::node_set(&d, nodes_named(&d, "a"));
+        assert_eq!(ns.to_number(&d), 1.0);
+        assert!(Value::empty().to_number(&d).is_nan());
+    }
+
+    #[test]
+    fn string_conversion() {
+        let d = doc();
+        assert_eq!(Value::Boolean(true).to_xpath_string(&d), "true");
+        assert_eq!(Value::Number(3.0).to_xpath_string(&d), "3");
+        assert_eq!(Value::Number(2.5).to_xpath_string(&d), "2.5");
+        assert_eq!(Value::Number(f64::NAN).to_xpath_string(&d), "NaN");
+        assert_eq!(Value::Number(f64::INFINITY).to_xpath_string(&d), "Infinity");
+        assert_eq!(Value::Number(-0.0).to_xpath_string(&d), "0");
+        let ns = Value::node_set(&d, nodes_named(&d, "b"));
+        assert_eq!(ns.to_xpath_string(&d), "xyz");
+        assert_eq!(Value::empty().to_xpath_string(&d), "");
+    }
+
+    #[test]
+    fn node_set_normalization() {
+        let d = doc();
+        let mut ns = nodes_named(&d, "a");
+        ns.reverse();
+        let mut both = ns.clone();
+        both.extend(nodes_named(&d, "a"));
+        let v = Value::node_set(&d, both);
+        match v {
+            Value::NodeSet(sorted) => {
+                assert_eq!(sorted.len(), 2);
+                assert!(d.pre(sorted[0]) < d.pre(sorted[1]));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn nodeset_number_comparison_is_existential() {
+        let d = doc();
+        let a = Value::node_set(&d, nodes_named(&d, "a")); // values 1, 2
+        assert!(a.compare(RelOp::Eq, &Value::Number(2.0), &d));
+        assert!(!a.compare(RelOp::Eq, &Value::Number(3.0), &d));
+        assert!(a.compare(RelOp::Gt, &Value::Number(1.5), &d));
+        assert!(a.compare(RelOp::Lt, &Value::Number(1.5), &d));
+        // Both directions are simultaneously true: existential semantics.
+        assert!(a.compare(RelOp::Ne, &Value::Number(1.0), &d));
+    }
+
+    #[test]
+    fn nodeset_scalar_flipped_comparison() {
+        let d = doc();
+        let a = Value::node_set(&d, nodes_named(&d, "a")); // 1, 2
+        // 1.5 < {1,2} : exists node with 1.5 < value -> true (node 2)
+        assert!(Value::Number(1.5).compare(RelOp::Lt, &a, &d));
+        // 2.5 < {1,2} : false
+        assert!(!Value::Number(2.5).compare(RelOp::Lt, &a, &d));
+        // "2" = {..} by string value
+        assert!(Value::Str("2".into()).compare(RelOp::Eq, &a, &d));
+    }
+
+    #[test]
+    fn nodeset_nodeset_comparison() {
+        let d = doc();
+        let a = Value::node_set(&d, nodes_named(&d, "a")); // "1","2"
+        let c = Value::node_set(&d, nodes_named(&d, "c")); // "2"
+        let b = Value::node_set(&d, nodes_named(&d, "b")); // "xyz"
+        assert!(a.compare(RelOp::Eq, &c, &d));
+        assert!(!b.compare(RelOp::Eq, &c, &d));
+        assert!(a.compare(RelOp::Ne, &c, &d)); // "1" != "2"
+        assert!(a.compare(RelOp::Le, &c, &d));
+        assert!(!b.compare(RelOp::Lt, &c, &d)); // NaN comparisons are false
+        let empty = Value::empty();
+        assert!(!a.compare(RelOp::Eq, &empty, &d));
+        assert!(!empty.compare(RelOp::Ne, &a, &d));
+    }
+
+    #[test]
+    fn nodeset_boolean_comparison() {
+        let d = doc();
+        let a = Value::node_set(&d, nodes_named(&d, "a"));
+        assert!(a.compare(RelOp::Eq, &Value::Boolean(true), &d));
+        assert!(Value::empty().compare(RelOp::Eq, &Value::Boolean(false), &d));
+        assert!(Value::Boolean(true).compare(RelOp::Eq, &a, &d));
+    }
+
+    #[test]
+    fn scalar_comparisons() {
+        let d = doc();
+        assert!(Value::Number(2.0).compare(RelOp::Lt, &Value::Number(3.0), &d));
+        assert!(Value::Str("a".into()).compare(RelOp::Eq, &Value::Str("a".into()), &d));
+        assert!(Value::Str("a".into()).compare(RelOp::Ne, &Value::Str("b".into()), &d));
+        // boolean wins the coercion battle for = / !=
+        assert!(Value::Boolean(true).compare(RelOp::Eq, &Value::Str("yes".into()), &d));
+        assert!(Value::Number(1.0).compare(RelOp::Eq, &Value::Str("1".into()), &d));
+        // relational on strings goes through numbers → NaN → false
+        assert!(!Value::Str("a".into()).compare(RelOp::Lt, &Value::Str("b".into()), &d));
+        assert!(Value::Str("1".into()).compare(RelOp::Lt, &Value::Str("2".into()), &d));
+    }
+
+    #[test]
+    fn into_nodes_and_expect_nodes() {
+        let d = doc();
+        let v = Value::node_set(&d, nodes_named(&d, "a"));
+        assert_eq!(v.clone().into_nodes().unwrap().len(), 2);
+        assert_eq!(v.expect_nodes().len(), 2);
+        assert!(Value::Number(1.0).into_nodes().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a node set")]
+    fn expect_nodes_panics_on_scalar() {
+        Value::Boolean(true).expect_nodes();
+    }
+
+    #[test]
+    fn parse_xpath_number_rules() {
+        assert_eq!(parse_xpath_number("3"), 3.0);
+        assert_eq!(parse_xpath_number("-2.5"), -2.5);
+        assert_eq!(parse_xpath_number(" 7 "), 7.0);
+        assert!(parse_xpath_number("1e5").is_nan()); // no exponent syntax in XPath 1.0
+        assert!(parse_xpath_number("--3").is_nan());
+        assert!(parse_xpath_number(".").is_nan());
+        assert_eq!(parse_xpath_number(".5"), 0.5);
+        assert_eq!(parse_xpath_number("5."), 5.0);
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::empty().type_name(), "node-set");
+        assert_eq!(Value::Boolean(true).type_name(), "boolean");
+        assert_eq!(Value::Number(0.0).type_name(), "number");
+        assert_eq!(Value::Str(String::new()).type_name(), "string");
+    }
+}

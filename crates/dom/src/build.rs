@@ -1,0 +1,279 @@
+//! Programmatic construction of [`Document`]s.
+//!
+//! The builder appends nodes in preorder, which means arena order equals
+//! document order; [`DocumentBuilder::finish`] then assigns pre/post numbers
+//! and depths in a single traversal.
+
+use crate::node::{Document, NodeData, NodeId, NodeKind};
+
+/// Builds a [`Document`] by opening and closing elements like a SAX writer.
+///
+/// ```
+/// use xpeval_dom::DocumentBuilder;
+/// let mut b = DocumentBuilder::new();
+/// b.open_element("a");
+/// b.open_element("b");
+/// b.close_element();
+/// b.close_element();
+/// let doc = b.finish();
+/// assert_eq!(doc.element_count(), 2);
+/// ```
+#[derive(Debug)]
+pub struct DocumentBuilder {
+    doc: Document,
+    /// Stack of currently open elements; the bottom entry is the root.
+    open: Vec<NodeId>,
+}
+
+impl Default for DocumentBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DocumentBuilder {
+    /// Creates a builder with only the conceptual root node open.
+    pub fn new() -> Self {
+        let doc = Document::empty();
+        let root = doc.root();
+        DocumentBuilder { doc, open: vec![root] }
+    }
+
+    fn current(&self) -> NodeId {
+        *self.open.last().expect("builder root is never popped")
+    }
+
+    fn push_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.doc.nodes.len() as u32);
+        let parent = self.current();
+        let mut data = NodeData::new(kind);
+        data.parent = Some(parent);
+        data.prev_sibling = self.doc.data(parent).last_child;
+        self.doc.nodes.push(data);
+        if let Some(prev) = self.doc.data(id).prev_sibling {
+            self.doc.data_mut(prev).next_sibling = Some(id);
+        } else {
+            self.doc.data_mut(parent).first_child = Some(id);
+        }
+        self.doc.data_mut(parent).last_child = Some(id);
+        id
+    }
+
+    /// Opens a new element as a child of the currently open element.
+    /// Returns the id of the new element.
+    pub fn open_element(&mut self, name: impl Into<String>) -> NodeId {
+        let id = self.push_node(NodeKind::Element { name: name.into() });
+        self.open.push(id);
+        id
+    }
+
+    /// Closes the most recently opened element.
+    ///
+    /// # Panics
+    /// Panics if no element is currently open.
+    pub fn close_element(&mut self) {
+        assert!(
+            self.open.len() > 1,
+            "close_element called with no open element"
+        );
+        self.open.pop();
+    }
+
+    /// Appends an empty element (open followed by close). Returns its id.
+    pub fn leaf_element(&mut self, name: impl Into<String>) -> NodeId {
+        let id = self.open_element(name);
+        self.close_element();
+        id
+    }
+
+    /// Appends a text node to the currently open element.
+    pub fn text(&mut self, text: impl Into<String>) -> NodeId {
+        self.push_node(NodeKind::Text { text: text.into() })
+    }
+
+    /// Adds an attribute to the currently open element.
+    ///
+    /// # Panics
+    /// Panics if no element is open (attributes cannot be added to the root).
+    pub fn attribute(&mut self, name: impl Into<String>, value: impl Into<String>) -> NodeId {
+        assert!(
+            self.open.len() > 1,
+            "attribute called with no open element"
+        );
+        let owner = self.current();
+        let id = NodeId(self.doc.nodes.len() as u32);
+        let mut data = NodeData::new(NodeKind::Attribute {
+            name: name.into(),
+            value: value.into(),
+        });
+        data.parent = Some(owner);
+        self.doc.nodes.push(data);
+        self.doc.data_mut(owner).attributes.push(id);
+        id
+    }
+
+    /// Number of nodes created so far (including the root).
+    pub fn len(&self) -> usize {
+        self.doc.nodes.len()
+    }
+
+    /// True if no node besides the root has been created.
+    pub fn is_empty(&self) -> bool {
+        self.doc.nodes.len() <= 1
+    }
+
+    /// Finishes the document: closes any still-open elements and assigns
+    /// document order (pre), postorder (post) and depth to every node.
+    pub fn finish(mut self) -> Document {
+        while self.open.len() > 1 {
+            self.open.pop();
+        }
+        finalize(&mut self.doc);
+        self.doc
+    }
+}
+
+/// Assigns pre/post/depth numbers with an explicit-stack DFS (documents in
+/// the benchmark harness can be deep chains, so recursion is avoided).
+fn finalize(doc: &mut Document) {
+    let mut pre = 0u32;
+    let mut post = 0u32;
+    // (node, depth, entering?)
+    let mut stack: Vec<(NodeId, u32, bool)> = vec![(doc.root(), 0, true)];
+    while let Some((node, depth, entering)) = stack.pop() {
+        if entering {
+            {
+                let d = doc.data_mut(node);
+                d.pre = pre;
+                d.depth = depth;
+            }
+            pre += 1;
+            // Attribute nodes get document-order positions directly after
+            // their owner element (XPath 1.0: attributes precede children in
+            // document order).
+            let attrs = doc.data(node).attributes.clone();
+            for a in attrs {
+                let d = doc.data_mut(a);
+                d.pre = pre;
+                d.depth = depth + 1;
+                d.post = u32::MAX; // patched below: attributes are leaves
+                pre += 1;
+            }
+            stack.push((node, depth, false));
+            // Push children in reverse so the first child is processed first.
+            let mut children = Vec::new();
+            let mut c = doc.data(node).first_child;
+            while let Some(ch) = c {
+                children.push(ch);
+                c = doc.data(ch).next_sibling;
+            }
+            for &ch in children.iter().rev() {
+                stack.push((ch, depth + 1, true));
+            }
+        } else {
+            let attrs = doc.data(node).attributes.clone();
+            for a in attrs {
+                doc.data_mut(a).post = post;
+                post += 1;
+            }
+            doc.data_mut(node).post = post;
+            post += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preorder_numbers_follow_document_order() {
+        let mut b = DocumentBuilder::new();
+        b.open_element("a"); // pre 1
+        b.open_element("b"); // pre 2
+        b.close_element();
+        b.open_element("c"); // pre 3
+        b.open_element("d"); // pre 4
+        b.close_element();
+        b.close_element();
+        b.close_element();
+        let doc = b.finish();
+        let pres: Vec<u32> = doc.all_nodes().map(|n| doc.pre(n)).collect();
+        assert_eq!(pres, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn postorder_is_children_before_parents() {
+        let mut b = DocumentBuilder::new();
+        let a = b.open_element("a");
+        let bb = b.open_element("b");
+        b.close_element();
+        let c = b.open_element("c");
+        b.close_element();
+        b.close_element();
+        let doc = b.finish();
+        assert!(doc.post(bb) < doc.post(a));
+        assert!(doc.post(c) < doc.post(a));
+        assert!(doc.post(bb) < doc.post(c));
+        assert_eq!(doc.post(doc.root()), (doc.len() - 1) as u32);
+    }
+
+    #[test]
+    fn unclosed_elements_are_closed_by_finish() {
+        let mut b = DocumentBuilder::new();
+        b.open_element("a");
+        b.open_element("b");
+        // no close_element calls
+        let doc = b.finish();
+        assert_eq!(doc.element_count(), 2);
+    }
+
+    #[test]
+    fn leaf_element_helper() {
+        let mut b = DocumentBuilder::new();
+        b.open_element("root");
+        let x = b.leaf_element("x");
+        let y = b.leaf_element("y");
+        b.close_element();
+        let doc = b.finish();
+        assert_eq!(doc.next_sibling(x), Some(y));
+        assert_eq!(doc.name(x), Some("x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "close_element")]
+    fn closing_root_panics() {
+        let mut b = DocumentBuilder::new();
+        b.close_element();
+    }
+
+    #[test]
+    #[should_panic(expected = "attribute")]
+    fn attribute_on_root_panics() {
+        let mut b = DocumentBuilder::new();
+        b.attribute("k", "v");
+    }
+
+    #[test]
+    fn attribute_document_order_between_element_and_children() {
+        let mut b = DocumentBuilder::new();
+        let e = b.open_element("e");
+        let a = b.attribute("k", "v");
+        let c = b.open_element("c");
+        b.close_element();
+        b.close_element();
+        let doc = b.finish();
+        assert!(doc.pre(e) < doc.pre(a));
+        assert!(doc.pre(a) < doc.pre(c));
+    }
+
+    #[test]
+    fn builder_len_tracks_nodes() {
+        let mut b = DocumentBuilder::new();
+        assert!(b.is_empty());
+        b.open_element("a");
+        b.text("t");
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,432 @@
+//! Arena-based document tree.
+//!
+//! Nodes live in a flat `Vec` inside [`Document`]; [`NodeId`] is an index
+//! into that vector.  Sibling and parent/child relationships are stored as
+//! explicit links so that every axis of the XPath data model can be walked
+//! without allocation.
+
+use std::fmt;
+
+/// Identifier of a node within a [`Document`].
+///
+/// `NodeId`s are only meaningful relative to the document that created them.
+/// The root node of every document is id `0`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Numeric index of this node inside the document arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct a `NodeId` from a raw index.
+    ///
+    /// Intended for code that stores node sets as index-based bitsets (the
+    /// linear-time Core XPath evaluator does this); passing an index that is
+    /// out of bounds for the document will cause panics on use.
+    #[inline]
+    pub fn from_index(ix: usize) -> Self {
+        NodeId(ix as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The kind of a node in the XPath data model.
+///
+/// The paper (and Core XPath) only needs element nodes and the conceptual
+/// root; text and attribute nodes are included so that the full-XPath string
+/// functions and the `attribute` axis have something to operate on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The conceptual root node of the document (parent of the document
+    /// element).  Exactly one per document, always [`Document::root`].
+    Root,
+    /// An element node with a tag name.
+    Element { name: String },
+    /// A text node.
+    Text { text: String },
+    /// An attribute node.  Attribute nodes have their owner element as
+    /// parent but are not children of it (they are reached only through the
+    /// `attribute` axis), exactly as in the XPath 1.0 data model.
+    Attribute { name: String, value: String },
+}
+
+impl NodeKind {
+    /// Returns the element tag name, if this is an element.
+    pub fn element_name(&self) -> Option<&str> {
+        match self {
+            NodeKind::Element { name } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// True if this node is an element.
+    pub fn is_element(&self) -> bool {
+        matches!(self, NodeKind::Element { .. })
+    }
+
+    /// True if this node is a text node.
+    pub fn is_text(&self) -> bool {
+        matches!(self, NodeKind::Text { .. })
+    }
+
+    /// True if this node is an attribute node.
+    pub fn is_attribute(&self) -> bool {
+        matches!(self, NodeKind::Attribute { .. })
+    }
+
+    /// True if this node is the conceptual root.
+    pub fn is_root(&self) -> bool {
+        matches!(self, NodeKind::Root)
+    }
+}
+
+/// Per-node record stored in the arena.
+#[derive(Clone, Debug)]
+pub(crate) struct NodeData {
+    pub(crate) kind: NodeKind,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) first_child: Option<NodeId>,
+    pub(crate) last_child: Option<NodeId>,
+    pub(crate) next_sibling: Option<NodeId>,
+    pub(crate) prev_sibling: Option<NodeId>,
+    /// Attribute nodes owned by this element (empty for non-elements).
+    pub(crate) attributes: Vec<NodeId>,
+    /// Preorder (document order) number, assigned by [`Document::finalize`].
+    pub(crate) pre: u32,
+    /// Postorder number, assigned by [`Document::finalize`].
+    pub(crate) post: u32,
+    /// Depth (root = 0).
+    pub(crate) depth: u32,
+}
+
+impl NodeData {
+    pub(crate) fn new(kind: NodeKind) -> Self {
+        NodeData {
+            kind,
+            parent: None,
+            first_child: None,
+            last_child: None,
+            next_sibling: None,
+            prev_sibling: None,
+            attributes: Vec::new(),
+            pre: 0,
+            post: 0,
+            depth: 0,
+        }
+    }
+}
+
+/// An XML document: an arena of nodes rooted at the conceptual root node.
+///
+/// Documents are immutable once built (via [`crate::DocumentBuilder`] or
+/// [`crate::parse_xml`]); all evaluators in the workspace share `&Document`
+/// references freely, including across threads.
+#[derive(Clone, Debug)]
+pub struct Document {
+    pub(crate) nodes: Vec<NodeData>,
+}
+
+impl Document {
+    /// Creates an empty document containing only the conceptual root node.
+    pub(crate) fn empty() -> Self {
+        Document {
+            nodes: vec![NodeData::new(NodeKind::Root)],
+        }
+    }
+
+    /// The conceptual root node of the document.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Total number of nodes (root + elements + text + attributes).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the document contains only the conceptual root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Iterator over every node id in arena order (which equals document
+    /// order after [`finalize`](Self::finalize) since the builder appends in
+    /// preorder).
+    pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over every element node id in document order.
+    pub fn all_elements(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.all_nodes().filter(move |&n| self.kind(n).is_element())
+    }
+
+    #[inline]
+    pub(crate) fn data(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.index()]
+    }
+
+    #[inline]
+    pub(crate) fn data_mut(&mut self, id: NodeId) -> &mut NodeData {
+        &mut self.nodes[id.index()]
+    }
+
+    /// The kind of a node.
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.data(id).kind
+    }
+
+    /// Element name of a node, if it is an element.
+    #[inline]
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        match self.kind(id) {
+            NodeKind::Element { name } => Some(name),
+            NodeKind::Attribute { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Parent of a node (`None` only for the root).
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.data(id).parent
+    }
+
+    /// First child (in document order) of a node.
+    #[inline]
+    pub fn first_child(&self, id: NodeId) -> Option<NodeId> {
+        self.data(id).first_child
+    }
+
+    /// Last child (in document order) of a node.
+    #[inline]
+    pub fn last_child(&self, id: NodeId) -> Option<NodeId> {
+        self.data(id).last_child
+    }
+
+    /// Next sibling in document order.
+    #[inline]
+    pub fn next_sibling(&self, id: NodeId) -> Option<NodeId> {
+        self.data(id).next_sibling
+    }
+
+    /// Previous sibling in document order.
+    #[inline]
+    pub fn prev_sibling(&self, id: NodeId) -> Option<NodeId> {
+        self.data(id).prev_sibling
+    }
+
+    /// Attribute nodes of an element (empty slice for non-elements).
+    #[inline]
+    pub fn attributes(&self, id: NodeId) -> &[NodeId] {
+        &self.data(id).attributes
+    }
+
+    /// Looks up the value of the attribute named `name` on element `id`.
+    pub fn attribute_value(&self, id: NodeId, name: &str) -> Option<&str> {
+        self.attributes(id).iter().find_map(|&a| match self.kind(a) {
+            NodeKind::Attribute { name: n, value } if n == name => Some(value.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Depth of the node (the root has depth 0, the document element 1).
+    #[inline]
+    pub fn depth(&self, id: NodeId) -> u32 {
+        self.data(id).depth
+    }
+
+    /// Preorder (document order) number of the node.
+    #[inline]
+    pub fn pre(&self, id: NodeId) -> u32 {
+        self.data(id).pre
+    }
+
+    /// Postorder number of the node.
+    #[inline]
+    pub fn post(&self, id: NodeId) -> u32 {
+        self.data(id).post
+    }
+
+    /// The *string value* of a node per the XPath 1.0 data model:
+    /// concatenation of all descendant text for root/element nodes, the text
+    /// itself for text nodes and the attribute value for attribute nodes.
+    pub fn string_value(&self, id: NodeId) -> String {
+        match self.kind(id) {
+            NodeKind::Text { text } => text.clone(),
+            NodeKind::Attribute { value, .. } => value.clone(),
+            NodeKind::Root | NodeKind::Element { .. } => {
+                let mut out = String::new();
+                self.collect_text(id, &mut out);
+                out
+            }
+        }
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        let mut child = self.first_child(id);
+        while let Some(c) = child {
+            match self.kind(c) {
+                NodeKind::Text { text } => out.push_str(text),
+                _ => self.collect_text(c, out),
+            }
+            child = self.next_sibling(c);
+        }
+    }
+
+    /// Number of element children of `id` with tag `name` (used in tests
+    /// and by the reductions crate to sanity check constructions).
+    pub fn count_children_named(&self, id: NodeId, name: &str) -> usize {
+        let mut n = 0;
+        let mut child = self.first_child(id);
+        while let Some(c) = child {
+            if self.name(c) == Some(name) {
+                n += 1;
+            }
+            child = self.next_sibling(c);
+        }
+        n
+    }
+
+    /// The number of element nodes in the document (|D| in the paper's
+    /// complexity statements; attribute and text nodes are counted too when
+    /// reporting document sizes in EXPERIMENTS.md, but the element count is
+    /// the measure the reductions reason about).
+    pub fn element_count(&self) -> usize {
+        self.all_elements().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DocumentBuilder;
+
+    fn sample() -> Document {
+        let mut b = DocumentBuilder::new();
+        b.open_element("a");
+        b.open_element("b");
+        b.text("hello ");
+        b.close_element();
+        b.open_element("c");
+        b.attribute("k", "v");
+        b.text("world");
+        b.close_element();
+        b.close_element();
+        b.finish()
+    }
+
+    #[test]
+    fn root_is_zero_and_rootkind() {
+        let doc = sample();
+        assert_eq!(doc.root(), NodeId(0));
+        assert!(doc.kind(doc.root()).is_root());
+        assert!(doc.parent(doc.root()).is_none());
+    }
+
+    #[test]
+    fn structure_links() {
+        let doc = sample();
+        let a = doc.first_child(doc.root()).unwrap();
+        assert_eq!(doc.name(a), Some("a"));
+        let b = doc.first_child(a).unwrap();
+        assert_eq!(doc.name(b), Some("b"));
+        let c = doc.next_sibling(b).unwrap();
+        assert_eq!(doc.name(c), Some("c"));
+        assert_eq!(doc.prev_sibling(c), Some(b));
+        assert_eq!(doc.last_child(a), Some(c));
+        assert_eq!(doc.parent(b), Some(a));
+        assert_eq!(doc.parent(c), Some(a));
+    }
+
+    #[test]
+    fn string_value_concatenates_descendant_text() {
+        let doc = sample();
+        let a = doc.first_child(doc.root()).unwrap();
+        assert_eq!(doc.string_value(a), "hello world");
+        assert_eq!(doc.string_value(doc.root()), "hello world");
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let doc = sample();
+        let a = doc.first_child(doc.root()).unwrap();
+        let c = doc.last_child(a).unwrap();
+        assert_eq!(doc.attribute_value(c, "k"), Some("v"));
+        assert_eq!(doc.attribute_value(c, "missing"), None);
+        assert_eq!(doc.attributes(c).len(), 1);
+        let attr = doc.attributes(c)[0];
+        assert!(doc.kind(attr).is_attribute());
+        assert_eq!(doc.parent(attr), Some(c));
+        // Attribute nodes are not children.
+        let mut kids = vec![];
+        let mut ch = doc.first_child(c);
+        while let Some(k) = ch {
+            kids.push(k);
+            ch = doc.next_sibling(k);
+        }
+        assert!(!kids.contains(&attr));
+    }
+
+    #[test]
+    fn depth_and_counts() {
+        let doc = sample();
+        let a = doc.first_child(doc.root()).unwrap();
+        let b = doc.first_child(a).unwrap();
+        assert_eq!(doc.depth(doc.root()), 0);
+        assert_eq!(doc.depth(a), 1);
+        assert_eq!(doc.depth(b), 2);
+        assert_eq!(doc.element_count(), 3);
+        assert_eq!(doc.count_children_named(a, "b"), 1);
+        assert_eq!(doc.count_children_named(a, "c"), 1);
+        assert_eq!(doc.count_children_named(a, "zzz"), 0);
+    }
+
+    #[test]
+    fn string_value_of_text_and_attribute_nodes() {
+        let doc = sample();
+        let a = doc.first_child(doc.root()).unwrap();
+        let b = doc.first_child(a).unwrap();
+        let t = doc.first_child(b).unwrap();
+        assert!(doc.kind(t).is_text());
+        assert_eq!(doc.string_value(t), "hello ");
+        let c = doc.last_child(a).unwrap();
+        let attr = doc.attributes(c)[0];
+        assert_eq!(doc.string_value(attr), "v");
+    }
+
+    #[test]
+    fn empty_document() {
+        let doc = DocumentBuilder::new().finish();
+        assert!(doc.is_empty());
+        assert_eq!(doc.len(), 1);
+        assert_eq!(doc.element_count(), 0);
+        assert_eq!(doc.string_value(doc.root()), "");
+    }
+
+    #[test]
+    fn node_id_display_and_index_roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "n42");
+        assert_eq!(format!("{id:?}"), "n42");
+    }
+}

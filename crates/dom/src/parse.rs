@@ -1,0 +1,340 @@
+//! A small well-formed XML parser.
+//!
+//! This is intentionally a minimal subset of XML 1.0 sufficient for the
+//! examples and workloads of the reproduction: elements, attributes
+//! (single- or double-quoted), character data, the five predefined entities,
+//! comments, processing instructions (skipped) and an optional XML
+//! declaration.  It does not implement DTDs, namespaces or CDATA sections.
+
+use crate::build::DocumentBuilder;
+use crate::node::Document;
+use std::fmt;
+
+/// Error produced by [`parse_xml`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlParseError {
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// Human readable description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlParseError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    builder: DocumentBuilder,
+    open_names: Vec<String>,
+}
+
+/// Parses an XML string into a [`Document`].
+///
+/// ```
+/// let doc = xpeval_dom::parse_xml("<a><b x='1'>hi</b><c/></a>").unwrap();
+/// assert_eq!(doc.element_count(), 3);
+/// ```
+pub fn parse_xml(input: &str) -> Result<Document, XmlParseError> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+        builder: DocumentBuilder::new(),
+        open_names: Vec::new(),
+    };
+    p.skip_prolog()?;
+    p.parse_element()?;
+    p.skip_misc();
+    if p.pos != p.input.len() {
+        return Err(p.error("trailing content after document element"));
+    }
+    if !p.open_names.is_empty() {
+        return Err(p.error("unclosed element at end of input"));
+    }
+    Ok(p.builder.finish())
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, msg: impl Into<String>) -> XmlParseError {
+        XmlParseError { offset: self.pos, message: msg.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), XmlParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<(), XmlParseError> {
+        self.skip_ws();
+        if self.starts_with("<?xml") {
+            match self.input[self.pos..].windows(2).position(|w| w == b"?>") {
+                Some(rel) => self.pos += rel + 2,
+                None => return Err(self.error("unterminated XML declaration")),
+            }
+        }
+        self.skip_misc();
+        Ok(())
+    }
+
+    /// Skips whitespace, comments and processing instructions.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                match self.input[self.pos + 4..].windows(3).position(|w| w == b"-->") {
+                    Some(rel) => self.pos += 4 + rel + 3,
+                    None => {
+                        self.pos = self.input.len();
+                        return;
+                    }
+                }
+            } else if self.starts_with("<?") {
+                match self.input[self.pos..].windows(2).position(|w| w == b"?>") {
+                    Some(rel) => self.pos += rel + 2,
+                    None => {
+                        self.pos = self.input.len();
+                        return;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ch = c as char;
+            if ch.is_ascii_alphanumeric() || matches!(ch, '_' | '-' | '.' | ':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn parse_element(&mut self) -> Result<(), XmlParseError> {
+        self.expect(b'<')?;
+        let name = self.parse_name()?;
+        self.builder.open_element(name.clone());
+        self.open_names.push(name);
+        // attributes
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    self.parse_content()?;
+                    return Ok(());
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    self.builder.close_element();
+                    self.open_names.pop();
+                    return Ok(());
+                }
+                Some(_) => {
+                    let aname = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    let quote = self.bump().ok_or_else(|| self.error("unexpected end in attribute"))?;
+                    if quote != b'"' && quote != b'\'' {
+                        return Err(self.error("attribute value must be quoted"));
+                    }
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == quote {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                    self.expect(quote)?;
+                    self.builder.attribute(aname, unescape(&raw));
+                }
+                None => return Err(self.error("unexpected end inside start tag")),
+            }
+        }
+    }
+
+    fn parse_content(&mut self) -> Result<(), XmlParseError> {
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unexpected end of input inside element")),
+                Some(b'<') => {
+                    if !text.trim().is_empty() {
+                        self.builder.text(unescape(&text));
+                    }
+                    text.clear();
+                    if self.starts_with("</") {
+                        self.pos += 2;
+                        let name = self.parse_name()?;
+                        self.skip_ws();
+                        self.expect(b'>')?;
+                        let expected = self.open_names.pop().unwrap_or_default();
+                        if name != expected {
+                            return Err(self.error(format!(
+                                "mismatched end tag: expected </{expected}>, found </{name}>"
+                            )));
+                        }
+                        self.builder.close_element();
+                        return Ok(());
+                    } else if self.starts_with("<!--") {
+                        match self.input[self.pos + 4..].windows(3).position(|w| w == b"-->") {
+                            Some(rel) => self.pos += 4 + rel + 3,
+                            None => return Err(self.error("unterminated comment")),
+                        }
+                    } else if self.starts_with("<?") {
+                        match self.input[self.pos..].windows(2).position(|w| w == b"?>") {
+                            Some(rel) => self.pos += rel + 2,
+                            None => return Err(self.error("unterminated processing instruction")),
+                        }
+                    } else {
+                        self.parse_element()?;
+                    }
+                }
+                Some(_) => {
+                    text.push(self.bump().unwrap() as char);
+                }
+            }
+        }
+    }
+}
+
+/// Replaces the five predefined XML entities.
+fn unescape(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Axis, NodeTest};
+
+    #[test]
+    fn parses_simple_document() {
+        let doc = parse_xml("<a><b>text</b><c/></a>").unwrap();
+        assert_eq!(doc.element_count(), 3);
+        let a = doc.first_child(doc.root()).unwrap();
+        assert_eq!(doc.name(a), Some("a"));
+        assert_eq!(doc.string_value(a), "text");
+    }
+
+    #[test]
+    fn parses_attributes_both_quote_styles() {
+        let doc = parse_xml(r#"<a x="1" y='two'/>"#).unwrap();
+        let a = doc.first_child(doc.root()).unwrap();
+        assert_eq!(doc.attribute_value(a, "x"), Some("1"));
+        assert_eq!(doc.attribute_value(a, "y"), Some("two"));
+    }
+
+    #[test]
+    fn parses_declaration_comments_and_pis() {
+        let doc = parse_xml(
+            "<?xml version=\"1.0\"?><!-- top --><?pi data?><root><!-- in --><a/></root><!-- after -->",
+        )
+        .unwrap();
+        assert_eq!(doc.element_count(), 2);
+    }
+
+    #[test]
+    fn unescapes_entities() {
+        let doc = parse_xml("<a k=\"&lt;x&gt;\">&amp;hi&apos;</a>").unwrap();
+        let a = doc.first_child(doc.root()).unwrap();
+        assert_eq!(doc.attribute_value(a, "k"), Some("<x>"));
+        assert_eq!(doc.string_value(a), "&hi'");
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let doc = parse_xml("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        let a = doc.first_child(doc.root()).unwrap();
+        let kids = doc.axis_step(a, Axis::Child, &NodeTest::AnyNode);
+        assert_eq!(kids.len(), 2);
+    }
+
+    #[test]
+    fn nested_structure_and_axes() {
+        let doc = parse_xml("<a><b><c><d/></c></b></a>").unwrap();
+        let a = doc.first_child(doc.root()).unwrap();
+        let ds = doc.axis_step(a, Axis::Descendant, &NodeTest::name("d"));
+        assert_eq!(ds.len(), 1);
+        assert_eq!(doc.depth(ds[0]), 4);
+    }
+
+    #[test]
+    fn error_on_mismatched_tags() {
+        let err = parse_xml("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn error_on_trailing_garbage() {
+        let err = parse_xml("<a/><b/>").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn error_on_unterminated_document() {
+        assert!(parse_xml("<a><b>").is_err());
+        assert!(parse_xml("<a").is_err());
+        assert!(parse_xml("").is_err());
+    }
+
+    #[test]
+    fn error_on_unquoted_attribute() {
+        let err = parse_xml("<a k=v/>").unwrap_err();
+        assert!(err.message.contains("quoted"), "{err}");
+    }
+
+    #[test]
+    fn error_display_contains_offset() {
+        let err = parse_xml("<a k=v/>").unwrap_err();
+        let shown = err.to_string();
+        assert!(shown.contains("byte"));
+    }
+}

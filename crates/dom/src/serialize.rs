@@ -1,0 +1,125 @@
+//! Serialization of documents back to XML text.
+
+use crate::node::{Document, NodeId, NodeKind};
+use std::fmt::Write;
+
+/// Serializes the whole document to an XML string (no declaration, no
+/// pretty-printing).  Round-trips with [`crate::parse_xml`] for documents
+/// without insignificant whitespace.
+pub fn serialize(doc: &Document) -> String {
+    let mut out = String::new();
+    let mut child = doc.first_child(doc.root());
+    while let Some(c) = child {
+        serialize_node(doc, c, &mut out);
+        child = doc.next_sibling(c);
+    }
+    out
+}
+
+/// Serializes the subtree rooted at `node`.
+pub fn serialize_subtree(doc: &Document, node: NodeId) -> String {
+    let mut out = String::new();
+    serialize_node(doc, node, &mut out);
+    out
+}
+
+fn serialize_node(doc: &Document, node: NodeId, out: &mut String) {
+    match doc.kind(node) {
+        NodeKind::Root => {
+            let mut child = doc.first_child(node);
+            while let Some(c) = child {
+                serialize_node(doc, c, out);
+                child = doc.next_sibling(c);
+            }
+        }
+        NodeKind::Text { text } => out.push_str(&escape_text(text)),
+        NodeKind::Attribute { name, value } => {
+            let _ = write!(out, " {}=\"{}\"", name, escape_attr(value));
+        }
+        NodeKind::Element { name } => {
+            let _ = write!(out, "<{name}");
+            for &a in doc.attributes(node) {
+                serialize_node(doc, a, out);
+            }
+            if doc.first_child(node).is_none() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                let mut child = doc.first_child(node);
+                while let Some(c) = child {
+                    serialize_node(doc, c, out);
+                    child = doc.next_sibling(c);
+                }
+                let _ = write!(out, "</{name}>");
+            }
+        }
+    }
+}
+
+fn escape_text(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn escape_attr(s: &str) -> String {
+    escape_text(s).replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_xml, DocumentBuilder};
+
+    #[test]
+    fn serializes_built_document() {
+        let mut b = DocumentBuilder::new();
+        b.open_element("a");
+        b.attribute("k", "v");
+        b.open_element("b");
+        b.text("hi");
+        b.close_element();
+        b.leaf_element("c");
+        b.close_element();
+        let doc = b.finish();
+        assert_eq!(serialize(&doc), r#"<a k="v"><b>hi</b><c/></a>"#);
+    }
+
+    #[test]
+    fn roundtrip_through_parser() {
+        let src = r#"<a k="v"><b>hi</b><c x="1"/><d>more text</d></a>"#;
+        let doc = parse_xml(src).unwrap();
+        assert_eq!(serialize(&doc), src);
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        let mut b = DocumentBuilder::new();
+        b.open_element("a");
+        b.attribute("k", "a\"b<c");
+        b.text("x & y < z");
+        b.close_element();
+        let doc = b.finish();
+        let s = serialize(&doc);
+        assert!(s.contains("&quot;"));
+        assert!(s.contains("&amp;"));
+        assert!(s.contains("&lt;"));
+        // And the round trip preserves values.
+        let doc2 = parse_xml(&s).unwrap();
+        let a = doc2.first_child(doc2.root()).unwrap();
+        assert_eq!(doc2.attribute_value(a, "k"), Some("a\"b<c"));
+        assert_eq!(doc2.string_value(a), "x & y < z");
+    }
+
+    #[test]
+    fn serialize_subtree_only() {
+        let doc = parse_xml("<a><b><c/></b><d/></a>").unwrap();
+        let a = doc.first_child(doc.root()).unwrap();
+        let b = doc.first_child(a).unwrap();
+        assert_eq!(serialize_subtree(&doc, b), "<b><c/></b>");
+    }
+
+    #[test]
+    fn empty_document_serializes_to_empty_string() {
+        let doc = DocumentBuilder::new().finish();
+        assert_eq!(serialize(&doc), "");
+    }
+}

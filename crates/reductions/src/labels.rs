@@ -1,0 +1,203 @@
+//! Shared helpers for the circuit reductions: the gate document of
+//! Theorem 3.2 and the `T(l)` label machinery of Remark 3.1.
+//!
+//! All circuit reductions share the same document skeleton: a root element
+//! `v0` with one child `v{i}` per gate `G_i` (1-based), each `v{i}` having a
+//! single "inner" child `v'{i}`.  A node carries a *label* `l` by having an
+//! additional leaf child tagged `l`; the condition `T(l)` of the paper is
+//! then simply the Core XPath expression `child::l`.
+
+use xpeval_dom::{Axis, Document, DocumentBuilder, NodeId, NodeTest};
+use xpeval_syntax::Expr;
+
+/// Label constants used by the reductions.
+pub const LABEL_GATE: &str = "G";
+pub const LABEL_RESULT: &str = "R";
+pub const LABEL_TRUE: &str = "B1";
+pub const LABEL_FALSE: &str = "B0";
+pub const LABEL_AUX: &str = "A";
+pub const LABEL_WITNESS: &str = "W";
+
+/// The `I_k` label (1-based layer `k`).
+pub fn input_label(k: usize) -> String {
+    format!("I{k}")
+}
+
+/// The first/second ∧-input labels `I¹_k` / `I²_k` of Theorem 4.2.
+pub fn split_input_label(k: usize, second: bool) -> String {
+    if second {
+        format!("I{k}b")
+    } else {
+        format!("I{k}a")
+    }
+}
+
+/// The `O_k` label (1-based layer `k`).
+pub fn output_label(k: usize) -> String {
+    format!("O{k}")
+}
+
+/// `T(l)` of Remark 3.1: the condition `child::l`.
+pub fn t(label: &str) -> Expr {
+    Expr::step(Axis::Child, NodeTest::name(label))
+}
+
+/// The element names of the gate nodes (`v{i}`, 1-based) and inner nodes.
+pub fn gate_node_name(i: usize) -> String {
+    format!("v{i}")
+}
+
+/// Inner child `v'{i}` — apostrophes are not valid XML names, so the tag
+/// `vp{i}` is used (the paper's `w_i` witness nodes of Theorem 5.7 get the
+/// dedicated tag `wit{i}`).
+pub fn inner_node_name(i: usize) -> String {
+    format!("vp{i}")
+}
+
+/// Builder for the shared document skeleton of Theorems 3.2 / 4.2 / 5.7.
+pub struct GateDocumentBuilder;
+
+impl GateDocumentBuilder {
+    /// Starts a gate document for `total_gates` gates.  `labels_of(i)`
+    /// yields the labels of gate node `v{i}` and `inner_labels_of(i)` the
+    /// labels of `v'{i}` (both 1-based).  When `with_witnesses` is set, a
+    /// `W`-labeled witness child is appended to `v0` and to every `v{i}`
+    /// (the Theorem 5.7 extension) and `v0` additionally carries the `A`
+    /// label.
+    pub fn build(
+        total_gates: usize,
+        labels_of: impl Fn(usize) -> Vec<String>,
+        inner_labels_of: impl Fn(usize) -> Vec<String>,
+        with_witnesses: bool,
+    ) -> GateDocument {
+        let mut b = DocumentBuilder::new();
+        b.open_element("v0");
+        if with_witnesses {
+            b.leaf_element(LABEL_AUX);
+        }
+        let mut gate_nodes = Vec::with_capacity(total_gates);
+        let mut inner_nodes = Vec::with_capacity(total_gates);
+        let mut witness_nodes = Vec::new();
+        for i in 1..=total_gates {
+            let v = b.open_element(gate_node_name(i));
+            for label in labels_of(i) {
+                b.leaf_element(label);
+            }
+            let vp = b.open_element(inner_node_name(i));
+            for label in inner_labels_of(i) {
+                b.leaf_element(label);
+            }
+            b.close_element();
+            if with_witnesses {
+                let w = b.open_element(format!("wit{i}"));
+                b.leaf_element(LABEL_WITNESS);
+                b.close_element();
+                witness_nodes.push(w);
+            }
+            b.close_element();
+            gate_nodes.push(v);
+            inner_nodes.push(vp);
+        }
+        if with_witnesses {
+            let w = b.open_element("wit0");
+            b.leaf_element(LABEL_WITNESS);
+            b.close_element();
+            witness_nodes.push(w);
+        }
+        b.close_element();
+        GateDocument {
+            document: b.finish(),
+            gate_nodes,
+            inner_nodes,
+            witness_nodes,
+        }
+    }
+}
+
+/// The shared gate document plus handles to its interesting nodes.
+pub struct GateDocument {
+    /// The constructed XML document.
+    pub document: Document,
+    /// `v{1} … v{M+N}` in gate order.
+    pub gate_nodes: Vec<NodeId>,
+    /// `v'{1} … v'{M+N}` in gate order.
+    pub inner_nodes: Vec<NodeId>,
+    /// Witness nodes `w{1} … w{M+N}, w{0}` (empty without witnesses).
+    pub witness_nodes: Vec<NodeId>,
+}
+
+impl GateDocument {
+    /// True if node `node` carries label `label` (has a child with that tag)
+    /// — the realization of the paper's "node is labeled l".
+    pub fn has_label(&self, node: NodeId, label: &str) -> bool {
+        self.document.count_children_named(node, label) > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_is_a_child_step() {
+        let cond = t("G");
+        assert_eq!(cond.to_string(), "child::G");
+    }
+
+    #[test]
+    fn label_name_helpers() {
+        assert_eq!(input_label(3), "I3");
+        assert_eq!(output_label(5), "O5");
+        assert_eq!(split_input_label(2, false), "I2a");
+        assert_eq!(split_input_label(2, true), "I2b");
+        assert_eq!(gate_node_name(9), "v9");
+        assert_eq!(inner_node_name(9), "vp9");
+    }
+
+    #[test]
+    fn gate_document_shape() {
+        let doc = GateDocumentBuilder::build(
+            3,
+            |i| vec![LABEL_GATE.to_string(), format!("X{i}")],
+            |_| vec!["I1".to_string()],
+            false,
+        );
+        assert_eq!(doc.gate_nodes.len(), 3);
+        assert_eq!(doc.inner_nodes.len(), 3);
+        assert!(doc.witness_nodes.is_empty());
+        let d = &doc.document;
+        let v0 = d.first_child(d.root()).unwrap();
+        assert_eq!(d.name(v0), Some("v0"));
+        assert_eq!(d.count_children_named(v0, "v1"), 1);
+        assert!(doc.has_label(doc.gate_nodes[0], "G"));
+        assert!(doc.has_label(doc.gate_nodes[1], "X2"));
+        assert!(!doc.has_label(doc.gate_nodes[1], "X1"));
+        assert!(doc.has_label(doc.inner_nodes[2], "I1"));
+        // Every v{i} has its inner child.
+        for (i, &v) in doc.gate_nodes.iter().enumerate() {
+            assert_eq!(d.count_children_named(v, &inner_node_name(i + 1)), 1);
+        }
+        // Depth: root(0) v0(1) v{i}(2) v'{i}(3) labels(4).
+        assert_eq!(d.height(), 4);
+    }
+
+    #[test]
+    fn witness_extension_adds_w_children_and_aux_label() {
+        let doc = GateDocumentBuilder::build(
+            2,
+            |_| vec![LABEL_GATE.to_string()],
+            |_| vec![],
+            true,
+        );
+        assert_eq!(doc.witness_nodes.len(), 3); // w1, w2, w0
+        let d = &doc.document;
+        let v0 = d.first_child(d.root()).unwrap();
+        // v0 carries the A label and has a witness child.
+        assert_eq!(d.count_children_named(v0, LABEL_AUX), 1);
+        assert_eq!(d.count_children_named(v0, "wit0"), 1);
+        for (i, &_v) in doc.gate_nodes.iter().enumerate() {
+            let w = doc.witness_nodes[i];
+            assert!(doc.has_label(w, LABEL_WITNESS));
+        }
+    }
+}

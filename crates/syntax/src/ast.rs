@@ -1,0 +1,449 @@
+//! Abstract syntax tree for the XPath fragments studied in the paper.
+//!
+//! The AST mirrors the grammar of Definitions 2.5 (Core XPath), 2.6 (Wadler
+//! fragment) and 6.1 (pXPath): expressions are location paths, boolean
+//! connectives, relational and arithmetic operators, literals and calls to
+//! the XPath core function library.  Negation is represented explicitly as
+//! [`Expr::Not`] because it is the construct whose presence or absence
+//! determines most of the paper's complexity boundaries.
+
+use xpeval_dom::{Axis, NodeTest};
+
+/// Relational operators of the Wadler fragment ("relop" in Definition 2.6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RelOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl RelOp {
+    /// XPath surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            RelOp::Eq => "=",
+            RelOp::Ne => "!=",
+            RelOp::Lt => "<",
+            RelOp::Le => "<=",
+            RelOp::Gt => ">",
+            RelOp::Ge => ">=",
+        }
+    }
+
+    /// The complemented operator, used by the de Morgan normalizer of
+    /// Theorem 5.9 (`not(a = b)` ≡ `a != b`, `not(a < b)` ≡ `a >= b`, ...).
+    pub fn negated(self) -> RelOp {
+        match self {
+            RelOp::Eq => RelOp::Ne,
+            RelOp::Ne => RelOp::Eq,
+            RelOp::Lt => RelOp::Ge,
+            RelOp::Le => RelOp::Gt,
+            RelOp::Gt => RelOp::Le,
+            RelOp::Ge => RelOp::Lt,
+        }
+    }
+
+    /// Applies the operator to two numbers with XPath 1.0 semantics
+    /// (NaN compares false under every operator except `!=`).
+    pub fn apply(self, a: f64, b: f64) -> bool {
+        match self {
+            RelOp::Eq => a == b,
+            RelOp::Ne => a != b,
+            RelOp::Lt => a < b,
+            RelOp::Le => a <= b,
+            RelOp::Gt => a > b,
+            RelOp::Ge => a >= b,
+        }
+    }
+}
+
+/// Arithmetic operators of the Wadler fragment ("arithop").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl ArithOp {
+    /// XPath surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "div",
+            ArithOp::Mod => "mod",
+        }
+    }
+
+    /// Applies the operator with XPath 1.0 number semantics (`div` is float
+    /// division, `mod` is the remainder with the sign of the dividend).
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ArithOp::Add => a + b,
+            ArithOp::Sub => a - b,
+            ArithOp::Mul => a * b,
+            ArithOp::Div => a / b,
+            ArithOp::Mod => a % b,
+        }
+    }
+}
+
+/// A location step `axis::ntst[pred1]...[predk]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Step {
+    pub axis: Axis,
+    pub node_test: NodeTest,
+    /// Predicate sequence.  `predicates.len() >= 2` is what the paper calls
+    /// *iterated predicates* (forbidden in pWF/pXPath by Definition 5.1(1)
+    /// and 6.1(1), and the source of P-hardness in Theorem 5.7).
+    pub predicates: Vec<Expr>,
+}
+
+impl Step {
+    /// A step without predicates.
+    pub fn new(axis: Axis, node_test: NodeTest) -> Self {
+        Step { axis, node_test, predicates: Vec::new() }
+    }
+
+    /// A step with a single predicate.
+    pub fn with_predicate(axis: Axis, node_test: NodeTest, pred: Expr) -> Self {
+        Step { axis, node_test, predicates: vec![pred] }
+    }
+
+    /// A step with a predicate sequence.
+    pub fn with_predicates(axis: Axis, node_test: NodeTest, preds: Vec<Expr>) -> Self {
+        Step { axis, node_test, predicates: preds }
+    }
+}
+
+/// A location path: an optional leading `/` (absolute path) followed by a
+/// `/`-separated sequence of steps.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LocationPath {
+    /// `true` for `/a/b` (evaluation starts at the conceptual root),
+    /// `false` for `a/b` (evaluation starts at the context node).
+    pub absolute: bool,
+    pub steps: Vec<Step>,
+}
+
+impl LocationPath {
+    /// An absolute path with the given steps.
+    pub fn absolute(steps: Vec<Step>) -> Self {
+        LocationPath { absolute: true, steps }
+    }
+
+    /// A relative path with the given steps.
+    pub fn relative(steps: Vec<Step>) -> Self {
+        LocationPath { absolute: false, steps }
+    }
+
+    /// The path `/` selecting only the conceptual root.
+    pub fn root() -> Self {
+        LocationPath { absolute: true, steps: Vec::new() }
+    }
+}
+
+/// An XPath expression ("expr" in Definition 2.6).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A location path (node-set typed).
+    Path(LocationPath),
+    /// Union of two node-set expressions, `π1 | π2`.
+    Union(Box<Expr>, Box<Expr>),
+    /// `e1 or e2`.
+    Or(Box<Expr>, Box<Expr>),
+    /// `e1 and e2`.
+    And(Box<Expr>, Box<Expr>),
+    /// `not(e)` — kept as a dedicated constructor because negation defines
+    /// the boundary between Core XPath (P-complete) and positive Core
+    /// XPath / pWF / pXPath (LOGCFL).
+    Not(Box<Expr>),
+    /// `e1 relop e2`.
+    Relational { op: RelOp, left: Box<Expr>, right: Box<Expr> },
+    /// `e1 arithop e2`.
+    Arithmetic { op: ArithOp, left: Box<Expr>, right: Box<Expr> },
+    /// Unary minus `-e`.
+    Neg(Box<Expr>),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal.
+    Literal(String),
+    /// Call to an XPath core library function, e.g. `position()`, `last()`,
+    /// `count(π)`, `boolean(π)`, `true()`, `concat(a, b)`.
+    /// `not(..)` is *not* represented here (see [`Expr::Not`]).
+    FunctionCall { name: String, args: Vec<Expr> },
+}
+
+/// Static type of an XPath expression (XPath 1.0 §1: every expression
+/// evaluates to a node-set, a boolean, a number or a string).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExprType {
+    NodeSet,
+    Boolean,
+    Number,
+    Str,
+}
+
+impl Expr {
+    /// Convenience constructor: `e1 and e2`.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::And(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `e1 or e2`.
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `not(e)`.
+    pub fn not(e: Expr) -> Expr {
+        Expr::Not(Box::new(e))
+    }
+
+    /// Convenience constructor: a relational comparison.
+    pub fn relational(op: RelOp, left: Expr, right: Expr) -> Expr {
+        Expr::Relational { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Convenience constructor: an arithmetic operation.
+    pub fn arithmetic(op: ArithOp, left: Expr, right: Expr) -> Expr {
+        Expr::Arithmetic { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Convenience constructor: a nullary function call.
+    pub fn call0(name: &str) -> Expr {
+        Expr::FunctionCall { name: name.to_string(), args: Vec::new() }
+    }
+
+    /// Convenience constructor: a unary function call.
+    pub fn call1(name: &str, arg: Expr) -> Expr {
+        Expr::FunctionCall { name: name.to_string(), args: vec![arg] }
+    }
+
+    /// `position()`.
+    pub fn position() -> Expr {
+        Expr::call0("position")
+    }
+
+    /// `last()`.
+    pub fn last() -> Expr {
+        Expr::call0("last")
+    }
+
+    /// A relative single-step path `axis::test`.
+    pub fn step(axis: Axis, test: NodeTest) -> Expr {
+        Expr::Path(LocationPath::relative(vec![Step::new(axis, test)]))
+    }
+
+    /// The size of the expression: the number of AST nodes, counting steps
+    /// and predicates.  This is the |Q| measure used in the paper's
+    /// complexity statements and in EXPERIMENTS.md.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Height of the expression tree.
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Path(p) => {
+                1 + p
+                    .steps
+                    .iter()
+                    .flat_map(|s| s.predicates.iter())
+                    .map(|e| e.depth())
+                    .max()
+                    .unwrap_or(0)
+            }
+            Expr::Union(a, b)
+            | Expr::Or(a, b)
+            | Expr::And(a, b)
+            | Expr::Relational { left: a, right: b, .. }
+            | Expr::Arithmetic { left: a, right: b, .. } => 1 + a.depth().max(b.depth()),
+            Expr::Not(e) | Expr::Neg(e) => 1 + e.depth(),
+            Expr::Number(_) | Expr::Literal(_) => 1,
+            Expr::FunctionCall { args, .. } => {
+                1 + args.iter().map(|a| a.depth()).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Visits every sub-expression (including predicates nested inside
+    /// location-path steps and function arguments) in preorder.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Path(p) => {
+                for step in &p.steps {
+                    for pred in &step.predicates {
+                        pred.visit(f);
+                    }
+                }
+            }
+            Expr::Union(a, b)
+            | Expr::Or(a, b)
+            | Expr::And(a, b)
+            | Expr::Relational { left: a, right: b, .. }
+            | Expr::Arithmetic { left: a, right: b, .. } => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Not(e) | Expr::Neg(e) => e.visit(f),
+            Expr::Number(_) | Expr::Literal(_) => {}
+            Expr::FunctionCall { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+        }
+    }
+
+    /// The static XPath 1.0 type of the expression.
+    ///
+    /// The classifier uses this to detect constructs of the form
+    /// `e1 RelOp e2` with a boolean operand, which Definition 6.1(3) forbids
+    /// in pXPath because they can encode negation.
+    pub fn expr_type(&self) -> ExprType {
+        match self {
+            Expr::Path(_) | Expr::Union(_, _) => ExprType::NodeSet,
+            Expr::Or(_, _) | Expr::And(_, _) | Expr::Not(_) | Expr::Relational { .. } => {
+                ExprType::Boolean
+            }
+            Expr::Arithmetic { .. } | Expr::Neg(_) | Expr::Number(_) => ExprType::Number,
+            Expr::Literal(_) => ExprType::Str,
+            Expr::FunctionCall { name, .. } => match name.as_str() {
+                "position" | "last" | "count" | "sum" | "number" | "floor" | "ceiling"
+                | "round" | "string-length" => ExprType::Number,
+                "true" | "false" | "boolean" | "contains" | "starts-with" | "lang" => {
+                    ExprType::Boolean
+                }
+                "string" | "concat" | "name" | "local-name" | "namespace-uri"
+                | "normalize-space" | "substring" | "substring-before" | "substring-after"
+                | "translate" => ExprType::Str,
+                "id" => ExprType::NodeSet,
+                _ => ExprType::Boolean,
+            },
+        }
+    }
+
+    /// True if the expression is (syntactically) a location path.
+    pub fn is_path(&self) -> bool {
+        matches!(self, Expr::Path(_))
+    }
+
+    /// Returns the location path if the expression is one.
+    pub fn as_path(&self) -> Option<&LocationPath> {
+        match self {
+            Expr::Path(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_path() -> Expr {
+        // /descendant::a/child::b[descendant::c]
+        Expr::Path(LocationPath::absolute(vec![
+            Step::new(Axis::Descendant, NodeTest::name("a")),
+            Step::with_predicate(
+                Axis::Child,
+                NodeTest::name("b"),
+                Expr::step(Axis::Descendant, NodeTest::name("c")),
+            ),
+        ]))
+    }
+
+    #[test]
+    fn relop_negation_is_involutive() {
+        for op in [RelOp::Eq, RelOp::Ne, RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge] {
+            assert_eq!(op.negated().negated(), op);
+        }
+    }
+
+    #[test]
+    fn relop_negated_is_complement_on_numbers() {
+        let pairs = [(1.0, 2.0), (2.0, 1.0), (3.0, 3.0), (-1.5, 0.0)];
+        for op in [RelOp::Eq, RelOp::Ne, RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge] {
+            for (a, b) in pairs {
+                assert_eq!(op.apply(a, b), !op.negated().apply(a, b), "{op:?} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn arith_apply_matches_xpath_semantics() {
+        assert_eq!(ArithOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(ArithOp::Div.apply(1.0, 2.0), 0.5);
+        assert_eq!(ArithOp::Mod.apply(5.0, 2.0), 1.0);
+        assert_eq!(ArithOp::Mod.apply(-5.0, 2.0), -1.0); // sign of dividend
+        assert!(ArithOp::Div.apply(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn size_counts_predicates() {
+        let e = sample_path();
+        // Path node + the predicate path node
+        assert_eq!(e.size(), 2);
+        let bigger = Expr::and(e.clone(), Expr::not(e));
+        assert_eq!(bigger.size(), 6);
+    }
+
+    #[test]
+    fn depth_of_nested_expressions() {
+        let leaf = Expr::Number(1.0);
+        assert_eq!(leaf.depth(), 1);
+        let nested = Expr::and(Expr::not(leaf.clone()), leaf);
+        assert_eq!(nested.depth(), 3);
+    }
+
+    #[test]
+    fn expr_types() {
+        assert_eq!(sample_path().expr_type(), ExprType::NodeSet);
+        assert_eq!(Expr::position().expr_type(), ExprType::Number);
+        assert_eq!(Expr::call0("true").expr_type(), ExprType::Boolean);
+        assert_eq!(Expr::Literal("x".into()).expr_type(), ExprType::Str);
+        assert_eq!(
+            Expr::relational(RelOp::Eq, Expr::position(), Expr::Number(1.0)).expr_type(),
+            ExprType::Boolean
+        );
+        assert_eq!(
+            Expr::arithmetic(ArithOp::Add, Expr::Number(1.0), Expr::Number(2.0)).expr_type(),
+            ExprType::Number
+        );
+    }
+
+    #[test]
+    fn visit_reaches_predicates_and_args() {
+        let e = Expr::call1("count", sample_path());
+        let mut names = Vec::new();
+        e.visit(&mut |x| {
+            if let Expr::FunctionCall { name, .. } = x {
+                names.push(name.clone());
+            }
+        });
+        assert_eq!(names, vec!["count".to_string()]);
+        assert_eq!(e.size(), 3);
+    }
+
+    #[test]
+    fn constructors() {
+        let p = Expr::step(Axis::Child, NodeTest::Star);
+        assert!(p.is_path());
+        assert!(p.as_path().is_some());
+        assert!(!p.as_path().unwrap().absolute);
+        let root = LocationPath::root();
+        assert!(root.absolute);
+        assert!(root.steps.is_empty());
+    }
+}

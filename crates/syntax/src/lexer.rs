@@ -1,0 +1,465 @@
+//! Tokenizer for XPath 1.0 expressions.
+//!
+//! Implements the lexical structure of XPath 1.0 §3.7 including the two
+//! special disambiguation rules: a `*` (and the names `and`, `or`, `div`,
+//! `mod`) is an *operator* exactly when the preceding token is not itself an
+//! operator, `@`, `::`, `(`, `[` or `,`.
+
+use std::fmt;
+
+/// A single XPath token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Numeric literal (`12`, `3.5`, `.5`).
+    Number(f64),
+    /// String literal (`'abc'` or `"abc"`).
+    Literal(String),
+    /// An NCName/QName that is not an operator name in this position.
+    Name(String),
+    Slash,
+    DoubleSlash,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Comma,
+    Pipe,
+    Plus,
+    Minus,
+    /// `*` used as a wildcard node test.
+    Star,
+    /// `*` used as the multiplication operator.
+    Multiply,
+    Dot,
+    DotDot,
+    At,
+    ColonColon,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Div,
+    Mod,
+}
+
+impl Token {
+    /// Is this token an operator in the sense of the XPath disambiguation
+    /// rule (used to decide how to lex a following `*` or operator name)?
+    fn forces_operand_next(&self) -> bool {
+        matches!(
+            self,
+            Token::At
+                | Token::ColonColon
+                | Token::LParen
+                | Token::LBracket
+                | Token::Comma
+                | Token::And
+                | Token::Or
+                | Token::Div
+                | Token::Mod
+                | Token::Multiply
+                | Token::Slash
+                | Token::DoubleSlash
+                | Token::Pipe
+                | Token::Plus
+                | Token::Minus
+                | Token::Eq
+                | Token::Ne
+                | Token::Lt
+                | Token::Le
+                | Token::Gt
+                | Token::Ge
+        )
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Literal(s) => write!(f, "'{s}'"),
+            Token::Name(s) => write!(f, "{s}"),
+            Token::Slash => write!(f, "/"),
+            Token::DoubleSlash => write!(f, "//"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Pipe => write!(f, "|"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Multiply => write!(f, "*"),
+            Token::Dot => write!(f, "."),
+            Token::DotDot => write!(f, ".."),
+            Token::At => write!(f, "@"),
+            Token::ColonColon => write!(f, "::"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::And => write!(f, "and"),
+            Token::Or => write!(f, "or"),
+            Token::Div => write!(f, "div"),
+            Token::Mod => write!(f, "mod"),
+        }
+    }
+}
+
+/// Lexing error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes an XPath expression.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let mut tokens: Vec<Token> = Vec::new();
+
+    let err = |pos: usize, msg: &str| LexError { offset: pos, message: msg.to_string() };
+
+    while pos < bytes.len() {
+        let c = bytes[pos] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => pos += 1,
+            '/' => {
+                if bytes.get(pos + 1) == Some(&b'/') {
+                    tokens.push(Token::DoubleSlash);
+                    pos += 2;
+                } else {
+                    tokens.push(Token::Slash);
+                    pos += 1;
+                }
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                pos += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                pos += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                pos += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                pos += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                pos += 1;
+            }
+            '|' => {
+                tokens.push(Token::Pipe);
+                pos += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                pos += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                pos += 1;
+            }
+            '@' => {
+                tokens.push(Token::At);
+                pos += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                pos += 1;
+            }
+            '!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    pos += 2;
+                } else {
+                    return Err(err(pos, "expected '=' after '!'"));
+                }
+            }
+            '<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    pos += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    pos += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    pos += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    pos += 1;
+                }
+            }
+            ':' => {
+                if bytes.get(pos + 1) == Some(&b':') {
+                    tokens.push(Token::ColonColon);
+                    pos += 2;
+                } else {
+                    return Err(err(pos, "single ':' outside a QName is not supported"));
+                }
+            }
+            '*' => {
+                let operator_position = tokens
+                    .last()
+                    .map(|t| !t.forces_operand_next())
+                    .unwrap_or(false);
+                tokens.push(if operator_position { Token::Multiply } else { Token::Star });
+                pos += 1;
+            }
+            '.' => {
+                if bytes.get(pos + 1) == Some(&b'.') {
+                    tokens.push(Token::DotDot);
+                    pos += 2;
+                } else if bytes.get(pos + 1).map(|b| b.is_ascii_digit()).unwrap_or(false) {
+                    let (num, consumed) = lex_number(&input[pos..]);
+                    tokens.push(Token::Number(num));
+                    pos += consumed;
+                } else {
+                    tokens.push(Token::Dot);
+                    pos += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = pos + 1;
+                let rest = &input[start..];
+                match rest.find(quote) {
+                    Some(end) => {
+                        tokens.push(Token::Literal(rest[..end].to_string()));
+                        pos = start + end + 1;
+                    }
+                    None => return Err(err(pos, "unterminated string literal")),
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let (num, consumed) = lex_number(&input[pos..]);
+                tokens.push(Token::Number(num));
+                pos += consumed;
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = pos;
+                while pos < bytes.len() {
+                    let ch = bytes[pos] as char;
+                    if ch.is_ascii_alphanumeric() || matches!(ch, '_' | '-' | '.') {
+                        pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let name = &input[start..pos];
+                let operator_position = tokens
+                    .last()
+                    .map(|t| !t.forces_operand_next())
+                    .unwrap_or(false);
+                let tok = if operator_position {
+                    match name {
+                        "and" => Token::And,
+                        "or" => Token::Or,
+                        "div" => Token::Div,
+                        "mod" => Token::Mod,
+                        _ => {
+                            return Err(err(
+                                start,
+                                "expected an operator (and/or/div/mod) in this position",
+                            ))
+                        }
+                    }
+                } else {
+                    Token::Name(name.to_string())
+                };
+                tokens.push(tok);
+            }
+            _ => return Err(err(pos, "unexpected character")),
+        }
+    }
+    Ok(tokens)
+}
+
+/// Lexes a number starting at the beginning of `s`; returns (value, bytes consumed).
+fn lex_number(s: &str) -> (f64, usize) {
+    let bytes = s.as_bytes();
+    let mut end = 0;
+    let mut seen_dot = false;
+    while end < bytes.len() {
+        let c = bytes[end] as char;
+        if c.is_ascii_digit() {
+            end += 1;
+        } else if c == '.' && !seen_dot {
+            seen_dot = true;
+            end += 1;
+        } else {
+            break;
+        }
+    }
+    (s[..end].parse().unwrap_or(f64::NAN), end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_simple_path() {
+        let toks = tokenize("/descendant::a/child::b").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Slash,
+                Token::Name("descendant".into()),
+                Token::ColonColon,
+                Token::Name("a".into()),
+                Token::Slash,
+                Token::Name("child".into()),
+                Token::ColonColon,
+                Token::Name("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn star_disambiguation() {
+        // leading * is a wildcard, * after a name is multiplication,
+        // * after '::' is a wildcard
+        let toks = tokenize("child::* [position() * 2 = 4]").unwrap();
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::Multiply));
+
+        let toks = tokenize("2 * 3").unwrap();
+        assert_eq!(toks, vec![Token::Number(2.0), Token::Multiply, Token::Number(3.0)]);
+
+        let toks = tokenize("*").unwrap();
+        assert_eq!(toks, vec![Token::Star]);
+    }
+
+    #[test]
+    fn operator_name_disambiguation() {
+        let toks = tokenize("a and b or c").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Name("a".into()),
+                Token::And,
+                Token::Name("b".into()),
+                Token::Or,
+                Token::Name("c".into()),
+            ]
+        );
+        // After '(' the word "and" is a name, not an operator.
+        let toks = tokenize("child::and").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Name("child".into()), Token::ColonColon, Token::Name("and".into())]
+        );
+    }
+
+    #[test]
+    fn div_mod_after_operand() {
+        let toks = tokenize("6 div 2 mod 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Number(6.0),
+                Token::Div,
+                Token::Number(2.0),
+                Token::Mod,
+                Token::Number(2.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_decimal_forms() {
+        let toks = tokenize("1 2.5 .75").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Number(1.0), Token::Number(2.5), Token::Number(0.75)]
+        );
+    }
+
+    #[test]
+    fn string_literals_both_quotes() {
+        let toks = tokenize(r#"'abc' "d e f""#).unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Literal("abc".into()), Token::Literal("d e f".into())]
+        );
+    }
+
+    #[test]
+    fn relational_operators() {
+        let toks = tokenize("1 <= 2 != 3 >= 4 < 5 > 6").unwrap();
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Ne));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Lt));
+        assert!(toks.contains(&Token::Gt));
+    }
+
+    #[test]
+    fn dots_and_abbreviations() {
+        let toks = tokenize(".//a/../@id").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Dot,
+                Token::DoubleSlash,
+                Token::Name("a".into()),
+                Token::Slash,
+                Token::DotDot,
+                Token::Slash,
+                Token::At,
+                Token::Name("id".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a : b").is_err());
+        assert!(tokenize("#").is_err());
+        // two operands in a row where an operator is required
+        assert!(tokenize("a b").is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = tokenize("'oops").unwrap_err();
+        assert!(e.to_string().contains("byte 0"));
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        let a = tokenize("child :: a [ 1 ]").unwrap();
+        let b = tokenize("child::a[1]").unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,35 @@
+//! # xpeval-syntax — XPath 1.0 syntax layer
+//!
+//! Lexer, abstract syntax tree, recursive-descent parser, pretty printer,
+//! normalizer and the **fragment classifier** realizing Figure 1 of
+//! *"The Complexity of XPath Query Evaluation"* (Gottlob, Koch, Pichler;
+//! PODS 2003).
+//!
+//! The grammar covered is the paper's Wadler fragment (Definition 2.6)
+//! extended with the remaining commonly used XPath 1.0 constructs needed for
+//! pXPath (Definition 6.1): the core function library, string literals,
+//! unions, abbreviated syntax (`//`, `.`, `..`, `@`), and unary minus.
+//!
+//! ```
+//! use xpeval_syntax::{parse_query, Fragment};
+//!
+//! let q = parse_query("/descendant::a/child::b[descendant::c and not(following-sibling::d)]")
+//!     .unwrap();
+//! let report = xpeval_syntax::classify(&q);
+//! assert_eq!(report.fragment, Fragment::CoreXPath);
+//! ```
+
+pub mod ast;
+pub mod display;
+pub mod fragment;
+pub mod lexer;
+pub mod normalize;
+pub mod parser;
+
+pub use ast::{ArithOp, Expr, LocationPath, RelOp, Step};
+pub use fragment::{
+    classify, classify_with_limits, ClassifierLimits, Fragment, FragmentReport, QueryFeatures,
+};
+pub use lexer::{tokenize, LexError, Token};
+pub use normalize::{expand_iterated_predicates, negation_depth, push_negation_inward};
+pub use parser::{parse_query, ParseError};

@@ -1,0 +1,332 @@
+//! Query normalization passes.
+//!
+//! Two transformations from the paper are implemented:
+//!
+//! * [`push_negation_inward`] — the de Morgan rewriting used in the proof of
+//!   Theorem 5.9: all occurrences of `not(..)` are pushed down until they sit
+//!   immediately in front of relational operators (where they are absorbed by
+//!   complementing the operator) or in front of location paths (where they
+//!   must remain).  The nesting depth of the *remaining* negations is what
+//!   Theorem 5.9 requires to be bounded.
+//! * [`expand_iterated_predicates`] — Remark 5.2: a location step
+//!   `χ::t[e1]...[ek]` is equivalent to `χ::t[e1 and ... and ek]` as long as
+//!   `position()` and `last()` are not used in the predicates.  This turns
+//!   many WF queries into pWF queries.
+
+use crate::ast::{Expr, LocationPath, Step};
+
+/// Maximum nesting depth of `not(..)` in the expression (0 when no negation
+/// occurs).  This is the quantity bounded in Theorems 5.9 and 6.3.
+pub fn negation_depth(expr: &Expr) -> usize {
+    match expr {
+        Expr::Not(e) => 1 + negation_depth(e),
+        Expr::Path(p) => p
+            .steps
+            .iter()
+            .flat_map(|s| s.predicates.iter())
+            .map(negation_depth)
+            .max()
+            .unwrap_or(0),
+        Expr::Union(a, b)
+        | Expr::Or(a, b)
+        | Expr::And(a, b)
+        | Expr::Relational { left: a, right: b, .. }
+        | Expr::Arithmetic { left: a, right: b, .. } => negation_depth(a).max(negation_depth(b)),
+        Expr::Neg(e) => negation_depth(e),
+        Expr::Number(_) | Expr::Literal(_) => 0,
+        Expr::FunctionCall { args, .. } => args.iter().map(negation_depth).max().unwrap_or(0),
+    }
+}
+
+/// Pushes negation inward using de Morgan's laws, double-negation
+/// elimination and complementation of relational operators over numbers,
+/// exactly as in the proof sketch of Theorem 5.9.  After the rewriting,
+/// `not` occurs only directly in front of location paths (or of constructs
+/// it cannot be pushed through, such as function calls).
+pub fn push_negation_inward(expr: &Expr) -> Expr {
+    rewrite(expr, false)
+}
+
+fn rewrite(expr: &Expr, negate: bool) -> Expr {
+    match expr {
+        Expr::Not(e) => rewrite(e, !negate),
+        Expr::And(a, b) => {
+            let (ra, rb) = (rewrite(a, negate), rewrite(b, negate));
+            if negate {
+                Expr::or(ra, rb)
+            } else {
+                Expr::and(ra, rb)
+            }
+        }
+        Expr::Or(a, b) => {
+            let (ra, rb) = (rewrite(a, negate), rewrite(b, negate));
+            if negate {
+                Expr::and(ra, rb)
+            } else {
+                Expr::or(ra, rb)
+            }
+        }
+        Expr::Relational { op, left, right } => {
+            // Only complement the operator when both operands are numbers
+            // (Theorem 5.9: "Expressions of the form e1 RelOp e2 where both
+            // operands are numbers can be replaced by e1 not(RelOp) e2").
+            let l = rewrite_inner(left);
+            let r = rewrite_inner(right);
+            let numeric = matches!(l.expr_type(), crate::ast::ExprType::Number)
+                && matches!(r.expr_type(), crate::ast::ExprType::Number);
+            let new_op = if negate && numeric { op.negated() } else { *op };
+            let e = Expr::Relational { op: new_op, left: Box::new(l), right: Box::new(r) };
+            if negate && !numeric {
+                Expr::not(e)
+            } else {
+                e
+            }
+        }
+        // Atoms: negation (if any) stays in front of them.
+        other => {
+            let inner = rewrite_inner(other);
+            if negate {
+                Expr::not(inner)
+            } else {
+                inner
+            }
+        }
+    }
+}
+
+/// Rewrites sub-expressions that are not on the boolean spine (predicates
+/// inside paths, function arguments, arithmetic operands).
+fn rewrite_inner(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Path(p) => Expr::Path(LocationPath {
+            absolute: p.absolute,
+            steps: p
+                .steps
+                .iter()
+                .map(|s| Step {
+                    axis: s.axis,
+                    node_test: s.node_test.clone(),
+                    predicates: s.predicates.iter().map(|e| rewrite(e, false)).collect(),
+                })
+                .collect(),
+        }),
+        Expr::Union(a, b) => Expr::Union(Box::new(rewrite_inner(a)), Box::new(rewrite_inner(b))),
+        Expr::Arithmetic { op, left, right } => Expr::Arithmetic {
+            op: *op,
+            left: Box::new(rewrite_inner(left)),
+            right: Box::new(rewrite_inner(right)),
+        },
+        Expr::Neg(e) => Expr::Neg(Box::new(rewrite_inner(e))),
+        Expr::FunctionCall { name, args } => Expr::FunctionCall {
+            name: name.clone(),
+            args: args.iter().map(|a| rewrite(a, false)).collect(),
+        },
+        Expr::And(_, _) | Expr::Or(_, _) | Expr::Not(_) | Expr::Relational { .. } => {
+            rewrite(expr, false)
+        }
+        Expr::Number(_) | Expr::Literal(_) => expr.clone(),
+    }
+}
+
+/// Does the expression mention `position()` or `last()` anywhere?
+fn uses_position_or_last(expr: &Expr) -> bool {
+    let mut found = false;
+    expr.visit(&mut |e| {
+        if let Expr::FunctionCall { name, .. } = e {
+            if name == "position" || name == "last" {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// Applies Remark 5.2: merges iterated predicates `[e1]...[ek]` into a single
+/// predicate `[e1 and ... and ek]` on every step whose predicates do not use
+/// `position()` or `last()` (and are not plain numbers, which abbreviate
+/// positional predicates).  Steps where the merge would change semantics are
+/// left untouched.
+pub fn expand_iterated_predicates(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Path(p) => Expr::Path(LocationPath {
+            absolute: p.absolute,
+            steps: p.steps.iter().map(merge_step).collect(),
+        }),
+        Expr::Union(a, b) => Expr::Union(
+            Box::new(expand_iterated_predicates(a)),
+            Box::new(expand_iterated_predicates(b)),
+        ),
+        Expr::Or(a, b) => {
+            Expr::or(expand_iterated_predicates(a), expand_iterated_predicates(b))
+        }
+        Expr::And(a, b) => {
+            Expr::and(expand_iterated_predicates(a), expand_iterated_predicates(b))
+        }
+        Expr::Not(e) => Expr::not(expand_iterated_predicates(e)),
+        Expr::Relational { op, left, right } => Expr::Relational {
+            op: *op,
+            left: Box::new(expand_iterated_predicates(left)),
+            right: Box::new(expand_iterated_predicates(right)),
+        },
+        Expr::Arithmetic { op, left, right } => Expr::Arithmetic {
+            op: *op,
+            left: Box::new(expand_iterated_predicates(left)),
+            right: Box::new(expand_iterated_predicates(right)),
+        },
+        Expr::Neg(e) => Expr::Neg(Box::new(expand_iterated_predicates(e))),
+        Expr::FunctionCall { name, args } => Expr::FunctionCall {
+            name: name.clone(),
+            args: args.iter().map(expand_iterated_predicates).collect(),
+        },
+        Expr::Number(_) | Expr::Literal(_) => expr.clone(),
+    }
+}
+
+fn merge_step(step: &Step) -> Step {
+    let predicates: Vec<Expr> = step.predicates.iter().map(expand_iterated_predicates).collect();
+    let mergeable = predicates.len() >= 2
+        && predicates
+            .iter()
+            .all(|p| !uses_position_or_last(p) && !matches!(p, Expr::Number(_)));
+    let predicates = if mergeable {
+        let mut it = predicates.into_iter();
+        let first = it.next().expect("len >= 2");
+        vec![it.fold(first, Expr::and)]
+    } else {
+        predicates
+    };
+    Step { axis: step.axis, node_test: step.node_test.clone(), predicates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    fn parse(s: &str) -> Expr {
+        parse_query(s).unwrap()
+    }
+
+    #[test]
+    fn negation_depth_examples() {
+        assert_eq!(negation_depth(&parse("child::a")), 0);
+        assert_eq!(negation_depth(&parse("not(child::a)")), 1);
+        assert_eq!(negation_depth(&parse("not(not(child::a))")), 2);
+        assert_eq!(negation_depth(&parse("child::a[not(child::b[not(child::c)])]")), 2);
+        assert_eq!(
+            negation_depth(&parse("not(child::a) and not(child::b)")),
+            1
+        );
+    }
+
+    #[test]
+    fn de_morgan_and() {
+        let e = parse("not(child::a and child::b)");
+        let rewritten = push_negation_inward(&e);
+        assert_eq!(rewritten, parse("not(child::a) or not(child::b)"));
+    }
+
+    #[test]
+    fn de_morgan_or_and_double_negation() {
+        let e = parse("not(not(child::a or child::b))");
+        let rewritten = push_negation_inward(&e);
+        assert_eq!(rewritten, parse("child::a or child::b"));
+
+        let e = parse("not(child::a or not(child::b))");
+        let rewritten = push_negation_inward(&e);
+        assert_eq!(rewritten, parse("not(child::a) and child::b"));
+    }
+
+    #[test]
+    fn negated_numeric_relop_is_complemented() {
+        let e = parse("not(position() = last())");
+        let rewritten = push_negation_inward(&e);
+        assert_eq!(rewritten, parse("position() != last()"));
+
+        let e = parse("not(position() < 3)");
+        assert_eq!(push_negation_inward(&e), parse("position() >= 3"));
+    }
+
+    #[test]
+    fn negated_nodeset_relop_keeps_negation() {
+        // not(child::a = 'x') must NOT become child::a != 'x' (different
+        // semantics over node sets); the negation stays outside.
+        let e = parse("not(child::a = 'x')");
+        let rewritten = push_negation_inward(&e);
+        assert_eq!(rewritten, parse("not(child::a = 'x')"));
+    }
+
+    #[test]
+    fn negation_remaining_on_paths_only() {
+        let e = parse("not((child::a and position() = 1) or not(child::b))");
+        let rewritten = push_negation_inward(&e);
+        // All remaining `not`s are directly over location paths.
+        let mut ok = true;
+        rewritten.visit(&mut |x| {
+            if let Expr::Not(inner) = x {
+                if !inner.is_path() {
+                    ok = false;
+                }
+            }
+        });
+        assert!(ok, "rewritten: {rewritten}");
+        assert_eq!(negation_depth(&rewritten), 1);
+    }
+
+    #[test]
+    fn negation_inside_predicates_is_also_pushed() {
+        let e = parse("child::a[not(child::b and child::c)]");
+        let rewritten = push_negation_inward(&e);
+        assert_eq!(rewritten, parse("child::a[not(child::b) or not(child::c)]"));
+    }
+
+    #[test]
+    fn iterated_predicates_merge_when_safe() {
+        let e = parse("child::a[child::b][child::c]");
+        let merged = expand_iterated_predicates(&e);
+        assert_eq!(merged, parse("child::a[child::b and child::c]"));
+    }
+
+    #[test]
+    fn iterated_predicates_with_position_are_left_alone() {
+        let e = parse("child::a[child::b][position() = 1]");
+        assert_eq!(expand_iterated_predicates(&e), e);
+        let e = parse("child::a[child::b][2]");
+        assert_eq!(expand_iterated_predicates(&e), e);
+    }
+
+    #[test]
+    fn merge_recurses_into_nested_paths() {
+        let e = parse("child::a[child::b[child::x][child::y]][child::c]");
+        let merged = expand_iterated_predicates(&e);
+        assert_eq!(
+            merged,
+            parse("child::a[child::b[child::x and child::y] and child::c]")
+        );
+    }
+
+    #[test]
+    fn merged_queries_become_pwf() {
+        use crate::fragment::{classify, Fragment};
+        // Iterated predicates are allowed in Core XPath (Remark 5.2: the
+        // restriction "plays no role" there) but forbidden in pWF.  Merging
+        // turns this WF query into a pWF one.
+        let e = parse("child::a[1 = 1][child::c]");
+        assert_eq!(classify(&e).fragment, Fragment::WF);
+        let merged = expand_iterated_predicates(&e);
+        assert_eq!(classify(&merged).fragment, Fragment::PWF);
+        // ... while purely structural iterated predicates are already
+        // positive Core XPath before and after merging.
+        let e = parse("child::a[child::b][child::c]");
+        assert_eq!(classify(&e).fragment, Fragment::PositiveCoreXPath);
+        let merged = expand_iterated_predicates(&e);
+        assert_eq!(classify(&merged).fragment, Fragment::PositiveCoreXPath);
+    }
+
+    #[test]
+    fn push_negation_preserves_other_structure() {
+        let e = parse("count(child::a) = 2 and not(child::b)");
+        let rewritten = push_negation_inward(&e);
+        assert_eq!(rewritten, parse("count(child::a) = 2 and not(child::b)"));
+    }
+}

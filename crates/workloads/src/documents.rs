@@ -1,0 +1,215 @@
+//! Synthetic XML document generators.
+//!
+//! The shapes cover the regimes the paper's complexity bounds distinguish:
+//! wide flat documents (large fan-out, the shape of the Theorem 3.2 gate
+//! documents), deep chains (worst case for ancestor/descendant axes),
+//! balanced binary trees, uniformly random trees and a small
+//! auction-site-flavoured document (realistic tag distribution in the style
+//! of the XMark benchmark) for the examples.
+
+use rand::Rng;
+use xpeval_dom::{Document, DocumentBuilder};
+
+/// A flat document: a root with `width` children, each with `leaf_children`
+/// leaves below.  Tags cycle through `a`, `b`, `c`, `d`.
+pub fn wide_document(width: usize, leaf_children: usize) -> Document {
+    let tags = ["a", "b", "c", "d"];
+    let mut b = DocumentBuilder::new();
+    b.open_element("root");
+    for i in 0..width {
+        b.open_element(tags[i % tags.len()]);
+        for j in 0..leaf_children {
+            b.leaf_element(tags[(i + j + 1) % tags.len()]);
+        }
+        b.close_element();
+    }
+    b.close_element();
+    b.finish()
+}
+
+/// A chain of depth `depth`, tags cycling through `a`, `b`, `c`; the deepest
+/// element is tagged `leaf`.
+pub fn chain_document(depth: usize) -> Document {
+    let tags = ["a", "b", "c"];
+    let mut b = DocumentBuilder::new();
+    for i in 0..depth {
+        b.open_element(tags[i % tags.len()]);
+    }
+    b.leaf_element("leaf");
+    b.finish()
+}
+
+/// A complete binary tree of the given depth (≥ 0); inner nodes are tagged
+/// `n`, leaves `leaf`, and every node carries an `id` attribute.
+pub fn binary_tree_document(depth: usize) -> Document {
+    let mut b = DocumentBuilder::new();
+    let mut counter = 0usize;
+    build_binary(&mut b, depth, &mut counter);
+    b.finish()
+}
+
+fn build_binary(b: &mut DocumentBuilder, depth: usize, counter: &mut usize) {
+    let tag = if depth == 0 { "leaf" } else { "n" };
+    b.open_element(tag);
+    b.attribute("id", counter.to_string());
+    *counter += 1;
+    if depth > 0 {
+        build_binary(b, depth - 1, counter);
+        build_binary(b, depth - 1, counter);
+    }
+    b.close_element();
+}
+
+/// A uniformly random tree with `nodes` elements: each new element is
+/// attached to a random previously created element (preferring recent ones
+/// to keep the depth moderate).  Tags are drawn from `tags`.
+pub fn random_tree_document<R: Rng>(rng: &mut R, nodes: usize, tags: &[&str]) -> Document {
+    assert!(!tags.is_empty(), "need at least one tag");
+    // Build the parent structure first, then emit it in document order with
+    // the (iterative) builder to avoid recursion on deep random trees.
+    let mut parents: Vec<usize> = vec![0];
+    for i in 1..nodes.max(1) {
+        // Bias towards recent nodes: pick from the last 8 or anywhere.
+        let parent = if rng.gen_bool(0.7) {
+            let lo = i.saturating_sub(8);
+            rng.gen_range(lo..i)
+        } else {
+            rng.gen_range(0..i)
+        };
+        parents.push(parent);
+    }
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); nodes.max(1)];
+    for (i, &p) in parents.iter().enumerate().skip(1) {
+        children[p].push(i);
+    }
+    let mut b = DocumentBuilder::new();
+    // Iterative DFS emit.
+    let mut stack: Vec<(usize, bool)> = vec![(0, true)];
+    while let Some((node, entering)) = stack.pop() {
+        if entering {
+            let tag = tags[rng.gen_range(0..tags.len())];
+            b.open_element(tag);
+            stack.push((node, false));
+            for &c in children[node].iter().rev() {
+                stack.push((c, true));
+            }
+        } else {
+            b.close_element();
+        }
+    }
+    b.finish()
+}
+
+/// A small auction-site document (XMark-flavoured): `items` items across
+/// four regions, each with a seller, a description and a variable number of
+/// bids.  Used by the examples and the data-complexity experiment.
+pub fn auction_site_document<R: Rng>(rng: &mut R, items: usize) -> Document {
+    let regions = ["europe", "asia", "namerica", "samerica"];
+    let mut b = DocumentBuilder::new();
+    b.open_element("site");
+    b.open_element("regions");
+    for (r, region) in regions.iter().enumerate() {
+        b.open_element(*region);
+        for i in 0..items {
+            if i % regions.len() != r {
+                continue;
+            }
+            b.open_element("item");
+            b.attribute("id", format!("item{i}"));
+            b.open_element("name");
+            b.text(format!("Item number {i}"));
+            b.close_element();
+            b.open_element("seller");
+            b.attribute("person", format!("person{}", rng.gen_range(0..items.max(1))));
+            b.close_element();
+            b.open_element("description");
+            b.text("A reproduction artifact of considerable value.");
+            b.close_element();
+            let bids = rng.gen_range(0..5);
+            for bid in 0..bids {
+                b.open_element("bid");
+                b.attribute("increase", format!("{}", (bid + 1) * 3));
+                b.close_element();
+            }
+            b.close_element();
+        }
+        b.close_element();
+    }
+    b.close_element();
+    b.open_element("people");
+    for p in 0..items {
+        b.open_element("person");
+        b.attribute("id", format!("person{p}"));
+        b.open_element("name");
+        b.text(format!("Person {p}"));
+        b.close_element();
+        b.close_element();
+    }
+    b.close_element();
+    b.close_element();
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn wide_document_shape() {
+        let d = wide_document(10, 3);
+        let root = d.first_child(d.root()).unwrap();
+        assert_eq!(d.name(root), Some("root"));
+        assert_eq!(d.element_count(), 1 + 10 + 30);
+        assert_eq!(d.height(), 3);
+    }
+
+    #[test]
+    fn chain_document_shape() {
+        let d = chain_document(50);
+        assert_eq!(d.height(), 51);
+        assert_eq!(d.element_count(), 51);
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let d = binary_tree_document(4);
+        // 2^(depth+1) - 1 elements.
+        assert_eq!(d.element_count(), 31);
+        // Height counts the id attribute nodes hanging off the deepest leaf.
+        assert_eq!(d.height(), 6);
+        // Every element has an id attribute.
+        for e in d.all_elements() {
+            assert!(d.attribute_value(e, "id").is_some());
+        }
+    }
+
+    #[test]
+    fn random_tree_is_reproducible_and_sized() {
+        let d1 = random_tree_document(&mut StdRng::seed_from_u64(3), 200, &["a", "b", "c"]);
+        let d2 = random_tree_document(&mut StdRng::seed_from_u64(3), 200, &["a", "b", "c"]);
+        assert_eq!(d1.element_count(), 200);
+        assert_eq!(d2.element_count(), 200);
+        assert_eq!(xpeval_dom::serialize(&d1), xpeval_dom::serialize(&d2));
+    }
+
+    #[test]
+    fn random_tree_handles_tiny_sizes() {
+        let d = random_tree_document(&mut StdRng::seed_from_u64(1), 1, &["x"]);
+        assert_eq!(d.element_count(), 1);
+        let d = random_tree_document(&mut StdRng::seed_from_u64(1), 0, &["x"]);
+        assert_eq!(d.element_count(), 1);
+    }
+
+    #[test]
+    fn auction_document_contains_expected_structure() {
+        let d = auction_site_document(&mut StdRng::seed_from_u64(9), 20);
+        let items = d.all_elements().filter(|&n| d.name(n) == Some("item")).count();
+        assert_eq!(items, 20);
+        let people = d.all_elements().filter(|&n| d.name(n) == Some("person")).count();
+        assert_eq!(people, 20);
+        let site = d.first_child(d.root()).unwrap();
+        assert_eq!(d.name(site), Some("site"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Random digraph generators for the reachability experiment (Theorem 4.3).
+
+use rand::Rng;
+use xpeval_reductions::DirectedGraph;
+
+/// An Erdős–Rényi style random digraph on `n` vertices where every ordered
+/// pair (u ≠ t) carries an edge with probability `p`.
+pub fn random_digraph<R: Rng>(rng: &mut R, n: usize, p: f64) -> DirectedGraph {
+    let mut g = DirectedGraph::new(n);
+    for u in 1..=n {
+        for t in 1..=n {
+            if u != t && rng.gen_bool(p) {
+                g.add_edge(u, t);
+            }
+        }
+    }
+    g
+}
+
+/// A layered DAG with `layers` layers of `width` vertices each; every vertex
+/// has `out_degree` random edges into the next layer.  Vertex 1 is in the
+/// first layer and vertex `layers·width` in the last, so long positive
+/// reachability chains exist by construction.
+pub fn layered_dag<R: Rng>(rng: &mut R, layers: usize, width: usize, out_degree: usize) -> DirectedGraph {
+    assert!(layers >= 1 && width >= 1);
+    let n = layers * width;
+    let mut g = DirectedGraph::new(n);
+    for layer in 0..layers - 1 {
+        for i in 0..width {
+            let u = layer * width + i + 1;
+            for _ in 0..out_degree {
+                let t = (layer + 1) * width + rng.gen_range(0..width) + 1;
+                g.add_edge(u, t);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_digraph_properties() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_digraph(&mut rng, 10, 0.3);
+        assert_eq!(g.num_vertices(), 10);
+        assert!(g.num_edges() <= 90);
+        // No self loops from the generator.
+        for u in 1..=10 {
+            assert!(!g.has_edge(u, u));
+        }
+        // Deterministic under the seed.
+        let g2 = random_digraph(&mut StdRng::seed_from_u64(3), 10, 0.3);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn dense_graph_is_strongly_connected_in_practice() {
+        let g = random_digraph(&mut StdRng::seed_from_u64(5), 8, 0.9);
+        for u in 1..=8 {
+            for t in 1..=8 {
+                assert!(g.reachable(u, t), "{u} -> {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn layered_dag_reachability_runs_forward_only() {
+        let g = layered_dag(&mut StdRng::seed_from_u64(7), 4, 3, 2);
+        assert_eq!(g.num_vertices(), 12);
+        // No edge goes backwards.
+        for (u, t) in g.edges() {
+            assert!(t > u.min(t), "edge {u}->{t}");
+            assert!((u - 1) / 3 + 1 == (t - 1) / 3, "edge {u}->{t} skips a layer");
+        }
+        // Vertices in the last layer reach nothing.
+        for t in 10..=12 {
+            for other in 1..=9 {
+                assert!(!g.reachable(t, other));
+            }
+        }
+    }
+
+    #[test]
+    fn single_layer_dag_has_no_edges() {
+        let g = layered_dag(&mut StdRng::seed_from_u64(1), 1, 5, 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

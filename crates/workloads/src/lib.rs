@@ -1,0 +1,18 @@
+//! # xpeval-workloads — synthetic workload generators
+//!
+//! Document, query and graph generators used by the benchmark harness
+//! (crate `xpeval-bench`), the examples and the workspace-level property
+//! tests.  Every generator is deterministic under a caller-supplied RNG
+//! seed so that the experiments recorded in EXPERIMENTS.md are
+//! reproducible.
+
+pub mod documents;
+pub mod graphs;
+pub mod queries;
+
+pub use documents::{auction_site_document, binary_tree_document, chain_document, random_tree_document, wide_document};
+pub use graphs::{layered_dag, random_digraph};
+pub use queries::{
+    blowup_document, blowup_query, core_xpath_query_corpus, oscillating_query, pwf_query_corpus,
+    random_core_query, random_pf_query, random_pwf_query, star_chain_query,
+};

@@ -1,0 +1,288 @@
+//! Synthetic XPath query generators, one family per experiment.
+
+use rand::Rng;
+use xpeval_dom::{Axis, NodeTest};
+use xpeval_syntax::{Expr, LocationPath, RelOp, Step};
+
+/// The companion document for [`blowup_query`]: a single `a` element with
+/// `fan_out` children tagged `b`.  On this document the naive evaluator's
+/// intermediate list grows as `fan_out^reps`.
+pub fn blowup_document(fan_out: usize) -> xpeval_dom::Document {
+    let mut b = xpeval_dom::DocumentBuilder::new();
+    b.open_element("a");
+    for _ in 0..fan_out {
+        b.leaf_element("b");
+    }
+    b.close_element();
+    b.finish()
+}
+
+/// The exponential-blow-up family of the paper's introduction:
+/// `//a/b/parent::a/b/…` with `reps` repetitions of `/b/parent::a`.
+/// Naive (re-evaluation) engines take time `k^reps` on a document whose `a`
+/// element has `k` children `b`; the context-value-table evaluator stays
+/// polynomial.
+pub fn blowup_query(reps: usize) -> Expr {
+    let mut steps = vec![
+        Step::new(Axis::DescendantOrSelf, NodeTest::AnyNode),
+        Step::new(Axis::Child, NodeTest::name("a")),
+    ];
+    for _ in 0..reps {
+        steps.push(Step::new(Axis::Child, NodeTest::name("b")));
+        steps.push(Step::new(Axis::Parent, NodeTest::name("a")));
+    }
+    Expr::Path(LocationPath::absolute(steps))
+}
+
+/// A PF chain query of `len` steps alternating `descendant` and `child`
+/// over the given tag alphabet — used for the Core XPath / PF scaling
+/// experiments (|Q| sweeps).
+pub fn star_chain_query(len: usize, tags: &[&str]) -> Expr {
+    let mut steps = Vec::with_capacity(len);
+    for i in 0..len {
+        let axis = if i % 2 == 0 { Axis::Descendant } else { Axis::Child };
+        let test = if tags.is_empty() {
+            NodeTest::Star
+        } else {
+            NodeTest::name(tags[i % tags.len()])
+        };
+        steps.push(Step::new(axis, test));
+    }
+    Expr::Path(LocationPath::absolute(steps))
+}
+
+/// A PF query of `len` steps that never produces an empty intermediate node
+/// set on any non-empty document: it alternates `descendant-or-self::node()`
+/// and `ancestor-or-self::node()`.  Used by the query-complexity experiments
+/// (E11), where the work per step must stay proportional to |D| so that the
+/// total work is Θ(|D|·|Q|) rather than collapsing to zero once a forward
+/// chain runs off the bottom of the tree.
+pub fn oscillating_query(len: usize) -> Expr {
+    let mut steps = Vec::with_capacity(len);
+    for i in 0..len {
+        let axis = if i % 2 == 0 { Axis::DescendantOrSelf } else { Axis::AncestorOrSelf };
+        steps.push(Step::new(axis, NodeTest::AnyNode));
+    }
+    Expr::Path(LocationPath::absolute(steps))
+}
+
+/// A random PF query (location path without conditions) of the given length.
+pub fn random_pf_query<R: Rng>(rng: &mut R, len: usize, tags: &[&str]) -> Expr {
+    const AXES: [Axis; 6] = [
+        Axis::Child,
+        Axis::Descendant,
+        Axis::DescendantOrSelf,
+        Axis::Parent,
+        Axis::AncestorOrSelf,
+        Axis::FollowingSibling,
+    ];
+    let mut steps = vec![Step::new(Axis::DescendantOrSelf, NodeTest::AnyNode)];
+    for _ in 0..len {
+        let axis = AXES[rng.gen_range(0..AXES.len())];
+        let test = if rng.gen_bool(0.3) || tags.is_empty() {
+            NodeTest::Star
+        } else {
+            NodeTest::name(tags[rng.gen_range(0..tags.len())])
+        };
+        steps.push(Step::new(axis, test));
+    }
+    Expr::Path(LocationPath::absolute(steps))
+}
+
+/// A random Core XPath query: a short location path whose steps carry
+/// randomly nested conditions built from `and` / `or` / `not` and relative
+/// paths.  `depth` bounds the nesting of conditions.
+pub fn random_core_query<R: Rng>(rng: &mut R, depth: usize, tags: &[&str]) -> Expr {
+    let steps = vec![
+        Step::new(Axis::DescendantOrSelf, NodeTest::AnyNode),
+        Step::with_predicate(
+            Axis::Child,
+            random_test(rng, tags),
+            random_condition(rng, depth, tags, true),
+        ),
+    ];
+    Expr::Path(LocationPath::absolute(steps))
+}
+
+fn random_test<R: Rng>(rng: &mut R, tags: &[&str]) -> NodeTest {
+    if rng.gen_bool(0.3) || tags.is_empty() {
+        NodeTest::Star
+    } else {
+        NodeTest::name(tags[rng.gen_range(0..tags.len())])
+    }
+}
+
+fn random_condition<R: Rng>(rng: &mut R, depth: usize, tags: &[&str], allow_not: bool) -> Expr {
+    if depth == 0 || rng.gen_bool(0.35) {
+        // A relative path atom.
+        let axis = match rng.gen_range(0..4) {
+            0 => Axis::Child,
+            1 => Axis::Descendant,
+            2 => Axis::FollowingSibling,
+            _ => Axis::AncestorOrSelf,
+        };
+        return Expr::Path(LocationPath::relative(vec![Step::new(axis, random_test(rng, tags))]));
+    }
+    match rng.gen_range(0..3) {
+        0 => Expr::and(
+            random_condition(rng, depth - 1, tags, allow_not),
+            random_condition(rng, depth - 1, tags, allow_not),
+        ),
+        1 => Expr::or(
+            random_condition(rng, depth - 1, tags, allow_not),
+            random_condition(rng, depth - 1, tags, allow_not),
+        ),
+        _ if allow_not => Expr::not(random_condition(rng, depth - 1, tags, allow_not)),
+        _ => random_condition(rng, depth - 1, tags, allow_not),
+    }
+}
+
+/// A fixed corpus of Core XPath queries over the `a`/`b`/`c`/`d` tag
+/// alphabet of the synthetic documents; used by E12 (linear-time Core XPath)
+/// and the evaluator-agreement property tests.
+pub fn core_xpath_query_corpus() -> Vec<(&'static str, Expr)> {
+    let parse = |s: &str| xpeval_syntax::parse_query(s).expect("corpus query parses");
+    vec![
+        ("child chain", parse("/root/a/b")),
+        ("descendant", parse("//c")),
+        ("single condition", parse("//a[child::b]")),
+        ("negated condition", parse("//a[not(child::b)]")),
+        ("conjunction", parse("//a[child::b and descendant::c]")),
+        ("disjunction", parse("//b[child::a or child::c]")),
+        ("nested negation", parse("//a[not(child::b[not(child::c)])]")),
+        ("sibling navigation", parse("//b[following-sibling::c]/parent::a")),
+        ("ancestor test", parse("//d[ancestor::a and not(ancestor::b)]")),
+        ("union", parse("//a[child::b] | //c[parent::a]")),
+    ]
+}
+
+/// A fixed corpus of pWF queries (arithmetic + position/last, single
+/// predicates, no negation); used by E6/E7.
+pub fn pwf_query_corpus() -> Vec<(&'static str, Expr)> {
+    let parse = |s: &str| xpeval_syntax::parse_query(s).expect("corpus query parses");
+    vec![
+        ("positional", parse("//a[position() = 2]")),
+        ("last", parse("//b[position() = last()]")),
+        ("arithmetic", parse("//a[position() + 1 = last()]")),
+        ("structural and positional", parse("//a[child::b and position() < 4]")),
+        ("comparison to constant", parse("//item[@id = 'item3']")),
+        ("bid filter", parse("//item[bid/@increase > 6]/name")),
+        ("existential", parse("//person[starts-with(@id, 'person1')]")),
+    ]
+}
+
+/// A random pWF predicate query of the form
+/// `//tag[position() <op> f(last())]` used by the parallel-speed-up sweep.
+pub fn random_pwf_query<R: Rng>(rng: &mut R, tags: &[&str]) -> Expr {
+    let tag = tags[rng.gen_range(0..tags.len())];
+    let op = match rng.gen_range(0..4) {
+        0 => RelOp::Le,
+        1 => RelOp::Lt,
+        2 => RelOp::Ge,
+        _ => RelOp::Ne,
+    };
+    let bound = Expr::arithmetic(
+        xpeval_syntax::ArithOp::Div,
+        Expr::last(),
+        Expr::Number(rng.gen_range(2..5) as f64),
+    );
+    Expr::Path(LocationPath::absolute(vec![
+        Step::new(Axis::DescendantOrSelf, NodeTest::AnyNode),
+        Step::with_predicate(
+            Axis::Child,
+            NodeTest::name(tag),
+            Expr::relational(op, Expr::position(), bound),
+        ),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xpeval_syntax::{classify, Fragment};
+
+    #[test]
+    fn blowup_query_shape() {
+        let q = blowup_query(3);
+        let path = q.as_path().unwrap();
+        assert_eq!(path.steps.len(), 2 + 6);
+        assert_eq!(classify(&q).fragment, Fragment::PF);
+        assert_eq!(
+            q.to_string(),
+            "/descendant-or-self::node()/child::a/child::b/parent::a/child::b/parent::a/child::b/parent::a"
+        );
+    }
+
+    #[test]
+    fn star_chain_is_pf() {
+        let q = star_chain_query(7, &["a", "b"]);
+        assert_eq!(q.as_path().unwrap().steps.len(), 7);
+        assert_eq!(classify(&q).fragment, Fragment::PF);
+        let q = star_chain_query(3, &[]);
+        assert_eq!(classify(&q).fragment, Fragment::PF);
+    }
+
+    #[test]
+    fn random_pf_queries_are_pf() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..50 {
+            let q = random_pf_query(&mut rng, 6, &["a", "b", "c"]);
+            assert_eq!(classify(&q).fragment, Fragment::PF);
+        }
+    }
+
+    #[test]
+    fn random_core_queries_stay_in_core_xpath() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let q = random_core_query(&mut rng, 3, &["a", "b", "c", "d"]);
+            let frag = classify(&q).fragment;
+            assert!(frag <= Fragment::CoreXPath, "{q} classified as {frag}");
+        }
+    }
+
+    #[test]
+    fn corpora_classify_where_expected() {
+        for (name, q) in core_xpath_query_corpus() {
+            let frag = classify(&q).fragment;
+            assert!(frag <= Fragment::CoreXPath, "{name} => {frag}");
+        }
+        for (name, q) in pwf_query_corpus() {
+            let frag = classify(&q).fragment;
+            assert!(
+                frag == Fragment::PWF || frag == Fragment::PXPath,
+                "{name} => {frag}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_pwf_queries_classify_as_pwf() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..30 {
+            let q = random_pwf_query(&mut rng, &["a", "b"]);
+            assert_eq!(classify(&q).fragment, Fragment::PWF, "{q}");
+        }
+    }
+
+    #[test]
+    fn generated_queries_round_trip_through_the_parser() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..30 {
+            for q in [
+                blowup_query(4),
+                star_chain_query(5, &["a", "b", "c"]),
+                random_pf_query(&mut rng, 5, &["a", "b"]),
+                random_core_query(&mut rng, 3, &["a", "b", "c"]),
+                random_pwf_query(&mut rng, &["a", "b"]),
+            ] {
+                let printed = q.to_string();
+                let reparsed = xpeval_syntax::parse_query(&printed)
+                    .unwrap_or_else(|e| panic!("{printed}: {e}"));
+                assert_eq!(q, reparsed);
+            }
+        }
+    }
+}

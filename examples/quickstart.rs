@@ -1,0 +1,60 @@
+//! Quickstart: parse a document, parse queries, evaluate them with the
+//! default (context-value-table) engine and look at the fragment
+//! classification.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use xpeval::prelude::*;
+
+fn main() {
+    // A small library catalogue.
+    let doc = parse_xml(
+        r#"<library>
+             <book year="2002"><title>Efficient Algorithms for Processing XPath Queries</title><venue>VLDB</venue></book>
+             <book year="2003"><title>The Complexity of XPath Query Evaluation</title><venue>PODS</venue></book>
+             <article year="2003"><title>Typing and Querying XML Documents</title><venue>PODS</venue></article>
+           </library>"#,
+    )
+    .expect("well-formed XML");
+
+    println!("document: {} nodes, height {}\n", doc.len(), doc.height());
+
+    let engine = Engine::new(EvalStrategy::ContextValueTable);
+
+    let queries = [
+        "/library/book/title",
+        "//book[@year = 2003]/title",
+        "//book[not(venue = 'PODS')]",
+        "//*[venue = 'PODS'][position() = last()]/title",
+        "count(//book)",
+        "string(//book[@year = 2003]/title)",
+    ];
+
+    for src in queries {
+        let query = parse_query(src).expect("query parses");
+        let report = xpeval::syntax::classify(&query);
+        let value = engine.evaluate(&doc, &query).expect("evaluation succeeds");
+        println!("query     : {src}");
+        println!("fragment  : {} — {}", report.fragment, report.complexity);
+        match value {
+            Value::NodeSet(nodes) => {
+                println!("result    : {} node(s)", nodes.len());
+                for n in nodes {
+                    println!("            <{}> {:?}", doc.name(n).unwrap_or("#"), doc.string_value(n));
+                }
+            }
+            other => println!("result    : {other:?}"),
+        }
+        println!();
+    }
+
+    // The engine can also pick the strategy the paper recommends per query.
+    let q = parse_query("//book[@year = 2003]/title").unwrap();
+    let recommended = Engine::recommended_for(&q, 4);
+    println!(
+        "recommended strategy for a pXPath query on 4 threads: {:?}",
+        recommended.strategy()
+    );
+}

@@ -1,0 +1,45 @@
+//! # xpeval — The Complexity of XPath Query Evaluation, reproduced in Rust
+//!
+//! This facade crate re-exports the public API of the workspace crates that
+//! together reproduce *"The Complexity of XPath Query Evaluation"*
+//! (Gottlob, Koch, Pichler; PODS 2003):
+//!
+//! * [`dom`] — the XML document tree substrate (arena tree, axes, document
+//!   order, parsing, serialization),
+//! * [`syntax`] — the XPath 1.0 lexer/parser/AST and the fragment classifier
+//!   of Figure 1 (PF, positive Core XPath, Core XPath, WF, pWF, pXPath),
+//! * [`engine`] — the evaluation engines: the context-value-table
+//!   dynamic-programming evaluator, the naive exponential baseline, the
+//!   linear-time Core XPath evaluator, the parallel LOGCFL-fragment
+//!   evaluator, and the Singleton-Success decision procedure of Lemma 5.4,
+//! * [`circuits`] — monotone and SAC¹ boolean circuits with the layered
+//!   serialization of Figure 3,
+//! * [`reductions`] — the reductions of Theorems 3.2, 4.2, 4.3 and 5.7,
+//! * [`workloads`] — synthetic document/query/graph generators used by the
+//!   benchmark harness and the examples.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xpeval::prelude::*;
+//!
+//! let doc = parse_xml("<lib><book year='2003'><title>XPath</title></book></lib>").unwrap();
+//! let query = parse_query("/descendant-or-self::book[child::title]").unwrap();
+//! let engine = Engine::new(EvalStrategy::ContextValueTable);
+//! let result = engine.evaluate(&doc, &query).unwrap();
+//! assert_eq!(result.expect_nodes().len(), 1);
+//! ```
+
+pub use xpeval_circuits as circuits;
+pub use xpeval_core as engine;
+pub use xpeval_dom as dom;
+pub use xpeval_reductions as reductions;
+pub use xpeval_syntax as syntax;
+pub use xpeval_workloads as workloads;
+
+/// Convenient glob-import surface for examples and downstream users.
+pub mod prelude {
+    pub use xpeval_core::{Engine, EvalStrategy, SingletonSuccess, Value};
+    pub use xpeval_dom::{parse_xml, Axis, Document, DocumentBuilder, NodeId, NodeTest};
+    pub use xpeval_syntax::{parse_query, Expr, Fragment, FragmentReport};
+}

@@ -1,0 +1,124 @@
+//! Algebraic identities between the XPath axes, checked on random documents.
+//!
+//! The linear-time Core XPath evaluator and the reductions lean on these
+//! identities (e.g. predicate evaluation through inverse axes, the
+//! Corollary 3.3 replacement of `ancestor-or-self`), so they are verified
+//! here independently of any evaluator, directly against the DOM axis
+//! implementations.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xpeval::dom::{Axis, Document, NodeId};
+use xpeval::workloads::random_tree_document;
+
+fn axis_set(doc: &Document, from: &[NodeId], axis: Axis) -> Vec<NodeId> {
+    let mut out: Vec<NodeId> = from.iter().flat_map(|&n| doc.axis_nodes(n, axis)).collect();
+    doc.sort_document_order(&mut out);
+    out
+}
+
+fn compose(doc: &Document, start: NodeId, axes: &[Axis]) -> Vec<NodeId> {
+    let mut current = vec![start];
+    for &axis in axes {
+        current = axis_set(doc, &current, axis);
+    }
+    current
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// descendant = child / descendant-or-self.
+    #[test]
+    fn descendant_decomposition(seed in 0u64..10_000, nodes in 2usize..80) {
+        let doc = random_tree_document(&mut StdRng::seed_from_u64(seed), nodes, &["a", "b"]);
+        for n in doc.all_nodes() {
+            let direct = axis_set(&doc, &[n], Axis::Descendant);
+            let composed = compose(&doc, n, &[Axis::Child, Axis::DescendantOrSelf]);
+            prop_assert_eq!(direct, composed);
+        }
+    }
+
+    /// ancestor = parent / ancestor-or-self.
+    #[test]
+    fn ancestor_decomposition(seed in 0u64..10_000, nodes in 2usize..80) {
+        let doc = random_tree_document(&mut StdRng::seed_from_u64(seed), nodes, &["a", "b"]);
+        for n in doc.all_nodes() {
+            let direct = axis_set(&doc, &[n], Axis::Ancestor);
+            let composed = compose(&doc, n, &[Axis::Parent, Axis::AncestorOrSelf]);
+            prop_assert_eq!(direct, composed);
+        }
+    }
+
+    /// following = ancestor-or-self / following-sibling / descendant-or-self.
+    #[test]
+    fn following_decomposition(seed in 0u64..10_000, nodes in 2usize..80) {
+        let doc = random_tree_document(&mut StdRng::seed_from_u64(seed), nodes, &["a", "b", "c"]);
+        for n in doc.all_nodes() {
+            let direct = axis_set(&doc, &[n], Axis::Following);
+            let composed = compose(
+                &doc,
+                n,
+                &[Axis::AncestorOrSelf, Axis::FollowingSibling, Axis::DescendantOrSelf],
+            );
+            prop_assert_eq!(direct, composed);
+        }
+    }
+
+    /// preceding = ancestor-or-self / preceding-sibling / descendant-or-self.
+    #[test]
+    fn preceding_decomposition(seed in 0u64..10_000, nodes in 2usize..80) {
+        let doc = random_tree_document(&mut StdRng::seed_from_u64(seed), nodes, &["a", "b", "c"]);
+        for n in doc.all_nodes() {
+            let direct = axis_set(&doc, &[n], Axis::Preceding);
+            let composed = compose(
+                &doc,
+                n,
+                &[Axis::AncestorOrSelf, Axis::PrecedingSibling, Axis::DescendantOrSelf],
+            );
+            prop_assert_eq!(direct, composed);
+        }
+    }
+
+    /// The Corollary 3.3 identity restricted to the gate documents' shape is
+    /// checked in the reductions crate; here the general inversion law
+    /// m ∈ axis(n) ⇔ n ∈ axis⁻¹(m) is verified for every core axis.
+    #[test]
+    fn inverse_axes_are_converse_relations(seed in 0u64..10_000, nodes in 2usize..40) {
+        let doc = random_tree_document(&mut StdRng::seed_from_u64(seed), nodes, &["a", "b"]);
+        let all: Vec<NodeId> = doc.all_nodes().collect();
+        for axis in Axis::CORE {
+            for &n in &all {
+                for m in doc.axis_nodes(n, axis) {
+                    prop_assert!(
+                        doc.axis_nodes(m, axis.inverse()).contains(&n),
+                        "axis {} not inverted at {:?}/{:?}", axis, n, m
+                    );
+                }
+            }
+        }
+    }
+
+    /// self ∪ ancestor ∪ descendant ∪ following ∪ preceding partitions the
+    /// document (attribute nodes aside) — XPath 1.0 §2.2.
+    #[test]
+    fn five_way_partition(seed in 0u64..10_000, nodes in 2usize..60) {
+        let doc = random_tree_document(&mut StdRng::seed_from_u64(seed), nodes, &["a", "b", "c"]);
+        for n in doc.all_nodes() {
+            let mut parts: Vec<Vec<NodeId>> = vec![
+                vec![n],
+                doc.axis_nodes(n, Axis::Ancestor),
+                doc.axis_nodes(n, Axis::Descendant),
+                doc.axis_nodes(n, Axis::Following),
+                doc.axis_nodes(n, Axis::Preceding),
+            ];
+            let mut union: Vec<NodeId> = parts.concat();
+            doc.sort_document_order(&mut union);
+            prop_assert_eq!(union.len(), doc.len(), "union misses nodes at {:?}", n);
+            // Pairwise disjoint.
+            let total: usize = parts.iter_mut().map(|p| p.len()).sum();
+            prop_assert_eq!(total, doc.len(), "parts overlap at {:?}", n);
+        }
+    }
+}

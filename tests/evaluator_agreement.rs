@@ -1,0 +1,141 @@
+//! Cross-evaluator agreement: every evaluation strategy implements the same
+//! XPath semantics on the fragments it supports.
+//!
+//! This is the central integration invariant of the reproduction — the
+//! complexity results only make sense if the linear Core XPath evaluator,
+//! the context-value-table evaluator, the naive baseline, the
+//! Singleton-Success checker and the parallel evaluator all agree.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xpeval::engine::{
+    Context, CoreXPathEvaluator, DpEvaluator, NaiveEvaluator, ParallelEvaluator, SingletonSuccess,
+};
+use xpeval::prelude::*;
+use xpeval::workloads::{
+    auction_site_document, core_xpath_query_corpus, pwf_query_corpus, random_core_query,
+    random_pf_query, random_tree_document, wide_document,
+};
+
+fn dp_nodes(doc: &Document, query: &Expr) -> Vec<NodeId> {
+    DpEvaluator::new(doc, query)
+        .evaluate()
+        .unwrap()
+        .into_nodes()
+        .unwrap()
+}
+
+#[test]
+fn corpus_agreement_on_core_xpath_queries() {
+    let docs = vec![
+        wide_document(40, 4),
+        random_tree_document(&mut StdRng::seed_from_u64(1), 300, &["a", "b", "c", "d", "root"]),
+    ];
+    for doc in &docs {
+        for (name, query) in core_xpath_query_corpus() {
+            let dp = dp_nodes(doc, &query);
+            let naive = NaiveEvaluator::new(doc)
+                .evaluate(&query)
+                .unwrap()
+                .into_nodes()
+                .unwrap();
+            let linear = CoreXPathEvaluator::new(doc).evaluate_query(&query).unwrap();
+            assert_eq!(dp, naive, "naive disagrees on {name}");
+            assert_eq!(dp, linear, "linear evaluator disagrees on {name}");
+        }
+    }
+}
+
+#[test]
+fn corpus_agreement_on_pwf_queries() {
+    let doc = auction_site_document(&mut StdRng::seed_from_u64(2), 40);
+    let ctx = Context::root(&doc);
+    for (name, query) in pwf_query_corpus() {
+        let dp = dp_nodes(&doc, &query);
+        let ss = SingletonSuccess::new(&doc, &query).unwrap().node_set(ctx).unwrap();
+        let par = ParallelEvaluator::new(&doc, 3)
+            .evaluate(&query)
+            .unwrap()
+            .into_nodes()
+            .unwrap();
+        assert_eq!(dp, ss, "singleton-success disagrees on {name}");
+        assert_eq!(dp, par, "parallel evaluator disagrees on {name}");
+    }
+}
+
+#[test]
+fn engine_facade_strategies_agree() {
+    let doc = auction_site_document(&mut StdRng::seed_from_u64(3), 25);
+    let query = parse_query("//item[child::bid]/name").unwrap();
+    let reference = Engine::new(EvalStrategy::ContextValueTable)
+        .evaluate(&doc, &query)
+        .unwrap();
+    for strategy in [
+        EvalStrategy::Naive,
+        EvalStrategy::CoreXPathLinear,
+        EvalStrategy::SingletonSuccess,
+        EvalStrategy::Parallel { threads: 4 },
+    ] {
+        let got = Engine::new(strategy).evaluate(&doc, &query).unwrap();
+        assert_eq!(got, reference, "{strategy:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random PF queries over random documents: naive, DP and the linear
+    /// evaluator agree.
+    #[test]
+    fn random_pf_queries_agree(seed in 0u64..5000, len in 1usize..7, nodes in 5usize..120) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = random_tree_document(&mut rng, nodes, &["a", "b", "c"]);
+        let query = random_pf_query(&mut rng, len, &["a", "b", "c"]);
+        let dp = dp_nodes(&doc, &query);
+        let naive = NaiveEvaluator::new(&doc).evaluate(&query).unwrap().into_nodes().unwrap();
+        let linear = CoreXPathEvaluator::new(&doc).evaluate_query(&query).unwrap();
+        prop_assert_eq!(&dp, &naive);
+        prop_assert_eq!(&dp, &linear);
+    }
+
+    /// Random Core XPath queries (with negation): DP and the linear
+    /// evaluator agree.
+    #[test]
+    fn random_core_queries_agree(seed in 0u64..5000, depth in 0usize..4, nodes in 5usize..120) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = random_tree_document(&mut rng, nodes, &["a", "b", "c", "d"]);
+        let query = random_core_query(&mut rng, depth, &["a", "b", "c", "d"]);
+        let dp = dp_nodes(&doc, &query);
+        let linear = CoreXPathEvaluator::new(&doc).evaluate_query(&query).unwrap();
+        prop_assert_eq!(&dp, &linear);
+    }
+
+    /// Random pWF queries: the Singleton-Success checker and the parallel
+    /// evaluator agree with the DP evaluator.
+    #[test]
+    fn random_pwf_queries_agree(seed in 0u64..5000, nodes in 5usize..80) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = random_tree_document(&mut rng, nodes, &["a", "b"]);
+        let query = xpeval::workloads::random_pwf_query(&mut rng, &["a", "b"]);
+        let dp = dp_nodes(&doc, &query);
+        let ctx = Context::root(&doc);
+        let ss = SingletonSuccess::new(&doc, &query).unwrap().node_set(ctx).unwrap();
+        let par = ParallelEvaluator::new(&doc, 2).evaluate(&query).unwrap().into_nodes().unwrap();
+        prop_assert_eq!(&dp, &ss);
+        prop_assert_eq!(&dp, &par);
+    }
+
+    /// The naive evaluator and the DP evaluator agree on everything the
+    /// naive evaluator can finish (they only differ in cost, never in the
+    /// result).
+    #[test]
+    fn naive_agrees_when_it_terminates(seed in 0u64..5000, depth in 0usize..3, nodes in 5usize..60) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = random_tree_document(&mut rng, nodes, &["a", "b", "c"]);
+        let query = random_core_query(&mut rng, depth, &["a", "b", "c"]);
+        let dp = dp_nodes(&doc, &query);
+        let naive = NaiveEvaluator::new(&doc).evaluate(&query).unwrap().into_nodes().unwrap();
+        prop_assert_eq!(dp, naive);
+    }
+}
