@@ -1,16 +1,16 @@
 //! E3 — Theorem 3.2: circuit value via Core XPath.
 //!
-//! Measures (a) the logspace reduction itself and (b) evaluating the
-//! produced Core XPath query, for monotone circuits of growing size.  Both
-//! must scale polynomially; the reduction output grows linearly with the
-//! circuit.
+//! Measures (a) the logspace reduction itself, (b) compiling the produced
+//! Core XPath query and (c) evaluating the compiled plan, for monotone
+//! circuits of growing size.  All must scale polynomially; the reduction
+//! output grows linearly with the circuit.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
 use xpeval_circuits::random_monotone_circuit;
-use xpeval_core::CoreXPathEvaluator;
+use xpeval_core::CompiledQuery;
 use xpeval_reductions::circuit_to_core_xpath;
 
 fn bench_reduction(c: &mut Criterion) {
@@ -20,16 +20,18 @@ fn bench_reduction(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     for gates in [8usize, 16, 32, 64] {
         let (circuit, inputs) = random_monotone_circuit(&mut StdRng::seed_from_u64(1), 6, gates);
-        group.bench_with_input(BenchmarkId::new("build_reduction", gates), &gates, |b, _| {
-            b.iter(|| circuit_to_core_xpath(&circuit, &inputs, false).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_reduction", gates),
+            &gates,
+            |b, _| b.iter(|| circuit_to_core_xpath(&circuit, &inputs, false).unwrap()),
+        );
         let reduction = circuit_to_core_xpath(&circuit, &inputs, false).unwrap();
+        group.bench_with_input(BenchmarkId::new("compile_query", gates), &gates, |b, _| {
+            b.iter(|| CompiledQuery::from_expr(reduction.query.clone()))
+        });
+        let compiled = CompiledQuery::from_expr(reduction.query.clone());
         group.bench_with_input(BenchmarkId::new("evaluate_query", gates), &gates, |b, _| {
-            b.iter(|| {
-                CoreXPathEvaluator::new(&reduction.document)
-                    .evaluate_query(&reduction.query)
-                    .unwrap()
-            })
+            b.iter(|| compiled.run(&reduction.document).unwrap())
         });
         group.bench_with_input(
             BenchmarkId::new("evaluate_circuit_directly", gates),

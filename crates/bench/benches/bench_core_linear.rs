@@ -1,17 +1,23 @@
 //! E12 — Core XPath in O(|D|·|Q|) (Proposition 2.7).
 //!
-//! Two sweeps with the set-at-a-time evaluator: document size at a fixed
+//! Two sweeps driven through compiled queries: document size at a fixed
 //! query, and query length at a fixed document.  Both curves should be
-//! (close to) linear; the same sweeps with the DP evaluator give the
+//! (close to) linear for the set-at-a-time plan; the DP plan gives the
 //! comparison baseline.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use xpeval_core::{CoreXPathEvaluator, DpEvaluator};
+use std::time::Duration;
+use xpeval_core::{CompiledQuery, EvalStrategy};
 use xpeval_workloads::{star_chain_query, wide_document};
 
 fn bench_document_sweep(c: &mut Criterion) {
-    let query = xpeval_syntax::parse_query("//a[child::b and not(child::d)]").unwrap();
+    // Compiled once for the whole sweep: the plan is document-independent.
+    let compiled = CompiledQuery::compile("//a[child::b and not(child::d)]").unwrap();
+    assert_eq!(compiled.strategy(), EvalStrategy::CoreXPathLinear);
+    let dp = compiled
+        .clone()
+        .with_strategy(EvalStrategy::ContextValueTable);
+
     let mut group = c.benchmark_group("core_linear_document_sweep");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(2));
@@ -19,12 +25,16 @@ fn bench_document_sweep(c: &mut Criterion) {
     for width in [50usize, 200, 800, 3200] {
         let doc = wide_document(width, 4);
         group.throughput(Throughput::Elements(doc.len() as u64));
-        group.bench_with_input(BenchmarkId::new("set_at_a_time", doc.len()), &doc, |b, doc| {
-            b.iter(|| CoreXPathEvaluator::new(doc).evaluate_query(&query).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("context_value_table", doc.len()), &doc, |b, doc| {
-            b.iter(|| DpEvaluator::new(doc, &query).evaluate().unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("set_at_a_time", doc.len()),
+            &doc,
+            |b, doc| b.iter(|| compiled.run(doc).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("context_value_table", doc.len()),
+            &doc,
+            |b, doc| b.iter(|| dp.run(doc).unwrap()),
+        );
     }
     group.finish();
 }
@@ -37,8 +47,14 @@ fn bench_query_sweep(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     for len in [2usize, 8, 32, 128] {
         let query = star_chain_query(len, &["a", "b", "c", "d"]);
+        // Compile time (classification is linear in |Q|) reported apart
+        // from evaluation time.
+        group.bench_with_input(BenchmarkId::new("compile", len), &len, |b, _| {
+            b.iter(|| CompiledQuery::from_expr(query.clone()))
+        });
+        let compiled = CompiledQuery::from_expr(query.clone());
         group.bench_with_input(BenchmarkId::new("set_at_a_time", len), &len, |b, _| {
-            b.iter(|| CoreXPathEvaluator::new(&doc).evaluate_query(&query).unwrap())
+            b.iter(|| compiled.run(&doc).unwrap())
         });
     }
     group.finish();

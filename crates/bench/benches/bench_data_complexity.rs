@@ -1,20 +1,27 @@
 //! E10 — Theorems 7.1/7.2: data complexity.
 //!
-//! The query is held fixed (one Core XPath query with negation, one pWF
-//! query) while the document grows; the evaluation time must scale
+//! The compiled query is held fixed (one Core XPath query with negation,
+//! one pWF query) while the document grows; the evaluation time must scale
 //! polynomially (and, for these low-degree queries, close to linearly) in
 //! |D| — the wall-clock counterpart of the L-membership result.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use xpeval_core::{CoreXPathEvaluator, DpEvaluator};
+use std::time::Duration;
+use xpeval_core::{CompiledQuery, EvalStrategy};
 use xpeval_workloads::random_tree_document;
 
 fn bench_data_complexity(c: &mut Criterion) {
-    let core_query = xpeval_syntax::parse_query("//a[descendant::c and not(child::b)]").unwrap();
-    let pwf_query = xpeval_syntax::parse_query("//b[position() = last()]/parent::*").unwrap();
+    // Compiled once: the per-query analysis is amortized over the document
+    // sweep, exactly as the compile-once pipeline promises.
+    let core_dp = CompiledQuery::compile("//a[descendant::c and not(child::b)]")
+        .unwrap()
+        .with_strategy(EvalStrategy::ContextValueTable);
+    let core_linear = core_dp.clone().with_strategy(EvalStrategy::CoreXPathLinear);
+    let pwf_dp = CompiledQuery::compile("//b[position() = last()]/parent::*")
+        .unwrap()
+        .with_strategy(EvalStrategy::ContextValueTable);
 
     let mut group = c.benchmark_group("data_complexity");
     group.sample_size(10);
@@ -24,13 +31,15 @@ fn bench_data_complexity(c: &mut Criterion) {
         let doc = random_tree_document(&mut StdRng::seed_from_u64(4), nodes, &["a", "b", "c", "d"]);
         group.throughput(Throughput::Elements(nodes as u64));
         group.bench_with_input(BenchmarkId::new("core_query_dp", nodes), &doc, |b, doc| {
-            b.iter(|| DpEvaluator::new(doc, &core_query).evaluate().unwrap())
+            b.iter(|| core_dp.run(doc).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("core_query_linear", nodes), &doc, |b, doc| {
-            b.iter(|| CoreXPathEvaluator::new(doc).evaluate_query(&core_query).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("core_query_linear", nodes),
+            &doc,
+            |b, doc| b.iter(|| core_linear.run(doc).unwrap()),
+        );
         group.bench_with_input(BenchmarkId::new("pwf_query_dp", nodes), &doc, |b, doc| {
-            b.iter(|| DpEvaluator::new(doc, &pwf_query).evaluate().unwrap())
+            b.iter(|| pwf_dp.run(doc).unwrap())
         });
     }
     group.finish();

@@ -1,36 +1,44 @@
 //! E7 — Theorems 5.5/6.2 and Remark 5.6: the LOGCFL fragments pWF/pXPath can
 //! be evaluated in parallel.
 //!
-//! The parallel evaluator distributes the per-node Singleton-Success
-//! decisions over worker threads; this bench sweeps the thread count on a
-//! fixed pWF query and document, and also reports the sequential DP
-//! evaluator for scale.  The reproducible claim is the *shape*: time drops
-//! as threads are added for the LOGCFL-fragment queries.
+//! The parallel plan distributes the per-node Singleton-Success decisions
+//! over worker threads; this bench sweeps the thread count of the compiled
+//! query's `Parallel` plan on a fixed pWF query and document, and also
+//! reports the sequential DP plan for scale.  The reproducible claim is the
+//! *shape*: time drops as threads are added for the LOGCFL-fragment
+//! queries.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use xpeval_core::{DpEvaluator, ParallelEvaluator};
+use std::time::Duration;
+use xpeval_core::{CompiledQuery, EvalStrategy};
 use xpeval_workloads::auction_site_document;
 
 fn bench_parallel(c: &mut Criterion) {
     let doc = auction_site_document(&mut StdRng::seed_from_u64(3), 120);
-    let query = xpeval_syntax::parse_query("//item[bid/@increase > 6 and position() < 40]/name")
-        .unwrap();
+    let compiled =
+        CompiledQuery::compile("//item[bid/@increase > 6 and position() < 40]/name").unwrap();
 
     let mut group = c.benchmark_group("parallel_speedup_pwf");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(2));
     group.warm_up_time(Duration::from_millis(500));
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("singleton_success_threads", threads), &threads, |b, &t| {
-            let ev = ParallelEvaluator::new(&doc, t);
-            b.iter(|| ev.evaluate(&query).unwrap())
-        });
+        let plan = compiled
+            .clone()
+            .with_strategy(EvalStrategy::Parallel { threads });
+        group.bench_with_input(
+            BenchmarkId::new("singleton_success_threads", threads),
+            &threads,
+            |b, _| b.iter(|| plan.run(&doc).unwrap()),
+        );
     }
+    let dp = compiled
+        .clone()
+        .with_strategy(EvalStrategy::ContextValueTable);
     group.bench_function("context_value_table_sequential", |b| {
-        b.iter(|| DpEvaluator::new(&doc, &query).evaluate().unwrap())
+        b.iter(|| dp.run(&doc).unwrap())
     });
     group.finish();
 }

@@ -1,0 +1,86 @@
+//! Plan-cache and compile-vs-eval split of the compile-once pipeline.
+//!
+//! Four measurements on the same query and document:
+//!
+//! * `compile_only` — the per-query work: parse, normalize, classify
+//!   (Figure 1), select the strategy.  This is what the plan cache saves.
+//! * `eval_only` — the per-document work: running an already-compiled plan.
+//! * `evaluate_str_uncached` — an engine with the plan cache disabled; every
+//!   call pays compile + eval.
+//! * `evaluate_str_cached` — an engine with a warm plan cache; every call
+//!   pays a hash lookup + eval, and must be measurably faster than the
+//!   uncached engine whenever compile time is non-trivial next to eval
+//!   time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use xpeval_core::{CompiledQuery, Engine};
+use xpeval_dom::parse_xml;
+
+/// A query long enough that the per-query work (lexing ~40 tokens, parsing,
+/// classifying) is visible next to evaluating it on a small document.
+const QUERY: &str = "/descendant-or-self::node()/child::a[child::b and not(child::d) and \
+                     descendant::c]/child::b[following-sibling::c or child::a]/parent::a";
+
+fn bench_plan_cache(c: &mut Criterion) {
+    let doc =
+        parse_xml("<r><a><b/><c/><b><a/></b></a><a><b/><d/></a><a><c><b/></c><b/><c/></a></r>")
+            .unwrap();
+
+    let mut group = c.benchmark_group("plan_cache");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    group.bench_function("compile_only", |b| {
+        b.iter(|| CompiledQuery::compile(QUERY).unwrap())
+    });
+
+    let compiled = CompiledQuery::compile(QUERY).unwrap();
+    group.bench_function("eval_only", |b| b.iter(|| compiled.run(&doc).unwrap()));
+
+    let uncached = Engine::builder().plan_cache_capacity(0).build();
+    group.bench_function("evaluate_str_uncached", |b| {
+        b.iter(|| uncached.evaluate_str(&doc, QUERY).unwrap())
+    });
+
+    let cached = Engine::builder().plan_cache_capacity(16).build();
+    cached.evaluate_str(&doc, QUERY).unwrap(); // warm the cache
+    group.bench_function("evaluate_str_cached", |b| {
+        b.iter(|| cached.evaluate_str(&doc, QUERY).unwrap())
+    });
+    group.finish();
+
+    // The cached engine really did serve from the cache.
+    let stats = cached.cache_stats();
+    assert_eq!(stats.misses, 1, "{stats:?}");
+    assert!(stats.hits > 0, "{stats:?}");
+
+    // A second group on a batch of distinct query strings, mimicking a
+    // serving mix where a bounded cache keeps every plan hot.
+    let queries: Vec<String> = (0..32)
+        .map(|i| format!("count(//a[child::b][{}]) + {i}", i % 3 + 1))
+        .collect();
+    let mut group = c.benchmark_group("plan_cache_query_mix");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for capacity in [0usize, 64] {
+        let engine = Engine::builder().plan_cache_capacity(capacity).build();
+        group.bench_with_input(
+            BenchmarkId::new("serve_32_queries", capacity),
+            &capacity,
+            |b, _| {
+                b.iter(|| {
+                    for q in &queries {
+                        engine.evaluate_str(&doc, q).unwrap();
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_cache);
+criterion_main!(benches);

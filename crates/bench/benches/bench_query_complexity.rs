@@ -1,15 +1,16 @@
 //! E11 — Theorem 7.3: query complexity.
 //!
-//! The document is held fixed while the query grows (PF chains and Core
-//! XPath conditions of increasing size); without multiplication/concat the
-//! evaluation time must scale polynomially — in practice close to linearly —
-//! in |Q|.
+//! The document is held fixed while the query grows (PF chains of
+//! increasing length); without multiplication/concat the evaluation time
+//! must scale polynomially — in practice close to linearly — in |Q|.
+//! Compile time (parse-free here, but classification walks the AST) is
+//! reported separately from evaluation time.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use xpeval_core::{CoreXPathEvaluator, DpEvaluator};
+use std::time::Duration;
+use xpeval_core::{CompiledQuery, EvalStrategy};
 use xpeval_workloads::{oscillating_query, random_tree_document};
 
 fn bench_query_complexity(c: &mut Criterion) {
@@ -21,11 +22,19 @@ fn bench_query_complexity(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     for len in [4usize, 16, 64, 256] {
         let query = oscillating_query(len);
+        group.bench_with_input(BenchmarkId::new("compile", len), &len, |b, _| {
+            b.iter(|| CompiledQuery::from_expr(query.clone()))
+        });
+        let compiled = CompiledQuery::from_expr(query.clone());
+        let dp = compiled
+            .clone()
+            .with_strategy(EvalStrategy::ContextValueTable);
+        let linear = compiled.with_strategy(EvalStrategy::CoreXPathLinear);
         group.bench_with_input(BenchmarkId::new("pf_chain_dp", len), &len, |b, _| {
-            b.iter(|| DpEvaluator::new(&doc, &query).evaluate().unwrap())
+            b.iter(|| dp.run(&doc).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("pf_chain_linear", len), &len, |b, _| {
-            b.iter(|| CoreXPathEvaluator::new(&doc).evaluate_query(&query).unwrap())
+            b.iter(|| linear.run(&doc).unwrap())
         });
     }
     group.finish();

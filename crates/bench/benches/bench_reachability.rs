@@ -1,14 +1,14 @@
 //! E5 — Theorem 4.3 / Figure 5: graph reachability via PF queries.
 //!
-//! Measures building the reduction document/query and evaluating the PF
-//! query for random digraphs of growing size, with plain BFS as the
-//! baseline the reduction is checked against.
+//! Measures building the reduction document/query, compiling the PF query,
+//! and evaluating the compiled plan for random digraphs of growing size,
+//! with plain BFS as the baseline the reduction is checked against.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use xpeval_core::CoreXPathEvaluator;
+use std::time::Duration;
+use xpeval_core::{CompiledQuery, EvalStrategy};
 use xpeval_reductions::reachability_to_pf;
 use xpeval_workloads::random_digraph;
 
@@ -23,12 +23,13 @@ fn bench_reachability(c: &mut Criterion) {
             b.iter(|| reachability_to_pf(&graph, 1, n))
         });
         let reduction = reachability_to_pf(&graph, 1, n);
+        group.bench_with_input(BenchmarkId::new("compile_pf_query", n), &n, |b, _| {
+            b.iter(|| CompiledQuery::from_expr(reduction.query.clone()))
+        });
+        let compiled = CompiledQuery::from_expr(reduction.query.clone());
+        assert_eq!(compiled.strategy(), EvalStrategy::CoreXPathLinear);
         group.bench_with_input(BenchmarkId::new("evaluate_pf_query", n), &n, |b, _| {
-            b.iter(|| {
-                CoreXPathEvaluator::new(&reduction.document)
-                    .evaluate_query(&reduction.query)
-                    .unwrap()
-            })
+            b.iter(|| compiled.run(&reduction.document).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("bfs_baseline", n), &n, |b, _| {
             b.iter(|| graph.reachable(1, n))

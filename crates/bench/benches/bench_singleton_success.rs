@@ -1,15 +1,15 @@
 //! E6 — Lemma 5.4 / Table 1: the Singleton-Success decision procedure.
 //!
 //! Measures a single Singleton-Success decision (is one node in the
-//! result?), the recovery of the full node set by looping over the document
-//! (Theorem 5.5), and the DP evaluator as the materializing baseline, on the
-//! pWF query corpus.
+//! result?), the recovery of the full node set through the compiled
+//! `SingletonSuccess` plan (Theorem 5.5), and the DP plan as the
+//! materializing baseline, on the pWF query corpus.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use xpeval_core::{Context, DpEvaluator, SingletonSuccess, SuccessTarget};
+use std::time::Duration;
+use xpeval_core::{CompiledQuery, Context, EvalStrategy, SingletonSuccess, SuccessTarget};
 use xpeval_workloads::{auction_site_document, pwf_query_corpus};
 
 fn bench_singleton_success(c: &mut Criterion) {
@@ -22,19 +22,36 @@ fn bench_singleton_success(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     group.warm_up_time(Duration::from_millis(500));
     for (name, query) in pwf_query_corpus() {
-        group.bench_with_input(BenchmarkId::new("decide_single_node", name), &query, |b, q| {
-            let checker = SingletonSuccess::new(&doc, q).unwrap();
-            b.iter(|| checker.decide(ctx, &SuccessTarget::Node(some_node)).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("node_set_via_loop", name), &query, |b, q| {
-            b.iter(|| {
+        // The raw decision procedure: one Singleton-Success instance.
+        group.bench_with_input(
+            BenchmarkId::new("decide_single_node", name),
+            &query,
+            |b, q| {
                 let checker = SingletonSuccess::new(&doc, q).unwrap();
-                checker.node_set(ctx).unwrap()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("context_value_table", name), &query, |b, q| {
-            b.iter(|| DpEvaluator::new(&doc, q).evaluate().unwrap())
-        });
+                b.iter(|| {
+                    checker
+                        .decide(ctx, &SuccessTarget::Node(some_node))
+                        .unwrap()
+                })
+            },
+        );
+        // Full node-set recovery and the DP baseline, both through the
+        // compiled form (compile once, outside the timed loop).
+        let compiled = CompiledQuery::from_expr(query.clone());
+        let success = compiled
+            .clone()
+            .with_strategy(EvalStrategy::SingletonSuccess);
+        group.bench_with_input(
+            BenchmarkId::new("node_set_via_loop", name),
+            &query,
+            |b, _| b.iter(|| success.run(&doc).unwrap()),
+        );
+        let dp = compiled.with_strategy(EvalStrategy::ContextValueTable);
+        group.bench_with_input(
+            BenchmarkId::new("context_value_table", name),
+            &query,
+            |b, _| b.iter(|| dp.run(&doc).unwrap()),
+        );
     }
     group.finish();
 }

@@ -13,18 +13,36 @@ fn main() {
         ("PF chain", "/descendant::a/child::b/parent::*"),
         ("PF union", "child::a | descendant::b"),
         ("positive Core XPath", "//a[child::b and descendant::c]"),
-        ("Core XPath (paper §2.2)", "/descendant::a/child::b[descendant::c and not(following-sibling::d)]"),
+        (
+            "Core XPath (paper §2.2)",
+            "/descendant::a/child::b[descendant::c and not(following-sibling::d)]",
+        ),
         ("pWF (paper §2.2)", "child::a[position() + 1 = last()]"),
         ("pWF arithmetic", "//a[position() * 2 <= last()]"),
-        ("WF (negation + arithmetic)", "//a[not(position() = last())]"),
+        (
+            "WF (negation + arithmetic)",
+            "//a[not(position() = last())]",
+        ),
         ("WF (iterated predicates)", "//a[child::b][position() = 1]"),
-        ("pXPath (attributes, strings)", "//book[@year = 2003 and contains(title, 'XPath')]"),
+        (
+            "pXPath (attributes, strings)",
+            "//book[@year = 2003 and contains(title, 'XPath')]",
+        ),
         ("XPath (count)", "//a[count(child::b) = 2]"),
-        ("XPath (boolean relop)", "//a[(child::b and child::c) = true()]"),
+        (
+            "XPath (boolean relop)",
+            "//a[(child::b and child::c) = true()]",
+        ),
     ];
 
     println!("Figure 1 — combined complexity of the XPath fragment lattice\n");
-    let mut table = TextTable::new(&["query family", "least fragment", "combined complexity", "parallelizable", "memberships"]);
+    let mut table = TextTable::new(&[
+        "query family",
+        "least fragment",
+        "combined complexity",
+        "parallelizable",
+        "memberships",
+    ]);
     for (name, src) in corpus {
         let query = parse_query(src).unwrap_or_else(|e| panic!("{src}: {e}"));
         let report = classify(&query);
@@ -38,7 +56,12 @@ fn main() {
             name.to_string(),
             report.fragment.name().to_string(),
             report.complexity.to_string(),
-            if report.fragment.is_parallelizable() { "yes (NC²)" } else { "no (unless P ⊆ NC)" }.to_string(),
+            if report.fragment.is_parallelizable() {
+                "yes (NC²)"
+            } else {
+                "no (unless P ⊆ NC)"
+            }
+            .to_string(),
             memberships,
         ]);
     }
@@ -47,7 +70,10 @@ fn main() {
     println!("Fragment lattice summary (Figure 1):");
     let mut lattice = TextTable::new(&["fragment", "combined complexity"]);
     for fragment in Fragment::ALL {
-        lattice.row(&[fragment.name().to_string(), fragment.complexity().to_string()]);
+        lattice.row(&[
+            fragment.name().to_string(),
+            fragment.complexity().to_string(),
+        ]);
     }
     lattice.print();
 }

@@ -7,13 +7,17 @@
 
 use xpeval_bench::TextTable;
 use xpeval_circuits::{carry_bit_circuit, carry_bit_inputs, GateKind, Layering};
-use xpeval_core::CoreXPathEvaluator;
+use xpeval_core::CompiledQuery;
 use xpeval_reductions::circuit_to_core_xpath;
 use xpeval_syntax::classify;
 
 fn main() {
     let circuit = carry_bit_circuit();
-    println!("Figure 2 — 2-bit full adder carry-bit circuit: M = {} inputs, N = {} gates\n", circuit.num_inputs(), circuit.num_internal());
+    println!(
+        "Figure 2 — 2-bit full adder carry-bit circuit: M = {} inputs, N = {} gates\n",
+        circuit.num_inputs(),
+        circuit.num_internal()
+    );
 
     // Figure 3: the layered serialization.
     let layering = Layering::new(&circuit);
@@ -28,7 +32,12 @@ fn main() {
                 GateKind::Input => "input",
             }
             .to_string(),
-            layer.inputs.iter().map(|g| g.paper_name()).collect::<Vec<_>>().join(", "),
+            layer
+                .inputs
+                .iter()
+                .map(|g| g.paper_name())
+                .collect::<Vec<_>>()
+                .join(", "),
             layer.dummies.len().to_string(),
         ]);
     }
@@ -49,7 +58,12 @@ fn main() {
             let inputs = carry_bit_inputs(a, b);
             let expected = circuit.evaluate(&inputs).unwrap();
             let red = circuit_to_core_xpath(&circuit, &inputs, false).unwrap();
-            let result = CoreXPathEvaluator::new(&red.document).evaluate_query(&red.query).unwrap();
+            let result = CompiledQuery::from_expr(red.query.clone())
+                .run(&red.document)
+                .unwrap()
+                .value
+                .expect_nodes()
+                .to_vec();
             let got = !result.is_empty();
             all_agree &= got == expected;
             table.row(&[
@@ -67,10 +81,15 @@ fn main() {
 
     // The generated query itself, for the record.
     let red = circuit_to_core_xpath(&circuit, &carry_bit_inputs(2, 3), false).unwrap();
-    println!("\ngenerated query fragment: {}", classify(&red.query).fragment);
-    println!("query size |Q| = {} AST nodes, document size |D| = {} nodes, tree height = {}",
+    println!(
+        "\ngenerated query fragment: {}",
+        classify(&red.query).fragment
+    );
+    println!(
+        "query size |Q| = {} AST nodes, document size |D| = {} nodes, tree height = {}",
         red.query.size(),
         red.document.len(),
-        red.document.height());
+        red.document.height()
+    );
     println!("\nquery text:\n{}", red.query);
 }

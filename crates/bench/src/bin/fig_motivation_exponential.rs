@@ -8,7 +8,7 @@
 
 use std::time::Duration;
 use xpeval_bench::{micros, timed, TextTable};
-use xpeval_core::{DpEvaluator, NaiveEvaluator};
+use xpeval_core::{CompiledQuery, EvalStrategy, NaiveEvaluator};
 use xpeval_workloads::{blowup_document, blowup_query};
 
 fn main() {
@@ -47,8 +47,9 @@ fn main() {
             Err(_) => ("aborted".to_string(), "> 2e6".to_string(), "-".to_string()),
         };
 
-        let mut dp = DpEvaluator::new(&doc, &query);
-        let (_, dp_time) = timed(|| dp.evaluate().unwrap());
+        let cvt =
+            CompiledQuery::from_expr(query.clone()).with_strategy(EvalStrategy::ContextValueTable);
+        let (dp_out, dp_time) = timed(|| cvt.run(&doc).unwrap());
 
         table.row(&[
             reps.to_string(),
@@ -56,8 +57,8 @@ fn main() {
             naive_steps,
             naive_list,
             naive_time,
-            dp.stats().step_context_evaluations.to_string(),
-            dp.table_entries().to_string(),
+            dp_out.stats.step_context_evaluations.to_string(),
+            dp_out.stats.table_entries.to_string(),
             micros(dp_time),
         ]);
     }

@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xpeval_bench::TextTable;
-use xpeval_core::{Context, DpEvaluator, SingletonSuccess, SuccessTarget, Value};
+use xpeval_core::{CompiledQuery, Context, EvalStrategy, SingletonSuccess, SuccessTarget, Value};
 use xpeval_syntax::parse_query;
 use xpeval_workloads::auction_site_document;
 
@@ -25,7 +25,10 @@ fn main() {
         ("/π (absolute path)", "/site/people/person"),
         ("π1/π2 (composition)", "//item/name"),
         ("π1 | π2 (union)", "//item/name | //person/name"),
-        ("χ::t[e] (predicate, position/size)", "//item[position() = last()]"),
+        (
+            "χ::t[e] (predicate, position/size)",
+            "//item[position() = last()]",
+        ),
         ("boolean(π)", "boolean(//bid)"),
         ("e1 and e2", "//item[child::bid and child::seller]"),
         ("e1 or e2", "//item[position() = 1 or position() = last()]"),
@@ -46,7 +49,11 @@ fn main() {
     let mut all_ok = true;
     for (construct, src) in rows {
         let query = parse_query(src).unwrap();
-        let reference = DpEvaluator::new(&doc, &query).evaluate().unwrap();
+        let reference = CompiledQuery::from_expr(query.clone())
+            .with_strategy(EvalStrategy::ContextValueTable)
+            .run(&doc)
+            .unwrap()
+            .value;
         let checker = SingletonSuccess::new(&doc, &query).unwrap();
         let (kind, size, ok) = match &reference {
             Value::NodeSet(expected) => {

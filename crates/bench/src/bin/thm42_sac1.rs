@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xpeval_bench::TextTable;
 use xpeval_circuits::random_sac1_circuit;
-use xpeval_core::CoreXPathEvaluator;
+use xpeval_core::CompiledQuery;
 use xpeval_reductions::sac1_to_positive_core;
 use xpeval_syntax::classify;
 
@@ -32,7 +32,12 @@ fn main() {
             let (sac, inputs) = random_sac1_circuit(&mut rng, 4, gates);
             let expected = sac.evaluate(&inputs).unwrap();
             let red = sac1_to_positive_core(&sac, &inputs).unwrap();
-            let result = CoreXPathEvaluator::new(&red.document).evaluate_query(&red.query).unwrap();
+            let result = CompiledQuery::from_expr(red.query.clone())
+                .run(&red.document)
+                .unwrap()
+                .value
+                .expect_nodes()
+                .to_vec();
             let got = !result.is_empty();
             all_agree &= got == expected;
             table.row(&[

@@ -8,34 +8,47 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xpeval_bench::{micros, timed, TextTable};
-use xpeval_core::{DpEvaluator, ParallelEvaluator};
+use xpeval_core::{CompiledQuery, EvalStrategy};
 use xpeval_syntax::parse_query;
 use xpeval_workloads::auction_site_document;
 
 fn main() {
     println!("E7 — parallel evaluation of the LOGCFL fragments (pWF/pXPath)\n");
-    let doc = auction_site_document(&mut StdRng::seed_from_u64(21), 150);
+    // Sized so the full thread sweep (3 queries × 4 thread counts × 4 runs
+    // of an O(|D|²)-ish decision loop) finishes in seconds.
+    let doc = auction_site_document(&mut StdRng::seed_from_u64(21), 40);
     println!("document: {} nodes\n", doc.len());
 
     let queries = [
         ("pWF positional", "//item[position() + 1 = last()]"),
         ("pXPath attribute filter", "//item[bid/@increase > 6]/name"),
-        ("pXPath string filter", "//person[starts-with(@id, 'person1')]/name"),
+        (
+            "pXPath string filter",
+            "//person[starts-with(@id, 'person1')]/name",
+        ),
     ];
 
-    let mut table = TextTable::new(&["query", "threads", "time (us)", "speed-up vs 1 thread", "|result|"]);
+    let mut table = TextTable::new(&[
+        "query",
+        "threads",
+        "time (us)",
+        "speed-up vs 1 thread",
+        "|result|",
+    ]);
     for (name, src) in queries {
-        let query = parse_query(src).unwrap();
+        let compiled = CompiledQuery::from_expr(parse_query(src).unwrap());
         let mut base = None;
         for threads in [1usize, 2, 4, 8] {
-            let ev = ParallelEvaluator::new(&doc, threads);
+            let plan = compiled
+                .clone()
+                .with_strategy(EvalStrategy::Parallel { threads });
             // Warm up once, then measure the median of three runs.
-            let _ = ev.evaluate(&query).unwrap();
+            let _ = plan.run(&doc).unwrap();
             let mut times = Vec::new();
             let mut result_len = 0;
             for _ in 0..3 {
-                let (v, t) = timed(|| ev.evaluate(&query).unwrap());
-                result_len = v.expect_nodes().len();
+                let (out, t) = timed(|| plan.run(&doc).unwrap());
+                result_len = out.value.expect_nodes().len();
                 times.push(t);
             }
             times.sort();
@@ -55,7 +68,10 @@ fn main() {
                 result_len.to_string(),
             ]);
         }
-        let (_, dp_time) = timed(|| DpEvaluator::new(&doc, &query).evaluate().unwrap());
+        let dp = compiled
+            .clone()
+            .with_strategy(EvalStrategy::ContextValueTable);
+        let (_, dp_time) = timed(|| dp.run(&doc).unwrap());
         table.row(&[
             name.to_string(),
             "CVT (sequential reference)".to_string(),
@@ -66,8 +82,18 @@ fn main() {
     }
     table.print();
 
-    let hard = parse_query("//item[not(child::bid)][1]").unwrap();
-    let rejected = ParallelEvaluator::new(&doc, 4).evaluate(&hard).is_err();
+    let hard = CompiledQuery::compile_with(
+        "//item[not(child::bid)][1]",
+        &xpeval_core::CompileOptions {
+            normalize: false,
+            ..xpeval_core::CompileOptions::default()
+        },
+    )
+    .unwrap();
+    let rejected = hard
+        .with_strategy(EvalStrategy::Parallel { threads: 4 })
+        .run(&doc)
+        .is_err();
     println!(
         "query outside pWF/pXPath ('//item[not(child::bid)][1]', iterated predicates) rejected by \
          the parallel evaluator: {rejected}"

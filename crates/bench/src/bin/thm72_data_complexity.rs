@@ -9,7 +9,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xpeval_bench::{micros, timed, TextTable};
-use xpeval_core::{CoreXPathEvaluator, DpEvaluator};
+use xpeval_core::{CompiledQuery, EvalStrategy};
 use xpeval_syntax::parse_query;
 use xpeval_workloads::{chain_document, random_tree_document};
 
@@ -19,8 +19,14 @@ fn main() {
     // Theorem 7.1's query: tree reachability /descendant-or-self::v1/descendant::v2
     // — on our chain documents the tags are a/leaf.
     let queries = [
-        ("tree reachability (Thm 7.1)", "/descendant-or-self::a/descendant::leaf"),
-        ("Core XPath with negation", "//a[descendant::c and not(child::b)]"),
+        (
+            "tree reachability (Thm 7.1)",
+            "/descendant-or-self::a/descendant::leaf",
+        ),
+        (
+            "Core XPath with negation",
+            "//a[descendant::c and not(child::b)]",
+        ),
         ("pWF positional", "//b[position() = last()]/parent::*"),
     ];
 
@@ -34,19 +40,19 @@ fn main() {
 
     for (name, src) in queries {
         let query = parse_query(src).unwrap();
+        // Compile once per query; the document sweep reuses the plan.
+        let dp =
+            CompiledQuery::from_expr(query.clone()).with_strategy(EvalStrategy::ContextValueTable);
+        let linear = dp.clone().with_strategy(EvalStrategy::CoreXPathLinear);
         for size in [200usize, 800, 3200, 12800] {
             let doc = if name.contains("reachability") {
                 chain_document(size)
             } else {
                 random_tree_document(&mut StdRng::seed_from_u64(9), size, &["a", "b", "c", "d"])
             };
-            let mut dp = DpEvaluator::new(&doc, &query);
-            let (_, dp_time) = timed(|| dp.evaluate().unwrap());
-            let linear_time = if xpeval_syntax::classify(&query).fragment
-                <= xpeval_syntax::Fragment::CoreXPath
-            {
-                let ev = CoreXPathEvaluator::new(&doc);
-                let (_, t) = timed(|| ev.evaluate_query(&query).unwrap());
+            let (dp_out, dp_time) = timed(|| dp.run(&doc).unwrap());
+            let linear_time = if dp.fragment() <= xpeval_syntax::Fragment::CoreXPath {
+                let (_, t) = timed(|| linear.run(&doc).unwrap());
                 micros(t)
             } else {
                 "-".to_string()
@@ -55,7 +61,7 @@ fn main() {
                 name.to_string(),
                 doc.len().to_string(),
                 micros(dp_time),
-                dp.table_entries().to_string(),
+                dp_out.stats.table_entries.to_string(),
                 linear_time,
             ]);
         }

@@ -8,7 +8,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xpeval_bench::{micros, timed, TextTable};
-use xpeval_core::{CoreXPathEvaluator, DpEvaluator};
+use xpeval_core::{CompiledQuery, EvalStrategy};
 use xpeval_workloads::{oscillating_query, random_tree_document, star_chain_query};
 
 fn main() {
@@ -26,30 +26,36 @@ fn main() {
 
     for len in [4usize, 16, 64, 256, 1024] {
         let query = oscillating_query(len);
-        let mut dp = DpEvaluator::new(&doc, &query);
-        let (_, dp_time) = timed(|| dp.evaluate().unwrap());
-        let ev = CoreXPathEvaluator::new(&doc);
-        let (_, lin_time) = timed(|| ev.evaluate_query(&query).unwrap());
+        let compiled = CompiledQuery::from_expr(query.clone());
+        let dp = compiled
+            .clone()
+            .with_strategy(EvalStrategy::ContextValueTable);
+        let linear = compiled.with_strategy(EvalStrategy::CoreXPathLinear);
+        let (dp_out, dp_time) = timed(|| dp.run(&doc).unwrap());
+        let (_, lin_time) = timed(|| linear.run(&doc).unwrap());
         table.row(&[
             "oscillating PF chain".to_string(),
             len.to_string(),
             micros(dp_time),
-            dp.table_entries().to_string(),
+            dp_out.stats.table_entries.to_string(),
             micros(lin_time),
         ]);
     }
 
     for len in [4usize, 16, 64, 256] {
         let query = star_chain_query(len, &["a", "b", "c"]);
-        let mut dp = DpEvaluator::new(&doc, &query);
-        let (_, dp_time) = timed(|| dp.evaluate().unwrap());
-        let ev = CoreXPathEvaluator::new(&doc);
-        let (_, lin_time) = timed(|| ev.evaluate_query(&query).unwrap());
+        let compiled = CompiledQuery::from_expr(query.clone());
+        let dp = compiled
+            .clone()
+            .with_strategy(EvalStrategy::ContextValueTable);
+        let linear = compiled.with_strategy(EvalStrategy::CoreXPathLinear);
+        let (dp_out, dp_time) = timed(|| dp.run(&doc).unwrap());
+        let (_, lin_time) = timed(|| linear.run(&doc).unwrap());
         table.row(&[
             "descendant/child PF chain".to_string(),
             len.to_string(),
             micros(dp_time),
-            dp.table_entries().to_string(),
+            dp_out.stats.table_entries.to_string(),
             micros(lin_time),
         ]);
     }
@@ -61,18 +67,23 @@ fn main() {
         src.push_str(&"[child::b[descendant::c".repeat(depth));
         src.push_str(&"]]".repeat(depth));
         let query = xpeval_syntax::parse_query(&src).unwrap();
-        let mut dp = DpEvaluator::new(&doc, &query);
-        let (_, dp_time) = timed(|| dp.evaluate().unwrap());
-        let ev = CoreXPathEvaluator::new(&doc);
-        let (_, lin_time) = timed(|| ev.evaluate_query(&query).unwrap());
+        let compiled = CompiledQuery::from_expr(query.clone());
+        let dp = compiled
+            .clone()
+            .with_strategy(EvalStrategy::ContextValueTable);
+        let linear = compiled.with_strategy(EvalStrategy::CoreXPathLinear);
+        let (dp_out, dp_time) = timed(|| dp.run(&doc).unwrap());
+        let (_, lin_time) = timed(|| linear.run(&doc).unwrap());
         table.row(&[
             "nested Core XPath conditions".to_string(),
             query.size().to_string(),
             micros(dp_time),
-            dp.table_entries().to_string(),
+            dp_out.stats.table_entries.to_string(),
             micros(lin_time),
         ]);
     }
     table.print();
-    println!("Expected shape: time grows polynomially (roughly linearly) in |Q| for the fixed document.");
+    println!(
+        "Expected shape: time grows polynomially (roughly linearly) in |Q| for the fixed document."
+    );
 }

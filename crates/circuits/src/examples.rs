@@ -53,8 +53,14 @@ pub fn random_monotone_circuit<R: Rng>(
         }
         inputs.sort();
         inputs.dedup();
-        let kind = if rng.gen_bool(0.5) { GateKind::And } else { GateKind::Or };
-        circuit.add_gate(kind, inputs).expect("generated gate is valid");
+        let kind = if rng.gen_bool(0.5) {
+            GateKind::And
+        } else {
+            GateKind::Or
+        };
+        circuit
+            .add_gate(kind, inputs)
+            .expect("generated gate is valid");
     }
     let assignment = (0..num_inputs).map(|_| rng.gen_bool(0.5)).collect();
     (circuit, assignment)
@@ -71,7 +77,11 @@ pub fn random_sac1_circuit<R: Rng>(
     let mut circuit = MonotoneCircuit::new(num_inputs);
     for _ in 0..num_internal {
         let available = circuit.len();
-        let kind = if rng.gen_bool(0.5) { GateKind::And } else { GateKind::Or };
+        let kind = if rng.gen_bool(0.5) {
+            GateKind::And
+        } else {
+            GateKind::Or
+        };
         let max_fan_in = match kind {
             GateKind::And => 2.min(available),
             _ => 4.min(available),
@@ -83,10 +93,15 @@ pub fn random_sac1_circuit<R: Rng>(
         }
         inputs.sort();
         inputs.dedup();
-        circuit.add_gate(kind, inputs).expect("generated gate is valid");
+        circuit
+            .add_gate(kind, inputs)
+            .expect("generated gate is valid");
     }
     let assignment = (0..num_inputs).map(|_| rng.gen_bool(0.5)).collect();
-    (Sac1Circuit::new(circuit).expect("generated circuit is semi-unbounded"), assignment)
+    (
+        Sac1Circuit::new(circuit).expect("generated circuit is semi-unbounded"),
+        assignment,
+    )
 }
 
 #[cfg(test)]
@@ -101,7 +116,11 @@ mod tests {
         for a in 0..4u8 {
             for b in 0..4u8 {
                 let expected = a + b >= 4;
-                assert_eq!(c.evaluate(&carry_bit_inputs(a, b)).unwrap(), expected, "{a}+{b}");
+                assert_eq!(
+                    c.evaluate(&carry_bit_inputs(a, b)).unwrap(),
+                    expected,
+                    "{a}+{b}"
+                );
             }
         }
     }
@@ -135,9 +154,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..50 {
             let (c, inputs) = random_sac1_circuit(&mut rng, 5, 15);
-            assert!(c.circuit().gates().iter().all(|g| {
-                g.kind != GateKind::And || g.inputs.len() <= 2
-            }));
+            assert!(c
+                .circuit()
+                .gates()
+                .iter()
+                .all(|g| { g.kind != GateKind::And || g.inputs.len() <= 2 }));
             c.evaluate(&inputs).unwrap();
         }
     }

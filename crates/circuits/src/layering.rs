@@ -52,7 +52,10 @@ impl Layering {
                 }
             })
             .collect();
-        Layering { num_inputs: m, layers }
+        Layering {
+            num_inputs: m,
+            layers,
+        }
     }
 
     /// Number of layers (`N`).
@@ -75,7 +78,11 @@ impl Layering {
     /// layer.  Agreement with [`MonotoneCircuit::evaluate_all`] is the
     /// correctness check for the serialization.
     pub fn evaluate(&self, inputs: &[bool]) -> Vec<bool> {
-        assert_eq!(inputs.len(), self.num_inputs, "wrong number of circuit inputs");
+        assert_eq!(
+            inputs.len(),
+            self.num_inputs,
+            "wrong number of circuit inputs"
+        );
         let mut values: Vec<bool> = inputs.to_vec();
         for layer in &self.layers {
             let new_value = match layer.kind {
@@ -112,7 +119,10 @@ mod tests {
         assert_eq!(layering.layer(1).dummies.len(), 4);
         assert_eq!(layering.layer(5).dummies.len(), 8);
         assert_eq!(layering.layer(5).real_gate, GateId(8));
-        assert_eq!(layering.layer(5).inputs, vec![GateId(5), GateId(6), GateId(7)]);
+        assert_eq!(
+            layering.layer(5).inputs,
+            vec![GateId(5), GateId(6), GateId(7)]
+        );
     }
 
     #[test]
@@ -131,7 +141,10 @@ mod tests {
         for _ in 0..25 {
             let (circuit, inputs) = random_monotone_circuit(&mut rng, 5, 12);
             let layering = Layering::new(&circuit);
-            assert_eq!(layering.evaluate(&inputs), circuit.evaluate_all(&inputs).unwrap());
+            assert_eq!(
+                layering.evaluate(&inputs),
+                circuit.evaluate_all(&inputs).unwrap()
+            );
         }
     }
 

@@ -24,7 +24,9 @@ pub mod layering;
 pub mod monotone;
 pub mod sac1;
 
-pub use examples::{carry_bit_circuit, carry_bit_inputs, random_monotone_circuit, random_sac1_circuit};
+pub use examples::{
+    carry_bit_circuit, carry_bit_inputs, random_monotone_circuit, random_sac1_circuit,
+};
 pub use layering::Layering;
 pub use monotone::{CircuitError, Gate, GateId, GateKind, MonotoneCircuit};
 pub use sac1::Sac1Circuit;

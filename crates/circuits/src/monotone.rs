@@ -92,7 +92,10 @@ impl MonotoneCircuit {
     /// internal gates yet.
     pub fn new(num_inputs: usize) -> Self {
         let gates = (0..num_inputs)
-            .map(|_| Gate { kind: GateKind::Input, inputs: Vec::new() })
+            .map(|_| Gate {
+                kind: GateKind::Input,
+                inputs: Vec::new(),
+            })
             .collect();
         MonotoneCircuit { num_inputs, gates }
     }
@@ -145,7 +148,11 @@ impl MonotoneCircuit {
 
     /// Adds an internal gate fed by `inputs`, returning its id.  Inputs must
     /// refer to already existing gates, preserving the ordering invariant.
-    pub fn add_gate(&mut self, kind: GateKind, inputs: Vec<GateId>) -> Result<GateId, CircuitError> {
+    pub fn add_gate(
+        &mut self,
+        kind: GateKind,
+        inputs: Vec<GateId>,
+    ) -> Result<GateId, CircuitError> {
         let id = GateId(self.gates.len());
         if kind == GateKind::Input {
             return Err(CircuitError::BadFanIn { gate: id });
@@ -164,12 +171,14 @@ impl MonotoneCircuit {
 
     /// Convenience: adds an ∧-gate.
     pub fn and(&mut self, inputs: Vec<GateId>) -> GateId {
-        self.add_gate(GateKind::And, inputs).expect("invalid and-gate")
+        self.add_gate(GateKind::And, inputs)
+            .expect("invalid and-gate")
     }
 
     /// Convenience: adds an ∨-gate.
     pub fn or(&mut self, inputs: Vec<GateId>) -> GateId {
-        self.add_gate(GateKind::Or, inputs).expect("invalid or-gate")
+        self.add_gate(GateKind::Or, inputs)
+            .expect("invalid or-gate")
     }
 
     /// Checks the structural invariants (ordering, fan-in, presence of an
@@ -225,7 +234,10 @@ impl MonotoneCircuit {
 
     /// Evaluates the circuit's output gate.
     pub fn evaluate(&self, inputs: &[bool]) -> Result<bool, CircuitError> {
-        Ok(*self.evaluate_all(inputs)?.last().expect("validated circuit has gates"))
+        Ok(*self
+            .evaluate_all(inputs)?
+            .last()
+            .expect("validated circuit has gates"))
     }
 
     /// Maximum fan-in over all internal gates.
@@ -239,7 +251,12 @@ impl MonotoneCircuit {
         let mut depth = vec![0usize; self.gates.len()];
         for (ix, gate) in self.gates.iter().enumerate() {
             if gate.kind != GateKind::Input {
-                depth[ix] = 1 + gate.inputs.iter().map(|&i| depth[i.index()]).max().unwrap_or(0);
+                depth[ix] = 1 + gate
+                    .inputs
+                    .iter()
+                    .map(|&i| depth[i.index()])
+                    .max()
+                    .unwrap_or(0);
             }
         }
         depth.last().copied().unwrap_or(0)
@@ -307,7 +324,10 @@ mod tests {
         assert!(c.validate().is_ok());
         assert_eq!(
             c.evaluate(&[true, true]),
-            Err(CircuitError::WrongInputCount { expected: 4, got: 2 })
+            Err(CircuitError::WrongInputCount {
+                expected: 4,
+                got: 2
+            })
         );
     }
 
@@ -318,8 +338,8 @@ mod tests {
         let mut c = MonotoneCircuit::new(1);
         let g = c.and(vec![GateId(0)]);
         let g2 = c.or(vec![g]);
-        assert_eq!(c.evaluate(&[true]).unwrap(), true);
-        assert_eq!(c.evaluate(&[false]).unwrap(), false);
+        assert!(c.evaluate(&[true]).unwrap());
+        assert!(!c.evaluate(&[false]).unwrap());
         assert_eq!(c.output(), g2);
     }
 
@@ -345,9 +365,14 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = CircuitError::ForwardReference { gate: GateId(4), input: GateId(7) };
+        let e = CircuitError::ForwardReference {
+            gate: GateId(4),
+            input: GateId(7),
+        };
         assert!(e.to_string().contains("G5"));
         assert!(e.to_string().contains("G8"));
-        assert!(CircuitError::NoOutput.to_string().contains("no internal gate"));
+        assert!(CircuitError::NoOutput
+            .to_string()
+            .contains("no internal gate"));
     }
 }

@@ -43,7 +43,10 @@ impl Sac1Circuit {
         circuit.validate().map_err(Sac1Error::Circuit)?;
         for (ix, gate) in circuit.gates().iter().enumerate() {
             if gate.kind == GateKind::And && gate.inputs.len() > 2 {
-                return Err(Sac1Error::WideAnd { gate_index: ix, fan_in: gate.inputs.len() });
+                return Err(Sac1Error::WideAnd {
+                    gate_index: ix,
+                    fan_in: gate.inputs.len(),
+                });
             }
         }
         Ok(Sac1Circuit { circuit })
@@ -91,8 +94,8 @@ mod tests {
     #[test]
     fn accepts_semi_unbounded_circuits() {
         let sac = Sac1Circuit::new(small_sac1()).unwrap();
-        assert_eq!(sac.evaluate(&[true, false, false, false]).unwrap(), true);
-        assert_eq!(sac.evaluate(&[false, false, false, false]).unwrap(), false);
+        assert!(sac.evaluate(&[true, false, false, false]).unwrap());
+        assert!(!sac.evaluate(&[false, false, false, false]).unwrap());
         assert_eq!(sac.depth(), 2);
         assert!(sac.has_log_depth(2));
         assert_eq!(sac.circuit().len(), 7);
@@ -110,7 +113,10 @@ mod tests {
     #[test]
     fn rejects_structurally_invalid_circuits() {
         let c = MonotoneCircuit::new(2);
-        assert!(matches!(Sac1Circuit::new(c), Err(Sac1Error::Circuit(CircuitError::NoOutput))));
+        assert!(matches!(
+            Sac1Circuit::new(c),
+            Err(Sac1Error::Circuit(CircuitError::NoOutput))
+        ));
     }
 
     #[test]

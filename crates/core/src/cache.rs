@@ -1,0 +1,177 @@
+//! Bounded LRU cache of compiled query plans, keyed by query string.
+//!
+//! Compilation (parse + classify + plan) is pure per-query work; an engine
+//! serving repeated query strings should pay it once.  [`PlanCache`] is a
+//! small least-recently-used map from source string to
+//! [`Arc<CompiledQuery>`]; [`crate::Engine`] consults it on every
+//! [`crate::Engine::compile`] / [`crate::Engine::evaluate_str`] call, and
+//! its [`CacheStats`] make hits and misses observable so tests and benches
+//! can assert that a repeated query string really skips re-parsing.
+//!
+//! Recency is tracked with a monotonic touch counter per entry; eviction
+//! scans for the minimum.  That is O(capacity) per eviction, which is the
+//! right trade-off for plan caches (tens to a few thousand entries, hit
+//! paths that must stay allocation-free).
+
+use crate::compile::CompiledQuery;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Observable counters of a [`PlanCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (no re-parse, no re-classification).
+    pub hits: u64,
+    /// Lookups that fell through to compilation.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently stored.
+    pub len: usize,
+    /// Maximum number of entries (0 = caching disabled).
+    pub capacity: usize,
+}
+
+#[derive(Debug)]
+struct Entry {
+    plan: Arc<CompiledQuery>,
+    last_used: u64,
+}
+
+/// A bounded LRU map from query string to compiled plan.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    entries: HashMap<String, Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans; 0 disables caching
+    /// (every lookup misses, nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            entries: HashMap::with_capacity(capacity.min(1024)),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up a plan, refreshing its recency on a hit.
+    pub fn get(&mut self, source: &str) -> Option<Arc<CompiledQuery>> {
+        self.tick += 1;
+        match self.entries.get_mut(source) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&entry.plan))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a plan, evicting the least-recently-used entry when full.
+    pub fn insert(&mut self, source: String, plan: Arc<CompiledQuery>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&source) {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            source,
+            Entry {
+                plan,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drops all cached plans (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(src: &str) -> Arc<CompiledQuery> {
+        Arc::new(CompiledQuery::compile(src).unwrap())
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = PlanCache::new(4);
+        assert!(c.get("//a").is_none());
+        c.insert("//a".into(), plan("//a"));
+        let hit = c.get("//a").unwrap();
+        assert_eq!(hit.source(), "//a");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn least_recently_used_entry_is_evicted() {
+        let mut c = PlanCache::new(2);
+        c.insert("//a".into(), plan("//a"));
+        c.insert("//b".into(), plan("//b"));
+        // Touch //a so //b becomes the LRU victim.
+        assert!(c.get("//a").is_some());
+        c.insert("//c".into(), plan("//c"));
+        assert!(c.get("//b").is_none(), "//b should have been evicted");
+        assert!(c.get("//a").is_some());
+        assert!(c.get("//c").is_some());
+        let s = c.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.len, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = PlanCache::new(0);
+        c.insert("//a".into(), plan("//a"));
+        assert!(c.get("//a").is_none());
+        assert_eq!(c.stats().len, 0);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let mut c = PlanCache::new(2);
+        c.insert("//a".into(), plan("//a"));
+        c.insert("//b".into(), plan("//b"));
+        c.insert("//a".into(), plan("//a"));
+        assert_eq!(c.stats().evictions, 0);
+        assert!(c.get("//b").is_some());
+    }
+}

@@ -1,0 +1,411 @@
+//! The compile-once half of the query pipeline.
+//!
+//! The paper splits XPath evaluation cost in two: a *per-query* static
+//! analysis (parse, classify into the Figure 1 fragment lattice, pick the
+//! algorithm its complexity result recommends) and a *per-document*
+//! evaluation.  [`CompiledQuery`] materializes that split: it owns the
+//! parsed and normalized AST, its [`FragmentReport`] and a pre-selected
+//! [`EvalStrategy`] plan, and is **document-independent** — compile a query
+//! once and [`run`](CompiledQuery::run) it against any number of documents
+//! and contexts.
+//!
+//! All five evaluation strategies are driven through the compiled form;
+//! see [`CompiledQuery::run_with_context`].  Batch evaluation over many
+//! contexts ([`CompiledQuery::run_many`]) shares the DP evaluator's
+//! context-value tables across the whole batch, which is exactly the
+//! amortization Proposition 2.7's polynomial bound comes from.
+
+use crate::context::Context;
+use crate::corexpath::CoreXPathEvaluator;
+use crate::dp::DpEvaluator;
+use crate::engine::EvalStrategy;
+use crate::error::EvalError;
+use crate::naive::NaiveEvaluator;
+use crate::parallel::ParallelEvaluator;
+use crate::stats::EvalStats;
+use crate::success::SingletonSuccess;
+use crate::value::Value;
+use xpeval_dom::Document;
+use xpeval_syntax::ast::ExprType;
+use xpeval_syntax::normalize::expand_iterated_predicates;
+use xpeval_syntax::{classify, Expr, Fragment, FragmentReport};
+
+/// Options controlling compilation; the builder's
+/// [`crate::EngineBuilder`] produces these from its configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CompileOptions {
+    /// Fixed strategy, or `None` to let the classifier pick the one the
+    /// paper recommends for the query's fragment.
+    pub strategy: Option<EvalStrategy>,
+    /// Worker threads used when the plan is [`EvalStrategy::Parallel`].
+    pub threads: usize,
+    /// Apply the semantics-preserving Remark 5.2 normalization (merge
+    /// iterated predicates) before classification.
+    pub normalize: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            strategy: None,
+            threads: default_threads(),
+            normalize: true,
+        }
+    }
+}
+
+/// The number of worker threads used when none is configured.  The
+/// `available_parallelism` syscall is made once and cached: compilation is
+/// on the serving hot path when a plan cache misses.
+pub fn default_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The strategy the paper recommends for a classified query: linear
+/// set-at-a-time evaluation for the Core XPath fragments, parallel
+/// Singleton-Success evaluation for the LOGCFL fragments (Remark 5.6), and
+/// the polynomial context-value-table algorithm for everything else.
+pub fn recommended_strategy(report: &FragmentReport, threads: usize) -> EvalStrategy {
+    match report.fragment {
+        Fragment::PF | Fragment::PositiveCoreXPath | Fragment::CoreXPath => {
+            EvalStrategy::CoreXPathLinear
+        }
+        Fragment::PWF | Fragment::PXPath => EvalStrategy::Parallel { threads },
+        _ => EvalStrategy::ContextValueTable,
+    }
+}
+
+/// The result of one evaluation: the XPath value, the unified work counters
+/// of the strategy that ran, and the fragment the query was classified into.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryOutput {
+    /// The XPath 1.0 value the query evaluated to.
+    pub value: Value,
+    /// Work counters of the evaluation (all-zero for strategies that do not
+    /// count work; see [`EvalStats`]).
+    pub stats: EvalStats,
+    /// Least fragment of Figure 1 containing the compiled query.
+    pub fragment: Fragment,
+}
+
+impl QueryOutput {
+    /// Consumes the output, returning just the value.
+    pub fn into_value(self) -> Value {
+        self.value
+    }
+}
+
+/// A query compiled once — parsed, normalized, classified, planned — and
+/// evaluatable many times, against any document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledQuery {
+    source: String,
+    expr: Expr,
+    report: FragmentReport,
+    plan: EvalStrategy,
+}
+
+impl CompiledQuery {
+    /// Compiles a query string with default options: automatic strategy
+    /// selection and all available threads.
+    pub fn compile(source: &str) -> Result<Self, EvalError> {
+        Self::compile_with(source, &CompileOptions::default())
+    }
+
+    /// Compiles a query string with explicit options.
+    pub fn compile_with(source: &str, options: &CompileOptions) -> Result<Self, EvalError> {
+        let expr = xpeval_syntax::parse_query(source)?;
+        Ok(Self::build(source.to_string(), expr, options))
+    }
+
+    /// Compiles an already-parsed expression with default options.
+    pub fn from_expr(expr: Expr) -> Self {
+        Self::from_expr_with(expr, &CompileOptions::default())
+    }
+
+    /// Compiles an already-parsed expression with explicit options.
+    pub fn from_expr_with(expr: Expr, options: &CompileOptions) -> Self {
+        let source = expr.to_string();
+        Self::build(source, expr, options)
+    }
+
+    fn build(source: String, expr: Expr, options: &CompileOptions) -> Self {
+        // Remark 5.2: merging iterated predicates is semantics-preserving
+        // (the rewrite skips any step where it would not be) and can only
+        // move the query *down* the fragment lattice, enabling a cheaper
+        // plan — so classify after normalizing.
+        let expr = if options.normalize {
+            expand_iterated_predicates(&expr)
+        } else {
+            expr
+        };
+        let report = classify(&expr);
+        let plan = options
+            .strategy
+            .unwrap_or_else(|| recommended_strategy(&report, options.threads.max(1)));
+        CompiledQuery {
+            source,
+            expr,
+            report,
+            plan,
+        }
+    }
+
+    /// The query string this plan was compiled from (the canonical printed
+    /// form when compiled from an AST).
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The normalized AST.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// The full classification report (Figure 1).
+    pub fn report(&self) -> &FragmentReport {
+        &self.report
+    }
+
+    /// Least fragment of Figure 1 containing the query.
+    pub fn fragment(&self) -> Fragment {
+        self.report.fragment
+    }
+
+    /// The evaluation strategy this plan will dispatch to.
+    pub fn strategy(&self) -> EvalStrategy {
+        self.plan
+    }
+
+    /// The same compiled query with a different strategy; classification is
+    /// not redone.
+    pub fn with_strategy(mut self, strategy: EvalStrategy) -> Self {
+        self.plan = strategy;
+        self
+    }
+
+    /// Evaluates against a document from the canonical root context.
+    pub fn run(&self, doc: &Document) -> Result<QueryOutput, EvalError> {
+        self.run_with_context(doc, Context::root(doc))
+    }
+
+    /// Evaluates against a document from an explicit context triple.
+    pub fn run_with_context(&self, doc: &Document, ctx: Context) -> Result<QueryOutput, EvalError> {
+        let (value, stats) = execute(self.plan, doc, &self.expr, ctx)?;
+        Ok(QueryOutput {
+            value,
+            stats,
+            fragment: self.report.fragment,
+        })
+    }
+
+    /// Batch evaluation: runs the query once per context, in order.
+    ///
+    /// For the [`EvalStrategy::ContextValueTable`] plan a single evaluator
+    /// (and hence a single set of context-value tables) is shared across the
+    /// whole batch, so repeated subexpression/context pairs are computed
+    /// only once — per-context stats are cumulative in that case.
+    pub fn run_many(
+        &self,
+        doc: &Document,
+        contexts: &[Context],
+    ) -> Result<Vec<QueryOutput>, EvalError> {
+        match self.plan {
+            EvalStrategy::ContextValueTable => {
+                let mut ev = DpEvaluator::new(doc, &self.expr);
+                let mut out = Vec::with_capacity(contexts.len());
+                for &ctx in contexts {
+                    let value = ev.evaluate_with_context(ctx)?;
+                    out.push(QueryOutput {
+                        value,
+                        stats: ev.stats(),
+                        fragment: self.report.fragment,
+                    });
+                }
+                Ok(out)
+            }
+            _ => contexts
+                .iter()
+                .map(|&ctx| self.run_with_context(doc, ctx))
+                .collect(),
+        }
+    }
+
+    /// Convenience: evaluates from the root context and returns just the
+    /// value.
+    pub fn value(&self, doc: &Document) -> Result<Value, EvalError> {
+        self.run(doc).map(|o| o.value)
+    }
+}
+
+impl std::fmt::Display for CompiledQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{}; {:?}]",
+            self.source, self.report.fragment, self.plan
+        )
+    }
+}
+
+/// Dispatches one evaluation to a strategy.  This is the single funnel every
+/// public evaluation entry point goes through.
+pub(crate) fn execute(
+    strategy: EvalStrategy,
+    doc: &Document,
+    expr: &Expr,
+    ctx: Context,
+) -> Result<(Value, EvalStats), EvalError> {
+    match strategy {
+        EvalStrategy::ContextValueTable => {
+            let mut ev = DpEvaluator::new(doc, expr);
+            let value = ev.evaluate_with_context(ctx)?;
+            Ok((value, ev.stats()))
+        }
+        EvalStrategy::Naive => {
+            let mut ev = NaiveEvaluator::new(doc);
+            let value = ev.evaluate_with_context(expr, ctx)?;
+            Ok((value, ev.stats()))
+        }
+        EvalStrategy::CoreXPathLinear => {
+            let ev = CoreXPathEvaluator::new(doc);
+            let nodes = ev.evaluate_from(expr, &[ctx.node])?;
+            Ok((Value::NodeSet(nodes), EvalStats::default()))
+        }
+        EvalStrategy::Parallel { threads } => {
+            let ev = ParallelEvaluator::new(doc, threads);
+            let value = ev.evaluate_with_context(expr, ctx)?;
+            Ok((value, EvalStats::default()))
+        }
+        EvalStrategy::SingletonSuccess => {
+            let checker = SingletonSuccess::new(doc, expr)?;
+            let value = match expr.expr_type() {
+                ExprType::NodeSet => Value::NodeSet(checker.node_set(ctx)?),
+                ExprType::Boolean => Value::Boolean(checker.eval_boolean(expr, ctx)?),
+                _ => checker.eval_scalar(expr, ctx)?,
+            };
+            Ok((value, EvalStats::default()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpeval_dom::parse_xml;
+
+    const BOOKS: &str = r#"<lib><book year="2001"><title>A</title></book><book year="2003"><title>B</title><cite/></book></lib>"#;
+
+    #[test]
+    fn compile_is_document_independent() {
+        let q = CompiledQuery::compile("/lib/book/title").unwrap();
+        assert_eq!(q.fragment(), Fragment::PF);
+        assert_eq!(q.strategy(), EvalStrategy::CoreXPathLinear);
+        let d1 = parse_xml(BOOKS).unwrap();
+        let d2 = parse_xml("<lib><book><title>Z</title></book></lib>").unwrap();
+        assert_eq!(q.run(&d1).unwrap().value.expect_nodes().len(), 2);
+        assert_eq!(q.run(&d2).unwrap().value.expect_nodes().len(), 1);
+    }
+
+    #[test]
+    fn plans_follow_the_papers_recommendation() {
+        let cases = [
+            ("/a/b/c", EvalStrategy::CoreXPathLinear),
+            ("//a[not(child::b)]", EvalStrategy::CoreXPathLinear),
+            (
+                "//a[position() = last()]",
+                EvalStrategy::Parallel { threads: 3 },
+            ),
+            ("count(//a) > 2", EvalStrategy::ContextValueTable),
+        ];
+        let opts = CompileOptions {
+            threads: 3,
+            ..CompileOptions::default()
+        };
+        for (src, plan) in cases {
+            let q = CompiledQuery::compile_with(src, &opts).unwrap();
+            assert_eq!(q.strategy(), plan, "{src}");
+        }
+    }
+
+    #[test]
+    fn normalization_can_lower_the_fragment_and_the_plan() {
+        // Iterated predicates are forbidden in pXPath (Definition 6.1,
+        // restriction 1), so the raw query sits in full XPath; the
+        // Remark 5.2 merge turns them into a single conjunction, which
+        // drops the query into pXPath and unlocks the parallel plan.
+        let src = "//a[@x = 'v'][child::b]";
+        let raw = CompiledQuery::compile_with(
+            src,
+            &CompileOptions {
+                normalize: false,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(raw.fragment(), Fragment::XPath);
+        assert_eq!(raw.strategy(), EvalStrategy::ContextValueTable);
+        let merged = CompiledQuery::compile(src).unwrap();
+        assert_eq!(merged.fragment(), Fragment::PXPath);
+        assert!(matches!(merged.strategy(), EvalStrategy::Parallel { .. }));
+    }
+
+    #[test]
+    fn with_strategy_overrides_the_plan() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let q = CompiledQuery::compile("/lib/book[child::cite]/title").unwrap();
+        let reference = q.run(&doc).unwrap().value;
+        for strategy in [
+            EvalStrategy::ContextValueTable,
+            EvalStrategy::Naive,
+            EvalStrategy::Parallel { threads: 2 },
+            EvalStrategy::SingletonSuccess,
+        ] {
+            let got = q.clone().with_strategy(strategy).run(&doc).unwrap().value;
+            assert_eq!(got, reference, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn compile_reports_parse_errors() {
+        let err = CompiledQuery::compile("///not valid").unwrap_err();
+        assert!(matches!(err, EvalError::Parse { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn run_many_shares_the_context_value_tables() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let q = CompiledQuery::compile("count(child::book)").unwrap();
+        assert_eq!(q.strategy(), EvalStrategy::ContextValueTable);
+        let lib = doc.first_child(doc.root()).unwrap();
+        let ctxs = vec![Context::new(lib, 1, 1); 3];
+        let outs = q.run_many(&doc, &ctxs).unwrap();
+        assert_eq!(outs.len(), 3);
+        for o in &outs {
+            assert_eq!(o.value, Value::Number(2.0));
+        }
+        // The second and third runs hit the shared memo instead of
+        // recomputing: cumulative evaluations stay flat.
+        assert_eq!(outs[1].stats.evaluations, outs[0].stats.evaluations);
+        assert!(outs[2].stats.cache_hits > outs[0].stats.cache_hits);
+    }
+
+    #[test]
+    fn stats_flow_through_query_output() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let q = CompiledQuery::compile("//book")
+            .unwrap()
+            .with_strategy(EvalStrategy::ContextValueTable);
+        let out = q.run(&doc).unwrap();
+        assert!(out.stats.evaluations > 0);
+        assert!(out.stats.table_entries > 0);
+        let naive = q.with_strategy(EvalStrategy::Naive).run(&doc).unwrap();
+        assert!(naive.stats.evaluations > 0);
+        assert!(naive.stats.max_intermediate_list > 0);
+    }
+}

@@ -23,13 +23,21 @@ pub struct Context {
 impl Context {
     /// Creates a context triple.
     pub fn new(node: NodeId, position: usize, size: usize) -> Self {
-        Context { node, position, size }
+        Context {
+            node,
+            position,
+            size,
+        }
     }
 
     /// The canonical initial context for evaluating a complete query on a
     /// document: the conceptual root with position and size 1.
     pub fn root(doc: &Document) -> Self {
-        Context { node: doc.root(), position: 1, size: 1 }
+        Context {
+            node: doc.root(),
+            position: 1,
+            size: 1,
+        }
     }
 
     /// Context with the same position/size but a different node.

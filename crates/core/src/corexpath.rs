@@ -28,7 +28,10 @@ pub struct NodeBitSet {
 impl NodeBitSet {
     /// Empty set over a universe of `len` nodes.
     pub fn empty(len: usize) -> Self {
-        NodeBitSet { words: vec![0; len.div_ceil(64)], len }
+        NodeBitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Full set over a universe of `len` nodes.
@@ -104,7 +107,9 @@ impl NodeBitSet {
 
     /// The member nodes in arena-index order.
     pub fn iter_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.len).filter(|&i| (self.words[i / 64] >> (i % 64)) & 1 == 1).map(NodeId::from_index)
+        (0..self.len)
+            .filter(|&i| (self.words[i / 64] >> (i % 64)) & 1 == 1)
+            .map(NodeId::from_index)
     }
 }
 
@@ -431,13 +436,18 @@ mod tests {
     use xpeval_dom::parse_xml;
     use xpeval_syntax::parse_query;
 
-    const DOC: &str = "<r><a><b><c/></b><b/><d/></a><a><b><c/></b><d/><b><c/></b></a><e><a><b/></a></e></r>";
+    const DOC: &str =
+        "<r><a><b><c/></b><b/><d/></a><a><b><c/></b><d/><b><c/></b></a><e><a><b/></a></e></r>";
 
     fn agree(xml: &str, query: &str) {
         let doc = parse_xml(xml).unwrap();
         let q = parse_query(query).unwrap();
         let core = CoreXPathEvaluator::new(&doc).evaluate_query(&q).unwrap();
-        let dp = DpEvaluator::new(&doc, &q).evaluate().unwrap().into_nodes().unwrap();
+        let dp = DpEvaluator::new(&doc, &q)
+            .evaluate()
+            .unwrap()
+            .into_nodes()
+            .unwrap();
         assert_eq!(core, dp, "disagreement on {query}");
     }
 
@@ -466,7 +476,9 @@ mod tests {
         let full = NodeBitSet::full(130);
         assert_eq!(full.count(), 130);
         assert_eq!(
-            NodeBitSet::singleton(130, NodeId::from_index(5)).iter_nodes().collect::<Vec<_>>(),
+            NodeBitSet::singleton(130, NodeId::from_index(5))
+                .iter_nodes()
+                .collect::<Vec<_>>(),
             vec![NodeId::from_index(5)]
         );
     }
@@ -532,9 +544,13 @@ mod tests {
         let ev = CoreXPathEvaluator::new(&doc);
         // The absolute condition /descendant::c holds at *every* node
         // because the document does contain a c.
-        let sat = ev.satisfying_nodes(&parse_query("/descendant::c").unwrap()).unwrap();
+        let sat = ev
+            .satisfying_nodes(&parse_query("/descendant::c").unwrap())
+            .unwrap();
         assert_eq!(sat.len(), doc.len());
-        let sat = ev.satisfying_nodes(&parse_query("/descendant::nosuch").unwrap()).unwrap();
+        let sat = ev
+            .satisfying_nodes(&parse_query("/descendant::nosuch").unwrap())
+            .unwrap();
         assert!(sat.is_empty());
         // And it can be used inside predicates.
         agree(DOC, "//a[/descendant::c]");
@@ -545,10 +561,18 @@ mod tests {
     fn rejects_non_core_queries() {
         let doc = parse_xml(DOC).unwrap();
         let ev = CoreXPathEvaluator::new(&doc);
-        for q in ["//a[position() = 2]", "count(//a)", "//a[@id = 1]", "//a[1]"] {
+        for q in [
+            "//a[position() = 2]",
+            "count(//a)",
+            "//a[@id = 1]",
+            "//a[1]",
+        ] {
             let query = parse_query(q).unwrap();
             assert!(
-                matches!(ev.evaluate_query(&query), Err(EvalError::UnsupportedFragment { .. })),
+                matches!(
+                    ev.evaluate_query(&query),
+                    Err(EvalError::UnsupportedFragment { .. })
+                ),
                 "{q} should be rejected"
             );
         }
@@ -558,13 +582,18 @@ mod tests {
     fn evaluate_from_arbitrary_context_nodes() {
         let doc = parse_xml(DOC).unwrap();
         let ev = CoreXPathEvaluator::new(&doc);
-        let first_a = doc.all_elements().find(|&n| doc.name(n) == Some("a")).unwrap();
+        let first_a = doc
+            .all_elements()
+            .find(|&n| doc.name(n) == Some("a"))
+            .unwrap();
         let q = parse_query("child::b").unwrap();
         let res = ev.evaluate_from(&q, &[first_a]).unwrap();
         assert_eq!(res.len(), 2);
         // From both a's simultaneously.
-        let all_a: Vec<NodeId> =
-            doc.all_elements().filter(|&n| doc.name(n) == Some("a")).collect();
+        let all_a: Vec<NodeId> = doc
+            .all_elements()
+            .filter(|&n| doc.name(n) == Some("a"))
+            .collect();
         let res = ev.evaluate_from(&q, &all_a).unwrap();
         assert_eq!(res.len(), 5);
     }

@@ -20,30 +20,22 @@
 //! optimization behind the improved bounds in the ICDE'03 follow-up paper).
 //!
 //! The number of table entries and the hit/miss counts are exposed through
-//! [`DpStats`]; the benchmark harness uses them to demonstrate the
-//! polynomial-vs-exponential separation against [`crate::NaiveEvaluator`]
+//! the unified [`EvalStats`]; the benchmark harness uses them to demonstrate
+//! the polynomial-vs-exponential separation against [`crate::NaiveEvaluator`]
 //! without relying on wall-clock time.
 
 use crate::context::{Context, ContextKey};
 use crate::error::EvalError;
 use crate::functions::call_function;
+use crate::stats::EvalStats;
 use crate::steps::apply_step;
 use crate::value::Value;
 use std::collections::HashMap;
 use xpeval_dom::{Document, NodeId};
 use xpeval_syntax::{Expr, LocationPath};
 
-/// Work counters of a [`DpEvaluator`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct DpStats {
-    /// Number of `(subexpression, context)` pairs actually computed
-    /// (= total size of all context-value tables).
-    pub evaluations: u64,
-    /// Number of times a previously computed table entry was reused.
-    pub cache_hits: u64,
-    /// Number of `(step, context node)` applications of a location step.
-    pub step_context_evaluations: u64,
-}
+/// Legacy name for the unified work counters.
+pub type DpStats = EvalStats;
 
 /// Dynamic-programming evaluator over context-value tables.
 ///
@@ -54,7 +46,7 @@ pub struct DpEvaluator<'d, 'q> {
     query: &'q Expr,
     memo: HashMap<(usize, ContextKey), Value>,
     sensitivity: HashMap<usize, bool>,
-    stats: DpStats,
+    stats: EvalStats,
 }
 
 impl<'d, 'q> DpEvaluator<'d, 'q> {
@@ -65,7 +57,7 @@ impl<'d, 'q> DpEvaluator<'d, 'q> {
             query,
             memo: HashMap::new(),
             sensitivity: HashMap::new(),
-            stats: DpStats::default(),
+            stats: EvalStats::default(),
         }
     }
 
@@ -82,8 +74,11 @@ impl<'d, 'q> DpEvaluator<'d, 'q> {
     }
 
     /// Work counters accumulated so far.
-    pub fn stats(&self) -> DpStats {
-        self.stats
+    pub fn stats(&self) -> EvalStats {
+        EvalStats {
+            table_entries: self.memo.len(),
+            ..self.stats
+        }
     }
 
     /// Total number of context-value table entries currently stored.
@@ -172,8 +167,11 @@ impl<'d, 'q> DpEvaluator<'d, 'q> {
     }
 
     fn eval_path(&mut self, path: &LocationPath, ctx: Context) -> Result<Value, EvalError> {
-        let mut current: Vec<NodeId> =
-            if path.absolute { vec![self.doc.root()] } else { vec![ctx.node] };
+        let mut current: Vec<NodeId> = if path.absolute {
+            vec![self.doc.root()]
+        } else {
+            vec![ctx.node]
+        };
         for step in &path.steps {
             let mut next: Vec<NodeId> = Vec::new();
             for &node in &current {
@@ -206,8 +204,12 @@ fn sensitivity(expr: &Expr) -> bool {
         Expr::Path(_) | Expr::Union(_, _) => false,
         Expr::Or(a, b)
         | Expr::And(a, b)
-        | Expr::Relational { left: a, right: b, .. }
-        | Expr::Arithmetic { left: a, right: b, .. } => sensitivity(a) || sensitivity(b),
+        | Expr::Relational {
+            left: a, right: b, ..
+        }
+        | Expr::Arithmetic {
+            left: a, right: b, ..
+        } => sensitivity(a) || sensitivity(b),
         Expr::Not(e) | Expr::Neg(e) => sensitivity(e),
         Expr::Number(_) | Expr::Literal(_) => false,
     }
@@ -242,23 +244,35 @@ mod tests {
         let q = parse_query(query).unwrap();
         let mut ev = DpEvaluator::new(&doc, &q);
         let v = ev.evaluate().unwrap();
-        v.expect_nodes().iter().map(|&n| doc.string_value(n)).collect()
+        v.expect_nodes()
+            .iter()
+            .map(|&n| doc.string_value(n))
+            .collect()
     }
 
     const BOOKS: &str = r#"<lib><book year="2001"><title>A</title></book><book year="2003"><title>B</title><cite/></book><paper year="2003"><title>C</title></paper></lib>"#;
 
     #[test]
     fn simple_child_paths() {
-        assert_eq!(eval_names(BOOKS, "/child::lib/child::book"), vec!["book", "book"]);
+        assert_eq!(
+            eval_names(BOOKS, "/child::lib/child::book"),
+            vec!["book", "book"]
+        );
         assert_eq!(eval_names(BOOKS, "/lib/book/title"), vec!["title", "title"]);
-        assert_eq!(eval_names(BOOKS, "//title"), vec!["title", "title", "title"]);
+        assert_eq!(
+            eval_names(BOOKS, "//title"),
+            vec!["title", "title", "title"]
+        );
     }
 
     #[test]
     fn paper_example_query_semantics() {
         // /descendant::a/child::b[descendant::c and not(following-sibling::d)]
         let xml = "<r><a><b><c/></b><b/><d/></a><a><b><c/></b><d/><b><c/></b></a></r>";
-        let v = eval_values(xml, "/descendant::a/child::b[descendant::c and not(following-sibling::d)]");
+        let v = eval_values(
+            xml,
+            "/descendant::a/child::b[descendant::c and not(following-sibling::d)]",
+        );
         // First a: first b has c and no following d sibling?  It does have a
         // following d sibling, so excluded.  Second b has no c.  Second a:
         // first b has c but a following d; last b has c and no following d.
@@ -270,15 +284,24 @@ mod tests {
     #[test]
     fn predicates_with_attributes_and_values() {
         assert_eq!(eval_names(BOOKS, "//book[@year = 2003]"), vec!["book"]);
-        assert_eq!(eval_names(BOOKS, "//book[@year = 2003]/title"), vec!["title"]);
+        assert_eq!(
+            eval_names(BOOKS, "//book[@year = 2003]/title"),
+            vec!["title"]
+        );
         assert_eq!(eval_values(BOOKS, "//book[@year = 2003]/title"), vec!["B"]);
-        assert_eq!(eval_names(BOOKS, "//*[@year = 2003]"), vec!["book", "paper"]);
+        assert_eq!(
+            eval_names(BOOKS, "//*[@year = 2003]"),
+            vec!["book", "paper"]
+        );
         assert_eq!(eval_names(BOOKS, "//book[child::cite]"), vec!["book"]);
     }
 
     #[test]
     fn position_and_last() {
-        assert_eq!(eval_values(BOOKS, "//book[position() = 2]/title"), vec!["B"]);
+        assert_eq!(
+            eval_values(BOOKS, "//book[position() = 2]/title"),
+            vec!["B"]
+        );
         assert_eq!(eval_values(BOOKS, "//book[last()]/title"), vec!["B"]);
         assert_eq!(eval_values(BOOKS, "//book[1]/title"), vec!["A"]);
         // Section 2.2 example: position() + 1 = last() selects w_k with k+1 = m.
@@ -307,10 +330,16 @@ mod tests {
         assert_eq!(eval(BOOKS, "count(//book)"), Value::Number(2.0));
         assert_eq!(eval(BOOKS, "count(//book | //paper)"), Value::Number(3.0));
         assert_eq!(eval(BOOKS, "1 + 2 * 3"), Value::Number(7.0));
-        assert_eq!(eval(BOOKS, "string(//book[1]/title)"), Value::Str("A".into()));
+        assert_eq!(
+            eval(BOOKS, "string(//book[1]/title)"),
+            Value::Str("A".into())
+        );
         assert_eq!(eval(BOOKS, "boolean(//nosuch)"), Value::Boolean(false));
         assert_eq!(eval(BOOKS, "not(//nosuch)"), Value::Boolean(true));
-        assert_eq!(eval(BOOKS, "concat('x', string(count(//title)))"), Value::Str("x3".into()));
+        assert_eq!(
+            eval(BOOKS, "concat('x', string(count(//title)))"),
+            Value::Str("x3".into())
+        );
         assert_eq!(eval(BOOKS, "sum(//book/@year)"), Value::Number(4004.0));
     }
 
@@ -336,7 +365,10 @@ mod tests {
         assert_eq!(eval_names(xml, "//a/following::*"), vec!["b", "y", "c"]);
         assert_eq!(eval_names(xml, "//c/preceding::*"), vec!["x", "a", "b"]);
         assert_eq!(eval_names(xml, "//b/preceding-sibling::*"), vec!["a"]);
-        assert_eq!(eval_names(xml, "//a/ancestor-or-self::*"), vec!["r", "x", "a"]);
+        assert_eq!(
+            eval_names(xml, "//a/ancestor-or-self::*"),
+            vec!["r", "x", "a"]
+        );
     }
 
     #[test]
@@ -344,7 +376,10 @@ mod tests {
         let v = eval(BOOKS, "/");
         assert_eq!(v.expect_nodes().len(), 1);
         assert_eq!(eval_names(BOOKS, "//title/self::title").len(), 3);
-        assert_eq!(eval_names(BOOKS, "//title/."), vec!["title", "title", "title"]);
+        assert_eq!(
+            eval_names(BOOKS, "//title/."),
+            vec!["title", "title", "title"]
+        );
         assert_eq!(eval_names(BOOKS, "//title/../..").len(), 1);
     }
 
@@ -431,7 +466,10 @@ mod tests {
         let doc = parse_xml("<a/>").unwrap();
         let q = parse_query("frobnicate(1)").unwrap();
         let mut ev = DpEvaluator::new(&doc, &q);
-        assert!(matches!(ev.evaluate(), Err(EvalError::UnknownFunction { .. })));
+        assert!(matches!(
+            ev.evaluate(),
+            Err(EvalError::UnknownFunction { .. })
+        ));
     }
 
     #[test]

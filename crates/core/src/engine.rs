@@ -1,28 +1,35 @@
-//! Unified engine facade over the evaluation strategies.
+//! The evaluate-many half of the query pipeline: a configured engine with a
+//! plan cache.
 //!
-//! Downstream code (examples, benches, integration tests) talks to a single
-//! [`Engine`] and picks an [`EvalStrategy`]; the engine dispatches to the
-//! matching evaluator and reports which fragment the query belongs to, so
-//! callers can follow the paper's guidance: linear-time set-at-a-time
-//! evaluation for Core XPath, parallel evaluation for pWF/pXPath, and the
-//! polynomial context-value-table algorithm for everything else.
+//! [`Engine`] is the serving façade over the compile-once pipeline of
+//! [`crate::compile`].  It is configured through [`EngineBuilder`] (strategy
+//! override, worker threads, plan-cache capacity), compiles query strings
+//! into [`CompiledQuery`] plans through a bounded LRU [`PlanCache`], and
+//! offers batch entry points ([`Engine::evaluate_many`],
+//! [`Engine::evaluate_batch`]) next to the classic one-shot calls.
+//!
+//! The one-shot calls are thin wrappers: `evaluate_str` is exactly
+//! `compile()` + [`CompiledQuery::run`], and `evaluate` is the same minus
+//! the parse.  All five evaluation strategies are reachable through the
+//! compiled form; the engine adds only configuration and caching on top.
 
+use crate::cache::{CacheStats, PlanCache};
+use crate::compile::{
+    default_threads, recommended_strategy, CompileOptions, CompiledQuery, QueryOutput,
+};
 use crate::context::Context;
-use crate::corexpath::CoreXPathEvaluator;
-use crate::dp::DpEvaluator;
 use crate::error::EvalError;
-use crate::naive::NaiveEvaluator;
-use crate::parallel::ParallelEvaluator;
-use crate::success::SingletonSuccess;
 use crate::value::Value;
+use std::sync::{Arc, Mutex};
 use xpeval_dom::Document;
 use xpeval_syntax::{classify, Expr, FragmentReport};
 
 /// The evaluation strategies implemented by this crate.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum EvalStrategy {
     /// The context-value-table dynamic program (Proposition 2.7): polynomial
     /// combined complexity for all of XPath 1.0.  This is the default.
+    #[default]
     ContextValueTable,
     /// Direct re-evaluation semantics (the exponential baseline of the
     /// paper's introduction).
@@ -36,27 +43,110 @@ pub enum EvalStrategy {
     SingletonSuccess,
 }
 
-impl Default for EvalStrategy {
-    fn default() -> Self {
-        EvalStrategy::ContextValueTable
+/// Configures and builds an [`Engine`].
+///
+/// ```
+/// use xpeval_core::{Engine, EvalStrategy};
+///
+/// let engine = Engine::builder()
+///     .threads(2)
+///     .plan_cache_capacity(256)
+///     .build();
+/// # let _ = engine;
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct EngineBuilder {
+    strategy: Option<EvalStrategy>,
+    threads: usize,
+    cache_capacity: usize,
+}
+
+impl EngineBuilder {
+    /// Default configuration: automatic per-query strategy selection, all
+    /// available threads, a 128-plan cache.
+    pub fn new() -> Self {
+        EngineBuilder {
+            strategy: None,
+            threads: default_threads(),
+            cache_capacity: 128,
+        }
+    }
+
+    /// Fixes the evaluation strategy for every query, overriding the
+    /// per-fragment recommendation.
+    pub fn strategy(mut self, strategy: EvalStrategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Restores automatic strategy selection (the default): each query gets
+    /// the algorithm the paper recommends for its fragment.
+    pub fn auto_strategy(mut self) -> Self {
+        self.strategy = None;
+        self
+    }
+
+    /// Worker threads for the parallel evaluator (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Plan-cache capacity in entries; 0 disables the cache.
+    pub fn plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Engine {
+        Engine {
+            strategy: self.strategy,
+            threads: self.threads,
+            cache: Mutex::new(PlanCache::new(self.cache_capacity)),
+        }
     }
 }
 
-/// Facade dispatching queries to an evaluation strategy.
-#[derive(Clone, Copy, Debug, Default)]
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder::new()
+    }
+}
+
+/// Facade dispatching queries to an evaluation strategy through the
+/// compile-once pipeline.
+#[derive(Debug)]
 pub struct Engine {
-    strategy: EvalStrategy,
+    /// `None` = pick the recommended strategy per query.
+    strategy: Option<EvalStrategy>,
+    threads: usize,
+    cache: Mutex<PlanCache>,
+}
+
+impl Default for Engine {
+    /// An engine fixed to the default strategy
+    /// ([`EvalStrategy::ContextValueTable`]).
+    fn default() -> Self {
+        Engine::new(EvalStrategy::default())
+    }
 }
 
 impl Engine {
-    /// Creates an engine with the given strategy.
+    /// Creates an engine with a fixed strategy and default cache/threads.
     pub fn new(strategy: EvalStrategy) -> Self {
-        Engine { strategy }
+        EngineBuilder::new().strategy(strategy).build()
     }
 
-    /// The strategy this engine uses.
+    /// Starts configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The strategy this engine forces, or the default when it selects per
+    /// query.
     pub fn strategy(&self) -> EvalStrategy {
-        self.strategy
+        self.strategy.unwrap_or_default()
     }
 
     /// Classifies the query according to Figure 1 of the paper.
@@ -68,14 +158,42 @@ impl Engine {
     /// set-at-a-time evaluation for Core XPath, parallel evaluation for the
     /// LOGCFL fragments, the DP algorithm otherwise.
     pub fn recommended_for(query: &Expr, threads: usize) -> Engine {
-        use xpeval_syntax::Fragment::*;
         let report = classify(query);
-        let strategy = match report.fragment {
-            PF | PositiveCoreXPath | CoreXPath => EvalStrategy::CoreXPathLinear,
-            PWF | PXPath => EvalStrategy::Parallel { threads },
-            _ => EvalStrategy::ContextValueTable,
-        };
-        Engine::new(strategy)
+        Engine::new(recommended_strategy(&report, threads.max(1)))
+    }
+
+    fn compile_options(&self, normalize: bool) -> CompileOptions {
+        CompileOptions {
+            strategy: self.strategy,
+            threads: self.threads,
+            normalize,
+        }
+    }
+
+    /// Compiles a query string under this engine's configuration, through
+    /// the plan cache: a repeated source string is answered without
+    /// re-parsing or re-classifying.
+    pub fn compile(&self, source: &str) -> Result<Arc<CompiledQuery>, EvalError> {
+        if let Some(hit) = self.cache.lock().unwrap().get(source) {
+            return Ok(hit);
+        }
+        let plan = Arc::new(CompiledQuery::compile_with(
+            source,
+            &self.compile_options(true),
+        )?);
+        self.cache
+            .lock()
+            .unwrap()
+            .insert(source.to_string(), Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Compiles an already-parsed expression under this engine's
+    /// configuration (not cached: there is no string key).  The AST is taken
+    /// as-is, without normalization, so the evaluation behaves exactly like
+    /// the classic `evaluate(&doc, &expr)` always did.
+    pub fn compile_expr(&self, expr: &Expr) -> CompiledQuery {
+        CompiledQuery::from_expr_with(expr.clone(), &self.compile_options(false))
     }
 
     /// Evaluates a query against a document from the canonical root context.
@@ -84,43 +202,76 @@ impl Engine {
     }
 
     /// Evaluates a query from an explicit context triple.
+    ///
+    /// Dispatches through the same strategy funnel as
+    /// [`CompiledQuery::run`], but skips building a `CompiledQuery` (no AST
+    /// clone, no source rendering): callers holding an `&Expr` and
+    /// evaluating it repeatedly should not pay per-call compilation —
+    /// compile once via [`Engine::compile_expr`] if they want the plan
+    /// object itself.
     pub fn evaluate_with_context(
         &self,
         doc: &Document,
         query: &Expr,
         ctx: Context,
     ) -> Result<Value, EvalError> {
-        match self.strategy {
-            EvalStrategy::ContextValueTable => {
-                DpEvaluator::new(doc, query).evaluate_with_context(ctx)
-            }
-            EvalStrategy::Naive => NaiveEvaluator::new(doc).evaluate_with_context(query, ctx),
-            EvalStrategy::CoreXPathLinear => {
-                let ev = CoreXPathEvaluator::new(doc);
-                let nodes = ev.evaluate_from(query, &[ctx.node])?;
-                Ok(Value::NodeSet(nodes))
-            }
-            EvalStrategy::Parallel { threads } => {
-                ParallelEvaluator::new(doc, threads).evaluate_with_context(query, ctx)
-            }
-            EvalStrategy::SingletonSuccess => {
-                let checker = SingletonSuccess::new(doc, query)?;
-                use xpeval_syntax::ast::ExprType;
-                match query.expr_type() {
-                    ExprType::NodeSet => Ok(Value::NodeSet(checker.node_set(ctx)?)),
-                    ExprType::Boolean => Ok(Value::Boolean(checker.eval_boolean(query, ctx)?)),
-                    _ => checker.eval_scalar(query, ctx),
-                }
-            }
-        }
+        let strategy = match self.strategy {
+            Some(s) => s,
+            None => recommended_strategy(&classify(query), self.threads),
+        };
+        crate::compile::execute(strategy, doc, query, ctx).map(|(value, _)| value)
     }
 
-    /// Parses and evaluates a query given as a string; convenience for
-    /// examples and tests.
+    /// Parses (through the plan cache) and evaluates a query string,
+    /// returning just the value.
     pub fn evaluate_str(&self, doc: &Document, query: &str) -> Result<Value, EvalError> {
-        let parsed = xpeval_syntax::parse_query(query)
-            .map_err(|e| EvalError::unsupported(format!("parse error: {e}")))?;
-        self.evaluate(doc, &parsed)
+        Ok(self.compile(query)?.run(doc)?.value)
+    }
+
+    /// Parses (through the plan cache) and evaluates a query string,
+    /// returning the full [`QueryOutput`] — value, work counters and
+    /// fragment.
+    pub fn query_str(&self, doc: &Document, query: &str) -> Result<QueryOutput, EvalError> {
+        self.compile(query)?.run(doc)
+    }
+
+    /// Batch entry point: evaluates one compiled query over many contexts
+    /// (see [`CompiledQuery::run_many`] for the table-sharing guarantee).
+    ///
+    /// The plan carries its own strategy and thread count: engine
+    /// configuration applies at *compile* time, so compile the query
+    /// through [`Engine::compile`] to run batches under this engine's
+    /// settings.
+    pub fn evaluate_many(
+        &self,
+        doc: &Document,
+        query: &CompiledQuery,
+        contexts: &[Context],
+    ) -> Result<Vec<QueryOutput>, EvalError> {
+        query.run_many(doc, contexts)
+    }
+
+    /// Batch entry point: evaluates many compiled queries against one
+    /// document from the root context.  Results are per-query so one
+    /// failing query does not poison the batch.  As with
+    /// [`Engine::evaluate_many`], each plan carries its own strategy;
+    /// engine configuration applies when the queries are compiled.
+    pub fn evaluate_batch(
+        &self,
+        doc: &Document,
+        queries: &[&CompiledQuery],
+    ) -> Vec<Result<QueryOutput, EvalError>> {
+        queries.iter().map(|q| q.run(doc)).collect()
+    }
+
+    /// Counters of the plan cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().unwrap().stats()
+    }
+
+    /// Drops every cached plan (counters are kept).
+    pub fn clear_plan_cache(&self) {
+        self.cache.lock().unwrap().clear();
     }
 }
 
@@ -134,14 +285,19 @@ mod tests {
 
     #[test]
     fn default_strategy_is_the_dp_algorithm() {
-        assert_eq!(Engine::default().strategy(), EvalStrategy::ContextValueTable);
+        assert_eq!(
+            Engine::default().strategy(),
+            EvalStrategy::ContextValueTable
+        );
     }
 
     #[test]
     fn all_strategies_agree_on_a_core_query() {
         let doc = parse_xml(BOOKS).unwrap();
         let q = parse_query("/lib/book[child::cite]/title").unwrap();
-        let reference = Engine::new(EvalStrategy::ContextValueTable).evaluate(&doc, &q).unwrap();
+        let reference = Engine::new(EvalStrategy::ContextValueTable)
+            .evaluate(&doc, &q)
+            .unwrap();
         for strategy in [
             EvalStrategy::Naive,
             EvalStrategy::CoreXPathLinear,
@@ -193,9 +349,20 @@ mod tests {
     #[test]
     fn evaluate_str_convenience() {
         let doc = parse_xml(BOOKS).unwrap();
-        let v = Engine::default().evaluate_str(&doc, "count(//book)").unwrap();
+        let v = Engine::default()
+            .evaluate_str(&doc, "count(//book)")
+            .unwrap();
         assert_eq!(v, Value::Number(2.0));
-        assert!(Engine::default().evaluate_str(&doc, "not valid xpath ///").is_err());
+        assert!(Engine::default()
+            .evaluate_str(&doc, "not valid xpath ///")
+            .is_err());
+    }
+
+    #[test]
+    fn parse_failures_are_parse_errors() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let err = Engine::default().evaluate_str(&doc, "//book[").unwrap_err();
+        assert!(matches!(err, EvalError::Parse { .. }), "{err:?}");
     }
 
     #[test]
@@ -204,5 +371,76 @@ mod tests {
         let q = parse_query("//book[position() = 1]").unwrap();
         let res = Engine::new(EvalStrategy::CoreXPathLinear).evaluate(&doc, &q);
         assert!(matches!(res, Err(EvalError::UnsupportedFragment { .. })));
+    }
+
+    #[test]
+    fn repeated_strings_hit_the_plan_cache() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let engine = Engine::builder().build();
+        for _ in 0..3 {
+            engine.evaluate_str(&doc, "count(//book)").unwrap();
+        }
+        let s = engine.cache_stats();
+        assert_eq!(s.misses, 1, "{s:?}");
+        assert_eq!(s.hits, 2, "{s:?}");
+        assert_eq!(s.len, 1, "{s:?}");
+    }
+
+    #[test]
+    fn builder_configuration_is_respected() {
+        let engine = Engine::builder()
+            .strategy(EvalStrategy::Naive)
+            .threads(2)
+            .plan_cache_capacity(1)
+            .build();
+        assert_eq!(engine.strategy(), EvalStrategy::Naive);
+        let plan = engine.compile("//a").unwrap();
+        assert_eq!(plan.strategy(), EvalStrategy::Naive);
+        // Capacity 1: the second distinct query evicts the first.
+        engine.compile("//b").unwrap();
+        let s = engine.cache_stats();
+        assert_eq!(s.capacity, 1);
+        assert_eq!(s.len, 1);
+        assert_eq!(s.evictions, 1);
+    }
+
+    #[test]
+    fn auto_strategy_engine_picks_per_query_plans() {
+        let engine = Engine::builder().threads(2).build();
+        assert_eq!(
+            engine.compile("/a/b").unwrap().strategy(),
+            EvalStrategy::CoreXPathLinear
+        );
+        assert_eq!(
+            engine.compile("//a[position() = 1]").unwrap().strategy(),
+            EvalStrategy::Parallel { threads: 2 }
+        );
+        assert_eq!(
+            engine.compile("count(//a) > 1").unwrap().strategy(),
+            EvalStrategy::ContextValueTable
+        );
+    }
+
+    #[test]
+    fn batch_entry_points() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let engine = Engine::builder().build();
+        let q1 = engine.compile("count(//book)").unwrap();
+        let q2 = engine.compile("//book[child::cite]/title").unwrap();
+        let bad = CompiledQuery::compile("//book[position() = 1]")
+            .unwrap()
+            .with_strategy(EvalStrategy::CoreXPathLinear);
+        let results = engine.evaluate_batch(&doc, &[&q1, &q2, &bad]);
+        assert_eq!(results[0].as_ref().unwrap().value, Value::Number(2.0));
+        assert_eq!(results[1].as_ref().unwrap().value.expect_nodes().len(), 1);
+        assert!(
+            results[2].is_err(),
+            "unsupported fragment must not poison the batch"
+        );
+
+        let contexts: Vec<Context> = doc.all_elements().map(|n| Context::new(n, 1, 1)).collect();
+        let q = engine.compile("count(child::*)").unwrap();
+        let outs = engine.evaluate_many(&doc, &q, &contexts).unwrap();
+        assert_eq!(outs.len(), contexts.len());
     }
 }

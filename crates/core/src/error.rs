@@ -1,15 +1,25 @@
 //! Evaluation errors.
 
 use std::fmt;
-use xpeval_syntax::Fragment;
+use xpeval_syntax::{Fragment, ParseError};
 
-/// Error raised by the evaluators in this crate.
+/// Error raised by the compiler and evaluators in this crate.
 #[derive(Clone, Debug, PartialEq)]
 pub enum EvalError {
+    /// The query string did not parse.  `message` states the location in
+    /// its own unit ("at byte N" for lexical errors, "at token N" for
+    /// syntactic errors); `position` is that N — a byte offset or a token
+    /// index respectively, as reported by [`xpeval_syntax::ParseError`] —
+    /// so render diagnostics from `message`, not from `position` alone.
+    Parse { position: usize, message: String },
     /// The query uses a function the engine does not implement.
     UnknownFunction { name: String },
     /// A function was called with the wrong number of arguments.
-    WrongArity { name: String, expected: String, got: usize },
+    WrongArity {
+        name: String,
+        expected: String,
+        got: usize,
+    },
     /// A value had the wrong type for the operation.
     TypeError { message: String },
     /// The selected evaluator only supports a fragment of XPath and the
@@ -28,27 +38,65 @@ pub enum EvalError {
 
 impl EvalError {
     pub(crate) fn type_error(message: impl Into<String>) -> Self {
-        EvalError::TypeError { message: message.into() }
+        EvalError::TypeError {
+            message: message.into(),
+        }
     }
 
     pub(crate) fn unsupported(message: impl Into<String>) -> Self {
-        EvalError::Unsupported { message: message.into() }
+        EvalError::Unsupported {
+            message: message.into(),
+        }
     }
 
     pub(crate) fn fragment(supported: Fragment, construct: impl Into<String>) -> Self {
-        EvalError::UnsupportedFragment { supported, construct: construct.into() }
+        EvalError::UnsupportedFragment {
+            supported,
+            construct: construct.into(),
+        }
+    }
+}
+
+impl From<ParseError> for EvalError {
+    fn from(e: ParseError) -> Self {
+        match e {
+            ParseError::Lex(lex) => EvalError::Parse {
+                position: lex.offset,
+                message: format!("lexical error at byte {}: {}", lex.offset, lex.message),
+            },
+            ParseError::Syntax {
+                token_index,
+                message,
+            } => EvalError::Parse {
+                position: token_index,
+                message: format!("at token {token_index}: {message}"),
+            },
+        }
     }
 }
 
 impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            EvalError::Parse { message, .. } => {
+                write!(f, "parse error {message}")
+            }
             EvalError::UnknownFunction { name } => write!(f, "unknown function '{name}()'"),
-            EvalError::WrongArity { name, expected, got } => {
-                write!(f, "function '{name}()' expects {expected} argument(s), got {got}")
+            EvalError::WrongArity {
+                name,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "function '{name}()' expects {expected} argument(s), got {got}"
+                )
             }
             EvalError::TypeError { message } => write!(f, "type error: {message}"),
-            EvalError::UnsupportedFragment { supported, construct } => write!(
+            EvalError::UnsupportedFragment {
+                supported,
+                construct,
+            } => write!(
                 f,
                 "this evaluator supports only the {supported} fragment; query uses {construct}"
             ),
@@ -65,9 +113,15 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let e = EvalError::UnknownFunction { name: "frobnicate".into() };
+        let e = EvalError::UnknownFunction {
+            name: "frobnicate".into(),
+        };
         assert!(e.to_string().contains("frobnicate"));
-        let e = EvalError::WrongArity { name: "concat".into(), expected: "2+".into(), got: 1 };
+        let e = EvalError::WrongArity {
+            name: "concat".into(),
+            expected: "2+".into(),
+            got: 1,
+        };
         assert!(e.to_string().contains("concat"));
         let e = EvalError::type_error("boom");
         assert!(e.to_string().contains("boom"));
@@ -75,5 +129,23 @@ mod tests {
         assert!(e.to_string().contains("Core XPath"));
         let e = EvalError::unsupported("variables");
         assert!(e.to_string().contains("variables"));
+        let e = EvalError::Parse {
+            position: 3,
+            message: "at token 3: expected ']'".into(),
+        };
+        assert!(e.to_string().contains("parse error at token 3"));
+    }
+
+    #[test]
+    fn parse_errors_convert_with_their_position() {
+        let lex = xpeval_syntax::parse_query("//a[§]").unwrap_err();
+        let e = EvalError::from(lex);
+        assert!(matches!(e, EvalError::Parse { .. }), "{e:?}");
+        let syn = xpeval_syntax::parse_query("//a[").unwrap_err();
+        let e = EvalError::from(syn);
+        let EvalError::Parse { message, .. } = &e else {
+            panic!("expected Parse, got {e:?}")
+        };
+        assert!(!message.is_empty());
     }
 }

@@ -44,7 +44,11 @@ pub fn is_supported(name: &str) -> bool {
 }
 
 fn arity_error(name: &str, expected: &str, got: usize) -> EvalError {
-    EvalError::WrongArity { name: name.to_string(), expected: expected.to_string(), got }
+    EvalError::WrongArity {
+        name: name.to_string(),
+        expected: expected.to_string(),
+        got,
+    }
 }
 
 /// Evaluates a call to a core-library function over already-evaluated
@@ -124,13 +128,21 @@ pub fn call_function(
             expect_arity(name, &args, 2)?;
             let hay = args[0].to_xpath_string(doc);
             let sep = args[1].to_xpath_string(doc);
-            Ok(Value::Str(hay.split_once(&sep).map(|(a, _)| a.to_string()).unwrap_or_default()))
+            Ok(Value::Str(
+                hay.split_once(&sep)
+                    .map(|(a, _)| a.to_string())
+                    .unwrap_or_default(),
+            ))
         }
         "substring-after" => {
             expect_arity(name, &args, 2)?;
             let hay = args[0].to_xpath_string(doc);
             let sep = args[1].to_xpath_string(doc);
-            Ok(Value::Str(hay.split_once(&sep).map(|(_, b)| b.to_string()).unwrap_or_default()))
+            Ok(Value::Str(
+                hay.split_once(&sep)
+                    .map(|(_, b)| b.to_string())
+                    .unwrap_or_default(),
+            ))
         }
         "substring" => {
             if args.len() != 2 && args.len() != 3 {
@@ -149,7 +161,9 @@ pub fn call_function(
         "normalize-space" => {
             let v = optional_arg(name, args, ctx, doc)?;
             let s = v.to_xpath_string(doc);
-            Ok(Value::Str(s.split_whitespace().collect::<Vec<_>>().join(" ")))
+            Ok(Value::Str(
+                s.split_whitespace().collect::<Vec<_>>().join(" "),
+            ))
         }
         "translate" => {
             expect_arity(name, &args, 3)?;
@@ -173,7 +187,9 @@ pub fn call_function(
                 Some(v) => v.into_nodes()?.first().copied(),
                 None => Some(ctx.node),
             };
-            let s = node.and_then(|n| doc.name(n).map(str::to_string)).unwrap_or_default();
+            let s = node
+                .and_then(|n| doc.name(n).map(str::to_string))
+                .unwrap_or_default();
             Ok(Value::Str(s))
         }
         "floor" => {
@@ -190,7 +206,9 @@ pub fn call_function(
             // XPath round(): round half up (towards +infinity).
             Ok(Value::Number((n + 0.5).floor()))
         }
-        _ => Err(EvalError::UnknownFunction { name: name.to_string() }),
+        _ => Err(EvalError::UnknownFunction {
+            name: name.to_string(),
+        }),
     }
 }
 
@@ -266,16 +284,30 @@ mod tests {
     fn position_and_last_read_the_context() {
         let (doc, _) = setup();
         let ctx = Context::new(doc.root(), 3, 9);
-        assert_eq!(call_function("position", vec![], &ctx, &doc).unwrap(), Value::Number(3.0));
-        assert_eq!(call_function("last", vec![], &ctx, &doc).unwrap(), Value::Number(9.0));
+        assert_eq!(
+            call_function("position", vec![], &ctx, &doc).unwrap(),
+            Value::Number(3.0)
+        );
+        assert_eq!(
+            call_function("last", vec![], &ctx, &doc).unwrap(),
+            Value::Number(9.0)
+        );
     }
 
     #[test]
     fn count_and_sum() {
         let (doc, ctx) = setup();
-        let a_nodes: Vec<_> = doc.all_elements().filter(|&n| doc.name(n) == Some("a")).collect();
-        let v = call_function("count", vec![Value::node_set(&doc, a_nodes.clone())], &ctx, &doc)
-            .unwrap();
+        let a_nodes: Vec<_> = doc
+            .all_elements()
+            .filter(|&n| doc.name(n) == Some("a"))
+            .collect();
+        let v = call_function(
+            "count",
+            vec![Value::node_set(&doc, a_nodes.clone())],
+            &ctx,
+            &doc,
+        )
+        .unwrap();
         assert_eq!(v, Value::Number(2.0));
         let v = call_function("sum", vec![Value::node_set(&doc, a_nodes)], &ctx, &doc).unwrap();
         assert_eq!(v, Value::Number(3.0));
@@ -284,9 +316,18 @@ mod tests {
 
     #[test]
     fn boolean_number_string() {
-        assert_eq!(call("boolean", vec![Value::Str("x".into())]), Value::Boolean(true));
-        assert_eq!(call("number", vec![Value::Str("42".into())]), Value::Number(42.0));
-        assert_eq!(call("string", vec![Value::Number(7.0)]), Value::Str("7".into()));
+        assert_eq!(
+            call("boolean", vec![Value::Str("x".into())]),
+            Value::Boolean(true)
+        );
+        assert_eq!(
+            call("number", vec![Value::Str("42".into())]),
+            Value::Number(42.0)
+        );
+        assert_eq!(
+            call("string", vec![Value::Number(7.0)]),
+            Value::Str("7".into())
+        );
         assert_eq!(call("true", vec![]), Value::Boolean(true));
         assert_eq!(call("false", vec![]), Value::Boolean(false));
     }
@@ -294,23 +335,42 @@ mod tests {
     #[test]
     fn string_functions() {
         assert_eq!(
-            call("concat", vec![Value::Str("a".into()), Value::Str("b".into()), Value::Number(1.0)]),
+            call(
+                "concat",
+                vec![
+                    Value::Str("a".into()),
+                    Value::Str("b".into()),
+                    Value::Number(1.0)
+                ]
+            ),
             Value::Str("ab1".into())
         );
         assert_eq!(
-            call("contains", vec![Value::Str("hello".into()), Value::Str("ell".into())]),
+            call(
+                "contains",
+                vec![Value::Str("hello".into()), Value::Str("ell".into())]
+            ),
             Value::Boolean(true)
         );
         assert_eq!(
-            call("starts-with", vec![Value::Str("hello".into()), Value::Str("he".into())]),
+            call(
+                "starts-with",
+                vec![Value::Str("hello".into()), Value::Str("he".into())]
+            ),
             Value::Boolean(true)
         );
         assert_eq!(
-            call("substring-before", vec![Value::Str("1999/04/01".into()), Value::Str("/".into())]),
+            call(
+                "substring-before",
+                vec![Value::Str("1999/04/01".into()), Value::Str("/".into())]
+            ),
             Value::Str("1999".into())
         );
         assert_eq!(
-            call("substring-after", vec![Value::Str("1999/04/01".into()), Value::Str("/".into())]),
+            call(
+                "substring-after",
+                vec![Value::Str("1999/04/01".into()), Value::Str("/".into())]
+            ),
             Value::Str("04/01".into())
         );
         assert_eq!(
@@ -324,14 +384,22 @@ mod tests {
         assert_eq!(
             call(
                 "translate",
-                vec![Value::Str("bar".into()), Value::Str("abc".into()), Value::Str("ABC".into())]
+                vec![
+                    Value::Str("bar".into()),
+                    Value::Str("abc".into()),
+                    Value::Str("ABC".into())
+                ]
             ),
             Value::Str("BAr".into())
         );
         assert_eq!(
             call(
                 "translate",
-                vec![Value::Str("--aaa--".into()), Value::Str("abc-".into()), Value::Str("ABC".into())]
+                vec![
+                    Value::Str("--aaa--".into()),
+                    Value::Str("abc-".into()),
+                    Value::Str("ABC".into())
+                ]
             ),
             Value::Str("AAA".into())
         );
@@ -340,19 +408,43 @@ mod tests {
     #[test]
     fn substring_rounding_rules() {
         assert_eq!(
-            call("substring", vec![Value::Str("12345".into()), Value::Number(2.0), Value::Number(3.0)]),
+            call(
+                "substring",
+                vec![
+                    Value::Str("12345".into()),
+                    Value::Number(2.0),
+                    Value::Number(3.0)
+                ]
+            ),
             Value::Str("234".into())
         );
         assert_eq!(
-            call("substring", vec![Value::Str("12345".into()), Value::Number(1.5), Value::Number(2.6)]),
+            call(
+                "substring",
+                vec![
+                    Value::Str("12345".into()),
+                    Value::Number(1.5),
+                    Value::Number(2.6)
+                ]
+            ),
             Value::Str("234".into())
         );
         assert_eq!(
-            call("substring", vec![Value::Str("12345".into()), Value::Number(0.0), Value::Number(3.0)]),
+            call(
+                "substring",
+                vec![
+                    Value::Str("12345".into()),
+                    Value::Number(0.0),
+                    Value::Number(3.0)
+                ]
+            ),
             Value::Str("12".into())
         );
         assert_eq!(
-            call("substring", vec![Value::Str("12345".into()), Value::Number(2.0)]),
+            call(
+                "substring",
+                vec![Value::Str("12345".into()), Value::Number(2.0)]
+            ),
             Value::Str("2345".into())
         );
     }
@@ -360,15 +452,24 @@ mod tests {
     #[test]
     fn numeric_functions() {
         assert_eq!(call("floor", vec![Value::Number(2.7)]), Value::Number(2.0));
-        assert_eq!(call("ceiling", vec![Value::Number(2.1)]), Value::Number(3.0));
+        assert_eq!(
+            call("ceiling", vec![Value::Number(2.1)]),
+            Value::Number(3.0)
+        );
         assert_eq!(call("round", vec![Value::Number(2.5)]), Value::Number(3.0));
-        assert_eq!(call("round", vec![Value::Number(-2.5)]), Value::Number(-2.0));
+        assert_eq!(
+            call("round", vec![Value::Number(-2.5)]),
+            Value::Number(-2.0)
+        );
     }
 
     #[test]
     fn name_functions() {
         let (doc, ctx) = setup();
-        let b: Vec<_> = doc.all_elements().filter(|&n| doc.name(n) == Some("b")).collect();
+        let b: Vec<_> = doc
+            .all_elements()
+            .filter(|&n| doc.name(n) == Some("b"))
+            .collect();
         let v = call_function("name", vec![Value::node_set(&doc, b)], &ctx, &doc).unwrap();
         assert_eq!(v, Value::Str("b".into()));
         // Defaults to the context node (the root, which has no name).

@@ -14,9 +14,25 @@
 //!
 //! Shared infrastructure: the XPath value domain ([`value`]), contexts and
 //! context-value-table keys ([`context`]), the core function library
-//! ([`functions`]) and the step semantics ([`steps`]).  The [`engine`]
-//! module offers a single façade over all strategies.
+//! ([`functions`]) and the step semantics ([`steps`]).
+//!
+//! ## The compile-once pipeline
+//!
+//! The public entry points mirror the paper's cost split into per-query
+//! analysis and per-document evaluation:
+//!
+//! * [`compile`] — [`CompiledQuery`] owns the parsed + normalized AST, its
+//!   [`xpeval_syntax::FragmentReport`] and a pre-selected [`EvalStrategy`]
+//!   plan; it is document-independent and evaluated via
+//!   [`CompiledQuery::run`] / [`CompiledQuery::run_many`], returning a
+//!   [`QueryOutput`] with the unified [`EvalStats`].
+//! * [`cache`] — a bounded LRU [`PlanCache`] keyed by query string, with
+//!   observable [`CacheStats`].
+//! * [`engine`] — [`Engine`], built by [`EngineBuilder`], drives the plan
+//!   cache and offers one-shot and batch evaluation over compiled queries.
 
+pub mod cache;
+pub mod compile;
 pub mod context;
 pub mod corexpath;
 pub mod dp;
@@ -25,16 +41,20 @@ pub mod error;
 pub mod functions;
 pub mod naive;
 pub mod parallel;
+pub mod stats;
 pub mod steps;
 pub mod success;
 pub mod value;
 
+pub use cache::{CacheStats, PlanCache};
+pub use compile::{recommended_strategy, CompileOptions, CompiledQuery, QueryOutput};
 pub use context::{Context, ContextKey};
 pub use corexpath::{CoreXPathEvaluator, NodeBitSet};
 pub use dp::{DpEvaluator, DpStats};
-pub use engine::{Engine, EvalStrategy};
+pub use engine::{Engine, EngineBuilder, EvalStrategy};
 pub use error::EvalError;
 pub use naive::{NaiveEvaluator, NaiveStats};
 pub use parallel::ParallelEvaluator;
+pub use stats::EvalStats;
 pub use success::{SingletonSuccess, SuccessTarget};
 pub use value::Value;

@@ -14,37 +14,27 @@
 //! intermediate lists (and therefore its running time) grow as `k^m` where
 //! `k` is the fan-out of the document and `m` the number of repetitions,
 //! while the context-value-table evaluator of [`crate::DpEvaluator`] stays
-//! polynomial.  The work counters in [`NaiveStats`] make this blow-up
-//! observable deterministically in tests and benchmarks.
+//! polynomial.  The work counters in the unified [`EvalStats`] make this
+//! blow-up observable deterministically in tests and benchmarks.
 
 use crate::context::Context;
 use crate::error::EvalError;
 use crate::functions::call_function;
+use crate::stats::EvalStats;
 use crate::steps::apply_step;
 use crate::value::Value;
 use xpeval_dom::{Document, NodeId};
 use xpeval_syntax::{Expr, LocationPath};
 
-/// Work counters of a [`NaiveEvaluator`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct NaiveStats {
-    /// Number of expression evaluation events (no sharing, so this counts
-    /// every re-evaluation).
-    pub expr_evaluations: u64,
-    /// Number of `(step, context-node occurrence)` applications; this is the
-    /// quantity that explodes exponentially on the pathological query
-    /// families.
-    pub step_context_evaluations: u64,
-    /// Largest intermediate node-list length observed.
-    pub max_intermediate_list: usize,
-}
+/// Legacy name for the unified work counters.
+pub type NaiveStats = EvalStats;
 
 /// Direct implementation of the XPath 1.0 functional semantics with
 /// per-occurrence re-evaluation (the strategy of the engines the paper's
 /// introduction criticizes).
 pub struct NaiveEvaluator<'d> {
     doc: &'d Document,
-    stats: NaiveStats,
+    stats: EvalStats,
     /// Safety valve for tests and benchmarks: evaluation aborts with an
     /// error once an intermediate list exceeds this length.
     pub list_limit: usize,
@@ -53,18 +43,26 @@ pub struct NaiveEvaluator<'d> {
 impl<'d> NaiveEvaluator<'d> {
     /// Creates a naive evaluator for the given document.
     pub fn new(doc: &'d Document) -> Self {
-        NaiveEvaluator { doc, stats: NaiveStats::default(), list_limit: usize::MAX }
+        NaiveEvaluator {
+            doc,
+            stats: EvalStats::default(),
+            list_limit: usize::MAX,
+        }
     }
 
     /// Creates a naive evaluator that aborts once an intermediate node list
     /// grows beyond `limit` entries (used by the benchmark harness so that
     /// the exponential runs finish in bounded time).
     pub fn with_list_limit(doc: &'d Document, limit: usize) -> Self {
-        NaiveEvaluator { doc, stats: NaiveStats::default(), list_limit: limit }
+        NaiveEvaluator {
+            doc,
+            stats: EvalStats::default(),
+            list_limit: limit,
+        }
     }
 
     /// Work counters accumulated so far.
-    pub fn stats(&self) -> NaiveStats {
+    pub fn stats(&self) -> EvalStats {
         self.stats
     }
 
@@ -74,12 +72,16 @@ impl<'d> NaiveEvaluator<'d> {
     }
 
     /// Evaluates a query in an explicit context.
-    pub fn evaluate_with_context(&mut self, query: &Expr, ctx: Context) -> Result<Value, EvalError> {
+    pub fn evaluate_with_context(
+        &mut self,
+        query: &Expr,
+        ctx: Context,
+    ) -> Result<Value, EvalError> {
         self.eval(query, ctx)
     }
 
     fn eval(&mut self, expr: &Expr, ctx: Context) -> Result<Value, EvalError> {
-        self.stats.expr_evaluations += 1;
+        self.stats.evaluations += 1;
         match expr {
             Expr::Number(n) => Ok(Value::Number(*n)),
             Expr::Literal(s) => Ok(Value::Str(s.clone())),
@@ -134,9 +136,16 @@ impl<'d> NaiveEvaluator<'d> {
     /// Evaluates a location path with *list* semantics: the intermediate
     /// result is a list of nodes with duplicates preserved, and every step
     /// is applied to every occurrence independently.
-    fn eval_path_list(&mut self, path: &LocationPath, ctx: Context) -> Result<Vec<NodeId>, EvalError> {
-        let mut current: Vec<NodeId> =
-            if path.absolute { vec![self.doc.root()] } else { vec![ctx.node] };
+    fn eval_path_list(
+        &mut self,
+        path: &LocationPath,
+        ctx: Context,
+    ) -> Result<Vec<NodeId>, EvalError> {
+        let mut current: Vec<NodeId> = if path.absolute {
+            vec![self.doc.root()]
+        } else {
+            vec![ctx.node]
+        };
         for step in &path.steps {
             let mut next: Vec<NodeId> = Vec::new();
             for &node in &current {
@@ -233,7 +242,8 @@ mod tests {
         // expansion of `//` is still the longest list: root + a + k children).
         assert_eq!(lists, vec![5, 9, 27, 81, 243]);
         // ... which is exactly the exponential behaviour the DP evaluator avoids.
-        let query = parse_query("//a/b/parent::a/b/parent::a/b/parent::a/b/parent::a/b/parent::a").unwrap();
+        let query =
+            parse_query("//a/b/parent::a/b/parent::a/b/parent::a/b/parent::a/b/parent::a").unwrap();
         let mut dp = DpEvaluator::new(&doc, &query);
         dp.evaluate().unwrap();
         assert!(dp.stats().step_context_evaluations < 100);
@@ -243,7 +253,8 @@ mod tests {
     fn list_limit_aborts_runaway_evaluation() {
         let doc = parse_xml("<a><b/><b/><b/></a>").unwrap();
         let query =
-            parse_query("//a/b/parent::a/b/parent::a/b/parent::a/b/parent::a/b/parent::a/b").unwrap();
+            parse_query("//a/b/parent::a/b/parent::a/b/parent::a/b/parent::a/b/parent::a/b")
+                .unwrap();
         let mut ev = NaiveEvaluator::with_list_limit(&doc, 100);
         let err = ev.evaluate(&query).unwrap_err();
         assert!(matches!(err, EvalError::Unsupported { .. }));

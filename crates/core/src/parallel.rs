@@ -38,7 +38,10 @@ impl<'d> ParallelEvaluator<'d> {
     /// Creates an evaluator that uses `threads` worker threads
     /// (values of 0 and 1 both mean sequential evaluation).
     pub fn new(doc: &'d Document, threads: usize) -> Self {
-        ParallelEvaluator { doc, threads: threads.max(1) }
+        ParallelEvaluator {
+            doc,
+            threads: threads.max(1),
+        }
     }
 
     /// Number of worker threads used for node-set queries.
@@ -69,7 +72,7 @@ impl<'d> ParallelEvaluator<'d> {
     }
 
     /// The Theorem 5.5 loop ("decide Singleton-Success for every v ∈ dom"),
-    /// distributed over worker threads with crossbeam's scoped threads.
+    /// distributed over worker threads with std's scoped threads.
     fn parallel_node_set(&self, query: &Expr, ctx: Context) -> Result<Vec<NodeId>, EvalError> {
         let candidates: Vec<NodeId> = self.doc.all_nodes().collect();
         if self.threads <= 1 || candidates.len() < 2 {
@@ -79,10 +82,10 @@ impl<'d> ParallelEvaluator<'d> {
 
         let chunk_size = candidates.len().div_ceil(self.threads);
         let doc = self.doc;
-        let results: Result<Vec<Vec<NodeId>>, EvalError> = crossbeam::thread::scope(|scope| {
+        let results: Result<Vec<Vec<NodeId>>, EvalError> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for chunk in candidates.chunks(chunk_size) {
-                handles.push(scope.spawn(move |_| -> Result<Vec<NodeId>, EvalError> {
+                handles.push(scope.spawn(move || -> Result<Vec<NodeId>, EvalError> {
                     // Each worker owns an independent checker (and therefore
                     // its own memo tables), mirroring the independent
                     // NAuxPDA runs of the membership proof.
@@ -100,8 +103,7 @@ impl<'d> ParallelEvaluator<'d> {
                 .into_iter()
                 .map(|h| h.join().expect("worker thread panicked"))
                 .collect()
-        })
-        .expect("crossbeam scope failed");
+        });
 
         let mut out: Vec<NodeId> = results?.into_iter().flatten().collect();
         self.doc.sort_document_order(&mut out);

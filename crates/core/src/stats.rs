@@ -1,0 +1,104 @@
+//! Unified work counters for all evaluation strategies.
+//!
+//! Historically the DP evaluator reported `DpStats` and the naive evaluator
+//! `NaiveStats`; every downstream table had to know which evaluator it was
+//! talking to.  [`EvalStats`] merges both: each strategy fills the counters
+//! that are meaningful for it and leaves the rest at zero, and
+//! [`crate::QueryOutput`] carries one `EvalStats` no matter which strategy
+//! ran.
+
+use std::ops::{Add, AddAssign};
+
+/// Work counters of one evaluation, uniform across strategies.
+///
+/// | Field | DP (context-value table) | Naive | others |
+/// |---|---|---|---|
+/// | `evaluations` | computed table entries | every (re-)evaluation | 0 |
+/// | `cache_hits` | memo-table hits | 0 | 0 |
+/// | `step_context_evaluations` | `(step, node)` applications | `(step, node occurrence)` applications | 0 |
+/// | `max_intermediate_list` | 0 | largest intermediate node list | 0 |
+/// | `table_entries` | final context-value-table size | 0 | 0 |
+///
+/// The linear Core XPath, parallel and Singleton-Success evaluators do not
+/// count work yet; their [`crate::QueryOutput`] carries a default (all-zero)
+/// `EvalStats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Number of expression-evaluation events.  For the DP evaluator this is
+    /// the number of `(subexpression, context)` pairs actually computed
+    /// (= total size of all context-value tables); for the naive evaluator
+    /// it counts every re-evaluation, with no sharing.
+    pub evaluations: u64,
+    /// Number of times a previously computed context-value-table entry was
+    /// reused (DP evaluator only).
+    pub cache_hits: u64,
+    /// Number of `(step, context node)` applications of a location step.
+    pub step_context_evaluations: u64,
+    /// Largest intermediate node-list length observed (naive evaluator only;
+    /// this is the quantity that explodes exponentially on the pathological
+    /// query families).
+    pub max_intermediate_list: usize,
+    /// Context-value-table entries held when evaluation finished (DP
+    /// evaluator only).
+    pub table_entries: usize,
+}
+
+impl EvalStats {
+    /// Sums the counters of two evaluations (max-type counters take the
+    /// maximum); useful when aggregating over a batch.
+    pub fn merged(self, other: EvalStats) -> EvalStats {
+        EvalStats {
+            evaluations: self.evaluations + other.evaluations,
+            cache_hits: self.cache_hits + other.cache_hits,
+            step_context_evaluations: self.step_context_evaluations
+                + other.step_context_evaluations,
+            max_intermediate_list: self.max_intermediate_list.max(other.max_intermediate_list),
+            table_entries: self.table_entries.max(other.table_entries),
+        }
+    }
+}
+
+impl Add for EvalStats {
+    type Output = EvalStats;
+    fn add(self, rhs: EvalStats) -> EvalStats {
+        self.merged(rhs)
+    }
+}
+
+impl AddAssign for EvalStats {
+    fn add_assign(&mut self, rhs: EvalStats) {
+        *self = self.merged(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_counts_and_maxes_watermarks() {
+        let a = EvalStats {
+            evaluations: 3,
+            cache_hits: 1,
+            step_context_evaluations: 10,
+            max_intermediate_list: 7,
+            table_entries: 4,
+        };
+        let b = EvalStats {
+            evaluations: 2,
+            cache_hits: 0,
+            step_context_evaluations: 5,
+            max_intermediate_list: 3,
+            table_entries: 9,
+        };
+        let m = a + b;
+        assert_eq!(m.evaluations, 5);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.step_context_evaluations, 15);
+        assert_eq!(m.max_intermediate_list, 7);
+        assert_eq!(m.table_entries, 9);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, m);
+    }
+}

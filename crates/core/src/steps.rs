@@ -31,7 +31,8 @@ where
     // Candidates in document order.
     let mut candidates: Vec<NodeId> = doc.axis_step(from, step.axis, &step.node_test);
     for pred in &step.predicates {
-        candidates = filter_by_predicate(doc, &candidates, step.axis.is_reverse(), pred, eval_pred)?;
+        candidates =
+            filter_by_predicate(doc, &candidates, step.axis.is_reverse(), pred, eval_pred)?;
     }
     Ok(candidates)
 }

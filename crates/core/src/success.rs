@@ -125,9 +125,7 @@ impl<'d, 'q> SingletonSuccess<'d, 'q> {
     pub fn selects(&self, expr: &Expr, ctx: Context, target: NodeId) -> Result<bool, EvalError> {
         match expr {
             Expr::Path(path) => self.path_selects(path, ctx, target),
-            Expr::Union(a, b) => {
-                Ok(self.selects(a, ctx, target)? || self.selects(b, ctx, target)?)
-            }
+            Expr::Union(a, b) => Ok(self.selects(a, ctx, target)? || self.selects(b, ctx, target)?),
             other => Err(EvalError::type_error(format!(
                 "expression {other} is not node-set typed"
             ))),
@@ -141,7 +139,11 @@ impl<'d, 'q> SingletonSuccess<'d, 'q> {
         target: NodeId,
     ) -> Result<bool, EvalError> {
         // Row "/π": the context node is replaced by the root.
-        let start = if path.absolute { self.doc.root() } else { ctx.node };
+        let start = if path.absolute {
+            self.doc.root()
+        } else {
+            ctx.node
+        };
         self.can_reach(path, 0, start, target)
     }
 
@@ -171,7 +173,11 @@ impl<'d, 'q> SingletonSuccess<'d, 'q> {
         let size = candidates.len();
         let mut result = false;
         for (idx, &cand) in candidates.iter().enumerate() {
-            let position = if step.axis.is_reverse() { size - idx } else { idx + 1 };
+            let position = if step.axis.is_reverse() {
+                size - idx
+            } else {
+                idx + 1
+            };
             let mut ok = true;
             for pred in &step.predicates {
                 if !self.predicate_holds_at(pred, Context::new(cand, position, size))? {
@@ -229,7 +235,12 @@ impl<'d, 'q> SingletonSuccess<'d, 'q> {
     /// The `boolean(π)`, `e1 and e2`, `e1 or e2` and `e1 RelOp e2` rows,
     /// plus the bounded-negation extension of Theorem 5.9.
     pub fn eval_boolean(&self, expr: &Expr, ctx: Context) -> Result<bool, EvalError> {
-        let key = (expr as *const Expr as usize, ctx.node, ctx.position, ctx.size);
+        let key = (
+            expr as *const Expr as usize,
+            ctx.node,
+            ctx.position,
+            ctx.size,
+        );
         if let Some(&b) = self.bool_memo.borrow().get(&key) {
             return Ok(b);
         }
@@ -437,12 +448,23 @@ mod tests {
                 assert_eq!(ss.decide(ctx, &SuccessTarget::True).unwrap(), b, "{query}");
             }
             Value::Number(n) => {
-                assert!(ss.decide(ctx, &SuccessTarget::Number(n)).unwrap(), "{query}");
-                assert!(!ss.decide(ctx, &SuccessTarget::Number(n + 1.0)).unwrap(), "{query}");
+                assert!(
+                    ss.decide(ctx, &SuccessTarget::Number(n)).unwrap(),
+                    "{query}"
+                );
+                assert!(
+                    !ss.decide(ctx, &SuccessTarget::Number(n + 1.0)).unwrap(),
+                    "{query}"
+                );
             }
             Value::Str(s) => {
-                assert!(ss.decide(ctx, &SuccessTarget::Str(s.clone())).unwrap(), "{query}");
-                assert!(!ss.decide(ctx, &SuccessTarget::Str(format!("{s}x"))).unwrap());
+                assert!(
+                    ss.decide(ctx, &SuccessTarget::Str(s.clone())).unwrap(),
+                    "{query}"
+                );
+                assert!(!ss
+                    .decide(ctx, &SuccessTarget::Str(format!("{s}x")))
+                    .unwrap());
             }
         }
     }
@@ -497,8 +519,8 @@ mod tests {
         let doc = parse_xml(BOOKS).unwrap();
         for q in [
             "//book[child::cite][position() = 1]", // iterated predicates
-            "count(//book)",                        // forbidden function
-            "//book[string(title) = 'A']",          // forbidden function
+            "count(//book)",                       // forbidden function
+            "//book[string(title) = 'A']",         // forbidden function
             "//book[(child::cite and child::title) = true()]", // boolean relop operand
             "sum(//book/@year)",
         ] {
@@ -513,14 +535,22 @@ mod tests {
         let doc = parse_xml(BOOKS).unwrap();
         let q = parse_query("position() = 2").unwrap();
         let ss = SingletonSuccess::new(&doc, &q).unwrap();
-        assert!(!ss.decide(Context::new(doc.root(), 1, 3), &SuccessTarget::True).unwrap());
-        assert!(ss.decide(Context::new(doc.root(), 2, 3), &SuccessTarget::True).unwrap());
+        assert!(!ss
+            .decide(Context::new(doc.root(), 1, 3), &SuccessTarget::True)
+            .unwrap());
+        assert!(ss
+            .decide(Context::new(doc.root(), 2, 3), &SuccessTarget::True)
+            .unwrap());
     }
 
     #[test]
     fn relative_queries_from_an_inner_context_node() {
         let doc = parse_xml(BOOKS).unwrap();
-        let book2 = doc.all_elements().filter(|&n| doc.name(n) == Some("book")).nth(1).unwrap();
+        let book2 = doc
+            .all_elements()
+            .filter(|&n| doc.name(n) == Some("book"))
+            .nth(1)
+            .unwrap();
         let q = parse_query("child::title").unwrap();
         let ss = SingletonSuccess::new(&doc, &q).unwrap();
         let got = ss.node_set(Context::new(book2, 1, 1)).unwrap();

@@ -156,9 +156,12 @@ fn compare_nodeset_scalar(
             .any(|&x| op.apply(parse_xpath_number(&doc.string_value(x)), *n)),
         Value::Str(s) => match op {
             RelOp::Eq | RelOp::Ne => nodes.iter().any(|&x| op.apply_str(&doc.string_value(x), s)),
-            _ => nodes
-                .iter()
-                .any(|&x| op.apply(parse_xpath_number(&doc.string_value(x)), parse_xpath_number(s))),
+            _ => nodes.iter().any(|&x| {
+                op.apply(
+                    parse_xpath_number(&doc.string_value(x)),
+                    parse_xpath_number(s),
+                )
+            }),
         },
         Value::NodeSet(_) => unreachable!("handled by caller"),
     }
@@ -251,7 +254,9 @@ mod tests {
     }
 
     fn nodes_named(doc: &Document, name: &str) -> Vec<NodeId> {
-        doc.all_elements().filter(|&n| doc.name(n) == Some(name)).collect()
+        doc.all_elements()
+            .filter(|&n| doc.name(n) == Some(name))
+            .collect()
     }
 
     #[test]
@@ -329,7 +334,7 @@ mod tests {
     fn nodeset_scalar_flipped_comparison() {
         let d = doc();
         let a = Value::node_set(&d, nodes_named(&d, "a")); // 1, 2
-        // 1.5 < {1,2} : exists node with 1.5 < value -> true (node 2)
+                                                           // 1.5 < {1,2} : exists node with 1.5 < value -> true (node 2)
         assert!(Value::Number(1.5).compare(RelOp::Lt, &a, &d));
         // 2.5 < {1,2} : false
         assert!(!Value::Number(2.5).compare(RelOp::Lt, &a, &d));

@@ -84,7 +84,11 @@ impl Axis {
     pub fn is_reverse(self) -> bool {
         matches!(
             self,
-            Axis::Ancestor | Axis::AncestorOrSelf | Axis::Preceding | Axis::PrecedingSibling | Axis::Parent
+            Axis::Ancestor
+                | Axis::AncestorOrSelf
+                | Axis::Preceding
+                | Axis::PrecedingSibling
+                | Axis::Parent
         )
     }
 
@@ -237,9 +241,14 @@ enum IterState {
     /// Children: current candidate.
     Sibling(Option<NodeId>),
     /// Descendant traversal bounded by `stop` (exclusive subtree walk).
-    Descend { next: Option<NodeId>, stop: NodeId },
+    Descend {
+        next: Option<NodeId>,
+        stop: NodeId,
+    },
     /// Following: walk in document order from a start node to the end.
-    Following { next: Option<NodeId> },
+    Following {
+        next: Option<NodeId>,
+    },
 }
 
 impl<'d> AxisIter<'d> {
@@ -252,14 +261,15 @@ impl<'d> AxisIter<'d> {
             },
             Axis::Child => IterState::Sibling(doc.first_child(n)),
             Axis::FollowingSibling => IterState::Sibling(doc.next_sibling(n)),
-            Axis::Attribute => {
-                IterState::Seq(doc.attributes(n).to_vec().into_iter())
-            }
+            Axis::Attribute => IterState::Seq(doc.attributes(n).to_vec().into_iter()),
             Axis::Descendant => IterState::Descend {
                 next: first_in_subtree_excluding_root(doc, n),
                 stop: n,
             },
-            Axis::DescendantOrSelf => IterState::Descend { next: Some(n), stop: n },
+            Axis::DescendantOrSelf => IterState::Descend {
+                next: Some(n),
+                stop: n,
+            },
             Axis::Ancestor => {
                 let mut v = ancestors(doc, n, false);
                 v.reverse();
@@ -298,7 +308,9 @@ impl<'d> AxisIter<'d> {
             }
             Axis::Following => {
                 // First node after the subtree of n in document order.
-                IterState::Following { next: next_after_subtree(doc, n) }
+                IterState::Following {
+                    next: next_after_subtree(doc, n),
+                }
             }
         };
         AxisIter { doc, state }
@@ -440,10 +452,7 @@ mod tests {
         let (doc, ids) = sample();
         let a = ids[0];
         assert_eq!(names(&doc, &doc.axis_nodes(a, Axis::Child)), ["b", "c"]);
-        assert_eq!(
-            names(&doc, &doc.axis_nodes(doc.root(), Axis::Child)),
-            ["a"]
-        );
+        assert_eq!(names(&doc, &doc.axis_nodes(doc.root(), Axis::Child)), ["a"]);
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl DocumentBuilder {
     pub fn new() -> Self {
         let doc = Document::empty();
         let root = doc.root();
-        DocumentBuilder { doc, open: vec![root] }
+        DocumentBuilder {
+            doc,
+            open: vec![root],
+        }
     }
 
     fn current(&self) -> NodeId {
@@ -96,10 +99,7 @@ impl DocumentBuilder {
     /// # Panics
     /// Panics if no element is open (attributes cannot be added to the root).
     pub fn attribute(&mut self, name: impl Into<String>, value: impl Into<String>) -> NodeId {
-        assert!(
-            self.open.len() > 1,
-            "attribute called with no open element"
-        );
+        assert!(self.open.len() > 1, "attribute called with no open element");
         let owner = self.current();
         let id = NodeId(self.doc.nodes.len() as u32);
         let mut data = NodeData::new(NodeKind::Attribute {

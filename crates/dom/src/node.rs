@@ -242,10 +242,12 @@ impl Document {
 
     /// Looks up the value of the attribute named `name` on element `id`.
     pub fn attribute_value(&self, id: NodeId, name: &str) -> Option<&str> {
-        self.attributes(id).iter().find_map(|&a| match self.kind(a) {
-            NodeKind::Attribute { name: n, value } if n == name => Some(value.as_str()),
-            _ => None,
-        })
+        self.attributes(id)
+            .iter()
+            .find_map(|&a| match self.kind(a) {
+                NodeKind::Attribute { name: n, value } if n == name => Some(value.as_str()),
+                _ => None,
+            })
     }
 
     /// Depth of the node (the root has depth 0, the document element 1).

@@ -21,7 +21,11 @@ pub struct XmlParseError {
 
 impl fmt::Display for XmlParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -61,7 +65,10 @@ pub fn parse_xml(input: &str) -> Result<Document, XmlParseError> {
 
 impl<'a> Parser<'a> {
     fn error(&self, msg: impl Into<String>) -> XmlParseError {
-        XmlParseError { offset: self.pos, message: msg.into() }
+        XmlParseError {
+            offset: self.pos,
+            message: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -88,7 +95,10 @@ impl<'a> Parser<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')) {
+        while matches!(
+            self.peek(),
+            Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')
+        ) {
             self.pos += 1;
         }
     }
@@ -110,7 +120,10 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_ws();
             if self.starts_with("<!--") {
-                match self.input[self.pos + 4..].windows(3).position(|w| w == b"-->") {
+                match self.input[self.pos + 4..]
+                    .windows(3)
+                    .position(|w| w == b"-->")
+                {
                     Some(rel) => self.pos += 4 + rel + 3,
                     None => {
                         self.pos = self.input.len();
@@ -173,7 +186,9 @@ impl<'a> Parser<'a> {
                     self.skip_ws();
                     self.expect(b'=')?;
                     self.skip_ws();
-                    let quote = self.bump().ok_or_else(|| self.error("unexpected end in attribute"))?;
+                    let quote = self
+                        .bump()
+                        .ok_or_else(|| self.error("unexpected end in attribute"))?;
                     if quote != b'"' && quote != b'\'' {
                         return Err(self.error("attribute value must be quoted"));
                     }
@@ -217,7 +232,10 @@ impl<'a> Parser<'a> {
                         self.builder.close_element();
                         return Ok(());
                     } else if self.starts_with("<!--") {
-                        match self.input[self.pos + 4..].windows(3).position(|w| w == b"-->") {
+                        match self.input[self.pos + 4..]
+                            .windows(3)
+                            .position(|w| w == b"-->")
+                        {
                             Some(rel) => self.pos += 4 + rel + 3,
                             None => return Err(self.error("unterminated comment")),
                         }

@@ -77,7 +77,10 @@ pub fn circuit_to_core_xpath(
         Expr::and(t(LABEL_RESULT), phis[n_layers].clone()),
     )]));
 
-    let result_node = *gate_doc.gate_nodes.last().expect("validated circuit has gates");
+    let result_node = *gate_doc
+        .gate_nodes
+        .last()
+        .expect("validated circuit has gates");
     Ok(CoreCircuitReduction {
         document: gate_doc.document,
         query,
@@ -105,7 +108,14 @@ pub(crate) fn build_gate_document(
             labels.push(LABEL_RESULT.to_string());
         }
         if i <= m {
-            labels.push(if inputs[i - 1] { LABEL_TRUE } else { LABEL_FALSE }.to_string());
+            labels.push(
+                if inputs[i - 1] {
+                    LABEL_TRUE
+                } else {
+                    LABEL_FALSE
+                }
+                .to_string(),
+            );
         }
         // I_k for every layer k whose real gate G(M+k) takes input from G_i.
         for k in 1..=n {
@@ -164,11 +174,13 @@ fn build_phis(circuit: &MonotoneCircuit, n_layers: usize, restricted_axes: bool)
         let psi = match kind {
             GateKind::And => {
                 // not(child::*[T(I_k) and not(π_k)])
-                Expr::not(Expr::Path(LocationPath::relative(vec![Step::with_predicate(
-                    Axis::Child,
-                    NodeTest::Star,
-                    Expr::and(t(&input_label(k)), Expr::not(pi)),
-                )])))
+                Expr::not(Expr::Path(LocationPath::relative(vec![
+                    Step::with_predicate(
+                        Axis::Child,
+                        NodeTest::Star,
+                        Expr::and(t(&input_label(k)), Expr::not(pi)),
+                    ),
+                ])))
             }
             GateKind::Or => {
                 // child::*[T(I_k) and π_k]
@@ -314,7 +326,10 @@ mod tests {
         let red_big = circuit_to_core_xpath(&big, &carry_bit_inputs(0, 0), false).unwrap();
         let size_big = red_big.query.size();
         assert!(size_big > size_small);
-        assert!(size_big < size_small + 5 * 16, "growth should be linear per layer");
+        assert!(
+            size_big < size_small + 5 * 16,
+            "growth should be linear per layer"
+        );
     }
 
     #[test]
@@ -326,7 +341,9 @@ mod tests {
             let red = circuit_to_core_xpath(&circuit, &inputs, round % 2 == 0).unwrap();
             assert_eq!(reduction_answer(&red), expected, "round {round}");
             // The DP evaluator agrees with the linear Core XPath evaluator.
-            let dp = DpEvaluator::new(&red.document, &red.query).evaluate().unwrap();
+            let dp = DpEvaluator::new(&red.document, &red.query)
+                .evaluate()
+                .unwrap();
             assert_eq!(!dp.expect_nodes().is_empty(), expected);
         }
     }

@@ -23,7 +23,9 @@
 //! (Corollary 5.8).
 
 use crate::circuit_to_core::build_gate_document;
-use crate::labels::{input_label, output_label, t, LABEL_AUX, LABEL_GATE, LABEL_RESULT, LABEL_TRUE, LABEL_WITNESS};
+use crate::labels::{
+    input_label, output_label, t, LABEL_AUX, LABEL_GATE, LABEL_RESULT, LABEL_TRUE, LABEL_WITNESS,
+};
 use xpeval_circuits::{CircuitError, GateKind, MonotoneCircuit};
 use xpeval_dom::{Axis, Document, NodeId, NodeTest};
 use xpeval_syntax::{Expr, LocationPath, RelOp, Step};
@@ -120,7 +122,10 @@ pub fn circuit_to_iterated_pwf(
         Expr::and(t(LABEL_RESULT), phi),
     )]));
 
-    let result_node = *gate_doc.gate_nodes.last().expect("validated circuit has gates");
+    let result_node = *gate_doc
+        .gate_nodes
+        .last()
+        .expect("validated circuit has gates");
     Ok(IteratedPredicateReduction {
         document: gate_doc.document,
         query,
@@ -141,7 +146,9 @@ mod tests {
     fn answer(red: &IteratedPredicateReduction) -> bool {
         // Iterated predicates + last() put the query outside Core XPath, so
         // the general DP evaluator does the checking here.
-        let v = DpEvaluator::new(&red.document, &red.query).evaluate().unwrap();
+        let v = DpEvaluator::new(&red.document, &red.query)
+            .evaluate()
+            .unwrap();
         let nodes = v.expect_nodes();
         assert!(nodes.len() <= 1);
         if let Some(&node) = nodes.first() {
@@ -186,10 +193,13 @@ mod tests {
         let circuit = carry_bit_circuit();
         for bits in 0..16u8 {
             let inputs = [bits & 8 != 0, bits & 4 != 0, bits & 2 != 0, bits & 1 != 0];
-            let core = crate::circuit_to_core::circuit_to_core_xpath(&circuit, &inputs, false).unwrap();
+            let core =
+                crate::circuit_to_core::circuit_to_core_xpath(&circuit, &inputs, false).unwrap();
             let iterated = circuit_to_iterated_pwf(&circuit, &inputs).unwrap();
             let core_answer = {
-                let v = DpEvaluator::new(&core.document, &core.query).evaluate().unwrap();
+                let v = DpEvaluator::new(&core.document, &core.query)
+                    .evaluate()
+                    .unwrap();
                 !v.expect_nodes().is_empty()
             };
             assert_eq!(answer(&iterated), core_answer, "bits {bits:04b}");

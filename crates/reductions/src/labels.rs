@@ -183,12 +183,7 @@ mod tests {
 
     #[test]
     fn witness_extension_adds_w_children_and_aux_label() {
-        let doc = GateDocumentBuilder::build(
-            2,
-            |_| vec![LABEL_GATE.to_string()],
-            |_| vec![],
-            true,
-        );
+        let doc = GateDocumentBuilder::build(2, |_| vec![LABEL_GATE.to_string()], |_| vec![], true);
         assert_eq!(doc.witness_nodes.len(), 3); // w1, w2, w0
         let d = &doc.document;
         let v0 = d.first_child(d.root()).unwrap();

@@ -50,7 +50,10 @@ pub struct DirectedGraph {
 impl DirectedGraph {
     /// Creates a graph with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        DirectedGraph { n, edges: HashSet::new() }
+        DirectedGraph {
+            n,
+            edges: HashSet::new(),
+        }
     }
 
     /// Number of vertices.
@@ -95,6 +98,7 @@ impl DirectedGraph {
         let mut queue = std::collections::VecDeque::from([from]);
         seen[from] = true;
         while let Some(u) = queue.pop_front() {
+            #[allow(clippy::needless_range_loop)]
             for t in 1..=self.n {
                 if self.has_edge(u, t) && !seen[t] {
                     if t == to {
@@ -130,7 +134,10 @@ pub fn reachability_to_pf(
 ) -> PfReachabilityReduction {
     let n = graph.num_vertices();
     assert!(n >= 1, "graph must have at least one vertex");
-    assert!((1..=n).contains(&source) && (1..=n).contains(&target), "vertices are 1..=n");
+    assert!(
+        (1..=n).contains(&source) && (1..=n).contains(&target),
+        "vertices are 1..=n"
+    );
 
     // Self-loops make "path of exactly m edges" equivalent to reachability.
     let mut edges: HashSet<(usize, usize)> = graph.edges().collect();
@@ -145,7 +152,7 @@ pub fn reachability_to_pf(
     // Spine m_1 .. m_{2n}; vertex u hangs off m_{u+n}.
     for d in 1..=(2 * n) {
         b.open_element("m");
-        if d >= n + 1 {
+        if d > n {
             let u = d - n; // vertex attached at this spine depth
             let v = b.open_element(format!("v{u}"));
             vertex_nodes.push(v);
@@ -177,7 +184,10 @@ pub fn reachability_to_pf(
     let descend = n + 2;
     let m = n; // number of edge blocks
     let mut steps: Vec<Step> = Vec::new();
-    steps.push(Step::new(Axis::Descendant, NodeTest::name(format!("v{source}"))));
+    steps.push(Step::new(
+        Axis::Descendant,
+        NodeTest::name(format!("v{source}")),
+    ));
     for _ in 0..m {
         steps.push(Step::new(Axis::Child, NodeTest::name("p1")));
         steps.push(Step::new(Axis::Descendant, NodeTest::name("e")));
@@ -193,10 +203,18 @@ pub fn reachability_to_pf(
         }
         steps.push(Step::new(Axis::Parent, NodeTest::Star));
     }
-    steps.push(Step::new(Axis::SelfAxis, NodeTest::name(format!("v{target}"))));
+    steps.push(Step::new(
+        Axis::SelfAxis,
+        NodeTest::name(format!("v{target}")),
+    ));
     let query = Expr::Path(LocationPath::absolute(steps));
 
-    PfReachabilityReduction { document, query, target_node, steps: m }
+    PfReachabilityReduction {
+        document,
+        query,
+        target_node,
+        steps: m,
+    }
 }
 
 /// Attaches the `e` markers that belong at private depth `host_depth` of the
@@ -332,7 +350,9 @@ mod tests {
             assert_eq!(answer(&red), g.reachable(s, t), "n={n} {s}->{t} {g:?}");
             // The DP evaluator agrees with the linear evaluator on the
             // generated instance.
-            let dp = DpEvaluator::new(&red.document, &red.query).evaluate().unwrap();
+            let dp = DpEvaluator::new(&red.document, &red.query)
+                .evaluate()
+                .unwrap();
             assert_eq!(!dp.expect_nodes().is_empty(), g.reachable(s, t));
         }
     }

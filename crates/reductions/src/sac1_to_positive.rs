@@ -63,7 +63,14 @@ pub fn sac1_to_positive_core(
             labels.push(LABEL_RESULT.to_string());
         }
         if i <= m {
-            labels.push(if inputs[i - 1] { LABEL_TRUE } else { LABEL_FALSE }.to_string());
+            labels.push(
+                if inputs[i - 1] {
+                    LABEL_TRUE
+                } else {
+                    LABEL_FALSE
+                }
+                .to_string(),
+            );
         }
         for k in 1..=n {
             let gate = circuit.gate(xpeval_circuits::GateId(m + k - 1));
@@ -165,7 +172,10 @@ pub fn sac1_to_positive_core(
         Expr::and(t(LABEL_RESULT), phi),
     )]));
 
-    let result_node = *gate_doc.gate_nodes.last().expect("validated circuit has gates");
+    let result_node = *gate_doc
+        .gate_nodes
+        .last()
+        .expect("validated circuit has gates");
     Ok(Sac1Reduction {
         document: gate_doc.document,
         query,
@@ -232,12 +242,18 @@ mod tests {
         let mut prev = c.and(vec![GateId(0), GateId(1)]);
         let sac1_size = {
             let sac = Sac1Circuit::new(c.clone()).unwrap();
-            sac1_to_positive_core(&sac, &[true, true]).unwrap().query.size()
+            sac1_to_positive_core(&sac, &[true, true])
+                .unwrap()
+                .query
+                .size()
         };
         prev = c.and(vec![prev, GateId(0)]);
         let sac2_size = {
             let sac = Sac1Circuit::new(c.clone()).unwrap();
-            sac1_to_positive_core(&sac, &[true, true]).unwrap().query.size()
+            sac1_to_positive_core(&sac, &[true, true])
+                .unwrap()
+                .query
+                .size()
         };
         let _ = prev;
         assert!(sac2_size > 2 * sac1_size - 20, "{sac1_size} -> {sac2_size}");

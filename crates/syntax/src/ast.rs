@@ -109,17 +109,29 @@ pub struct Step {
 impl Step {
     /// A step without predicates.
     pub fn new(axis: Axis, node_test: NodeTest) -> Self {
-        Step { axis, node_test, predicates: Vec::new() }
+        Step {
+            axis,
+            node_test,
+            predicates: Vec::new(),
+        }
     }
 
     /// A step with a single predicate.
     pub fn with_predicate(axis: Axis, node_test: NodeTest, pred: Expr) -> Self {
-        Step { axis, node_test, predicates: vec![pred] }
+        Step {
+            axis,
+            node_test,
+            predicates: vec![pred],
+        }
     }
 
     /// A step with a predicate sequence.
     pub fn with_predicates(axis: Axis, node_test: NodeTest, preds: Vec<Expr>) -> Self {
-        Step { axis, node_test, predicates: preds }
+        Step {
+            axis,
+            node_test,
+            predicates: preds,
+        }
     }
 }
 
@@ -136,17 +148,26 @@ pub struct LocationPath {
 impl LocationPath {
     /// An absolute path with the given steps.
     pub fn absolute(steps: Vec<Step>) -> Self {
-        LocationPath { absolute: true, steps }
+        LocationPath {
+            absolute: true,
+            steps,
+        }
     }
 
     /// A relative path with the given steps.
     pub fn relative(steps: Vec<Step>) -> Self {
-        LocationPath { absolute: false, steps }
+        LocationPath {
+            absolute: false,
+            steps,
+        }
     }
 
     /// The path `/` selecting only the conceptual root.
     pub fn root() -> Self {
-        LocationPath { absolute: true, steps: Vec::new() }
+        LocationPath {
+            absolute: true,
+            steps: Vec::new(),
+        }
     }
 }
 
@@ -166,9 +187,17 @@ pub enum Expr {
     /// XPath / pWF / pXPath (LOGCFL).
     Not(Box<Expr>),
     /// `e1 relop e2`.
-    Relational { op: RelOp, left: Box<Expr>, right: Box<Expr> },
+    Relational {
+        op: RelOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// `e1 arithop e2`.
-    Arithmetic { op: ArithOp, left: Box<Expr>, right: Box<Expr> },
+    Arithmetic {
+        op: ArithOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// Unary minus `-e`.
     Neg(Box<Expr>),
     /// Numeric literal.
@@ -203,28 +232,43 @@ impl Expr {
     }
 
     /// Convenience constructor: `not(e)`.
+    #[allow(clippy::should_implement_trait)] // XPath's not() is a function, not an operator
     pub fn not(e: Expr) -> Expr {
         Expr::Not(Box::new(e))
     }
 
     /// Convenience constructor: a relational comparison.
     pub fn relational(op: RelOp, left: Expr, right: Expr) -> Expr {
-        Expr::Relational { op, left: Box::new(left), right: Box::new(right) }
+        Expr::Relational {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// Convenience constructor: an arithmetic operation.
     pub fn arithmetic(op: ArithOp, left: Expr, right: Expr) -> Expr {
-        Expr::Arithmetic { op, left: Box::new(left), right: Box::new(right) }
+        Expr::Arithmetic {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// Convenience constructor: a nullary function call.
     pub fn call0(name: &str) -> Expr {
-        Expr::FunctionCall { name: name.to_string(), args: Vec::new() }
+        Expr::FunctionCall {
+            name: name.to_string(),
+            args: Vec::new(),
+        }
     }
 
     /// Convenience constructor: a unary function call.
     pub fn call1(name: &str, arg: Expr) -> Expr {
-        Expr::FunctionCall { name: name.to_string(), args: vec![arg] }
+        Expr::FunctionCall {
+            name: name.to_string(),
+            args: vec![arg],
+        }
     }
 
     /// `position()`.
@@ -266,8 +310,12 @@ impl Expr {
             Expr::Union(a, b)
             | Expr::Or(a, b)
             | Expr::And(a, b)
-            | Expr::Relational { left: a, right: b, .. }
-            | Expr::Arithmetic { left: a, right: b, .. } => 1 + a.depth().max(b.depth()),
+            | Expr::Relational {
+                left: a, right: b, ..
+            }
+            | Expr::Arithmetic {
+                left: a, right: b, ..
+            } => 1 + a.depth().max(b.depth()),
             Expr::Not(e) | Expr::Neg(e) => 1 + e.depth(),
             Expr::Number(_) | Expr::Literal(_) => 1,
             Expr::FunctionCall { args, .. } => {
@@ -291,8 +339,12 @@ impl Expr {
             Expr::Union(a, b)
             | Expr::Or(a, b)
             | Expr::And(a, b)
-            | Expr::Relational { left: a, right: b, .. }
-            | Expr::Arithmetic { left: a, right: b, .. } => {
+            | Expr::Relational {
+                left: a, right: b, ..
+            }
+            | Expr::Arithmetic {
+                left: a, right: b, ..
+            } => {
                 a.visit(f);
                 b.visit(f);
             }
@@ -366,7 +418,14 @@ mod tests {
 
     #[test]
     fn relop_negation_is_involutive() {
-        for op in [RelOp::Eq, RelOp::Ne, RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge] {
+        for op in [
+            RelOp::Eq,
+            RelOp::Ne,
+            RelOp::Lt,
+            RelOp::Le,
+            RelOp::Gt,
+            RelOp::Ge,
+        ] {
             assert_eq!(op.negated().negated(), op);
         }
     }
@@ -374,7 +433,14 @@ mod tests {
     #[test]
     fn relop_negated_is_complement_on_numbers() {
         let pairs = [(1.0, 2.0), (2.0, 1.0), (3.0, 3.0), (-1.5, 0.0)];
-        for op in [RelOp::Eq, RelOp::Ne, RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge] {
+        for op in [
+            RelOp::Eq,
+            RelOp::Ne,
+            RelOp::Lt,
+            RelOp::Le,
+            RelOp::Gt,
+            RelOp::Ge,
+        ] {
             for (a, b) in pairs {
                 assert_eq!(op.apply(a, b), !op.negated().apply(a, b), "{op:?} {a} {b}");
             }

@@ -109,7 +109,10 @@ pub struct ClassifierLimits {
 
 impl Default for ClassifierLimits {
     fn default() -> Self {
-        ClassifierLimits { max_arith_depth: 3, max_concat_arity: 3 }
+        ClassifierLimits {
+            max_arith_depth: 3,
+            max_concat_arity: 3,
+        }
     }
 }
 
@@ -178,7 +181,10 @@ const PXPATH_FORBIDDEN_FUNCTIONS: &[&str] = &[
 
 /// Extracts the [`QueryFeatures`] of an expression.
 pub fn features(expr: &Expr) -> QueryFeatures {
-    let mut f = QueryFeatures { size: expr.size(), ..Default::default() };
+    let mut f = QueryFeatures {
+        size: expr.size(),
+        ..Default::default()
+    };
     collect(expr, 0, &mut f);
     f.negation_depth = crate::normalize::negation_depth(expr);
     f.arith_nesting_depth = arith_depth(expr);
@@ -263,7 +269,9 @@ fn arith_depth(expr: &Expr) -> usize {
         Expr::Union(a, b)
         | Expr::Or(a, b)
         | Expr::And(a, b)
-        | Expr::Relational { left: a, right: b, .. } => arith_depth(a).max(arith_depth(b)),
+        | Expr::Relational {
+            left: a, right: b, ..
+        } => arith_depth(a).max(arith_depth(b)),
         Expr::Not(e) => arith_depth(e),
         Expr::Number(_) | Expr::Literal(_) => 0,
         Expr::FunctionCall { args, .. } => args.iter().map(arith_depth).max().unwrap_or(0),
@@ -277,9 +285,10 @@ fn arith_depth(expr: &Expr) -> usize {
 /// Is `expr` a location path of the PF fragment (no conditions at all)?
 fn is_pf(expr: &Expr) -> bool {
     match expr {
-        Expr::Path(p) => {
-            p.steps.iter().all(|s| s.predicates.is_empty() && s.axis != Axis::Attribute)
-        }
+        Expr::Path(p) => p
+            .steps
+            .iter()
+            .all(|s| s.predicates.is_empty() && s.axis != Axis::Attribute),
         Expr::Union(a, b) => is_pf(a) && is_pf(b),
         _ => false,
     }
@@ -290,7 +299,9 @@ fn is_core_locpath(expr: &Expr, allow_negation: bool) -> bool {
     match expr {
         Expr::Path(p) => p.steps.iter().all(|s| {
             s.axis != Axis::Attribute
-                && s.predicates.iter().all(|e| is_core_bexpr(e, allow_negation))
+                && s.predicates
+                    .iter()
+                    .all(|e| is_core_bexpr(e, allow_negation))
         }),
         Expr::Union(a, b) => {
             is_core_locpath(a, allow_negation) && is_core_locpath(b, allow_negation)
@@ -342,7 +353,9 @@ fn is_wf_locpath(expr: &Expr, allow_negation: bool, iterated_ok: bool) -> bool {
         Expr::Path(p) => p.steps.iter().all(|s| {
             s.axis != Axis::Attribute
                 && (iterated_ok || s.predicates.len() <= 1)
-                && s.predicates.iter().all(|e| is_wf_bexpr(e, allow_negation, iterated_ok))
+                && s.predicates
+                    .iter()
+                    .all(|e| is_wf_bexpr(e, allow_negation, iterated_ok))
         }),
         Expr::Union(a, b) => {
             is_wf_locpath(a, allow_negation, iterated_ok)
@@ -397,9 +410,7 @@ fn is_pxpath(expr: &Expr, limits: &ClassifierLimits) -> bool {
 pub fn is_in_fragment(expr: &Expr, fragment: Fragment, limits: &ClassifierLimits) -> bool {
     match fragment {
         Fragment::PF => is_pf(expr),
-        Fragment::PositiveCoreXPath => {
-            is_core_locpath(expr, false) || is_core_bexpr(expr, false)
-        }
+        Fragment::PositiveCoreXPath => is_core_locpath(expr, false) || is_core_bexpr(expr, false),
         Fragment::CoreXPath => is_core_locpath(expr, true) || is_core_bexpr(expr, true),
         Fragment::PWF => is_pwf(expr, limits),
         Fragment::WF => is_wf(expr, true, true),
@@ -445,12 +456,18 @@ mod tests {
         assert_eq!(frag("child::a/parent::b | descendant::c"), Fragment::PF);
         assert_eq!(frag("/"), Fragment::PF);
         // The reachability queries of Theorem 4.3 are PF.
-        assert_eq!(frag("/descendant::v1/child::c/descendant::e/parent::*/child::c"), Fragment::PF);
+        assert_eq!(
+            frag("/descendant::v1/child::c/descendant::e/parent::*/child::c"),
+            Fragment::PF
+        );
     }
 
     #[test]
     fn positive_core_queries() {
-        assert_eq!(frag("/descendant::a/child::b[descendant::c]"), Fragment::PositiveCoreXPath);
+        assert_eq!(
+            frag("/descendant::a/child::b[descendant::c]"),
+            Fragment::PositiveCoreXPath
+        );
         assert_eq!(
             frag("child::a[child::b and child::c or descendant::d]"),
             Fragment::PositiveCoreXPath
@@ -472,7 +489,10 @@ mod tests {
         // Section 2.2's position/last example is pWF (no negation, single predicate).
         assert_eq!(frag("child::a[position() + 1 = last()]"), Fragment::PWF);
         assert_eq!(frag("child::a[position() = 3]"), Fragment::PWF);
-        assert_eq!(frag("child::a[child::b and position() < last()]"), Fragment::PWF);
+        assert_eq!(
+            frag("child::a[child::b and position() < last()]"),
+            Fragment::PWF
+        );
     }
 
     #[test]
@@ -496,7 +516,10 @@ mod tests {
         // count() is forbidden in pXPath (Definition 6.1(2)).
         assert_eq!(frag("child::a[count(child::b) = 2]"), Fragment::XPath);
         // Relational operator on a boolean operand (Definition 6.1(3)).
-        assert_eq!(frag("child::a[(child::b and child::c) = true()]"), Fragment::XPath);
+        assert_eq!(
+            frag("child::a[(child::b and child::c) = true()]"),
+            Fragment::XPath
+        );
         // Negation over an attribute-axis query is not WF either.
         assert_eq!(frag("//a[not(@id)]"), Fragment::XPath);
         // sum() / string-length() are forbidden.
@@ -513,7 +536,10 @@ mod tests {
         assert_eq!(report.fragment, Fragment::WF);
         let relaxed = classify_with_limits(
             &q,
-            &ClassifierLimits { max_arith_depth: 10, max_concat_arity: 3 },
+            &ClassifierLimits {
+                max_arith_depth: 10,
+                max_concat_arity: 3,
+            },
         );
         assert_eq!(relaxed.fragment, Fragment::PWF);
     }

@@ -136,7 +136,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
     let mut pos = 0usize;
     let mut tokens: Vec<Token> = Vec::new();
 
-    let err = |pos: usize, msg: &str| LexError { offset: pos, message: msg.to_string() };
+    let err = |pos: usize, msg: &str| LexError {
+        offset: pos,
+        message: msg.to_string(),
+    };
 
     while pos < bytes.len() {
         let c = bytes[pos] as char;
@@ -230,14 +233,22 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     .last()
                     .map(|t| !t.forces_operand_next())
                     .unwrap_or(false);
-                tokens.push(if operator_position { Token::Multiply } else { Token::Star });
+                tokens.push(if operator_position {
+                    Token::Multiply
+                } else {
+                    Token::Star
+                });
                 pos += 1;
             }
             '.' => {
                 if bytes.get(pos + 1) == Some(&b'.') {
                     tokens.push(Token::DotDot);
                     pos += 2;
-                } else if bytes.get(pos + 1).map(|b| b.is_ascii_digit()).unwrap_or(false) {
+                } else if bytes
+                    .get(pos + 1)
+                    .map(|b| b.is_ascii_digit())
+                    .unwrap_or(false)
+                {
                     let (num, consumed) = lex_number(&input[pos..]);
                     tokens.push(Token::Number(num));
                     pos += consumed;
@@ -352,7 +363,10 @@ mod tests {
         assert!(toks.contains(&Token::Multiply));
 
         let toks = tokenize("2 * 3").unwrap();
-        assert_eq!(toks, vec![Token::Number(2.0), Token::Multiply, Token::Number(3.0)]);
+        assert_eq!(
+            toks,
+            vec![Token::Number(2.0), Token::Multiply, Token::Number(3.0)]
+        );
 
         let toks = tokenize("*").unwrap();
         assert_eq!(toks, vec![Token::Star]);
@@ -375,7 +389,11 @@ mod tests {
         let toks = tokenize("child::and").unwrap();
         assert_eq!(
             toks,
-            vec![Token::Name("child".into()), Token::ColonColon, Token::Name("and".into())]
+            vec![
+                Token::Name("child".into()),
+                Token::ColonColon,
+                Token::Name("and".into())
+            ]
         );
     }
 

@@ -30,8 +30,12 @@ pub fn negation_depth(expr: &Expr) -> usize {
         Expr::Union(a, b)
         | Expr::Or(a, b)
         | Expr::And(a, b)
-        | Expr::Relational { left: a, right: b, .. }
-        | Expr::Arithmetic { left: a, right: b, .. } => negation_depth(a).max(negation_depth(b)),
+        | Expr::Relational {
+            left: a, right: b, ..
+        }
+        | Expr::Arithmetic {
+            left: a, right: b, ..
+        } => negation_depth(a).max(negation_depth(b)),
         Expr::Neg(e) => negation_depth(e),
         Expr::Number(_) | Expr::Literal(_) => 0,
         Expr::FunctionCall { args, .. } => args.iter().map(negation_depth).max().unwrap_or(0),
@@ -75,7 +79,11 @@ fn rewrite(expr: &Expr, negate: bool) -> Expr {
             let numeric = matches!(l.expr_type(), crate::ast::ExprType::Number)
                 && matches!(r.expr_type(), crate::ast::ExprType::Number);
             let new_op = if negate && numeric { op.negated() } else { *op };
-            let e = Expr::Relational { op: new_op, left: Box::new(l), right: Box::new(r) };
+            let e = Expr::Relational {
+                op: new_op,
+                left: Box::new(l),
+                right: Box::new(r),
+            };
             if negate && !numeric {
                 Expr::not(e)
             } else {
@@ -156,12 +164,8 @@ pub fn expand_iterated_predicates(expr: &Expr) -> Expr {
             Box::new(expand_iterated_predicates(a)),
             Box::new(expand_iterated_predicates(b)),
         ),
-        Expr::Or(a, b) => {
-            Expr::or(expand_iterated_predicates(a), expand_iterated_predicates(b))
-        }
-        Expr::And(a, b) => {
-            Expr::and(expand_iterated_predicates(a), expand_iterated_predicates(b))
-        }
+        Expr::Or(a, b) => Expr::or(expand_iterated_predicates(a), expand_iterated_predicates(b)),
+        Expr::And(a, b) => Expr::and(expand_iterated_predicates(a), expand_iterated_predicates(b)),
         Expr::Not(e) => Expr::not(expand_iterated_predicates(e)),
         Expr::Relational { op, left, right } => Expr::Relational {
             op: *op,
@@ -183,7 +187,11 @@ pub fn expand_iterated_predicates(expr: &Expr) -> Expr {
 }
 
 fn merge_step(step: &Step) -> Step {
-    let predicates: Vec<Expr> = step.predicates.iter().map(expand_iterated_predicates).collect();
+    let predicates: Vec<Expr> = step
+        .predicates
+        .iter()
+        .map(expand_iterated_predicates)
+        .collect();
     let mergeable = predicates.len() >= 2
         && predicates
             .iter()
@@ -195,7 +203,11 @@ fn merge_step(step: &Step) -> Step {
     } else {
         predicates
     };
-    Step { axis: step.axis, node_test: step.node_test.clone(), predicates }
+    Step {
+        axis: step.axis,
+        node_test: step.node_test.clone(),
+        predicates,
+    }
 }
 
 #[cfg(test)]
@@ -212,11 +224,11 @@ mod tests {
         assert_eq!(negation_depth(&parse("child::a")), 0);
         assert_eq!(negation_depth(&parse("not(child::a)")), 1);
         assert_eq!(negation_depth(&parse("not(not(child::a))")), 2);
-        assert_eq!(negation_depth(&parse("child::a[not(child::b[not(child::c)])]")), 2);
         assert_eq!(
-            negation_depth(&parse("not(child::a) and not(child::b)")),
-            1
+            negation_depth(&parse("child::a[not(child::b[not(child::c)])]")),
+            2
         );
+        assert_eq!(negation_depth(&parse("not(child::a) and not(child::b)")), 1);
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::Lex(e) => write!(f, "{e}"),
-            ParseError::Syntax { token_index, message } => {
+            ParseError::Syntax {
+                token_index,
+                message,
+            } => {
                 write!(f, "parse error at token {token_index}: {message}")
             }
         }
@@ -80,7 +83,10 @@ struct Parser {
 
 impl Parser {
     fn err(&self, message: &str) -> ParseError {
-        ParseError::Syntax { token_index: self.pos, message: message.to_string() }
+        ParseError::Syntax {
+            token_index: self.pos,
+            message: message.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -349,8 +355,8 @@ impl Parser {
         } else if let (Some(Token::Name(name)), Some(Token::ColonColon)) =
             (self.peek(), self.peek2())
         {
-            let axis = Axis::from_name(name)
-                .ok_or_else(|| self.err(&format!("unknown axis '{name}'")))?;
+            let axis =
+                Axis::from_name(name).ok_or_else(|| self.err(&format!("unknown axis '{name}'")))?;
             self.pos += 2;
             axis
         } else {
@@ -364,7 +370,11 @@ impl Parser {
             self.expect(&Token::RBracket)?;
             predicates.push(pred);
         }
-        Ok(Step { axis, node_test, predicates })
+        Ok(Step {
+            axis,
+            node_test,
+            predicates,
+        })
     }
 
     fn parse_node_test(&mut self) -> Result<NodeTest, ParseError> {
@@ -410,9 +420,7 @@ mod tests {
     #[test]
     fn parses_paper_example_query() {
         // The running example from Section 2.2 of the paper.
-        let q = parse(
-            "/descendant::a/child::b[descendant::c and not(following-sibling::d)]",
-        );
+        let q = parse("/descendant::a/child::b[descendant::c and not(following-sibling::d)]");
         let path = q.as_path().expect("a path");
         assert!(path.absolute);
         assert_eq!(path.steps.len(), 2);
@@ -436,8 +444,18 @@ mod tests {
         assert!(!path.absolute);
         let pred = &path.steps[0].predicates[0];
         match pred {
-            Expr::Relational { op: RelOp::Eq, left, right } => {
-                assert!(matches!(**left, Expr::Arithmetic { op: ArithOp::Add, .. }));
+            Expr::Relational {
+                op: RelOp::Eq,
+                left,
+                right,
+            } => {
+                assert!(matches!(
+                    **left,
+                    Expr::Arithmetic {
+                        op: ArithOp::Add,
+                        ..
+                    }
+                ));
                 assert!(matches!(**right, Expr::FunctionCall { ref name, .. } if name == "last"));
             }
             other => panic!("expected relational, got {other:?}"),
@@ -508,17 +526,39 @@ mod tests {
     fn arithmetic_precedence_and_unary_minus() {
         let q = parse("1 + 2 * 3");
         match q {
-            Expr::Arithmetic { op: ArithOp::Add, right, .. } => {
-                assert!(matches!(*right, Expr::Arithmetic { op: ArithOp::Mul, .. }));
+            Expr::Arithmetic {
+                op: ArithOp::Add,
+                right,
+                ..
+            } => {
+                assert!(matches!(
+                    *right,
+                    Expr::Arithmetic {
+                        op: ArithOp::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("{other:?}"),
         }
         let q = parse("-1 + 2");
-        assert!(matches!(q, Expr::Arithmetic { op: ArithOp::Add, .. }));
+        assert!(matches!(
+            q,
+            Expr::Arithmetic {
+                op: ArithOp::Add,
+                ..
+            }
+        ));
         let q = parse("- position()");
         assert!(matches!(q, Expr::Neg(_)));
         let q = parse("6 div 2 mod 2");
-        assert!(matches!(q, Expr::Arithmetic { op: ArithOp::Mod, .. }));
+        assert!(matches!(
+            q,
+            Expr::Arithmetic {
+                op: ArithOp::Mod,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -536,7 +576,11 @@ mod tests {
     fn function_calls() {
         let q = parse("count(//a) > 2");
         match q {
-            Expr::Relational { op: RelOp::Gt, left, .. } => match *left {
+            Expr::Relational {
+                op: RelOp::Gt,
+                left,
+                ..
+            } => match *left {
                 Expr::FunctionCall { ref name, ref args } => {
                     assert_eq!(name, "count");
                     assert_eq!(args.len(), 1);
@@ -593,7 +637,13 @@ mod tests {
     #[test]
     fn parenthesized_expressions() {
         let q = parse("(1 + 2) * 3");
-        assert!(matches!(q, Expr::Arithmetic { op: ArithOp::Mul, .. }));
+        assert!(matches!(
+            q,
+            Expr::Arithmetic {
+                op: ArithOp::Mul,
+                ..
+            }
+        ));
         let q = parse("(child::a or child::b) and child::c");
         assert!(matches!(q, Expr::And(_, _)));
     }

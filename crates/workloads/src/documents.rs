@@ -120,7 +120,10 @@ pub fn auction_site_document<R: Rng>(rng: &mut R, items: usize) -> Document {
             b.text(format!("Item number {i}"));
             b.close_element();
             b.open_element("seller");
-            b.attribute("person", format!("person{}", rng.gen_range(0..items.max(1))));
+            b.attribute(
+                "person",
+                format!("person{}", rng.gen_range(0..items.max(1))),
+            );
             b.close_element();
             b.open_element("description");
             b.text("A reproduction artifact of considerable value.");
@@ -205,9 +208,15 @@ mod tests {
     #[test]
     fn auction_document_contains_expected_structure() {
         let d = auction_site_document(&mut StdRng::seed_from_u64(9), 20);
-        let items = d.all_elements().filter(|&n| d.name(n) == Some("item")).count();
+        let items = d
+            .all_elements()
+            .filter(|&n| d.name(n) == Some("item"))
+            .count();
         assert_eq!(items, 20);
-        let people = d.all_elements().filter(|&n| d.name(n) == Some("person")).count();
+        let people = d
+            .all_elements()
+            .filter(|&n| d.name(n) == Some("person"))
+            .count();
         assert_eq!(people, 20);
         let site = d.first_child(d.root()).unwrap();
         assert_eq!(d.name(site), Some("site"));

@@ -21,7 +21,12 @@ pub fn random_digraph<R: Rng>(rng: &mut R, n: usize, p: f64) -> DirectedGraph {
 /// has `out_degree` random edges into the next layer.  Vertex 1 is in the
 /// first layer and vertex `layers·width` in the last, so long positive
 /// reachability chains exist by construction.
-pub fn layered_dag<R: Rng>(rng: &mut R, layers: usize, width: usize, out_degree: usize) -> DirectedGraph {
+pub fn layered_dag<R: Rng>(
+    rng: &mut R,
+    layers: usize,
+    width: usize,
+    out_degree: usize,
+) -> DirectedGraph {
     assert!(layers >= 1 && width >= 1);
     let n = layers * width;
     let mut g = DirectedGraph::new(n);
@@ -75,7 +80,10 @@ mod tests {
         // No edge goes backwards.
         for (u, t) in g.edges() {
             assert!(t > u.min(t), "edge {u}->{t}");
-            assert!((u - 1) / 3 + 1 == (t - 1) / 3, "edge {u}->{t} skips a layer");
+            assert!(
+                (u - 1) / 3 + 1 == (t - 1) / 3,
+                "edge {u}->{t} skips a layer"
+            );
         }
         // Vertices in the last layer reach nothing.
         for t in 10..=12 {

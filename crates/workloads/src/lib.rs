@@ -10,7 +10,10 @@ pub mod documents;
 pub mod graphs;
 pub mod queries;
 
-pub use documents::{auction_site_document, binary_tree_document, chain_document, random_tree_document, wide_document};
+pub use documents::{
+    auction_site_document, binary_tree_document, chain_document, random_tree_document,
+    wide_document,
+};
 pub use graphs::{layered_dag, random_digraph};
 pub use queries::{
     blowup_document, blowup_query, core_xpath_query_corpus, oscillating_query, pwf_query_corpus,

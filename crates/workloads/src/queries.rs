@@ -40,7 +40,11 @@ pub fn blowup_query(reps: usize) -> Expr {
 pub fn star_chain_query(len: usize, tags: &[&str]) -> Expr {
     let mut steps = Vec::with_capacity(len);
     for i in 0..len {
-        let axis = if i % 2 == 0 { Axis::Descendant } else { Axis::Child };
+        let axis = if i % 2 == 0 {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
         let test = if tags.is_empty() {
             NodeTest::Star
         } else {
@@ -60,7 +64,11 @@ pub fn star_chain_query(len: usize, tags: &[&str]) -> Expr {
 pub fn oscillating_query(len: usize) -> Expr {
     let mut steps = Vec::with_capacity(len);
     for i in 0..len {
-        let axis = if i % 2 == 0 { Axis::DescendantOrSelf } else { Axis::AncestorOrSelf };
+        let axis = if i % 2 == 0 {
+            Axis::DescendantOrSelf
+        } else {
+            Axis::AncestorOrSelf
+        };
         steps.push(Step::new(axis, NodeTest::AnyNode));
     }
     Expr::Path(LocationPath::absolute(steps))
@@ -121,7 +129,10 @@ fn random_condition<R: Rng>(rng: &mut R, depth: usize, tags: &[&str], allow_not:
             2 => Axis::FollowingSibling,
             _ => Axis::AncestorOrSelf,
         };
-        return Expr::Path(LocationPath::relative(vec![Step::new(axis, random_test(rng, tags))]));
+        return Expr::Path(LocationPath::relative(vec![Step::new(
+            axis,
+            random_test(rng, tags),
+        )]));
     }
     match rng.gen_range(0..3) {
         0 => Expr::and(
@@ -149,9 +160,18 @@ pub fn core_xpath_query_corpus() -> Vec<(&'static str, Expr)> {
         ("negated condition", parse("//a[not(child::b)]")),
         ("conjunction", parse("//a[child::b and descendant::c]")),
         ("disjunction", parse("//b[child::a or child::c]")),
-        ("nested negation", parse("//a[not(child::b[not(child::c)])]")),
-        ("sibling navigation", parse("//b[following-sibling::c]/parent::a")),
-        ("ancestor test", parse("//d[ancestor::a and not(ancestor::b)]")),
+        (
+            "nested negation",
+            parse("//a[not(child::b[not(child::c)])]"),
+        ),
+        (
+            "sibling navigation",
+            parse("//b[following-sibling::c]/parent::a"),
+        ),
+        (
+            "ancestor test",
+            parse("//d[ancestor::a and not(ancestor::b)]"),
+        ),
         ("union", parse("//a[child::b] | //c[parent::a]")),
     ]
 }
@@ -164,10 +184,16 @@ pub fn pwf_query_corpus() -> Vec<(&'static str, Expr)> {
         ("positional", parse("//a[position() = 2]")),
         ("last", parse("//b[position() = last()]")),
         ("arithmetic", parse("//a[position() + 1 = last()]")),
-        ("structural and positional", parse("//a[child::b and position() < 4]")),
+        (
+            "structural and positional",
+            parse("//a[child::b and position() < 4]"),
+        ),
         ("comparison to constant", parse("//item[@id = 'item3']")),
         ("bid filter", parse("//item[bid/@increase > 6]/name")),
-        ("existential", parse("//person[starts-with(@id, 'person1')]")),
+        (
+            "existential",
+            parse("//person[starts-with(@id, 'person1')]"),
+        ),
     ]
 }
 

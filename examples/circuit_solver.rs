@@ -3,8 +3,9 @@
 //!
 //! Builds the carry-bit circuit of Figure 2 (plus a larger random circuit),
 //! reduces "does the circuit output true?" to "is the Core XPath query
-//! result non-empty?" and evaluates the query with the linear-time Core
-//! XPath evaluator.
+//! result non-empty?", compiles the reduction query once per instance and
+//! evaluates it through the compiled pipeline (which selects the
+//! linear-time Core XPath plan).
 //!
 //! ```bash
 //! cargo run --example circuit_solver
@@ -13,9 +14,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xpeval::circuits::{carry_bit_circuit, carry_bit_inputs, random_monotone_circuit};
-use xpeval::engine::CoreXPathEvaluator;
+use xpeval::prelude::*;
 use xpeval::reductions::circuit_to_core_xpath;
-use xpeval::syntax::classify;
 
 fn main() {
     println!("== Figure 2: carry bit of a 2-bit adder, computed by an XPath query ==\n");
@@ -26,9 +26,9 @@ fn main() {
         for b in 0..4u8 {
             let inputs = carry_bit_inputs(a, b);
             let reduction = circuit_to_core_xpath(&circuit, &inputs, false).unwrap();
-            let evaluator = CoreXPathEvaluator::new(&reduction.document);
-            let selected = evaluator.evaluate_query(&reduction.query).unwrap();
-            let carry = !selected.is_empty();
+            let compiled = CompiledQuery::from_expr(reduction.query.clone());
+            let out = compiled.run(&reduction.document).unwrap();
+            let carry = !out.value.expect_nodes().is_empty();
             println!("   {a} + {b} | {carry}");
             // Sanity: the query agrees with evaluating the circuit directly.
             assert_eq!(carry, circuit.evaluate(&inputs).unwrap());
@@ -38,12 +38,23 @@ fn main() {
     println!("\n== A random 40-gate monotone circuit ==\n");
     let (big, inputs) = random_monotone_circuit(&mut StdRng::seed_from_u64(2024), 8, 40);
     let reduction = circuit_to_core_xpath(&big, &inputs, false).unwrap();
-    let report = classify(&reduction.query);
-    println!("generated document : {} nodes (tree of height {})", reduction.document.len(), reduction.document.height());
-    println!("generated query    : {} AST nodes, fragment = {} ({})", reduction.query.size(), report.fragment, report.complexity);
-    let evaluator = CoreXPathEvaluator::new(&reduction.document);
-    let selected = evaluator.evaluate_query(&reduction.query).unwrap();
-    println!("circuit value      : {}", !selected.is_empty());
-    assert_eq!(!selected.is_empty(), big.evaluate(&inputs).unwrap());
+    let compiled = CompiledQuery::from_expr(reduction.query.clone());
+    let report = compiled.report();
+    println!(
+        "generated document : {} nodes (tree of height {})",
+        reduction.document.len(),
+        reduction.document.height()
+    );
+    println!(
+        "generated query    : {} AST nodes, fragment = {} ({}), plan = {:?}",
+        compiled.expr().size(),
+        report.fragment,
+        report.complexity,
+        compiled.strategy()
+    );
+    let out = compiled.run(&reduction.document).unwrap();
+    let value = !out.value.expect_nodes().is_empty();
+    println!("circuit value      : {value}");
+    assert_eq!(value, big.evaluate(&inputs).unwrap());
     println!("(matches direct circuit evaluation)");
 }

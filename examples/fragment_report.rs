@@ -25,22 +25,43 @@ fn main() {
         "//product[starts-with(@sku, 'X-')]".to_string(),
         "//a[not(b[not(c)])]".to_string(),
     ];
-    let corpus = if args.is_empty() { default_corpus } else { args };
+    let corpus = if args.is_empty() {
+        default_corpus
+    } else {
+        args
+    };
 
     for src in corpus {
         match parse_query(&src) {
             Err(e) => println!("{src}\n  !! parse error: {e}\n"),
             Ok(query) => {
                 let report = xpeval::syntax::classify(&query);
-                let engine = Engine::recommended_for(&query, 4);
+                let compiled = CompiledQuery::compile_with(
+                    &src,
+                    &CompileOptions {
+                        threads: 4,
+                        ..CompileOptions::default()
+                    },
+                )
+                .expect("already parsed once");
                 println!("{src}");
                 println!("  least fragment      : {}", report.fragment);
                 println!("  combined complexity : {}", report.complexity);
                 println!(
                     "  parallelizable      : {}",
-                    if report.fragment.is_parallelizable() { "yes (in NC²)" } else { "not known (P-hard fragment)" }
+                    if report.fragment.is_parallelizable() {
+                        "yes (in NC²)"
+                    } else {
+                        "not known (P-hard fragment)"
+                    }
                 );
-                println!("  recommended engine  : {:?}", engine.strategy());
+                println!("  compiled plan       : {:?}", compiled.strategy());
+                if compiled.fragment() != report.fragment {
+                    println!(
+                        "  after normalization : {} — the compiler's Remark 5.2 merge lowered the fragment",
+                        compiled.fragment()
+                    );
+                }
                 println!(
                     "  features            : {} steps, {} predicates, negation depth {}, position/last: {}",
                     report.features.step_count,

@@ -7,10 +7,19 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use xpeval::engine::CoreXPathEvaluator;
+use xpeval::prelude::*;
 use xpeval::reductions::{reachability_to_pf, DirectedGraph};
-use xpeval::syntax::classify;
 use xpeval::workloads::layered_dag;
+
+/// Compiles the reduction's PF query and reports whether it selects
+/// anything — "t reachable from s" iff the node set is non-empty.
+fn query_says_reachable(reduction: &xpeval::reductions::PfReachabilityReduction) -> bool {
+    let compiled = CompiledQuery::from_expr(reduction.query.clone());
+    // PF queries get the linear set-at-a-time plan automatically.
+    assert_eq!(compiled.strategy(), EvalStrategy::CoreXPathLinear);
+    let out = compiled.run(&reduction.document).unwrap();
+    !out.value.expect_nodes().is_empty()
+}
 
 fn main() {
     // The 4-vertex example in the spirit of Figure 5.
@@ -26,10 +35,7 @@ fn main() {
     for s in 1..=4 {
         for t in 1..=4 {
             let reduction = reachability_to_pf(&g, s, t);
-            let result = CoreXPathEvaluator::new(&reduction.document)
-                .evaluate_query(&reduction.query)
-                .unwrap();
-            let via_xpath = !result.is_empty();
+            let via_xpath = query_says_reachable(&reduction);
             let via_bfs = g.reachable(s, t);
             println!("   {s} → {t} | {via_xpath:<20} | {via_bfs}");
             assert_eq!(via_xpath, via_bfs);
@@ -39,17 +45,29 @@ fn main() {
     // A bigger layered DAG.
     let dag = layered_dag(&mut StdRng::seed_from_u64(7), 5, 4, 2);
     let reduction = reachability_to_pf(&dag, 1, dag.num_vertices());
-    let report = classify(&reduction.query);
-    println!("\n== layered DAG with {} vertices and {} edges ==", dag.num_vertices(), dag.num_edges());
-    println!("query fragment      : {} ({})", report.fragment, report.complexity);
+    let compiled = CompiledQuery::from_expr(reduction.query.clone());
+    let report = compiled.report();
+    println!(
+        "\n== layered DAG with {} vertices and {} edges ==",
+        dag.num_vertices(),
+        dag.num_edges()
+    );
+    println!(
+        "query fragment      : {} ({})",
+        report.fragment, report.complexity
+    );
+    println!("compiled plan       : {:?}", compiled.strategy());
     println!("document size       : {} nodes", reduction.document.len());
-    let result = CoreXPathEvaluator::new(&reduction.document)
-        .evaluate_query(&reduction.query)
-        .unwrap();
+    let reachable = !compiled
+        .run(&reduction.document)
+        .unwrap()
+        .value
+        .expect_nodes()
+        .is_empty();
     println!(
         "vertex {} reachable from vertex 1: {} (BFS agrees: {})",
         dag.num_vertices(),
-        !result.is_empty(),
-        dag.reachable(1, dag.num_vertices()) == !result.is_empty()
+        reachable,
+        dag.reachable(1, dag.num_vertices()) == reachable
     );
 }

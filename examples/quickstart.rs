@@ -1,6 +1,6 @@
-//! Quickstart: parse a document, parse queries, evaluate them with the
-//! default (context-value-table) engine and look at the fragment
-//! classification.
+//! Quickstart: compile queries once, look at their fragment classification
+//! and selected plan, then evaluate them — directly and through a serving
+//! engine with a plan cache.
 //!
 //! ```bash
 //! cargo run --example quickstart
@@ -21,8 +21,6 @@ fn main() {
 
     println!("document: {} nodes, height {}\n", doc.len(), doc.height());
 
-    let engine = Engine::new(EvalStrategy::ContextValueTable);
-
     let queries = [
         "/library/book/title",
         "//book[@year = 2003]/title",
@@ -32,17 +30,25 @@ fn main() {
         "string(//book[@year = 2003]/title)",
     ];
 
+    // Per-query work happens once, before any document is touched: parse,
+    // normalize, classify (Figure 1), pick the strategy the paper's
+    // complexity results recommend.
     for src in queries {
-        let query = parse_query(src).expect("query parses");
-        let report = xpeval::syntax::classify(&query);
-        let value = engine.evaluate(&doc, &query).expect("evaluation succeeds");
+        let compiled = CompiledQuery::compile(src).expect("query compiles");
+        let report = compiled.report();
         println!("query     : {src}");
         println!("fragment  : {} — {}", report.fragment, report.complexity);
-        match value {
+        println!("plan      : {:?}", compiled.strategy());
+        let out = compiled.run(&doc).expect("evaluation succeeds");
+        match out.value {
             Value::NodeSet(nodes) => {
                 println!("result    : {} node(s)", nodes.len());
                 for n in nodes {
-                    println!("            <{}> {:?}", doc.name(n).unwrap_or("#"), doc.string_value(n));
+                    println!(
+                        "            <{}> {:?}",
+                        doc.name(n).unwrap_or("#"),
+                        doc.string_value(n)
+                    );
                 }
             }
             other => println!("result    : {other:?}"),
@@ -50,11 +56,15 @@ fn main() {
         println!();
     }
 
-    // The engine can also pick the strategy the paper recommends per query.
-    let q = parse_query("//book[@year = 2003]/title").unwrap();
-    let recommended = Engine::recommended_for(&q, 4);
+    // A serving engine compiles through a bounded LRU plan cache: repeated
+    // query strings skip the per-query work entirely.
+    let engine = Engine::builder().threads(4).plan_cache_capacity(64).build();
+    for _ in 0..5 {
+        engine.evaluate_str(&doc, "count(//book)").unwrap();
+    }
+    let stats = engine.cache_stats();
     println!(
-        "recommended strategy for a pXPath query on 4 threads: {:?}",
-        recommended.strategy()
+        "plan cache after 5 identical calls: {} miss (the compile), {} hits",
+        stats.misses, stats.hits
     );
 }

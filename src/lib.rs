@@ -8,27 +8,59 @@
 //!   order, parsing, serialization),
 //! * [`syntax`] — the XPath 1.0 lexer/parser/AST and the fragment classifier
 //!   of Figure 1 (PF, positive Core XPath, Core XPath, WF, pWF, pXPath),
-//! * [`engine`] — the evaluation engines: the context-value-table
-//!   dynamic-programming evaluator, the naive exponential baseline, the
-//!   linear-time Core XPath evaluator, the parallel LOGCFL-fragment
-//!   evaluator, and the Singleton-Success decision procedure of Lemma 5.4,
+//! * [`engine`] — the compile-once query pipeline and the evaluation
+//!   engines: the context-value-table dynamic-programming evaluator, the
+//!   naive exponential baseline, the linear-time Core XPath evaluator, the
+//!   parallel LOGCFL-fragment evaluator, and the Singleton-Success decision
+//!   procedure of Lemma 5.4,
 //! * [`circuits`] — monotone and SAC¹ boolean circuits with the layered
 //!   serialization of Figure 3,
 //! * [`reductions`] — the reductions of Theorems 3.2, 4.2, 4.3 and 5.7,
 //! * [`workloads`] — synthetic document/query/graph generators used by the
 //!   benchmark harness and the examples.
 //!
-//! ## Quickstart
+//! ## Quickstart: compile once, evaluate many
+//!
+//! The paper splits evaluation cost into per-query analysis (parse,
+//! classify into the Figure 1 fragment lattice, pick the algorithm whose
+//! complexity bound fits) and per-document evaluation.  The API mirrors
+//! that: [`CompiledQuery`] is the per-query half, document-independent and
+//! reusable; running it is the per-document half.
 //!
 //! ```
 //! use xpeval::prelude::*;
 //!
+//! // Per-query work, done once — no document in sight.
+//! let query = CompiledQuery::compile("/descendant-or-self::book[child::title]").unwrap();
+//! assert_eq!(query.fragment(), Fragment::PositiveCoreXPath);   // Figure 1
+//! assert_eq!(query.strategy(), EvalStrategy::CoreXPathLinear); // Prop. 2.7 plan
+//!
+//! // Per-document work, repeated at will.
 //! let doc = parse_xml("<lib><book year='2003'><title>XPath</title></book></lib>").unwrap();
-//! let query = parse_query("/descendant-or-self::book[child::title]").unwrap();
-//! let engine = Engine::new(EvalStrategy::ContextValueTable);
-//! let result = engine.evaluate(&doc, &query).unwrap();
-//! assert_eq!(result.expect_nodes().len(), 1);
+//! let out = query.run(&doc).unwrap();
+//! assert_eq!(out.value.expect_nodes().len(), 1);
 //! ```
+//!
+//! A serving [`Engine`] adds a bounded LRU plan cache keyed by the query
+//! string, so repeated `evaluate_str` calls skip the per-query half:
+//!
+//! ```
+//! use xpeval::prelude::*;
+//!
+//! let engine = Engine::builder().threads(2).plan_cache_capacity(256).build();
+//! let doc = parse_xml("<lib><book/><book/></lib>").unwrap();
+//! for _ in 0..10 {
+//!     assert_eq!(engine.evaluate_str(&doc, "count(//book)").unwrap(), Value::Number(2.0));
+//! }
+//! let stats = engine.cache_stats();
+//! assert_eq!(stats.misses, 1); // compiled once
+//! assert_eq!(stats.hits, 9);   // served from the plan cache
+//! ```
+//!
+//! Batch entry points evaluate one plan over many contexts
+//! ([`engine::CompiledQuery::run_many`], sharing the DP evaluator's
+//! context-value tables across the batch) or many plans against one
+//! document ([`engine::Engine::evaluate_batch`]).
 
 pub use xpeval_circuits as circuits;
 pub use xpeval_core as engine;
@@ -39,7 +71,10 @@ pub use xpeval_workloads as workloads;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
-    pub use xpeval_core::{Engine, EvalStrategy, SingletonSuccess, Value};
+    pub use xpeval_core::{
+        CacheStats, CompileOptions, CompiledQuery, Context, Engine, EngineBuilder, EvalError,
+        EvalStats, EvalStrategy, QueryOutput, SingletonSuccess, Value,
+    };
     pub use xpeval_dom::{parse_xml, Axis, Document, DocumentBuilder, NodeId, NodeTest};
     pub use xpeval_syntax::{parse_query, Expr, Fragment, FragmentReport};
 }

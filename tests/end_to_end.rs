@@ -46,7 +46,10 @@ fn catalog_queries_through_the_facade() {
 
     // Positional pWF query.
     let last_garden = engine
-        .evaluate_str(&doc, "//product[@category = 'garden'][position() = last()]/name")
+        .evaluate_str(
+            &doc,
+            "//product[@category = 'garden'][position() = last()]/name",
+        )
         .unwrap();
     assert_eq!(doc.string_value(last_garden.expect_nodes()[0]), "Shears");
 }
@@ -56,7 +59,11 @@ fn classification_guides_engine_choice() {
     let doc = parse_xml(CATALOG).unwrap();
     let cases = [
         ("/catalog/product/name", Fragment::PF, 4usize),
-        ("//product[review and not(discontinued)]", Fragment::CoreXPath, 3),
+        (
+            "//product[review and not(discontinued)]",
+            Fragment::CoreXPath,
+            3,
+        ),
         ("//product[position() = last()]", Fragment::PWF, 1),
         ("//product[starts-with(@sku, 'X-')]", Fragment::PXPath, 2),
     ];
@@ -70,7 +77,9 @@ fn classification_guides_engine_choice() {
         let reference = Engine::new(EvalStrategy::ContextValueTable)
             .evaluate(&doc, &query)
             .unwrap();
-        let recommended = Engine::recommended_for(&query, 2).evaluate(&doc, &query).unwrap();
+        let recommended = Engine::recommended_for(&query, 2)
+            .evaluate(&doc, &query)
+            .unwrap();
         assert_eq!(reference, recommended, "{src}");
         assert_eq!(reference.expect_nodes().len(), expected_count, "{src}");
     }
@@ -104,8 +113,12 @@ fn singleton_success_answers_membership_without_materializing() {
         .all_elements()
         .find(|&n| doc.name(n) == Some("name") && doc.string_value(n) == "Rake")
         .unwrap();
-    assert!(checker.decide(ctx, &SuccessTarget::Node(hammer_name)).unwrap());
-    assert!(!checker.decide(ctx, &SuccessTarget::Node(rake_name)).unwrap());
+    assert!(checker
+        .decide(ctx, &SuccessTarget::Node(hammer_name))
+        .unwrap());
+    assert!(!checker
+        .decide(ctx, &SuccessTarget::Node(rake_name))
+        .unwrap());
 }
 
 #[test]

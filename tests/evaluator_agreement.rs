@@ -30,7 +30,11 @@ fn dp_nodes(doc: &Document, query: &Expr) -> Vec<NodeId> {
 fn corpus_agreement_on_core_xpath_queries() {
     let docs = vec![
         wide_document(40, 4),
-        random_tree_document(&mut StdRng::seed_from_u64(1), 300, &["a", "b", "c", "d", "root"]),
+        random_tree_document(
+            &mut StdRng::seed_from_u64(1),
+            300,
+            &["a", "b", "c", "d", "root"],
+        ),
     ];
     for doc in &docs {
         for (name, query) in core_xpath_query_corpus() {
@@ -53,7 +57,10 @@ fn corpus_agreement_on_pwf_queries() {
     let ctx = Context::root(&doc);
     for (name, query) in pwf_query_corpus() {
         let dp = dp_nodes(&doc, &query);
-        let ss = SingletonSuccess::new(&doc, &query).unwrap().node_set(ctx).unwrap();
+        let ss = SingletonSuccess::new(&doc, &query)
+            .unwrap()
+            .node_set(ctx)
+            .unwrap();
         let par = ParallelEvaluator::new(&doc, 3)
             .evaluate(&query)
             .unwrap()

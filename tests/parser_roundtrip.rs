@@ -9,7 +9,9 @@ use xpeval::engine::DpEvaluator;
 use xpeval::prelude::*;
 use xpeval::syntax::normalize::{expand_iterated_predicates, push_negation_inward};
 use xpeval::syntax::{classify, Fragment};
-use xpeval::workloads::{random_core_query, random_pf_query, random_pwf_query, random_tree_document};
+use xpeval::workloads::{
+    random_core_query, random_pf_query, random_pwf_query, random_tree_document,
+};
 
 /// A generator of random query ASTs via the workload generators (three
 /// different families to cover PF, Core XPath and pWF shapes).
@@ -98,7 +100,10 @@ fn paper_queries_parse_and_classify_as_stated() {
             Fragment::CoreXPath,
         ),
         ("child::a[position() + 1 = last()]", Fragment::PWF),
-        ("child::*[child::a and child::b and child::c]", Fragment::PositiveCoreXPath),
+        (
+            "child::*[child::a and child::b and child::c]",
+            Fragment::PositiveCoreXPath,
+        ),
     ];
     for (src, expected) in cases {
         let q = parse_query(src).unwrap();

@@ -99,7 +99,9 @@ fn reductions_select_only_the_result_node() {
     inputs.iter_mut().for_each(|b| *b = true);
     let expected = circuit.evaluate(&inputs).unwrap();
     let red = circuit_to_core_xpath(&circuit, &inputs, false).unwrap();
-    let result = CoreXPathEvaluator::new(&red.document).evaluate_query(&red.query).unwrap();
+    let result = CoreXPathEvaluator::new(&red.document)
+        .evaluate_query(&red.query)
+        .unwrap();
     if expected {
         assert_eq!(result, vec![red.result_node]);
     } else {

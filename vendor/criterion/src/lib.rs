@@ -1,0 +1,351 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so this vendored crate
+//! implements the benchmark-definition API the workspace's benches use
+//! ([`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`]) on top of a simple wall-clock sampling loop.
+//!
+//! Each benchmark warms up for (a quarter of) the configured warm-up time,
+//! estimates the per-iteration cost, then takes `sample_size` samples whose
+//! combined duration approximates `measurement_time`, and prints
+//! `mean / min / max` per-iteration times.  No plots, no statistics beyond
+//! that — but the relative numbers the workspace's benches exist to show
+//! (exponential vs. polynomial scaling, cached vs. uncached evaluation)
+//! survive intact.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id with a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Id with only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId {
+            function,
+            parameter: None,
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function[..], &self.parameter) {
+            ("", Some(p)) => write!(f, "{p}"),
+            (n, Some(p)) => write!(f, "{n}/{p}"),
+            (n, None) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Measurement settings shared by a group.
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Compatibility shim; command-line arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            settings: Settings::default(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        let id = id.into();
+        group.bench_function(id, |b| f(b));
+        group.finish();
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Wall-clock budget for the sampling phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget for the warm-up phase.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            settings: self.settings,
+            report: None,
+        };
+        f(&mut bencher);
+        self.print(&id, bencher.report);
+        self
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            settings: self.settings,
+            report: None,
+        };
+        f(&mut bencher, input);
+        self.print(&id, bencher.report);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn print(&self, id: &BenchmarkId, report: Option<Report>) {
+        let label = if self.name.is_empty() {
+            format!("{id}")
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        match report {
+            None => println!("{label:<60} (no measurement: Bencher::iter never called)"),
+            Some(r) => {
+                let mut line = format!(
+                    "{label:<60} time: [{} {} {}]",
+                    fmt_time(r.min),
+                    fmt_time(r.mean),
+                    fmt_time(r.max),
+                );
+                if let Some(t) = self.throughput {
+                    let per_sec = match t {
+                        Throughput::Elements(n) => n as f64 / r.mean,
+                        Throughput::Bytes(n) => n as f64 / r.mean,
+                    };
+                    line.push_str(&format!("  thrpt: {per_sec:.0}/s"));
+                }
+                println!("{line}");
+            }
+        }
+    }
+}
+
+/// min/mean/max per-iteration seconds.
+#[derive(Clone, Copy, Debug)]
+struct Report {
+    min: f64,
+    mean: f64,
+    max: f64,
+}
+
+/// Runs and times the measured routine.
+pub struct Bencher {
+    settings: Settings,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measures `f`, called repeatedly; its return value is black-boxed so
+    /// the computation is not optimized away.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up and per-iteration cost estimate.
+        let warmup_budget = self.settings.warm_up_time.min(Duration::from_millis(500)) / 2;
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u32 = 0;
+        loop {
+            black_box(f());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= warmup_budget || warmup_iters >= 10_000 {
+                break;
+            }
+        }
+        let est_iter = (warmup_start.elapsed().as_secs_f64() / warmup_iters as f64).max(1e-9);
+
+        // Choose iterations per sample so all samples fit the budget.
+        let budget = self.settings.measurement_time.min(Duration::from_secs(3));
+        let samples = self.settings.sample_size;
+        let per_sample = budget.as_secs_f64() / samples as f64;
+        let iters = ((per_sample / est_iter).round() as u64).clamp(1, 1_000_000);
+
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            times.push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(0.0f64, f64::max);
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        self.report = Some(Report { min, mean, max });
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(30));
+        group.warm_up_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 7), &7, |b, &p| {
+            b.iter(|| {
+                calls += 1;
+                p * 2
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+}
