@@ -1,12 +1,23 @@
-//! Bounded LRU cache of compiled query plans, keyed by query string.
+//! Bounded LRU caches behind the engine: compiled plans and prepared
+//! documents.
 //!
 //! Compilation (parse + classify + plan) is pure per-query work; an engine
 //! serving repeated query strings should pay it once.  [`PlanCache`] is a
 //! small least-recently-used map from source string to
-//! [`Arc<CompiledQuery>`]; [`crate::Engine`] consults it on every
+//! [`Arc<CompiledQuery>`]; [`ShardedPlanCache`] spreads those entries over
+//! up to [`PLAN_CACHE_SHARDS`] independently locked shards (selected by key
+//! hash), so concurrent compilations on different shards never contend on
+//! one mutex.  [`crate::Engine`] consults it on every
 //! [`crate::Engine::compile`] / [`crate::Engine::evaluate_str`] call, and
-//! its [`CacheStats`] make hits and misses observable so tests and benches
-//! can assert that a repeated query string really skips re-parsing.
+//! its [`CacheStats`] make hits and misses observable — in aggregate and
+//! per shard — so tests and benches can assert that a repeated query string
+//! really skips re-parsing.
+//!
+//! [`DocumentCache`] is the same idea for the document side of the
+//! pipeline: it memoizes [`PreparedDocument`] index construction per
+//! document, keyed by the document's [`Arc`] address (sound because the
+//! cache keeps the document alive: an address can only be recycled after
+//! its entry is gone).
 //!
 //! Recency is tracked with a monotonic touch counter per entry; eviction
 //! scans for the minimum.  That is O(capacity) per eviction, which is the
@@ -14,11 +25,30 @@
 //! paths that must stay allocation-free).
 
 use crate::compile::CompiledQuery;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+use xpeval_dom::{Document, PreparedDocument};
 
-/// Observable counters of a [`PlanCache`].
+/// Maximum number of shards of a [`ShardedPlanCache`].  Small caches use a
+/// single shard so capacity semantics stay exact; see
+/// [`ShardedPlanCache::new`].
+pub const PLAN_CACHE_SHARDS: usize = 8;
+
+/// Per-shard counters of a [`ShardedPlanCache`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Lookups this shard answered from its map.
+    pub hits: u64,
+    /// Lookups on this shard that fell through to compilation.
+    pub misses: u64,
+    /// Entries currently stored in this shard.
+    pub len: usize,
+}
+
+/// Observable counters of a plan or document cache.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache (no re-parse, no re-classification).
     pub hits: u64,
@@ -30,6 +60,9 @@ pub struct CacheStats {
     pub len: usize,
     /// Maximum number of entries (0 = caching disabled).
     pub capacity: usize,
+    /// Per-shard hit/miss/len counters, one entry per shard.  Empty for
+    /// unsharded caches ([`PlanCache`], [`DocumentCache`]).
+    pub per_shard: Vec<ShardStats>,
 }
 
 #[derive(Debug)]
@@ -113,12 +146,210 @@ impl PlanCache {
             evictions: self.evictions,
             len: self.entries.len(),
             capacity: self.capacity,
+            per_shard: Vec::new(),
         }
     }
 
     /// Drops all cached plans (counters are kept).
     pub fn clear(&mut self) {
         self.entries.clear();
+    }
+}
+
+/// A [`PlanCache`] split over independently locked shards selected by key
+/// hash, so concurrent compile lookups on different keys proceed without
+/// contending on a single mutex.
+///
+/// Sharding only engages when the capacity is large enough to split
+/// meaningfully (at least two entries per shard); small caches keep a
+/// single shard so the exact LRU/capacity semantics of [`PlanCache`] are
+/// preserved.
+#[derive(Debug)]
+pub struct ShardedPlanCache {
+    shards: Vec<Mutex<PlanCache>>,
+}
+
+impl ShardedPlanCache {
+    /// Creates a cache holding at most `capacity` plans in total,
+    /// distributed (as evenly as possible) over the shards.
+    pub fn new(capacity: usize) -> Self {
+        let shard_count = if capacity >= 2 * PLAN_CACHE_SHARDS {
+            PLAN_CACHE_SHARDS
+        } else {
+            1
+        };
+        let base = capacity / shard_count;
+        let remainder = capacity % shard_count;
+        let shards = (0..shard_count)
+            .map(|i| Mutex::new(PlanCache::new(base + usize::from(i < remainder))))
+            .collect();
+        ShardedPlanCache { shards }
+    }
+
+    /// Number of shards in use.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, source: &str) -> &Mutex<PlanCache> {
+        let mut hasher = DefaultHasher::new();
+        source.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks up a plan in its key's shard, refreshing recency on a hit.
+    pub fn get(&self, source: &str) -> Option<Arc<CompiledQuery>> {
+        self.shard_for(source).lock().unwrap().get(source)
+    }
+
+    /// Stores a plan in its key's shard, evicting that shard's LRU entry
+    /// when the shard is full.
+    pub fn insert(&self, source: String, plan: Arc<CompiledQuery>) {
+        self.shard_for(&source).lock().unwrap().insert(source, plan);
+    }
+
+    /// Aggregated counters plus the per-shard breakdown.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().unwrap().stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.len += s.len;
+            total.capacity += s.capacity;
+            total.per_shard.push(ShardStats {
+                hits: s.hits,
+                misses: s.misses,
+                len: s.len,
+            });
+        }
+        total
+    }
+
+    /// Drops every cached plan in every shard (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap().clear();
+        }
+    }
+}
+
+/// Memoizes [`PreparedDocument`] index construction per document — the
+/// document-side analogue of the plan cache.
+///
+/// Keys are the address of the document's [`Arc`] allocation.  This is
+/// sound because every cached entry holds the document alive (through its
+/// `PreparedDocument`), so an address cannot be recycled by a new document
+/// while its entry exists; eviction drops the entry and the key together.
+#[derive(Debug)]
+pub struct DocumentCache {
+    inner: Mutex<DocumentCacheInner>,
+}
+
+#[derive(Debug)]
+struct DocumentCacheInner {
+    capacity: usize,
+    entries: HashMap<usize, DocumentEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct DocumentEntry {
+    prepared: Arc<PreparedDocument>,
+    last_used: u64,
+}
+
+impl DocumentCache {
+    /// Creates a cache holding at most `capacity` prepared documents;
+    /// 0 disables caching (every call prepares afresh).
+    pub fn new(capacity: usize) -> Self {
+        DocumentCache {
+            inner: Mutex::new(DocumentCacheInner {
+                capacity,
+                entries: HashMap::with_capacity(capacity.min(64)),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// Returns the prepared form of `doc`, building (and caching) it on
+    /// first sight.
+    ///
+    /// The O(|D|) index construction happens **outside** the cache lock —
+    /// same discipline as the plan cache's get → compile → insert — so
+    /// concurrent preparations of unrelated documents never serialize.  Two
+    /// threads racing on the *same* unseen document may both build; the
+    /// first insert wins and both get a usable index.
+    pub fn get_or_prepare(&self, doc: &Arc<Document>) -> Arc<PreparedDocument> {
+        let key = Arc::as_ptr(doc) as usize;
+        {
+            let mut inner = self.inner.lock().unwrap();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.entries.get_mut(&key) {
+                entry.last_used = tick;
+                let prepared = Arc::clone(&entry.prepared);
+                inner.hits += 1;
+                return prepared;
+            }
+            inner.misses += 1;
+        }
+
+        let prepared = Arc::new(PreparedDocument::new(Arc::clone(doc)));
+
+        let mut inner = self.inner.lock().unwrap();
+        if inner.capacity == 0 {
+            return prepared;
+        }
+        if let Some(entry) = inner.entries.get(&key) {
+            // Lost the build race: keep the entry that is already shared.
+            return Arc::clone(&entry.prepared);
+        }
+        if inner.entries.len() >= inner.capacity {
+            if let Some(victim) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+            {
+                inner.entries.remove(&victim);
+                inner.evictions += 1;
+            }
+        }
+        let tick = inner.tick;
+        inner.entries.insert(
+            key,
+            DocumentEntry {
+                prepared: Arc::clone(&prepared),
+                last_used: tick,
+            },
+        );
+        prepared
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            len: inner.entries.len(),
+            capacity: inner.capacity,
+            per_shard: Vec::new(),
+        }
+    }
+
+    /// Drops every cached prepared document (counters are kept).
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().entries.clear();
     }
 }
 
@@ -173,5 +404,95 @@ mod tests {
         c.insert("//a".into(), plan("//a"));
         assert_eq!(c.stats().evictions, 0);
         assert!(c.get("//b").is_some());
+    }
+
+    #[test]
+    fn small_capacities_use_a_single_shard() {
+        let c = ShardedPlanCache::new(4);
+        assert_eq!(c.shard_count(), 1);
+        let s = c.stats();
+        assert_eq!(s.capacity, 4);
+        assert_eq!(s.per_shard.len(), 1);
+    }
+
+    #[test]
+    fn large_capacities_shard_and_report_per_shard_counts() {
+        let c = ShardedPlanCache::new(128);
+        assert_eq!(c.shard_count(), PLAN_CACHE_SHARDS);
+        let queries: Vec<String> = (0..40).map(|i| format!("//a[child::t{i}]")).collect();
+        for q in &queries {
+            assert!(c.get(q).is_none());
+            c.insert(q.clone(), plan(q));
+        }
+        for q in &queries {
+            assert!(c.get(q).is_some(), "{q}");
+        }
+        let s = c.stats();
+        assert_eq!(s.capacity, 128);
+        assert_eq!(s.misses, 40);
+        assert_eq!(s.hits, 40);
+        assert_eq!(s.len, 40);
+        assert_eq!(s.per_shard.len(), PLAN_CACHE_SHARDS);
+        // The aggregate is exactly the sum of the shards, and the keys
+        // spread over more than one shard.
+        assert_eq!(s.per_shard.iter().map(|p| p.hits).sum::<u64>(), s.hits);
+        assert_eq!(s.per_shard.iter().map(|p| p.misses).sum::<u64>(), s.misses);
+        assert_eq!(s.per_shard.iter().map(|p| p.len).sum::<usize>(), s.len);
+        assert!(s.per_shard.iter().filter(|p| p.len > 0).count() > 1);
+    }
+
+    #[test]
+    fn sharded_cache_supports_concurrent_compiles() {
+        let c = std::sync::Arc::new(ShardedPlanCache::new(64));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let c = std::sync::Arc::clone(&c);
+                scope.spawn(move || {
+                    for i in 0..16 {
+                        let q = format!("//t{t}[child::x{i}]");
+                        if c.get(&q).is_none() {
+                            c.insert(q.clone(), plan(&q));
+                        }
+                        assert!(c.get(&q).is_some());
+                    }
+                });
+            }
+        });
+        let s = c.stats();
+        assert_eq!(s.misses, 64);
+        assert_eq!(s.hits, 64);
+        // Keys hash unevenly, so a full cache may evict within hot shards;
+        // every entry is either stored or was evicted.
+        assert_eq!(s.len as u64 + s.evictions, 64);
+    }
+
+    #[test]
+    fn document_cache_memoizes_preparation_per_document() {
+        use xpeval_dom::parse_xml;
+        let cache = DocumentCache::new(2);
+        let d1 = Arc::new(parse_xml("<a><b/></a>").unwrap());
+        let d2 = Arc::new(parse_xml("<c/>").unwrap());
+        let p1 = cache.get_or_prepare(&d1);
+        let p1_again = cache.get_or_prepare(&d1);
+        assert!(Arc::ptr_eq(&p1, &p1_again));
+        cache.get_or_prepare(&d2);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 2, 2));
+        // A third document evicts the least-recently-used entry.
+        let d3 = Arc::new(parse_xml("<d/>").unwrap());
+        cache.get_or_prepare(&d3);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().len, 2);
+    }
+
+    #[test]
+    fn zero_capacity_document_cache_prepares_fresh() {
+        use xpeval_dom::parse_xml;
+        let cache = DocumentCache::new(0);
+        let d = Arc::new(parse_xml("<a/>").unwrap());
+        let p1 = cache.get_or_prepare(&d);
+        let p2 = cache.get_or_prepare(&d);
+        assert!(!Arc::ptr_eq(&p1, &p2));
+        assert_eq!(cache.stats().len, 0);
     }
 }

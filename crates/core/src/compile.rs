@@ -14,6 +14,13 @@
 //! contexts ([`CompiledQuery::run_many`]) shares the DP evaluator's
 //! context-value tables across the whole batch, which is exactly the
 //! amortization Proposition 2.7's polynomial bound comes from.
+//!
+//! The document side mirrors the split: [`CompiledQuery::run_prepared`]
+//! evaluates against a [`PreparedDocument`] (axis indexes built once per
+//! document), with the strategy re-tuned by document size
+//! ([`recommended_strategy_for_document`]), and
+//! [`CompiledQuery::run_streaming`] yields node-set results through a
+//! [`NodeStream`] instead of materializing them.
 
 use crate::context::Context;
 use crate::corexpath::CoreXPathEvaluator;
@@ -23,9 +30,10 @@ use crate::error::EvalError;
 use crate::naive::NaiveEvaluator;
 use crate::parallel::ParallelEvaluator;
 use crate::stats::EvalStats;
+use crate::stream::NodeStream;
 use crate::success::SingletonSuccess;
 use crate::value::Value;
-use xpeval_dom::Document;
+use xpeval_dom::{AxisSource, Document, NodeId, PreparedDocument};
 use xpeval_syntax::ast::ExprType;
 use xpeval_syntax::normalize::expand_iterated_predicates;
 use xpeval_syntax::{classify, Expr, Fragment, FragmentReport};
@@ -80,6 +88,39 @@ pub fn recommended_strategy(report: &FragmentReport, threads: usize) -> EvalStra
     }
 }
 
+/// Documents smaller than this (in total nodes) are evaluated sequentially
+/// even when the fragment recommendation is the parallel plan: below it the
+/// per-thread spawn/merge overhead exceeds the Theorem 5.5 loop itself.
+/// First refinement of the ROADMAP cost model — query features pick the
+/// algorithm family, document size picks the parallelism degree.
+pub const PARALLEL_MIN_NODES: usize = 512;
+
+/// The size-degrade rule itself: a parallel plan on a document below
+/// [`PARALLEL_MIN_NODES`] nodes becomes sequential Singleton-Success;
+/// everything else is unchanged.  Single source of truth for both
+/// [`recommended_strategy_for_document`] and
+/// [`CompiledQuery::strategy_for`].
+fn degrade_for_size(strategy: EvalStrategy, node_count: usize) -> EvalStrategy {
+    match strategy {
+        EvalStrategy::Parallel { .. } if node_count < PARALLEL_MIN_NODES => {
+            EvalStrategy::SingletonSuccess
+        }
+        strategy => strategy,
+    }
+}
+
+/// Size-aware refinement of [`recommended_strategy`]: identical, except
+/// that the parallel plan degrades to sequential Singleton-Success below
+/// [`PARALLEL_MIN_NODES`] document nodes.  Used automatically whenever a
+/// [`PreparedDocument`] makes the node count available at dispatch time.
+pub fn recommended_strategy_for_document(
+    report: &FragmentReport,
+    threads: usize,
+    node_count: usize,
+) -> EvalStrategy {
+    degrade_for_size(recommended_strategy(report, threads), node_count)
+}
+
 /// The result of one evaluation: the XPath value, the unified work counters
 /// of the strategy that ran, and the fragment the query was classified into.
 #[derive(Clone, Debug, PartialEq)]
@@ -108,6 +149,10 @@ pub struct CompiledQuery {
     expr: Expr,
     report: FragmentReport,
     plan: EvalStrategy,
+    /// True when `plan` came from the automatic recommendation (as opposed
+    /// to an explicit override); only auto plans are re-tuned by document
+    /// size on the prepared paths.
+    auto_plan: bool,
 }
 
 impl CompiledQuery {
@@ -145,6 +190,7 @@ impl CompiledQuery {
             expr
         };
         let report = classify(&expr);
+        let auto_plan = options.strategy.is_none();
         let plan = options
             .strategy
             .unwrap_or_else(|| recommended_strategy(&report, options.threads.max(1)));
@@ -153,6 +199,7 @@ impl CompiledQuery {
             expr,
             report,
             plan,
+            auto_plan,
         }
     }
 
@@ -183,15 +230,52 @@ impl CompiledQuery {
     }
 
     /// The same compiled query with a different strategy; classification is
-    /// not redone.
+    /// not redone.  The explicit choice is final: size-based re-tuning on
+    /// the prepared paths is disabled.
     pub fn with_strategy(mut self, strategy: EvalStrategy) -> Self {
         self.plan = strategy;
+        self.auto_plan = false;
         self
+    }
+
+    /// The strategy that will run against a document of `node_count` nodes:
+    /// the compiled plan, except that an automatically selected parallel
+    /// plan degrades to sequential Singleton-Success below
+    /// [`PARALLEL_MIN_NODES`] (see [`recommended_strategy_for_document`]).
+    pub fn strategy_for(&self, node_count: usize) -> EvalStrategy {
+        if self.auto_plan {
+            degrade_for_size(self.plan, node_count)
+        } else {
+            self.plan
+        }
     }
 
     /// Evaluates against a document from the canonical root context.
     pub fn run(&self, doc: &Document) -> Result<QueryOutput, EvalError> {
         self.run_with_context(doc, Context::root(doc))
+    }
+
+    /// Evaluates against a prepared document from the canonical root
+    /// context: axis enumeration and name tests are answered from the
+    /// prepare-once indexes, and the strategy is re-tuned by document size
+    /// ([`CompiledQuery::strategy_for`]).
+    pub fn run_prepared(&self, doc: &PreparedDocument) -> Result<QueryOutput, EvalError> {
+        self.run_prepared_with_context(doc, Context::root(doc.document()))
+    }
+
+    /// Evaluates against a prepared document from an explicit context.
+    pub fn run_prepared_with_context(
+        &self,
+        doc: &PreparedDocument,
+        ctx: Context,
+    ) -> Result<QueryOutput, EvalError> {
+        let strategy = self.strategy_for(doc.node_count());
+        let (value, stats) = execute(strategy, doc, &self.expr, ctx)?;
+        Ok(QueryOutput {
+            value,
+            stats,
+            fragment: self.report.fragment,
+        })
     }
 
     /// Evaluates against a document from an explicit context triple.
@@ -202,6 +286,102 @@ impl CompiledQuery {
             stats,
             fragment: self.report.fragment,
         })
+    }
+
+    /// Evaluates a node-set query from the root context, yielding matches
+    /// through a [`NodeStream`] instead of materializing a result vector —
+    /// see the [`crate::stream`] module docs for which plans stream lazily.
+    ///
+    /// Returns a [`EvalError::TypeError`] for queries that do not evaluate
+    /// to a node set.
+    pub fn run_streaming<'s>(&'s self, doc: &'s Document) -> Result<NodeStream<'s>, EvalError> {
+        self.stream_on(doc, self.plan)
+    }
+
+    /// [`CompiledQuery::run_streaming`] over a prepared document: the
+    /// stream borrows the precomputed document-order table and the strategy
+    /// is re-tuned by document size.
+    pub fn run_streaming_prepared<'s>(
+        &'s self,
+        doc: &'s PreparedDocument,
+    ) -> Result<NodeStream<'s>, EvalError> {
+        self.stream_on(doc, self.strategy_for(doc.node_count()))
+    }
+
+    fn stream_on<'s, S: AxisSource>(
+        &'s self,
+        src: &'s S,
+        strategy: EvalStrategy,
+    ) -> Result<NodeStream<'s>, EvalError> {
+        let ctx = Context::root(src.document());
+        match strategy {
+            EvalStrategy::CoreXPathLinear => {
+                // Set-at-a-time evaluation ends in a bitset; stream its
+                // members without collecting them.
+                let ev = CoreXPathEvaluator::new(src);
+                let bits = ev.evaluate_bits(&self.expr, &[ctx.node])?;
+                Ok(NodeStream::from_bits(bits, src.document_order()))
+            }
+            EvalStrategy::SingletonSuccess | EvalStrategy::Parallel { .. } => {
+                // Theorem 5.5 as an iterator: one Singleton-Success
+                // decision per candidate, made when the stream reaches it.
+                // (The parallel plan streams through the same sequential
+                // loop — a stream is consumed in order anyway.)
+                if self.expr.expr_type() != ExprType::NodeSet {
+                    return Err(EvalError::type_error(format!(
+                        "streaming requires a node-set query, got {}",
+                        self.source
+                    )));
+                }
+                let checker = SingletonSuccess::new(src, &self.expr)?;
+                let expr = &self.expr;
+                Ok(NodeStream::from_decide(
+                    src.document_order(),
+                    Box::new(move |node: NodeId| checker.selects(expr, ctx, node)),
+                ))
+            }
+            EvalStrategy::ContextValueTable | EvalStrategy::Naive => {
+                // No incremental formulation; materialize, then stream.
+                let (value, _) = execute(strategy, src, &self.expr, ctx)?;
+                Ok(NodeStream::from_vec(value.into_nodes()?))
+            }
+        }
+    }
+
+    /// Visitor form of [`CompiledQuery::run_streaming`]: calls `visit` for
+    /// every match in document order until it returns `false`.  Returns the
+    /// number of matches visited.
+    pub fn run_visit<F>(&self, doc: &Document, visit: F) -> Result<usize, EvalError>
+    where
+        F: FnMut(NodeId) -> bool,
+    {
+        Self::drive(self.run_streaming(doc)?, visit)
+    }
+
+    /// Visitor form of [`CompiledQuery::run_streaming_prepared`].
+    pub fn run_visit_prepared<F>(
+        &self,
+        doc: &PreparedDocument,
+        visit: F,
+    ) -> Result<usize, EvalError>
+    where
+        F: FnMut(NodeId) -> bool,
+    {
+        Self::drive(self.run_streaming_prepared(doc)?, visit)
+    }
+
+    fn drive<F>(stream: NodeStream<'_>, mut visit: F) -> Result<usize, EvalError>
+    where
+        F: FnMut(NodeId) -> bool,
+    {
+        let mut visited = 0;
+        for node in stream {
+            visited += 1;
+            if !visit(node?) {
+                break;
+            }
+        }
+        Ok(visited)
     }
 
     /// Batch evaluation: runs the query once per context, in order.
@@ -215,9 +395,28 @@ impl CompiledQuery {
         doc: &Document,
         contexts: &[Context],
     ) -> Result<Vec<QueryOutput>, EvalError> {
-        match self.plan {
+        self.run_many_on(doc, self.plan, contexts)
+    }
+
+    /// [`CompiledQuery::run_many`] over a prepared document (strategy
+    /// re-tuned by document size).
+    pub fn run_many_prepared(
+        &self,
+        doc: &PreparedDocument,
+        contexts: &[Context],
+    ) -> Result<Vec<QueryOutput>, EvalError> {
+        self.run_many_on(doc, self.strategy_for(doc.node_count()), contexts)
+    }
+
+    fn run_many_on<S: AxisSource>(
+        &self,
+        src: &S,
+        strategy: EvalStrategy,
+        contexts: &[Context],
+    ) -> Result<Vec<QueryOutput>, EvalError> {
+        match strategy {
             EvalStrategy::ContextValueTable => {
-                let mut ev = DpEvaluator::new(doc, &self.expr);
+                let mut ev = DpEvaluator::new(src, &self.expr);
                 let mut out = Vec::with_capacity(contexts.len());
                 for &ctx in contexts {
                     let value = ev.evaluate_with_context(ctx)?;
@@ -231,7 +430,14 @@ impl CompiledQuery {
             }
             _ => contexts
                 .iter()
-                .map(|&ctx| self.run_with_context(doc, ctx))
+                .map(|&ctx| {
+                    let (value, stats) = execute(strategy, src, &self.expr, ctx)?;
+                    Ok(QueryOutput {
+                        value,
+                        stats,
+                        fragment: self.report.fragment,
+                    })
+                })
                 .collect(),
         }
     }
@@ -254,42 +460,42 @@ impl std::fmt::Display for CompiledQuery {
 }
 
 /// Dispatches one evaluation to a strategy.  This is the single funnel every
-/// public evaluation entry point goes through.
-pub(crate) fn execute(
+/// public evaluation entry point goes through; the document arrives through
+/// any [`AxisSource`] (plain or prepared).
+pub(crate) fn execute<S: AxisSource + ?Sized>(
     strategy: EvalStrategy,
-    doc: &Document,
+    src: &S,
     expr: &Expr,
     ctx: Context,
 ) -> Result<(Value, EvalStats), EvalError> {
     match strategy {
         EvalStrategy::ContextValueTable => {
-            let mut ev = DpEvaluator::new(doc, expr);
+            let mut ev = DpEvaluator::new(src, expr);
             let value = ev.evaluate_with_context(ctx)?;
             Ok((value, ev.stats()))
         }
         EvalStrategy::Naive => {
-            let mut ev = NaiveEvaluator::new(doc);
+            let mut ev = NaiveEvaluator::new(src);
             let value = ev.evaluate_with_context(expr, ctx)?;
             Ok((value, ev.stats()))
         }
         EvalStrategy::CoreXPathLinear => {
-            let ev = CoreXPathEvaluator::new(doc);
+            let ev = CoreXPathEvaluator::new(src);
             let nodes = ev.evaluate_from(expr, &[ctx.node])?;
-            Ok((Value::NodeSet(nodes), EvalStats::default()))
+            Ok((Value::NodeSet(nodes), ev.stats()))
         }
         EvalStrategy::Parallel { threads } => {
-            let ev = ParallelEvaluator::new(doc, threads);
-            let value = ev.evaluate_with_context(expr, ctx)?;
-            Ok((value, EvalStats::default()))
+            let ev = ParallelEvaluator::new(src, threads);
+            ev.evaluate_with_stats(expr, ctx)
         }
         EvalStrategy::SingletonSuccess => {
-            let checker = SingletonSuccess::new(doc, expr)?;
+            let checker = SingletonSuccess::new(src, expr)?;
             let value = match expr.expr_type() {
                 ExprType::NodeSet => Value::NodeSet(checker.node_set(ctx)?),
                 ExprType::Boolean => Value::Boolean(checker.eval_boolean(expr, ctx)?),
                 _ => checker.eval_scalar(expr, ctx)?,
             };
-            Ok((value, EvalStats::default()))
+            Ok((value, checker.stats()))
         }
     }
 }
@@ -407,5 +613,143 @@ mod tests {
         let naive = q.with_strategy(EvalStrategy::Naive).run(&doc).unwrap();
         assert!(naive.stats.evaluations > 0);
         assert!(naive.stats.max_intermediate_list > 0);
+    }
+
+    #[test]
+    fn every_strategy_reports_nonzero_work() {
+        // The linear, parallel and Singleton-Success evaluators historically
+        // returned all-zero stats; every strategy now counts its work.
+        let doc = parse_xml(BOOKS).unwrap();
+        let q = CompiledQuery::compile("//book[child::cite]/title").unwrap();
+        for strategy in [
+            EvalStrategy::ContextValueTable,
+            EvalStrategy::Naive,
+            EvalStrategy::CoreXPathLinear,
+            EvalStrategy::Parallel { threads: 2 },
+            EvalStrategy::SingletonSuccess,
+        ] {
+            let out = q.clone().with_strategy(strategy).run(&doc).unwrap();
+            assert!(out.stats.evaluations > 0, "{strategy:?}: {:?}", out.stats);
+            assert!(
+                out.stats.step_context_evaluations > 0,
+                "{strategy:?}: {:?}",
+                out.stats
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_evaluation_agrees_with_unprepared() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let prepared = xpeval_dom::PreparedDocument::new(doc.clone());
+        for (src, strategy) in [
+            ("/lib/book/title", None),
+            ("//book[@year = 2003]", None),
+            ("count(//book)", None),
+            ("//book[not(child::cite)]", Some(EvalStrategy::Naive)),
+            (
+                "//book[position() = last()]",
+                Some(EvalStrategy::SingletonSuccess),
+            ),
+        ] {
+            let mut q = CompiledQuery::compile(src).unwrap();
+            if let Some(s) = strategy {
+                q = q.with_strategy(s);
+            }
+            let plain = q.run(&doc).unwrap().value;
+            let fast = q.run_prepared(&prepared).unwrap().value;
+            assert_eq!(plain, fast, "{src}");
+        }
+    }
+
+    #[test]
+    fn auto_parallel_plans_degrade_sequentially_on_small_documents() {
+        let opts = CompileOptions {
+            threads: 4,
+            ..CompileOptions::default()
+        };
+        let q = CompiledQuery::compile_with("//a[position() = last()]", &opts).unwrap();
+        assert_eq!(q.strategy(), EvalStrategy::Parallel { threads: 4 });
+        // Below the threshold the spawn overhead is not worth it...
+        assert_eq!(q.strategy_for(10), EvalStrategy::SingletonSuccess);
+        assert_eq!(
+            q.strategy_for(PARALLEL_MIN_NODES - 1),
+            EvalStrategy::SingletonSuccess
+        );
+        // ...at and above it the parallel plan stands.
+        assert_eq!(
+            q.strategy_for(PARALLEL_MIN_NODES),
+            EvalStrategy::Parallel { threads: 4 }
+        );
+        // Explicit strategy choices are never re-tuned.
+        let fixed = q.with_strategy(EvalStrategy::Parallel { threads: 4 });
+        assert_eq!(
+            fixed.strategy_for(10),
+            EvalStrategy::Parallel { threads: 4 }
+        );
+        // Non-parallel plans are unaffected.
+        let linear = CompiledQuery::compile("/a/b").unwrap();
+        assert_eq!(linear.strategy_for(10), EvalStrategy::CoreXPathLinear);
+    }
+
+    #[test]
+    fn run_streaming_yields_run_in_document_order() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let prepared = xpeval_dom::PreparedDocument::new(doc.clone());
+        for strategy in [
+            EvalStrategy::ContextValueTable,
+            EvalStrategy::Naive,
+            EvalStrategy::CoreXPathLinear,
+            EvalStrategy::SingletonSuccess,
+            EvalStrategy::Parallel { threads: 2 },
+        ] {
+            let q = CompiledQuery::compile("//book/title | //cite")
+                .unwrap()
+                .with_strategy(strategy);
+            let expected = q.run(&doc).unwrap().value.into_nodes().unwrap();
+            let streamed = q.run_streaming(&doc).unwrap().collect_nodes().unwrap();
+            assert_eq!(streamed, expected, "{strategy:?}");
+            let streamed = q
+                .run_streaming_prepared(&prepared)
+                .unwrap()
+                .collect_nodes()
+                .unwrap();
+            assert_eq!(streamed, expected, "{strategy:?} (prepared)");
+        }
+    }
+
+    #[test]
+    fn streaming_scalar_queries_is_a_type_error() {
+        let doc = parse_xml(BOOKS).unwrap();
+        for strategy in [
+            EvalStrategy::ContextValueTable,
+            EvalStrategy::SingletonSuccess,
+        ] {
+            let q = CompiledQuery::compile("1 + 2")
+                .unwrap()
+                .with_strategy(strategy);
+            assert!(matches!(
+                q.run_streaming(&doc).unwrap_err(),
+                EvalError::TypeError { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn visitor_stops_early() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let prepared = xpeval_dom::PreparedDocument::new(doc.clone());
+        let q = CompiledQuery::compile("//title").unwrap();
+        let mut seen = Vec::new();
+        let visited = q
+            .run_visit(&doc, |n| {
+                seen.push(n);
+                seen.len() < 2
+            })
+            .unwrap();
+        assert_eq!(visited, 2);
+        assert_eq!(seen.len(), 2);
+        let all = q.run_visit_prepared(&prepared, |_| true).unwrap();
+        assert_eq!(all, 2);
     }
 }

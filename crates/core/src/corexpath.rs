@@ -15,7 +15,10 @@
 //! per step.
 
 use crate::error::EvalError;
-use xpeval_dom::{Axis, Document, NodeId, NodeTest};
+use crate::stats::EvalStats;
+use std::borrow::Cow;
+use std::cell::Cell;
+use xpeval_dom::{Axis, AxisSource, Document, NodeId, NodeTest};
 use xpeval_syntax::{classify, Expr, Fragment, LocationPath, Step};
 
 /// A set of document nodes represented as a bitset over arena indices.
@@ -114,19 +117,51 @@ impl NodeBitSet {
 }
 
 /// Set-at-a-time Core XPath evaluator.
-pub struct CoreXPathEvaluator<'d> {
+///
+/// Generic over the document access layer: a plain [`Document`] rebuilds
+/// the document-order table per evaluator and scans for name tests, a
+/// [`xpeval_dom::PreparedDocument`] borrows its precomputed order and
+/// answers name tests from the tag index.
+pub struct CoreXPathEvaluator<'d, S: AxisSource + ?Sized = Document> {
+    src: &'d S,
     doc: &'d Document,
-    /// Document order (pre order) listing of all nodes, computed once.
-    order: Vec<NodeId>,
+    /// Document order (pre order) listing of all nodes; borrowed from the
+    /// prepared index when available.
+    order: Cow<'d, [NodeId]>,
     n: usize,
+    /// Condition/node-set expressions evaluated (set-at-a-time, so one per
+    /// expression node per evaluation).
+    evaluations: Cell<u64>,
+    /// Location-step applications (one axis image per step, forward or
+    /// inverse).
+    steps_applied: Cell<u64>,
 }
 
-impl<'d> CoreXPathEvaluator<'d> {
+impl<'d, S: AxisSource + ?Sized> CoreXPathEvaluator<'d, S> {
     /// Creates an evaluator for the given document.
-    pub fn new(doc: &'d Document) -> Self {
-        let order = doc.document_order();
+    pub fn new(src: &'d S) -> Self {
+        let doc = src.document();
+        let order = src.document_order();
         let n = doc.len();
-        CoreXPathEvaluator { doc, order, n }
+        CoreXPathEvaluator {
+            src,
+            doc,
+            order,
+            n,
+            evaluations: Cell::new(0),
+            steps_applied: Cell::new(0),
+        }
+    }
+
+    /// Work counters accumulated so far: `evaluations` counts set-at-a-time
+    /// expression evaluations, `step_context_evaluations` counts location
+    /// step applications (each handling all contexts at once).
+    pub fn stats(&self) -> EvalStats {
+        EvalStats {
+            evaluations: self.evaluations.get(),
+            step_context_evaluations: self.steps_applied.get(),
+            ..EvalStats::default()
+        }
     }
 
     /// Evaluates a Core XPath query starting from the root context and
@@ -144,15 +179,26 @@ impl<'d> CoreXPathEvaluator<'d> {
         query: &Expr,
         context_nodes: &[NodeId],
     ) -> Result<Vec<NodeId>, EvalError> {
+        let result = self.evaluate_bits(query, context_nodes)?;
+        let mut nodes: Vec<NodeId> = result.iter_nodes().collect();
+        self.doc.sort_document_order(&mut nodes);
+        Ok(nodes)
+    }
+
+    /// Evaluates a Core XPath query from explicit context nodes, returning
+    /// the raw result **bitset** instead of a materialized vector — the
+    /// entry point of the streaming API ([`crate::NodeStream`]).
+    pub fn evaluate_bits(
+        &self,
+        query: &Expr,
+        context_nodes: &[NodeId],
+    ) -> Result<NodeBitSet, EvalError> {
         self.check_fragment(query)?;
         let mut start = NodeBitSet::empty(self.n);
         for &c in context_nodes {
             start.insert(c);
         }
-        let result = self.eval_nodeset(query, &start)?;
-        let mut nodes: Vec<NodeId> = result.iter_nodes().collect();
-        self.doc.sort_document_order(&mut nodes);
-        Ok(nodes)
+        self.eval_nodeset(query, &start)
     }
 
     /// Computes the set of nodes at which a Core XPath condition holds
@@ -178,6 +224,7 @@ impl<'d> CoreXPathEvaluator<'d> {
 
     /// Forward evaluation of a node-set expression from a set of context nodes.
     fn eval_nodeset(&self, expr: &Expr, from: &NodeBitSet) -> Result<NodeBitSet, EvalError> {
+        self.evaluations.set(self.evaluations.get() + 1);
         match expr {
             Expr::Path(path) => self.eval_path(path, from),
             Expr::Union(a, b) => {
@@ -208,6 +255,7 @@ impl<'d> CoreXPathEvaluator<'d> {
     /// One forward step: image under the axis, intersected with the node
     /// test and with the satisfaction set of every predicate.
     fn apply_step_forward(&self, step: &Step, from: &NodeBitSet) -> Result<NodeBitSet, EvalError> {
+        self.steps_applied.set(self.steps_applied.get() + 1);
         let mut image = self.axis_image(step.axis, from);
         image.intersect_with(&self.test_set(&step.node_test, step.axis));
         for pred in &step.predicates {
@@ -219,6 +267,7 @@ impl<'d> CoreXPathEvaluator<'d> {
     /// The satisfaction set of a Core XPath condition: all nodes `v` such
     /// that the condition holds with `v` as the context node.
     fn sat(&self, expr: &Expr) -> Result<NodeBitSet, EvalError> {
+        self.evaluations.set(self.evaluations.get() + 1);
         match expr {
             Expr::And(a, b) => {
                 let mut l = self.sat(a)?;
@@ -257,6 +306,7 @@ impl<'d> CoreXPathEvaluator<'d> {
         // suffix is always satisfied) and walk backwards.
         let mut suffix_ok = NodeBitSet::full(self.n);
         for step in path.steps.iter().rev() {
+            self.steps_applied.set(self.steps_applied.get() + 1);
             // Nodes that match this step's node test and predicates and
             // already satisfy the remaining suffix...
             let mut target = self.test_set(&step.node_test, step.axis);
@@ -285,6 +335,19 @@ impl<'d> CoreXPathEvaluator<'d> {
     /// All nodes matching a node test (taking the axis' principal node type
     /// into account).
     fn test_set(&self, test: &NodeTest, axis: Axis) -> NodeBitSet {
+        // Indexed fast path: a tag-name test on an element-principal axis
+        // is exactly the tag index — no per-node string comparison.
+        if let NodeTest::Name(name) = test {
+            if !axis.principal_is_attribute() {
+                if let Some(elements) = self.src.elements_named(name) {
+                    let mut s = NodeBitSet::empty(self.n);
+                    for &node in elements {
+                        s.insert(node);
+                    }
+                    return s;
+                }
+            }
+        }
         let mut s = NodeBitSet::empty(self.n);
         for node in self.doc.all_nodes() {
             if self.doc.matches_on_axis(node, test, axis) {
@@ -326,7 +389,7 @@ impl<'d> CoreXPathEvaluator<'d> {
             Axis::Descendant | Axis::DescendantOrSelf => {
                 // Preorder sweep: a node is in the image iff its parent is in
                 // S or already in the image.
-                for &node in &self.order {
+                for &node in self.order.iter() {
                     if let Some(p) = doc.parent(node) {
                         if s.contains(p) || out.contains(p) {
                             out.insert(node);
@@ -353,7 +416,7 @@ impl<'d> CoreXPathEvaluator<'d> {
             }
             Axis::FollowingSibling => {
                 // Document-order sweep along sibling chains.
-                for &node in &self.order {
+                for &node in self.order.iter() {
                     if let Some(prev) = doc.prev_sibling(node) {
                         if s.contains(prev) || out.contains(prev) {
                             out.insert(node);
@@ -383,7 +446,7 @@ impl<'d> CoreXPathEvaluator<'d> {
                     }
                 }
                 if min_start != u32::MAX {
-                    for &node in &self.order {
+                    for &node in self.order.iter() {
                         if doc.pre(node) >= min_start && !doc.kind(node).is_attribute() {
                             out.insert(node);
                         }
@@ -401,7 +464,7 @@ impl<'d> CoreXPathEvaluator<'d> {
                     max_pre = Some(max_pre.map_or(doc.pre(u), |m: u32| m.max(doc.pre(u))));
                 }
                 if let Some(max_pre) = max_pre {
-                    for &node in &self.order {
+                    for &node in self.order.iter() {
                         if doc.kind(node).is_attribute() {
                             continue;
                         }

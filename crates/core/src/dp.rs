@@ -31,7 +31,7 @@ use crate::stats::EvalStats;
 use crate::steps::apply_step;
 use crate::value::Value;
 use std::collections::HashMap;
-use xpeval_dom::{Document, NodeId};
+use xpeval_dom::{AxisSource, Document, NodeId};
 use xpeval_syntax::{Expr, LocationPath};
 
 /// Legacy name for the unified work counters.
@@ -40,8 +40,11 @@ pub type DpStats = EvalStats;
 /// Dynamic-programming evaluator over context-value tables.
 ///
 /// The evaluator is constructed per `(document, query)` pair; the memo
-/// tables are keyed by sub-expression identity within that query.
-pub struct DpEvaluator<'d, 'q> {
+/// tables are keyed by sub-expression identity within that query.  The
+/// document is consumed through any [`AxisSource`] — a plain
+/// [`Document`] or a [`xpeval_dom::PreparedDocument`] with axis indexes.
+pub struct DpEvaluator<'d, 'q, S: AxisSource + ?Sized = Document> {
+    src: &'d S,
     doc: &'d Document,
     query: &'q Expr,
     memo: HashMap<(usize, ContextKey), Value>,
@@ -49,11 +52,12 @@ pub struct DpEvaluator<'d, 'q> {
     stats: EvalStats,
 }
 
-impl<'d, 'q> DpEvaluator<'d, 'q> {
-    /// Creates an evaluator for `query` over `doc`.
-    pub fn new(doc: &'d Document, query: &'q Expr) -> Self {
+impl<'d, 'q, S: AxisSource + ?Sized> DpEvaluator<'d, 'q, S> {
+    /// Creates an evaluator for `query` over `src`.
+    pub fn new(src: &'d S, query: &'q Expr) -> Self {
         DpEvaluator {
-            doc,
+            src,
+            doc: src.document(),
             query,
             memo: HashMap::new(),
             sensitivity: HashMap::new(),
@@ -176,14 +180,14 @@ impl<'d, 'q> DpEvaluator<'d, 'q> {
             let mut next: Vec<NodeId> = Vec::new();
             for &node in &current {
                 self.stats.step_context_evaluations += 1;
-                let doc = self.doc;
+                let src = self.src;
                 // The predicate evaluation recurses into the memoized
                 // evaluator — this is what makes the whole thing a dynamic
                 // program rather than naive re-evaluation.
                 let mut selected = {
                     let mut eval_pred =
                         |e: &Expr, c: Context| -> Result<Value, EvalError> { self.eval(e, c) };
-                    apply_step(doc, node, step, &mut eval_pred)?
+                    apply_step(src, node, step, &mut eval_pred)?
                 };
                 next.append(&mut selected);
             }

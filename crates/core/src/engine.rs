@@ -13,15 +13,16 @@
 //! the parse.  All five evaluation strategies are reachable through the
 //! compiled form; the engine adds only configuration and caching on top.
 
-use crate::cache::{CacheStats, PlanCache};
+use crate::cache::{CacheStats, DocumentCache, ShardedPlanCache};
 use crate::compile::{
-    default_threads, recommended_strategy, CompileOptions, CompiledQuery, QueryOutput,
+    default_threads, recommended_strategy, recommended_strategy_for_document, CompileOptions,
+    CompiledQuery, QueryOutput,
 };
 use crate::context::Context;
 use crate::error::EvalError;
 use crate::value::Value;
-use std::sync::{Arc, Mutex};
-use xpeval_dom::Document;
+use std::sync::Arc;
+use xpeval_dom::{Document, PreparedDocument};
 use xpeval_syntax::{classify, Expr, FragmentReport};
 
 /// The evaluation strategies implemented by this crate.
@@ -59,16 +60,18 @@ pub struct EngineBuilder {
     strategy: Option<EvalStrategy>,
     threads: usize,
     cache_capacity: usize,
+    document_cache_capacity: usize,
 }
 
 impl EngineBuilder {
     /// Default configuration: automatic per-query strategy selection, all
-    /// available threads, a 128-plan cache.
+    /// available threads, a 128-plan cache, an 8-document index cache.
     pub fn new() -> Self {
         EngineBuilder {
             strategy: None,
             threads: default_threads(),
             cache_capacity: 128,
+            document_cache_capacity: 8,
         }
     }
 
@@ -92,9 +95,23 @@ impl EngineBuilder {
         self
     }
 
-    /// Plan-cache capacity in entries; 0 disables the cache.
+    /// Plan-cache capacity in entries; 0 disables the cache.  Capacities of
+    /// 16 and above are sharded by key hash
+    /// ([`crate::cache::PLAN_CACHE_SHARDS`] ways) so concurrent compiles do
+    /// not serialize on one mutex.  Eviction is then per shard: the
+    /// capacity bound holds globally, but a shard receiving an uneven share
+    /// of hot keys can evict while other shards have room — size the cache
+    /// with headroom (or below 16 for exact global LRU) if the working set
+    /// sits exactly at capacity.
     pub fn plan_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// Document-index cache capacity in prepared documents; 0 disables the
+    /// cache (every [`Engine::prepare`] call rebuilds the indexes).
+    pub fn document_cache_capacity(mut self, capacity: usize) -> Self {
+        self.document_cache_capacity = capacity;
         self
     }
 
@@ -103,7 +120,8 @@ impl EngineBuilder {
         Engine {
             strategy: self.strategy,
             threads: self.threads,
-            cache: Mutex::new(PlanCache::new(self.cache_capacity)),
+            cache: ShardedPlanCache::new(self.cache_capacity),
+            documents: DocumentCache::new(self.document_cache_capacity),
         }
     }
 }
@@ -121,7 +139,8 @@ pub struct Engine {
     /// `None` = pick the recommended strategy per query.
     strategy: Option<EvalStrategy>,
     threads: usize,
-    cache: Mutex<PlanCache>,
+    cache: ShardedPlanCache,
+    documents: DocumentCache,
 }
 
 impl Default for Engine {
@@ -174,17 +193,14 @@ impl Engine {
     /// the plan cache: a repeated source string is answered without
     /// re-parsing or re-classifying.
     pub fn compile(&self, source: &str) -> Result<Arc<CompiledQuery>, EvalError> {
-        if let Some(hit) = self.cache.lock().unwrap().get(source) {
+        if let Some(hit) = self.cache.get(source) {
             return Ok(hit);
         }
         let plan = Arc::new(CompiledQuery::compile_with(
             source,
             &self.compile_options(true),
         )?);
-        self.cache
-            .lock()
-            .unwrap()
-            .insert(source.to_string(), Arc::clone(&plan));
+        self.cache.insert(source.to_string(), Arc::clone(&plan));
         Ok(plan)
     }
 
@@ -264,14 +280,93 @@ impl Engine {
         queries.iter().map(|q| q.run(doc)).collect()
     }
 
-    /// Counters of the plan cache.
+    /// Prepares a document's axis indexes through the engine's document
+    /// cache: repeated calls on the same `Arc<Document>` return the cached
+    /// [`PreparedDocument`] — the document-side analogue of
+    /// [`Engine::compile`].
+    pub fn prepare(&self, doc: &Arc<Document>) -> Arc<PreparedDocument> {
+        self.documents.get_or_prepare(doc)
+    }
+
+    /// Evaluates a query against a prepared document from the canonical
+    /// root context.  With automatic strategy selection the document's node
+    /// count participates in the choice
+    /// ([`recommended_strategy_for_document`]).
+    pub fn evaluate_prepared(
+        &self,
+        doc: &PreparedDocument,
+        query: &Expr,
+    ) -> Result<Value, EvalError> {
+        let strategy = match self.strategy {
+            Some(s) => s,
+            None => {
+                recommended_strategy_for_document(&classify(query), self.threads, doc.node_count())
+            }
+        };
+        let ctx = Context::root(doc.document());
+        crate::compile::execute(strategy, doc, query, ctx).map(|(value, _)| value)
+    }
+
+    /// Parses (through the plan cache) and evaluates a query string against
+    /// a prepared document, returning just the value.
+    pub fn evaluate_str_prepared(
+        &self,
+        doc: &PreparedDocument,
+        query: &str,
+    ) -> Result<Value, EvalError> {
+        Ok(self.compile(query)?.run_prepared(doc)?.value)
+    }
+
+    /// Parses (through the plan cache) and evaluates a query string against
+    /// a prepared document, returning the full [`QueryOutput`].
+    pub fn query_str_prepared(
+        &self,
+        doc: &PreparedDocument,
+        query: &str,
+    ) -> Result<QueryOutput, EvalError> {
+        self.compile(query)?.run_prepared(doc)
+    }
+
+    /// Batch entry point over a prepared document: evaluates one compiled
+    /// query over many contexts (see [`CompiledQuery::run_many_prepared`]).
+    pub fn evaluate_many_prepared(
+        &self,
+        doc: &PreparedDocument,
+        query: &CompiledQuery,
+        contexts: &[Context],
+    ) -> Result<Vec<QueryOutput>, EvalError> {
+        query.run_many_prepared(doc, contexts)
+    }
+
+    /// Batch entry point over a prepared document: evaluates many compiled
+    /// queries against it from the root context, sharing the prepared
+    /// indexes across the whole batch.
+    pub fn evaluate_batch_prepared(
+        &self,
+        doc: &PreparedDocument,
+        queries: &[&CompiledQuery],
+    ) -> Vec<Result<QueryOutput, EvalError>> {
+        queries.iter().map(|q| q.run_prepared(doc)).collect()
+    }
+
+    /// Counters of the plan cache, aggregate and per shard.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().unwrap().stats()
+        self.cache.stats()
+    }
+
+    /// Counters of the document-index cache.
+    pub fn document_cache_stats(&self) -> CacheStats {
+        self.documents.stats()
     }
 
     /// Drops every cached plan (counters are kept).
     pub fn clear_plan_cache(&self) {
-        self.cache.lock().unwrap().clear();
+        self.cache.clear();
+    }
+
+    /// Drops every cached prepared document (counters are kept).
+    pub fn clear_document_cache(&self) {
+        self.documents.clear();
     }
 }
 
@@ -419,6 +514,75 @@ mod tests {
             engine.compile("count(//a) > 1").unwrap().strategy(),
             EvalStrategy::ContextValueTable
         );
+    }
+
+    #[test]
+    fn prepare_is_memoized_per_document() {
+        let doc = Arc::new(parse_xml(BOOKS).unwrap());
+        let engine = Engine::builder().build();
+        let p1 = engine.prepare(&doc);
+        let p2 = engine.prepare(&doc);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        let stats = engine.document_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+        // A different document is a fresh miss.
+        let other = Arc::new(parse_xml("<x/>").unwrap());
+        engine.prepare(&other);
+        assert_eq!(engine.document_cache_stats().misses, 2);
+        engine.clear_document_cache();
+        assert_eq!(engine.document_cache_stats().len, 0);
+    }
+
+    #[test]
+    fn prepared_entry_points_agree_with_plain_ones() {
+        let doc = Arc::new(parse_xml(BOOKS).unwrap());
+        let engine = Engine::builder().threads(2).build();
+        let prepared = engine.prepare(&doc);
+        for q in [
+            "/lib/book/title",
+            "//book[@year = 2003]/title",
+            "count(//book)",
+            "//book[position() = last()]",
+        ] {
+            let plain = engine.evaluate_str(&doc, q).unwrap();
+            assert_eq!(engine.evaluate_str_prepared(&prepared, q).unwrap(), plain);
+            let expr = parse_query(q).unwrap();
+            assert_eq!(engine.evaluate_prepared(&prepared, &expr).unwrap(), plain);
+            let out = engine.query_str_prepared(&prepared, q).unwrap();
+            assert_eq!(out.value, plain);
+        }
+
+        let plans: Vec<_> = ["//book", "count(//title)"]
+            .iter()
+            .map(|q| engine.compile(q).unwrap())
+            .collect();
+        let refs: Vec<&CompiledQuery> = plans.iter().map(|p| p.as_ref()).collect();
+        let batch = engine.evaluate_batch_prepared(&prepared, &refs);
+        assert_eq!(batch[0].as_ref().unwrap().value.expect_nodes().len(), 2);
+        assert_eq!(batch[1].as_ref().unwrap().value, Value::Number(2.0));
+
+        let contexts: Vec<Context> = doc.all_elements().map(|n| Context::new(n, 1, 1)).collect();
+        let q = engine.compile("count(child::*)").unwrap();
+        let plain = engine.evaluate_many(&doc, &q, &contexts).unwrap();
+        let fast = engine
+            .evaluate_many_prepared(&prepared, &q, &contexts)
+            .unwrap();
+        for (a, b) in plain.iter().zip(&fast) {
+            assert_eq!(a.value, b.value);
+        }
+    }
+
+    #[test]
+    fn default_plan_cache_is_sharded_with_observable_shards() {
+        let engine = Engine::builder().build(); // capacity 128 → 8 shards
+        for i in 0..20 {
+            engine.compile(&format!("//a[child::t{i}]")).unwrap();
+        }
+        let s = engine.cache_stats();
+        assert_eq!(s.capacity, 128);
+        assert_eq!(s.per_shard.len(), crate::cache::PLAN_CACHE_SHARDS);
+        assert_eq!(s.per_shard.iter().map(|p| p.len).sum::<usize>(), 20);
+        assert!(s.per_shard.iter().filter(|p| p.len > 0).count() > 1);
     }
 
     #[test]

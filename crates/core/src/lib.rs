@@ -26,10 +26,23 @@
 //!   plan; it is document-independent and evaluated via
 //!   [`CompiledQuery::run`] / [`CompiledQuery::run_many`], returning a
 //!   [`QueryOutput`] with the unified [`EvalStats`].
-//! * [`cache`] — a bounded LRU [`PlanCache`] keyed by query string, with
-//!   observable [`CacheStats`].
+//! * [`cache`] — a bounded LRU [`PlanCache`] keyed by query string, sharded
+//!   under concurrency ([`ShardedPlanCache`]), plus the [`DocumentCache`]
+//!   memoizing per-document index preparation; all with observable
+//!   [`CacheStats`].
 //! * [`engine`] — [`Engine`], built by [`EngineBuilder`], drives the plan
-//!   cache and offers one-shot and batch evaluation over compiled queries.
+//!   and document caches and offers one-shot, batch and `*_prepared`
+//!   evaluation over compiled queries.
+//!
+//! ## The prepare-once document side
+//!
+//! [`xpeval_dom::PreparedDocument`] is the document-side mirror of
+//! [`CompiledQuery`]: built once per document, it carries tag-name indexes,
+//! preorder subtree intervals and position tables.  Every evaluator
+//! consumes documents through the [`xpeval_dom::AxisSource`] trait, so both
+//! plain and prepared documents work everywhere; [`stream`] adds
+//! [`NodeStream`], the lazy node-set result iterator behind
+//! [`CompiledQuery::run_streaming`].
 
 pub mod cache;
 pub mod compile;
@@ -43,11 +56,15 @@ pub mod naive;
 pub mod parallel;
 pub mod stats;
 pub mod steps;
+pub mod stream;
 pub mod success;
 pub mod value;
 
-pub use cache::{CacheStats, PlanCache};
-pub use compile::{recommended_strategy, CompileOptions, CompiledQuery, QueryOutput};
+pub use cache::{CacheStats, DocumentCache, PlanCache, ShardStats, ShardedPlanCache};
+pub use compile::{
+    recommended_strategy, recommended_strategy_for_document, CompileOptions, CompiledQuery,
+    QueryOutput, PARALLEL_MIN_NODES,
+};
 pub use context::{Context, ContextKey};
 pub use corexpath::{CoreXPathEvaluator, NodeBitSet};
 pub use dp::{DpEvaluator, DpStats};
@@ -56,5 +73,6 @@ pub use error::EvalError;
 pub use naive::{NaiveEvaluator, NaiveStats};
 pub use parallel::ParallelEvaluator;
 pub use stats::EvalStats;
+pub use stream::{NodeStream, StreamMode};
 pub use success::{SingletonSuccess, SuccessTarget};
 pub use value::Value;

@@ -23,7 +23,7 @@ use crate::functions::call_function;
 use crate::stats::EvalStats;
 use crate::steps::apply_step;
 use crate::value::Value;
-use xpeval_dom::{Document, NodeId};
+use xpeval_dom::{AxisSource, Document, NodeId};
 use xpeval_syntax::{Expr, LocationPath};
 
 /// Legacy name for the unified work counters.
@@ -32,7 +32,8 @@ pub type NaiveStats = EvalStats;
 /// Direct implementation of the XPath 1.0 functional semantics with
 /// per-occurrence re-evaluation (the strategy of the engines the paper's
 /// introduction criticizes).
-pub struct NaiveEvaluator<'d> {
+pub struct NaiveEvaluator<'d, S: AxisSource + ?Sized = Document> {
+    src: &'d S,
     doc: &'d Document,
     stats: EvalStats,
     /// Safety valve for tests and benchmarks: evaluation aborts with an
@@ -40,11 +41,12 @@ pub struct NaiveEvaluator<'d> {
     pub list_limit: usize,
 }
 
-impl<'d> NaiveEvaluator<'d> {
+impl<'d, S: AxisSource + ?Sized> NaiveEvaluator<'d, S> {
     /// Creates a naive evaluator for the given document.
-    pub fn new(doc: &'d Document) -> Self {
+    pub fn new(src: &'d S) -> Self {
         NaiveEvaluator {
-            doc,
+            src,
+            doc: src.document(),
             stats: EvalStats::default(),
             list_limit: usize::MAX,
         }
@@ -53,9 +55,10 @@ impl<'d> NaiveEvaluator<'d> {
     /// Creates a naive evaluator that aborts once an intermediate node list
     /// grows beyond `limit` entries (used by the benchmark harness so that
     /// the exponential runs finish in bounded time).
-    pub fn with_list_limit(doc: &'d Document, limit: usize) -> Self {
+    pub fn with_list_limit(src: &'d S, limit: usize) -> Self {
         NaiveEvaluator {
-            doc,
+            src,
+            doc: src.document(),
             stats: EvalStats::default(),
             list_limit: limit,
         }
@@ -150,11 +153,11 @@ impl<'d> NaiveEvaluator<'d> {
             let mut next: Vec<NodeId> = Vec::new();
             for &node in &current {
                 self.stats.step_context_evaluations += 1;
-                let doc = self.doc;
+                let src = self.src;
                 let mut selected = {
                     let mut eval_pred =
                         |e: &Expr, c: Context| -> Result<Value, EvalError> { self.eval(e, c) };
-                    apply_step(doc, node, step, &mut eval_pred)?
+                    apply_step(src, node, step, &mut eval_pred)?
                 };
                 next.append(&mut selected);
             }

@@ -22,24 +22,30 @@
 
 use crate::context::Context;
 use crate::error::EvalError;
+use crate::stats::EvalStats;
 use crate::success::SingletonSuccess;
 use crate::value::Value;
-use xpeval_dom::{Document, NodeId};
+use xpeval_dom::{AxisSource, Document, NodeId};
 use xpeval_syntax::ast::ExprType;
 use xpeval_syntax::Expr;
 
 /// Data-parallel evaluator for pWF/pXPath queries.
-pub struct ParallelEvaluator<'d> {
+///
+/// Generic over the document access layer ([`AxisSource`], whose `Sync`
+/// supertrait is what lets one source be shared across the worker threads).
+pub struct ParallelEvaluator<'d, S: AxisSource + ?Sized = Document> {
+    src: &'d S,
     doc: &'d Document,
     threads: usize,
 }
 
-impl<'d> ParallelEvaluator<'d> {
+impl<'d, S: AxisSource + ?Sized> ParallelEvaluator<'d, S> {
     /// Creates an evaluator that uses `threads` worker threads
     /// (values of 0 and 1 both mean sequential evaluation).
-    pub fn new(doc: &'d Document, threads: usize) -> Self {
+    pub fn new(src: &'d S, threads: usize) -> Self {
         ParallelEvaluator {
-            doc,
+            src,
+            doc: src.document(),
             threads: threads.max(1),
         }
     }
@@ -56,58 +62,87 @@ impl<'d> ParallelEvaluator<'d> {
 
     /// Evaluates the query from an explicit context.
     pub fn evaluate_with_context(&self, query: &Expr, ctx: Context) -> Result<Value, EvalError> {
+        self.evaluate_with_stats(query, ctx).map(|(value, _)| value)
+    }
+
+    /// Evaluates the query from an explicit context, returning the work
+    /// counters summed over all worker checkers next to the value.
+    pub fn evaluate_with_stats(
+        &self,
+        query: &Expr,
+        ctx: Context,
+    ) -> Result<(Value, EvalStats), EvalError> {
         // Validate the fragment up front (same restrictions as the
         // Singleton-Success checker, i.e. Definition 6.1 plus bounded
         // negation).
-        let checker = SingletonSuccess::new(self.doc, query)?;
+        let checker = SingletonSuccess::new(self.src, query)?;
         match query.expr_type() {
             ExprType::NodeSet => {
                 drop(checker);
-                let nodes = self.parallel_node_set(query, ctx)?;
-                Ok(Value::NodeSet(nodes))
+                let (nodes, stats) = self.parallel_node_set(query, ctx)?;
+                Ok((Value::NodeSet(nodes), stats))
             }
-            ExprType::Boolean => Ok(Value::Boolean(checker.eval_boolean(query, ctx)?)),
-            ExprType::Number | ExprType::Str => checker.eval_scalar(query, ctx),
+            ExprType::Boolean => {
+                let value = Value::Boolean(checker.eval_boolean(query, ctx)?);
+                Ok((value, checker.stats()))
+            }
+            ExprType::Number | ExprType::Str => {
+                let value = checker.eval_scalar(query, ctx)?;
+                Ok((value, checker.stats()))
+            }
         }
     }
 
     /// The Theorem 5.5 loop ("decide Singleton-Success for every v ∈ dom"),
     /// distributed over worker threads with std's scoped threads.
-    fn parallel_node_set(&self, query: &Expr, ctx: Context) -> Result<Vec<NodeId>, EvalError> {
+    fn parallel_node_set(
+        &self,
+        query: &Expr,
+        ctx: Context,
+    ) -> Result<(Vec<NodeId>, EvalStats), EvalError> {
         let candidates: Vec<NodeId> = self.doc.all_nodes().collect();
         if self.threads <= 1 || candidates.len() < 2 {
-            let checker = SingletonSuccess::new(self.doc, query)?;
-            return checker.node_set(ctx);
+            let checker = SingletonSuccess::new(self.src, query)?;
+            let nodes = checker.node_set(ctx)?;
+            return Ok((nodes, checker.stats()));
         }
 
         let chunk_size = candidates.len().div_ceil(self.threads);
-        let doc = self.doc;
-        let results: Result<Vec<Vec<NodeId>>, EvalError> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk in candidates.chunks(chunk_size) {
-                handles.push(scope.spawn(move || -> Result<Vec<NodeId>, EvalError> {
-                    // Each worker owns an independent checker (and therefore
-                    // its own memo tables), mirroring the independent
-                    // NAuxPDA runs of the membership proof.
-                    let checker = SingletonSuccess::new(doc, query)?;
-                    let mut selected = Vec::new();
-                    for &v in chunk {
-                        if checker.decide(ctx, &crate::success::SuccessTarget::Node(v))? {
-                            selected.push(v);
-                        }
-                    }
-                    Ok(selected)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect()
-        });
+        let src = self.src;
+        let results: Result<Vec<(Vec<NodeId>, EvalStats)>, EvalError> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for chunk in candidates.chunks(chunk_size) {
+                    handles.push(scope.spawn(
+                        move || -> Result<(Vec<NodeId>, EvalStats), EvalError> {
+                            // Each worker owns an independent checker (and
+                            // therefore its own memo tables), mirroring the
+                            // independent NAuxPDA runs of the membership proof.
+                            let checker = SingletonSuccess::new(src, query)?;
+                            let mut selected = Vec::new();
+                            for &v in chunk {
+                                if checker.decide(ctx, &crate::success::SuccessTarget::Node(v))? {
+                                    selected.push(v);
+                                }
+                            }
+                            Ok((selected, checker.stats()))
+                        },
+                    ));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread panicked"))
+                    .collect()
+            });
 
-        let mut out: Vec<NodeId> = results?.into_iter().flatten().collect();
+        let mut out: Vec<NodeId> = Vec::new();
+        let mut stats = EvalStats::default();
+        for (selected, worker_stats) in results? {
+            out.extend(selected);
+            stats += worker_stats;
+        }
         self.doc.sort_document_order(&mut out);
-        Ok(out)
+        Ok((out, stats))
     }
 }
 

@@ -7,11 +7,15 @@
 //! proximity positions are assigned (reverse axes count backwards), and each
 //! predicate filters the candidate list in turn, re-deriving positions after
 //! every filter exactly as the recommendation prescribes.
+//!
+//! Candidates come from an [`AxisSource`], so a [`xpeval_dom::Document`]
+//! walks the tree while a [`xpeval_dom::PreparedDocument`] answers
+//! descendant name tests from its indexes.
 
 use crate::context::Context;
 use crate::error::EvalError;
 use crate::value::Value;
-use xpeval_dom::{Document, NodeId};
+use xpeval_dom::{AxisSource, NodeId};
 use xpeval_syntax::{Expr, Step};
 
 /// Applies one location step from a single context node.
@@ -19,27 +23,26 @@ use xpeval_syntax::{Expr, Step};
 /// `eval_pred` is the callback used to evaluate predicate expressions; the
 /// naive evaluator passes plain recursion, the DP evaluator passes its
 /// memoizing recursion.  Returns the selected nodes in document order.
-pub fn apply_step<F>(
-    doc: &Document,
+pub fn apply_step<S, F>(
+    src: &S,
     from: NodeId,
     step: &Step,
     eval_pred: &mut F,
 ) -> Result<Vec<NodeId>, EvalError>
 where
+    S: AxisSource + ?Sized,
     F: FnMut(&Expr, Context) -> Result<Value, EvalError>,
 {
     // Candidates in document order.
-    let mut candidates: Vec<NodeId> = doc.axis_step(from, step.axis, &step.node_test);
+    let mut candidates: Vec<NodeId> = src.axis_step(from, step.axis, &step.node_test);
     for pred in &step.predicates {
-        candidates =
-            filter_by_predicate(doc, &candidates, step.axis.is_reverse(), pred, eval_pred)?;
+        candidates = filter_by_predicate(&candidates, step.axis.is_reverse(), pred, eval_pred)?;
     }
     Ok(candidates)
 }
 
 /// Filters a candidate list by one predicate, assigning proximity positions.
 pub fn filter_by_predicate<F>(
-    _doc: &Document,
     candidates: &[NodeId],
     reverse_axis: bool,
     pred: &Expr,
@@ -76,7 +79,7 @@ pub fn predicate_holds(value: &Value, position: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xpeval_dom::{parse_xml, Axis, NodeTest};
+    use xpeval_dom::{parse_xml, Axis, Document, NodeTest};
     use xpeval_syntax::parse_query;
 
     fn doc() -> Document {

@@ -24,11 +24,12 @@
 use crate::context::Context;
 use crate::error::EvalError;
 use crate::functions::{call_function, is_supported};
+use crate::stats::EvalStats;
 use crate::steps::predicate_holds;
 use crate::value::Value;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use xpeval_dom::{Document, NodeId};
+use xpeval_dom::{AxisSource, Document, NodeId};
 use xpeval_syntax::ast::ExprType;
 use xpeval_syntax::{Expr, Fragment, LocationPath};
 
@@ -62,31 +63,59 @@ const FORBIDDEN_FUNCTIONS: &[&str] = &[
 ];
 
 /// Deterministic simulation of the Lemma 5.4 NAuxPDA.
-pub struct SingletonSuccess<'d, 'q> {
+///
+/// Generic over the document access layer ([`AxisSource`]); with a
+/// [`xpeval_dom::PreparedDocument`] the per-step candidate enumeration uses
+/// the prepared indexes.
+pub struct SingletonSuccess<'d, 'q, S: AxisSource + ?Sized = Document> {
+    src: &'d S,
     doc: &'d Document,
     query: &'q Expr,
     /// Memo for `can_reach`: (path identity, step index, from node, target node).
     reach_memo: RefCell<HashMap<(usize, usize, NodeId, NodeId), bool>>,
     /// Memo for boolean condition checks: (expr identity, node, position, size).
     bool_memo: RefCell<HashMap<(usize, NodeId, usize, usize), bool>>,
+    /// Decisions actually computed (memo misses).
+    decisions: Cell<u64>,
+    /// Memo hits across both tables.
+    memo_hits: Cell<u64>,
+    /// `(step, context node)` candidate enumerations inside `can_reach`.
+    steps_applied: Cell<u64>,
 }
 
-impl<'d, 'q> SingletonSuccess<'d, 'q> {
-    /// Creates a checker for `query` over `doc`.
+impl<'d, 'q, S: AxisSource + ?Sized> SingletonSuccess<'d, 'q, S> {
+    /// Creates a checker for `query` over `src`.
     ///
     /// The query must lie in the fragment the NAuxPDA of Lemma 5.4 /
     /// Theorem 6.2 handles: single predicates (no iterated predicate
     /// sequences), no forbidden functions, no relational comparison with a
     /// boolean operand.  Negation is allowed (Theorems 5.9/6.3: bounded
     /// negation stays in LOGCFL).
-    pub fn new(doc: &'d Document, query: &'q Expr) -> Result<Self, EvalError> {
+    pub fn new(src: &'d S, query: &'q Expr) -> Result<Self, EvalError> {
         validate(query)?;
         Ok(SingletonSuccess {
-            doc,
+            src,
+            doc: src.document(),
             query,
             reach_memo: RefCell::new(HashMap::new()),
             bool_memo: RefCell::new(HashMap::new()),
+            decisions: Cell::new(0),
+            memo_hits: Cell::new(0),
+            steps_applied: Cell::new(0),
         })
+    }
+
+    /// Work counters accumulated so far: `evaluations` counts decisions
+    /// actually computed, `cache_hits` memo-table hits and
+    /// `step_context_evaluations` the `(step, context node)` candidate
+    /// enumerations of the Table 1 traversal.
+    pub fn stats(&self) -> EvalStats {
+        EvalStats {
+            evaluations: self.decisions.get(),
+            cache_hits: self.memo_hits.get(),
+            step_context_evaluations: self.steps_applied.get(),
+            ..EvalStats::default()
+        }
     }
 
     /// Decides the Singleton-Success instance `(D, Q, ctx, target)`.
@@ -162,14 +191,17 @@ impl<'d, 'q> SingletonSuccess<'d, 'q> {
         }
         let key = (path as *const LocationPath as usize, step_ix, from, target);
         if let Some(&b) = self.reach_memo.borrow().get(&key) {
+            self.memo_hits.set(self.memo_hits.get() + 1);
             return Ok(b);
         }
+        self.decisions.set(self.decisions.get() + 1);
+        self.steps_applied.set(self.steps_applied.get() + 1);
         let step = &path.steps[step_ix];
         // Row "χ::t[e]": Y is the set of nodes reachable from `from` via
         // χ::t; the predicate is checked with the position of the candidate
         // in Y and |Y| as the context — note that Y is only *iterated*, never
         // stored, mirroring the log-space argument of the paper.
-        let candidates = self.doc.axis_step(from, step.axis, &step.node_test);
+        let candidates = self.src.axis_step(from, step.axis, &step.node_test);
         let size = candidates.len();
         let mut result = false;
         for (idx, &cand) in candidates.iter().enumerate() {
@@ -242,8 +274,10 @@ impl<'d, 'q> SingletonSuccess<'d, 'q> {
             ctx.size,
         );
         if let Some(&b) = self.bool_memo.borrow().get(&key) {
+            self.memo_hits.set(self.memo_hits.get() + 1);
             return Ok(b);
         }
+        self.decisions.set(self.decisions.get() + 1);
         let out = match expr {
             Expr::And(a, b) => self.eval_boolean(a, ctx)? && self.eval_boolean(b, ctx)?,
             Expr::Or(a, b) => self.eval_boolean(a, ctx)? || self.eval_boolean(b, ctx)?,

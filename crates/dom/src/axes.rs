@@ -214,8 +214,13 @@ impl Document {
     /// True if `anc` is an ancestor of `desc` (strict).
     pub fn is_ancestor_of(&self, anc: NodeId, desc: NodeId) -> bool {
         // Constant-time via pre/post numbering: anc contains desc iff
-        // pre(anc) < pre(desc) and post(desc) < post(anc).
-        anc != desc && self.pre(anc) < self.pre(desc) && self.post(desc) < self.post(anc)
+        // pre(anc) < pre(desc) and post(desc) < post(anc).  Attribute nodes
+        // are leaves, but their pre/post numbers bracket their owner's
+        // children, so they need an explicit guard.
+        anc != desc
+            && !self.kind(anc).is_attribute()
+            && self.pre(anc) < self.pre(desc)
+            && self.post(desc) < self.post(anc)
     }
 
     /// True if `a` equals `b` or is an ancestor of `b`.
@@ -630,5 +635,23 @@ mod tests {
         assert!(!doc.is_ancestor_of(b, c));
         assert!(!doc.is_ancestor_of(a, a));
         assert!(doc.is_ancestor_or_self_of(a, a));
+    }
+
+    #[test]
+    fn attributes_are_never_ancestors() {
+        let mut b = DocumentBuilder::new();
+        b.open_element("e");
+        b.attribute("k", "v");
+        b.leaf_element("c");
+        b.close_element();
+        let doc = b.finish();
+        let e = doc.first_child(doc.root()).unwrap();
+        let c = doc.first_child(e).unwrap();
+        let attr = doc.attributes(e)[0];
+        // The attribute's pre/post numbers bracket the children of its
+        // owner, but it is a leaf of the data model.
+        assert!(!doc.is_ancestor_of(attr, c));
+        assert!(doc.is_ancestor_of(e, attr));
+        assert!(doc.is_ancestor_of(doc.root(), attr));
     }
 }

@@ -16,6 +16,9 @@
 //! * document order (preorder numbering), postorder numbering and constant
 //!   time ancestorship tests — the primitives the linear-time Core XPath
 //!   evaluator and the context-value-table evaluator rely on,
+//! * prepare-once axis indexes ([`PreparedDocument`]: tag-name lists,
+//!   preorder subtree intervals, sibling-position tables) behind the
+//!   [`AxisSource`] trait that all evaluators consume,
 //! * a programmatic [`DocumentBuilder`], a small well-formed XML parser
 //!   ([`parse_xml`]) and a serializer.
 //!
@@ -46,10 +49,14 @@ pub mod build;
 pub mod node;
 pub mod order;
 pub mod parse;
+pub mod prepared;
 pub mod serialize;
+pub mod source;
 
 pub use axes::{Axis, NodeTest};
 pub use build::DocumentBuilder;
 pub use node::{Document, NodeId, NodeKind};
 pub use parse::{parse_xml, XmlParseError};
+pub use prepared::PreparedDocument;
 pub use serialize::serialize;
+pub use source::AxisSource;

@@ -1,0 +1,353 @@
+//! Per-document axis indexes: the prepare-once half of the document side.
+//!
+//! The paper's linear-time Core XPath bound (Proposition 2.7) assumes the
+//! axis relations can be enumerated with constant-time primitives.  A bare
+//! [`Document`] provides that only partially: `is_ancestor_of` is O(1) via
+//! pre/post numbering, but descendant enumeration walks sibling links, name
+//! tests compare strings node by node, and every evaluator that needs the
+//! document-order listing rebuilds it per query.
+//!
+//! [`PreparedDocument`] is built **once** per document (O(|D|) time and
+//! space) and carries the indexes that turn those per-query costs into
+//! lookups:
+//!
+//! * a **tag-name index** — for every element tag, the list of elements with
+//!   that tag in document order ([`PreparedDocument::elements_named`]); a
+//!   name test becomes a list scan instead of |D| string comparisons,
+//! * **preorder interval numbering** — every node knows the half-open
+//!   preorder interval `[pre, subtree_end)` covering its subtree
+//!   ([`PreparedDocument::pre_interval`]), so descendant enumeration is a
+//!   contiguous range of the document-order table and
+//!   `descendant::tag` is two binary searches into the tag index
+//!   ([`PreparedDocument::descendants_named`]),
+//! * **position tables** — each node's 1-based position among its siblings
+//!   and each node's child count ([`PreparedDocument::sibling_position`],
+//!   [`PreparedDocument::child_count`]).  The child counts size the
+//!   child-axis candidate lists exactly; the sibling positions are the
+//!   O(1) primitive positional predicates over `child` steps reduce to
+//!   (wiring them into the step semantics is a ROADMAP follow-up).
+//!
+//! `PreparedDocument` holds the underlying document in an [`Arc`], derefs to
+//! it, and implements [`crate::AxisSource`], so every evaluator accepts it
+//! wherever a `&Document` is accepted — this mirrors the compile-once query
+//! side: *prepare once, evaluate many*.
+//!
+//! ```
+//! use xpeval_dom::{parse_xml, PreparedDocument};
+//!
+//! let doc = parse_xml("<r><a/><b/><a><b/></a></r>").unwrap();
+//! let prepared = PreparedDocument::new(doc);
+//! assert_eq!(prepared.elements_named("b").len(), 2);
+//! let r = prepared.first_child(prepared.root()).unwrap();
+//! assert_eq!(prepared.descendants_named(r, "a").len(), 2);
+//! ```
+
+use crate::node::{Document, NodeId};
+use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A [`Document`] plus the axis indexes described in the
+/// [module docs](self): tag-name lists, preorder subtree intervals and
+/// sibling/child position tables.
+///
+/// Construction is a single O(|D|) pass; the document itself is shared via
+/// [`Arc`] and never copied.  `PreparedDocument` is immutable and `Sync`,
+/// so one prepared document can serve concurrent evaluations, exactly like
+/// a compiled query plan serves concurrent documents.
+#[derive(Clone, Debug)]
+pub struct PreparedDocument {
+    doc: Arc<Document>,
+    /// All nodes in document order; `order[k]` is the node with preorder
+    /// number `k` (preorder numbers are dense, so this is the inverse of
+    /// [`Document::pre`]).
+    order: Vec<NodeId>,
+    /// Exclusive end of each node's subtree interval in preorder numbers:
+    /// the subtree of `n` (including `n`, its attributes and all
+    /// descendants with their attributes) is exactly the nodes with
+    /// preorder number in `pre(n)..subtree_end[n]`.
+    subtree_end: Vec<u32>,
+    /// Element tag name → elements carrying it, in document order.
+    by_name: HashMap<String, Vec<NodeId>>,
+    /// 1-based position of each node among its parent's children
+    /// (0 for the root and for attribute nodes, which are not children).
+    sibling_pos: Vec<u32>,
+    /// Number of children of each node (attributes are not children).
+    child_count: Vec<u32>,
+}
+
+impl PreparedDocument {
+    /// Builds the indexes for `doc` in one O(|D|) pass.
+    ///
+    /// Accepts an owned [`Document`] or an [`Arc<Document>`]; the document
+    /// is shared, not copied.
+    pub fn new(doc: impl Into<Arc<Document>>) -> Self {
+        let doc = doc.into();
+        let len = doc.len();
+
+        // Document-order table: preorder numbers are dense in 0..len.
+        let mut order = vec![NodeId::from_index(0); len];
+        for n in doc.all_nodes() {
+            order[doc.pre(n) as usize] = n;
+        }
+
+        // Subtree sizes by accumulating each node into its parent in
+        // reverse document order (children and attributes precede their
+        // parent there).
+        let mut size = vec![1u32; len];
+        for &n in order.iter().rev() {
+            if let Some(p) = doc.parent(n) {
+                size[p.index()] += size[n.index()];
+            }
+        }
+        let mut subtree_end = vec![0u32; len];
+        for n in doc.all_nodes() {
+            subtree_end[n.index()] = doc.pre(n) + size[n.index()];
+        }
+
+        // Tag-name index, filled in document order so every list is sorted.
+        let mut by_name: HashMap<String, Vec<NodeId>> = HashMap::new();
+        for &n in &order {
+            if let Some(name) = doc.kind(n).element_name() {
+                by_name.entry(name.to_string()).or_default().push(n);
+            }
+        }
+
+        // Sibling positions and child counts.
+        let mut sibling_pos = vec![0u32; len];
+        let mut child_count = vec![0u32; len];
+        for n in doc.all_nodes() {
+            let mut pos = 0u32;
+            let mut c = doc.first_child(n);
+            while let Some(ch) = c {
+                pos += 1;
+                sibling_pos[ch.index()] = pos;
+                c = doc.next_sibling(ch);
+            }
+            child_count[n.index()] = pos;
+        }
+
+        PreparedDocument {
+            doc,
+            order,
+            subtree_end,
+            by_name,
+            sibling_pos,
+            child_count,
+        }
+    }
+
+    /// The underlying document.
+    #[inline]
+    pub fn document(&self) -> &Document {
+        &self.doc
+    }
+
+    /// The shared handle to the underlying document.
+    #[inline]
+    pub fn shared_document(&self) -> &Arc<Document> {
+        &self.doc
+    }
+
+    /// Total number of nodes, `|D|` (root + elements + text + attributes).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.doc.len()
+    }
+
+    /// All nodes in document order, precomputed: `order()[k]` is the node
+    /// with preorder number `k`.
+    #[inline]
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// The half-open preorder interval `[pre, end)` covering the subtree of
+    /// `n` — `n` itself, its attributes and all descendants (with theirs).
+    ///
+    /// Intervals nest like the tree does: `m` is in the subtree of `n` iff
+    /// `pre(n) <= pre(m) < end(n)`, and the intervals of two nodes are
+    /// either disjoint or one contains the other.
+    #[inline]
+    pub fn pre_interval(&self, n: NodeId) -> (u32, u32) {
+        (self.doc.pre(n), self.subtree_end[n.index()])
+    }
+
+    /// All elements with tag `name`, in document order.  O(1) lookup;
+    /// returns an empty slice for tags that do not occur.
+    pub fn elements_named(&self, name: &str) -> &[NodeId] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The elements with tag `name` in the subtree strictly below `n`
+    /// (the `descendant::name` node set), in document order.
+    ///
+    /// Two binary searches into the tag index: O(log |D| + answer size)
+    /// instead of a walk over the whole subtree.
+    pub fn descendants_named(&self, n: NodeId, name: &str) -> &[NodeId] {
+        let list = self.elements_named(name);
+        let (pre, end) = self.pre_interval(n);
+        // Strictly below n: preorder numbers in (pre, end).  Attributes are
+        // inside the interval but never in the element index.
+        let lo = list.partition_point(|&m| self.doc.pre(m) <= pre);
+        let hi = list.partition_point(|&m| self.doc.pre(m) < end);
+        &list[lo..hi]
+    }
+
+    /// Every distinct element tag occurring in the document.
+    pub fn tag_names(&self) -> impl Iterator<Item = &str> {
+        self.by_name.keys().map(String::as_str)
+    }
+
+    /// 1-based position of `n` among its parent's children, counting every
+    /// child node kind; 0 for the root and for attribute nodes.
+    #[inline]
+    pub fn sibling_position(&self, n: NodeId) -> usize {
+        self.sibling_pos[n.index()] as usize
+    }
+
+    /// Number of children of `n` (attributes are not children).
+    #[inline]
+    pub fn child_count(&self, n: NodeId) -> usize {
+        self.child_count[n.index()] as usize
+    }
+}
+
+impl Deref for PreparedDocument {
+    type Target = Document;
+
+    fn deref(&self) -> &Document {
+        &self.doc
+    }
+}
+
+impl From<Document> for PreparedDocument {
+    fn from(doc: Document) -> Self {
+        PreparedDocument::new(doc)
+    }
+}
+
+impl Document {
+    /// Consumes the document and builds its [`PreparedDocument`] indexes.
+    ///
+    /// Convenience for `PreparedDocument::new(doc)`; to keep using the plain
+    /// document as well, wrap it in an [`Arc`] first and pass a clone.
+    pub fn prepare(self) -> PreparedDocument {
+        PreparedDocument::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_xml, Axis, DocumentBuilder, NodeTest};
+
+    fn sample() -> PreparedDocument {
+        parse_xml(r#"<r><a k="1"><b/><c/><b><b/></b></a><b/><c><a/></c></r>"#)
+            .unwrap()
+            .prepare()
+    }
+
+    #[test]
+    fn order_is_the_inverse_of_pre() {
+        let p = sample();
+        for (k, &n) in p.order().iter().enumerate() {
+            assert_eq!(p.pre(n) as usize, k);
+        }
+        assert_eq!(p.order().len(), p.node_count());
+    }
+
+    #[test]
+    fn name_index_matches_a_scan() {
+        let p = sample();
+        for tag in ["r", "a", "b", "c", "nosuch"] {
+            let expected: Vec<NodeId> = p
+                .document()
+                .all_elements()
+                .filter(|&n| p.name(n) == Some(tag))
+                .collect();
+            assert_eq!(p.elements_named(tag), expected.as_slice(), "{tag}");
+        }
+        let mut tags: Vec<&str> = p.tag_names().collect();
+        tags.sort_unstable();
+        assert_eq!(tags, ["a", "b", "c", "r"]);
+    }
+
+    #[test]
+    fn subtree_intervals_cover_exactly_the_descendants() {
+        let p = sample();
+        for n in p.document().all_nodes() {
+            let (pre, end) = p.pre_interval(n);
+            assert_eq!(pre, p.pre(n));
+            for m in p.document().all_nodes() {
+                let inside = p.pre(m) >= pre && p.pre(m) < end;
+                // Ground truth via the parent chain.
+                let mut in_subtree = false;
+                let mut cur = Some(m);
+                while let Some(x) = cur {
+                    if x == n {
+                        in_subtree = true;
+                        break;
+                    }
+                    cur = p.parent(x);
+                }
+                assert_eq!(inside, in_subtree, "{n:?} vs {m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn descendants_named_equals_the_descendant_axis() {
+        let p = sample();
+        for n in p.document().all_nodes() {
+            for tag in ["a", "b", "c", "nosuch"] {
+                let expected = p
+                    .document()
+                    .axis_step(n, Axis::Descendant, &NodeTest::name(tag));
+                assert_eq!(
+                    p.descendants_named(n, tag),
+                    expected.as_slice(),
+                    "{n:?}/{tag}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn position_tables() {
+        let p = sample();
+        let r = p.first_child(p.root()).unwrap();
+        assert_eq!(p.sibling_position(p.root()), 0);
+        assert_eq!(p.sibling_position(r), 1);
+        assert_eq!(p.child_count(r), 3);
+        let mut pos = 0;
+        let mut c = p.first_child(r);
+        while let Some(ch) = c {
+            pos += 1;
+            assert_eq!(p.sibling_position(ch), pos);
+            c = p.next_sibling(ch);
+        }
+        // Attribute nodes are not children.
+        let a = p.first_child(r).unwrap();
+        let attr = p.attributes(a)[0];
+        assert_eq!(p.sibling_position(attr), 0);
+    }
+
+    #[test]
+    fn deref_and_sharing() {
+        let doc = Arc::new(parse_xml("<r><x/></r>").unwrap());
+        let p = PreparedDocument::new(Arc::clone(&doc));
+        // Deref exposes the full Document API.
+        assert_eq!(p.len(), doc.len());
+        assert!(Arc::ptr_eq(p.shared_document(), &doc));
+    }
+
+    #[test]
+    fn empty_document() {
+        let p = DocumentBuilder::new().finish().prepare();
+        assert_eq!(p.node_count(), 1);
+        assert_eq!(p.pre_interval(p.root()), (0, 1));
+        assert!(p.elements_named("a").is_empty());
+        assert!(p.descendants_named(p.root(), "a").is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! The data-access layer the evaluators are written against.
+//!
+//! Every evaluation strategy in the workspace consumes documents through the
+//! [`AxisSource`] trait rather than through `&Document` directly.  Two
+//! implementations exist:
+//!
+//! * [`Document`] — the compatibility path: every method falls back to the
+//!   plain tree walks the document already supports, so all existing
+//!   `&Document` call sites keep working unchanged;
+//! * [`PreparedDocument`] — the fast path: axis enumeration and name tests
+//!   are answered from the prepare-once indexes (tag lists, preorder
+//!   subtree intervals, precomputed document order).
+//!
+//! The trait is deliberately small — it covers exactly the primitives the
+//! evaluators' inner loops use, so a new index only has to override the
+//! methods it accelerates.
+
+use crate::axes::{Axis, NodeTest};
+use crate::node::{Document, NodeId};
+use crate::prepared::PreparedDocument;
+use std::borrow::Cow;
+
+/// Access to a document's nodes and axis relations, with or without
+/// prepared indexes.
+///
+/// `Sync` is a supertrait because the parallel evaluator shares one source
+/// across worker threads; both implementations are immutable, so this is
+/// free.
+pub trait AxisSource: Sync {
+    /// The underlying document.
+    fn document(&self) -> &Document;
+
+    /// Total number of nodes, `|D|`.
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.document().len()
+    }
+
+    /// Nodes reachable from `n` via `axis` that match `test`, in document
+    /// order — one location step without predicates.
+    fn axis_step(&self, n: NodeId, axis: Axis, test: &NodeTest) -> Vec<NodeId> {
+        self.document().axis_step(n, axis, test)
+    }
+
+    /// All nodes in document order.  Borrowed from the index when prepared,
+    /// computed (allocating) otherwise.
+    fn document_order(&self) -> Cow<'_, [NodeId]> {
+        Cow::Owned(self.document().document_order())
+    }
+
+    /// The elements with tag `name` in document order, when an index is
+    /// available; `None` means the caller must scan.
+    fn elements_named(&self, _name: &str) -> Option<&[NodeId]> {
+        None
+    }
+}
+
+impl AxisSource for Document {
+    #[inline]
+    fn document(&self) -> &Document {
+        self
+    }
+}
+
+impl AxisSource for PreparedDocument {
+    #[inline]
+    fn document(&self) -> &Document {
+        PreparedDocument::document(self)
+    }
+
+    fn axis_step(&self, n: NodeId, axis: Axis, test: &NodeTest) -> Vec<NodeId> {
+        // The descendant axes with a tag-name test are the indexed fast
+        // path: two binary searches into the tag list instead of a subtree
+        // walk.  Everything else falls back to the document's walks.
+        if let NodeTest::Name(name) = test {
+            match axis {
+                Axis::Descendant => return self.descendants_named(n, name).to_vec(),
+                Axis::DescendantOrSelf => {
+                    let below = self.descendants_named(n, name);
+                    let mut out = Vec::with_capacity(below.len() + 1);
+                    if self.document().matches_on_axis(n, test, axis) {
+                        out.push(n);
+                    }
+                    out.extend_from_slice(below);
+                    return out;
+                }
+                _ => {}
+            }
+        }
+        if axis == Axis::Child {
+            // The child-count table sizes the candidate list exactly, so
+            // the hot child-step path never reallocates.
+            let doc = self.document();
+            let mut out = Vec::with_capacity(self.child_count(n));
+            let mut c = doc.first_child(n);
+            while let Some(ch) = c {
+                if doc.matches_on_axis(ch, test, axis) {
+                    out.push(ch);
+                }
+                c = doc.next_sibling(ch);
+            }
+            return out;
+        }
+        self.document().axis_step(n, axis, test)
+    }
+
+    #[inline]
+    fn document_order(&self) -> Cow<'_, [NodeId]> {
+        Cow::Borrowed(self.order())
+    }
+
+    #[inline]
+    fn elements_named(&self, name: &str) -> Option<&[NodeId]> {
+        Some(PreparedDocument::elements_named(self, name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_xml;
+
+    const XML: &str = r#"<r><a k="1"><b/><c/><b><b/></b></a><b/><c><a/></c></r>"#;
+
+    #[test]
+    fn prepared_axis_steps_agree_with_the_document() {
+        let doc = parse_xml(XML).unwrap();
+        let prepared = PreparedDocument::new(doc.clone());
+        let tests = [
+            NodeTest::name("a"),
+            NodeTest::name("b"),
+            NodeTest::name("nosuch"),
+            NodeTest::Star,
+            NodeTest::AnyNode,
+            NodeTest::Text,
+        ];
+        for n in doc.all_nodes() {
+            for axis in Axis::CORE.into_iter().chain([Axis::Attribute]) {
+                for test in &tests {
+                    assert_eq!(
+                        AxisSource::axis_step(&prepared, n, axis, test),
+                        AxisSource::axis_step(&doc, n, axis, test),
+                        "{n:?} {axis} {test}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn document_order_agrees() {
+        let doc = parse_xml(XML).unwrap();
+        let prepared = PreparedDocument::new(doc.clone());
+        assert_eq!(
+            AxisSource::document_order(&doc).as_ref(),
+            AxisSource::document_order(&prepared).as_ref()
+        );
+        assert!(matches!(
+            AxisSource::document_order(&prepared),
+            Cow::Borrowed(_)
+        ));
+    }
+
+    #[test]
+    fn elements_named_is_indexed_only_when_prepared() {
+        let doc = parse_xml(XML).unwrap();
+        let prepared = PreparedDocument::new(doc.clone());
+        assert!(AxisSource::elements_named(&doc, "b").is_none());
+        assert_eq!(AxisSource::elements_named(&prepared, "b").unwrap().len(), 4);
+        assert_eq!(AxisSource::node_count(&prepared), doc.len());
+    }
+}

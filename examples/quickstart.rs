@@ -1,11 +1,13 @@
 //! Quickstart: compile queries once, look at their fragment classification
-//! and selected plan, then evaluate them — directly and through a serving
-//! engine with a plan cache.
+//! and selected plan, then evaluate them — directly, through a serving
+//! engine with a plan cache, and against a prepared (indexed) document
+//! with streaming results.
 //!
 //! ```bash
 //! cargo run --example quickstart
 //! ```
 
+use std::sync::Arc;
 use xpeval::prelude::*;
 
 fn main() {
@@ -67,4 +69,30 @@ fn main() {
         "plan cache after 5 identical calls: {} miss (the compile), {} hits",
         stats.misses, stats.hits
     );
+
+    // The document side mirrors the query side: prepare once (tag-name
+    // index, preorder subtree intervals, position tables), evaluate many.
+    // The engine memoizes preparation per document, like plans per string.
+    let doc = Arc::new(doc);
+    let prepared = engine.prepare(&doc);
+    let titles = engine
+        .evaluate_str_prepared(&prepared, "/descendant::title")
+        .unwrap();
+    println!(
+        "\nprepared document: {} node(s) from the indexed descendant axis",
+        titles.expect_nodes().len()
+    );
+
+    // Streaming: matches are yielded in document order as they are
+    // decided — no result vector is materialized, and early exit is free.
+    let compiled = CompiledQuery::compile("//title").unwrap();
+    let mut stream = compiled.run_streaming_prepared(&prepared).unwrap();
+    if let Some(Ok(first)) = stream.next() {
+        println!(
+            "first streamed match: {:?} (mode {:?}, {} candidate(s) examined)",
+            doc.string_value(first),
+            stream.mode(),
+            stream.nodes_scanned()
+        );
+    }
 }

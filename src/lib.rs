@@ -41,16 +41,59 @@
 //! assert_eq!(out.value.expect_nodes().len(), 1);
 //! ```
 //!
-//! A serving [`Engine`] adds a bounded LRU plan cache keyed by the query
-//! string, so repeated `evaluate_str` calls skip the per-query half:
+//! ## Prepare once, evaluate many
+//!
+//! The document side mirrors the query side: a [`PreparedDocument`] is
+//! built once per document and carries axis indexes — tag-name lists,
+//! preorder subtree intervals, sibling-position tables — that every
+//! evaluation strategy consumes through the [`dom::AxisSource`] trait.
+//! Pair a compiled query with a prepared document and both halves of the
+//! pipeline are paid exactly once:
 //!
 //! ```
 //! use xpeval::prelude::*;
 //!
-//! let engine = Engine::builder().threads(2).plan_cache_capacity(256).build();
-//! let doc = parse_xml("<lib><book/><book/></lib>").unwrap();
+//! let query = CompiledQuery::compile("/descendant::book[child::title]").unwrap();
+//! let doc = parse_xml("<lib><book><title>A</title></book><book/></lib>").unwrap();
+//! let prepared = PreparedDocument::new(doc);   // per-document work, done once
 //! for _ in 0..10 {
-//!     assert_eq!(engine.evaluate_str(&doc, "count(//book)").unwrap(), Value::Number(2.0));
+//!     let out = query.run_prepared(&prepared).unwrap(); // indexed fast path
+//!     assert_eq!(out.value.expect_nodes().len(), 1);
+//! }
+//! ```
+//!
+//! Large results can stream instead of materializing a result vector: the
+//! Singleton-Success plan decides each candidate's membership *as the
+//! stream reaches it* (consuming a prefix does a prefix of the decisions),
+//! and the linear plan — which is inherently set-at-a-time — walks its
+//! result bitset lazily after the one O(|D|·|Q|) evaluation:
+//!
+//! ```
+//! use xpeval::prelude::*;
+//!
+//! let query = CompiledQuery::compile("//item").unwrap();
+//! let doc = parse_xml("<r><item/><item/><item/></r>").unwrap();
+//! let first = query.run_streaming(&doc).unwrap().next().unwrap().unwrap();
+//! assert!(doc.kind(first).is_element());
+//! ```
+//!
+//! A serving [`Engine`] adds a bounded (sharded) LRU plan cache keyed by
+//! the query string and a document cache memoizing preparation, so repeated
+//! `evaluate_str` calls skip the per-query half and
+//! [`engine::Engine::prepare`] pays the per-document half once:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xpeval::prelude::*;
+//!
+//! let engine = Engine::builder().threads(2).plan_cache_capacity(256).build();
+//! let doc = Arc::new(parse_xml("<lib><book/><book/></lib>").unwrap());
+//! let prepared = engine.prepare(&doc); // cached per document
+//! for _ in 0..10 {
+//!     assert_eq!(
+//!         engine.evaluate_str_prepared(&prepared, "count(//book)").unwrap(),
+//!         Value::Number(2.0),
+//!     );
 //! }
 //! let stats = engine.cache_stats();
 //! assert_eq!(stats.misses, 1); // compiled once
@@ -60,7 +103,8 @@
 //! Batch entry points evaluate one plan over many contexts
 //! ([`engine::CompiledQuery::run_many`], sharing the DP evaluator's
 //! context-value tables across the batch) or many plans against one
-//! document ([`engine::Engine::evaluate_batch`]).
+//! document ([`engine::Engine::evaluate_batch`] /
+//! [`engine::Engine::evaluate_batch_prepared`]).
 
 pub use xpeval_circuits as circuits;
 pub use xpeval_core as engine;
@@ -73,8 +117,11 @@ pub use xpeval_workloads as workloads;
 pub mod prelude {
     pub use xpeval_core::{
         CacheStats, CompileOptions, CompiledQuery, Context, Engine, EngineBuilder, EvalError,
-        EvalStats, EvalStrategy, QueryOutput, SingletonSuccess, Value,
+        EvalStats, EvalStrategy, NodeStream, QueryOutput, ShardStats, SingletonSuccess, StreamMode,
+        Value,
     };
-    pub use xpeval_dom::{parse_xml, Axis, Document, DocumentBuilder, NodeId, NodeTest};
+    pub use xpeval_dom::{
+        parse_xml, Axis, AxisSource, Document, DocumentBuilder, NodeId, NodeTest, PreparedDocument,
+    };
     pub use xpeval_syntax::{parse_query, Expr, Fragment, FragmentReport};
 }

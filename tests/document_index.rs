@@ -1,0 +1,152 @@
+//! The prepared-document index: interval-numbering invariants on random
+//! trees, agreement of the indexed fast paths with the plain tree walks,
+//! and the engine's prepared entry points.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use xpeval::prelude::*;
+use xpeval::workloads::{auction_site_document, random_tree_document};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    /// Preorder interval invariants on random trees: each node's interval
+    /// starts at its own preorder number, intervals nest exactly like the
+    /// tree (disjoint or contained, never partially overlapping), and a
+    /// child's interval lies strictly inside its parent's.
+    #[test]
+    fn interval_numbering_invariants(seed in 0u64..10_000, nodes in 2usize..80) {
+        let doc = random_tree_document(
+            &mut StdRng::seed_from_u64(seed),
+            nodes,
+            &["a", "b", "c"],
+        );
+        let p = PreparedDocument::new(doc);
+        let all: Vec<NodeId> = p.document().all_nodes().collect();
+        for &n in &all {
+            let (lo, hi) = p.pre_interval(n);
+            prop_assert_eq!(lo, p.document().pre(n));
+            prop_assert!(lo < hi);
+            prop_assert!(hi as usize <= p.node_count());
+            if let Some(parent) = p.document().parent(n) {
+                let (plo, phi) = p.pre_interval(parent);
+                prop_assert!(plo < lo && hi <= phi, "child interval escapes parent");
+            }
+        }
+        // Pre/post nesting: intervals of any two nodes are disjoint or
+        // one contains the other, and containment matches ancestorship.
+        for &a in &all {
+            let (alo, ahi) = p.pre_interval(a);
+            for &b in &all {
+                if a == b {
+                    continue;
+                }
+                let (blo, bhi) = p.pre_interval(b);
+                let disjoint = ahi <= blo || bhi <= alo;
+                let a_contains_b = alo < blo && bhi <= ahi;
+                let b_contains_a = blo < alo && ahi <= bhi;
+                prop_assert!(
+                    disjoint || a_contains_b || b_contains_a,
+                    "partial overlap between {:?} and {:?}", a, b
+                );
+                prop_assert_eq!(
+                    a_contains_b,
+                    p.document().is_ancestor_of(a, b),
+                    "containment must equal ancestorship for {:?}/{:?}", a, b
+                );
+            }
+        }
+    }
+
+    /// The indexed axis fast paths agree with the plain tree walks on
+    /// random trees, for every node and the axes the index accelerates.
+    #[test]
+    fn indexed_axis_steps_agree(seed in 0u64..10_000, nodes in 2usize..60) {
+        let doc = random_tree_document(
+            &mut StdRng::seed_from_u64(seed),
+            nodes,
+            &["a", "b", "c"],
+        );
+        let p = PreparedDocument::new(doc.clone());
+        for n in doc.all_nodes() {
+            for tag in ["a", "b", "c", "zzz"] {
+                let test = NodeTest::name(tag);
+                for axis in [Axis::Descendant, Axis::DescendantOrSelf, Axis::Child] {
+                    prop_assert_eq!(
+                        AxisSource::axis_step(&p, n, axis, &test),
+                        doc.axis_step(n, axis, &test),
+                        "{:?} {} {}", n, axis, tag
+                    );
+                }
+            }
+        }
+        // Name index vs full scan.
+        for tag in ["a", "b", "c", "zzz"] {
+            let scanned: Vec<NodeId> = doc
+                .all_elements()
+                .filter(|&n| doc.name(n) == Some(tag))
+                .collect();
+            prop_assert_eq!(p.elements_named(tag), scanned.as_slice());
+        }
+    }
+}
+
+#[test]
+fn prepared_evaluation_agrees_across_strategies_on_a_real_workload() {
+    let mut rng = StdRng::seed_from_u64(92);
+    let doc = auction_site_document(&mut rng, 15);
+    let prepared = PreparedDocument::new(doc.clone());
+    for query in [
+        "/descendant::item",
+        "//item[child::bid]/name",
+        "//seller",
+        "/site/regions/europe/descendant::bid",
+        "count(//person)",
+        "//item[not(child::bid)]",
+    ] {
+        let q = CompiledQuery::compile(query).unwrap();
+        let plain = q.run(&doc).unwrap().value;
+        let fast = q.run_prepared(&prepared).unwrap().value;
+        assert_eq!(plain, fast, "{query}");
+    }
+}
+
+#[test]
+fn engine_serves_prepared_documents_through_its_cache() {
+    let mut rng = StdRng::seed_from_u64(93);
+    let doc = Arc::new(auction_site_document(&mut rng, 8));
+    let engine = Engine::builder().threads(2).build();
+
+    let p1 = engine.prepare(&doc);
+    let p2 = engine.prepare(&doc);
+    assert!(Arc::ptr_eq(&p1, &p2), "preparation must be memoized");
+    let stats = engine.document_cache_stats();
+    assert_eq!((stats.misses, stats.hits), (1, 1));
+
+    for query in ["//item", "count(//bid)", "//item[position() = 1]/name"] {
+        let plain = engine.evaluate_str(&doc, query).unwrap();
+        let fast = engine.evaluate_str_prepared(&p1, query).unwrap();
+        assert_eq!(plain, fast, "{query}");
+    }
+}
+
+#[test]
+fn small_documents_get_the_sequential_plan_when_auto_selected() {
+    let mut rng = StdRng::seed_from_u64(94);
+    let doc = auction_site_document(&mut rng, 4); // far below PARALLEL_MIN_NODES
+    let prepared = PreparedDocument::new(doc.clone());
+    let q = CompiledQuery::compile("//item[position() = last()]").unwrap();
+    assert!(matches!(q.strategy(), EvalStrategy::Parallel { .. }));
+    assert_eq!(
+        q.strategy_for(prepared.node_count()),
+        EvalStrategy::SingletonSuccess,
+        "document size must feed strategy selection"
+    );
+    // And the degraded plan still computes the same answer.
+    assert_eq!(
+        q.run_prepared(&prepared).unwrap().value,
+        q.run(&doc).unwrap().value
+    );
+}

@@ -1,0 +1,166 @@
+//! Streaming node-set results: `run_streaming` must yield exactly the
+//! nodes of `run`, in document order, under every evaluation strategy and
+//! over the workload corpora — and the decide-as-you-go modes must be
+//! genuinely lazy (consuming a prefix of the matches examines only a
+//! prefix of the candidates).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xpeval::prelude::*;
+use xpeval::workloads::{
+    auction_site_document, core_xpath_query_corpus, pwf_query_corpus, random_tree_document,
+    wide_document,
+};
+
+const ALL_STRATEGIES: [EvalStrategy; 5] = [
+    EvalStrategy::ContextValueTable,
+    EvalStrategy::Naive,
+    EvalStrategy::CoreXPathLinear,
+    EvalStrategy::Parallel { threads: 2 },
+    EvalStrategy::SingletonSuccess,
+];
+
+/// For every strategy that accepts the query: `run_streaming` (plain and
+/// prepared) yields exactly the node set of `run`, in document order.
+fn assert_streaming_matches_run(
+    doc: &Document,
+    prepared: &PreparedDocument,
+    name: &str,
+    compiled: &CompiledQuery,
+) {
+    for strategy in ALL_STRATEGIES {
+        let q = compiled.clone().with_strategy(strategy);
+        let expected = match q.run(doc) {
+            Ok(out) => match out.value {
+                Value::NodeSet(nodes) => nodes,
+                _ => continue, // scalar query: nothing to stream
+            },
+            Err(EvalError::UnsupportedFragment { .. }) => continue,
+            Err(e) => panic!("{name} under {strategy:?}: {e}"),
+        };
+        let streamed = q
+            .run_streaming(doc)
+            .unwrap_or_else(|e| panic!("{name} under {strategy:?}: {e}"))
+            .collect_nodes()
+            .unwrap_or_else(|e| panic!("{name} under {strategy:?}: {e}"));
+        assert_eq!(streamed, expected, "{name} under {strategy:?}");
+        let streamed_prepared = q
+            .run_streaming_prepared(prepared)
+            .unwrap_or_else(|e| panic!("{name} under {strategy:?} (prepared): {e}"))
+            .collect_nodes()
+            .unwrap_or_else(|e| panic!("{name} under {strategy:?} (prepared): {e}"));
+        assert_eq!(
+            streamed_prepared, expected,
+            "{name} under {strategy:?} (prepared)"
+        );
+    }
+}
+
+#[test]
+fn streaming_agrees_on_the_core_corpus() {
+    let mut rng = StdRng::seed_from_u64(90);
+    let doc = random_tree_document(&mut rng, 50, &["a", "b", "c", "d", "root"]);
+    let prepared = PreparedDocument::new(doc.clone());
+    for (name, query) in core_xpath_query_corpus() {
+        let compiled = CompiledQuery::compile(&query.to_string()).unwrap();
+        assert_streaming_matches_run(&doc, &prepared, name, &compiled);
+    }
+}
+
+#[test]
+fn streaming_agrees_on_the_pwf_corpus() {
+    let mut rng = StdRng::seed_from_u64(91);
+    let doc = auction_site_document(&mut rng, 10);
+    let prepared = PreparedDocument::new(doc.clone());
+    for (name, query) in pwf_query_corpus() {
+        let compiled = CompiledQuery::compile(&query.to_string()).unwrap();
+        assert_streaming_matches_run(&doc, &prepared, name, &compiled);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(25))]
+
+    /// Random documents × a few representative queries × all strategies.
+    #[test]
+    fn streaming_agrees_on_random_trees(seed in 0u64..10_000, nodes in 2usize..60) {
+        let doc = random_tree_document(
+            &mut StdRng::seed_from_u64(seed),
+            nodes,
+            &["a", "b", "c"],
+        );
+        let prepared = PreparedDocument::new(doc.clone());
+        for query in [
+            "//a",
+            "//a[child::b]",
+            "/descendant::b/child::*",
+            "//c/ancestor::a | //b",
+            "//a[not(descendant::c)]",
+        ] {
+            let compiled = CompiledQuery::compile(query).unwrap();
+            assert_streaming_matches_run(&doc, &prepared, query, &compiled);
+        }
+    }
+}
+
+#[test]
+fn singleton_success_streams_lazily() {
+    // A document with many matches: consuming only the first k matches must
+    // examine only a prefix of the candidates — the witness that no full
+    // result vector was materialized.
+    let doc = wide_document(200, 2); // 601 elements + root
+    let q = CompiledQuery::compile("//a | //b | //c | //d")
+        .unwrap()
+        .with_strategy(EvalStrategy::SingletonSuccess);
+
+    let mut stream = q.run_streaming(&doc).unwrap();
+    assert_eq!(stream.mode(), StreamMode::Decide);
+    let first_five: Vec<NodeId> = stream.by_ref().take(5).map(Result::unwrap).collect();
+    assert_eq!(first_five.len(), 5);
+    assert!(
+        stream.nodes_scanned() < doc.len() / 10,
+        "scanned {} of {} candidates for 5 matches",
+        stream.nodes_scanned(),
+        doc.len()
+    );
+
+    // The prefix is a prefix of the full (materialized) result.
+    let full = q.run(&doc).unwrap().value.into_nodes().unwrap();
+    assert_eq!(&full[..5], first_five.as_slice());
+}
+
+#[test]
+fn linear_plan_streams_from_the_bitset() {
+    let doc = wide_document(100, 3);
+    let prepared = PreparedDocument::new(doc.clone());
+    let q = CompiledQuery::compile("/descendant::a").unwrap();
+    assert_eq!(q.strategy(), EvalStrategy::CoreXPathLinear);
+    let stream = q.run_streaming_prepared(&prepared).unwrap();
+    // Set-at-a-time evaluation ends in a bitset; the stream walks it
+    // without ever collecting a result vector.
+    assert_eq!(stream.mode(), StreamMode::Bitset);
+    let first: Vec<NodeId> = stream.take(3).map(Result::unwrap).collect();
+    let full = q.run(&doc).unwrap().value.into_nodes().unwrap();
+    assert_eq!(&full[..3], first.as_slice());
+}
+
+#[test]
+fn visitor_api_supports_early_exit() {
+    let doc = wide_document(50, 1);
+    let prepared = PreparedDocument::new(doc.clone());
+    let q = CompiledQuery::compile("//*").unwrap();
+    let total = q.run(&doc).unwrap().value.expect_nodes().len();
+
+    let mut seen = 0usize;
+    let visited = q
+        .run_visit(&doc, |_| {
+            seen += 1;
+            seen < 7
+        })
+        .unwrap();
+    assert_eq!(visited, 7);
+
+    let all = q.run_visit_prepared(&prepared, |_| true).unwrap();
+    assert_eq!(all, total);
+}

@@ -13,6 +13,11 @@
 //! that — but the relative numbers the workspace's benches exist to show
 //! (exponential vs. polynomial scaling, cached vs. uncached evaluation)
 //! survive intact.
+//!
+//! Passing `--test` on the command line (as in real criterion, e.g.
+//! `cargo bench -- --test`) switches to smoke mode: every measured routine
+//! runs exactly once, so CI can prove benches still compile *and run*
+//! without paying for sampling.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -102,22 +107,39 @@ impl Default for Settings {
 /// The benchmark manager handed to `criterion_group!` targets.
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _private: (),
+    /// Test mode (`--test` on the command line, as in real criterion): run
+    /// every measured routine exactly once to prove it still works, without
+    /// spending wall-clock on sampling.  This is what keeps benches from
+    /// bit-rotting in CI.
+    test_mode: bool,
 }
 
 impl Criterion {
-    /// Compatibility shim; command-line arguments are ignored.
-    pub fn configure_from_args(self) -> Self {
+    /// Reads the supported command-line flags: `--test` enables test mode;
+    /// everything else is ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().skip(1).any(|a| a == "--test") {
+            self.test_mode = true;
+        }
+        self
+    }
+
+    /// Runs each benchmark body exactly once (smoke mode) instead of
+    /// sampling it.
+    pub fn with_test_mode(mut self, test_mode: bool) -> Self {
+        self.test_mode = test_mode;
         self
     }
 
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _criterion: self,
             name: name.into(),
             settings: Settings::default(),
             throughput: None,
+            test_mode,
         }
     }
 
@@ -139,6 +161,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     settings: Settings,
     throughput: Option<Throughput>,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -175,6 +198,7 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher {
             settings: self.settings,
             report: None,
+            test_mode: self.test_mode,
         };
         f(&mut bencher);
         self.print(&id, bencher.report);
@@ -195,6 +219,7 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher {
             settings: self.settings,
             report: None,
+            test_mode: self.test_mode,
         };
         f(&mut bencher, input);
         self.print(&id, bencher.report);
@@ -244,6 +269,7 @@ struct Report {
 pub struct Bencher {
     settings: Settings,
     report: Option<Report>,
+    test_mode: bool,
 }
 
 impl Bencher {
@@ -253,6 +279,18 @@ impl Bencher {
     where
         F: FnMut() -> O,
     {
+        if self.test_mode {
+            // Smoke mode: a single execution proves the routine runs.
+            let start = Instant::now();
+            black_box(f());
+            let t = start.elapsed().as_secs_f64();
+            self.report = Some(Report {
+                min: t,
+                mean: t,
+                max: t,
+            });
+            return;
+        }
         // Warm-up and per-iteration cost estimate.
         let warmup_budget = self.settings.warm_up_time.min(Duration::from_millis(500)) / 2;
         let warmup_start = Instant::now();
@@ -347,5 +385,20 @@ mod tests {
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
         assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
         assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+
+    #[test]
+    fn test_mode_runs_each_bench_exactly_once() {
+        let mut c = Criterion::default().with_test_mode(true);
+        let mut calls = 0u64;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("once", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 1);
     }
 }
