@@ -1,0 +1,146 @@
+//! Index-aware axes vs plain tree walks: `child::tag`, `following`,
+//! `preceding` and positional child predicates.
+//!
+//! PR 2 established the prepared fast path for the descendant axes
+//! (`bench_document_index`); this bench covers the axes added on top: the
+//! per-parent tag buckets behind `child::tag`, the preorder-interval
+//! complements behind `following`/`preceding`, and the positional child
+//! predicates answered from the buckets and position tables.
+//!
+//! Every group runs the same compiled queries twice over the largest
+//! workload document (~9.6k nodes): once against the bare `Document`, once
+//! against its `PreparedDocument`.  The strategy is pinned to the
+//! context-value-table evaluator so both sides run the identical algorithm
+//! and the measured difference is exactly the index.  After the criterion
+//! groups, a plain timing loop prints the per-axis speedup ratios
+//! (prepared-vs-unprepared) in one line each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xpeval_core::{CompiledQuery, EvalStrategy};
+use xpeval_dom::{Document, PreparedDocument};
+use xpeval_workloads::auction_site_document;
+
+/// Child-axis name tests.  On the prepared side wide nodes (`people`, the
+/// regions with hundreds of items) hit the per-parent tag buckets; narrow
+/// nodes keep the sibling walk (the adaptive `CHILD_BUCKET_MIN_CHILDREN`
+/// cutover).
+const CHILD_QUERIES: [&str; 4] = [
+    "/site/regions/europe/item/name",
+    "/site/people/person/name",
+    "/site/regions/asia/item/bid",
+    "/site/people/person",
+];
+
+/// Following: interval complement, one tag-list suffix per context node.
+const FOLLOWING_QUERIES: [&str; 2] = [
+    "/descendant::seller/following::bid",
+    "/site/regions/europe/item/following::person",
+];
+
+/// Preceding: interval complement minus ancestors; the unprepared walk
+/// scans (and sorts) the whole document per context node.
+const PRECEDING_QUERIES: [&str; 2] = [
+    "/descendant::bid/preceding::seller",
+    "/site/people/person/preceding::item",
+];
+
+/// Positional child predicates: answered from the per-parent buckets and
+/// position tables without per-candidate predicate evaluation.
+const POSITIONAL_QUERIES: [&str; 3] = [
+    "/site/people/person[300]/name",
+    "/site/people/person[last()]",
+    "/site/regions/europe/item[position() = last()]/name",
+];
+
+fn compiled(queries: &[&str]) -> Vec<CompiledQuery> {
+    queries
+        .iter()
+        .map(|q| {
+            CompiledQuery::compile(q)
+                .unwrap()
+                .with_strategy(EvalStrategy::ContextValueTable)
+        })
+        .collect()
+}
+
+fn run_all_unprepared(queries: &[CompiledQuery], doc: &Document) -> usize {
+    queries
+        .iter()
+        .map(|q| q.run(doc).unwrap().value.expect_nodes().len())
+        .sum()
+}
+
+fn run_all_prepared(queries: &[CompiledQuery], doc: &PreparedDocument) -> usize {
+    queries
+        .iter()
+        .map(|q| q.run_prepared(doc).unwrap().value.expect_nodes().len())
+        .sum()
+}
+
+fn bench_axis_index(c: &mut Criterion) {
+    let doc = Arc::new(auction_site_document(&mut StdRng::seed_from_u64(42), 600));
+    let prepared = PreparedDocument::new(Arc::clone(&doc));
+    let mixes: [(&str, Vec<CompiledQuery>); 4] = [
+        ("child", compiled(&CHILD_QUERIES)),
+        ("following", compiled(&FOLLOWING_QUERIES)),
+        ("preceding", compiled(&PRECEDING_QUERIES)),
+        ("positional", compiled(&POSITIONAL_QUERIES)),
+    ];
+
+    // Sanity: identical answers on both paths, for every mix.
+    for (axis, queries) in &mixes {
+        assert_eq!(
+            run_all_unprepared(queries, &doc),
+            run_all_prepared(queries, &prepared),
+            "prepared evaluation diverged on the {axis} mix"
+        );
+    }
+
+    let mut group = c.benchmark_group("axis_index");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    for (axis, queries) in &mixes {
+        group.bench_function(format!("{axis}_unprepared"), |b| {
+            b.iter(|| run_all_unprepared(queries, &doc))
+        });
+        group.bench_function(format!("{axis}_prepared"), |b| {
+            b.iter(|| run_all_prepared(queries, &prepared))
+        });
+    }
+    group.finish();
+
+    // Headline ratios, measured directly so each axis shows up as one line.
+    // Skipped in `--test` smoke mode: CI only proves the routines run.
+    if std::env::args().skip(1).any(|a| a == "--test") {
+        return;
+    }
+    for (axis, queries) in &mixes {
+        // Preceding walks are quadratic-ish unprepared; keep rounds small.
+        let rounds = 5u32;
+        let start = Instant::now();
+        for _ in 0..rounds {
+            criterion::black_box(run_all_unprepared(queries, &doc));
+        }
+        let unprepared = start.elapsed();
+        let start = Instant::now();
+        for _ in 0..rounds {
+            criterion::black_box(run_all_prepared(queries, &prepared));
+        }
+        let prepared_time = start.elapsed();
+        println!(
+            "axis_index/{axis}: {} nodes — unprepared {:?}, prepared {:?}, speedup {:.2}x",
+            doc.len(),
+            unprepared / rounds,
+            prepared_time / rounds,
+            unprepared.as_secs_f64() / prepared_time.as_secs_f64(),
+        );
+    }
+}
+
+criterion_group!(benches, bench_axis_index);
+criterion_main!(benches);

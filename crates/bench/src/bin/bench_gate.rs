@@ -1,0 +1,290 @@
+//! Bench-regression gate: turns the JSON lines emitted by the vendored
+//! criterion's `--json` flag into a committed-format `BENCH_results.json`
+//! and fails (exit code 1) when any tracked benchmark regressed against
+//! `BENCH_baseline.json` by more than the allowed fraction.
+//!
+//! ```text
+//! bench_gate --results <raw.jsonl>... [--out BENCH_results.json]
+//!            [--baseline BENCH_baseline.json] [--max-regression 0.25]
+//!            [--update-baseline] [--track-prefix <p>]
+//! ```
+//!
+//! * `--results` (repeatable): JSON-lines files produced by
+//!   `cargo bench -- --json <path>`; later entries win on duplicate names.
+//! * `--out`: merged results as one flat JSON object `{name: median_ns}`.
+//! * `--baseline`: the committed medians; only names present here are
+//!   *tracked* (gated).  A tracked bench missing from the results fails
+//!   the gate — a silently dropped bench is not a pass.
+//! * `--max-regression`: allowed fractional slowdown (default 0.25 = +25%).
+//! * `--update-baseline`: instead of gating, rewrite the baseline from the
+//!   merged results (optionally filtered by `--track-prefix`).
+//!
+//! The file formats are deliberately trivial — flat string→number maps —
+//! so this tool carries its own scanner instead of a JSON dependency (the
+//! build container is offline).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut results_files: Vec<String> = Vec::new();
+    let mut out_file: Option<String> = None;
+    let mut baseline_file: Option<String> = None;
+    let mut max_regression = 0.25f64;
+    let mut update_baseline = false;
+    let mut track_prefix: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--results" => results_files.extend(it.next()),
+            "--out" => out_file = it.next(),
+            "--baseline" => baseline_file = it.next(),
+            "--max-regression" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => max_regression = v,
+                None => return usage("--max-regression needs a number"),
+            },
+            "--update-baseline" => update_baseline = true,
+            "--track-prefix" => track_prefix = it.next(),
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+    if results_files.is_empty() {
+        return usage("at least one --results file is required");
+    }
+
+    let mut results: BTreeMap<String, f64> = BTreeMap::new();
+    for path in &results_files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_gate: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (name, median) in parse_jsonl_results(&text) {
+            results.insert(name, median);
+        }
+    }
+    println!("bench_gate: {} benchmark results collected", results.len());
+
+    if let Some(out) = &out_file {
+        if let Err(e) = std::fs::write(out, render_map(&results)) {
+            eprintln!("bench_gate: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bench_gate: wrote {out}");
+    }
+
+    let Some(baseline_path) = baseline_file else {
+        return ExitCode::SUCCESS;
+    };
+
+    if update_baseline {
+        let tracked: BTreeMap<String, f64> = results
+            .iter()
+            .filter(|(name, _)| match &track_prefix {
+                Some(p) => name.starts_with(p.as_str()),
+                None => true,
+            })
+            .map(|(n, v)| (n.clone(), *v))
+            .collect();
+        if let Err(e) = std::fs::write(&baseline_path, render_map(&tracked)) {
+            eprintln!("bench_gate: cannot write {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "bench_gate: wrote baseline {baseline_path} ({} tracked benches)",
+            tracked.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = parse_flat_object(&text);
+    if baseline.is_empty() {
+        eprintln!("bench_gate: baseline {baseline_path} tracks no benches");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    println!(
+        "bench_gate: gating {} tracked benches at +{:.0}%",
+        baseline.len(),
+        max_regression * 100.0
+    );
+    for (name, base) in &baseline {
+        match results.get(name) {
+            None => {
+                failures += 1;
+                println!("  FAIL  {name}: tracked bench missing from results");
+            }
+            Some(&now) => {
+                let ratio = now / base;
+                let verdict = if ratio > 1.0 + max_regression {
+                    failures += 1;
+                    "FAIL"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "  {verdict:<4}  {name}: {now:.0} ns vs baseline {base:.0} ns ({:+.1}%)",
+                    (ratio - 1.0) * 100.0
+                );
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench_gate: {failures} tracked bench(es) regressed or went missing");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: all tracked benches within budget");
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("bench_gate: {err}");
+    eprintln!(
+        "usage: bench_gate --results <raw.jsonl>... [--out <merged.json>] \
+         [--baseline <baseline.json>] [--max-regression 0.25] \
+         [--update-baseline] [--track-prefix <p>]"
+    );
+    ExitCode::FAILURE
+}
+
+/// Parses the JSON lines the vendored criterion emits: one object per line
+/// with at least `"name"` (string) and `"median_ns"` (number) fields.
+/// Malformed lines are skipped — a truncated file should not hide the
+/// benches that did report.
+fn parse_jsonl_results(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .filter_map(|line| {
+            let name = extract_string_field(line, "name")?;
+            let median = extract_number_field(line, "median_ns")?;
+            Some((name, median))
+        })
+        .collect()
+}
+
+/// Parses a flat JSON object of string keys and numeric values — the
+/// committed baseline / merged-results format.  Anything that is not a
+/// `"key": number` pair is ignored.
+fn parse_flat_object(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let mut rest = text;
+    while let Some((key, after_key)) = next_string(rest) {
+        let after_colon = after_key.trim_start();
+        let Some(after_colon) = after_colon.strip_prefix(':') else {
+            rest = after_key;
+            continue;
+        };
+        let num_text = after_colon.trim_start();
+        let end = num_text
+            .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+            .unwrap_or(num_text.len());
+        if let Ok(v) = num_text[..end].parse::<f64>() {
+            out.insert(key, v);
+        }
+        rest = &num_text[end..];
+    }
+    out
+}
+
+/// Finds the next JSON string literal, returning its unescaped contents and
+/// the remainder after the closing quote.
+fn next_string(text: &str) -> Option<(String, &str)> {
+    let start = text.find('"')?;
+    let mut value = String::new();
+    let mut chars = text[start + 1..].char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((value, &text[start + 1 + i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, escaped)) => value.push(escaped),
+                None => return None,
+            },
+            c => value.push(c),
+        }
+    }
+    None
+}
+
+fn extract_string_field(line: &str, field: &str) -> Option<String> {
+    let key = format!("\"{field}\":");
+    let at = line.find(&key)?;
+    next_string(&line[at + key.len()..]).map(|(s, _)| s)
+}
+
+fn extract_number_field(line: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let at = line.find(&key)?;
+    let rest = line[at + key.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Renders a flat name→median map as the committed JSON format: one sorted
+/// `"name": value` pair per line.
+fn render_map(map: &BTreeMap<String, f64>) -> String {
+    let mut s = String::from("{\n");
+    for (i, (name, v)) in map.iter().enumerate() {
+        let sep = if i + 1 == map.len() { "" } else { "," };
+        s.push_str(&format!(
+            "  \"{}\": {v:.1}{sep}\n",
+            name.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_round_trips_through_the_flat_object() {
+        let raw = concat!(
+            r#"{"name":"g/a","median_ns":120.5,"mean_ns":130.0,"samples":20,"mode":"sample"}"#,
+            "\n",
+            "not json at all\n",
+            r#"{"name":"g/b/7","median_ns":3e3,"mean_ns":1.0,"samples":1,"mode":"test"}"#,
+            "\n",
+        );
+        let parsed = parse_jsonl_results(raw);
+        assert_eq!(
+            parsed,
+            vec![("g/a".to_string(), 120.5), ("g/b/7".to_string(), 3000.0)]
+        );
+        let map: BTreeMap<String, f64> = parsed.into_iter().collect();
+        let rendered = render_map(&map);
+        assert_eq!(parse_flat_object(&rendered), map);
+    }
+
+    #[test]
+    fn flat_object_parser_accepts_whitespace_and_ignores_junk() {
+        let text = "{\n  \"x\": 1.5,\n  \"y\" : 2e2\n}\n";
+        let map = parse_flat_object(text);
+        assert_eq!(map.get("x"), Some(&1.5));
+        assert_eq!(map.get("y"), Some(&200.0));
+        assert_eq!(map.len(), 2);
+        assert!(parse_flat_object("").is_empty());
+    }
+
+    #[test]
+    fn escaped_names_survive() {
+        let mut map = BTreeMap::new();
+        map.insert("we\"ird".to_string(), 7.0);
+        let rendered = render_map(&map);
+        assert_eq!(parse_flat_object(&rendered), map);
+    }
+}

@@ -95,6 +95,14 @@ pub fn recommended_strategy(report: &FragmentReport, threads: usize) -> EvalStra
 /// algorithm family, document size picks the parallelism degree.
 pub const PARALLEL_MIN_NODES: usize = 512;
 
+/// Queries whose name-bounded candidate universe (tag-index selectivity,
+/// [`crate::steps::result_size_bound`]) is below this many nodes are
+/// evaluated sequentially even on large documents: the parallel plan's
+/// workers would each decide only a handful of plausible candidates, so
+/// spawn/merge overhead dominates.  Second refinement of the cost model —
+/// per-axis selectivity counts join document size in the plan choice.
+pub const PARALLEL_MIN_CANDIDATES: usize = 128;
+
 /// The size-degrade rule itself: a parallel plan on a document below
 /// [`PARALLEL_MIN_NODES`] nodes becomes sequential Singleton-Success;
 /// everything else is unchanged.  Single source of truth for both
@@ -109,6 +117,26 @@ fn degrade_for_size(strategy: EvalStrategy, node_count: usize) -> EvalStrategy {
     }
 }
 
+/// The selectivity-aware degrade rule: [`degrade_for_size`] plus the tag
+/// index — an auto-selected parallel plan falls back to sequential
+/// Singleton-Success when the document is small **or** the query's
+/// name-bounded candidate universe is below [`PARALLEL_MIN_CANDIDATES`].
+/// With an unindexed source the selectivity signal is unavailable and only
+/// the size rule applies.
+fn degrade_for_source<S: AxisSource + ?Sized>(
+    strategy: EvalStrategy,
+    expr: &Expr,
+    src: &S,
+) -> EvalStrategy {
+    match degrade_for_size(strategy, src.node_count()) {
+        s @ EvalStrategy::Parallel { .. } => match crate::steps::result_size_bound(expr, src) {
+            Some(bound) if bound < PARALLEL_MIN_CANDIDATES => EvalStrategy::SingletonSuccess,
+            _ => s,
+        },
+        s => s,
+    }
+}
+
 /// Size-aware refinement of [`recommended_strategy`]: identical, except
 /// that the parallel plan degrades to sequential Singleton-Success below
 /// [`PARALLEL_MIN_NODES`] document nodes.  Used automatically whenever a
@@ -119,6 +147,19 @@ pub fn recommended_strategy_for_document(
     node_count: usize,
 ) -> EvalStrategy {
     degrade_for_size(recommended_strategy(report, threads), node_count)
+}
+
+/// Source-aware refinement of [`recommended_strategy_for_document`]: the
+/// document size rule plus tag-index selectivity
+/// ([`PARALLEL_MIN_CANDIDATES`]).  This is what the prepared evaluation
+/// entry points use when the strategy is selected automatically.
+pub fn recommended_strategy_for_source<S: AxisSource + ?Sized>(
+    report: &FragmentReport,
+    threads: usize,
+    expr: &Expr,
+    src: &S,
+) -> EvalStrategy {
+    degrade_for_source(recommended_strategy(report, threads), expr, src)
 }
 
 /// The result of one evaluation: the XPath value, the unified work counters
@@ -250,6 +291,21 @@ impl CompiledQuery {
         }
     }
 
+    /// The strategy that will run against a concrete document source: the
+    /// [`CompiledQuery::strategy_for`] size rule plus, when the source
+    /// carries a tag index, the selectivity rule — an auto parallel plan
+    /// whose name-bounded candidate universe is below
+    /// [`PARALLEL_MIN_CANDIDATES`] degrades to sequential
+    /// Singleton-Success.  This is what every `*_prepared` entry point
+    /// dispatches through.
+    pub fn strategy_for_source<S: AxisSource + ?Sized>(&self, src: &S) -> EvalStrategy {
+        if self.auto_plan {
+            degrade_for_source(self.plan, &self.expr, src)
+        } else {
+            self.plan
+        }
+    }
+
     /// Evaluates against a document from the canonical root context.
     pub fn run(&self, doc: &Document) -> Result<QueryOutput, EvalError> {
         self.run_with_context(doc, Context::root(doc))
@@ -269,7 +325,7 @@ impl CompiledQuery {
         doc: &PreparedDocument,
         ctx: Context,
     ) -> Result<QueryOutput, EvalError> {
-        let strategy = self.strategy_for(doc.node_count());
+        let strategy = self.strategy_for_source(doc);
         let (value, stats) = execute(strategy, doc, &self.expr, ctx)?;
         Ok(QueryOutput {
             value,
@@ -305,7 +361,7 @@ impl CompiledQuery {
         &'s self,
         doc: &'s PreparedDocument,
     ) -> Result<NodeStream<'s>, EvalError> {
-        self.stream_on(doc, self.strategy_for(doc.node_count()))
+        self.stream_on(doc, self.strategy_for_source(doc))
     }
 
     fn stream_on<'s, S: AxisSource>(
@@ -405,7 +461,7 @@ impl CompiledQuery {
         doc: &PreparedDocument,
         contexts: &[Context],
     ) -> Result<Vec<QueryOutput>, EvalError> {
-        self.run_many_on(doc, self.strategy_for(doc.node_count()), contexts)
+        self.run_many_on(doc, self.strategy_for_source(doc), contexts)
     }
 
     fn run_many_on<S: AxisSource>(
@@ -690,6 +746,67 @@ mod tests {
         // Non-parallel plans are unaffected.
         let linear = CompiledQuery::compile("/a/b").unwrap();
         assert_eq!(linear.strategy_for(10), EvalStrategy::CoreXPathLinear);
+    }
+
+    #[test]
+    fn selective_queries_degrade_auto_parallel_plans() {
+        use xpeval_dom::DocumentBuilder;
+        // A large document (well above PARALLEL_MIN_NODES) where tag "rare"
+        // occurs a handful of times and tag "common" everywhere.
+        let mut b = DocumentBuilder::new();
+        b.open_element("root");
+        for i in 0..PARALLEL_MIN_NODES * 2 {
+            if i % 500 == 0 {
+                b.leaf_element("rare");
+            } else {
+                b.leaf_element("common");
+            }
+        }
+        b.close_element();
+        let prepared = b.finish().prepare();
+        assert!(prepared.node_count() >= 2 * PARALLEL_MIN_NODES);
+
+        let opts = CompileOptions {
+            threads: 4,
+            ..CompileOptions::default()
+        };
+        let rare = CompiledQuery::compile_with("//rare[position() = last()]", &opts).unwrap();
+        assert!(matches!(rare.strategy(), EvalStrategy::Parallel { .. }));
+        // Tag selectivity says at most a few candidates: sequential wins.
+        assert_eq!(
+            rare.strategy_for_source(&prepared),
+            EvalStrategy::SingletonSuccess
+        );
+        // The size-only rule cannot see that.
+        assert!(matches!(
+            rare.strategy_for(prepared.node_count()),
+            EvalStrategy::Parallel { .. }
+        ));
+        // A non-selective query keeps the parallel plan...
+        let common = CompiledQuery::compile_with("//common[position() = last()]", &opts).unwrap();
+        assert!(matches!(
+            common.strategy_for_source(&prepared),
+            EvalStrategy::Parallel { .. }
+        ));
+        // ...and so does a selective query on an unindexed source (the
+        // signal is simply unavailable there).
+        assert!(matches!(
+            rare.strategy_for_source(prepared.document()),
+            EvalStrategy::Parallel { .. }
+        ));
+        // Explicit strategy choices are never re-tuned.
+        let fixed = rare
+            .clone()
+            .with_strategy(EvalStrategy::Parallel { threads: 4 });
+        assert!(matches!(
+            fixed.strategy_for_source(&prepared),
+            EvalStrategy::Parallel { .. }
+        ));
+        // And the degraded plan still computes the same answer.
+        assert_eq!(
+            rare.run_prepared(&prepared).unwrap().value,
+            rare.run(prepared.document()).unwrap().value
+        );
     }
 
     #[test]

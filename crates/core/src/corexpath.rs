@@ -435,19 +435,22 @@ impl<'d, S: AxisSource + ?Sized> CoreXPathEvaluator<'d, S> {
             }
             Axis::Following => {
                 // v is following of some u ∈ S iff pre(v) >= min over u of
-                // the pre of the first node after u's subtree.
+                // the end of u's subtree interval (the pre of the first node
+                // after the subtree).  The prepared index answers the
+                // interval end in O(1); the fallback walks sibling/parent
+                // links.
                 let mut min_start = u32::MAX;
                 for u in s.iter_nodes() {
                     if doc.kind(u).is_attribute() {
                         continue;
                     }
-                    if let Some(f) = first_following(doc, u) {
-                        min_start = min_start.min(doc.pre(f));
-                    }
+                    min_start = min_start.min(self.subtree_end_of(u));
                 }
-                if min_start != u32::MAX {
-                    for &node in self.order.iter() {
-                        if doc.pre(node) >= min_start && !doc.kind(node).is_attribute() {
+                if (min_start as usize) < self.n {
+                    // order[k] is the node with preorder number k, so the
+                    // complement range is one slice of the document order.
+                    for &node in &self.order[min_start as usize..] {
+                        if !doc.kind(node).is_attribute() {
                             out.insert(node);
                         }
                     }
@@ -455,7 +458,9 @@ impl<'d, S: AxisSource + ?Sized> CoreXPathEvaluator<'d, S> {
             }
             Axis::Preceding => {
                 // v precedes some u ∈ S iff u is following of v, i.e. iff
-                // max over u of pre(u) >= pre of v's first following node.
+                // the end of v's subtree interval is <= max over u of pre(u).
+                // Only nodes with pre < max_pre can satisfy that, so the
+                // sweep is one range scan of the document order.
                 let mut max_pre = None;
                 for u in s.iter_nodes() {
                     if doc.kind(u).is_attribute() {
@@ -464,20 +469,28 @@ impl<'d, S: AxisSource + ?Sized> CoreXPathEvaluator<'d, S> {
                     max_pre = Some(max_pre.map_or(doc.pre(u), |m: u32| m.max(doc.pre(u))));
                 }
                 if let Some(max_pre) = max_pre {
-                    for &node in self.order.iter() {
+                    for &node in &self.order[..max_pre as usize] {
                         if doc.kind(node).is_attribute() {
                             continue;
                         }
-                        if let Some(f) = first_following(doc, node) {
-                            if doc.pre(f) <= max_pre {
-                                out.insert(node);
-                            }
+                        if self.subtree_end_of(node) <= max_pre {
+                            out.insert(node);
                         }
                     }
                 }
             }
         }
         out
+    }
+
+    /// Exclusive end of `n`'s preorder subtree interval: from the prepared
+    /// index when available, otherwise the preorder number of the first
+    /// node after the subtree (or the universe size when none follows).
+    fn subtree_end_of(&self, n: NodeId) -> u32 {
+        if let Some((_, end)) = self.src.subtree_interval(n) {
+            return end;
+        }
+        first_following(self.doc, n).map_or(self.n as u32, |f| self.doc.pre(f))
     }
 }
 

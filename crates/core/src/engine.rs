@@ -4,7 +4,8 @@
 //! [`Engine`] is the serving façade over the compile-once pipeline of
 //! [`crate::compile`].  It is configured through [`EngineBuilder`] (strategy
 //! override, worker threads, plan-cache capacity), compiles query strings
-//! into [`CompiledQuery`] plans through a bounded LRU [`PlanCache`], and
+//! into [`CompiledQuery`] plans through a bounded LRU
+//! [`PlanCache`](crate::cache::PlanCache), and
 //! offers batch entry points ([`Engine::evaluate_many`],
 //! [`Engine::evaluate_batch`]) next to the classic one-shot calls.
 //!
@@ -15,7 +16,7 @@
 
 use crate::cache::{CacheStats, DocumentCache, ShardedPlanCache};
 use crate::compile::{
-    default_threads, recommended_strategy, recommended_strategy_for_document, CompileOptions,
+    default_threads, recommended_strategy, recommended_strategy_for_source, CompileOptions,
     CompiledQuery, QueryOutput,
 };
 use crate::context::Context;
@@ -290,8 +291,8 @@ impl Engine {
 
     /// Evaluates a query against a prepared document from the canonical
     /// root context.  With automatic strategy selection the document's node
-    /// count participates in the choice
-    /// ([`recommended_strategy_for_document`]).
+    /// count and the tag-index selectivity of the query participate in the
+    /// choice ([`recommended_strategy_for_source`]).
     pub fn evaluate_prepared(
         &self,
         doc: &PreparedDocument,
@@ -299,9 +300,7 @@ impl Engine {
     ) -> Result<Value, EvalError> {
         let strategy = match self.strategy {
             Some(s) => s,
-            None => {
-                recommended_strategy_for_document(&classify(query), self.threads, doc.node_count())
-            }
+            None => recommended_strategy_for_source(&classify(query), self.threads, query, doc),
         };
         let ctx = Context::root(doc.document());
         crate::compile::execute(strategy, doc, query, ctx).map(|(value, _)| value)

@@ -100,7 +100,12 @@ impl<'d, S: AxisSource + ?Sized> ParallelEvaluator<'d, S> {
         query: &Expr,
         ctx: Context,
     ) -> Result<(Vec<NodeId>, EvalStats), EvalError> {
-        let candidates: Vec<NodeId> = self.doc.all_nodes().collect();
+        // With a tag index the candidate universe shrinks to the nodes the
+        // query's final name test can select (same pruning as the
+        // sequential checker's node-set recovery), so each worker decides
+        // plausible candidates only.
+        let candidates: Vec<NodeId> = crate::steps::result_candidates(query, self.src)
+            .unwrap_or_else(|| self.doc.all_nodes().collect());
         if self.threads <= 1 || candidates.len() < 2 {
             let checker = SingletonSuccess::new(self.src, query)?;
             let nodes = checker.node_set(ctx)?;

@@ -9,14 +9,19 @@
 //! every filter exactly as the recommendation prescribes.
 //!
 //! Candidates come from an [`AxisSource`], so a [`xpeval_dom::Document`]
-//! walks the tree while a [`xpeval_dom::PreparedDocument`] answers
-//! descendant name tests from its indexes.
+//! walks the tree while a [`xpeval_dom::PreparedDocument`] answers name
+//! tests on the child/descendant/following/preceding axes from its indexes.
+//! A leading positional predicate on a child step (`child::t[k]`,
+//! `child::t[last()]` and the `position() =` spellings) is recognized here
+//! and answered through [`AxisSource::positional_child_step`], so every
+//! evaluator built on [`apply_step`] picks the indexed lookup up without
+//! per-evaluator special cases.
 
 use crate::context::Context;
 use crate::error::EvalError;
 use crate::value::Value;
-use xpeval_dom::{AxisSource, NodeId};
-use xpeval_syntax::{Expr, Step};
+use xpeval_dom::{Axis, AxisSource, NodeId, PositionalPick};
+use xpeval_syntax::{Expr, RelOp, Step};
 
 /// Applies one location step from a single context node.
 ///
@@ -33,12 +38,147 @@ where
     S: AxisSource + ?Sized,
     F: FnMut(&Expr, Context) -> Result<Value, EvalError>,
 {
-    // Candidates in document order.
-    let mut candidates: Vec<NodeId> = src.axis_step(from, step.axis, &step.node_test);
-    for pred in &step.predicates {
+    let mut candidates: Vec<NodeId>;
+    let mut remaining: &[Expr] = &step.predicates;
+    // Indexed fast path: a child step whose first predicate is positional
+    // selects at most one node, and an index can often find it without
+    // enumerating the axis or evaluating the predicate per candidate.
+    if let Some((pick, rest)) = leading_positional_pick(step) {
+        match src.positional_child_step(from, &step.node_test, pick) {
+            Some(picked) => {
+                candidates = picked;
+                remaining = rest;
+            }
+            None => candidates = src.axis_step(from, step.axis, &step.node_test),
+        }
+    } else {
+        // Candidates in document order.
+        candidates = src.axis_step(from, step.axis, &step.node_test);
+    }
+    for pred in remaining {
         candidates = filter_by_predicate(&candidates, step.axis.is_reverse(), pred, eval_pred)?;
     }
     Ok(candidates)
+}
+
+/// Recognizes a step of the form `child::t[positional]...`: returns the
+/// positional pick of the first predicate and the remaining predicates.
+///
+/// Only the child axis qualifies (it is a forward axis, so proximity
+/// positions count in document order exactly like the candidate lists the
+/// indexes store).  The recognized spellings are the ones whose XPath §2.4
+/// truth value depends on nothing but the proximity position: a positive
+/// integer literal `[k]`, `[last()]`, `[position() = k]` and
+/// `[position() = last()]` (either operand order).
+fn leading_positional_pick(step: &Step) -> Option<(PositionalPick, &[Expr])> {
+    if step.axis != Axis::Child {
+        return None;
+    }
+    let first = step.predicates.first()?;
+    positional_pick(first).map(|pick| (pick, &step.predicates[1..]))
+}
+
+/// The [`PositionalPick`] a predicate expression reduces to, if any.
+fn positional_pick(pred: &Expr) -> Option<PositionalPick> {
+    match pred {
+        Expr::Number(k) => literal_pick(*k),
+        Expr::FunctionCall { name, args } if name == "last" && args.is_empty() => {
+            Some(PositionalPick::Last)
+        }
+        Expr::Relational {
+            op: RelOp::Eq,
+            left,
+            right,
+        } => match (&**left, &**right) {
+            (l, r) if is_position_call(l) => equality_pick(r),
+            (l, r) if is_position_call(r) => equality_pick(l),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// `position() = e`: the pick for the right-hand side `e`.
+fn equality_pick(e: &Expr) -> Option<PositionalPick> {
+    match e {
+        Expr::Number(k) => literal_pick(*k),
+        Expr::FunctionCall { name, args } if name == "last" && args.is_empty() => {
+            Some(PositionalPick::Last)
+        }
+        _ => None,
+    }
+}
+
+/// A numeric literal as a positional pick.  Non-positive and non-integer
+/// literals never equal a proximity position, which `Nth(0)` encodes (every
+/// index answers it with the empty selection).
+fn literal_pick(k: f64) -> Option<PositionalPick> {
+    if k >= 1.0 && k.fract() == 0.0 && k <= usize::MAX as f64 {
+        Some(PositionalPick::Nth(k as usize))
+    } else {
+        Some(PositionalPick::Nth(0))
+    }
+}
+
+fn is_position_call(e: &Expr) -> bool {
+    matches!(e, Expr::FunctionCall { name, args } if name == "position" && args.is_empty())
+}
+
+/// Upper bound on the size of a node-set query's result, read off the tag
+/// index: a path ending in `axis::tag` (element-principal axis) can select
+/// at most the elements carrying that tag, and a union at most the sum of
+/// its arms.  `None` when the result is not name-bounded or the source has
+/// no tag index — the unified "don't know" answer.
+pub fn result_size_bound<S: AxisSource + ?Sized>(expr: &Expr, src: &S) -> Option<usize> {
+    match expr {
+        Expr::Path(path) => {
+            let last = path.steps.last()?;
+            if last.axis.principal_is_attribute() {
+                return None;
+            }
+            match &last.node_test {
+                xpeval_dom::NodeTest::Name(name) => src.elements_named(name).map(<[NodeId]>::len),
+                _ => None,
+            }
+        }
+        Expr::Union(a, b) => Some(result_size_bound(a, src)? + result_size_bound(b, src)?),
+        _ => None,
+    }
+}
+
+/// The candidate list behind [`result_size_bound`]: every node the query
+/// could possibly select, in document order.  `None` under the same
+/// conditions.  Evaluators that recover a node-set result by deciding
+/// membership per candidate (Singleton-Success, the parallel loop) iterate
+/// this list instead of the whole document.
+pub fn result_candidates<S: AxisSource + ?Sized>(expr: &Expr, src: &S) -> Option<Vec<NodeId>> {
+    fn collect<S: AxisSource + ?Sized>(expr: &Expr, src: &S, out: &mut Vec<NodeId>) -> Option<()> {
+        match expr {
+            Expr::Path(path) => {
+                let last = path.steps.last()?;
+                if last.axis.principal_is_attribute() {
+                    return None;
+                }
+                match &last.node_test {
+                    xpeval_dom::NodeTest::Name(name) => {
+                        out.extend_from_slice(src.elements_named(name)?);
+                        Some(())
+                    }
+                    _ => None,
+                }
+            }
+            Expr::Union(a, b) => {
+                collect(a, src, out)?;
+                collect(b, src, out)
+            }
+            _ => None,
+        }
+    }
+    let mut out = Vec::new();
+    collect(expr, src, &mut out)?;
+    src.document().sort_document_order(&mut out);
+    out.dedup();
+    Some(out)
 }
 
 /// Filters a candidate list by one predicate, assigning proximity positions.
@@ -167,6 +307,81 @@ mod tests {
         let out = apply_step(&d, r, &step, &mut tiny_eval).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(d.string_value(out[0]), "3");
+    }
+
+    #[test]
+    fn positional_pick_recognition() {
+        use xpeval_dom::PositionalPick::*;
+        let cases = [
+            ("child::a[2]", Some(Nth(2))),
+            ("child::a[last()]", Some(Last)),
+            ("child::a[position() = 3]", Some(Nth(3))),
+            ("child::a[3 = position()]", Some(Nth(3))),
+            ("child::a[position() = last()]", Some(Last)),
+            ("child::a[0.5]", Some(Nth(0))),
+            ("child::a[position() >= 2]", None),
+            ("child::a[last() = 3]", None),
+            ("descendant::a[2]", None),
+            ("preceding-sibling::a[1]", None),
+        ];
+        for (src, expected) in cases {
+            let step = match parse_query(src).unwrap() {
+                Expr::Path(p) => p.steps[0].clone(),
+                _ => unreachable!(),
+            };
+            assert_eq!(
+                leading_positional_pick(&step).map(|(p, _)| p),
+                expected,
+                "{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn positional_fast_path_agrees_with_filtering() {
+        let d = doc();
+        let prepared = xpeval_dom::PreparedDocument::new(d.clone());
+        let r = d.first_child(d.root()).unwrap();
+        for q in [
+            "child::a[1]",
+            "child::a[2]",
+            "child::a[3]",
+            "child::a[4]",
+            "child::a[last()]",
+            "child::a[position() = last()]",
+            "child::*[2]",
+            "child::node()[last()]",
+            "child::a[0.5]",
+            "child::a[last()][1]",
+        ] {
+            let step = match parse_query(q).unwrap() {
+                Expr::Path(p) => p.steps[0].clone(),
+                _ => unreachable!(),
+            };
+            let plain = apply_step(&d, r, &step, &mut tiny_eval).unwrap();
+            let fast = apply_step(&prepared, r, &step, &mut tiny_eval).unwrap();
+            assert_eq!(plain, fast, "{q}");
+        }
+    }
+
+    #[test]
+    fn positional_fast_path_skips_predicate_evaluation() {
+        let d = doc();
+        let prepared = xpeval_dom::PreparedDocument::new(d.clone());
+        let r = d.first_child(d.root()).unwrap();
+        let step = match parse_query("child::a[2]").unwrap() {
+            Expr::Path(p) => p.steps[0].clone(),
+            _ => unreachable!(),
+        };
+        let mut calls = 0usize;
+        let mut counting = |e: &Expr, ctx: Context| {
+            calls += 1;
+            tiny_eval(e, ctx)
+        };
+        let out = apply_step(&prepared, r, &step, &mut counting).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(d.string_value(out[0]), "2");
+        assert_eq!(calls, 0, "index answered without predicate evaluation");
     }
 
     #[test]

@@ -135,12 +135,28 @@ impl<'d, 'q, S: AxisSource + ?Sized> SingletonSuccess<'d, 'q, S> {
     }
 
     /// Recovers the full node-set result by deciding Singleton-Success once
-    /// per document node (the loop of Theorem 5.5).
+    /// per candidate node (the loop of Theorem 5.5).
+    ///
+    /// With a tag index available the candidates are pruned to the nodes
+    /// the query's final name test can select at all
+    /// ([`crate::steps::result_candidates`]) instead of every document
+    /// node; the decision procedure itself is unchanged.
     pub fn node_set(&self, ctx: Context) -> Result<Vec<NodeId>, EvalError> {
         let mut out = Vec::new();
-        for v in self.doc.all_nodes() {
-            if self.selects(self.query, ctx, v)? {
-                out.push(v);
+        match crate::steps::result_candidates(self.query, self.src) {
+            Some(candidates) => {
+                for v in candidates {
+                    if self.selects(self.query, ctx, v)? {
+                        out.push(v);
+                    }
+                }
+            }
+            None => {
+                for v in self.doc.all_nodes() {
+                    if self.selects(self.query, ctx, v)? {
+                        out.push(v);
+                    }
+                }
             }
         }
         self.doc.sort_document_order(&mut out);

@@ -17,7 +17,8 @@
 //!   time ancestorship tests — the primitives the linear-time Core XPath
 //!   evaluator and the context-value-table evaluator rely on,
 //! * prepare-once axis indexes ([`PreparedDocument`]: tag-name lists,
-//!   preorder subtree intervals, sibling-position tables) behind the
+//!   per-parent tag buckets, preorder subtree intervals and their
+//!   following/preceding complements, sibling-position tables) behind the
 //!   [`AxisSource`] trait that all evaluators consume,
 //! * a programmatic [`DocumentBuilder`], a small well-formed XML parser
 //!   ([`parse_xml`]) and a serializer.
@@ -59,4 +60,4 @@ pub use node::{Document, NodeId, NodeKind};
 pub use parse::{parse_xml, XmlParseError};
 pub use prepared::PreparedDocument;
 pub use serialize::serialize;
-pub use source::AxisSource;
+pub use source::{AxisSource, PositionalPick, CHILD_BUCKET_MIN_CHILDREN};

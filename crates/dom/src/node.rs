@@ -167,8 +167,8 @@ impl Document {
     }
 
     /// Iterator over every node id in arena order (which equals document
-    /// order after [`finalize`](Self::finalize) since the builder appends in
-    /// preorder).
+    /// order after the builder's finalization pass since the builder
+    /// appends in preorder).
     pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.nodes.len() as u32).map(NodeId)
     }

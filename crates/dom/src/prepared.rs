@@ -19,13 +19,22 @@
 //!   ([`PreparedDocument::pre_interval`]), so descendant enumeration is a
 //!   contiguous range of the document-order table and
 //!   `descendant::tag` is two binary searches into the tag index
-//!   ([`PreparedDocument::descendants_named`]),
+//!   ([`PreparedDocument::descendants_named`]).  The same intervals answer
+//!   the *complement* axes: `following::tag` is the tag-list suffix at the
+//!   subtree end ([`PreparedDocument::following_named`]) and
+//!   `preceding::tag` is the prefix before the node minus its (at most
+//!   depth-many) ancestors ([`PreparedDocument::preceding_named`]) — each
+//!   axis at most two range scans over document order,
+//! * a **per-parent tag index** — the same element lists re-sorted by
+//!   parent, so `child::tag` is a contiguous bucket found by two binary
+//!   searches ([`PreparedDocument::children_named`]) instead of a walk over
+//!   every child,
 //! * **position tables** — each node's 1-based position among its siblings
 //!   and each node's child count ([`PreparedDocument::sibling_position`],
 //!   [`PreparedDocument::child_count`]).  The child counts size the
-//!   child-axis candidate lists exactly; the sibling positions are the
-//!   O(1) primitive positional predicates over `child` steps reduce to
-//!   (wiring them into the step semantics is a ROADMAP follow-up).
+//!   child-axis candidate lists exactly; the sibling positions and buckets
+//!   are the O(1) primitives positional child predicates (`[k]`,
+//!   `[last()]`) reduce to ([`PreparedDocument::nth_child`]).
 //!
 //! `PreparedDocument` holds the underlying document in an [`Arc`], derefs to
 //! it, and implements [`crate::AxisSource`], so every evaluator accepts it
@@ -69,6 +78,11 @@ pub struct PreparedDocument {
     subtree_end: Vec<u32>,
     /// Element tag name → elements carrying it, in document order.
     by_name: HashMap<String, Vec<NodeId>>,
+    /// Element tag name → elements carrying it, sorted by the preorder
+    /// number of their *parent* (ties broken by own preorder number), so
+    /// the children of one parent with a given tag form a contiguous
+    /// bucket, internally in document order.
+    child_by_name: HashMap<String, Vec<NodeId>>,
     /// 1-based position of each node among its parent's children
     /// (0 for the root and for attribute nodes, which are not children).
     sibling_pos: Vec<u32>,
@@ -113,6 +127,13 @@ impl PreparedDocument {
             }
         }
 
+        // Per-parent tag buckets: the same lists keyed by parent preorder
+        // number.  A stable sort keeps same-parent runs in document order.
+        let mut child_by_name = by_name.clone();
+        for list in child_by_name.values_mut() {
+            list.sort_by_key(|&n| doc.parent(n).map_or(0, |p| doc.pre(p)));
+        }
+
         // Sibling positions and child counts.
         let mut sibling_pos = vec![0u32; len];
         let mut child_count = vec![0u32; len];
@@ -132,6 +153,7 @@ impl PreparedDocument {
             order,
             subtree_end,
             by_name,
+            child_by_name,
             sibling_pos,
             child_count,
         }
@@ -194,9 +216,102 @@ impl PreparedDocument {
         &list[lo..hi]
     }
 
+    /// The children of `n` with tag `name` (the `child::name` node set), in
+    /// document order.
+    ///
+    /// Two binary searches into the per-parent tag index locate the bucket
+    /// of `n`'s matching children: O(log |D| + answer size) instead of a
+    /// walk over every child.
+    pub fn children_named(&self, n: NodeId, name: &str) -> &[NodeId] {
+        let list = self
+            .child_by_name
+            .get(name)
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        let parent_pre = self.doc.pre(n);
+        let lo = list.partition_point(|&m| self.parent_pre(m) < parent_pre);
+        let hi = list.partition_point(|&m| self.parent_pre(m) <= parent_pre);
+        &list[lo..hi]
+    }
+
+    #[inline]
+    fn parent_pre(&self, n: NodeId) -> u32 {
+        self.doc.parent(n).map_or(0, |p| self.doc.pre(p))
+    }
+
+    /// The elements with tag `name` on the `following` axis of `n`: every
+    /// element after `n`'s subtree in document order.
+    ///
+    /// The preorder interval makes this the tag-list suffix starting at
+    /// `n`'s subtree end — a single binary search.
+    ///
+    /// `n` must not be an attribute node (the XPath data model places an
+    /// attribute's notional subtree inside its owner element, so the
+    /// interval complement does not describe its `following` axis).
+    pub fn following_named(&self, n: NodeId, name: &str) -> &[NodeId] {
+        debug_assert!(!self.doc.kind(n).is_attribute());
+        let list = self.elements_named(name);
+        let (_, end) = self.pre_interval(n);
+        let lo = list.partition_point(|&m| self.doc.pre(m) < end);
+        &list[lo..]
+    }
+
+    /// The elements with tag `name` on the `preceding` axis of `n`: every
+    /// element strictly before `n` in document order that is not an
+    /// ancestor of `n`.
+    ///
+    /// One binary search bounds the tag-list prefix before `n`; the scan
+    /// then skips the at most depth-many ancestors (exactly the elements
+    /// in the prefix whose subtree interval still covers `n`), so the cost
+    /// is O(log |D| + prefix size) with no sorting.
+    pub fn preceding_named(&self, n: NodeId, name: &str) -> Vec<NodeId> {
+        let list = self.elements_named(name);
+        let pre = self.doc.pre(n);
+        let hi = list.partition_point(|&m| self.doc.pre(m) < pre);
+        list[..hi]
+            .iter()
+            .copied()
+            .filter(|&m| self.subtree_end[m.index()] <= pre)
+            .collect()
+    }
+
+    /// The `k`-th (1-based) node of the `child::test`-candidate list of `n`
+    /// for a *name* test, straight from the per-parent bucket; `None` when
+    /// there are fewer than `k` matching children.
+    pub fn nth_child_named(&self, n: NodeId, name: &str, k: usize) -> Option<NodeId> {
+        let bucket = self.children_named(n, name);
+        k.checked_sub(1).and_then(|ix| bucket.get(ix)).copied()
+    }
+
+    /// The last child of `n` with tag `name`, from the per-parent bucket.
+    pub fn last_child_named(&self, n: NodeId, name: &str) -> Option<NodeId> {
+        self.children_named(n, name).last().copied()
+    }
+
+    /// The `k`-th (1-based) child of `n`, counting every child node kind
+    /// (`child::node()[k]`).  Walks at most `k` sibling links after an O(1)
+    /// bounds check against the child-count table.
+    pub fn nth_child(&self, n: NodeId, k: usize) -> Option<NodeId> {
+        if k == 0 || k > self.child_count(n) {
+            return None;
+        }
+        let mut c = self.doc.first_child(n);
+        for _ in 1..k {
+            c = self.doc.next_sibling(c?);
+        }
+        c
+    }
+
     /// Every distinct element tag occurring in the document.
     pub fn tag_names(&self) -> impl Iterator<Item = &str> {
         self.by_name.keys().map(String::as_str)
+    }
+
+    /// Number of elements carrying tag `name` — the bucket size the cost
+    /// model uses as a selectivity estimate.
+    #[inline]
+    pub fn tag_count(&self, name: &str) -> usize {
+        self.elements_named(name).len()
     }
 
     /// 1-based position of `n` among its parent's children, counting every
@@ -311,6 +426,59 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn children_named_equals_the_child_axis() {
+        let p = sample();
+        for n in p.document().all_nodes() {
+            for tag in ["a", "b", "c", "nosuch"] {
+                let expected = p.document().axis_step(n, Axis::Child, &NodeTest::name(tag));
+                assert_eq!(p.children_named(n, tag), expected.as_slice(), "{n:?}/{tag}");
+            }
+        }
+    }
+
+    #[test]
+    fn following_and_preceding_named_equal_the_axes() {
+        let p = sample();
+        for n in p.document().all_nodes() {
+            if p.kind(n).is_attribute() {
+                continue;
+            }
+            for tag in ["a", "b", "c", "nosuch"] {
+                let fwd = p
+                    .document()
+                    .axis_step(n, Axis::Following, &NodeTest::name(tag));
+                assert_eq!(p.following_named(n, tag), fwd.as_slice(), "{n:?}/{tag}");
+                let bwd = p
+                    .document()
+                    .axis_step(n, Axis::Preceding, &NodeTest::name(tag));
+                assert_eq!(p.preceding_named(n, tag), bwd, "{n:?}/{tag}");
+            }
+        }
+    }
+
+    #[test]
+    fn positional_child_lookups() {
+        let p = sample();
+        let r = p.first_child(p.root()).unwrap();
+        // <r> has children a, b, c.
+        assert_eq!(p.nth_child(r, 1), p.first_child(r));
+        assert_eq!(p.nth_child(r, 3), p.last_child(r));
+        assert_eq!(p.nth_child(r, 0), None);
+        assert_eq!(p.nth_child(r, 4), None);
+        let a = p.first_child(r).unwrap();
+        // <a> has children b, c, b.
+        let bs = p.children_named(a, "b");
+        assert_eq!(p.nth_child_named(a, "b", 1), Some(bs[0]));
+        assert_eq!(p.nth_child_named(a, "b", 2), Some(bs[1]));
+        assert_eq!(p.nth_child_named(a, "b", 3), None);
+        assert_eq!(p.nth_child_named(a, "b", 0), None);
+        assert_eq!(p.last_child_named(a, "b"), Some(bs[1]));
+        assert_eq!(p.last_child_named(a, "nosuch"), None);
+        assert_eq!(p.tag_count("b"), 4);
+        assert_eq!(p.tag_count("nosuch"), 0);
     }
 
     #[test]

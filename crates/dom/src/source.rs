@@ -8,17 +8,40 @@
 //!   plain tree walks the document already supports, so all existing
 //!   `&Document` call sites keep working unchanged;
 //! * [`PreparedDocument`] — the fast path: axis enumeration and name tests
-//!   are answered from the prepare-once indexes (tag lists, preorder
-//!   subtree intervals, precomputed document order).
+//!   are answered from the prepare-once indexes (tag lists, per-parent tag
+//!   buckets, preorder subtree intervals, precomputed document order).
 //!
 //! The trait is deliberately small — it covers exactly the primitives the
 //! evaluators' inner loops use, so a new index only has to override the
-//! methods it accelerates.
+//! methods it accelerates.  The indexed [`AxisSource::axis_step`] covers the
+//! descendant axes (tag-list range), the child axis (per-parent bucket) and
+//! the `following`/`preceding` axes (preorder-interval complements: each
+//! axis is at most two range scans over document order).  Positional child
+//! predicates short-circuit through [`AxisSource::positional_child_step`].
 
 use crate::axes::{Axis, NodeTest};
 use crate::node::{Document, NodeId};
 use crate::prepared::PreparedDocument;
 use std::borrow::Cow;
+
+/// Child steps on nodes with at most this many children walk the sibling
+/// chain even when a per-parent tag bucket exists: below it, two binary
+/// searches into the whole tag list (each probe chasing parent and preorder
+/// lookups) cost more than comparing a handful of child tags directly.
+/// Above it — wide nodes, where the child walk is what hurts — the bucket
+/// wins.
+pub const CHILD_BUCKET_MIN_CHILDREN: usize = 16;
+
+/// A positional predicate an index can answer directly: `[k]` (equivalently
+/// `[position() = k]`) or `[last()]` (equivalently `[position() = last()]`)
+/// on a forward axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PositionalPick {
+    /// The `k`-th candidate, 1-based.
+    Nth(usize),
+    /// The last candidate.
+    Last,
+}
 
 /// Access to a document's nodes and axis relations, with or without
 /// prepared indexes.
@@ -53,6 +76,26 @@ pub trait AxisSource: Sync {
     fn elements_named(&self, _name: &str) -> Option<&[NodeId]> {
         None
     }
+
+    /// The half-open preorder interval `[pre, end)` covering the subtree of
+    /// `n`, when an index has it precomputed; `None` means the caller must
+    /// walk (e.g. via sibling/parent links) to find the subtree boundary.
+    fn subtree_interval(&self, _n: NodeId) -> Option<(u32, u32)> {
+        None
+    }
+
+    /// Applies the positional step `child::test[pick]` from `n` directly
+    /// from an index, returning the selected nodes (zero or one) in a
+    /// ready-to-use candidate list.  `None` means no index can answer it and
+    /// the caller must enumerate the axis and filter by position.
+    fn positional_child_step(
+        &self,
+        _n: NodeId,
+        _test: &NodeTest,
+        _pick: PositionalPick,
+    ) -> Option<Vec<NodeId>> {
+        None
+    }
 }
 
 impl AxisSource for Document {
@@ -69,39 +112,83 @@ impl AxisSource for PreparedDocument {
     }
 
     fn axis_step(&self, n: NodeId, axis: Axis, test: &NodeTest) -> Vec<NodeId> {
-        // The descendant axes with a tag-name test are the indexed fast
-        // path: two binary searches into the tag list instead of a subtree
-        // walk.  Everything else falls back to the document's walks.
+        let doc = self.document();
+        // Tag-name tests are the indexed fast paths: descendant axes are a
+        // tag-list range, child steps hit the per-parent bucket, and the
+        // following/preceding complements are range scans bounded by the
+        // preorder subtree interval.  Everything else falls back to the
+        // document's walks.
         if let NodeTest::Name(name) = test {
             match axis {
                 Axis::Descendant => return self.descendants_named(n, name).to_vec(),
                 Axis::DescendantOrSelf => {
                     let below = self.descendants_named(n, name);
                     let mut out = Vec::with_capacity(below.len() + 1);
-                    if self.document().matches_on_axis(n, test, axis) {
+                    if doc.matches_on_axis(n, test, axis) {
                         out.push(n);
                     }
                     out.extend_from_slice(below);
                     return out;
                 }
+                // Adaptive: the bucket pays off on wide nodes only; narrow
+                // nodes fall through to the sibling walk below.
+                Axis::Child if self.child_count(n) > CHILD_BUCKET_MIN_CHILDREN => {
+                    return self.children_named(n, name).to_vec()
+                }
+                // The interval complement describes following/preceding only
+                // for tree nodes: an attribute's notional subtree sits inside
+                // its owner, so attribute context nodes take the walk.
+                Axis::Following if !doc.kind(n).is_attribute() => {
+                    return self.following_named(n, name).to_vec()
+                }
+                Axis::Preceding if !doc.kind(n).is_attribute() => {
+                    return self.preceding_named(n, name)
+                }
                 _ => {}
             }
         }
-        if axis == Axis::Child {
-            // The child-count table sizes the candidate list exactly, so
-            // the hot child-step path never reallocates.
-            let doc = self.document();
-            let mut out = Vec::with_capacity(self.child_count(n));
-            let mut c = doc.first_child(n);
-            while let Some(ch) = c {
-                if doc.matches_on_axis(ch, test, axis) {
-                    out.push(ch);
+        match axis {
+            Axis::Child => {
+                // The child-count table sizes the candidate list exactly, so
+                // the hot child-step path never reallocates.
+                let mut out = Vec::with_capacity(self.child_count(n));
+                let mut c = doc.first_child(n);
+                while let Some(ch) = c {
+                    if doc.matches_on_axis(ch, test, axis) {
+                        out.push(ch);
+                    }
+                    c = doc.next_sibling(ch);
                 }
-                c = doc.next_sibling(ch);
+                out
             }
-            return out;
+            // Non-name tests on the complement axes: one range scan over the
+            // precomputed document order on each side of the subtree
+            // interval, skipping attribute nodes (they are on neither axis)
+            // and, for preceding, the ancestors of `n` (exactly the nodes
+            // whose interval still covers `n`).
+            Axis::Following if !doc.kind(n).is_attribute() => {
+                let (_, end) = self.pre_interval(n);
+                self.order()[end as usize..]
+                    .iter()
+                    .copied()
+                    .filter(|&m| !doc.kind(m).is_attribute() && doc.matches_on_axis(m, test, axis))
+                    .collect()
+            }
+            Axis::Preceding if !doc.kind(n).is_attribute() => {
+                let (pre, _) = self.pre_interval(n);
+                self.order()[..pre as usize]
+                    .iter()
+                    .copied()
+                    .filter(|&m| {
+                        let (_, m_end) = self.pre_interval(m);
+                        m_end <= pre
+                            && !doc.kind(m).is_attribute()
+                            && doc.matches_on_axis(m, test, axis)
+                    })
+                    .collect()
+            }
+            _ => doc.axis_step(n, axis, test),
         }
-        self.document().axis_step(n, axis, test)
     }
 
     #[inline]
@@ -112,6 +199,60 @@ impl AxisSource for PreparedDocument {
     #[inline]
     fn elements_named(&self, name: &str) -> Option<&[NodeId]> {
         Some(PreparedDocument::elements_named(self, name))
+    }
+
+    #[inline]
+    fn subtree_interval(&self, n: NodeId) -> Option<(u32, u32)> {
+        Some(self.pre_interval(n))
+    }
+
+    fn positional_child_step(
+        &self,
+        n: NodeId,
+        test: &NodeTest,
+        pick: PositionalPick,
+    ) -> Option<Vec<NodeId>> {
+        let doc = self.document();
+        let picked = match (test, pick) {
+            // Name tests go straight to the per-parent bucket: O(log |D|).
+            (NodeTest::Name(name), PositionalPick::Nth(k)) => self.nth_child_named(n, name, k),
+            (NodeTest::Name(name), PositionalPick::Last) => self.last_child_named(n, name),
+            // node() candidates are all children: the child-count table
+            // rejects out-of-range k in O(1), the walk stops after k links.
+            (NodeTest::AnyNode, PositionalPick::Nth(k)) => self.nth_child(n, k),
+            (NodeTest::AnyNode, PositionalPick::Last) => doc.last_child(n),
+            // Star/text: walk forward to the k-th match (early exit), or
+            // backward from the last child to the first match.
+            (_, PositionalPick::Nth(k)) => {
+                let mut remaining = k;
+                let mut c = doc.first_child(n);
+                let mut found = None;
+                while remaining > 0 {
+                    let Some(ch) = c else { break };
+                    if doc.matches_on_axis(ch, test, Axis::Child) {
+                        remaining -= 1;
+                        if remaining == 0 {
+                            found = Some(ch);
+                        }
+                    }
+                    c = doc.next_sibling(ch);
+                }
+                found
+            }
+            (_, PositionalPick::Last) => {
+                let mut c = doc.last_child(n);
+                let mut found = None;
+                while let Some(ch) = c {
+                    if doc.matches_on_axis(ch, test, Axis::Child) {
+                        found = Some(ch);
+                        break;
+                    }
+                    c = doc.prev_sibling(ch);
+                }
+                found
+            }
+        };
+        Some(picked.into_iter().collect())
     }
 }
 
@@ -168,5 +309,64 @@ mod tests {
         assert!(AxisSource::elements_named(&doc, "b").is_none());
         assert_eq!(AxisSource::elements_named(&prepared, "b").unwrap().len(), 4);
         assert_eq!(AxisSource::node_count(&prepared), doc.len());
+    }
+
+    #[test]
+    fn subtree_interval_is_indexed_only_when_prepared() {
+        let doc = parse_xml(XML).unwrap();
+        let prepared = PreparedDocument::new(doc.clone());
+        for n in doc.all_nodes() {
+            assert!(AxisSource::subtree_interval(&doc, n).is_none());
+            assert_eq!(
+                AxisSource::subtree_interval(&prepared, n),
+                Some(prepared.pre_interval(n))
+            );
+        }
+    }
+
+    #[test]
+    fn positional_child_step_agrees_with_filtering() {
+        let doc = parse_xml(XML).unwrap();
+        let prepared = PreparedDocument::new(doc.clone());
+        let tests = [
+            NodeTest::name("b"),
+            NodeTest::name("nosuch"),
+            NodeTest::Star,
+            NodeTest::AnyNode,
+            NodeTest::Text,
+        ];
+        for n in doc.all_nodes() {
+            for test in &tests {
+                let candidates = doc.axis_step(n, Axis::Child, test);
+                for k in 0..=candidates.len() + 1 {
+                    let expected: Vec<NodeId> = candidates
+                        .get(k.wrapping_sub(1))
+                        .copied()
+                        .into_iter()
+                        .collect();
+                    assert_eq!(
+                        AxisSource::positional_child_step(
+                            &prepared,
+                            n,
+                            test,
+                            PositionalPick::Nth(k)
+                        ),
+                        Some(expected),
+                        "{n:?} {test} [{k}]"
+                    );
+                }
+                let expected: Vec<NodeId> = candidates.last().copied().into_iter().collect();
+                assert_eq!(
+                    AxisSource::positional_child_step(&prepared, n, test, PositionalPick::Last),
+                    Some(expected),
+                    "{n:?} {test} [last()]"
+                );
+                // The plain document declines, signalling the fallback.
+                assert!(
+                    AxisSource::positional_child_step(&doc, n, test, PositionalPick::Last)
+                        .is_none()
+                );
+            }
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! |---|---|---|
 //! | [`circuit_to_core`] | monotone circuit value → Core XPath evaluation | Theorem 3.2, Corollary 3.3, Figures 2–4 |
 //! | [`sac1_to_positive`] | SAC¹ circuit value → positive Core XPath evaluation | Theorem 4.2 |
-//! | [`reachability_to_pf`] | directed graph reachability → PF evaluation | Theorem 4.3, Figure 5 |
+//! | [`mod@reachability_to_pf`] | directed graph reachability → PF evaluation | Theorem 4.3, Figure 5 |
 //! | [`iterated_predicates`] | monotone circuit value → pWF + iterated predicates | Theorem 5.7, Corollary 5.8 |
 //!
 //! Each module produces a *(document, query)* pair whose evaluation result

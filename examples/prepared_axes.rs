@@ -1,0 +1,65 @@
+//! The index-aware axes of a prepared document: per-parent tag buckets for
+//! `child::tag`, preorder-interval complements for `following`/`preceding`,
+//! and positional child predicates answered from the position tables — plus
+//! the tag-selectivity signal the automatic strategy choice consumes.
+//!
+//! ```bash
+//! cargo run --release --example prepared_axes
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use xpeval::prelude::*;
+use xpeval::workloads::auction_site_document;
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, std::time::Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let doc = auction_site_document(&mut rng, 600);
+    println!("auction document: {} nodes", doc.len());
+
+    let (prepared, built) = time(|| PreparedDocument::new(doc.clone()));
+    println!("prepared indexes built in {built:?}\n");
+
+    // One query per newly indexed axis; the strategy is pinned so both
+    // sides run the identical algorithm and the difference is the index.
+    let queries = [
+        ("child buckets", "/site/people/person/name"),
+        ("following complement", "/descendant::seller/following::bid"),
+        ("preceding complement", "/descendant::bid/preceding::seller"),
+        ("positional pick", "/site/people/person[300]/name"),
+    ];
+    for (what, src) in queries {
+        let q = CompiledQuery::compile(src)
+            .expect("query compiles")
+            .with_strategy(EvalStrategy::ContextValueTable);
+        let (plain, t_plain) = time(|| q.run(&doc).unwrap().value);
+        let (fast, t_fast) = time(|| q.run_prepared(&prepared).unwrap().value);
+        assert_eq!(plain, fast, "{src}");
+        println!(
+            "{what:<22} {src:<44} {:>5} nodes  unprepared {t_plain:?}, prepared {t_fast:?}",
+            fast.expect_nodes().len(),
+        );
+    }
+
+    // Tag selectivity feeds the plan: a pXPath query on a rare tag degrades
+    // its auto-selected parallel plan to sequential Singleton-Success.
+    println!();
+    for src in [
+        "//person[position() = last()]",
+        "//europe[position() = last()]",
+    ] {
+        let q = CompiledQuery::compile(src).expect("query compiles");
+        println!(
+            "{src:<34} compiled plan {:?}, on this document {:?}",
+            q.strategy(),
+            q.strategy_for_source(&prepared),
+        );
+    }
+}

@@ -24,7 +24,8 @@
 //! The paper splits evaluation cost into per-query analysis (parse,
 //! classify into the Figure 1 fragment lattice, pick the algorithm whose
 //! complexity bound fits) and per-document evaluation.  The API mirrors
-//! that: [`CompiledQuery`] is the per-query half, document-independent and
+//! that: [`CompiledQuery`](engine::CompiledQuery) is the per-query half,
+//! document-independent and
 //! reusable; running it is the per-document half.
 //!
 //! ```
@@ -43,10 +44,16 @@
 //!
 //! ## Prepare once, evaluate many
 //!
-//! The document side mirrors the query side: a [`PreparedDocument`] is
+//! The document side mirrors the query side: a
+//! [`PreparedDocument`](dom::PreparedDocument) is
 //! built once per document and carries axis indexes — tag-name lists,
-//! preorder subtree intervals, sibling-position tables — that every
+//! per-parent tag buckets, preorder subtree intervals (and their
+//! following/preceding complements), sibling-position tables — that every
 //! evaluation strategy consumes through the [`dom::AxisSource`] trait.
+//! Name tests on the child, descendant, following and preceding axes and
+//! positional child predicates (`[k]`, `[last()]`) are answered from the
+//! indexes; tag selectivity additionally feeds the automatic strategy
+//! choice ([`engine::CompiledQuery::strategy_for_source`]).
 //! Pair a compiled query with a prepared document and both halves of the
 //! pipeline are paid exactly once:
 //!
@@ -77,7 +84,8 @@
 //! assert!(doc.kind(first).is_element());
 //! ```
 //!
-//! A serving [`Engine`] adds a bounded (sharded) LRU plan cache keyed by
+//! A serving [`Engine`](engine::Engine) adds a bounded (sharded) LRU plan
+//! cache keyed by
 //! the query string and a document cache memoizing preparation, so repeated
 //! `evaluate_str` calls skip the per-query half and
 //! [`engine::Engine::prepare`] pays the per-document half once:
@@ -121,7 +129,8 @@ pub mod prelude {
         Value,
     };
     pub use xpeval_dom::{
-        parse_xml, Axis, AxisSource, Document, DocumentBuilder, NodeId, NodeTest, PreparedDocument,
+        parse_xml, Axis, AxisSource, Document, DocumentBuilder, NodeId, NodeTest, PositionalPick,
+        PreparedDocument,
     };
     pub use xpeval_syntax::{parse_query, Expr, Fragment, FragmentReport};
 }

@@ -61,7 +61,9 @@ proptest! {
     }
 
     /// The indexed axis fast paths agree with the plain tree walks on
-    /// random trees, for every node and the axes the index accelerates.
+    /// random trees, for every node, every node test and every axis the
+    /// index accelerates (descendant, child buckets, following/preceding
+    /// interval complements).
     #[test]
     fn indexed_axis_steps_agree(seed in 0u64..10_000, nodes in 2usize..60) {
         let doc = random_tree_document(
@@ -70,14 +72,28 @@ proptest! {
             &["a", "b", "c"],
         );
         let p = PreparedDocument::new(doc.clone());
+        let tests = [
+            NodeTest::name("a"),
+            NodeTest::name("b"),
+            NodeTest::name("c"),
+            NodeTest::name("zzz"),
+            NodeTest::Star,
+            NodeTest::AnyNode,
+            NodeTest::Text,
+        ];
         for n in doc.all_nodes() {
-            for tag in ["a", "b", "c", "zzz"] {
-                let test = NodeTest::name(tag);
-                for axis in [Axis::Descendant, Axis::DescendantOrSelf, Axis::Child] {
+            for test in &tests {
+                for axis in [
+                    Axis::Descendant,
+                    Axis::DescendantOrSelf,
+                    Axis::Child,
+                    Axis::Following,
+                    Axis::Preceding,
+                ] {
                     prop_assert_eq!(
-                        AxisSource::axis_step(&p, n, axis, &test),
-                        doc.axis_step(n, axis, &test),
-                        "{:?} {} {}", n, axis, tag
+                        AxisSource::axis_step(&p, n, axis, test),
+                        doc.axis_step(n, axis, test),
+                        "{:?} {} {}", n, axis, test
                     );
                 }
             }
@@ -89,6 +105,39 @@ proptest! {
                 .filter(|&n| doc.name(n) == Some(tag))
                 .collect();
             prop_assert_eq!(p.elements_named(tag), scanned.as_slice());
+        }
+    }
+
+    /// Positional child predicates (`[k]`, `[last()]` and the `position()`
+    /// spellings) agree between the prepared fast path and the plain
+    /// filtering semantics, on random trees and through full queries.
+    #[test]
+    fn positional_predicates_agree(
+        seed in 0u64..10_000,
+        nodes in 2usize..60,
+        k in 1usize..5,
+        tag_ix in 0usize..4,
+    ) {
+        let doc = random_tree_document(
+            &mut StdRng::seed_from_u64(seed),
+            nodes,
+            &["a", "b", "c"],
+        );
+        let p = PreparedDocument::new(doc.clone());
+        let test = ["a", "b", "*", "node()"][tag_ix];
+        for pred in [
+            format!("{k}"),
+            "last()".to_string(),
+            format!("position() = {k}"),
+            "position() = last()".to_string(),
+        ] {
+            let src = format!("/descendant-or-self::node()/child::{test}[{pred}]");
+            for strategy in [EvalStrategy::ContextValueTable, EvalStrategy::Naive] {
+                let q = CompiledQuery::compile(&src).unwrap().with_strategy(strategy);
+                let plain = q.run(&doc).unwrap().value;
+                let fast = q.run_prepared(&p).unwrap().value;
+                prop_assert_eq!(plain, fast, "{} with {:?}", src, strategy);
+            }
         }
     }
 }

@@ -18,8 +18,8 @@ use xpeval::workloads::{
     random_pf_query, random_tree_document, wide_document,
 };
 
-fn dp_nodes(doc: &Document, query: &Expr) -> Vec<NodeId> {
-    DpEvaluator::new(doc, query)
+fn dp_nodes<S: AxisSource + ?Sized>(src: &S, query: &Expr) -> Vec<NodeId> {
+    DpEvaluator::new(src, query)
         .evaluate()
         .unwrap()
         .into_nodes()
@@ -144,5 +144,77 @@ proptest! {
         let dp = dp_nodes(&doc, &query);
         let naive = NaiveEvaluator::new(&doc).evaluate(&query).unwrap().into_nodes().unwrap();
         prop_assert_eq!(dp, naive);
+    }
+
+    /// Prepared-vs-unprepared agreement for the newly indexed axes
+    /// (`child::tag`, `following`, `preceding`) across the evaluators that
+    /// support them: each evaluator, fed the same query, must compute the
+    /// same node set from a `PreparedDocument` (indexed fast paths) as from
+    /// the bare `Document` (tree walks).
+    #[test]
+    fn prepared_axes_agree_across_evaluators(seed in 0u64..5000, nodes in 5usize..80) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = random_tree_document(&mut rng, nodes, &["a", "b", "c"]);
+        let prepared = PreparedDocument::new(doc.clone());
+        for src in [
+            "/descendant::a/child::b",
+            "//c/preceding::b",
+            "//b/following::a",
+            "//a/following::*",
+            "//b/preceding::node()",
+            "//a[following::b]/child::c",
+            "//c[not(preceding::a)]",
+        ] {
+            let query = parse_query(src).unwrap();
+            let reference = dp_nodes(&doc, &query);
+            prop_assert_eq!(
+                &dp_nodes(&prepared, &query), &reference, "dp prepared vs unprepared on {}", src
+            );
+            let linear_plain = CoreXPathEvaluator::new(&doc).evaluate_query(&query).unwrap();
+            let linear_fast = CoreXPathEvaluator::new(&prepared).evaluate_query(&query).unwrap();
+            prop_assert_eq!(&linear_plain, &reference, "linear vs dp on {}", src);
+            prop_assert_eq!(&linear_fast, &reference, "linear prepared on {}", src);
+            let naive = NaiveEvaluator::new(&prepared)
+                .evaluate(&query)
+                .unwrap()
+                .into_nodes()
+                .unwrap();
+            prop_assert_eq!(&naive, &reference, "naive prepared on {}", src);
+        }
+    }
+
+    /// Positional child predicates through the full pWF pipeline: the
+    /// Singleton-Success checker and the parallel evaluator agree with the
+    /// DP evaluator on prepared documents (candidate pruning + indexed
+    /// steps must not change any answer).
+    #[test]
+    fn prepared_positional_and_pruning_agree(seed in 0u64..5000, nodes in 5usize..60, k in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = random_tree_document(&mut rng, nodes, &["a", "b"]);
+        let prepared = PreparedDocument::new(doc.clone());
+        let ctx = Context::root(&doc);
+        for src in [
+            format!("//a/child::b[{k}]"),
+            format!("//a[position() = {k}]"),
+            "//b[position() = last()]".to_string(),
+            "//a/child::node()[last()]".to_string(),
+        ] {
+            let query = parse_query(&src).unwrap();
+            let reference = dp_nodes(&doc, &query);
+            prop_assert_eq!(
+                &dp_nodes(&prepared, &query), &reference, "dp prepared on {}", src
+            );
+            let ss = SingletonSuccess::new(&prepared, &query)
+                .unwrap()
+                .node_set(ctx)
+                .unwrap();
+            prop_assert_eq!(&ss, &reference, "singleton-success prepared on {}", src);
+            let par = ParallelEvaluator::new(&prepared, 2)
+                .evaluate(&query)
+                .unwrap()
+                .into_nodes()
+                .unwrap();
+            prop_assert_eq!(&par, &reference, "parallel prepared on {}", src);
+        }
     }
 }

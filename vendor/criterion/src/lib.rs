@@ -18,8 +18,20 @@
 //! `cargo bench -- --test`) switches to smoke mode: every measured routine
 //! runs exactly once, so CI can prove benches still compile *and run*
 //! without paying for sampling.
+//!
+//! Passing `--json <path>` (the stand-in's analogue of criterion's
+//! `--save-baseline`) — or setting `CRITERION_JSON=<path>`, which survives
+//! `cargo bench --workspace` runs where extra CLI flags would also reach
+//! libtest-harness targets — additionally appends one JSON line per
+//! benchmark to `<path>`: `{"name":...,"median_ns":...,...}`.  A whole
+//! workspace bench run thereby accumulates a machine-readable result set
+//! that CI turns into `BENCH_results.json` and gates against a committed
+//! baseline (see the `bench_gate` tool in `crates/bench`).
 
 use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -112,14 +124,44 @@ pub struct Criterion {
     /// spending wall-clock on sampling.  This is what keeps benches from
     /// bit-rotting in CI.
     test_mode: bool,
+    /// When set (`--json <path>`), every finished benchmark appends one
+    /// JSON line with its timings to this file.
+    json_path: Option<PathBuf>,
 }
 
 impl Criterion {
-    /// Reads the supported command-line flags: `--test` enables test mode;
-    /// everything else is ignored.
+    /// Reads the supported command-line flags — `--test` enables test mode,
+    /// `--json <path>` enables the JSON result emitter — plus the
+    /// `CRITERION_JSON` environment variable, the flag's equivalent for
+    /// `cargo bench --workspace` runs (where extra CLI flags would also
+    /// reach libtest-harness bench targets that reject them).  Everything
+    /// else is ignored.
     pub fn configure_from_args(mut self) -> Self {
-        if std::env::args().skip(1).any(|a| a == "--test") {
-            self.test_mode = true;
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                self.json_path = Some(PathBuf::from(path));
+            }
+        }
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--test" => self.test_mode = true,
+                // `--json` whose value is absent or looks like another flag
+                // (cargo appends a trailing `--bench` to every bench binary)
+                // must not clobber a path configured through the
+                // environment — and must never create a file named like a
+                // flag.
+                "--json" => match args.get(i + 1) {
+                    Some(path) if !path.starts_with("--") => {
+                        self.json_path = Some(PathBuf::from(path));
+                        i += 1;
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+            i += 1;
         }
         self
     }
@@ -131,15 +173,23 @@ impl Criterion {
         self
     }
 
+    /// Appends one JSON line per finished benchmark to `path`.
+    pub fn with_json_output(mut self, path: impl Into<PathBuf>) -> Self {
+        self.json_path = Some(path.into());
+        self
+    }
+
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let test_mode = self.test_mode;
+        let json_path = self.json_path.clone();
         BenchmarkGroup {
             _criterion: self,
             name: name.into(),
             settings: Settings::default(),
             throughput: None,
             test_mode,
+            json_path,
         }
     }
 
@@ -162,6 +212,7 @@ pub struct BenchmarkGroup<'a> {
     settings: Settings,
     throughput: Option<Throughput>,
     test_mode: bool,
+    json_path: Option<PathBuf>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -241,7 +292,7 @@ impl BenchmarkGroup<'_> {
                 let mut line = format!(
                     "{label:<60} time: [{} {} {}]",
                     fmt_time(r.min),
-                    fmt_time(r.mean),
+                    fmt_time(r.median),
                     fmt_time(r.max),
                 );
                 if let Some(t) = self.throughput {
@@ -252,17 +303,46 @@ impl BenchmarkGroup<'_> {
                     line.push_str(&format!("  thrpt: {per_sec:.0}/s"));
                 }
                 println!("{line}");
+                if let Some(path) = &self.json_path {
+                    if let Err(e) = append_json_line(path, &label, &r, self.test_mode) {
+                        eprintln!("criterion: cannot write {}: {e}", path.display());
+                    }
+                }
             }
         }
     }
 }
 
-/// min/mean/max per-iteration seconds.
+/// Appends one benchmark result as a JSON line (all times in nanoseconds).
+fn append_json_line(
+    path: &std::path::Path,
+    label: &str,
+    r: &Report,
+    test_mode: bool,
+) -> std::io::Result<()> {
+    let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+    let mode = if test_mode { "test" } else { "sample" };
+    writeln!(
+        f,
+        r#"{{"name":"{}","median_ns":{:.1},"mean_ns":{:.1},"min_ns":{:.1},"max_ns":{:.1},"samples":{},"mode":"{}"}}"#,
+        label.replace('\\', "\\\\").replace('"', "\\\""),
+        r.median * 1e9,
+        r.mean * 1e9,
+        r.min * 1e9,
+        r.max * 1e9,
+        r.samples,
+        mode,
+    )
+}
+
+/// min/median/mean/max per-iteration seconds over the samples taken.
 #[derive(Clone, Copy, Debug)]
 struct Report {
     min: f64,
+    median: f64,
     mean: f64,
     max: f64,
+    samples: usize,
 }
 
 /// Runs and times the measured routine.
@@ -286,8 +366,10 @@ impl Bencher {
             let t = start.elapsed().as_secs_f64();
             self.report = Some(Report {
                 min: t,
+                median: t,
                 mean: t,
                 max: t,
+                samples: 1,
             });
             return;
         }
@@ -321,7 +403,28 @@ impl Bencher {
         let min = times.iter().copied().fold(f64::INFINITY, f64::min);
         let max = times.iter().copied().fold(0.0f64, f64::max);
         let mean = times.iter().sum::<f64>() / times.len() as f64;
-        self.report = Some(Report { min, mean, max });
+        self.report = Some(Report {
+            min,
+            median: median(&mut times),
+            mean,
+            max,
+            samples,
+        });
+    }
+}
+
+/// Median of the samples (sorts in place; the midpoint pair is averaged for
+/// even counts).
+fn median(times: &mut [f64]) -> f64 {
+    times.sort_by(f64::total_cmp);
+    let n = times.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        times[n / 2]
+    } else {
+        (times[n / 2 - 1] + times[n / 2]) / 2.0
     }
 }
 
@@ -385,6 +488,35 @@ mod tests {
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
         assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
         assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+
+    #[test]
+    fn median_of_samples() {
+        assert_eq!(median(&mut []), 0.0);
+        assert_eq!(median(&mut [3.0]), 3.0);
+        assert_eq!(median(&mut [4.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&mut [4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn json_emitter_appends_one_line_per_bench() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-json-test-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut c = Criterion::default()
+            .with_test_mode(true)
+            .with_json_output(&path);
+        let mut group = c.benchmark_group("g");
+        group.bench_function("one", |b| b.iter(|| 1 + 1));
+        group.bench_function(BenchmarkId::new("two", 7), |b| b.iter(|| 2 + 2));
+        group.finish();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(r#"{"name":"g/one","median_ns":"#));
+        assert!(lines[1].contains(r#""name":"g/two/7""#));
+        assert!(lines[0].ends_with(r#""samples":1,"mode":"test"}"#));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
