@@ -16,6 +16,11 @@
 //!   *tracked* (gated).  A tracked bench missing from the results fails
 //!   the gate — a silently dropped bench is not a pass.
 //! * `--max-regression`: allowed fractional slowdown (default 0.25 = +25%).
+//! * `--tolerance <prefix>=<fraction>` (repeatable): overrides the global
+//!   budget for benches whose name starts with `prefix` (longest matching
+//!   prefix wins).  Lets inherently noisier benches — e.g. the
+//!   thread-spawning serving benches — stay tracked without flaking the
+//!   gate at the tight default.
 //! * `--update-baseline`: instead of gating, rewrite the baseline from the
 //!   merged results (optionally filtered by `--track-prefix`).
 //!
@@ -32,6 +37,7 @@ fn main() -> ExitCode {
     let mut out_file: Option<String> = None;
     let mut baseline_file: Option<String> = None;
     let mut max_regression = 0.25f64;
+    let mut tolerances: Vec<(String, f64)> = Vec::new();
     let mut update_baseline = false;
     let mut track_prefix: Option<String> = None;
 
@@ -45,6 +51,16 @@ fn main() -> ExitCode {
                 Some(v) => max_regression = v,
                 None => return usage("--max-regression needs a number"),
             },
+            "--tolerance" => {
+                let parsed = it.next().and_then(|v| {
+                    let (prefix, frac) = v.split_once('=')?;
+                    Some((prefix.to_string(), frac.parse::<f64>().ok()?))
+                });
+                match parsed {
+                    Some(t) => tolerances.push(t),
+                    None => return usage("--tolerance needs <prefix>=<fraction>"),
+                }
+            }
             "--update-baseline" => update_baseline = true,
             "--track-prefix" => track_prefix = it.next(),
             other => return usage(&format!("unknown argument {other}")),
@@ -121,6 +137,12 @@ fn main() -> ExitCode {
         max_regression * 100.0
     );
     for (name, base) in &baseline {
+        // Longest matching prefix override, else the global budget.
+        let budget = tolerances
+            .iter()
+            .filter(|(prefix, _)| name.starts_with(prefix.as_str()))
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map_or(max_regression, |(_, frac)| *frac);
         match results.get(name) {
             None => {
                 failures += 1;
@@ -128,15 +150,16 @@ fn main() -> ExitCode {
             }
             Some(&now) => {
                 let ratio = now / base;
-                let verdict = if ratio > 1.0 + max_regression {
+                let verdict = if ratio > 1.0 + budget {
                     failures += 1;
                     "FAIL"
                 } else {
                     "ok"
                 };
                 println!(
-                    "  {verdict:<4}  {name}: {now:.0} ns vs baseline {base:.0} ns ({:+.1}%)",
-                    (ratio - 1.0) * 100.0
+                    "  {verdict:<4}  {name}: {now:.0} ns vs baseline {base:.0} ns ({:+.1}%, budget +{:.0}%)",
+                    (ratio - 1.0) * 100.0,
+                    budget * 100.0
                 );
             }
         }
@@ -154,6 +177,7 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: bench_gate --results <raw.jsonl>... [--out <merged.json>] \
          [--baseline <baseline.json>] [--max-regression 0.25] \
+         [--tolerance <prefix>=<fraction>]... \
          [--update-baseline] [--track-prefix <p>]"
     );
     ExitCode::FAILURE

@@ -65,6 +65,51 @@ pub struct CacheStats {
     pub per_shard: Vec<ShardStats>,
 }
 
+impl std::fmt::Display for ShardStats {
+    /// One-line summary: `hits 5, misses 2, len 3`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits {}, misses {}, len {}",
+            self.hits, self.misses, self.len
+        )
+    }
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache, in `0.0..=1.0`
+    /// (0.0 when no lookup happened yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    /// One-line summary used by the examples, e.g.
+    /// `hits 9/10 (90.0%), len 1/128, evictions 0, 8 shards`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits {}/{} ({:.1}%), len {}/{}, evictions {}",
+            self.hits,
+            self.hits + self.misses,
+            self.hit_rate() * 100.0,
+            self.len,
+            self.capacity,
+            self.evictions,
+        )?;
+        if self.per_shard.len() > 1 {
+            write!(f, ", {} shards", self.per_shard.len())?;
+        }
+        Ok(())
+    }
+}
+
 #[derive(Debug)]
 struct Entry {
     plan: Arc<CompiledQuery>,

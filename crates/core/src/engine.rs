@@ -119,10 +119,12 @@ impl EngineBuilder {
     /// Builds the engine.
     pub fn build(self) -> Engine {
         Engine {
-            strategy: self.strategy,
-            threads: self.threads,
-            cache: ShardedPlanCache::new(self.cache_capacity),
-            documents: DocumentCache::new(self.document_cache_capacity),
+            inner: Arc::new(EngineInner {
+                strategy: self.strategy,
+                threads: self.threads,
+                cache: ShardedPlanCache::new(self.cache_capacity),
+                documents: DocumentCache::new(self.document_cache_capacity),
+            }),
         }
     }
 }
@@ -135,8 +137,20 @@ impl Default for EngineBuilder {
 
 /// Facade dispatching queries to an evaluation strategy through the
 /// compile-once pipeline.
-#[derive(Debug)]
+///
+/// `Engine` is a cheap-to-clone *handle*: the plan cache and the document
+/// cache live behind an [`Arc`], so clones share them.  A worker pool can
+/// hand every worker its own `Engine` clone and a query compiled through
+/// any of them is a cache hit for all — this is the surface the async
+/// serving layer (`xpeval-serve`) builds on.  All entry points take
+/// `&self`; the engine is `Send + Sync`.
+#[derive(Clone, Debug)]
 pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+#[derive(Debug)]
+struct EngineInner {
     /// `None` = pick the recommended strategy per query.
     strategy: Option<EvalStrategy>,
     threads: usize,
@@ -166,7 +180,7 @@ impl Engine {
     /// The strategy this engine forces, or the default when it selects per
     /// query.
     pub fn strategy(&self) -> EvalStrategy {
-        self.strategy.unwrap_or_default()
+        self.inner.strategy.unwrap_or_default()
     }
 
     /// Classifies the query according to Figure 1 of the paper.
@@ -184,8 +198,8 @@ impl Engine {
 
     fn compile_options(&self, normalize: bool) -> CompileOptions {
         CompileOptions {
-            strategy: self.strategy,
-            threads: self.threads,
+            strategy: self.inner.strategy,
+            threads: self.inner.threads,
             normalize,
         }
     }
@@ -194,14 +208,16 @@ impl Engine {
     /// the plan cache: a repeated source string is answered without
     /// re-parsing or re-classifying.
     pub fn compile(&self, source: &str) -> Result<Arc<CompiledQuery>, EvalError> {
-        if let Some(hit) = self.cache.get(source) {
+        if let Some(hit) = self.inner.cache.get(source) {
             return Ok(hit);
         }
         let plan = Arc::new(CompiledQuery::compile_with(
             source,
             &self.compile_options(true),
         )?);
-        self.cache.insert(source.to_string(), Arc::clone(&plan));
+        self.inner
+            .cache
+            .insert(source.to_string(), Arc::clone(&plan));
         Ok(plan)
     }
 
@@ -232,9 +248,9 @@ impl Engine {
         query: &Expr,
         ctx: Context,
     ) -> Result<Value, EvalError> {
-        let strategy = match self.strategy {
+        let strategy = match self.inner.strategy {
             Some(s) => s,
-            None => recommended_strategy(&classify(query), self.threads),
+            None => recommended_strategy(&classify(query), self.inner.threads),
         };
         crate::compile::execute(strategy, doc, query, ctx).map(|(value, _)| value)
     }
@@ -286,7 +302,7 @@ impl Engine {
     /// [`PreparedDocument`] — the document-side analogue of
     /// [`Engine::compile`].
     pub fn prepare(&self, doc: &Arc<Document>) -> Arc<PreparedDocument> {
-        self.documents.get_or_prepare(doc)
+        self.inner.documents.get_or_prepare(doc)
     }
 
     /// Evaluates a query against a prepared document from the canonical
@@ -298,9 +314,11 @@ impl Engine {
         doc: &PreparedDocument,
         query: &Expr,
     ) -> Result<Value, EvalError> {
-        let strategy = match self.strategy {
+        let strategy = match self.inner.strategy {
             Some(s) => s,
-            None => recommended_strategy_for_source(&classify(query), self.threads, query, doc),
+            None => {
+                recommended_strategy_for_source(&classify(query), self.inner.threads, query, doc)
+            }
         };
         let ctx = Context::root(doc.document());
         crate::compile::execute(strategy, doc, query, ctx).map(|(value, _)| value)
@@ -350,22 +368,22 @@ impl Engine {
 
     /// Counters of the plan cache, aggregate and per shard.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.inner.cache.stats()
     }
 
     /// Counters of the document-index cache.
     pub fn document_cache_stats(&self) -> CacheStats {
-        self.documents.stats()
+        self.inner.documents.stats()
     }
 
     /// Drops every cached plan (counters are kept).
     pub fn clear_plan_cache(&self) {
-        self.cache.clear();
+        self.inner.cache.clear();
     }
 
     /// Drops every cached prepared document (counters are kept).
     pub fn clear_document_cache(&self) {
-        self.documents.clear();
+        self.inner.documents.clear();
     }
 }
 
@@ -582,6 +600,36 @@ mod tests {
         assert_eq!(s.per_shard.len(), crate::cache::PLAN_CACHE_SHARDS);
         assert_eq!(s.per_shard.iter().map(|p| p.len).sum::<usize>(), 20);
         assert!(s.per_shard.iter().filter(|p| p.len > 0).count() > 1);
+    }
+
+    #[test]
+    fn clones_share_the_plan_and_document_caches() {
+        let doc = Arc::new(parse_xml(BOOKS).unwrap());
+        let engine = Engine::builder().build();
+        let clone = engine.clone();
+
+        // A plan compiled through the clone is a cache hit on the original.
+        clone.evaluate_str(&doc, "count(//book)").unwrap();
+        engine.evaluate_str(&doc, "count(//book)").unwrap();
+        let s = engine.cache_stats();
+        assert_eq!((s.misses, s.hits), (1, 1), "{s:?}");
+
+        // Same for the document cache.
+        let p1 = clone.prepare(&doc);
+        let p2 = engine.prepare(&doc);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(engine.document_cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn cache_stats_display_is_a_single_summary_line() {
+        let engine = Engine::builder().build();
+        engine.compile("//a").unwrap();
+        engine.compile("//a").unwrap();
+        let line = engine.cache_stats().to_string();
+        assert!(line.contains("hits 1/2 (50.0%)"), "{line}");
+        assert!(line.contains("8 shards"), "{line}");
+        assert!(!line.contains('\n'));
     }
 
     #[test]

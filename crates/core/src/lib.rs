@@ -62,8 +62,9 @@ pub mod value;
 
 pub use cache::{CacheStats, DocumentCache, PlanCache, ShardStats, ShardedPlanCache};
 pub use compile::{
-    recommended_strategy, recommended_strategy_for_document, recommended_strategy_for_source,
-    CompileOptions, CompiledQuery, QueryOutput, PARALLEL_MIN_CANDIDATES, PARALLEL_MIN_NODES,
+    default_threads, recommended_strategy, recommended_strategy_for_document,
+    recommended_strategy_for_source, CompileOptions, CompiledQuery, QueryOutput,
+    PARALLEL_MIN_CANDIDATES, PARALLEL_MIN_NODES,
 };
 pub use context::{Context, ContextKey};
 pub use corexpath::{CoreXPathEvaluator, NodeBitSet};

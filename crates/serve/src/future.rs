@@ -1,0 +1,230 @@
+//! One-shot result delivery: [`QueryFuture`] and the minimal executor
+//! [`block_on`].
+//!
+//! Every accepted submission hands back a [`QueryFuture<T>`] — the
+//! receiving half of a one-shot channel completed by whichever worker runs
+//! the job.  It is consumable two ways:
+//!
+//! * **synchronously**, via [`QueryFuture::wait`] (condvar-blocked, no
+//!   runtime needed), and
+//! * **asynchronously**: `QueryFuture` implements
+//!   [`std::future::Future`], so it can be `.await`ed from any executor —
+//!   including the dependency-free [`block_on`] shipped here.
+//!
+//! The channel is deliberately tiny: a mutex-guarded slot plus a condvar
+//! (for `wait`) and a registered [`Waker`] (for `poll`).  One value ever
+//! crosses it, so there is nothing to get clever about.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Error resolved by a [`QueryFuture`] whose result can never arrive: the
+/// worker running the job panicked, or the pool was torn down before the
+/// job ran.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobLost;
+
+impl std::fmt::Display for JobLost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job lost: the worker panicked or the pool shut down before running it"
+        )
+    }
+}
+
+impl std::error::Error for JobLost {}
+
+struct Channel<T> {
+    state: Mutex<ChannelState<T>>,
+    done: Condvar,
+}
+
+struct ChannelState<T> {
+    value: Option<T>,
+    /// True once the sender is gone — with or without having sent.
+    closed: bool,
+    waker: Option<Waker>,
+}
+
+/// The completing half, owned by the job closure running on a worker.  If
+/// it is dropped without sending (worker panic, pool teardown), the future
+/// resolves to [`JobLost`].
+pub(crate) struct Sender<T> {
+    channel: Option<Arc<Channel<T>>>,
+}
+
+impl<T> Sender<T> {
+    /// Completes the future with `value`.
+    pub(crate) fn send(mut self, value: T) {
+        if let Some(channel) = self.channel.take() {
+            let waker = {
+                let mut state = channel.state.lock().unwrap();
+                state.value = Some(value);
+                state.closed = true;
+                state.waker.take()
+            };
+            channel.done.notify_all();
+            if let Some(waker) = waker {
+                waker.wake();
+            }
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if let Some(channel) = self.channel.take() {
+            let waker = {
+                let mut state = channel.state.lock().unwrap();
+                state.closed = true;
+                state.waker.take()
+            };
+            channel.done.notify_all();
+            if let Some(waker) = waker {
+                waker.wake();
+            }
+        }
+    }
+}
+
+/// The pending result of a submitted job.
+///
+/// Await it from any async runtime, or call [`QueryFuture::wait`] to block
+/// the current thread until a worker completes the job.  Dropping the
+/// future does *not* cancel the job — accepted work always runs (and is
+/// counted in the pool's `ServeStats`); only its result is discarded.
+#[must_use = "a QueryFuture does nothing until awaited or waited on"]
+pub struct QueryFuture<T> {
+    channel: Arc<Channel<T>>,
+}
+
+impl<T> std::fmt::Debug for QueryFuture<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryFuture").finish_non_exhaustive()
+    }
+}
+
+/// Creates a connected sender/future pair.
+pub(crate) fn oneshot<T>() -> (Sender<T>, QueryFuture<T>) {
+    let channel = Arc::new(Channel {
+        state: Mutex::new(ChannelState {
+            value: None,
+            closed: false,
+            waker: None,
+        }),
+        done: Condvar::new(),
+    });
+    (
+        Sender {
+            channel: Some(Arc::clone(&channel)),
+        },
+        QueryFuture { channel },
+    )
+}
+
+impl<T> QueryFuture<T> {
+    /// Blocks the calling thread until the job completes, returning its
+    /// result — or [`JobLost`] if the result can never arrive.
+    pub fn wait(self) -> Result<T, JobLost> {
+        let mut state = self.channel.state.lock().unwrap();
+        loop {
+            if let Some(value) = state.value.take() {
+                return Ok(value);
+            }
+            if state.closed {
+                return Err(JobLost);
+            }
+            state = self.channel.done.wait(state).unwrap();
+        }
+    }
+
+    /// Non-blocking probe: `Some` once the job has completed (or is lost).
+    /// The result stays claimable by `wait`/`.await` afterwards.
+    pub fn is_ready(&self) -> bool {
+        let state = self.channel.state.lock().unwrap();
+        state.value.is_some() || state.closed
+    }
+}
+
+impl<T> Future for QueryFuture<T> {
+    type Output = Result<T, JobLost>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut state = self.channel.state.lock().unwrap();
+        if let Some(value) = state.value.take() {
+            return Poll::Ready(Ok(value));
+        }
+        if state.closed {
+            return Poll::Ready(Err(JobLost));
+        }
+        // Replace any stale waker: only the most recent poller is woken.
+        state.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Drives a future to completion on the current thread — the minimal own
+/// executor of the serving layer (park/unpark based, no dependencies).
+///
+/// This is enough to consume [`QueryFuture`]s without an async runtime;
+/// under a real runtime, just `.await` them instead.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    struct ThreadWaker(std::thread::Thread);
+    impl std::task::Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.unpark();
+        }
+    }
+
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut future = std::pin::pin!(future);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(value) => return value,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn wait_returns_the_sent_value() {
+        let (tx, rx) = oneshot();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(7usize);
+        });
+        assert_eq!(rx.wait(), Ok(7));
+    }
+
+    #[test]
+    fn dropping_the_sender_resolves_job_lost() {
+        let (tx, rx) = oneshot::<usize>();
+        drop(tx);
+        assert!(rx.is_ready());
+        assert_eq!(rx.wait(), Err(JobLost));
+    }
+
+    #[test]
+    fn block_on_drives_a_cross_thread_completion() {
+        let (tx, rx) = oneshot();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send("done");
+        });
+        assert_eq!(block_on(rx), Ok("done"));
+    }
+
+    #[test]
+    fn block_on_plain_ready_future() {
+        assert_eq!(block_on(std::future::ready(3)), 3);
+    }
+}

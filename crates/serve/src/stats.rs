@@ -1,0 +1,134 @@
+//! Observable counters of the serving layer, in the spirit of
+//! `xpeval_core::CacheStats`: everything the pool does is countable, so
+//! tests and benches can assert backpressure and drain behaviour instead
+//! of guessing from wall-clock.
+
+use std::time::Duration;
+
+/// Counters of one pool worker.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs this worker ran to completion (including jobs whose query
+    /// evaluation returned an error — the job itself finished).
+    pub completed: u64,
+    /// Jobs whose closure panicked; the worker caught the panic and kept
+    /// serving, the submitter sees [`crate::JobLost`].
+    pub panicked: u64,
+}
+
+impl std::fmt::Display for WorkerStats {
+    /// One-line summary: `completed 12, panicked 0`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "completed {}, panicked {}",
+            self.completed, self.panicked
+        )
+    }
+}
+
+/// Snapshot of an [`crate::AsyncEngine`]'s counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Capacity of the submission queue (the backpressure bound).
+    pub queue_capacity: usize,
+    /// Jobs sitting in the queue right now.
+    pub queue_depth: usize,
+    /// Deepest the queue has ever been.
+    pub queue_high_watermark: usize,
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Non-blocking submissions rejected because the queue was full.
+    pub rejected_full: u64,
+    /// Submissions rejected because the pool was shutting down.
+    pub rejected_shutdown: u64,
+    /// Jobs workers ran to completion (sum of [`WorkerStats::completed`]).
+    pub completed: u64,
+    /// Jobs whose closure panicked (sum of [`WorkerStats::panicked`]).
+    pub panicked: u64,
+    /// Dequeued jobs whose enqueue→dequeue latency is accumulated below.
+    pub queue_wait_count: u64,
+    /// Total enqueue→dequeue latency over all dequeued jobs, in
+    /// nanoseconds.
+    pub queue_wait_total_ns: u64,
+    /// Largest single enqueue→dequeue latency, in nanoseconds.
+    pub queue_wait_max_ns: u64,
+    /// Per-worker completed/panicked counters, one entry per worker.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+impl ServeStats {
+    /// Mean enqueue→dequeue latency (zero before the first dequeue).
+    pub fn mean_queue_wait(&self) -> Duration {
+        self.queue_wait_total_ns
+            .checked_div(self.queue_wait_count)
+            .map_or(Duration::ZERO, Duration::from_nanos)
+    }
+
+    /// Largest observed enqueue→dequeue latency.
+    pub fn max_queue_wait(&self) -> Duration {
+        Duration::from_nanos(self.queue_wait_max_ns)
+    }
+}
+
+impl std::fmt::Display for ServeStats {
+    /// One-line summary used by the examples, e.g.
+    /// `4 workers, queue 0/64 (hwm 17), submitted 128, completed 128, rejected 3+0, panicked 0, wait mean 12.4µs max 310.0µs`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} workers, queue {}/{} (hwm {}), submitted {}, completed {}, rejected {}+{}, panicked {}, wait mean {:.1?} max {:.1?}",
+            self.workers,
+            self.queue_depth,
+            self.queue_capacity,
+            self.queue_high_watermark,
+            self.submitted,
+            self.completed,
+            self.rejected_full,
+            self.rejected_shutdown,
+            self.panicked,
+            self.mean_queue_wait(),
+            self.max_queue_wait(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_helpers() {
+        let stats = ServeStats {
+            queue_wait_count: 4,
+            queue_wait_total_ns: 4_000,
+            queue_wait_max_ns: 2_500,
+            ..ServeStats::default()
+        };
+        assert_eq!(stats.mean_queue_wait(), Duration::from_nanos(1_000));
+        assert_eq!(stats.max_queue_wait(), Duration::from_nanos(2_500));
+        assert_eq!(ServeStats::default().mean_queue_wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn display_is_a_single_summary_line() {
+        let stats = ServeStats {
+            workers: 2,
+            queue_capacity: 8,
+            queue_high_watermark: 5,
+            submitted: 10,
+            completed: 10,
+            ..ServeStats::default()
+        };
+        let line = stats.to_string();
+        assert!(line.contains("2 workers"), "{line}");
+        assert!(line.contains("queue 0/8 (hwm 5)"), "{line}");
+        assert!(!line.contains('\n'));
+        assert_eq!(
+            WorkerStats::default().to_string(),
+            "completed 0, panicked 0"
+        );
+    }
+}

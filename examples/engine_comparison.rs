@@ -101,10 +101,20 @@ fn main() {
         println!("{src:35} -> {:?}", compiled.strategy());
     }
 
-    // Part 4: the auto-selected plan (parallel, for this pXPath query)
-    // through the compiled form.
-    let auto = CompiledQuery::compile_with("//item[bid/@increase > 6]/name", &opts).unwrap();
+    // Part 4: the auto-selected plan (parallel, for this pXPath query),
+    // served repeatedly through an engine.  The cache reports itself as
+    // one Display summary line — no field-by-field printing.
+    let engine = Engine::builder().threads(4).plan_cache_capacity(64).build();
+    let auto = engine.compile("//item[bid/@increase > 6]/name").unwrap();
     assert!(matches!(auto.strategy(), EvalStrategy::Parallel { .. }));
-    let direct = auto.run(&doc).unwrap();
-    assert_eq!(direct.value.expect_nodes().len(), expected);
+    for _ in 0..3 {
+        let direct = engine
+            .evaluate_str(&doc, "//item[bid/@increase > 6]/name")
+            .unwrap();
+        assert_eq!(direct.expect_nodes().len(), expected);
+    }
+    println!(
+        "\nplan cache after one compile + 3 serves: {}",
+        engine.cache_stats()
+    );
 }

@@ -64,10 +64,10 @@ fn main() {
     for _ in 0..5 {
         engine.evaluate_str(&doc, "count(//book)").unwrap();
     }
-    let stats = engine.cache_stats();
+    // One summary line per cache, via the shared CacheStats Display.
     println!(
-        "plan cache after 5 identical calls: {} miss (the compile), {} hits",
-        stats.misses, stats.hits
+        "plan cache after 5 identical calls: {}",
+        engine.cache_stats()
     );
 
     // The document side mirrors the query side: prepare once (tag-name

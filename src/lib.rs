@@ -16,6 +16,8 @@
 //! * [`circuits`] — monotone and SAC¹ boolean circuits with the layered
 //!   serialization of Figure 3,
 //! * [`reductions`] — the reductions of Theorems 3.2, 4.2, 4.3 and 5.7,
+//! * [`serve`] — the async serving layer: a worker-pool executor with a
+//!   bounded submission queue ([`AsyncEngine`](serve::AsyncEngine)),
 //! * [`workloads`] — synthetic document/query/graph generators used by the
 //!   benchmark harness and the examples.
 //!
@@ -113,11 +115,52 @@
 //! context-value tables across the batch) or many plans against one
 //! document ([`engine::Engine::evaluate_batch`] /
 //! [`engine::Engine::evaluate_batch_prepared`]).
+//!
+//! ## Serving many clients: the async layer
+//!
+//! All of the above occupies its caller; under concurrent load, wrap the
+//! engine in an [`AsyncEngine`](serve::AsyncEngine) — a fixed worker pool
+//! (every worker holds a clone of the engine handle, sharing its caches)
+//! fed by a **bounded** submission queue.  Submissions return a
+//! [`QueryFuture`](serve::QueryFuture) immediately; a full queue pushes
+//! back (`submit` blocks, `try_submit` fails fast with
+//! [`TrySubmitError::Full`](serve::TrySubmitError)); shutdown drains every
+//! accepted job.  No runtime is required — futures are `.await`able from
+//! any executor, waitable from any thread:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xpeval::prelude::*;
+//!
+//! let engine = Engine::builder().plan_cache_capacity(256).build();
+//! let pool = AsyncEngine::builder().engine(engine).workers(2).queue_capacity(64).build();
+//! let doc = Arc::new(PreparedDocument::new(
+//!     parse_xml("<lib><book/><book/></lib>").unwrap(),
+//! ));
+//!
+//! let futures: Vec<_> = (0..8)
+//!     .map(|_| pool.submit(&doc, "count(//book)").unwrap())
+//!     .collect();
+//! for f in futures {
+//!     assert_eq!(f.wait().unwrap().unwrap().value, Value::Number(2.0));
+//! }
+//!
+//! let stats = pool.shutdown(); // ServeStats: queue depth, latency, per worker
+//! assert_eq!(stats.completed, 8);
+//! assert_eq!(stats.panicked, 0);
+//! ```
+//!
+//! Backpressure, shutdown and queue behaviour are observable through
+//! [`ServeStats`](serve::ServeStats), the serving-side sibling of
+//! [`CacheStats`](engine::CacheStats).  The non-default `tokio` feature
+//! adds `submit_async`, which awaits queue space instead of blocking —
+//! the entry point meant for async runtimes.
 
 pub use xpeval_circuits as circuits;
 pub use xpeval_core as engine;
 pub use xpeval_dom as dom;
 pub use xpeval_reductions as reductions;
+pub use xpeval_serve as serve;
 pub use xpeval_syntax as syntax;
 pub use xpeval_workloads as workloads;
 
@@ -131,6 +174,10 @@ pub mod prelude {
     pub use xpeval_dom::{
         parse_xml, Axis, AxisSource, Document, DocumentBuilder, NodeId, NodeTest, PositionalPick,
         PreparedDocument,
+    };
+    pub use xpeval_serve::{
+        block_on, AsyncEngine, AsyncEngineBuilder, JobLost, QueryFuture, ServeStats,
+        TrySubmitError, WorkerStats,
     };
     pub use xpeval_syntax::{parse_query, Expr, Fragment, FragmentReport};
 }

@@ -1,0 +1,378 @@
+//! Integration tests for the async serving layer: bounded-queue
+//! backpressure, blocking-submit wakeup, graceful shutdown, panic
+//! isolation — and the headline property that async results are exactly
+//! the synchronous `evaluate_batch` results, across all five strategies
+//! and the workload corpora.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+use xpeval::prelude::*;
+use xpeval::workloads::{
+    auction_site_document, core_xpath_query_corpus, pwf_query_corpus, random_tree_document,
+};
+
+const ALL_STRATEGIES: [EvalStrategy; 5] = [
+    EvalStrategy::ContextValueTable,
+    EvalStrategy::Naive,
+    EvalStrategy::CoreXPathLinear,
+    EvalStrategy::Parallel { threads: 2 },
+    EvalStrategy::SingletonSuccess,
+];
+
+/// A pool whose single worker is held at a gate, so queue contents are
+/// fully deterministic: nothing drains until the gate opens.
+fn gated_pool(queue_capacity: usize) -> (AsyncEngine, mpsc::Sender<()>, QueryFuture<()>) {
+    let pool = AsyncEngine::builder()
+        .workers(1)
+        .queue_capacity(queue_capacity)
+        .build();
+    let (gate_tx, gate_rx) = mpsc::channel::<()>();
+    let blocker = pool
+        .submit_task(move |_| {
+            gate_rx.recv().ok();
+        })
+        .expect("an empty pool accepts the blocker");
+    // Let the worker actually pick the blocker up before the caller counts
+    // queue slots.
+    while pool.stats().queue_depth > 0 {
+        std::thread::yield_now();
+    }
+    (pool, gate_tx, blocker)
+}
+
+#[test]
+fn bounded_queue_rejects_when_full() {
+    let (pool, gate, blocker) = gated_pool(2);
+
+    // Fill the two queue slots behind the busy worker.
+    let accepted: Vec<_> = (0..2)
+        .map(|i| pool.try_submit_task(move |_| i).unwrap())
+        .collect();
+    // The third is backpressure, observably.
+    assert_eq!(
+        pool.try_submit_task(|_| 99usize).unwrap_err(),
+        TrySubmitError::Full
+    );
+    let stats = pool.stats();
+    assert_eq!(stats.queue_depth, 2);
+    assert_eq!(stats.queue_high_watermark, 2);
+    assert_eq!(stats.rejected_full, 1);
+
+    gate.send(()).unwrap();
+    for (i, fut) in accepted.into_iter().enumerate() {
+        assert_eq!(fut.wait(), Ok(i));
+    }
+    assert_eq!(blocker.wait(), Ok(()));
+
+    let stats = pool.shutdown();
+    assert_eq!(stats.submitted, 3); // blocker + 2 accepted
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.rejected_full, 1);
+    assert_eq!(stats.panicked, 0);
+}
+
+#[test]
+fn blocking_submit_wakes_when_the_queue_drains() {
+    let (pool, gate, _blocker) = gated_pool(1);
+    let _filler = pool.try_submit_task(|_| ()).unwrap();
+
+    let submitted = Arc::new(AtomicBool::new(false));
+    let pool = Arc::new(pool);
+    let handle = {
+        let pool = Arc::clone(&pool);
+        let submitted = Arc::clone(&submitted);
+        std::thread::spawn(move || {
+            let fut = pool.submit_task(|_| 42u64).unwrap();
+            submitted.store(true, Ordering::SeqCst);
+            fut.wait()
+        })
+    };
+
+    // The submitter must be parked on the full queue, not failing.
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(
+        !submitted.load(Ordering::SeqCst),
+        "submit must block while the queue is full"
+    );
+
+    // Opening the gate drains the queue; the blocked submit completes.
+    gate.send(()).unwrap();
+    assert_eq!(handle.join().unwrap(), Ok(42));
+    assert!(submitted.load(Ordering::SeqCst));
+}
+
+#[test]
+fn shutdown_completes_accepted_work_and_rejects_late_submissions() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let doc = Arc::new(auction_site_document(&mut rng, 30));
+    let engine = Engine::builder().build();
+    let prepared = engine.prepare(&doc);
+    let pool = AsyncEngine::builder()
+        .engine(engine)
+        .workers(2)
+        .queue_capacity(64)
+        .build();
+
+    let futures: Vec<_> = (0..24)
+        .map(|_| pool.submit(&prepared, "count(//item)").unwrap())
+        .collect();
+
+    pool.begin_shutdown();
+    assert!(pool.is_shutting_down());
+
+    // Late submissions — blocking and non-blocking — are rejected.
+    assert_eq!(
+        pool.submit(&prepared, "count(//item)").unwrap_err(),
+        TrySubmitError::ShutDown
+    );
+    assert_eq!(
+        pool.try_submit(&prepared, "count(//item)").unwrap_err(),
+        TrySubmitError::ShutDown
+    );
+
+    // Every accepted query still completes with a real result.
+    for fut in futures {
+        let output = fut.wait().expect("accepted work survives shutdown");
+        assert_eq!(output.unwrap().value, Value::Number(30.0));
+    }
+
+    let stats = pool.shutdown();
+    assert_eq!(stats.submitted, 24);
+    assert_eq!(stats.completed, 24);
+    assert_eq!(stats.rejected_shutdown, 2);
+    assert_eq!(stats.queue_depth, 0, "shutdown drains the queue");
+}
+
+#[test]
+fn a_panicking_job_is_contained_and_counted() {
+    let pool = AsyncEngine::builder().workers(1).queue_capacity(8).build();
+    let boom = pool
+        .submit_task(|_| -> usize { panic!("job panic") })
+        .unwrap();
+    assert_eq!(boom.wait(), Err(JobLost));
+
+    // The worker survived: the pool still serves.
+    let after = pool.submit_task(|_| 5usize).unwrap();
+    assert_eq!(after.wait(), Ok(5));
+
+    let stats = pool.shutdown();
+    assert_eq!(stats.panicked, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.per_worker[0].panicked, 1);
+}
+
+#[test]
+fn queue_latency_counters_cover_every_dequeued_job() {
+    let (pool, gate, _blocker) = gated_pool(8);
+    let futures: Vec<_> = (0..5)
+        .map(|i| pool.submit_task(move |_| i).unwrap())
+        .collect();
+    std::thread::sleep(Duration::from_millis(20));
+    gate.send(()).unwrap();
+    for fut in futures {
+        fut.wait().unwrap();
+    }
+    let stats = pool.shutdown();
+    // blocker + 5 jobs were dequeued, each with a measured wait.
+    assert_eq!(stats.queue_wait_count, 6);
+    assert!(stats.queue_wait_max_ns >= 20_000_000, "{stats:?}");
+    assert!(stats.mean_queue_wait() <= stats.max_queue_wait());
+    assert_eq!(stats.queue_high_watermark, 5);
+}
+
+#[test]
+fn submit_document_prepares_through_the_engine_cache() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let doc = Arc::new(random_tree_document(&mut rng, 50, &["a", "b"]));
+    let pool = AsyncEngine::builder().workers(2).build();
+
+    let futures: Vec<_> = (0..6)
+        .map(|_| pool.submit_document(&doc, "count(//a)").unwrap())
+        .collect();
+    let reference = pool.engine().evaluate_str(&doc, "count(//a)").unwrap();
+    for fut in futures {
+        assert_eq!(fut.wait().unwrap().unwrap().value, reference);
+    }
+    // Preparation is memoized, not paid per query.  Two workers racing on
+    // the first sight of the document may legitimately both build (the
+    // cache counts a miss per concurrent builder), so assert the shape,
+    // not an exact interleaving: every job looked the document up, at
+    // most one miss per worker, and one cached entry survives.
+    let doc_stats = pool.engine().document_cache_stats();
+    assert_eq!(doc_stats.hits + doc_stats.misses, 6, "{doc_stats:?}");
+    assert!(
+        (1..=2).contains(&doc_stats.misses),
+        "at most one miss per worker: {doc_stats:?}"
+    );
+    assert_eq!(doc_stats.len, 1, "{doc_stats:?}");
+}
+
+#[test]
+fn futures_are_awaitable_through_the_own_executor() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let doc = Arc::new(random_tree_document(&mut rng, 60, &["a", "b", "c"]));
+    let pool = AsyncEngine::builder().workers(2).build();
+    let prepared = pool.engine().prepare(&doc);
+
+    let value = block_on(async {
+        let a = pool.submit(&prepared, "count(//a)").unwrap();
+        let b = pool.submit(&prepared, "count(//b)").unwrap();
+        let (a, b) = (a.await.unwrap().unwrap(), b.await.unwrap().unwrap());
+        (a.value, b.value)
+    });
+    let sync_a = pool
+        .engine()
+        .evaluate_str_prepared(&prepared, "count(//a)")
+        .unwrap();
+    let sync_b = pool
+        .engine()
+        .evaluate_str_prepared(&prepared, "count(//b)")
+        .unwrap();
+    assert_eq!(value, (sync_a, sync_b));
+}
+
+/// The headline equivalence: for every strategy and both workload corpora,
+/// submitting through the pool returns exactly what the synchronous
+/// `evaluate_batch_prepared` returns — same values, same errors.
+#[test]
+fn async_results_equal_synchronous_evaluate_batch_across_strategies() {
+    let mut rng = StdRng::seed_from_u64(2003);
+    let corpora: Vec<(String, Arc<Document>)> = vec![
+        (
+            "auction".to_string(),
+            Arc::new(auction_site_document(&mut rng, 25)),
+        ),
+        (
+            "random-tree".to_string(),
+            Arc::new(random_tree_document(&mut rng, 80, &["a", "b", "c", "d"])),
+        ),
+    ];
+    let queries: Vec<String> = core_xpath_query_corpus()
+        .into_iter()
+        .chain(pwf_query_corpus())
+        .map(|(_, expr)| expr.to_string())
+        .collect();
+    let query_refs: Vec<&str> = queries.iter().map(|q| q.as_str()).collect();
+
+    for strategy in ALL_STRATEGIES {
+        let engine = Engine::builder().strategy(strategy).build();
+        let pool = AsyncEngine::builder()
+            .engine(engine.clone())
+            .workers(3)
+            .queue_capacity(16)
+            .build();
+        for (corpus, doc) in &corpora {
+            let prepared = engine.prepare(doc);
+
+            // Synchronous reference, through the batch entry point.  Every
+            // corpus query must compile — a silent filter here would
+            // misalign the per-query zips below.
+            let plans: Vec<_> = queries
+                .iter()
+                .map(|q| engine.compile(q).unwrap_or_else(|e| panic!("{q}: {e}")))
+                .collect();
+            let plan_refs: Vec<&CompiledQuery> = plans.iter().map(|p| p.as_ref()).collect();
+            let sync = engine.evaluate_batch_prepared(&prepared, &plan_refs);
+            assert_eq!(sync.len(), queries.len());
+
+            // Async, one submission per query AND one batched submission.
+            let futures: Vec<_> = queries
+                .iter()
+                .map(|q| pool.submit(&prepared, q).unwrap())
+                .collect();
+            let batched = pool.submit_batch(&prepared, &query_refs).unwrap();
+
+            for ((query, fut), reference) in queries.iter().zip(futures).zip(&sync) {
+                let got = fut.wait().unwrap();
+                match (got, reference) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.value, b.value, "{corpus}/{strategy:?}/{query}")
+                    }
+                    (Err(_), Err(_)) => {}
+                    (got, reference) => {
+                        panic!("{corpus}/{strategy:?}/{query}: async {got:?} vs sync {reference:?}")
+                    }
+                }
+            }
+            for (got, reference) in batched.wait().unwrap().iter().zip(&sync) {
+                match (got, reference) {
+                    (Ok(a), Ok(b)) => assert_eq!(a.value, b.value, "{corpus}/{strategy:?}"),
+                    (Err(_), Err(_)) => {}
+                    (got, reference) => {
+                        panic!("{corpus}/{strategy:?}: batch {got:?} vs sync {reference:?}")
+                    }
+                }
+            }
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.panicked, 0, "{strategy:?}");
+        assert_eq!(stats.submitted, stats.completed, "{strategy:?}");
+    }
+}
+
+/// Clients hammering `try_submit` under real contention: accepted work all
+/// completes, rejections are all explicit `Full`, and the counters add up.
+#[test]
+fn concurrent_try_submit_storm_accounts_for_every_request() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let doc = Arc::new(auction_site_document(&mut rng, 20));
+    let pool = AsyncEngine::builder().workers(2).queue_capacity(4).build();
+    let prepared = pool.engine().prepare(&doc);
+
+    let (accepted, rejected): (u64, u64) = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let pool = &pool;
+            let prepared = Arc::clone(&prepared);
+            handles.push(scope.spawn(move || {
+                let mut ok = 0u64;
+                let mut full = 0u64;
+                for _ in 0..50 {
+                    match pool.try_submit(&prepared, "count(//bid)") {
+                        Ok(fut) => {
+                            fut.wait().unwrap().unwrap();
+                            ok += 1;
+                        }
+                        Err(TrySubmitError::Full) => full += 1,
+                        Err(e) => panic!("unexpected rejection: {e}"),
+                    }
+                }
+                (ok, full)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .fold((0, 0), |(a, r), (ok, full)| (a + ok, r + full))
+    });
+
+    assert_eq!(accepted + rejected, 200);
+    // Final counters, read after shutdown joined the workers (a client's
+    // `wait` can return a beat before the worker bumps `completed`).
+    let stats = pool.shutdown();
+    assert_eq!(stats.submitted, accepted);
+    assert_eq!(stats.rejected_full, rejected);
+    assert_eq!(stats.completed, accepted);
+    assert!(stats.queue_high_watermark <= 4);
+}
+
+/// The `tokio` feature's async submission: awaits a full queue instead of
+/// failing, still subject to shutdown.
+#[cfg(feature = "tokio")]
+#[test]
+fn submit_async_round_trip() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let doc = Arc::new(auction_site_document(&mut rng, 15));
+    let pool = AsyncEngine::builder().workers(2).queue_capacity(8).build();
+    let prepared = pool.engine().prepare(&doc);
+
+    let value = block_on(async {
+        let accepted = pool.submit_async(&prepared, "count(//item)").await.unwrap();
+        accepted.await.unwrap().unwrap().value
+    });
+    assert_eq!(value, Value::Number(15.0));
+}
