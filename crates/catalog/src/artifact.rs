@@ -1,0 +1,494 @@
+//! Document-specialized plan artifacts: the (query × document) half of the
+//! catalog.
+//!
+//! A [`CompiledQuery`] is document-independent by design; every prepared
+//! evaluation therefore re-derives the document-*dependent* parts of the
+//! plan on each call — resolve the final step's name tests against the tag
+//! index (string hashes), read off the candidate bound, and run the
+//! source-aware strategy selection (`strategy_for_source`).  For a catalog
+//! serving the same (query, document) pairs over and over, that work is
+//! pure amortizable overhead.
+//!
+//! [`PlanArtifact`] materializes it once per (query, document, generation):
+//!
+//! * the **pinned strategy** — the `strategy_for_source` choice is baked
+//!   into a specialized copy of the plan
+//!   ([`CompiledQuery::specialize_for_source`]), so repeated runs skip
+//!   selectivity probing and strategy selection entirely;
+//! * the **resolved tag ids** — the query's final-step name tests mapped to
+//!   the document's interned [`TagId`]s
+//!   ([`xpeval_dom::PreparedDocument::tag_id`]), paying those string hashes
+//!   once per generation (they feed the candidate bound below and are
+//!   exposed for observability; the evaluators' own per-step name tests
+//!   still go through the tag index's hash lookups — threading `TagId`s
+//!   through `AxisSource` is future work);
+//! * the **candidate bound** — the size of the name-bounded result
+//!   universe; a bound of zero short-circuits evaluation to the empty node
+//!   set without dispatching an evaluator at all.
+//!
+//! Artifacts are only valid for the exact document generation they were
+//! built against (tag ids and counts are per-snapshot); the catalog's
+//! internal artifact cache keys them by (query, [`DocId`], generation) and
+//! purges a document's artifacts whenever its generation bumps.
+
+use crate::stats::CatalogStats;
+use crate::DocId;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use xpeval_core::steps::final_step_tag_names;
+use xpeval_core::{CompiledQuery, EvalError, EvalStats, EvalStrategy, QueryOutput, Value};
+use xpeval_dom::{PreparedDocument, TagId};
+
+/// A query plan specialized for one document generation: pinned strategy,
+/// pre-resolved tag ids, pre-computed candidate bound.  See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct PlanArtifact {
+    /// The specialized plan: a copy of the compiled query with the
+    /// source-aware strategy choice pinned as its fixed strategy.
+    plan: Arc<CompiledQuery>,
+    /// The exact document snapshot every field below is specialized for.
+    /// Owned by the artifact so [`PlanArtifact::run`] *cannot* be aimed
+    /// at a different document — the pinned strategy, resolved tag ids
+    /// and candidate bound would all be silently wrong for one.
+    prepared: Arc<PreparedDocument>,
+    doc: DocId,
+    generation: u64,
+    strategy: EvalStrategy,
+    /// The final-step name tests resolved against the document's tag
+    /// index: `None` for the id when the tag does not occur in this
+    /// generation (contributing zero candidates).  `None` overall when the
+    /// query's result is not name-bounded.
+    resolved_tags: Option<Vec<(String, Option<TagId>)>>,
+    /// Size of the name-bounded candidate universe; `Some(0)` proves the
+    /// *value* empty — but not that the configured strategy would accept
+    /// the query at all, hence `verified` below.
+    candidate_bound: Option<usize>,
+    /// Set once a full run of the plan succeeded.  Only then may a zero
+    /// candidate bound short-circuit later runs: evaluation is
+    /// deterministic per (query, document generation, strategy), so one
+    /// successful run proves every repeat returns the same `Ok` — whereas
+    /// skipping the *first* run could mask an error the plan would raise
+    /// (an unsupported-fragment strategy override, an unknown function in
+    /// a predicate) behind a semantically-plausible empty result.
+    verified: std::sync::atomic::AtomicBool,
+}
+
+impl PlanArtifact {
+    /// Specializes `plan` for one document generation: computes the
+    /// strategy choice, resolves the final-step tags, reads off the
+    /// candidate bound.  This is the artifact-cache *miss* path; the work
+    /// here is exactly what every subsequent hit skips.
+    pub fn build(
+        plan: &Arc<CompiledQuery>,
+        doc: DocId,
+        generation: u64,
+        prepared: &Arc<PreparedDocument>,
+    ) -> Self {
+        let specialized = plan.specialize_for_source(prepared.as_ref());
+        let strategy = specialized.strategy();
+        let resolved_tags: Option<Vec<(String, Option<TagId>)>> = final_step_tag_names(plan.expr())
+            .map(|names| {
+                names
+                    .into_iter()
+                    .map(|name| (name.to_string(), prepared.tag_id(name)))
+                    .collect()
+            });
+        let candidate_bound = resolved_tags.as_ref().map(|tags| {
+            tags.iter()
+                .map(|(_, id)| id.map_or(0, |id| prepared.tag_count_by_id(id)))
+                .sum()
+        });
+        PlanArtifact {
+            plan: Arc::new(specialized),
+            prepared: Arc::clone(prepared),
+            doc,
+            generation,
+            strategy,
+            resolved_tags,
+            candidate_bound,
+            verified: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// The document snapshot this artifact is specialized for (and runs
+    /// against).
+    pub fn prepared(&self) -> &Arc<PreparedDocument> {
+        &self.prepared
+    }
+
+    /// The document this artifact is specialized for.
+    pub fn doc(&self) -> DocId {
+        self.doc
+    }
+
+    /// The document generation this artifact is valid for.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The pinned strategy choice (what `strategy_for_source` returned at
+    /// build time).
+    pub fn strategy(&self) -> EvalStrategy {
+        self.strategy
+    }
+
+    /// The specialized plan itself.
+    pub fn plan(&self) -> &Arc<CompiledQuery> {
+        &self.plan
+    }
+
+    /// The final-step name tests resolved to this document's tag ids
+    /// (`None` for tags absent from this generation), or `None` when the
+    /// query is not name-bounded.
+    pub fn resolved_tags(&self) -> Option<&[(String, Option<TagId>)]> {
+        self.resolved_tags.as_deref()
+    }
+
+    /// Size of the name-bounded candidate universe for this generation,
+    /// when the query has one.
+    pub fn candidate_bound(&self) -> Option<usize> {
+        self.candidate_bound
+    }
+
+    /// Runs the specialized plan against the document snapshot it was
+    /// built for (owned by the artifact, so it cannot be aimed at any
+    /// other document).
+    ///
+    /// Once one full run has succeeded, a candidate bound of zero answers
+    /// every later run without dispatching an evaluator: the final step
+    /// names a tag this generation does not contain, so the result is the
+    /// empty node set (the bound conditions guarantee the query is
+    /// node-set-typed), and the verified first run proves the plan
+    /// *accepts* the query — an unverified shortcut could mask an
+    /// unsupported-fragment or unknown-function error behind a plausible
+    /// empty result.
+    pub fn run(&self) -> Result<QueryOutput, EvalError> {
+        use std::sync::atomic::Ordering;
+        if self.candidate_bound == Some(0) && self.verified.load(Ordering::Relaxed) {
+            return Ok(QueryOutput {
+                value: Value::NodeSet(Vec::new()),
+                stats: EvalStats::default(),
+                fragment: self.plan.fragment(),
+            });
+        }
+        let out = self.plan.run_prepared(&self.prepared);
+        if out.is_ok() {
+            self.verified.store(true, Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+#[derive(Debug)]
+struct ArtifactEntry {
+    artifact: Arc<PlanArtifact>,
+    last_used: u64,
+}
+
+/// The bounded LRU cache of [`PlanArtifact`]s, keyed by
+/// (query, [`DocId`], generation) — the catalog's third cache, next to the
+/// engine's plan cache (per query) and document cache (per document).
+///
+/// The key is split in two levels — an outer `(DocId, generation)` map
+/// over inner per-query maps — so the hot-path lookup borrows the query
+/// `&str` (no allocation; `HashMap<String, _>` answers `&str` probes via
+/// `Borrow`) and document-level invalidation is an outer-key sweep.
+///
+/// Same discipline as the other two caches: `get` under the lock, build
+/// outside it, `insert` racing benignly (last writer wins; both artifacts
+/// are valid).  Invalidation is by document:
+/// [`ArtifactCache::purge_doc`] drops every generation of a document's
+/// artifacts when the catalog replaces, removes or evicts it.
+#[derive(Debug)]
+pub(crate) struct ArtifactCache {
+    capacity: usize,
+    inner: Mutex<ArtifactInner>,
+}
+
+#[derive(Debug, Default)]
+struct ArtifactInner {
+    /// (doc, generation) → query source → artifact.
+    groups: HashMap<(DocId, u64), HashMap<String, ArtifactEntry>>,
+    /// Total entries across all groups (the capacity the bound applies
+    /// to).
+    len: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+impl ArtifactInner {
+    /// Removes the least-recently-used entry across all groups.
+    fn evict_lru(&mut self) {
+        // Scan by reference; only the winning key is cloned (the borrow
+        // must end before the removal below).
+        let victim = self
+            .groups
+            .iter()
+            .flat_map(|(&group, queries)| {
+                queries
+                    .iter()
+                    .map(move |(query, entry)| (entry.last_used, group, query))
+            })
+            .min_by_key(|(last_used, ..)| *last_used)
+            .map(|(_, group, query)| (group, query.clone()));
+        if let Some((group, query)) = victim {
+            if let Some(queries) = self.groups.get_mut(&group) {
+                queries.remove(&query);
+                if queries.is_empty() {
+                    self.groups.remove(&group);
+                }
+            }
+            self.len -= 1;
+            self.evictions += 1;
+        }
+    }
+}
+
+impl ArtifactCache {
+    /// Creates a cache holding at most `capacity` artifacts; 0 disables
+    /// caching (every evaluation re-specializes).
+    pub(crate) fn new(capacity: usize) -> Self {
+        ArtifactCache {
+            capacity,
+            inner: Mutex::new(ArtifactInner::default()),
+        }
+    }
+
+    /// Looks up the artifact for (query, doc, generation), refreshing its
+    /// recency on a hit.  Allocation-free.
+    pub(crate) fn get(
+        &self,
+        doc: DocId,
+        generation: u64,
+        query: &str,
+    ) -> Option<Arc<PlanArtifact>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner
+            .groups
+            .get_mut(&(doc, generation))
+            .and_then(|queries| queries.get_mut(query))
+        {
+            Some(entry) => {
+                entry.last_used = tick;
+                let artifact = Arc::clone(&entry.artifact);
+                inner.hits += 1;
+                Some(artifact)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores an artifact under its own (query, doc, generation) key,
+    /// evicting the least-recently-used entry when full.
+    pub(crate) fn insert(&self, query: &str, artifact: &Arc<PlanArtifact>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let group = (artifact.doc(), artifact.generation());
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let replaces_existing = inner
+            .groups
+            .get(&group)
+            .is_some_and(|queries| queries.contains_key(query));
+        if inner.len >= self.capacity && !replaces_existing {
+            inner.evict_lru();
+        }
+        let entry = ArtifactEntry {
+            artifact: Arc::clone(artifact),
+            last_used: tick,
+        };
+        if inner
+            .groups
+            .entry(group)
+            .or_default()
+            .insert(query.to_string(), entry)
+            .is_none()
+        {
+            inner.len += 1;
+        }
+    }
+
+    /// Drops every artifact of `doc` (all generations), counting them as
+    /// invalidations.  Called when the catalog replaces, removes or evicts
+    /// the document.
+    pub(crate) fn purge_doc(&self, doc: DocId) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let mut dropped = 0usize;
+        inner.groups.retain(|&(d, _), queries| {
+            if d == doc {
+                dropped += queries.len();
+                false
+            } else {
+                true
+            }
+        });
+        inner.len -= dropped;
+        inner.invalidations += dropped as u64;
+        dropped
+    }
+
+    /// Drops every artifact (counters are kept).
+    pub(crate) fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.groups.clear();
+        inner.len = 0;
+    }
+
+    /// Copies this cache's counters into the artifact fields of a
+    /// [`CatalogStats`] snapshot.
+    pub(crate) fn fill_stats(&self, stats: &mut CatalogStats) {
+        let inner = self.inner.lock().unwrap();
+        stats.artifact_len = inner.len;
+        stats.artifact_capacity = self.capacity;
+        stats.artifact_hits = inner.hits;
+        stats.artifact_misses = inner.misses;
+        stats.artifact_evictions = inner.evictions;
+        stats.artifact_invalidations = inner.invalidations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpeval_dom::parse_xml;
+
+    fn prepared(xml: &str) -> Arc<PreparedDocument> {
+        Arc::new(parse_xml(xml).unwrap().prepare())
+    }
+
+    fn plan(src: &str) -> Arc<CompiledQuery> {
+        Arc::new(CompiledQuery::compile(src).unwrap())
+    }
+
+    #[test]
+    fn build_resolves_tags_and_pins_the_strategy() {
+        let doc = prepared("<r><a/><b/><a/></r>");
+        let q = plan("//a");
+        let artifact = PlanArtifact::build(&q, DocId::from_raw(1), 1, &doc);
+        assert_eq!(artifact.candidate_bound(), Some(2));
+        let tags = artifact.resolved_tags().unwrap();
+        assert_eq!(tags.len(), 1);
+        assert_eq!(tags[0].0, "a");
+        assert_eq!(tags[0].1, doc.tag_id("a"));
+        assert_eq!(artifact.strategy(), artifact.plan().strategy());
+        // The specialized plan no longer re-tunes per source.
+        assert_eq!(
+            artifact.plan().strategy_for_source(doc.as_ref()),
+            artifact.strategy()
+        );
+        let out = artifact.run().unwrap();
+        assert_eq!(out.value.expect_nodes().len(), 2);
+    }
+
+    #[test]
+    fn zero_candidate_bound_short_circuits_after_one_verified_run() {
+        let doc = prepared("<r><a/></r>");
+        let q = plan("//nosuch");
+        let artifact = PlanArtifact::build(&q, DocId::from_raw(1), 1, &doc);
+        assert_eq!(artifact.candidate_bound(), Some(0));
+        // The first run is a full evaluation (it must surface any error
+        // the plan would raise), still empty.
+        let first = artifact.run().unwrap();
+        assert_eq!(first.value, Value::NodeSet(Vec::new()));
+        assert!(first.stats.evaluations > 0, "{:?}", first.stats);
+        // Every repeat takes the shortcut: zero work counters witness
+        // that no evaluator ran.
+        let repeat = artifact.run().unwrap();
+        assert_eq!(repeat.value, Value::NodeSet(Vec::new()));
+        assert_eq!(repeat.stats, EvalStats::default());
+        // Unions of present and absent tags keep the sum bound.
+        let union = plan("//a | //nosuch");
+        let artifact = PlanArtifact::build(&union, DocId::from_raw(1), 1, &doc);
+        assert_eq!(artifact.candidate_bound(), Some(1));
+        assert_eq!(artifact.run().unwrap().value.expect_nodes().len(), 1);
+    }
+
+    #[test]
+    fn the_shortcut_never_masks_a_plan_error() {
+        let doc = prepared("<r><a/></r>");
+        // Zero-bound query forced onto a strategy that rejects its
+        // fragment: every run must keep erroring, shortcut or not.
+        let q = Arc::new(
+            CompiledQuery::compile("//nosuch[@id = 3]")
+                .unwrap()
+                .with_strategy(EvalStrategy::CoreXPathLinear),
+        );
+        let artifact = PlanArtifact::build(&q, DocId::from_raw(1), 1, &doc);
+        assert_eq!(artifact.candidate_bound(), Some(0));
+        for _ in 0..3 {
+            assert!(matches!(
+                artifact.run(),
+                Err(EvalError::UnsupportedFragment { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn non_name_bounded_queries_have_no_bound() {
+        let doc = prepared("<r><a/></r>");
+        for q in ["count(//a)", "//a/@id", "//node()"] {
+            let artifact = PlanArtifact::build(&plan(q), DocId::from_raw(1), 1, &doc);
+            assert_eq!(artifact.candidate_bound(), None, "{q}");
+            assert!(artifact.resolved_tags().is_none(), "{q}");
+            // And evaluation still works through the pinned plan.
+            assert!(artifact.run().is_ok(), "{q}");
+        }
+    }
+
+    #[test]
+    fn cache_hits_evicts_and_purges() {
+        let doc = prepared("<r><a/></r>");
+        let cache = ArtifactCache::new(2);
+        let d1 = DocId::from_raw(1);
+        let d2 = DocId::from_raw(2);
+        assert!(cache.get(d1, 1, "//a").is_none());
+        let a1 = Arc::new(PlanArtifact::build(&plan("//a"), d1, 1, &doc));
+        cache.insert("//a", &a1);
+        assert!(Arc::ptr_eq(&cache.get(d1, 1, "//a").unwrap(), &a1));
+        // A different generation is a different key.
+        assert!(cache.get(d1, 2, "//a").is_none());
+
+        let a2 = Arc::new(PlanArtifact::build(&plan("//a"), d2, 1, &doc));
+        cache.insert("//a", &a2);
+        // Capacity 2: a third entry evicts the LRU one (d1 gen 1 was
+        // touched most recently via get, so the victim is d2's).
+        cache.get(d1, 1, "//a").unwrap();
+        let a3 = Arc::new(PlanArtifact::build(&plan("//r"), d1, 1, &doc));
+        cache.insert("//r", &a3);
+        assert!(cache.get(d2, 1, "//a").is_none());
+
+        // Purging d1 drops all its artifacts, regardless of generation.
+        let dropped = cache.purge_doc(d1);
+        assert_eq!(dropped, 2);
+        let mut stats = CatalogStats::default();
+        cache.fill_stats(&mut stats);
+        assert_eq!(stats.artifact_len, 0);
+        assert_eq!(stats.artifact_invalidations, 2);
+        assert_eq!(stats.artifact_evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let doc = prepared("<r><a/></r>");
+        let cache = ArtifactCache::new(0);
+        let a = Arc::new(PlanArtifact::build(
+            &plan("//a"),
+            DocId::from_raw(1),
+            1,
+            &doc,
+        ));
+        cache.insert("//a", &a);
+        assert!(cache.get(DocId::from_raw(1), 1, "//a").is_none());
+    }
+}

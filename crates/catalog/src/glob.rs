@@ -1,0 +1,89 @@
+//! The minimal glob dialect used to select catalog documents by name:
+//! `*` matches any (possibly empty) run of characters, `?` matches exactly
+//! one character, everything else matches itself.  No character classes,
+//! no escapes — document names are operator-chosen identifiers, not paths.
+
+/// Does `name` match `pattern`?
+///
+/// Iterative backtracking over byte offsets (chars decoded in place, so
+/// `?` is one *character*, not one byte): linear in `|name| · |stars|` in
+/// the worst case, allocation-free — the fan-out selection calls this
+/// once per catalog entry.  A pattern without metacharacters degrades to
+/// plain equality.
+pub(crate) fn glob_match(pattern: &str, name: &str) -> bool {
+    // Byte offsets into pattern and name; always on char boundaries.
+    let (mut p, mut t) = (0usize, 0usize);
+    // Offsets to resume from when the last `*` has to swallow one more
+    // char: (pattern offset after the star, name offset of the swallow
+    // point).
+    let mut star: Option<(usize, usize)> = None;
+    while t < name.len() {
+        let tc = name[t..].chars().next().expect("t is on a char boundary");
+        match pattern[p..].chars().next() {
+            Some('*') => {
+                star = Some((p + 1, t));
+                p += 1;
+            }
+            Some(pc) if pc == '?' || pc == tc => {
+                p += pc.len_utf8();
+                t += tc.len_utf8();
+            }
+            _ => match star {
+                Some((sp, st)) => {
+                    let swallowed = name[st..].chars().next().expect("st is on a char boundary");
+                    star = Some((sp, st + swallowed.len_utf8()));
+                    p = sp;
+                    t = st + swallowed.len_utf8();
+                }
+                None => return false,
+            },
+        }
+    }
+    while pattern[p..].starts_with('*') {
+        p += 1;
+    }
+    p == pattern.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::glob_match;
+
+    #[test]
+    fn literal_patterns_are_equality() {
+        assert!(glob_match("orders", "orders"));
+        assert!(!glob_match("orders", "orders-1"));
+        assert!(!glob_match("orders-1", "orders"));
+        assert!(glob_match("", ""));
+        assert!(!glob_match("", "a"));
+    }
+
+    #[test]
+    fn star_matches_any_run() {
+        assert!(glob_match("*", ""));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("orders-*", "orders-2024"));
+        assert!(glob_match("*-2024", "orders-2024"));
+        assert!(glob_match("o*s*4", "orders-2024"));
+        assert!(!glob_match("orders-*", "invoices-2024"));
+        assert!(glob_match("a*b*c", "a-x-b-y-c"));
+        assert!(!glob_match("a*b*c", "a-x-c-y-b"));
+    }
+
+    #[test]
+    fn star_backtracks_over_multibyte_chars() {
+        assert!(glob_match("*é", "ααé"));
+        assert!(glob_match("α*?", "αβγ"));
+        assert!(!glob_match("*é", "éα"));
+    }
+
+    #[test]
+    fn question_mark_matches_one_char() {
+        assert!(glob_match("doc-?", "doc-1"));
+        assert!(!glob_match("doc-?", "doc-12"));
+        assert!(!glob_match("doc-?", "doc-"));
+        assert!(glob_match("d?c-*", "doc-42"));
+        // `?` is one character, not one byte.
+        assert!(glob_match("?", "é"));
+    }
+}

@@ -1,0 +1,353 @@
+//! # xpeval-catalog — the named multi-document store
+//!
+//! The pipeline below this crate amortizes work along two axes: a
+//! [`CompiledQuery`](xpeval_core::CompiledQuery) is compiled once per
+//! *query*, a [`PreparedDocument`](xpeval_dom::PreparedDocument) is
+//! indexed once per *document*.  A serving system over many documents
+//! needs a third axis — the (query × document) pair — and a way to *name*
+//! documents at all: `Arc` pointers cannot be shared across submission
+//! boundaries, replaced atomically, or evicted by policy.
+//!
+//! [`Catalog`] is that layer:
+//!
+//! * **Named ingestion** — [`Catalog::insert_xml`] /
+//!   [`Catalog::insert_document`] parse and prepare once and store the
+//!   document under a human-readable name plus a stable [`DocId`] (never
+//!   reused).  Re-inserting a name **replaces** the document and bumps its
+//!   generation counter; capacity is bounded with LRU eviction; per-entry
+//!   usage counters are observable ([`DocInfo`]).
+//! * **(query × document) plan artifacts** — the first evaluation of a
+//!   query against a document generation builds a [`PlanArtifact`]: the
+//!   source-aware strategy choice pinned into a specialized plan, the
+//!   final-step name tests resolved to the document's interned
+//!   [`TagId`](xpeval_dom::TagId)s, and the candidate bound (zero bound ⇒
+//!   empty result without evaluating).  Artifacts are cached keyed by
+//!   (query, [`DocId`], generation), so a replacement invalidates exactly
+//!   that document's artifacts and nothing else.
+//! * **Fan-out evaluation** — [`Catalog::evaluate_on`] targets one name;
+//!   [`Catalog::evaluate_on_all`] and [`Catalog::evaluate_matching`] (glob
+//!   selection) run one query across many documents, returning
+//!   per-document [`FanOut`] results.
+//! * **Observability** — [`CatalogStats`] counts inserts, replacements,
+//!   evictions, resolve hits, artifact hits/misses/invalidations, with a
+//!   one-line [`Display`](std::fmt::Display) form in the family of
+//!   `CacheStats` and `ServeStats`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use xpeval_catalog::Catalog;
+//!
+//! let catalog = Catalog::builder().capacity(64).build();
+//! catalog.insert_xml("orders", "<orders><order id='1'/><order id='2'/></orders>").unwrap();
+//! catalog.insert_xml("invoices", "<invoices><invoice/></invoices>").unwrap();
+//!
+//! // Target one document by name; repeats hit the artifact cache.
+//! for _ in 0..10 {
+//!     let out = catalog.evaluate_on("orders", "count(//order)").unwrap();
+//!     assert_eq!(out.value, xpeval_core::Value::Number(2.0));
+//! }
+//! assert!(catalog.stats().artifact_hits >= 9);
+//!
+//! // Fan one query out over every document.
+//! let results = catalog.evaluate_on_all("count(//*)");
+//! assert_eq!(results.len(), 2);
+//!
+//! // Replacing a document bumps its generation and invalidates exactly
+//! // its artifacts.
+//! catalog.insert_xml("orders", "<orders/>").unwrap();
+//! assert_eq!(catalog.generation("orders"), Some(2));
+//! ```
+//!
+//! The serving layer (`xpeval-serve`) accepts a catalog reference so
+//! asynchronous submissions can target documents by name too.
+
+pub mod artifact;
+pub(crate) mod glob;
+pub mod stats;
+pub mod store;
+
+pub use artifact::PlanArtifact;
+pub use stats::{CatalogStats, DocInfo};
+pub use store::{Catalog, CatalogBuilder, CatalogError, DocId, FanOut};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use xpeval_core::{EvalError, Value};
+    use xpeval_dom::parse_xml;
+
+    #[test]
+    fn insert_resolve_get_roundtrip() {
+        let catalog = Catalog::new();
+        let id = catalog.insert_xml("a", "<r><x/></r>").unwrap();
+        assert_eq!(catalog.resolve("a"), Some(id));
+        assert!(catalog.contains("a"));
+        assert_eq!(catalog.len(), 1);
+        assert_eq!(catalog.generation("a"), Some(1));
+        let prepared = catalog.get("a").unwrap();
+        assert_eq!(prepared.node_count(), 3);
+        assert!(Arc::ptr_eq(&prepared, &catalog.get_by_id(id).unwrap()));
+        assert_eq!(catalog.resolve("nosuch"), None);
+        let s = catalog.stats();
+        assert_eq!((s.inserts, s.resolve_hits, s.resolve_misses), (1, 2, 1));
+    }
+
+    #[test]
+    fn insert_xml_reports_parse_errors() {
+        let catalog = Catalog::new();
+        let err = catalog.insert_xml("bad", "<r><unclosed>").unwrap_err();
+        assert!(matches!(err, CatalogError::Xml(_)), "{err:?}");
+        assert!(!catalog.contains("bad"));
+    }
+
+    #[test]
+    fn replacement_keeps_the_id_and_bumps_the_generation() {
+        let catalog = Catalog::new();
+        let id1 = catalog.insert_xml("doc", "<r><a/></r>").unwrap();
+        let id2 = catalog.insert_xml("doc", "<r><a/><a/></r>").unwrap();
+        assert_eq!(id1, id2);
+        assert_eq!(catalog.generation("doc"), Some(2));
+        assert_eq!(catalog.len(), 1);
+        let out = catalog.evaluate_on("doc", "count(//a)").unwrap();
+        assert_eq!(out.value, Value::Number(2.0));
+        let s = catalog.stats();
+        assert_eq!((s.inserts, s.replacements), (1, 1));
+    }
+
+    #[test]
+    fn evaluate_on_repeats_hit_the_artifact_cache() {
+        let catalog = Catalog::new();
+        catalog.insert_xml("d", "<r><a/><b/><a/></r>").unwrap();
+        for _ in 0..5 {
+            let out = catalog.evaluate_on("d", "//a").unwrap();
+            assert_eq!(out.value.expect_nodes().len(), 2);
+        }
+        let s = catalog.stats();
+        assert_eq!(s.artifact_misses, 1, "{s}");
+        assert_eq!(s.artifact_hits, 4, "{s}");
+        assert_eq!(s.evaluations, 5, "{s}");
+        let info = catalog.info("d").unwrap();
+        assert_eq!((info.evaluations, info.artifact_hits), (5, 4));
+    }
+
+    #[test]
+    fn replacement_invalidates_only_its_own_artifacts() {
+        let catalog = Catalog::new();
+        catalog.insert_xml("left", "<r><a/></r>").unwrap();
+        catalog.insert_xml("right", "<r><a/><a/></r>").unwrap();
+        catalog.evaluate_on("left", "//a").unwrap();
+        catalog.evaluate_on("right", "//a").unwrap();
+        assert_eq!(catalog.stats().artifact_len, 2);
+
+        catalog.insert_xml("left", "<r/>").unwrap();
+        let s = catalog.stats();
+        assert_eq!(s.artifact_len, 1, "{s}");
+        assert_eq!(s.artifact_invalidations, 1, "{s}");
+
+        // The replaced document evaluates against its new generation...
+        assert_eq!(
+            catalog.evaluate_on("left", "//a").unwrap().value,
+            Value::NodeSet(Vec::new())
+        );
+        // ...and the untouched document still hits its artifact.
+        let hits_before = catalog.stats().artifact_hits;
+        catalog.evaluate_on("right", "//a").unwrap();
+        assert_eq!(catalog.stats().artifact_hits, hits_before + 1);
+    }
+
+    #[test]
+    fn capacity_evicts_the_least_recently_used_document() {
+        let catalog = Catalog::builder().capacity(2).build();
+        catalog.insert_xml("a", "<a/>").unwrap();
+        catalog.insert_xml("b", "<b/>").unwrap();
+        catalog.evaluate_on("a", "count(//*)").unwrap(); // touch a
+        catalog.insert_xml("c", "<c/>").unwrap(); // evicts b
+        assert!(catalog.contains("a"));
+        assert!(!catalog.contains("b"));
+        assert!(catalog.contains("c"));
+        let s = catalog.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.documents, 2);
+        assert!(matches!(
+            catalog.evaluate_on("b", "count(//*)"),
+            Err(CatalogError::UnknownDocument { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_retires_the_name_and_purges_artifacts() {
+        let catalog = Catalog::new();
+        catalog.insert_xml("d", "<r><a/></r>").unwrap();
+        catalog.evaluate_on("d", "//a").unwrap();
+        assert_eq!(catalog.stats().artifact_len, 1);
+        assert!(catalog.remove("d"));
+        assert!(!catalog.remove("d"));
+        assert_eq!(catalog.stats().artifact_len, 0);
+        assert_eq!(catalog.stats().removals, 1);
+        assert!(catalog.get("d").is_none());
+    }
+
+    #[test]
+    fn fan_out_covers_all_and_glob_selects() {
+        let catalog = Catalog::new();
+        catalog.insert_xml("orders-1", "<r><x/></r>").unwrap();
+        catalog.insert_xml("orders-2", "<r><x/><x/></r>").unwrap();
+        catalog.insert_xml("invoices", "<r/>").unwrap();
+
+        let all = catalog.evaluate_on_all("count(//x)");
+        assert_eq!(all.len(), 3);
+        // Sorted by name.
+        let names: Vec<&str> = all.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["invoices", "orders-1", "orders-2"]);
+        assert_eq!(all[1].result.as_ref().unwrap().value, Value::Number(1.0));
+
+        let some = catalog.evaluate_matching("orders-*", "count(//x)");
+        assert_eq!(some.len(), 2);
+        assert_eq!(some[1].result.as_ref().unwrap().value, Value::Number(2.0));
+        assert!(catalog.evaluate_matching("nomatch-*", "1").is_empty());
+    }
+
+    #[test]
+    fn fan_out_does_not_poison_on_a_failing_document() {
+        // A query that is fine on one document shape and errors on
+        // another is hard to construct (evaluation is total); a failing
+        // *compile* errors on every document, which still exercises the
+        // per-document Result slots.
+        let catalog = Catalog::new();
+        catalog.insert_xml("a", "<r/>").unwrap();
+        catalog.insert_xml("b", "<r/>").unwrap();
+        let results = catalog.evaluate_on_all("//[");
+        assert_eq!(results.len(), 2);
+        for f in &results {
+            assert!(matches!(f.result, Err(EvalError::Parse { .. })), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn handles_share_the_store() {
+        let catalog = Catalog::new();
+        let clone = catalog.clone();
+        catalog.insert_xml("d", "<r/>").unwrap();
+        assert!(clone.contains("d"));
+        clone.evaluate_on("d", "count(//*)").unwrap();
+        assert_eq!(catalog.stats().evaluations, 1);
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let catalog = Catalog::new();
+        let id1 = catalog.insert_xml("a", "<a/>").unwrap();
+        assert!(catalog.remove("a"));
+        let id2 = catalog.insert_xml("a", "<a/>").unwrap();
+        assert_ne!(id1, id2, "a removed id must not be recycled");
+        assert_eq!(catalog.resolve("a"), Some(id2));
+    }
+
+    #[test]
+    fn catalogs_sharing_an_engine_do_not_collide_on_keyed_indexes() {
+        // DocIds come from one process-global counter, so two catalogs on
+        // one engine can never collide on a stable key — and removing
+        // from one catalog must not discard the other's live index.
+        let engine = xpeval_core::Engine::builder().build();
+        let a = Catalog::builder().engine(engine.clone()).build();
+        let b = Catalog::builder().engine(engine.clone()).build();
+        let id_a = a.insert_xml("d", "<r><x/></r>").unwrap();
+        let id_b = b.insert_xml("d", "<r/>").unwrap();
+        assert_ne!(id_a, id_b, "ids are process-unique");
+        assert_eq!(engine.document_cache_stats().len, 2, "no collision");
+        assert!(a.remove("d"));
+        assert_eq!(
+            engine.document_cache_stats().len,
+            1,
+            "b's index must survive a's removal"
+        );
+        assert_eq!(
+            b.evaluate_on("d", "count(//*)").unwrap().value,
+            Value::Number(1.0)
+        );
+    }
+
+    #[test]
+    fn insert_prepared_replacement_drops_the_stale_keyed_index() {
+        use xpeval_dom::PreparedDocument;
+        let catalog = Catalog::new();
+        // v1 enters through the engine cache (insert_document path)...
+        catalog.insert_xml("d", "<r><x/></r>").unwrap();
+        assert_eq!(catalog.engine().document_cache_stats().len, 1);
+        // ...and a replacement that bypasses the engine cache must not
+        // leave v1's index pinned under the id's stable key.
+        let v2 = Arc::new(PreparedDocument::new(parse_xml("<r/>").unwrap()));
+        catalog.insert_prepared("d", v2);
+        assert_eq!(catalog.engine().document_cache_stats().len, 0);
+        assert_eq!(catalog.generation("d"), Some(2));
+        assert_eq!(
+            catalog.evaluate_on("d", "count(//x)").unwrap().value,
+            Value::Number(0.0)
+        );
+    }
+
+    #[test]
+    fn retiring_a_document_releases_its_keyed_index() {
+        // remove() must drop the engine document-cache entry keyed by the
+        // retired DocId — otherwise the dead prepared index stays pinned
+        // until LRU pressure happens to find it.
+        let catalog = Catalog::new();
+        catalog.insert_xml("a", "<r><x/></r>").unwrap();
+        catalog.insert_xml("b", "<r/>").unwrap();
+        assert_eq!(catalog.engine().document_cache_stats().len, 2);
+        assert!(catalog.remove("a"));
+        assert_eq!(catalog.engine().document_cache_stats().len, 1);
+
+        // Same for LRU eviction out of a bounded catalog.
+        let catalog = Catalog::builder().capacity(2).build();
+        catalog.insert_xml("a", "<a/>").unwrap();
+        catalog.insert_xml("b", "<b/>").unwrap();
+        catalog.insert_xml("c", "<c/>").unwrap(); // evicts a
+        assert_eq!(catalog.stats().evictions, 1);
+        assert_eq!(catalog.engine().document_cache_stats().len, 2);
+    }
+
+    #[test]
+    fn unnamed_documents_share_the_engine_caches() {
+        // The catalog evaluates through its engine: plans compiled by
+        // catalog evaluations are plan-cache hits for direct engine users
+        // and vice versa.
+        let catalog = Catalog::new();
+        catalog.insert_xml("d", "<r><a/></r>").unwrap();
+        catalog.evaluate_on("d", "//a").unwrap();
+        let engine = catalog.engine().clone();
+        let doc = Arc::new(parse_xml("<r><a/></r>").unwrap());
+        engine.evaluate_str(&doc, "//a").unwrap();
+        let s = engine.cache_stats();
+        assert_eq!((s.misses, s.hits), (1, 1), "{s:?}");
+    }
+
+    #[test]
+    fn list_is_sorted_and_carries_usage() {
+        let catalog = Catalog::new();
+        catalog.insert_xml("b", "<r/>").unwrap();
+        catalog.insert_xml("a", "<r><x/></r>").unwrap();
+        catalog.evaluate_on("a", "count(//x)").unwrap();
+        let list = catalog.list();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].name, "a");
+        assert_eq!(list[0].node_count, 3);
+        assert_eq!(list[0].evaluations, 1);
+        assert_eq!(list[1].name, "b");
+        assert_eq!(catalog.names(), ["a", "b"]);
+        assert_eq!(catalog.info("nosuch"), None);
+    }
+
+    #[test]
+    fn display_line_mentions_the_moving_parts() {
+        let catalog = Catalog::builder().capacity(8).build();
+        catalog.insert_xml("d", "<r/>").unwrap();
+        catalog.evaluate_on("d", "count(//*)").unwrap();
+        catalog.evaluate_on("d", "count(//*)").unwrap();
+        let line = catalog.stats().to_string();
+        assert!(line.contains("docs 1/8"), "{line}");
+        assert!(line.contains("hits 1/2 (50.0%)"), "{line}");
+    }
+}

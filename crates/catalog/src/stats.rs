@@ -1,0 +1,146 @@
+//! Observable counters of the catalog, in the family of
+//! `xpeval_core::CacheStats` and `xpeval_serve::ServeStats`: everything the
+//! store and its artifact cache do is countable, so tests and benches can
+//! assert hit/miss/invalidation behaviour instead of guessing.
+
+/// Snapshot of a [`crate::Catalog`]'s counters: the document store on the
+/// left, the (query × document) artifact cache on the right.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// Documents currently stored.
+    pub documents: usize,
+    /// Maximum number of documents (0 = unbounded).
+    pub capacity: usize,
+    /// Documents inserted under a fresh name.
+    pub inserts: u64,
+    /// Inserts that replaced an existing name (generation bumps).
+    pub replacements: u64,
+    /// Documents removed explicitly.
+    pub removals: u64,
+    /// Documents evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Name lookups that found a document.
+    pub resolve_hits: u64,
+    /// Name lookups for names not in the catalog.
+    pub resolve_misses: u64,
+    /// Evaluations dispatched through the catalog (all entry points).
+    pub evaluations: u64,
+    /// Artifact-cache entries currently stored.
+    pub artifact_len: usize,
+    /// Artifact-cache capacity in entries (0 = caching disabled).
+    pub artifact_capacity: usize,
+    /// Evaluations answered from a cached (query × document) artifact.
+    pub artifact_hits: u64,
+    /// Evaluations that built (or rebuilt) an artifact.
+    pub artifact_misses: u64,
+    /// Artifacts evicted by the artifact cache's own LRU bound.
+    pub artifact_evictions: u64,
+    /// Artifacts dropped because their document was replaced, removed or
+    /// evicted — the generation-bump invalidations.
+    pub artifact_invalidations: u64,
+}
+
+impl CatalogStats {
+    /// Fraction of name lookups that found a document, in `0.0..=1.0`
+    /// (0.0 before the first lookup).
+    pub fn resolve_hit_rate(&self) -> f64 {
+        rate(self.resolve_hits, self.resolve_misses)
+    }
+
+    /// Fraction of catalog evaluations served from a cached artifact, in
+    /// `0.0..=1.0` (0.0 before the first evaluation).
+    pub fn artifact_hit_rate(&self) -> f64 {
+        rate(self.artifact_hits, self.artifact_misses)
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+impl std::fmt::Display for CatalogStats {
+    /// One-line summary used by the examples, e.g.
+    /// `docs 3/64 (5 inserted, 2 replaced, 0 evicted), resolves 10/12 (83.3%), evals 40, artifacts 7/256 hits 33/40 (82.5%), invalidated 4`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "docs {}/{} ({} inserted, {} replaced, {} evicted), resolves {}/{} ({:.1}%), evals {}, artifacts {}/{} hits {}/{} ({:.1}%), invalidated {}",
+            self.documents,
+            self.capacity,
+            self.inserts,
+            self.replacements,
+            self.evictions,
+            self.resolve_hits,
+            self.resolve_hits + self.resolve_misses,
+            self.resolve_hit_rate() * 100.0,
+            self.evaluations,
+            self.artifact_len,
+            self.artifact_capacity,
+            self.artifact_hits,
+            self.artifact_hits + self.artifact_misses,
+            self.artifact_hit_rate() * 100.0,
+            self.artifact_invalidations,
+        )
+    }
+}
+
+/// Per-document snapshot returned by [`crate::Catalog::info`] and
+/// [`crate::Catalog::list`]: identity, generation, size, and the entry's
+/// own usage counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DocInfo {
+    /// The name the document is stored under.
+    pub name: String,
+    /// Its stable id (never reused, survives replacement).
+    pub id: crate::DocId,
+    /// Generation counter: starts at 1, bumped by every replacement.
+    pub generation: u64,
+    /// Total nodes of the prepared document.
+    pub node_count: usize,
+    /// Evaluations dispatched against this name (carried across
+    /// replacements — the counter describes the named slot).
+    pub evaluations: u64,
+    /// How many of those were answered from a cached artifact.
+    pub artifact_hits: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_a_single_summary_line() {
+        let stats = CatalogStats {
+            documents: 3,
+            capacity: 64,
+            inserts: 5,
+            replacements: 2,
+            resolve_hits: 10,
+            resolve_misses: 2,
+            evaluations: 40,
+            artifact_len: 7,
+            artifact_capacity: 256,
+            artifact_hits: 33,
+            artifact_misses: 7,
+            artifact_invalidations: 4,
+            ..CatalogStats::default()
+        };
+        let line = stats.to_string();
+        assert!(line.contains("docs 3/64"), "{line}");
+        assert!(line.contains("hits 33/40 (82.5%)"), "{line}");
+        assert!(line.contains("invalidated 4"), "{line}");
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn rates_handle_the_empty_case() {
+        let stats = CatalogStats::default();
+        assert_eq!(stats.resolve_hit_rate(), 0.0);
+        assert_eq!(stats.artifact_hit_rate(), 0.0);
+    }
+}

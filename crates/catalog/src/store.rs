@@ -1,0 +1,694 @@
+//! The named, concurrent document store: [`Catalog`], its builder, ids,
+//! errors and the fan-out evaluation surface.
+//!
+//! A catalog owns ingestion end to end: [`Catalog::insert_xml`] parses and
+//! prepares once, hands back a stable [`DocId`], and keeps the
+//! [`PreparedDocument`] behind the human-readable name.  Replacing a name
+//! bumps the entry's **generation** and purges its (query × document)
+//! artifacts; capacity is bounded with LRU eviction; every entry carries
+//! its own usage counters ([`DocInfo`]).
+//!
+//! Evaluation goes through the artifact cache: the first
+//! [`Catalog::evaluate_on`] for a (query, document, generation) triple
+//! compiles the query through the engine's plan cache and specializes it
+//! for the document ([`PlanArtifact`]); every repeat skips the per-call
+//! selectivity probing and strategy selection (the artifact's tag
+//! resolutions and candidate bound are computed once per generation, and
+//! a verified zero bound skips evaluation itself).  [`Catalog::evaluate_on_all`] and
+//! [`Catalog::evaluate_matching`] fan one query out over many documents.
+//!
+//! **Locking.**  The store is a single `RwLock` over two small maps; the
+//! artifact cache and every counter are outside it.  Evaluation holds the
+//! read lock only long enough to clone out an `Arc` of the entry —
+//! documents and artifacts are immutable, so queries never serialize on
+//! the store.  Writers (insert/replace/remove) purge artifacts *after*
+//! dropping the write lock; a concurrent evaluation racing a replacement
+//! may finish against the old generation (and may leave an old-generation
+//! artifact in the cache, unreachable by key, until it ages out) — it
+//! never sees a mix of generations.
+
+use crate::artifact::{ArtifactCache, PlanArtifact};
+use crate::glob::glob_match;
+use crate::stats::{CatalogStats, DocInfo};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use xpeval_core::{Engine, EvalError, QueryOutput};
+use xpeval_dom::{parse_xml, Document, PreparedDocument, XmlParseError};
+
+/// Stable identity of a catalog document.
+///
+/// Ids are assigned at first insert, never reused, and survive
+/// replacement: replacing the document behind a name keeps the `DocId` and
+/// bumps the entry's generation instead.  This is the key the engine's
+/// document cache and the artifact cache use — a stable name, unlike the
+/// `Arc`-address keying of the legacy path (see
+/// `xpeval_core::cache::DocKey` for that hazard).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(u64);
+
+impl DocId {
+    /// The raw id value — also the document's stable key in the engine's
+    /// document cache.  Ids are minted from one process-global counter, so
+    /// catalogs sharing an engine never collide on a key.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a `DocId` from [`DocId::as_u64`] — for tests and external
+    /// id plumbing; the catalog only honours ids it minted itself.
+    #[inline]
+    pub fn from_raw(raw: u64) -> Self {
+        DocId(raw)
+    }
+}
+
+impl std::fmt::Display for DocId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "doc#{}", self.0)
+    }
+}
+
+/// Why a catalog operation failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CatalogError {
+    /// The named document is not in the catalog (never inserted, removed,
+    /// or evicted).
+    UnknownDocument {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// [`Catalog::insert_xml`] was given XML that does not parse.
+    Xml(XmlParseError),
+    /// The query failed to compile or evaluate.
+    Eval(EvalError),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::UnknownDocument { name } => {
+                write!(f, "no document named '{name}' in the catalog")
+            }
+            CatalogError::Xml(e) => write!(f, "document does not parse: {e}"),
+            CatalogError::Eval(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CatalogError::UnknownDocument { .. } => None,
+            CatalogError::Xml(e) => Some(e),
+            CatalogError::Eval(e) => Some(e),
+        }
+    }
+}
+
+impl From<EvalError> for CatalogError {
+    fn from(e: EvalError) -> Self {
+        CatalogError::Eval(e)
+    }
+}
+
+impl From<XmlParseError> for CatalogError {
+    fn from(e: XmlParseError) -> Self {
+        CatalogError::Xml(e)
+    }
+}
+
+/// One document's result in a fan-out evaluation
+/// ([`Catalog::evaluate_on_all`], [`Catalog::evaluate_matching`]).
+#[derive(Clone, Debug)]
+pub struct FanOut {
+    /// The document's catalog name.
+    pub name: String,
+    /// Its stable id.
+    pub doc: DocId,
+    /// The generation the query ran against.
+    pub generation: u64,
+    /// The per-document outcome; one failing document does not poison the
+    /// fan-out.
+    pub result: Result<QueryOutput, EvalError>,
+}
+
+/// Usage counters of one named slot, shared by every generation of the
+/// entry behind an `Arc`: a replacement clones the handle instead of
+/// copying values, so increments made through an old generation's
+/// `Arc<CatalogEntry>` (an evaluation racing the replacement) land on the
+/// same counters and are never lost.
+#[derive(Debug, Default)]
+struct SlotCounters {
+    evaluations: AtomicU64,
+    artifact_hits: AtomicU64,
+}
+
+/// One live entry of the store.  Shared out by `Arc` so evaluation never
+/// holds the store lock; the atomics are the entry's own usage counters.
+#[derive(Debug)]
+struct CatalogEntry {
+    name: String,
+    id: DocId,
+    generation: u64,
+    prepared: Arc<PreparedDocument>,
+    /// Global-tick recency stamp for LRU eviction (updated through a
+    /// shared read lock — hence atomic).
+    last_used: AtomicU64,
+    /// Shared across the slot's generations; see [`SlotCounters`].
+    counters: Arc<SlotCounters>,
+}
+
+#[derive(Debug, Default)]
+struct DocStore {
+    by_name: HashMap<String, DocId>,
+    entries: HashMap<DocId, Arc<CatalogEntry>>,
+}
+
+/// Mints process-unique [`DocId`]s: one global counter shared by every
+/// catalog, so an id doubles as the document's stable key in a shared
+/// engine's document cache with no per-catalog namespacing, no
+/// truncation, and no collision — ever (2⁶⁴ inserts are unreachable).
+fn mint_doc_id() -> DocId {
+    static NEXT_DOC_ID: AtomicU64 = AtomicU64::new(1);
+    DocId(NEXT_DOC_ID.fetch_add(1, Ordering::Relaxed))
+}
+
+#[derive(Debug)]
+struct CatalogShared {
+    engine: Engine,
+    capacity: usize,
+    docs: RwLock<DocStore>,
+    artifacts: ArtifactCache,
+    tick: AtomicU64,
+    inserts: AtomicU64,
+    replacements: AtomicU64,
+    removals: AtomicU64,
+    evictions: AtomicU64,
+    resolve_hits: AtomicU64,
+    resolve_misses: AtomicU64,
+    evaluations: AtomicU64,
+}
+
+/// Configures and builds a [`Catalog`].
+#[derive(Debug)]
+pub struct CatalogBuilder {
+    engine: Option<Engine>,
+    capacity: usize,
+    artifact_capacity: usize,
+}
+
+impl CatalogBuilder {
+    /// Default configuration: room for 256 documents, 1024 plan
+    /// artifacts, and a default [`Engine`] whose document cache is sized
+    /// to the catalog (so stable-keyed prepared indexes do not churn).
+    pub fn new() -> Self {
+        CatalogBuilder {
+            engine: None,
+            capacity: 256,
+            artifact_capacity: 1024,
+        }
+    }
+
+    /// Evaluates through this engine (a clone of the handle; plan and
+    /// document caches are shared with the caller and with any serving
+    /// pool built on the same engine).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Maximum number of documents; inserting beyond it evicts the
+    /// least-recently-used entry (and its artifacts).  0 = unbounded.
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Capacity of the (query × document) artifact cache in entries;
+    /// 0 disables artifact caching (every evaluation re-specializes).
+    pub fn artifact_capacity(mut self, capacity: usize) -> Self {
+        self.artifact_capacity = capacity;
+        self
+    }
+
+    /// Builds the catalog.
+    pub fn build(self) -> Catalog {
+        let engine = self.engine.unwrap_or_else(|| {
+            let doc_cache = if self.capacity == 0 {
+                64
+            } else {
+                self.capacity
+            };
+            Engine::builder().document_cache_capacity(doc_cache).build()
+        });
+        Catalog {
+            shared: Arc::new(CatalogShared {
+                engine,
+                capacity: self.capacity,
+                docs: RwLock::new(DocStore::default()),
+                artifacts: ArtifactCache::new(self.artifact_capacity),
+                tick: AtomicU64::new(0),
+                inserts: AtomicU64::new(0),
+                replacements: AtomicU64::new(0),
+                removals: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+                resolve_hits: AtomicU64::new(0),
+                resolve_misses: AtomicU64::new(0),
+                evaluations: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Default for CatalogBuilder {
+    fn default() -> Self {
+        CatalogBuilder::new()
+    }
+}
+
+/// A concurrent, named multi-document store with (query × document) plan
+/// artifacts and fan-out evaluation.  See the [module docs](self) and the
+/// crate docs for the model.
+///
+/// `Catalog` is a cheap-to-clone *handle* (like [`Engine`]): clones share
+/// the store, the artifact cache and the engine, so a serving pool can
+/// hand every worker its own handle.
+#[derive(Clone, Debug)]
+pub struct Catalog {
+    shared: Arc<CatalogShared>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::new()
+    }
+}
+
+impl Catalog {
+    /// A catalog with default configuration.
+    pub fn new() -> Self {
+        CatalogBuilder::new().build()
+    }
+
+    /// Starts configuring a catalog.
+    pub fn builder() -> CatalogBuilder {
+        CatalogBuilder::new()
+    }
+
+    /// The engine the catalog evaluates through (shared handle).
+    pub fn engine(&self) -> &Engine {
+        &self.shared.engine
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.shared.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The id the name resolves to, or a freshly minted one (the flag
+    /// says which).  Ids are reserved *before* the O(|D|) preparation so
+    /// the prepared index can be cached under its stable key.  The
+    /// reservation is only a hint: [`Catalog::install`] re-resolves under
+    /// its own write lock and discards a reservation the store moved
+    /// under (name inserted, removed or evicted concurrently) — a wasted
+    /// id is never installed, so ids are genuinely never reused.
+    fn reserve_id(&self, name: &str) -> (DocId, bool) {
+        let docs = self.shared.docs.read().unwrap();
+        match docs.by_name.get(name) {
+            Some(&id) => (id, false),
+            None => (mint_doc_id(), true),
+        }
+    }
+
+    /// Parses, prepares and stores XML under `name`.  Replaces (generation
+    /// bump) if the name exists.
+    pub fn insert_xml(&self, name: &str, xml: &str) -> Result<DocId, CatalogError> {
+        let doc = parse_xml(xml)?;
+        Ok(self.insert_document(name, doc))
+    }
+
+    /// Prepares and stores a document under `name`, routing the index
+    /// build through the engine's document cache keyed by the stable
+    /// [`DocId`] (never by `Arc` address).  Replaces (generation bump) if
+    /// the name exists.
+    pub fn insert_document(&self, name: &str, doc: impl Into<Arc<Document>>) -> DocId {
+        let doc = doc.into();
+        let (reserved, fresh) = self.reserve_id(name);
+        let prepared = self.shared.engine.prepare_keyed(reserved.as_u64(), &doc);
+        self.install(name, reserved, fresh, true, prepared)
+    }
+
+    /// Stores an already-prepared document under `name`.  Replaces
+    /// (generation bump) if the name exists.
+    pub fn insert_prepared(&self, name: &str, prepared: Arc<PreparedDocument>) -> DocId {
+        let (reserved, fresh) = self.reserve_id(name);
+        self.install(name, reserved, fresh, false, prepared)
+    }
+
+    /// `via_engine_cache` says whether `prepared` was just built through
+    /// [`Engine::prepare_keyed`] under the installed id's stable key — if
+    /// it was not (the `insert_prepared` path), a replacement must also
+    /// drop the id's keyed entry, or the *previous* generation's index
+    /// would stay pinned there.
+    fn install(
+        &self,
+        name: &str,
+        reserved: DocId,
+        fresh: bool,
+        via_engine_cache: bool,
+        prepared: Arc<PreparedDocument>,
+    ) -> DocId {
+        let shared = &self.shared;
+        let tick = self.next_tick();
+        let mut purge: Vec<DocId> = Vec::new();
+        let id;
+        {
+            let mut docs = shared.docs.write().unwrap();
+            if let Some(&existing) = docs.by_name.get(name) {
+                // Replacement: same id, next generation; usage counters
+                // describe the named slot and carry over.
+                let old = docs
+                    .entries
+                    .get(&existing)
+                    .expect("name index points at a live entry");
+                let entry = Arc::new(CatalogEntry {
+                    name: name.to_string(),
+                    id: existing,
+                    generation: old.generation + 1,
+                    prepared: Arc::clone(&prepared),
+                    last_used: AtomicU64::new(tick),
+                    counters: Arc::clone(&old.counters),
+                });
+                docs.entries.insert(existing, entry);
+                shared.replacements.fetch_add(1, Ordering::Relaxed);
+                purge.push(existing);
+                id = existing;
+            } else {
+                if shared.capacity > 0 && docs.entries.len() >= shared.capacity {
+                    if let Some(victim) = docs
+                        .entries
+                        .values()
+                        .min_by_key(|e| e.last_used.load(Ordering::Relaxed))
+                        .map(|e| e.id)
+                    {
+                        let gone = docs.entries.remove(&victim).expect("victim is live");
+                        docs.by_name.remove(&gone.name);
+                        shared.evictions.fetch_add(1, Ordering::Relaxed);
+                        purge.push(victim);
+                    }
+                }
+                // A reservation that was *not* freshly minted named an
+                // entry that has since been removed or evicted: that id
+                // is retired and must not be resurrected (a reborn id at
+                // generation 1 could climb back to a generation whose
+                // stale artifacts still linger).  Mint a genuinely new
+                // id instead.
+                id = if fresh { reserved } else { mint_doc_id() };
+                let entry = Arc::new(CatalogEntry {
+                    name: name.to_string(),
+                    id,
+                    generation: 1,
+                    prepared: Arc::clone(&prepared),
+                    last_used: AtomicU64::new(tick),
+                    counters: Arc::new(SlotCounters::default()),
+                });
+                docs.by_name.insert(name.to_string(), id);
+                docs.entries.insert(id, entry);
+                shared.inserts.fetch_add(1, Ordering::Relaxed);
+            }
+            // Publish the installed index into the keyed document cache
+            // *inside* the store's critical section: the prepare_keyed
+            // calls above race unserialized, so two replacements of one
+            // name could otherwise leave the cache holding the superseded
+            // generation's index (pinned, and a guaranteed cold rebuild
+            // for the live one).  Publishing here makes the cache agree
+            // with installation order.  O(1) — no index is built under
+            // the lock; the documents mutex nests inside the store lock
+            // only on this path, and nothing locks in the other order.
+            if via_engine_cache {
+                shared.engine.cache_keyed(id.as_u64(), &prepared);
+            }
+            // Keyed-cache *discards* stay inside the critical section
+            // too: deferred outside it, our cleanup could run after a
+            // concurrent installer's publish and drop their live index —
+            // the exact superseded-state outcome publishing under the
+            // lock exists to prevent.  Each discard is O(1).  Dropped
+            // here: evicted victims' entries, a replaced entry the
+            // engine cache was bypassed for (`insert_prepared` — the
+            // previous generation's index must not stay pinned), and a
+            // reservation the store moved under (its speculatively
+            // cached index was never installed).
+            for &doc in &purge {
+                if doc != id || !via_engine_cache {
+                    shared.engine.discard_keyed(doc.as_u64());
+                }
+            }
+            if reserved != id {
+                shared.engine.discard_keyed(reserved.as_u64());
+            }
+        }
+        // Outside the write lock: the artifact purge takes the artifact
+        // cache's own mutex, can sweep many entries, and evaluation must
+        // not wait on it.  A purge deferred past the lock can race an
+        // evaluation of the *new* generation and drop its freshly built
+        // artifact too (purge_doc sweeps every generation of the id) —
+        // benign: artifacts are rebuildable derived state, so the cost is
+        // one re-specialize on the next evaluation, never a wrong result.
+        for doc in purge {
+            shared.artifacts.purge_doc(doc);
+        }
+        id
+    }
+
+    /// Removes the named document (and purges its artifacts and its
+    /// stable-keyed entry in the engine's document cache).  Returns
+    /// whether it existed.  The id is retired, never reused.
+    pub fn remove(&self, name: &str) -> bool {
+        let removed = {
+            let mut docs = self.shared.docs.write().unwrap();
+            docs.by_name.remove(name).map(|id| {
+                docs.entries.remove(&id);
+                id
+            })
+        };
+        match removed {
+            Some(id) => {
+                self.shared.removals.fetch_add(1, Ordering::Relaxed);
+                self.shared.artifacts.purge_doc(id);
+                self.shared.engine.discard_keyed(id.as_u64());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Resolves a name to the live entry, counting the lookup and
+    /// touching LRU recency on a hit.
+    fn entry(&self, name: &str) -> Option<Arc<CatalogEntry>> {
+        let found = {
+            let docs = self.shared.docs.read().unwrap();
+            docs.by_name
+                .get(name)
+                .and_then(|id| docs.entries.get(id))
+                .cloned()
+        };
+        match &found {
+            Some(entry) => {
+                entry.last_used.store(self.next_tick(), Ordering::Relaxed);
+                self.shared.resolve_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.shared.resolve_misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        found
+    }
+
+    /// The stable id behind a name, if present.
+    pub fn resolve(&self, name: &str) -> Option<DocId> {
+        self.entry(name).map(|e| e.id)
+    }
+
+    /// Is the name in the catalog?  (Uncounted; use [`Catalog::resolve`]
+    /// for a counted lookup.)
+    pub fn contains(&self, name: &str) -> bool {
+        self.shared.docs.read().unwrap().by_name.contains_key(name)
+    }
+
+    /// The prepared document behind a name.
+    pub fn get(&self, name: &str) -> Option<Arc<PreparedDocument>> {
+        self.entry(name).map(|e| Arc::clone(&e.prepared))
+    }
+
+    /// The prepared document behind a stable id (uncounted; ids come from
+    /// [`Catalog::resolve`] or an insert).
+    pub fn get_by_id(&self, id: DocId) -> Option<Arc<PreparedDocument>> {
+        let docs = self.shared.docs.read().unwrap();
+        docs.entries.get(&id).map(|e| Arc::clone(&e.prepared))
+    }
+
+    /// The current generation of a name (1 after first insert, +1 per
+    /// replacement).
+    pub fn generation(&self, name: &str) -> Option<u64> {
+        let docs = self.shared.docs.read().unwrap();
+        docs.by_name
+            .get(name)
+            .and_then(|id| docs.entries.get(id))
+            .map(|e| e.generation)
+    }
+
+    /// Number of documents currently stored.
+    pub fn len(&self) -> usize {
+        self.shared.docs.read().unwrap().entries.len()
+    }
+
+    /// Is the catalog empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every stored name, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let docs = self.shared.docs.read().unwrap();
+        let mut names: Vec<String> = docs.by_name.keys().cloned().collect();
+        drop(docs);
+        names.sort_unstable();
+        names
+    }
+
+    fn info_of(entry: &CatalogEntry) -> DocInfo {
+        DocInfo {
+            name: entry.name.clone(),
+            id: entry.id,
+            generation: entry.generation,
+            node_count: entry.prepared.node_count(),
+            evaluations: entry.counters.evaluations.load(Ordering::Relaxed),
+            artifact_hits: entry.counters.artifact_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot of one entry's identity and usage counters (uncounted
+    /// lookup).
+    pub fn info(&self, name: &str) -> Option<DocInfo> {
+        let docs = self.shared.docs.read().unwrap();
+        docs.by_name
+            .get(name)
+            .and_then(|id| docs.entries.get(id))
+            .map(|e| Self::info_of(e))
+    }
+
+    /// Snapshots of every entry, sorted by name.
+    pub fn list(&self) -> Vec<DocInfo> {
+        let mut infos: Vec<DocInfo> = {
+            let docs = self.shared.docs.read().unwrap();
+            docs.entries.values().map(|e| Self::info_of(e)).collect()
+        };
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+
+    /// Evaluates one query against the entry, through the artifact cache.
+    fn evaluate_entry(&self, entry: &CatalogEntry, query: &str) -> Result<QueryOutput, EvalError> {
+        let shared = &self.shared;
+        shared.evaluations.fetch_add(1, Ordering::Relaxed);
+        entry.counters.evaluations.fetch_add(1, Ordering::Relaxed);
+        if let Some(artifact) = shared.artifacts.get(entry.id, entry.generation, query) {
+            entry.counters.artifact_hits.fetch_add(1, Ordering::Relaxed);
+            return artifact.run();
+        }
+        // Miss: compile through the engine's shared plan cache, then
+        // specialize for this document generation.  Both steps happen
+        // outside every lock.
+        let plan = shared.engine.compile(query)?;
+        let artifact = Arc::new(PlanArtifact::build(
+            &plan,
+            entry.id,
+            entry.generation,
+            &entry.prepared,
+        ));
+        shared.artifacts.insert(query, &artifact);
+        artifact.run()
+    }
+
+    /// Evaluates a query string against the named document, from the root
+    /// context.  Repeated (query, name) pairs are served from the
+    /// (query × document) artifact cache: compilation, tag resolution and
+    /// strategy selection are all skipped.
+    pub fn evaluate_on(&self, name: &str, query: &str) -> Result<QueryOutput, CatalogError> {
+        let entry = self
+            .entry(name)
+            .ok_or_else(|| CatalogError::UnknownDocument {
+                name: name.to_string(),
+            })?;
+        self.evaluate_entry(&entry, query)
+            .map_err(CatalogError::Eval)
+    }
+
+    /// Entries matching an optional glob, sorted by name, LRU-touched.
+    fn select(&self, pattern: Option<&str>) -> Vec<Arc<CatalogEntry>> {
+        let mut selected: Vec<Arc<CatalogEntry>> = {
+            let docs = self.shared.docs.read().unwrap();
+            docs.entries
+                .values()
+                .filter(|e| pattern.map_or(true, |p| glob_match(p, &e.name)))
+                .cloned()
+                .collect()
+        };
+        selected.sort_by(|a, b| a.name.cmp(&b.name));
+        for entry in &selected {
+            entry.last_used.store(self.next_tick(), Ordering::Relaxed);
+        }
+        selected
+    }
+
+    /// Fans one query out over **every** document, returning per-document
+    /// results sorted by name.  One failing document does not poison the
+    /// fan-out.
+    pub fn evaluate_on_all(&self, query: &str) -> Vec<FanOut> {
+        self.fan_out(self.select(None), query)
+    }
+
+    /// Fans one query out over the documents whose names match the glob
+    /// `pattern` (`*` = any run, `?` = one character), sorted by name.  An
+    /// empty selection returns an empty vector.
+    pub fn evaluate_matching(&self, pattern: &str, query: &str) -> Vec<FanOut> {
+        self.fan_out(self.select(Some(pattern)), query)
+    }
+
+    fn fan_out(&self, entries: Vec<Arc<CatalogEntry>>, query: &str) -> Vec<FanOut> {
+        entries
+            .into_iter()
+            .map(|entry| FanOut {
+                name: entry.name.clone(),
+                doc: entry.id,
+                generation: entry.generation,
+                result: self.evaluate_entry(&entry, query),
+            })
+            .collect()
+    }
+
+    /// Drops every cached artifact (counters are kept); documents stay.
+    pub fn clear_artifacts(&self) {
+        self.shared.artifacts.clear();
+    }
+
+    /// Snapshot of the catalog's counters.
+    pub fn stats(&self) -> CatalogStats {
+        let shared = &self.shared;
+        let mut stats = CatalogStats {
+            documents: self.len(),
+            capacity: shared.capacity,
+            inserts: shared.inserts.load(Ordering::Relaxed),
+            replacements: shared.replacements.load(Ordering::Relaxed),
+            removals: shared.removals.load(Ordering::Relaxed),
+            evictions: shared.evictions.load(Ordering::Relaxed),
+            resolve_hits: shared.resolve_hits.load(Ordering::Relaxed),
+            resolve_misses: shared.resolve_misses.load(Ordering::Relaxed),
+            evaluations: shared.evaluations.load(Ordering::Relaxed),
+            ..CatalogStats::default()
+        };
+        shared.artifacts.fill_stats(&mut stats);
+        stats
+    }
+}

@@ -306,6 +306,20 @@ impl CompiledQuery {
         }
     }
 
+    /// A document-specialized copy of this plan: the strategy the
+    /// source-aware cost model would pick on every run
+    /// ([`CompiledQuery::strategy_for_source`]) is computed once and pinned
+    /// as the copy's fixed strategy, so running the specialized plan skips
+    /// selectivity probing and strategy selection entirely.
+    ///
+    /// The pinned choice is valid for exactly the document it was made
+    /// against (tag counts and node count are baked in); re-specialize when
+    /// the document is replaced.  This is the plan half of a catalog's
+    /// (query × document) artifact.
+    pub fn specialize_for_source<S: AxisSource + ?Sized>(&self, src: &S) -> CompiledQuery {
+        self.clone().with_strategy(self.strategy_for_source(src))
+    }
+
     /// Evaluates against a document from the canonical root context.
     pub fn run(&self, doc: &Document) -> Result<QueryOutput, EvalError> {
         self.run_with_context(doc, Context::root(doc))
@@ -806,6 +820,40 @@ mod tests {
         assert_eq!(
             rare.run_prepared(&prepared).unwrap().value,
             rare.run(prepared.document()).unwrap().value
+        );
+    }
+
+    #[test]
+    fn specialize_pins_the_source_aware_choice() {
+        use xpeval_dom::DocumentBuilder;
+        let mut b = DocumentBuilder::new();
+        b.open_element("root");
+        for i in 0..PARALLEL_MIN_NODES * 2 {
+            if i % 500 == 0 {
+                b.leaf_element("rare");
+            } else {
+                b.leaf_element("common");
+            }
+        }
+        b.close_element();
+        let prepared = b.finish().prepare();
+        let opts = CompileOptions {
+            threads: 4,
+            ..CompileOptions::default()
+        };
+        let q = CompiledQuery::compile_with("//rare[position() = last()]", &opts).unwrap();
+        assert!(matches!(q.strategy(), EvalStrategy::Parallel { .. }));
+        let specialized = q.specialize_for_source(&prepared);
+        // The degraded choice is now the plan itself — no per-run probing.
+        assert_eq!(specialized.strategy(), EvalStrategy::SingletonSuccess);
+        assert_eq!(
+            specialized.strategy_for_source(&prepared),
+            EvalStrategy::SingletonSuccess
+        );
+        // Same answer, either way.
+        assert_eq!(
+            specialized.run_prepared(&prepared).unwrap().value,
+            q.run_prepared(&prepared).unwrap().value
         );
     }
 

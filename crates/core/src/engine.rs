@@ -301,8 +301,40 @@ impl Engine {
     /// cache: repeated calls on the same `Arc<Document>` return the cached
     /// [`PreparedDocument`] — the document-side analogue of
     /// [`Engine::compile`].
+    ///
+    /// Entries are keyed by the `Arc` allocation address — usable only
+    /// because the cache itself keeps each document alive (see
+    /// [`crate::cache::DocKey`] for the address-reuse hazard).  Layers that
+    /// name and replace documents (a catalog) should route through
+    /// [`Engine::prepare_keyed`] with their own stable id instead.
     pub fn prepare(&self, doc: &Arc<Document>) -> Arc<PreparedDocument> {
         self.inner.documents.get_or_prepare(doc)
+    }
+
+    /// Prepares a document under a caller-assigned stable key (e.g. a
+    /// catalog `DocId`), through the engine's document cache.  Unlike
+    /// [`Engine::prepare`], the key survives document replacement: passing
+    /// a different document under the same key drops the stale index and
+    /// rebuilds, never serving the old one.
+    pub fn prepare_keyed(&self, key: u64, doc: &Arc<Document>) -> Arc<PreparedDocument> {
+        self.inner.documents.get_or_prepare_keyed(key, doc)
+    }
+
+    /// Publishes an already-prepared document under a stable key,
+    /// unconditionally replacing the key's entry (O(1), no index build).
+    /// The commit half of [`Engine::prepare_keyed`] for callers that
+    /// serialize installation under their own lock — see
+    /// [`crate::cache::DocumentCache::insert_keyed`].
+    pub fn cache_keyed(&self, key: u64, prepared: &Arc<PreparedDocument>) {
+        self.inner.documents.insert_keyed(key, prepared);
+    }
+
+    /// Drops the document-cache entry under a stable key (no-op when
+    /// absent); returns whether one was removed.  Call when the key is
+    /// retired — e.g. a catalog removing or evicting the document — so
+    /// the dead index does not stay pinned until LRU pressure finds it.
+    pub fn discard_keyed(&self, key: u64) -> bool {
+        self.inner.documents.remove_keyed(key)
     }
 
     /// Evaluates a query against a prepared document from the canonical
@@ -548,6 +580,18 @@ mod tests {
         assert_eq!(engine.document_cache_stats().misses, 2);
         engine.clear_document_cache();
         assert_eq!(engine.document_cache_stats().len, 0);
+    }
+
+    #[test]
+    fn prepare_keyed_rebuilds_on_replacement() {
+        let engine = Engine::builder().build();
+        let v1 = Arc::new(parse_xml(BOOKS).unwrap());
+        let p1 = engine.prepare_keyed(42, &v1);
+        assert!(Arc::ptr_eq(&p1, &engine.prepare_keyed(42, &v1)));
+        let v2 = Arc::new(parse_xml("<lib/>").unwrap());
+        let p2 = engine.prepare_keyed(42, &v2);
+        assert!(Arc::ptr_eq(p2.shared_document(), &v2));
+        assert_eq!(engine.document_cache_stats().len, 1);
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod stream;
 pub mod success;
 pub mod value;
 
-pub use cache::{CacheStats, DocumentCache, PlanCache, ShardStats, ShardedPlanCache};
+pub use cache::{CacheStats, DocKey, DocumentCache, PlanCache, ShardStats, ShardedPlanCache};
 pub use compile::{
     default_threads, recommended_strategy, recommended_strategy_for_document,
     recommended_strategy_for_source, CompileOptions, CompiledQuery, QueryOutput,

@@ -127,32 +127,29 @@ fn is_position_call(e: &Expr) -> bool {
 /// Upper bound on the size of a node-set query's result, read off the tag
 /// index: a path ending in `axis::tag` (element-principal axis) can select
 /// at most the elements carrying that tag, and a union at most the sum of
-/// its arms.  `None` when the result is not name-bounded or the source has
-/// no tag index — the unified "don't know" answer.
+/// its arms.  `None` when the result is not name-bounded
+/// ([`final_step_tag_names`] — the single home of that condition) or the
+/// source has no tag index — the unified "don't know" answer.
 pub fn result_size_bound<S: AxisSource + ?Sized>(expr: &Expr, src: &S) -> Option<usize> {
-    match expr {
-        Expr::Path(path) => {
-            let last = path.steps.last()?;
-            if last.axis.principal_is_attribute() {
-                return None;
-            }
-            match &last.node_test {
-                xpeval_dom::NodeTest::Name(name) => src.elements_named(name).map(<[NodeId]>::len),
-                _ => None,
-            }
-        }
-        Expr::Union(a, b) => Some(result_size_bound(a, src)? + result_size_bound(b, src)?),
-        _ => None,
-    }
+    final_step_tag_names(expr)?
+        .iter()
+        .try_fold(0usize, |acc, name| {
+            Some(acc + src.elements_named(name)?.len())
+        })
 }
 
-/// The candidate list behind [`result_size_bound`]: every node the query
-/// could possibly select, in document order.  `None` under the same
-/// conditions.  Evaluators that recover a node-set result by deciding
-/// membership per candidate (Singleton-Success, the parallel loop) iterate
-/// this list instead of the whole document.
-pub fn result_candidates<S: AxisSource + ?Sized>(expr: &Expr, src: &S) -> Option<Vec<NodeId>> {
-    fn collect<S: AxisSource + ?Sized>(expr: &Expr, src: &S, out: &mut Vec<NodeId>) -> Option<()> {
+/// The tag names behind [`result_size_bound`], without a document: the
+/// name tests of a path's final step (one per union arm), under exactly the
+/// conditions that make the tag lists a sound result bound — the final
+/// step's principal node kind is element and its node test is a name.
+/// `None` when the query's result is not name-bounded.
+///
+/// This is the document-independent half of the bound: resolve the returned
+/// names against a concrete document's tag index once (e.g. to
+/// [`xpeval_dom::TagId`]s in a catalog plan artifact) and the per-document
+/// half becomes id-indexed lookups.
+pub fn final_step_tag_names(expr: &Expr) -> Option<Vec<&str>> {
+    fn collect<'e>(expr: &'e Expr, out: &mut Vec<&'e str>) -> Option<()> {
         match expr {
             Expr::Path(path) => {
                 let last = path.steps.last()?;
@@ -161,21 +158,36 @@ pub fn result_candidates<S: AxisSource + ?Sized>(expr: &Expr, src: &S) -> Option
                 }
                 match &last.node_test {
                     xpeval_dom::NodeTest::Name(name) => {
-                        out.extend_from_slice(src.elements_named(name)?);
+                        out.push(name);
                         Some(())
                     }
                     _ => None,
                 }
             }
             Expr::Union(a, b) => {
-                collect(a, src, out)?;
-                collect(b, src, out)
+                collect(a, out)?;
+                collect(b, out)
             }
             _ => None,
         }
     }
     let mut out = Vec::new();
-    collect(expr, src, &mut out)?;
+    collect(expr, &mut out)?;
+    Some(out)
+}
+
+/// The candidate list behind [`result_size_bound`]: every node the query
+/// could possibly select, in document order.  `None` under the same
+/// conditions (again via [`final_step_tag_names`]).  Evaluators that
+/// recover a node-set result by deciding membership per candidate
+/// (Singleton-Success, the parallel loop) iterate this list instead of the
+/// whole document.
+pub fn result_candidates<S: AxisSource + ?Sized>(expr: &Expr, src: &S) -> Option<Vec<NodeId>> {
+    let names = final_step_tag_names(expr)?;
+    let mut out = Vec::new();
+    for name in names {
+        out.extend_from_slice(src.elements_named(name)?);
+    }
     src.document().sort_document_order(&mut out);
     out.dedup();
     Some(out)

@@ -58,6 +58,6 @@ pub use axes::{Axis, NodeTest};
 pub use build::DocumentBuilder;
 pub use node::{Document, NodeId, NodeKind};
 pub use parse::{parse_xml, XmlParseError};
-pub use prepared::PreparedDocument;
+pub use prepared::{PreparedDocument, TagId};
 pub use serialize::serialize;
 pub use source::{AxisSource, PositionalPick, CHILD_BUCKET_MIN_CHILDREN};

@@ -56,6 +56,43 @@ use std::collections::HashMap;
 use std::ops::Deref;
 use std::sync::Arc;
 
+/// An interned element tag name of one [`PreparedDocument`].
+///
+/// Tag ids are dense indexes into the document's tag table, assigned in
+/// first-occurrence (document) order during preparation.  Resolving a name
+/// to its id ([`PreparedDocument::tag_id`]) pays the string hash once;
+/// every id-keyed lookup afterwards ([`PreparedDocument::elements_by_tag`],
+/// [`PreparedDocument::children_by_tag`]) is a plain array index.  This is
+/// the hook document-specialized plan artifacts build on: resolve a query's
+/// name tests against a document once, evaluate many times.
+///
+/// Ids are only meaningful for the document that minted them (and for its
+/// exact generation, when the document lives in a catalog): the same tag
+/// can have different ids in different documents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TagId(u32);
+
+impl TagId {
+    /// The dense index of this id in the document's tag table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Per-tag index data: the element list in document order and the same list
+/// re-sorted by parent preorder number (the `child::tag` buckets).
+#[derive(Clone, Debug)]
+struct TagEntry {
+    name: String,
+    /// Elements carrying this tag, in document order.
+    elements: Vec<NodeId>,
+    /// The same elements sorted by the preorder number of their *parent*
+    /// (ties broken by own preorder number), so the children of one parent
+    /// form a contiguous bucket, internally in document order.
+    by_parent: Vec<NodeId>,
+}
+
 /// A [`Document`] plus the axis indexes described in the
 /// [module docs](self): tag-name lists, preorder subtree intervals and
 /// sibling/child position tables.
@@ -76,13 +113,11 @@ pub struct PreparedDocument {
     /// descendants with their attributes) is exactly the nodes with
     /// preorder number in `pre(n)..subtree_end[n]`.
     subtree_end: Vec<u32>,
-    /// Element tag name → elements carrying it, in document order.
-    by_name: HashMap<String, Vec<NodeId>>,
-    /// Element tag name → elements carrying it, sorted by the preorder
-    /// number of their *parent* (ties broken by own preorder number), so
-    /// the children of one parent with a given tag form a contiguous
-    /// bucket, internally in document order.
-    child_by_name: HashMap<String, Vec<NodeId>>,
+    /// Element tag name → interned id; the id indexes `tags`.
+    tag_ids: HashMap<String, TagId>,
+    /// Per-tag index data, indexed by [`TagId`]; ids are assigned in
+    /// first-occurrence document order.
+    tags: Vec<TagEntry>,
     /// 1-based position of each node among its parent's children
     /// (0 for the root and for attribute nodes, which are not children).
     sibling_pos: Vec<u32>,
@@ -120,18 +155,38 @@ impl PreparedDocument {
         }
 
         // Tag-name index, filled in document order so every list is sorted.
-        let mut by_name: HashMap<String, Vec<NodeId>> = HashMap::new();
+        // Tags are interned as they are first seen, so TagIds follow
+        // document order too.  Probe by `&str` first: this loop runs once
+        // per element, and allocating an owned key for the (overwhelmingly
+        // common) already-interned case would put |D| throwaway Strings on
+        // the O(|D|) preparation path.
+        let mut tag_ids: HashMap<String, TagId> = HashMap::new();
+        let mut tags: Vec<TagEntry> = Vec::new();
         for &n in &order {
             if let Some(name) = doc.kind(n).element_name() {
-                by_name.entry(name.to_string()).or_default().push(n);
+                let id = match tag_ids.get(name) {
+                    Some(&id) => id,
+                    None => {
+                        let id = TagId(tags.len() as u32);
+                        tags.push(TagEntry {
+                            name: name.to_string(),
+                            elements: Vec::new(),
+                            by_parent: Vec::new(),
+                        });
+                        tag_ids.insert(name.to_string(), id);
+                        id
+                    }
+                };
+                tags[id.index()].elements.push(n);
             }
         }
 
         // Per-parent tag buckets: the same lists keyed by parent preorder
         // number.  A stable sort keeps same-parent runs in document order.
-        let mut child_by_name = by_name.clone();
-        for list in child_by_name.values_mut() {
+        for entry in &mut tags {
+            let mut list = entry.elements.clone();
             list.sort_by_key(|&n| doc.parent(n).map_or(0, |p| doc.pre(p)));
+            entry.by_parent = list;
         }
 
         // Sibling positions and child counts.
@@ -152,8 +207,8 @@ impl PreparedDocument {
             doc,
             order,
             subtree_end,
-            by_name,
-            child_by_name,
+            tag_ids,
+            tags,
             sibling_pos,
             child_count,
         }
@@ -195,10 +250,43 @@ impl PreparedDocument {
         (self.doc.pre(n), self.subtree_end[n.index()])
     }
 
+    /// The interned id of tag `name`, or `None` when no element in the
+    /// document carries it.  This is the one string-hash step of the tag
+    /// index; everything downstream can work with the id.
+    #[inline]
+    pub fn tag_id(&self, name: &str) -> Option<TagId> {
+        self.tag_ids.get(name).copied()
+    }
+
+    /// The tag name an id was interned from.
+    ///
+    /// # Panics
+    /// Panics if `id` was minted by a different document.
+    #[inline]
+    pub fn tag_name(&self, id: TagId) -> &str {
+        &self.tags[id.index()].name
+    }
+
+    /// Number of distinct element tags (the size of the tag table; valid
+    /// [`TagId`] indexes are `0..distinct_tag_count()`).
+    #[inline]
+    pub fn distinct_tag_count(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// All elements with the interned tag `id`, in document order — a plain
+    /// array index, no hashing.
+    #[inline]
+    pub fn elements_by_tag(&self, id: TagId) -> &[NodeId] {
+        &self.tags[id.index()].elements
+    }
+
     /// All elements with tag `name`, in document order.  O(1) lookup;
     /// returns an empty slice for tags that do not occur.
     pub fn elements_named(&self, name: &str) -> &[NodeId] {
-        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+        self.tag_id(name)
+            .map(|id| self.elements_by_tag(id))
+            .unwrap_or(&[])
     }
 
     /// The elements with tag `name` in the subtree strictly below `n`
@@ -207,7 +295,16 @@ impl PreparedDocument {
     /// Two binary searches into the tag index: O(log |D| + answer size)
     /// instead of a walk over the whole subtree.
     pub fn descendants_named(&self, n: NodeId, name: &str) -> &[NodeId] {
-        let list = self.elements_named(name);
+        self.descendants_in_list(n, self.elements_named(name))
+    }
+
+    /// [`PreparedDocument::descendants_named`] with a pre-resolved
+    /// [`TagId`].
+    pub fn descendants_by_tag(&self, n: NodeId, id: TagId) -> &[NodeId] {
+        self.descendants_in_list(n, self.elements_by_tag(id))
+    }
+
+    fn descendants_in_list<'l>(&self, n: NodeId, list: &'l [NodeId]) -> &'l [NodeId] {
         let (pre, end) = self.pre_interval(n);
         // Strictly below n: preorder numbers in (pre, end).  Attributes are
         // inside the interval but never in the element index.
@@ -223,11 +320,15 @@ impl PreparedDocument {
     /// of `n`'s matching children: O(log |D| + answer size) instead of a
     /// walk over every child.
     pub fn children_named(&self, n: NodeId, name: &str) -> &[NodeId] {
-        let list = self
-            .child_by_name
-            .get(name)
-            .map(Vec::as_slice)
-            .unwrap_or(&[]);
+        self.tag_id(name)
+            .map(|id| self.children_by_tag(n, id))
+            .unwrap_or(&[])
+    }
+
+    /// [`PreparedDocument::children_named`] with a pre-resolved [`TagId`]:
+    /// two binary searches into the per-parent bucket, no string hashing.
+    pub fn children_by_tag(&self, n: NodeId, id: TagId) -> &[NodeId] {
+        let list = self.tags[id.index()].by_parent.as_slice();
         let parent_pre = self.doc.pre(n);
         let lo = list.partition_point(|&m| self.parent_pre(m) < parent_pre);
         let hi = list.partition_point(|&m| self.parent_pre(m) <= parent_pre);
@@ -302,9 +403,10 @@ impl PreparedDocument {
         c
     }
 
-    /// Every distinct element tag occurring in the document.
+    /// Every distinct element tag occurring in the document, in
+    /// first-occurrence (= [`TagId`]) order.
     pub fn tag_names(&self) -> impl Iterator<Item = &str> {
-        self.by_name.keys().map(String::as_str)
+        self.tags.iter().map(|t| t.name.as_str())
     }
 
     /// Number of elements carrying tag `name` — the bucket size the cost
@@ -312,6 +414,12 @@ impl PreparedDocument {
     #[inline]
     pub fn tag_count(&self, name: &str) -> usize {
         self.elements_named(name).len()
+    }
+
+    /// [`PreparedDocument::tag_count`] with a pre-resolved [`TagId`].
+    #[inline]
+    pub fn tag_count_by_id(&self, id: TagId) -> usize {
+        self.elements_by_tag(id).len()
     }
 
     /// 1-based position of `n` among its parent's children, counting every
@@ -499,6 +607,26 @@ mod tests {
         let a = p.first_child(r).unwrap();
         let attr = p.attributes(a)[0];
         assert_eq!(p.sibling_position(attr), 0);
+    }
+
+    #[test]
+    fn tag_ids_resolve_once_and_index_everything() {
+        let p = sample();
+        // Ids are dense, in first-occurrence (document) order: r, a, b, c.
+        let names: Vec<&str> = p.tag_names().collect();
+        assert_eq!(names, ["r", "a", "b", "c"]);
+        assert_eq!(p.distinct_tag_count(), 4);
+        for name in names {
+            let id = p.tag_id(name).unwrap();
+            assert_eq!(p.tag_name(id), name);
+            assert_eq!(p.elements_by_tag(id), p.elements_named(name));
+            assert_eq!(p.tag_count_by_id(id), p.tag_count(name));
+            for n in p.document().all_nodes() {
+                assert_eq!(p.children_by_tag(n, id), p.children_named(n, name));
+                assert_eq!(p.descendants_by_tag(n, id), p.descendants_named(n, name));
+            }
+        }
+        assert_eq!(p.tag_id("nosuch"), None);
     }
 
     #[test]

@@ -37,6 +37,29 @@ impl std::fmt::Display for JobLost {
 
 impl std::error::Error for JobLost {}
 
+/// Resolved by a deadline-bearing submission whose job was still queued
+/// when its deadline passed: the job was dropped at dequeue and **never
+/// ran** (see `AsyncEngine::submit_with_deadline`).  Distinct from
+/// [`JobLost`], which means the result was lost *after* the job was picked
+/// up (worker panic) or the pool died.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobExpired;
+
+impl std::fmt::Display for JobExpired {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job expired: its deadline passed while it was still queued, so it was dropped unrun"
+        )
+    }
+}
+
+impl std::error::Error for JobExpired {}
+
+/// What a deadline-bearing submission resolves to: the job's result, or
+/// [`JobExpired`] when the deadline passed while the job was queued.
+pub type DeadlineResult<T> = Result<T, JobExpired>;
+
 struct Channel<T> {
     state: Mutex<ChannelState<T>>,
     done: Condvar,

@@ -22,13 +22,23 @@
 //!   [`std::future::Future`], awaitable from any runtime, with a blocking
 //!   [`QueryFuture::wait`] for threads and the minimal own executor
 //!   [`block_on`] in between.
+//! * **Per-submission deadlines** — [`AsyncEngine::submit_with_deadline`]
+//!   bounds how long a job may *queue*: a job whose deadline passes while
+//!   it waits is dropped at dequeue (it never runs), its future resolves
+//!   to [`JobExpired`], and the drop is counted in
+//!   [`ServeStats::expired`].
+//! * **Named documents** — [`AsyncEngine::submit_named`] targets a
+//!   document in an `xpeval_catalog::Catalog` by name instead of shipping
+//!   an `Arc`; the worker resolves the name when the job runs, so it
+//!   always evaluates the current generation and repeats hit the
+//!   catalog's (query × document) artifact cache.
 //! * **Graceful shutdown** — [`AsyncEngine::shutdown`] stops intake,
 //!   drains every accepted job, joins the workers and returns the final
 //!   [`ServeStats`]; late submissions fail with
 //!   [`TrySubmitError::ShutDown`].
 //! * [`ServeStats`] — queue depth and high-watermark, enqueue→dequeue
-//!   latency (mean/max), per-worker completed/panicked counters — the
-//!   serving-side sibling of `xpeval_core::CacheStats`.
+//!   latency (mean/max), expired-job and per-worker completed/panicked
+//!   counters — the serving-side sibling of `xpeval_core::CacheStats`.
 //!
 //! ## Quickstart
 //!
@@ -62,8 +72,8 @@ pub mod stats;
 #[cfg(feature = "tokio")]
 pub mod submit_async;
 
-pub use future::{block_on, JobLost, QueryFuture};
-pub use pool::{AsyncEngine, AsyncEngineBuilder, QueryResult, TrySubmitError};
+pub use future::{block_on, DeadlineResult, JobExpired, JobLost, QueryFuture};
+pub use pool::{AsyncEngine, AsyncEngineBuilder, CatalogQueryResult, QueryResult, TrySubmitError};
 pub use stats::{ServeStats, WorkerStats};
 #[cfg(feature = "tokio")]
 pub use submit_async::SubmitFuture;

@@ -19,14 +19,15 @@
 //! the final [`ServeStats`].  Dropping the engine shuts it down the same
 //! way.
 
-use crate::future::{oneshot, QueryFuture};
+use crate::future::{oneshot, DeadlineResult, JobExpired, QueryFuture};
 use crate::queue::{BoundedQueue, Job};
 use crate::stats::{ServeStats, WorkerStats};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+use xpeval_catalog::{Catalog, CatalogError};
 use xpeval_core::{default_threads, CompiledQuery, Engine, EvalError, QueryOutput};
 use xpeval_dom::{Document, PreparedDocument};
 
@@ -56,6 +57,11 @@ impl std::error::Error for TrySubmitError {}
 /// error — exactly what the synchronous `Engine::query_str_prepared`
 /// returns.
 pub type QueryResult = Result<QueryOutput, EvalError>;
+
+/// What a catalog-named submission resolves to: the query output, or a
+/// [`CatalogError`] (unknown document name, or the evaluation error) —
+/// exactly what the synchronous `Catalog::evaluate_on` returns.
+pub type CatalogQueryResult = Result<QueryOutput, CatalogError>;
 
 /// Shared state between the [`AsyncEngine`] handle and its workers.
 pub(crate) struct Shared {
@@ -242,10 +248,40 @@ impl AsyncEngine {
         T: Send + 'static,
     {
         let (sender, future) = oneshot();
-        let job = Job {
-            run: Box::new(move |engine: &Engine| sender.send(f(engine))),
-            enqueued: Instant::now(),
-        };
+        let job = Job::new(Box::new(move |engine: &Engine| sender.send(f(engine))));
+        (job, future)
+    }
+
+    /// [`AsyncEngine::task_job`] with a deadline: the future resolves to
+    /// `Ok(T)` when a worker ran the closure, or `Err(JobExpired)` when
+    /// the deadline passed while the job was still queued (it is dropped
+    /// at dequeue and never runs).
+    ///
+    /// The one-shot sender must be reachable from whichever of the two
+    /// paths fires — run or expire — so it travels in a shared take-once
+    /// slot; the queue guarantees exactly one of them is invoked.
+    pub(crate) fn deadline_task_job<T, F>(
+        f: F,
+        deadline: Instant,
+    ) -> (Job, QueryFuture<DeadlineResult<T>>)
+    where
+        F: FnOnce(&Engine) -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (sender, future) = oneshot();
+        let slot = Arc::new(Mutex::new(Some(sender)));
+        let run_slot = Arc::clone(&slot);
+        let mut job = Job::new(Box::new(move |engine: &Engine| {
+            if let Some(sender) = run_slot.lock().unwrap().take() {
+                sender.send(Ok(f(engine)));
+            }
+        }));
+        job.deadline = Some(deadline);
+        job.expire = Some(Box::new(move || {
+            if let Some(sender) = slot.lock().unwrap().take() {
+                sender.send(Err(JobExpired));
+            }
+        }));
         (job, future)
     }
 
@@ -308,6 +344,137 @@ impl AsyncEngine {
     ) -> Result<QueryFuture<QueryResult>, TrySubmitError> {
         let (job, future) = Self::query_job(doc, query);
         self.enqueue(job, future, false)
+    }
+
+    /// [`AsyncEngine::submit`] with a per-submission deadline: if the job
+    /// is still sitting in the queue when `deadline` passes, it is dropped
+    /// at dequeue — **it never runs** — its future resolves to
+    /// [`JobExpired`], and the drop is counted in [`ServeStats::expired`].
+    /// A job a worker picked up *before* the deadline runs to completion
+    /// normally (deadlines bound queueing, not execution).
+    ///
+    /// Blocking while the queue is full, like [`AsyncEngine::submit`].
+    pub fn submit_with_deadline(
+        &self,
+        doc: &Arc<PreparedDocument>,
+        query: &str,
+        deadline: Instant,
+    ) -> Result<QueryFuture<DeadlineResult<QueryResult>>, TrySubmitError> {
+        let (job, future) = Self::deadline_query_job(doc, query, deadline);
+        self.enqueue(job, future, true)
+    }
+
+    /// Non-blocking [`AsyncEngine::submit_with_deadline`]: fails fast with
+    /// [`TrySubmitError::Full`] instead of waiting for a slot.
+    pub fn try_submit_with_deadline(
+        &self,
+        doc: &Arc<PreparedDocument>,
+        query: &str,
+        deadline: Instant,
+    ) -> Result<QueryFuture<DeadlineResult<QueryResult>>, TrySubmitError> {
+        let (job, future) = Self::deadline_query_job(doc, query, deadline);
+        self.enqueue(job, future, false)
+    }
+
+    fn deadline_query_job(
+        doc: &Arc<PreparedDocument>,
+        query: &str,
+        deadline: Instant,
+    ) -> (Job, QueryFuture<DeadlineResult<QueryResult>>) {
+        let doc = Arc::clone(doc);
+        let query = query.to_string();
+        Self::deadline_task_job(
+            move |engine| {
+                engine
+                    .compile(&query)
+                    .and_then(|plan| plan.run_prepared(&doc))
+            },
+            deadline,
+        )
+    }
+
+    /// Submits a query against a **named catalog document** instead of a
+    /// shipped `Arc`: the worker resolves `name` through the catalog when
+    /// the job runs, so it always evaluates the *current* generation (a
+    /// replacement between submit and run is picked up, and the
+    /// (query × document) artifact cache serves repeats).  Resolution
+    /// failure surfaces as [`CatalogError::UnknownDocument`] in the
+    /// result, not as a submission error.
+    ///
+    /// The catalog handle is cheap to clone and shared; for plan-cache
+    /// sharing between direct and named submissions, build the pool on
+    /// the catalog's engine (`AsyncEngineBuilder::engine`).  Blocking
+    /// while the queue is full, like [`AsyncEngine::submit`].
+    pub fn submit_named(
+        &self,
+        catalog: &Catalog,
+        name: &str,
+        query: &str,
+    ) -> Result<QueryFuture<CatalogQueryResult>, TrySubmitError> {
+        let (job, future) = Self::named_job(catalog, name, query);
+        self.enqueue(job, future, true)
+    }
+
+    /// Non-blocking [`AsyncEngine::submit_named`].
+    pub fn try_submit_named(
+        &self,
+        catalog: &Catalog,
+        name: &str,
+        query: &str,
+    ) -> Result<QueryFuture<CatalogQueryResult>, TrySubmitError> {
+        let (job, future) = Self::named_job(catalog, name, query);
+        self.enqueue(job, future, false)
+    }
+
+    /// [`AsyncEngine::submit_named`] with a deadline: combines named
+    /// resolution with the queueing bound of
+    /// [`AsyncEngine::submit_with_deadline`].
+    pub fn submit_named_with_deadline(
+        &self,
+        catalog: &Catalog,
+        name: &str,
+        query: &str,
+        deadline: Instant,
+    ) -> Result<QueryFuture<DeadlineResult<CatalogQueryResult>>, TrySubmitError> {
+        let (job, future) = Self::named_deadline_job(catalog, name, query, deadline);
+        self.enqueue(job, future, true)
+    }
+
+    /// Non-blocking [`AsyncEngine::submit_named_with_deadline`]: fails
+    /// fast with [`TrySubmitError::Full`] — the load-shedding shape, on
+    /// both ends of the queue.
+    pub fn try_submit_named_with_deadline(
+        &self,
+        catalog: &Catalog,
+        name: &str,
+        query: &str,
+        deadline: Instant,
+    ) -> Result<QueryFuture<DeadlineResult<CatalogQueryResult>>, TrySubmitError> {
+        let (job, future) = Self::named_deadline_job(catalog, name, query, deadline);
+        self.enqueue(job, future, false)
+    }
+
+    fn named_deadline_job(
+        catalog: &Catalog,
+        name: &str,
+        query: &str,
+        deadline: Instant,
+    ) -> (Job, QueryFuture<DeadlineResult<CatalogQueryResult>>) {
+        let catalog = catalog.clone();
+        let name = name.to_string();
+        let query = query.to_string();
+        Self::deadline_task_job(move |_engine| catalog.evaluate_on(&name, &query), deadline)
+    }
+
+    fn named_job(
+        catalog: &Catalog,
+        name: &str,
+        query: &str,
+    ) -> (Job, QueryFuture<CatalogQueryResult>) {
+        let catalog = catalog.clone();
+        let name = name.to_string();
+        let query = query.to_string();
+        Self::task_job(move |_engine| catalog.evaluate_on(&name, &query))
     }
 
     /// Submits a whole batch of query strings as **one** job: a worker
@@ -394,6 +561,7 @@ impl AsyncEngine {
             queue_depth: shared.queue.depth(),
             queue_high_watermark: shared.queue.high_watermark(),
             submitted: shared.queue.accepted(),
+            expired: shared.queue.expired(),
             rejected_full: shared.rejected_full.load(Ordering::Relaxed),
             rejected_shutdown: shared.rejected_shutdown.load(Ordering::Relaxed),
             completed: per_worker.iter().map(|w| w.completed).sum(),

@@ -23,10 +23,30 @@ use crate::TrySubmitError;
 
 /// A unit of work: the closure a worker runs against its own [`Engine`]
 /// handle, stamped with its enqueue time so the pool can report
-/// enqueue→dequeue latency.
+/// enqueue→dequeue latency — plus, for deadline-bearing submissions, the
+/// instant past which the job must not run and the hook that resolves the
+/// submitter's future to `JobExpired` when it is dropped.
 pub(crate) struct Job {
     pub(crate) run: Box<dyn FnOnce(&Engine) + Send + 'static>,
     pub(crate) enqueued: Instant,
+    /// A job still queued at this instant is dropped at dequeue instead of
+    /// run ([`BoundedQueue::pop`]); `None` = no deadline.
+    pub(crate) deadline: Option<Instant>,
+    /// Invoked (instead of `run`) when the deadline drop happens.  Exactly
+    /// one of `run`/`expire` ever fires.
+    pub(crate) expire: Option<Box<dyn FnOnce() + Send + 'static>>,
+}
+
+impl Job {
+    /// A job without a deadline.
+    pub(crate) fn new(run: Box<dyn FnOnce(&Engine) + Send + 'static>) -> Self {
+        Job {
+            run,
+            enqueued: Instant::now(),
+            deadline: None,
+            expire: None,
+        }
+    }
 }
 
 /// Outcome of [`BoundedQueue::push_or_register`].
@@ -48,6 +68,8 @@ struct QueueState {
     /// the push, so an accepted job is counted before any worker can pop
     /// it (a stats snapshot never sees completed > accepted).
     accepted: u64,
+    /// Jobs dropped at dequeue because their deadline had passed.
+    expired: u64,
     /// Deepest the queue has ever been.
     high_watermark: usize,
     /// Wakers of async submitters parked on a full queue.
@@ -71,6 +93,7 @@ impl BoundedQueue {
                 jobs: VecDeque::new(),
                 shutting_down: false,
                 accepted: 0,
+                expired: 0,
                 high_watermark: 0,
                 submit_waiters: Vec::new(),
             }),
@@ -94,6 +117,11 @@ impl BoundedQueue {
     /// Jobs ever accepted into the queue.
     pub(crate) fn accepted(&self) -> u64 {
         self.state.lock().unwrap().accepted
+    }
+
+    /// Jobs dropped at dequeue because their deadline had passed.
+    pub(crate) fn expired(&self) -> u64 {
+        self.state.lock().unwrap().expired
     }
 
     fn enqueue_locked(&self, state: &mut QueueState, job: Job) {
@@ -158,22 +186,40 @@ impl BoundedQueue {
     /// Dequeues the next job, blocking while the queue is empty; returns
     /// `None` once the queue is shutting down *and* drained, together with
     /// how long the job sat in the queue.
+    ///
+    /// A job whose deadline passed while it sat in the queue is **dropped
+    /// here, never run**: its `expire` hook resolves the submitter's
+    /// future to `JobExpired`, the drop is counted, and the pop moves on
+    /// to the next job — so an expired job costs the worker one dequeue,
+    /// not an evaluation.
     pub(crate) fn pop(&self) -> Option<(Job, Duration)> {
         let mut state = self.state.lock().unwrap();
         loop {
             if let Some(job) = state.jobs.pop_front() {
-                // A slot opened: hand it to one blocked submitter, and wake
-                // *every* parked async submitter (outside the lock).  All,
-                // not one: a cancelled SubmitFuture leaves a stale waker
-                // behind, and waking just one registration could spend the
-                // wakeup on that corpse while a live submitter sleeps on a
-                // free slot.  Live losers simply re-register on their next
-                // poll.
+                let expired = job.deadline.is_some_and(|d| Instant::now() >= d);
+                if expired {
+                    state.expired += 1;
+                }
+                // A slot opened either way: hand it to one blocked
+                // submitter, and wake *every* parked async submitter
+                // (outside the lock).  All, not one: a cancelled
+                // SubmitFuture leaves a stale waker behind, and waking
+                // just one registration could spend the wakeup on that
+                // corpse while a live submitter sleeps on a free slot.
+                // Live losers simply re-register on their next poll.
                 let wakers = std::mem::take(&mut state.submit_waiters);
                 drop(state);
                 self.not_full.notify_one();
                 for waker in wakers {
                     waker.wake();
+                }
+                if expired {
+                    // Dropped at dequeue: the job's closure never runs.
+                    if let Some(expire) = job.expire {
+                        expire();
+                    }
+                    state = self.state.lock().unwrap();
+                    continue;
                 }
                 let waited = job.enqueued.elapsed();
                 return Some((job, waited));
@@ -211,10 +257,17 @@ mod tests {
     use std::time::Instant;
 
     fn job() -> Job {
-        Job {
-            run: Box::new(|_: &Engine| {}),
-            enqueued: Instant::now(),
-        }
+        Job::new(Box::new(|_: &Engine| {}))
+    }
+
+    fn deadline_job(
+        deadline: Instant,
+        expired_flag: std::sync::Arc<std::sync::Mutex<bool>>,
+    ) -> Job {
+        let mut job = Job::new(Box::new(|_: &Engine| {}));
+        job.deadline = Some(deadline);
+        job.expire = Some(Box::new(move || *expired_flag.lock().unwrap() = true));
+        job
     }
 
     #[test]
@@ -258,6 +311,51 @@ mod tests {
         );
         assert!(q.pop().is_some(), "accepted work survives shutdown");
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn expired_jobs_are_dropped_at_dequeue() {
+        use std::sync::{Arc, Mutex};
+        let q = BoundedQueue::new(4);
+        let hit = Arc::new(Mutex::new(false));
+        // Already past its deadline when popped.
+        q.try_push(deadline_job(
+            Instant::now() - Duration::from_millis(1),
+            Arc::clone(&hit),
+        ))
+        .unwrap();
+        q.try_push(job()).unwrap();
+        // The pop skips the expired job and hands out the live one.
+        let (live, _) = q.pop().unwrap();
+        assert!(live.deadline.is_none());
+        assert!(*hit.lock().unwrap(), "expire hook must have fired");
+        assert_eq!(q.expired(), 1);
+        // A future deadline is not expiry.
+        let not_yet = Arc::new(Mutex::new(false));
+        q.try_push(deadline_job(
+            Instant::now() + Duration::from_secs(60),
+            Arc::clone(&not_yet),
+        ))
+        .unwrap();
+        assert!(q.pop().is_some());
+        assert!(!*not_yet.lock().unwrap());
+        assert_eq!(q.expired(), 1);
+    }
+
+    #[test]
+    fn a_queue_of_only_expired_jobs_drains_to_shutdown() {
+        use std::sync::{Arc, Mutex};
+        let q = BoundedQueue::new(4);
+        let past = Instant::now() - Duration::from_millis(1);
+        for _ in 0..3 {
+            q.try_push(deadline_job(past, Arc::new(Mutex::new(false))))
+                .unwrap();
+        }
+        q.shutdown();
+        // pop skips all three and reports the drained shutdown.
+        assert!(q.pop().is_none());
+        assert_eq!(q.expired(), 3);
+        assert_eq!(q.depth(), 0);
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub struct ServeStats {
     pub queue_high_watermark: usize,
     /// Jobs accepted into the queue.
     pub submitted: u64,
+    /// Accepted jobs dropped at dequeue because their per-submission
+    /// deadline passed while they were queued; they never ran and their
+    /// futures resolved to `JobExpired`.
+    pub expired: u64,
     /// Non-blocking submissions rejected because the queue was full.
     pub rejected_full: u64,
     /// Submissions rejected because the pool was shutting down.
@@ -75,17 +79,18 @@ impl ServeStats {
 
 impl std::fmt::Display for ServeStats {
     /// One-line summary used by the examples, e.g.
-    /// `4 workers, queue 0/64 (hwm 17), submitted 128, completed 128, rejected 3+0, panicked 0, wait mean 12.4µs max 310.0µs`.
+    /// `4 workers, queue 0/64 (hwm 17), submitted 128, completed 126, expired 2, rejected 3+0, panicked 0, wait mean 12.4µs max 310.0µs`.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} workers, queue {}/{} (hwm {}), submitted {}, completed {}, rejected {}+{}, panicked {}, wait mean {:.1?} max {:.1?}",
+            "{} workers, queue {}/{} (hwm {}), submitted {}, completed {}, expired {}, rejected {}+{}, panicked {}, wait mean {:.1?} max {:.1?}",
             self.workers,
             self.queue_depth,
             self.queue_capacity,
             self.queue_high_watermark,
             self.submitted,
             self.completed,
+            self.expired,
             self.rejected_full,
             self.rejected_shutdown,
             self.panicked,

@@ -1,0 +1,141 @@
+//! Serving a *population* of documents through the catalog: named
+//! ingestion, (query × document) plan artifacts, glob fan-out,
+//! generation-bumping replacement, and catalog-named async submission
+//! with per-submission deadlines.
+//!
+//! ```bash
+//! cargo run --release --example catalog_serving
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+use xpeval::prelude::*;
+use xpeval::workloads::auction_site_document;
+
+const REGIONS: usize = 12;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2003);
+
+    // One engine shared by the catalog and the serving pool: plans
+    // compiled anywhere are cache hits everywhere.
+    let engine = Engine::builder().plan_cache_capacity(256).build();
+    let catalog = Catalog::builder()
+        .engine(engine.clone())
+        .capacity(64)
+        .artifact_capacity(512)
+        .build();
+
+    // Part 1: named ingestion — parse + prepare once per document.
+    for i in 0..REGIONS {
+        let doc = auction_site_document(&mut rng, 20 + 5 * i);
+        catalog.insert_document(&format!("auction-{i:02}"), doc);
+    }
+    println!("== catalog of {} documents ==\n", catalog.len());
+    for info in catalog.list().into_iter().take(3) {
+        println!(
+            "  {:<12} {} gen {} ({} nodes)",
+            info.name, info.id, info.generation, info.node_count
+        );
+    }
+    println!("  ...");
+
+    // Part 2: repeated (query, document) pairs hit the artifact cache —
+    // compilation, tag resolution and strategy selection all paid once.
+    let query = "count(//item[child::bid])";
+    let start = Instant::now();
+    for _ in 0..200 {
+        catalog.evaluate_on("auction-03", query).unwrap();
+    }
+    let hot = start.elapsed();
+    println!("\n200 artifact-hit evaluations of {query}: {hot:.2?}");
+
+    // Part 3: fan one query out over a glob of names.
+    let bids: f64 = catalog
+        .evaluate_matching("auction-0*", "count(//bid)")
+        .into_iter()
+        .map(|f| match f.result.unwrap().value {
+            Value::Number(n) => n,
+            _ => unreachable!(),
+        })
+        .sum();
+    println!("total bids across auction-0*: {bids}");
+
+    // Part 4: replacement bumps the generation and invalidates exactly
+    // the replaced document's artifacts.
+    let before = catalog.stats();
+    let old_generation = catalog.generation("auction-03").unwrap();
+    let fresh = auction_site_document(&mut rng, 10);
+    catalog.insert_document("auction-03", fresh);
+    let after = catalog.stats();
+    println!(
+        "\nreplaced auction-03: generation {} -> {}, {} artifact(s) invalidated",
+        old_generation,
+        catalog.generation("auction-03").unwrap(),
+        after.artifact_invalidations - before.artifact_invalidations,
+    );
+
+    // Part 5: the serving pool targets documents by *name* — no Arcs
+    // shipped — and resolves them when the job runs.
+    let pool = AsyncEngine::builder()
+        .engine(engine.clone())
+        .workers(2)
+        .queue_capacity(16)
+        .build();
+    let futures: Vec<_> = (0..REGIONS)
+        .map(|i| {
+            pool.submit_named(&catalog, &format!("auction-{i:02}"), "count(//person)")
+                .unwrap()
+        })
+        .collect();
+    let people: f64 = futures
+        .into_iter()
+        .map(|f| match f.wait().unwrap().unwrap().value {
+            Value::Number(n) => n,
+            _ => unreachable!(),
+        })
+        .sum();
+    println!("\nnamed submissions: {people} people across all regions");
+    // An unknown name fails in the result, not the submission.
+    let missing = pool.submit_named(&catalog, "auction-99", "1").unwrap();
+    assert!(matches!(
+        missing.wait().unwrap(),
+        Err(CatalogError::UnknownDocument { .. })
+    ));
+
+    // Part 6: per-submission deadlines.  Park the only workers on slow
+    // jobs, then enqueue queries whose deadline passes while they wait:
+    // they are dropped at dequeue (never run) and resolve JobExpired.
+    let parked: Vec<_> = (0..2)
+        .map(|_| {
+            pool.submit_task(|_| std::thread::sleep(Duration::from_millis(60)))
+                .unwrap()
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_millis(5);
+    let doomed: Vec<_> = (0..4)
+        .map(|_| {
+            pool.submit_named_with_deadline(&catalog, "auction-00", "count(//bid)", deadline)
+                .unwrap()
+        })
+        .collect();
+    let expired = doomed
+        .into_iter()
+        .map(|f| f.wait())
+        .filter(|r| matches!(r, Ok(Err(JobExpired))))
+        .count();
+    println!("deadline 5ms behind 60ms of queued work: {expired}/4 submissions expired unrun");
+    for f in parked {
+        f.wait().unwrap();
+    }
+
+    // Part 7: every layer reports one summary line.
+    println!("\n== observability ==\n");
+    println!("catalog    : {}", catalog.stats());
+    println!("plan cache : {}", engine.cache_stats());
+    let stats = pool.shutdown();
+    println!("serve pool : {stats}");
+    assert_eq!(stats.panicked, 0);
+    assert_eq!(stats.expired, expired as u64);
+}

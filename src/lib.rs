@@ -16,8 +16,13 @@
 //! * [`circuits`] — monotone and SAC¹ boolean circuits with the layered
 //!   serialization of Figure 3,
 //! * [`reductions`] — the reductions of Theorems 3.2, 4.2, 4.3 and 5.7,
+//! * [`catalog`] — the named multi-document store: stable
+//!   [`DocId`](catalog::DocId)s, generation counters, LRU eviction, and
+//!   the (query × document) plan-artifact cache behind
+//!   [`Catalog`](catalog::Catalog) fan-out evaluation,
 //! * [`serve`] — the async serving layer: a worker-pool executor with a
 //!   bounded submission queue ([`AsyncEngine`](serve::AsyncEngine)),
+//!   per-submission deadlines, and catalog-named submission,
 //! * [`workloads`] — synthetic document/query/graph generators used by the
 //!   benchmark harness and the examples.
 //!
@@ -155,7 +160,60 @@
 //! [`CacheStats`](engine::CacheStats).  The non-default `tokio` feature
 //! adds `submit_async`, which awaits queue space instead of blocking —
 //! the entry point meant for async runtimes.
+//!
+//! ## Many documents: the catalog
+//!
+//! Serving *many* documents needs names, not `Arc`s: a
+//! [`Catalog`](catalog::Catalog) stores prepared documents under
+//! human-readable names with stable [`DocId`](catalog::DocId)s, bounded
+//! capacity (LRU), and a generation counter bumped by every replacement.
+//! On top of the per-query plan cache and the per-document index cache it
+//! adds the third amortization axis: a **(query × document) artifact
+//! cache** holding document-specialized plans — strategy choice pinned,
+//! final-step name tests pre-resolved to the document's interned
+//! [`TagId`](dom::TagId)s, candidate bounds precomputed — so repeated
+//! evaluation of the same pair skips selectivity probing and strategy
+//! selection, and a verified zero candidate bound skips evaluation
+//! itself:
+//!
+//! ```
+//! use xpeval::prelude::*;
+//!
+//! let catalog = Catalog::builder().capacity(64).build();
+//! catalog.insert_xml("orders", "<orders><order/><order/></orders>").unwrap();
+//! catalog.insert_xml("archive", "<orders><order/></orders>").unwrap();
+//!
+//! // Prepare once, name many: repeats hit the (query × document) cache.
+//! for _ in 0..10 {
+//!     let out = catalog.evaluate_on("orders", "count(//order)").unwrap();
+//!     assert_eq!(out.value, Value::Number(2.0));
+//! }
+//!
+//! // Fan one query out over a glob of documents.
+//! let totals = catalog.evaluate_matching("*", "count(//order)");
+//! assert_eq!(totals.len(), 2);
+//!
+//! // Replacement bumps the generation and invalidates exactly the
+//! // replaced document's artifacts.
+//! catalog.insert_xml("orders", "<orders/>").unwrap();
+//! assert_eq!(catalog.generation("orders"), Some(2));
+//! assert_eq!(
+//!     catalog.evaluate_on("orders", "count(//order)").unwrap().value,
+//!     Value::Number(0.0),
+//! );
+//! println!("{}", catalog.stats()); // one-line CatalogStats summary
+//! ```
+//!
+//! The serving pool accepts names too —
+//! [`AsyncEngine::submit_named`](serve::AsyncEngine::submit_named) targets
+//! a catalog document by name (resolved when the job runs, so it always
+//! sees the current generation), and
+//! [`AsyncEngine::submit_with_deadline`](serve::AsyncEngine::submit_with_deadline)
+//! bounds how long any submission may queue: a job whose deadline passes
+//! while it waits is dropped unrun and resolves
+//! [`JobExpired`](serve::JobExpired).
 
+pub use xpeval_catalog as catalog;
 pub use xpeval_circuits as circuits;
 pub use xpeval_core as engine;
 pub use xpeval_dom as dom;
@@ -166,6 +224,9 @@ pub use xpeval_workloads as workloads;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
+    pub use xpeval_catalog::{
+        Catalog, CatalogBuilder, CatalogError, CatalogStats, DocId, DocInfo, FanOut, PlanArtifact,
+    };
     pub use xpeval_core::{
         CacheStats, CompileOptions, CompiledQuery, Context, Engine, EngineBuilder, EvalError,
         EvalStats, EvalStrategy, NodeStream, QueryOutput, ShardStats, SingletonSuccess, StreamMode,
@@ -173,11 +234,11 @@ pub mod prelude {
     };
     pub use xpeval_dom::{
         parse_xml, Axis, AxisSource, Document, DocumentBuilder, NodeId, NodeTest, PositionalPick,
-        PreparedDocument,
+        PreparedDocument, TagId,
     };
     pub use xpeval_serve::{
-        block_on, AsyncEngine, AsyncEngineBuilder, JobLost, QueryFuture, ServeStats,
-        TrySubmitError, WorkerStats,
+        block_on, AsyncEngine, AsyncEngineBuilder, CatalogQueryResult, DeadlineResult, JobExpired,
+        JobLost, QueryFuture, ServeStats, TrySubmitError, WorkerStats,
     };
     pub use xpeval_syntax::{parse_query, Expr, Fragment, FragmentReport};
 }

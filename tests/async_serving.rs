@@ -185,6 +185,143 @@ fn queue_latency_counters_cover_every_dequeued_job() {
 }
 
 #[test]
+fn deadline_jobs_still_queued_past_their_deadline_expire_unrun() {
+    let (pool, gate, blocker) = gated_pool(8);
+    let doc = Arc::new(PreparedDocument::new(parse_xml("<r><a/><a/></r>").unwrap()));
+
+    // Behind the busy worker: two submissions whose deadline passes while
+    // they wait, and one with plenty of headroom.
+    let soon = std::time::Instant::now() + Duration::from_millis(5);
+    let doomed_blocking = pool.submit_with_deadline(&doc, "count(//a)", soon).unwrap();
+    let doomed_fast = pool
+        .try_submit_with_deadline(&doc, "count(//a)", soon)
+        .unwrap();
+    let alive = pool
+        .submit_with_deadline(
+            &doc,
+            "count(//a)",
+            std::time::Instant::now() + Duration::from_secs(300),
+        )
+        .unwrap();
+    // Let the short deadline pass while everything is still queued, then
+    // release the worker.
+    std::thread::sleep(Duration::from_millis(20));
+    gate.send(()).unwrap();
+    blocker.wait().unwrap();
+
+    // The expired jobs resolve JobExpired without ever running...
+    assert_eq!(doomed_blocking.wait().unwrap(), Err(JobExpired));
+    assert_eq!(doomed_fast.wait().unwrap(), Err(JobExpired));
+    // ...the live one runs normally.
+    let out = alive
+        .wait()
+        .unwrap()
+        .expect("not expired")
+        .expect("evaluates");
+    assert_eq!(out.value, Value::Number(2.0));
+
+    let stats = pool.shutdown();
+    assert_eq!(stats.expired, 2, "{stats}");
+    // Expired jobs were accepted (submitted) but never completed by a
+    // worker; completed = blocker + the live query.
+    assert_eq!(stats.submitted, 4, "{stats}");
+    assert_eq!(stats.completed, 2, "{stats}");
+    assert!(stats.to_string().contains("expired 2"), "{stats}");
+}
+
+#[test]
+fn a_deadline_met_in_time_changes_nothing() {
+    let doc = Arc::new(PreparedDocument::new(parse_xml("<r><a/></r>").unwrap()));
+    let pool = AsyncEngine::builder().workers(2).queue_capacity(8).build();
+    let deadline = std::time::Instant::now() + Duration::from_secs(300);
+    let futures: Vec<_> = (0..6)
+        .map(|_| {
+            pool.submit_with_deadline(&doc, "count(//a)", deadline)
+                .unwrap()
+        })
+        .collect();
+    for fut in futures {
+        let out = fut.wait().unwrap().expect("met the deadline").unwrap();
+        assert_eq!(out.value, Value::Number(1.0));
+    }
+    let stats = pool.shutdown();
+    assert_eq!(stats.expired, 0);
+    assert_eq!(stats.completed, 6);
+}
+
+#[test]
+fn named_submissions_resolve_through_the_catalog_at_run_time() {
+    let catalog = Catalog::new();
+    catalog
+        .insert_xml("books", "<lib><book/><book/></lib>")
+        .unwrap();
+    // Share the catalog's engine so plans compiled either way hit one
+    // plan cache.
+    let pool = AsyncEngine::builder()
+        .engine(catalog.engine().clone())
+        .workers(2)
+        .build();
+
+    let out = pool
+        .submit_named(&catalog, "books", "count(//book)")
+        .unwrap()
+        .wait()
+        .unwrap()
+        .expect("known name evaluates");
+    assert_eq!(out.value, Value::Number(2.0));
+
+    // An unknown name is a per-job result, not a submission failure.
+    let missing = pool
+        .try_submit_named(&catalog, "nope", "count(//book)")
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(matches!(missing, Err(CatalogError::UnknownDocument { .. })));
+    pool.shutdown();
+}
+
+#[test]
+fn named_submissions_see_a_replacement_made_while_queued() {
+    let (pool, gate, blocker) = gated_pool(8);
+    let catalog = Catalog::new();
+    catalog.insert_xml("d", "<r><a/></r>").unwrap();
+
+    // Queued behind the busy worker, then the document is replaced: the
+    // job resolves the *current* generation when it finally runs.
+    let queued = pool.submit_named(&catalog, "d", "count(//a)").unwrap();
+    catalog.insert_xml("d", "<r><a/><a/><a/></r>").unwrap();
+    gate.send(()).unwrap();
+    blocker.wait().unwrap();
+    let out = queued.wait().unwrap().unwrap();
+    assert_eq!(out.value, Value::Number(3.0));
+    assert_eq!(catalog.generation("d"), Some(2));
+    pool.shutdown();
+}
+
+#[test]
+fn named_deadline_submissions_compose() {
+    let (pool, gate, blocker) = gated_pool(8);
+    let catalog = Catalog::new();
+    catalog.insert_xml("d", "<r><a/></r>").unwrap();
+    let soon = std::time::Instant::now() + Duration::from_millis(5);
+    let doomed = pool
+        .submit_named_with_deadline(&catalog, "d", "count(//a)", soon)
+        .unwrap();
+    let doomed_fast = pool
+        .try_submit_named_with_deadline(&catalog, "d", "count(//a)", soon)
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    gate.send(()).unwrap();
+    blocker.wait().unwrap();
+    assert_eq!(doomed.wait().unwrap(), Err(JobExpired));
+    assert_eq!(doomed_fast.wait().unwrap(), Err(JobExpired));
+    // Catalog untouched: the expired jobs never evaluated.
+    assert_eq!(catalog.stats().evaluations, 0);
+    let stats = pool.shutdown();
+    assert_eq!(stats.expired, 2);
+}
+
+#[test]
 fn submit_document_prepares_through_the_engine_cache() {
     let mut rng = StdRng::seed_from_u64(9);
     let doc = Arc::new(random_tree_document(&mut rng, 50, &["a", "b"]));
