@@ -26,10 +26,17 @@
 //!   universe; a bound of zero short-circuits evaluation to the empty node
 //!   set without dispatching an evaluator at all.
 //!
-//! Artifacts are only valid for the exact document generation they were
+//! Artifacts are only valid for the exact document snapshot they were
 //! built against (tag ids and counts are per-snapshot); the catalog's
-//! internal artifact cache keys them by (query, [`DocId`], generation) and
-//! purges a document's artifacts whenever its generation bumps.
+//! internal artifact cache keys them by (query, [`DocId`], generation,
+//! revision) and purges a document's artifacts whenever its generation
+//! bumps.  In-place mutations ([`crate::Catalog::mutate_named`]) are
+//! finer-grained: `ArtifactCache::retarget` moves a document's artifacts
+//! from the pre-edit revision to the post-edit one, **killing** only the
+//! artifacts whose name-bounded candidates intersect the edit's dirty
+//! preorder interval (in either snapshot) and **rebasing** every other
+//! artifact onto the new snapshot — the specialized plan, pinned strategy
+//! and verified-empty shortcut all survive the edit.
 
 use crate::stats::CatalogStats;
 use crate::DocId;
@@ -54,6 +61,7 @@ pub struct PlanArtifact {
     prepared: Arc<PreparedDocument>,
     doc: DocId,
     generation: u64,
+    revision: u64,
     strategy: EvalStrategy,
     /// The final-step name tests resolved against the document's tag
     /// index: `None` for the id when the tag does not occur in this
@@ -83,6 +91,7 @@ impl PlanArtifact {
         plan: &Arc<CompiledQuery>,
         doc: DocId,
         generation: u64,
+        revision: u64,
         prepared: &Arc<PreparedDocument>,
     ) -> Self {
         let specialized = plan.specialize_for_source(prepared.as_ref());
@@ -94,21 +103,79 @@ impl PlanArtifact {
                     .map(|name| (name.to_string(), prepared.tag_id(name)))
                     .collect()
             });
-        let candidate_bound = resolved_tags.as_ref().map(|tags| {
-            tags.iter()
-                .map(|(_, id)| id.map_or(0, |id| prepared.tag_count_by_id(id)))
-                .sum()
-        });
+        let candidate_bound = Self::bound_of(resolved_tags.as_deref(), prepared);
         PlanArtifact {
             plan: Arc::new(specialized),
             prepared: Arc::clone(prepared),
             doc,
             generation,
+            revision,
             strategy,
             resolved_tags,
             candidate_bound,
             verified: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    fn bound_of(
+        tags: Option<&[(String, Option<TagId>)]>,
+        prepared: &PreparedDocument,
+    ) -> Option<usize> {
+        tags.map(|tags| {
+            tags.iter()
+                .map(|(_, id)| id.map_or(0, |id| prepared.tag_count_by_id(id)))
+                .sum()
+        })
+    }
+
+    /// Re-targets this artifact at the post-edit snapshot of the *same*
+    /// document lineage, preserving everything an in-place edit outside
+    /// the candidate set cannot change: the specialized plan `Arc` (tag
+    /// ids are interned append-only, so baked-in ids stay valid across
+    /// edits), the pinned strategy, and the verified flag (one successful
+    /// run proved the plan *accepts* the query — a property of the plan,
+    /// not the snapshot).  Tag ids and the candidate bound are re-derived
+    /// against the new snapshot; the caller ([`ArtifactCache::retarget`])
+    /// only rebases artifacts whose candidates are disjoint from the
+    /// edit's dirty interval, so the re-derived bound always matches the
+    /// old one.
+    fn rebase(&self, revision: u64, prepared: &Arc<PreparedDocument>) -> PlanArtifact {
+        use std::sync::atomic::Ordering;
+        let resolved_tags: Option<Vec<(String, Option<TagId>)>> =
+            self.resolved_tags.as_ref().map(|tags| {
+                tags.iter()
+                    .map(|(name, _)| (name.clone(), prepared.tag_id(name)))
+                    .collect()
+            });
+        let candidate_bound = Self::bound_of(resolved_tags.as_deref(), prepared);
+        PlanArtifact {
+            plan: Arc::clone(&self.plan),
+            prepared: Arc::clone(prepared),
+            doc: self.doc,
+            generation: self.generation,
+            revision,
+            strategy: self.strategy,
+            resolved_tags,
+            candidate_bound,
+            verified: std::sync::atomic::AtomicBool::new(self.verified.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Does any of this artifact's name-bounded candidates live inside the
+    /// half-open dirty preorder-key interval, in the given snapshot?  Tag
+    /// element lists are sorted by document order, so each tag costs one
+    /// binary search.
+    fn candidates_intersect(&self, prepared: &PreparedDocument, dirty: (u32, u32)) -> bool {
+        let Some(tags) = self.resolved_tags.as_deref() else {
+            // Not name-bounded: no candidate set to scope by.
+            return true;
+        };
+        let doc = prepared.document();
+        tags.iter().any(|(name, _)| {
+            let elements = prepared.elements_named(name);
+            let lo = elements.partition_point(|&el| doc.pre(el) < dirty.0);
+            elements.get(lo).is_some_and(|&el| doc.pre(el) < dirty.1)
+        })
     }
 
     /// The document snapshot this artifact is specialized for (and runs
@@ -125,6 +192,13 @@ impl PlanArtifact {
     /// The document generation this artifact is valid for.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The in-place edit revision (within the generation) this artifact is
+    /// valid for: 0 for a freshly installed document, bumped by every
+    /// [`crate::Catalog::mutate_named`] edit.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// The pinned strategy choice (what `strategy_for_source` returned at
@@ -187,13 +261,16 @@ struct ArtifactEntry {
 }
 
 /// The bounded LRU cache of [`PlanArtifact`]s, keyed by
-/// (query, [`DocId`], generation) — the catalog's third cache, next to the
-/// engine's plan cache (per query) and document cache (per document).
+/// (query, [`DocId`], generation, revision) — the catalog's third cache,
+/// next to the engine's plan cache (per query) and document cache (per
+/// document).
 ///
-/// The key is split in two levels — an outer `(DocId, generation)` map
-/// over inner per-query maps — so the hot-path lookup borrows the query
-/// `&str` (no allocation; `HashMap<String, _>` answers `&str` probes via
-/// `Borrow`) and document-level invalidation is an outer-key sweep.
+/// The key is split in two levels — an outer `(DocId, generation,
+/// revision)` map over inner per-query maps — so the hot-path lookup
+/// borrows the query `&str` (no allocation; `HashMap<String, _>` answers
+/// `&str` probes via `Borrow`), document-level invalidation is an
+/// outer-key sweep, and a mutation's revision bump re-targets one whole
+/// group at once ([`ArtifactCache::retarget`]).
 ///
 /// Same discipline as the other two caches: `get` under the lock, build
 /// outside it, `insert` racing benignly (last writer wins; both artifacts
@@ -206,10 +283,23 @@ pub(crate) struct ArtifactCache {
     inner: Mutex<ArtifactInner>,
 }
 
+/// One in-place edit as [`ArtifactCache::retarget`] sees it: which
+/// `(doc, generation)` group moves from `old_revision` to `new_revision`,
+/// and the dirty preorder interval the kill-or-rebase rule tests against.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Retarget {
+    pub(crate) doc: DocId,
+    pub(crate) generation: u64,
+    pub(crate) old_revision: u64,
+    pub(crate) new_revision: u64,
+    pub(crate) dirty: (u32, u32),
+    pub(crate) renumbered: bool,
+}
+
 #[derive(Debug, Default)]
 struct ArtifactInner {
-    /// (doc, generation) → query source → artifact.
-    groups: HashMap<(DocId, u64), HashMap<String, ArtifactEntry>>,
+    /// (doc, generation, revision) → query source → artifact.
+    groups: HashMap<(DocId, u64, u64), HashMap<String, ArtifactEntry>>,
     /// Total entries across all groups (the capacity the bound applies
     /// to).
     len: usize,
@@ -218,6 +308,8 @@ struct ArtifactInner {
     misses: u64,
     evictions: u64,
     invalidations: u64,
+    scope_killed: u64,
+    scope_preserved: u64,
 }
 
 impl ArtifactInner {
@@ -264,6 +356,7 @@ impl ArtifactCache {
         &self,
         doc: DocId,
         generation: u64,
+        revision: u64,
         query: &str,
     ) -> Option<Arc<PlanArtifact>> {
         let mut inner = self.inner.lock().unwrap();
@@ -271,7 +364,7 @@ impl ArtifactCache {
         let tick = inner.tick;
         match inner
             .groups
-            .get_mut(&(doc, generation))
+            .get_mut(&(doc, generation, revision))
             .and_then(|queries| queries.get_mut(query))
         {
             Some(entry) => {
@@ -287,13 +380,13 @@ impl ArtifactCache {
         }
     }
 
-    /// Stores an artifact under its own (query, doc, generation) key,
-    /// evicting the least-recently-used entry when full.
+    /// Stores an artifact under its own (query, doc, generation, revision)
+    /// key, evicting the least-recently-used entry when full.
     pub(crate) fn insert(&self, query: &str, artifact: &Arc<PlanArtifact>) {
         if self.capacity == 0 {
             return;
         }
-        let group = (artifact.doc(), artifact.generation());
+        let group = (artifact.doc(), artifact.generation(), artifact.revision());
         let mut inner = self.inner.lock().unwrap();
         inner.tick += 1;
         let tick = inner.tick;
@@ -325,7 +418,7 @@ impl ArtifactCache {
     pub(crate) fn purge_doc(&self, doc: DocId) -> usize {
         let mut inner = self.inner.lock().unwrap();
         let mut dropped = 0usize;
-        inner.groups.retain(|&(d, _), queries| {
+        inner.groups.retain(|&(d, ..), queries| {
             if d == doc {
                 dropped += queries.len();
                 false
@@ -336,6 +429,84 @@ impl ArtifactCache {
         inner.len -= dropped;
         inner.invalidations += dropped as u64;
         dropped
+    }
+
+    /// Moves a mutated document's artifacts from the pre-edit revision
+    /// group to the post-edit one: the **subtree-scoped invalidation** an
+    /// in-place edit buys over whole-document replacement.  Returns
+    /// `(killed, preserved)`.
+    ///
+    /// Per artifact the rule is: **kill** it (drop it, counted as an
+    /// invalidation — the next evaluation re-specializes from scratch)
+    /// when the edit could have changed what it caches —
+    ///
+    /// * the whole document was renumbered (`renumbered`): pre-edit keys
+    ///   are incomparable with post-edit ones, so no interval test is
+    ///   meaningful;
+    /// * the query is not name-bounded (`resolved_tags` is `None`): there
+    ///   is no candidate set to scope by;
+    /// * any candidate element's preorder key falls inside the dirty
+    ///   interval in **either** snapshot — the old one catches removals
+    ///   (the removed elements only exist there), the new one catches
+    ///   insertions;
+    ///
+    /// — and otherwise **rebase** it onto the new snapshot
+    /// ([`PlanArtifact::rebase`]): specialized plan, pinned strategy and
+    /// verified-empty shortcut all survive.  Rebasing is always *sound*
+    /// (artifacts re-run their plan against the snapshot they own); the
+    /// kill rule exists so the cached candidate bound and the pinned
+    /// strategy are re-derived whenever the edit touched the result
+    /// universe they were derived from.
+    pub(crate) fn retarget(
+        &self,
+        edit: Retarget,
+        new_prepared: &Arc<PreparedDocument>,
+    ) -> (u64, u64) {
+        let Retarget {
+            doc,
+            generation,
+            old_revision,
+            new_revision,
+            dirty,
+            renumbered,
+        } = edit;
+        let mut inner = self.inner.lock().unwrap();
+        let Some(old_group) = inner.groups.remove(&(doc, generation, old_revision)) else {
+            return (0, 0);
+        };
+        inner.len -= old_group.len();
+        let (mut killed, mut preserved) = (0u64, 0u64);
+        for (query, entry) in old_group {
+            let artifact = &entry.artifact;
+            let kill = renumbered
+                || artifact.candidates_intersect(&artifact.prepared, dirty)
+                || artifact.candidates_intersect(new_prepared, dirty);
+            if kill {
+                killed += 1;
+                continue;
+            }
+            preserved += 1;
+            let rebased = ArtifactEntry {
+                artifact: Arc::new(artifact.rebase(new_revision, new_prepared)),
+                last_used: entry.last_used,
+            };
+            // A racing evaluation may have built a fresh artifact under
+            // the new revision already; keep whichever lands last (both
+            // are valid for the new snapshot).
+            if inner
+                .groups
+                .entry((doc, generation, new_revision))
+                .or_default()
+                .insert(query, rebased)
+                .is_none()
+            {
+                inner.len += 1;
+            }
+        }
+        inner.invalidations += killed;
+        inner.scope_killed += killed;
+        inner.scope_preserved += preserved;
+        (killed, preserved)
     }
 
     /// Drops every artifact (counters are kept).
@@ -355,6 +526,8 @@ impl ArtifactCache {
         stats.artifact_misses = inner.misses;
         stats.artifact_evictions = inner.evictions;
         stats.artifact_invalidations = inner.invalidations;
+        stats.artifact_scope_killed = inner.scope_killed;
+        stats.artifact_scope_preserved = inner.scope_preserved;
     }
 }
 
@@ -375,7 +548,7 @@ mod tests {
     fn build_resolves_tags_and_pins_the_strategy() {
         let doc = prepared("<r><a/><b/><a/></r>");
         let q = plan("//a");
-        let artifact = PlanArtifact::build(&q, DocId::from_raw(1), 1, &doc);
+        let artifact = PlanArtifact::build(&q, DocId::from_raw(1), 1, 0, &doc);
         assert_eq!(artifact.candidate_bound(), Some(2));
         let tags = artifact.resolved_tags().unwrap();
         assert_eq!(tags.len(), 1);
@@ -395,7 +568,7 @@ mod tests {
     fn zero_candidate_bound_short_circuits_after_one_verified_run() {
         let doc = prepared("<r><a/></r>");
         let q = plan("//nosuch");
-        let artifact = PlanArtifact::build(&q, DocId::from_raw(1), 1, &doc);
+        let artifact = PlanArtifact::build(&q, DocId::from_raw(1), 1, 0, &doc);
         assert_eq!(artifact.candidate_bound(), Some(0));
         // The first run is a full evaluation (it must surface any error
         // the plan would raise), still empty.
@@ -409,7 +582,7 @@ mod tests {
         assert_eq!(repeat.stats, EvalStats::default());
         // Unions of present and absent tags keep the sum bound.
         let union = plan("//a | //nosuch");
-        let artifact = PlanArtifact::build(&union, DocId::from_raw(1), 1, &doc);
+        let artifact = PlanArtifact::build(&union, DocId::from_raw(1), 1, 0, &doc);
         assert_eq!(artifact.candidate_bound(), Some(1));
         assert_eq!(artifact.run().unwrap().value.expect_nodes().len(), 1);
     }
@@ -424,7 +597,7 @@ mod tests {
                 .unwrap()
                 .with_strategy(EvalStrategy::CoreXPathLinear),
         );
-        let artifact = PlanArtifact::build(&q, DocId::from_raw(1), 1, &doc);
+        let artifact = PlanArtifact::build(&q, DocId::from_raw(1), 1, 0, &doc);
         assert_eq!(artifact.candidate_bound(), Some(0));
         for _ in 0..3 {
             assert!(matches!(
@@ -438,7 +611,7 @@ mod tests {
     fn non_name_bounded_queries_have_no_bound() {
         let doc = prepared("<r><a/></r>");
         for q in ["count(//a)", "//a/@id", "//node()"] {
-            let artifact = PlanArtifact::build(&plan(q), DocId::from_raw(1), 1, &doc);
+            let artifact = PlanArtifact::build(&plan(q), DocId::from_raw(1), 1, 0, &doc);
             assert_eq!(artifact.candidate_bound(), None, "{q}");
             assert!(artifact.resolved_tags().is_none(), "{q}");
             // And evaluation still works through the pinned plan.
@@ -452,21 +625,21 @@ mod tests {
         let cache = ArtifactCache::new(2);
         let d1 = DocId::from_raw(1);
         let d2 = DocId::from_raw(2);
-        assert!(cache.get(d1, 1, "//a").is_none());
-        let a1 = Arc::new(PlanArtifact::build(&plan("//a"), d1, 1, &doc));
+        assert!(cache.get(d1, 1, 0, "//a").is_none());
+        let a1 = Arc::new(PlanArtifact::build(&plan("//a"), d1, 1, 0, &doc));
         cache.insert("//a", &a1);
-        assert!(Arc::ptr_eq(&cache.get(d1, 1, "//a").unwrap(), &a1));
+        assert!(Arc::ptr_eq(&cache.get(d1, 1, 0, "//a").unwrap(), &a1));
         // A different generation is a different key.
-        assert!(cache.get(d1, 2, "//a").is_none());
+        assert!(cache.get(d1, 2, 0, "//a").is_none());
 
-        let a2 = Arc::new(PlanArtifact::build(&plan("//a"), d2, 1, &doc));
+        let a2 = Arc::new(PlanArtifact::build(&plan("//a"), d2, 1, 0, &doc));
         cache.insert("//a", &a2);
         // Capacity 2: a third entry evicts the LRU one (d1 gen 1 was
         // touched most recently via get, so the victim is d2's).
-        cache.get(d1, 1, "//a").unwrap();
-        let a3 = Arc::new(PlanArtifact::build(&plan("//r"), d1, 1, &doc));
+        cache.get(d1, 1, 0, "//a").unwrap();
+        let a3 = Arc::new(PlanArtifact::build(&plan("//r"), d1, 1, 0, &doc));
         cache.insert("//r", &a3);
-        assert!(cache.get(d2, 1, "//a").is_none());
+        assert!(cache.get(d2, 1, 0, "//a").is_none());
 
         // Purging d1 drops all its artifacts, regardless of generation.
         let dropped = cache.purge_doc(d1);
@@ -486,9 +659,10 @@ mod tests {
             &plan("//a"),
             DocId::from_raw(1),
             1,
+            0,
             &doc,
         ));
         cache.insert("//a", &a);
-        assert!(cache.get(DocId::from_raw(1), 1, "//a").is_none());
+        assert!(cache.get(DocId::from_raw(1), 1, 0, "//a").is_none());
     }
 }

@@ -69,7 +69,8 @@ pub mod store;
 
 pub use artifact::PlanArtifact;
 pub use stats::{CatalogStats, DocInfo};
-pub use store::{Catalog, CatalogBuilder, CatalogError, DocId, FanOut};
+pub use store::{Catalog, CatalogBuilder, CatalogError, DocId, FanOut, MutationOutcome};
+pub use xpeval_live::{LiveDocument, PendingEdits};
 
 #[cfg(test)]
 mod tests {
@@ -338,6 +339,196 @@ mod tests {
         assert_eq!(list[1].name, "b");
         assert_eq!(catalog.names(), ["a", "b"]);
         assert_eq!(catalog.info("nosuch"), None);
+    }
+
+    #[test]
+    fn mutate_named_edits_in_place_and_bumps_the_revision() {
+        let catalog = Catalog::new();
+        catalog.insert_xml("d", "<r><item/><item/></r>").unwrap();
+        assert_eq!(catalog.revision("d"), Some(0));
+        let out = catalog
+            .mutate_named("d", |live| {
+                let r = live.first_child(live.root()).unwrap();
+                live.insert_subtree(r, 2, &parse_xml("<item new=\"1\"/>").unwrap())
+                    .map(|o| o.inserted.len())
+            })
+            .unwrap();
+        assert_eq!(out.value.unwrap(), 2, "element + attribute");
+        assert_eq!(out.revision, 1);
+        assert_eq!(out.generation, 1, "mutation does not bump the generation");
+        let edits = out.edits.unwrap();
+        assert_eq!(edits.edits, 1);
+        assert!(!edits.renumbered);
+        assert_eq!(catalog.revision("d"), Some(1));
+        assert_eq!(catalog.generation("d"), Some(1));
+        assert_eq!(
+            catalog.evaluate_on("d", "count(//item)").unwrap().value,
+            Value::Number(3.0)
+        );
+        let info = catalog.info("d").unwrap();
+        assert_eq!((info.generation, info.revision), (1, 1));
+        assert_eq!(catalog.stats().mutations, 1);
+        // By-id addressing reaches the same entry.
+        let id = catalog.resolve("d").unwrap();
+        let out = catalog
+            .mutate(id, |live| {
+                let item = live.elements_named("item")[0];
+                live.remove_subtree(item).map(|o| o.removed)
+            })
+            .unwrap();
+        assert!(out.value.is_ok());
+        assert_eq!(out.revision, 2);
+        assert_eq!(
+            catalog.evaluate_on("d", "count(//item)").unwrap().value,
+            Value::Number(2.0)
+        );
+    }
+
+    #[test]
+    fn mutate_errors_on_unknown_targets() {
+        let catalog = Catalog::new();
+        assert!(matches!(
+            catalog.mutate_named("nosuch", |_| ()),
+            Err(CatalogError::UnknownDocument { .. })
+        ));
+        let foreign = DocId::from_raw(u64::MAX);
+        assert!(matches!(
+            catalog.mutate(foreign, |_| ()),
+            Err(CatalogError::UnknownDocId { .. })
+        ));
+    }
+
+    #[test]
+    fn a_no_op_mutation_publishes_nothing() {
+        let catalog = Catalog::new();
+        catalog.insert_xml("d", "<r><a/></r>").unwrap();
+        catalog.evaluate_on("d", "//a").unwrap();
+        let before = catalog.get("d").unwrap();
+        // A closure that only *fails* to edit also publishes nothing.
+        let out = catalog
+            .mutate_named("d", |live| {
+                let root = live.root();
+                live.remove_subtree(root).unwrap_err()
+            })
+            .unwrap();
+        assert_eq!(out.revision, 0);
+        assert!(out.edits.is_none());
+        assert_eq!(catalog.stats().mutations, 0);
+        assert!(Arc::ptr_eq(&before, &catalog.get("d").unwrap()));
+        // The cached artifact is still live (same revision key).
+        let hits = catalog.stats().artifact_hits;
+        catalog.evaluate_on("d", "//a").unwrap();
+        assert_eq!(catalog.stats().artifact_hits, hits + 1);
+    }
+
+    #[test]
+    fn mutation_kills_intersecting_artifacts_and_preserves_the_rest() {
+        let catalog = Catalog::new();
+        catalog
+            .insert_xml("d", "<r><left><a/></left><right><b/><b/></right></r>")
+            .unwrap();
+        // Cache three artifacts: one whose candidates live in the edited
+        // subtree, one outside it, one verified-empty.
+        assert_eq!(
+            catalog
+                .evaluate_on("d", "//a")
+                .unwrap()
+                .value
+                .expect_nodes()
+                .len(),
+            1
+        );
+        assert_eq!(
+            catalog
+                .evaluate_on("d", "//b")
+                .unwrap()
+                .value
+                .expect_nodes()
+                .len(),
+            2
+        );
+        assert_eq!(
+            catalog.evaluate_on("d", "//nosuch").unwrap().value,
+            Value::NodeSet(Vec::new())
+        );
+        assert_eq!(catalog.stats().artifact_len, 3);
+
+        let out = catalog
+            .mutate_named("d", |live| {
+                let left = live.elements_named("left")[0];
+                live.insert_subtree(left, 1, &parse_xml("<a/>").unwrap())
+                    .unwrap();
+            })
+            .unwrap();
+        assert_eq!(out.artifacts_killed, 1, "only //a intersects the edit");
+        assert_eq!(out.artifacts_preserved, 2);
+
+        // The preserved artifacts answer the new revision as cache hits —
+        // //nosuch keeps its verified-empty shortcut (zero work counters).
+        let hits = catalog.stats().artifact_hits;
+        assert_eq!(
+            catalog
+                .evaluate_on("d", "//b")
+                .unwrap()
+                .value
+                .expect_nodes()
+                .len(),
+            2
+        );
+        let empty = catalog.evaluate_on("d", "//nosuch").unwrap();
+        assert_eq!(empty.value, Value::NodeSet(Vec::new()));
+        assert_eq!(empty.stats.evaluations, 0, "verified shortcut survived");
+        assert_eq!(catalog.stats().artifact_hits, hits + 2);
+        // The killed artifact re-specializes and sees the edit.
+        assert_eq!(
+            catalog
+                .evaluate_on("d", "//a")
+                .unwrap()
+                .value
+                .expect_nodes()
+                .len(),
+            2
+        );
+        let s = catalog.stats();
+        assert_eq!(s.artifact_scope_killed, 1, "{s}");
+        assert_eq!(s.artifact_scope_preserved, 2, "{s}");
+        let line = s.to_string();
+        assert!(line.contains("scoped 1 killed / 2 kept"), "{line}");
+
+        // A removal inside `right` kills //b (candidates in the *old*
+        // snapshot intersect the dirty interval) and preserves //a.
+        let out = catalog
+            .mutate_named("d", |live| {
+                let b = live.elements_named("b")[0];
+                live.remove_subtree(b).unwrap();
+            })
+            .unwrap();
+        assert_eq!(out.artifacts_killed, 1);
+        assert_eq!(out.artifacts_preserved, 2);
+        assert_eq!(
+            catalog.evaluate_on("d", "count(//b)").unwrap().value,
+            Value::Number(1.0)
+        );
+        assert_eq!(
+            catalog.evaluate_on("d", "count(//a)").unwrap().value,
+            Value::Number(2.0)
+        );
+    }
+
+    #[test]
+    fn replacement_still_resets_the_revision() {
+        let catalog = Catalog::new();
+        catalog.insert_xml("d", "<r><a/></r>").unwrap();
+        catalog
+            .mutate_named("d", |live| {
+                let a = live.elements_named("a")[0];
+                live.set_attribute(a, "k", "v").unwrap();
+            })
+            .unwrap();
+        assert_eq!(catalog.revision("d"), Some(1));
+        catalog.insert_xml("d", "<r/>").unwrap();
+        assert_eq!(catalog.generation("d"), Some(2));
+        assert_eq!(catalog.revision("d"), Some(0));
     }
 
     #[test]

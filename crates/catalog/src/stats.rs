@@ -15,6 +15,10 @@ pub struct CatalogStats {
     pub inserts: u64,
     /// Inserts that replaced an existing name (generation bumps).
     pub replacements: u64,
+    /// In-place mutation batches applied through
+    /// [`crate::Catalog::mutate_named`] / [`crate::Catalog::mutate`]
+    /// (revision bumps; closures that edited nothing are not counted).
+    pub mutations: u64,
     /// Documents removed explicitly.
     pub removals: u64,
     /// Documents evicted to respect the capacity bound.
@@ -36,8 +40,19 @@ pub struct CatalogStats {
     /// Artifacts evicted by the artifact cache's own LRU bound.
     pub artifact_evictions: u64,
     /// Artifacts dropped because their document was replaced, removed or
-    /// evicted — the generation-bump invalidations.
+    /// evicted, **or** killed by a mutation whose dirty interval hit their
+    /// candidates — every way a live artifact dies other than LRU
+    /// eviction.
     pub artifact_invalidations: u64,
+    /// Artifacts killed by subtree-scoped invalidation: a mutation's dirty
+    /// preorder interval intersected their candidate set (a subset of
+    /// [`CatalogStats::artifact_invalidations`]).
+    pub artifact_scope_killed: u64,
+    /// Artifacts that *survived* a mutation: their candidates were
+    /// disjoint from the dirty interval, so they were rebased onto the
+    /// post-edit snapshot with specialized plan, pinned strategy and
+    /// verified shortcut intact.
+    pub artifact_scope_preserved: u64,
 }
 
 impl CatalogStats {
@@ -65,15 +80,16 @@ fn rate(hits: u64, misses: u64) -> f64 {
 
 impl std::fmt::Display for CatalogStats {
     /// One-line summary used by the examples, e.g.
-    /// `docs 3/64 (5 inserted, 2 replaced, 0 evicted), resolves 10/12 (83.3%), evals 40, artifacts 7/256 hits 33/40 (82.5%), invalidated 4`.
+    /// `docs 3/64 (5 inserted, 2 replaced, 3 mutated, 0 evicted), resolves 10/12 (83.3%), evals 40, artifacts 7/256 hits 33/40 (82.5%), invalidated 4, scoped 2 killed / 5 kept`.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "docs {}/{} ({} inserted, {} replaced, {} evicted), resolves {}/{} ({:.1}%), evals {}, artifacts {}/{} hits {}/{} ({:.1}%), invalidated {}",
+            "docs {}/{} ({} inserted, {} replaced, {} mutated, {} evicted), resolves {}/{} ({:.1}%), evals {}, artifacts {}/{} hits {}/{} ({:.1}%), invalidated {}, scoped {} killed / {} kept",
             self.documents,
             self.capacity,
             self.inserts,
             self.replacements,
+            self.mutations,
             self.evictions,
             self.resolve_hits,
             self.resolve_hits + self.resolve_misses,
@@ -85,6 +101,8 @@ impl std::fmt::Display for CatalogStats {
             self.artifact_hits + self.artifact_misses,
             self.artifact_hit_rate() * 100.0,
             self.artifact_invalidations,
+            self.artifact_scope_killed,
+            self.artifact_scope_preserved,
         )
     }
 }
@@ -100,6 +118,10 @@ pub struct DocInfo {
     pub id: crate::DocId,
     /// Generation counter: starts at 1, bumped by every replacement.
     pub generation: u64,
+    /// In-place edit revision within the generation: starts at 0, bumped
+    /// by every successful [`crate::Catalog::mutate_named`] edit, reset by
+    /// replacement.
+    pub revision: u64,
     /// Total nodes of the prepared document.
     pub node_count: usize,
     /// Evaluations dispatched against this name (carried across
@@ -134,6 +156,7 @@ mod tests {
         assert!(line.contains("docs 3/64"), "{line}");
         assert!(line.contains("hits 33/40 (82.5%)"), "{line}");
         assert!(line.contains("invalidated 4"), "{line}");
+        assert!(line.contains("scoped 0 killed / 0 kept"), "{line}");
         assert!(!line.contains('\n'));
     }
 

@@ -27,7 +27,7 @@
 //! artifact in the cache, unreachable by key, until it ages out) — it
 //! never sees a mix of generations.
 
-use crate::artifact::{ArtifactCache, PlanArtifact};
+use crate::artifact::{ArtifactCache, PlanArtifact, Retarget};
 use crate::glob::glob_match;
 use crate::stats::{CatalogStats, DocInfo};
 use std::collections::HashMap;
@@ -35,6 +35,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use xpeval_core::{Engine, EvalError, QueryOutput};
 use xpeval_dom::{parse_xml, Document, PreparedDocument, XmlParseError};
+use xpeval_live::{LiveDocument, PendingEdits};
 
 /// Stable identity of a catalog document.
 ///
@@ -79,6 +80,12 @@ pub enum CatalogError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// The id is not in the catalog (document removed or evicted, or the
+    /// id was minted by another catalog).
+    UnknownDocId {
+        /// The id that failed to resolve.
+        id: DocId,
+    },
     /// [`Catalog::insert_xml`] was given XML that does not parse.
     Xml(XmlParseError),
     /// The query failed to compile or evaluate.
@@ -91,6 +98,9 @@ impl std::fmt::Display for CatalogError {
             CatalogError::UnknownDocument { name } => {
                 write!(f, "no document named '{name}' in the catalog")
             }
+            CatalogError::UnknownDocId { id } => {
+                write!(f, "no document with id {id} in the catalog")
+            }
             CatalogError::Xml(e) => write!(f, "document does not parse: {e}"),
             CatalogError::Eval(e) => write!(f, "{e}"),
         }
@@ -100,7 +110,7 @@ impl std::fmt::Display for CatalogError {
 impl std::error::Error for CatalogError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CatalogError::UnknownDocument { .. } => None,
+            CatalogError::UnknownDocument { .. } | CatalogError::UnknownDocId { .. } => None,
             CatalogError::Xml(e) => Some(e),
             CatalogError::Eval(e) => Some(e),
         }
@@ -134,6 +144,31 @@ pub struct FanOut {
     pub result: Result<QueryOutput, EvalError>,
 }
 
+/// What a [`Catalog::mutate_named`] / [`Catalog::mutate`] call did: the
+/// closure's return value, the document's post-edit version coordinates,
+/// the drained edit batch, and how precisely the artifact cache was
+/// invalidated.
+#[derive(Debug)]
+pub struct MutationOutcome<T> {
+    /// Whatever the mutation closure returned.
+    pub value: T,
+    /// The document's stable id.
+    pub doc: DocId,
+    /// The (unchanged) generation the edits landed in.
+    pub generation: u64,
+    /// The post-edit revision (unchanged when the closure made no edit).
+    pub revision: u64,
+    /// The edit batch the closure applied — dirty preorder interval,
+    /// counts — or `None` when it edited nothing.
+    pub edits: Option<PendingEdits>,
+    /// Artifacts dropped because their candidates intersect the dirty
+    /// interval (they re-specialize on next evaluation).
+    pub artifacts_killed: u64,
+    /// Artifacts rebased onto the post-edit snapshot with their
+    /// specialized plan, pinned strategy and verified shortcut intact.
+    pub artifacts_preserved: u64,
+}
+
 /// Usage counters of one named slot, shared by every generation of the
 /// entry behind an `Arc`: a replacement clones the handle instead of
 /// copying values, so increments made through an old generation's
@@ -152,6 +187,10 @@ struct CatalogEntry {
     name: String,
     id: DocId,
     generation: u64,
+    /// In-place edits applied within this generation
+    /// ([`Catalog::mutate_named`]); resets to 0 whenever the generation
+    /// bumps (whole-document replacement).
+    revision: u64,
     prepared: Arc<PreparedDocument>,
     /// Global-tick recency stamp for LRU eviction (updated through a
     /// shared read lock — hence atomic).
@@ -184,6 +223,7 @@ struct CatalogShared {
     tick: AtomicU64,
     inserts: AtomicU64,
     replacements: AtomicU64,
+    mutations: AtomicU64,
     removals: AtomicU64,
     evictions: AtomicU64,
     resolve_hits: AtomicU64,
@@ -252,6 +292,7 @@ impl CatalogBuilder {
                 tick: AtomicU64::new(0),
                 inserts: AtomicU64::new(0),
                 replacements: AtomicU64::new(0),
+                mutations: AtomicU64::new(0),
                 removals: AtomicU64::new(0),
                 evictions: AtomicU64::new(0),
                 resolve_hits: AtomicU64::new(0),
@@ -376,6 +417,7 @@ impl Catalog {
                     name: name.to_string(),
                     id: existing,
                     generation: old.generation + 1,
+                    revision: 0,
                     prepared: Arc::clone(&prepared),
                     last_used: AtomicU64::new(tick),
                     counters: Arc::clone(&old.counters),
@@ -409,6 +451,7 @@ impl Catalog {
                     name: name.to_string(),
                     id,
                     generation: 1,
+                    revision: 0,
                     prepared: Arc::clone(&prepared),
                     last_used: AtomicU64::new(tick),
                     counters: Arc::new(SlotCounters::default()),
@@ -483,6 +526,128 @@ impl Catalog {
         }
     }
 
+    /// Edits the named document **in place** through a [`LiveDocument`]
+    /// view, with incremental index maintenance and subtree-scoped
+    /// artifact invalidation — the fine-grained alternative to
+    /// whole-document replacement ([`Catalog::insert_xml`]).
+    ///
+    /// The closure runs under the store's write lock, so edits on a
+    /// catalog serialize with each other and with name resolution (racing
+    /// readers hold pre-edit snapshots and never observe a half-patched
+    /// index; post-edit readers resolve to the published snapshot).  Keep
+    /// closures small — parse fragments *before* calling; the incremental
+    /// edits themselves are microsecond-scale.  Each successful edit bumps
+    /// the entry's **revision**; the generation is untouched (that is the
+    /// replacement counter).  After publishing, the document's plan
+    /// artifacts are re-targeted at the new revision: only those whose
+    /// name-bounded candidates intersect the batch's dirty preorder
+    /// interval are dropped, the rest carry their specialized plan,
+    /// pinned strategy and verified-empty shortcut across the edit.
+    ///
+    /// A closure that makes no successful edit (or only failed ones)
+    /// publishes nothing: same revision, no invalidation.  Edit errors are
+    /// the closure's to handle (e.g. return the `Result` as `T`).
+    pub fn mutate_named<T>(
+        &self,
+        name: &str,
+        edit: impl FnOnce(&mut LiveDocument) -> T,
+    ) -> Result<MutationOutcome<T>, CatalogError> {
+        self.mutate_resolved(
+            |docs| docs.by_name.get(name).copied(),
+            CatalogError::UnknownDocument {
+                name: name.to_string(),
+            },
+            edit,
+        )
+    }
+
+    /// [`Catalog::mutate_named`] addressed by stable id instead of name.
+    pub fn mutate<T>(
+        &self,
+        id: DocId,
+        edit: impl FnOnce(&mut LiveDocument) -> T,
+    ) -> Result<MutationOutcome<T>, CatalogError> {
+        self.mutate_resolved(|_| Some(id), CatalogError::UnknownDocId { id }, edit)
+    }
+
+    fn mutate_resolved<T>(
+        &self,
+        resolve: impl FnOnce(&DocStore) -> Option<DocId>,
+        missing: CatalogError,
+        edit: impl FnOnce(&mut LiveDocument) -> T,
+    ) -> Result<MutationOutcome<T>, CatalogError> {
+        let shared = &self.shared;
+        let tick = self.next_tick();
+        let (mut outcome, pending, new_prepared);
+        {
+            let mut docs = shared.docs.write().unwrap();
+            let entry = resolve(&docs)
+                .and_then(|id| docs.entries.get(&id))
+                .cloned()
+                .ok_or(missing)?;
+            let mut live = LiveDocument::resume(Arc::clone(&entry.prepared), entry.revision);
+            let value = edit(&mut live);
+            let Some(batch) = live.take_pending() else {
+                return Ok(MutationOutcome {
+                    value,
+                    doc: entry.id,
+                    generation: entry.generation,
+                    revision: entry.revision,
+                    edits: None,
+                    artifacts_killed: 0,
+                    artifacts_preserved: 0,
+                });
+            };
+            new_prepared = live.snapshot();
+            let next = Arc::new(CatalogEntry {
+                name: entry.name.clone(),
+                id: entry.id,
+                generation: entry.generation,
+                revision: live.revision(),
+                prepared: Arc::clone(&new_prepared),
+                last_used: AtomicU64::new(tick),
+                counters: Arc::clone(&entry.counters),
+            });
+            docs.entries.insert(entry.id, next);
+            // Publish the post-edit index under the id's stable key inside
+            // the critical section — same protocol as `install`, so the
+            // engine's document cache agrees with publication order.
+            shared.engine.cache_keyed(entry.id.as_u64(), &new_prepared);
+            shared.mutations.fetch_add(1, Ordering::Relaxed);
+            outcome = MutationOutcome {
+                value,
+                doc: entry.id,
+                generation: entry.generation,
+                revision: live.revision(),
+                edits: None,
+                artifacts_killed: 0,
+                artifacts_preserved: 0,
+            };
+            pending = (batch, entry.revision);
+        }
+        // Outside the write lock: the re-target sweep takes the artifact
+        // cache's own mutex and may rebase many entries; evaluation must
+        // not wait on it.  An evaluation racing this window may still
+        // insert an artifact under the *old* revision — unreachable by
+        // key afterwards, aged out by LRU; never a wrong result.
+        let (batch, old_revision) = pending;
+        let (killed, preserved) = shared.artifacts.retarget(
+            Retarget {
+                doc: outcome.doc,
+                generation: outcome.generation,
+                old_revision,
+                new_revision: outcome.revision,
+                dirty: batch.dirty,
+                renumbered: batch.renumbered,
+            },
+            &new_prepared,
+        );
+        outcome.edits = Some(batch);
+        outcome.artifacts_killed = killed;
+        outcome.artifacts_preserved = preserved;
+        Ok(outcome)
+    }
+
     /// Resolves a name to the live entry, counting the lookup and
     /// touching LRU recency on a hit.
     fn entry(&self, name: &str) -> Option<Arc<CatalogEntry>> {
@@ -538,6 +703,16 @@ impl Catalog {
             .map(|e| e.generation)
     }
 
+    /// The current in-place edit revision of a name (0 after insert or
+    /// replacement, +1 per successful [`Catalog::mutate_named`] edit).
+    pub fn revision(&self, name: &str) -> Option<u64> {
+        let docs = self.shared.docs.read().unwrap();
+        docs.by_name
+            .get(name)
+            .and_then(|id| docs.entries.get(id))
+            .map(|e| e.revision)
+    }
+
     /// Number of documents currently stored.
     pub fn len(&self) -> usize {
         self.shared.docs.read().unwrap().entries.len()
@@ -562,6 +737,7 @@ impl Catalog {
             name: entry.name.clone(),
             id: entry.id,
             generation: entry.generation,
+            revision: entry.revision,
             node_count: entry.prepared.node_count(),
             evaluations: entry.counters.evaluations.load(Ordering::Relaxed),
             artifact_hits: entry.counters.artifact_hits.load(Ordering::Relaxed),
@@ -593,18 +769,23 @@ impl Catalog {
         let shared = &self.shared;
         shared.evaluations.fetch_add(1, Ordering::Relaxed);
         entry.counters.evaluations.fetch_add(1, Ordering::Relaxed);
-        if let Some(artifact) = shared.artifacts.get(entry.id, entry.generation, query) {
+        if let Some(artifact) =
+            shared
+                .artifacts
+                .get(entry.id, entry.generation, entry.revision, query)
+        {
             entry.counters.artifact_hits.fetch_add(1, Ordering::Relaxed);
             return artifact.run();
         }
         // Miss: compile through the engine's shared plan cache, then
-        // specialize for this document generation.  Both steps happen
+        // specialize for this document snapshot.  Both steps happen
         // outside every lock.
         let plan = shared.engine.compile(query)?;
         let artifact = Arc::new(PlanArtifact::build(
             &plan,
             entry.id,
             entry.generation,
+            entry.revision,
             &entry.prepared,
         ));
         shared.artifacts.insert(query, &artifact);
@@ -681,6 +862,7 @@ impl Catalog {
             capacity: shared.capacity,
             inserts: shared.inserts.load(Ordering::Relaxed),
             replacements: shared.replacements.load(Ordering::Relaxed),
+            mutations: shared.mutations.load(Ordering::Relaxed),
             removals: shared.removals.load(Ordering::Relaxed),
             evictions: shared.evictions.load(Ordering::Relaxed),
             resolve_hits: shared.resolve_hits.load(Ordering::Relaxed),

@@ -297,6 +297,13 @@ impl ShardedPlanCache {
 /// share or replace documents should key by a [`Stable`](DocKey::Stable)
 /// external id instead — that is what the catalog's `DocId`s route through
 /// ([`DocumentCache::get_or_prepare_keyed`]).
+///
+/// The address path is **deprecated for catalog-owned documents**: a
+/// document that some stable key owns must never be re-cached by address
+/// (two keys, two entries, and the address one silently dangles across a
+/// catalog replacement).  Debug builds enforce this — an address-keyed
+/// cache *hit* on a document a stable entry holds panics with a debug
+/// assertion naming the fix (`Engine::prepare_keyed`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DocKey {
     /// The address of the document's [`Arc`] allocation (legacy path; see
@@ -412,16 +419,44 @@ impl DocumentCache {
             let mut inner = self.inner.lock().unwrap();
             inner.tick += 1;
             let tick = inner.tick;
-            if let Some(entry) = inner.entries.get_mut(&key) {
-                if Arc::ptr_eq(entry.prepared.shared_document(), doc) {
+            let same_doc = inner
+                .entries
+                .get(&key)
+                .map(|entry| Arc::ptr_eq(entry.prepared.shared_document(), doc));
+            match same_doc {
+                Some(true) => {
+                    // An address-keyed hit on a document some stable key
+                    // also owns means a caller is naming a catalog-owned
+                    // document by its Arc address — exactly the aliasing
+                    // footgun stable keys exist to retire (the address
+                    // stops meaning this document the moment the catalog
+                    // replaces or drops it).  Reject it loudly in debug
+                    // builds; the release fast path pays nothing.
+                    #[cfg(debug_assertions)]
+                    if matches!(key, DocKey::Address(_)) {
+                        debug_assert!(
+                            !inner
+                                .entries
+                                .iter()
+                                .any(|(k, e)| matches!(k, DocKey::Stable(_))
+                                    && Arc::ptr_eq(e.prepared.shared_document(), doc)),
+                            "document cache: address-keyed hit on a document owned by a \
+                             stable key — prepare catalog-owned documents through their \
+                             stable id (Engine::prepare_keyed), not by Arc address"
+                        );
+                    }
+                    let entry = inner.entries.get_mut(&key).expect("entry checked above");
                     entry.last_used = tick;
                     let prepared = Arc::clone(&entry.prepared);
                     inner.hits += 1;
                     return prepared;
                 }
-                // A stable key whose document was replaced: the stale
-                // index must not be served again.
-                inner.entries.remove(&key);
+                Some(false) => {
+                    // A stable key whose document was replaced: the stale
+                    // index must not be served again.
+                    inner.entries.remove(&key);
+                }
+                None => {}
             }
             inner.misses += 1;
         }
@@ -672,6 +707,22 @@ mod tests {
         // is its own entry.
         cache.get_or_prepare(&v2);
         assert_eq!(cache.stats().len, 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "address-keyed hit")]
+    fn address_keyed_hits_on_stable_owned_documents_are_rejected_in_debug() {
+        use xpeval_dom::parse_xml;
+        let cache = DocumentCache::new(4);
+        let doc = Arc::new(parse_xml("<r/>").unwrap());
+        // The catalog path owns this document under a stable key...
+        cache.get_or_prepare_keyed(9, &doc);
+        // ...so naming it by Arc address is the deprecated footgun: the
+        // first call builds the duplicate entry (a miss), the second is
+        // the address-keyed *hit* the debug assertion rejects.
+        cache.get_or_prepare(&doc);
+        cache.get_or_prepare(&doc);
     }
 
     #[test]

@@ -309,15 +309,20 @@ impl CompiledQuery {
     /// A document-specialized copy of this plan: the strategy the
     /// source-aware cost model would pick on every run
     /// ([`CompiledQuery::strategy_for_source`]) is computed once and pinned
-    /// as the copy's fixed strategy, so running the specialized plan skips
-    /// selectivity probing and strategy selection entirely.
+    /// as the copy's fixed strategy, and every name test is resolved to the
+    /// source's interned [`xpeval_dom::TagId`]s
+    /// ([`crate::steps::resolve_name_tests`]) — running the specialized
+    /// plan skips selectivity probing, strategy selection *and* per-step
+    /// string hashing entirely.
     ///
-    /// The pinned choice is valid for exactly the document it was made
-    /// against (tag counts and node count are baked in); re-specialize when
-    /// the document is replaced.  This is the plan half of a catalog's
-    /// (query × document) artifact.
+    /// The pinned choices are valid for exactly the document it was made
+    /// against (tag counts, node count and tag ids are baked in);
+    /// re-specialize when the document is replaced or structurally edited.
+    /// This is the plan half of a catalog's (query × document) artifact.
     pub fn specialize_for_source<S: AxisSource + ?Sized>(&self, src: &S) -> CompiledQuery {
-        self.clone().with_strategy(self.strategy_for_source(src))
+        let mut specialized = self.clone().with_strategy(self.strategy_for_source(src));
+        crate::steps::resolve_name_tests(&mut specialized.expr, src);
+        specialized
     }
 
     /// Evaluates against a document from the canonical root context.

@@ -336,16 +336,23 @@ impl<'d, S: AxisSource + ?Sized> CoreXPathEvaluator<'d, S> {
     /// into account).
     fn test_set(&self, test: &NodeTest, axis: Axis) -> NodeBitSet {
         // Indexed fast path: a tag-name test on an element-principal axis
-        // is exactly the tag index — no per-node string comparison.
-        if let NodeTest::Name(name) = test {
-            if !axis.principal_is_attribute() {
-                if let Some(elements) = self.src.elements_named(name) {
-                    let mut s = NodeBitSet::empty(self.n);
-                    for &node in elements {
-                        s.insert(node);
-                    }
-                    return s;
+        // is exactly the tag index — no per-node string comparison.  A
+        // pre-resolved test skips even the one string hash.
+        if !axis.principal_is_attribute() {
+            let indexed = match test {
+                NodeTest::Name(name) => Some(self.src.elements_named(name)),
+                NodeTest::Resolved { id: Some(id), .. } => Some(self.src.elements_by_tag(*id)),
+                // Resolved-absent still carries the name so evaluation stays
+                // correct on sources other than the one it resolved against.
+                NodeTest::Resolved { name, id: None } => Some(self.src.elements_named(name)),
+                _ => None,
+            };
+            if let Some(Some(elements)) = indexed {
+                let mut s = NodeBitSet::empty(self.n);
+                for &node in elements {
+                    s.insert(node);
                 }
+                return s;
             }
         }
         let mut s = NodeBitSet::empty(self.n);
@@ -446,10 +453,11 @@ impl<'d, S: AxisSource + ?Sized> CoreXPathEvaluator<'d, S> {
                     }
                     min_start = min_start.min(self.subtree_end_of(u));
                 }
-                if (min_start as usize) < self.n {
-                    // order[k] is the node with preorder number k, so the
-                    // complement range is one slice of the document order.
-                    for &node in &self.order[min_start as usize..] {
+                if min_start != u32::MAX {
+                    // Preorder keys are gapped, so locate the complement
+                    // range in the document-order table by binary search.
+                    let lo = self.order.partition_point(|&m| doc.pre(m) < min_start);
+                    for &node in &self.order[lo..] {
                         if !doc.kind(node).is_attribute() {
                             out.insert(node);
                         }
@@ -469,7 +477,8 @@ impl<'d, S: AxisSource + ?Sized> CoreXPathEvaluator<'d, S> {
                     max_pre = Some(max_pre.map_or(doc.pre(u), |m: u32| m.max(doc.pre(u))));
                 }
                 if let Some(max_pre) = max_pre {
-                    for &node in &self.order[..max_pre as usize] {
+                    let hi = self.order.partition_point(|&m| doc.pre(m) < max_pre);
+                    for &node in &self.order[..hi] {
                         if doc.kind(node).is_attribute() {
                             continue;
                         }
@@ -483,14 +492,16 @@ impl<'d, S: AxisSource + ?Sized> CoreXPathEvaluator<'d, S> {
         out
     }
 
-    /// Exclusive end of `n`'s preorder subtree interval: from the prepared
-    /// index when available, otherwise the preorder number of the first
-    /// node after the subtree (or the universe size when none follows).
+    /// Exclusive end of `n`'s preorder subtree interval in key space: from
+    /// the prepared index when available, otherwise the preorder key of the
+    /// first node after the subtree (no node's key falls in the gap between
+    /// a subtree's exit key and that node, so both bounds separate the same
+    /// node sets; `u32::MAX` when nothing follows).
     fn subtree_end_of(&self, n: NodeId) -> u32 {
         if let Some((_, end)) = self.src.subtree_interval(n) {
             return end;
         }
-        first_following(self.doc, n).map_or(self.n as u32, |f| self.doc.pre(f))
+        first_following(self.doc, n).map_or(u32::MAX, |f| self.doc.pre(f))
     }
 }
 

@@ -157,7 +157,8 @@ pub fn final_step_tag_names(expr: &Expr) -> Option<Vec<&str>> {
                     return None;
                 }
                 match &last.node_test {
-                    xpeval_dom::NodeTest::Name(name) => {
+                    xpeval_dom::NodeTest::Name(name)
+                    | xpeval_dom::NodeTest::Resolved { name, .. } => {
                         out.push(name);
                         Some(())
                     }
@@ -174,6 +175,89 @@ pub fn final_step_tag_names(expr: &Expr) -> Option<Vec<&str>> {
     let mut out = Vec::new();
     collect(expr, &mut out)?;
     Some(out)
+}
+
+/// Resolves every *name* test in `expr` against `src`'s tag index, in
+/// place: `Name("a")` becomes `Resolved { name: "a", id: tag_id }` so that
+/// evaluation looks elements up by interned [`xpeval_dom::TagId`] instead of
+/// hashing the string at every step.  A name absent from the document
+/// resolves to `id: None` (indexed axes then produce the empty set without
+/// touching the index at all).
+///
+/// Idempotent and source-correct: already-resolved tests are re-resolved,
+/// and resolving against a source without a tag index reverts them to plain
+/// `Name` tests.  Attribute-principal steps are left alone — the tag index
+/// covers elements only.
+pub fn resolve_name_tests<S: AxisSource + ?Sized>(expr: &mut Expr, src: &S) {
+    use xpeval_dom::{NodeTest, TagResolution};
+
+    fn resolve_step<S: AxisSource + ?Sized>(step: &mut Step, src: &S) {
+        if !step.axis.principal_is_attribute() {
+            let resolution = match &step.node_test {
+                NodeTest::Name(name) | NodeTest::Resolved { name, .. } => {
+                    Some(src.resolve_tag(name))
+                }
+                _ => None,
+            };
+            match resolution {
+                Some(TagResolution::NoIndex) => {
+                    // No index to resolve against: make sure no stale id
+                    // from a previous source survives.
+                    if let NodeTest::Resolved { name, .. } = &mut step.node_test {
+                        step.node_test = NodeTest::Name(std::mem::take(name));
+                    }
+                }
+                Some(res) => {
+                    let id = match res {
+                        TagResolution::Id(id) => Some(id),
+                        _ => None,
+                    };
+                    let name = match &mut step.node_test {
+                        NodeTest::Name(name) | NodeTest::Resolved { name, .. } => {
+                            std::mem::take(name)
+                        }
+                        _ => unreachable!("resolution is only Some for name tests"),
+                    };
+                    step.node_test = NodeTest::Resolved { name, id };
+                }
+                None => {}
+            }
+        }
+        for pred in &mut step.predicates {
+            walk(pred, src);
+        }
+    }
+
+    fn walk<S: AxisSource + ?Sized>(expr: &mut Expr, src: &S) {
+        match expr {
+            Expr::Path(path) => {
+                for step in &mut path.steps {
+                    resolve_step(step, src);
+                }
+            }
+            Expr::Union(a, b)
+            | Expr::Or(a, b)
+            | Expr::And(a, b)
+            | Expr::Relational {
+                left: a, right: b, ..
+            }
+            | Expr::Arithmetic {
+                left: a, right: b, ..
+            } => {
+                walk(a, src);
+                walk(b, src);
+            }
+            Expr::Not(e) | Expr::Neg(e) => walk(e, src),
+            Expr::FunctionCall { args, .. } => {
+                for arg in args {
+                    walk(arg, src);
+                }
+            }
+            Expr::Number(_) | Expr::Literal(_) => {}
+        }
+    }
+
+    walk(expr, src);
 }
 
 /// The candidate list behind [`result_size_bound`]: every node the query
@@ -403,5 +487,84 @@ mod tests {
         assert!(predicate_holds(&Value::Boolean(true), 99));
         assert!(!predicate_holds(&Value::empty(), 1));
         assert!(predicate_holds(&Value::Str("x".into()), 1));
+    }
+
+    #[test]
+    fn resolve_name_tests_interns_reverts_and_marks_absent() {
+        let d = doc();
+        let prepared = xpeval_dom::PreparedDocument::new(d);
+        let mut expr =
+            parse_query("/r/a[child::b]/nosuch | count(descendant::a) = attribute::a").unwrap();
+        resolve_name_tests(&mut expr, &prepared);
+        // Collect every (name, id) pair of resolved tests.
+        fn resolved(expr: &Expr, out: &mut Vec<(String, bool)>) {
+            match expr {
+                Expr::Path(p) => {
+                    for s in &p.steps {
+                        if let NodeTest::Resolved { name, id } = &s.node_test {
+                            out.push((name.clone(), id.is_some()));
+                        }
+                        for pred in &s.predicates {
+                            resolved(pred, out);
+                        }
+                    }
+                }
+                Expr::Union(a, b)
+                | Expr::Relational {
+                    left: a, right: b, ..
+                } => {
+                    resolved(a, out);
+                    resolved(b, out);
+                }
+                Expr::FunctionCall { args, .. } => {
+                    for a in args {
+                        resolved(a, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut seen = Vec::new();
+        resolved(&expr, &mut seen);
+        // r, a, the predicate's b, nosuch and the count() argument's a are
+        // resolved; the attribute-principal step stays a plain name test.
+        assert_eq!(
+            seen,
+            vec![
+                ("r".to_string(), true),
+                ("a".to_string(), true),
+                ("b".to_string(), true),
+                ("nosuch".to_string(), false),
+                ("a".to_string(), true),
+            ]
+        );
+        // Resolving against an unindexed source reverts to plain names.
+        let plain = doc();
+        resolve_name_tests(&mut expr, &plain);
+        let mut seen = Vec::new();
+        resolved(&expr, &mut seen);
+        assert!(seen.is_empty(), "no Resolved tests may survive: {seen:?}");
+    }
+
+    #[test]
+    fn specialized_plans_evaluate_like_the_original() {
+        let d = parse_xml("<r><a><b/></a><a/><c><b/></c></r>").unwrap();
+        let prepared = xpeval_dom::PreparedDocument::new(d);
+        for q in [
+            "/r/a/b",
+            "descendant::b",
+            "//a[child::b]",
+            "count(//b)",
+            "//a | //c",
+            "//nosuch",
+        ] {
+            let compiled = crate::CompiledQuery::compile(q).unwrap();
+            let specialized = compiled.specialize_for_source(&prepared);
+            assert_eq!(
+                compiled.run_prepared(&prepared).unwrap().value,
+                specialized.run_prepared(&prepared).unwrap().value,
+                "{q}"
+            );
+        }
     }
 }

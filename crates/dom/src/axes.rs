@@ -8,6 +8,7 @@
 //! — see [`Axis::is_reverse`].
 
 use crate::node::{Document, NodeId, NodeKind};
+use crate::prepared::TagId;
 
 /// An XPath axis.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -133,6 +134,21 @@ impl std::fmt::Display for Axis {
 pub enum NodeTest {
     /// A tag name test, e.g. `child::a`.
     Name(String),
+    /// A tag name test pre-resolved against one document's interned tag
+    /// table ([`crate::AxisSource::resolve_tag`]).  Plan specialization
+    /// rewrites element-principal `Name` tests to this form so that
+    /// evaluation against the specializing document never hashes the tag
+    /// string; `id == None` records that the tag was absent at
+    /// specialization time.  The name is kept so the test still matches
+    /// correctly (by string) when the plan is run against an unindexed or
+    /// different source.
+    Resolved {
+        /// The original tag name.
+        name: String,
+        /// The tag's interned id in the specializing document, or `None`
+        /// when no element carried the tag.
+        id: Option<TagId>,
+    },
     /// The star test `*`: matches every node of the axis' principal type.
     Star,
     /// `node()`: matches every node.
@@ -152,6 +168,7 @@ impl std::fmt::Display for NodeTest {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NodeTest::Name(n) => f.write_str(n),
+            NodeTest::Resolved { name, .. } => f.write_str(name),
             NodeTest::Star => f.write_str("*"),
             NodeTest::AnyNode => f.write_str("node()"),
             NodeTest::Text => f.write_str("text()"),
@@ -180,11 +197,14 @@ impl Document {
                     kind.is_element()
                 }
             }
-            NodeTest::Name(name) => {
+            // A resolved test matches by string here: the string form is
+            // what stays correct when the test is evaluated against a
+            // source other than the one it was resolved for.
+            NodeTest::Name(name) | NodeTest::Resolved { name, .. } => {
                 if axis.principal_is_attribute() {
-                    matches!(kind, NodeKind::Attribute { name: n2, .. } if n2 == name)
+                    matches!(kind, NodeKind::Attribute { name: n2, .. } if &**n2 == name)
                 } else {
-                    matches!(kind, NodeKind::Element { name: n2 } if n2 == name)
+                    matches!(kind, NodeKind::Element { name: n2 } if &**n2 == name)
                 }
             }
         }
@@ -213,10 +233,11 @@ impl Document {
 
     /// True if `anc` is an ancestor of `desc` (strict).
     pub fn is_ancestor_of(&self, anc: NodeId, desc: NodeId) -> bool {
-        // Constant-time via pre/post numbering: anc contains desc iff
-        // pre(anc) < pre(desc) and post(desc) < post(anc).  Attribute nodes
-        // are leaves, but their pre/post numbers bracket their owner's
-        // children, so they need an explicit guard.
+        // Constant-time via the pre/post ordering keys: anc contains desc
+        // iff pre(anc) < pre(desc) and post(desc) < post(anc).  Attribute
+        // nodes carry the degenerate interval post == pre, so they can
+        // never contain anything; the explicit guard keeps that invariant
+        // obvious (and robust) rather than load-bearing.
         anc != desc
             && !self.kind(anc).is_attribute()
             && self.pre(anc) < self.pre(desc)
@@ -648,8 +669,8 @@ mod tests {
         let e = doc.first_child(doc.root()).unwrap();
         let c = doc.first_child(e).unwrap();
         let attr = doc.attributes(e)[0];
-        // The attribute's pre/post numbers bracket the children of its
-        // owner, but it is a leaf of the data model.
+        // The attribute's degenerate [pre, post] interval sits between its
+        // owner's entry key and its owner's children; it contains nothing.
         assert!(!doc.is_ancestor_of(attr, c));
         assert!(doc.is_ancestor_of(e, attr));
         assert!(doc.is_ancestor_of(doc.root(), attr));

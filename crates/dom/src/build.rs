@@ -1,10 +1,12 @@
 //! Programmatic construction of [`Document`]s.
 //!
 //! The builder appends nodes in preorder, which means arena order equals
-//! document order; [`DocumentBuilder::finish`] then assigns pre/post numbers
-//! and depths in a single traversal.
+//! document order; [`DocumentBuilder::finish`] then assigns pre/post ordering
+//! keys and depths in a single traversal.  Keys are *gapped* (multiples of
+//! [`KEY_STRIDE`]) so later in-place edits can key inserted nodes between
+//! their neighbours without renumbering the document.
 
-use crate::node::{Document, NodeData, NodeId, NodeKind};
+use crate::node::{Document, NodeData, NodeId, NodeKind, KEY_STRIDE};
 
 /// Builds a [`Document`] by opening and closing elements like a SAX writer.
 ///
@@ -47,12 +49,11 @@ impl DocumentBuilder {
     }
 
     fn push_node(&mut self, kind: NodeKind) -> NodeId {
-        let id = NodeId(self.doc.nodes.len() as u32);
         let parent = self.current();
         let mut data = NodeData::new(kind);
         data.parent = Some(parent);
         data.prev_sibling = self.doc.data(parent).last_child;
-        self.doc.nodes.push(data);
+        let id = self.doc.append(data);
         if let Some(prev) = self.doc.data(id).prev_sibling {
             self.doc.data_mut(prev).next_sibling = Some(id);
         } else {
@@ -65,7 +66,9 @@ impl DocumentBuilder {
     /// Opens a new element as a child of the currently open element.
     /// Returns the id of the new element.
     pub fn open_element(&mut self, name: impl Into<String>) -> NodeId {
-        let id = self.push_node(NodeKind::Element { name: name.into() });
+        let id = self.push_node(NodeKind::Element {
+            name: name.into().into(),
+        });
         self.open.push(id);
         id
     }
@@ -91,7 +94,9 @@ impl DocumentBuilder {
 
     /// Appends a text node to the currently open element.
     pub fn text(&mut self, text: impl Into<String>) -> NodeId {
-        self.push_node(NodeKind::Text { text: text.into() })
+        self.push_node(NodeKind::Text {
+            text: text.into().into(),
+        })
     }
 
     /// Adds an attribute to the currently open element.
@@ -101,14 +106,13 @@ impl DocumentBuilder {
     pub fn attribute(&mut self, name: impl Into<String>, value: impl Into<String>) -> NodeId {
         assert!(self.open.len() > 1, "attribute called with no open element");
         let owner = self.current();
-        let id = NodeId(self.doc.nodes.len() as u32);
         let mut data = NodeData::new(NodeKind::Attribute {
-            name: name.into(),
-            value: value.into(),
+            name: name.into().into(),
+            value: value.into().into(),
         });
         data.parent = Some(owner);
-        self.doc.nodes.push(data);
-        self.doc.data_mut(owner).attributes.push(id);
+        let id = self.doc.append(data);
+        self.doc.data_mut(owner).push_attr(id);
         id
     }
 
@@ -123,7 +127,7 @@ impl DocumentBuilder {
     }
 
     /// Finishes the document: closes any still-open elements and assigns
-    /// document order (pre), postorder (post) and depth to every node.
+    /// ordering keys (pre/post) and depth to every node.
     pub fn finish(mut self) -> Document {
         while self.open.len() > 1 {
             self.open.pop();
@@ -133,31 +137,66 @@ impl DocumentBuilder {
     }
 }
 
-/// Assigns pre/post/depth numbers with an explicit-stack DFS (documents in
-/// the benchmark harness can be deep chains, so recursion is avoided).
-fn finalize(doc: &mut Document) {
-    let mut pre = 0u32;
-    let mut post = 0u32;
+/// Assigns gapped pre/post ordering keys and depths to the whole document.
+pub(crate) fn finalize(doc: &mut Document) {
+    let root = doc.root();
+    assign_subtree_keys(doc, root, 0, KEY_STRIDE, 0);
+}
+
+/// Number of ordering-key slots a subtree consumes: two per non-attribute
+/// node (entry and exit) plus one per attribute.
+pub(crate) fn subtree_key_slots(doc: &Document, top: NodeId) -> u64 {
+    let mut slots = 0u64;
+    let mut stack = vec![top];
+    while let Some(node) = stack.pop() {
+        slots += 2 + doc.data(node).attrs().len() as u64;
+        let mut c = doc.data(node).first_child;
+        while let Some(ch) = c {
+            stack.push(ch);
+            c = doc.data(ch).next_sibling;
+        }
+    }
+    slots
+}
+
+/// Assigns pre/post ordering keys and depths to `top`'s entire subtree with
+/// an explicit-stack DFS (documents in the benchmark harness can be deep
+/// chains, so recursion is avoided).
+///
+/// Keys start at `start_key` and advance by `stride` per slot: a
+/// non-attribute node takes an entry slot (its `pre`) and an exit slot (its
+/// `post`, assigned after its attributes and children so subtrees nest and
+/// children sort before parents); an attribute takes a single slot directly
+/// after its owner's entry (XPath 1.0: attributes precede children in
+/// document order) with `post == pre` — a degenerate interval, since
+/// attributes have no subtree.  Returns the first key after the subtree,
+/// i.e. `start_key + stride * subtree_key_slots(..)`.
+pub(crate) fn assign_subtree_keys(
+    doc: &mut Document,
+    top: NodeId,
+    start_key: u32,
+    stride: u32,
+    top_depth: u32,
+) -> u32 {
+    debug_assert!(stride >= 1, "key stride must be positive");
+    let mut key = start_key;
     // (node, depth, entering?)
-    let mut stack: Vec<(NodeId, u32, bool)> = vec![(doc.root(), 0, true)];
+    let mut stack: Vec<(NodeId, u32, bool)> = vec![(top, top_depth, true)];
     while let Some((node, depth, entering)) = stack.pop() {
         if entering {
             {
-                let d = doc.data_mut(node);
-                d.pre = pre;
-                d.depth = depth;
+                let k = doc.keys_mut(node);
+                k.pre = key;
+                k.depth = depth;
             }
-            pre += 1;
-            // Attribute nodes get document-order positions directly after
-            // their owner element (XPath 1.0: attributes precede children in
-            // document order).
-            let attrs = doc.data(node).attributes.clone();
+            key += stride;
+            let attrs: Vec<NodeId> = doc.data(node).attrs().to_vec();
             for a in attrs {
-                let d = doc.data_mut(a);
-                d.pre = pre;
-                d.depth = depth + 1;
-                d.post = u32::MAX; // patched below: attributes are leaves
-                pre += 1;
+                let k = doc.keys_mut(a);
+                k.pre = key;
+                k.post = key;
+                k.depth = depth + 1;
+                key += stride;
             }
             stack.push((node, depth, false));
             // Push children in reverse so the first child is processed first.
@@ -171,15 +210,11 @@ fn finalize(doc: &mut Document) {
                 stack.push((ch, depth + 1, true));
             }
         } else {
-            let attrs = doc.data(node).attributes.clone();
-            for a in attrs {
-                doc.data_mut(a).post = post;
-                post += 1;
-            }
-            doc.data_mut(node).post = post;
-            post += 1;
+            doc.keys_mut(node).post = key;
+            key += stride;
         }
     }
+    key
 }
 
 #[cfg(test)]
@@ -187,19 +222,23 @@ mod tests {
     use super::*;
 
     #[test]
-    fn preorder_numbers_follow_document_order() {
+    fn preorder_keys_follow_document_order() {
         let mut b = DocumentBuilder::new();
-        b.open_element("a"); // pre 1
-        b.open_element("b"); // pre 2
+        b.open_element("a");
+        b.open_element("b");
         b.close_element();
-        b.open_element("c"); // pre 3
-        b.open_element("d"); // pre 4
+        b.open_element("c");
+        b.open_element("d");
         b.close_element();
         b.close_element();
         b.close_element();
         let doc = b.finish();
+        // Builder arena order is document order; pre keys must be strictly
+        // increasing along it and gapped by the build stride.
         let pres: Vec<u32> = doc.all_nodes().map(|n| doc.pre(n)).collect();
-        assert_eq!(pres, vec![0, 1, 2, 3, 4]);
+        assert!(pres.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(doc.pre(doc.root()), 0);
+        assert!(pres.iter().all(|p| p % KEY_STRIDE == 0));
     }
 
     #[test]
@@ -215,7 +254,13 @@ mod tests {
         assert!(doc.post(bb) < doc.post(a));
         assert!(doc.post(c) < doc.post(a));
         assert!(doc.post(bb) < doc.post(c));
-        assert_eq!(doc.post(doc.root()), (doc.len() - 1) as u32);
+        // The root's exit key is the largest key in the document.
+        assert!(doc.all_nodes().all(|n| doc.post(n) <= doc.post(doc.root())));
+        // Subtree intervals nest: every node lies inside the root's.
+        assert!(doc
+            .all_nodes()
+            .skip(1)
+            .all(|n| doc.pre(n) > doc.pre(doc.root()) && doc.post(n) < doc.post(doc.root())));
     }
 
     #[test]

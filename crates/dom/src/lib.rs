@@ -47,6 +47,7 @@
 
 pub mod axes;
 pub mod build;
+pub mod mutate;
 pub mod node;
 pub mod order;
 pub mod parse;
@@ -56,8 +57,9 @@ pub mod source;
 
 pub use axes::{Axis, NodeTest};
 pub use build::DocumentBuilder;
-pub use node::{Document, NodeId, NodeKind};
+pub use mutate::{EditOutcome, MutationError};
+pub use node::{Document, NodeId, NodeKind, KEY_STRIDE};
 pub use parse::{parse_xml, XmlParseError};
 pub use prepared::{PreparedDocument, TagId};
 pub use serialize::serialize;
-pub use source::{AxisSource, PositionalPick, CHILD_BUCKET_MIN_CHILDREN};
+pub use source::{AxisSource, PositionalPick, TagResolution, CHILD_BUCKET_MIN_CHILDREN};

@@ -1,0 +1,960 @@
+//! In-place document mutation with incremental index maintenance.
+//!
+//! These methods edit a [`PreparedDocument`] *without* re-running the O(|D|)
+//! preparation pass: because pre/post are gapped **ordering keys** (see
+//! [`KEY_STRIDE`]) rather than dense ranks, an inserted subtree can usually
+//! be keyed into the gap between its neighbours, and only the affected
+//! slices of the document-order table, tag lists, per-parent buckets and
+//! position tables are patched.  When a gap is exhausted, the smallest
+//! enclosing ancestor subtree with enough key space is renumbered
+//! ([`renumber`](PreparedDocument::insert_subtree) happens inside the edit);
+//! renumbering preserves relative order, so only keys, the order-table
+//! segment and subtree ends are rewritten — tag lists and position tables
+//! survive untouched.
+//!
+//! Every edit returns an [`EditOutcome`] whose half-open `dirty` preorder
+//! interval bounds the key range the edit touched; the catalog layer uses it
+//! to invalidate only plan artifacts whose candidates intersect the edited
+//! region.  Removal *detaches* arena slots instead of freeing them
+//! ([`Document::is_attached`]), so outstanding [`NodeId`]s never dangle
+//! against the snapshot they came from; later inserts on the same document
+//! recycle detached slots, keeping a long edit stream's arena bounded by
+//! the peak live size.
+
+use crate::build::{assign_subtree_keys, subtree_key_slots};
+use crate::node::{Document, NodeData, NodeId, NodeKind, KEY_STRIDE};
+use crate::prepared::{PreparedDocument, TagEntry, TagId};
+use std::fmt;
+use std::sync::Arc;
+
+/// Why an in-place edit was rejected.  Rejected edits leave the document and
+/// its indexes untouched.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MutationError {
+    /// The target must be an element (or, for inserts, the root).
+    NotAnElement(NodeId),
+    /// The target of [`PreparedDocument::set_text`] is not a text node.
+    NotAText(NodeId),
+    /// The target was detached by an earlier removal.
+    Detached(NodeId),
+    /// The conceptual root cannot be removed or replaced.
+    RootTarget,
+    /// Insert position past the end of the parent's child list.
+    IndexOutOfBounds {
+        /// The parent the insert targeted.
+        parent: NodeId,
+        /// The requested 0-based position.
+        index: usize,
+        /// The parent's current child count.
+        children: usize,
+    },
+    /// The fragment has no nodes under its root (inserts require content;
+    /// use [`PreparedDocument::remove_subtree`] for pure removal).
+    EmptyFragment,
+}
+
+impl fmt::Display for MutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutationError::NotAnElement(n) => write!(f, "node {n} is not an element"),
+            MutationError::NotAText(n) => write!(f, "node {n} is not a text node"),
+            MutationError::Detached(n) => write!(f, "node {n} was detached by an earlier edit"),
+            MutationError::RootTarget => write!(f, "the conceptual root cannot be edited"),
+            MutationError::IndexOutOfBounds {
+                parent,
+                index,
+                children,
+            } => write!(
+                f,
+                "insert index {index} out of bounds for {parent} with {children} children"
+            ),
+            MutationError::EmptyFragment => write!(f, "fragment has no content under its root"),
+        }
+    }
+}
+
+impl std::error::Error for MutationError {}
+
+/// What an in-place edit did, in terms downstream caches understand.
+#[derive(Clone, Debug)]
+pub struct EditOutcome {
+    /// Half-open preorder-key interval `[lo, hi)` covering everything the
+    /// edit touched, in both the pre- and post-edit key spaces (edits that
+    /// renumber report the enclosing renumbered subtree; a full renumber
+    /// reports `(0, u32::MAX)`).  Plan artifacts whose candidates avoid this
+    /// interval in *both* snapshots remain valid.
+    pub dirty: (u32, u32),
+    /// True if the whole document was renumbered (ordering keys outside
+    /// `dirty` changed too — all interval-derived caches must drop).
+    pub renumbered: bool,
+    /// Newly created nodes, in document order.
+    pub inserted: Vec<NodeId>,
+    /// Number of arena slots detached by the edit.
+    pub removed: usize,
+}
+
+impl EditOutcome {
+    /// Folds another edit's outcome into this one (interval union).
+    pub fn merge(self, other: EditOutcome) -> EditOutcome {
+        let mut inserted = self.inserted;
+        inserted.extend(other.inserted);
+        EditOutcome {
+            dirty: (
+                self.dirty.0.min(other.dirty.0),
+                self.dirty.1.max(other.dirty.1),
+            ),
+            renumbered: self.renumbered || other.renumbered,
+            inserted,
+            removed: self.removed + other.removed,
+        }
+    }
+}
+
+/// Pushes `top`'s whole subtree (node, then attributes, then children) onto
+/// `out` in document order.
+fn push_subtree_order(doc: &Document, top: NodeId, out: &mut Vec<NodeId>) {
+    let mut stack = vec![top];
+    while let Some(n) = stack.pop() {
+        out.push(n);
+        out.extend_from_slice(doc.attributes(n));
+        let mut c = doc.last_child(n);
+        while let Some(ch) = c {
+            stack.push(ch);
+            c = doc.prev_sibling(ch);
+        }
+    }
+}
+
+/// Copies every node under `fragment`'s root into `doc`'s arena (two passes:
+/// allocate, then translate links through the id map) and returns the copies
+/// of the fragment root's children, in order.  The copies are fully linked
+/// among themselves but not yet attached to `doc`'s tree.
+fn graft_fragment(doc: &mut Document, fragment: &Document) -> Vec<NodeId> {
+    let mut map: Vec<Option<NodeId>> = vec![None; fragment.len()];
+    for f in fragment.all_nodes() {
+        if f == fragment.root() {
+            continue;
+        }
+        let id = doc.alloc(NodeData::new(fragment.kind(f).clone()));
+        map[f.index()] = Some(id);
+    }
+    for f in fragment.all_nodes() {
+        if f == fragment.root() {
+            continue;
+        }
+        let m = map[f.index()].expect("allocated in the first pass");
+        let tr = |x: Option<NodeId>| x.and_then(|y| map[y.index()]);
+        let attrs: Vec<NodeId> = fragment
+            .attributes(f)
+            .iter()
+            .map(|&a| map[a.index()].expect("attributes allocated too"))
+            .collect();
+        let d = doc.data_mut(m);
+        d.parent = tr(fragment.parent(f));
+        d.first_child = tr(fragment.first_child(f));
+        d.last_child = tr(fragment.last_child(f));
+        d.next_sibling = tr(fragment.next_sibling(f));
+        d.prev_sibling = tr(fragment.prev_sibling(f));
+        d.set_attrs(attrs);
+    }
+    let mut tops = Vec::new();
+    let mut c = fragment.first_child(fragment.root());
+    while let Some(ch) = c {
+        tops.push(map[ch.index()].expect("root children allocated"));
+        c = fragment.next_sibling(ch);
+    }
+    tops
+}
+
+/// Links the grafted `tops` into `doc` as consecutive children of `parent`
+/// between `prev` and `next`.
+fn splice_tops(
+    doc: &mut Document,
+    parent: NodeId,
+    prev: Option<NodeId>,
+    next: Option<NodeId>,
+    tops: &[NodeId],
+) {
+    for &t in tops {
+        doc.data_mut(t).parent = Some(parent);
+    }
+    let first = tops[0];
+    let last = *tops.last().expect("tops is non-empty");
+    doc.data_mut(first).prev_sibling = prev;
+    doc.data_mut(last).next_sibling = next;
+    match prev {
+        Some(p) => doc.data_mut(p).next_sibling = Some(first),
+        None => doc.data_mut(parent).first_child = Some(first),
+    }
+    match next {
+        Some(nx) => doc.data_mut(nx).prev_sibling = Some(last),
+        None => doc.data_mut(parent).last_child = Some(last),
+    }
+}
+
+impl PreparedDocument {
+    /// Inserts the children of `fragment`'s root as children of `parent` at
+    /// 0-based position `index`, patching every index incrementally.
+    ///
+    /// The common case keys the new nodes into the gap between their
+    /// neighbours (cost proportional to the fragment plus the binary-search
+    /// splices); only when the local gap is exhausted is the smallest
+    /// roomy ancestor subtree renumbered.
+    pub fn insert_subtree(
+        &mut self,
+        parent: NodeId,
+        index: usize,
+        fragment: &Document,
+    ) -> Result<EditOutcome, MutationError> {
+        if !self.doc.is_attached(parent) {
+            return Err(MutationError::Detached(parent));
+        }
+        if !(self.doc.kind(parent).is_element() || self.doc.kind(parent).is_root()) {
+            return Err(MutationError::NotAnElement(parent));
+        }
+        if fragment.first_child(fragment.root()).is_none() {
+            return Err(MutationError::EmptyFragment);
+        }
+        let children = self.child_count(parent);
+        if index > children {
+            return Err(MutationError::IndexOutOfBounds {
+                parent,
+                index,
+                children,
+            });
+        }
+        let prev = if index > 0 {
+            self.nth_child(parent, index)
+        } else {
+            None
+        };
+        let next = self.nth_child(parent, index + 1);
+        // Key window strictly between the last key before the insertion
+        // point and the first key after it.  Attributes sort between their
+        // owner's entry key and its first child.
+        let lo = match prev {
+            Some(p) => self.doc.post(p),
+            None => match self.doc.attributes(parent).last() {
+                Some(&a) => self.doc.pre(a),
+                None => self.doc.pre(parent),
+            },
+        };
+        let hi = match next {
+            Some(nx) => self.doc.pre(nx),
+            None => self.doc.post(parent),
+        };
+        let parent_depth = self.doc.depth(parent);
+
+        let (tops, fits_in_gap) = {
+            let doc = Arc::make_mut(&mut self.doc);
+            let tops = graft_fragment(doc, fragment);
+            splice_tops(doc, parent, prev, next, &tops);
+            let slots: u64 = tops.iter().map(|&t| subtree_key_slots(doc, t)).sum();
+            let stride = u64::from(hi - lo) / (slots + 1);
+            if stride >= 1 {
+                let stride = stride as u32;
+                let mut key = lo + stride;
+                for &t in &tops {
+                    key = assign_subtree_keys(doc, t, key, stride, parent_depth + 1);
+                }
+                debug_assert!(key - stride < hi, "keys must stay inside the gap");
+                (tops, true)
+            } else {
+                (tops, false)
+            }
+        };
+        self.grow_tables();
+        let mut inserted = Vec::new();
+        {
+            let doc: &Document = &self.doc;
+            for &t in &tops {
+                push_subtree_order(doc, t, &mut inserted);
+            }
+        }
+        let (dirty, renumbered) = if fits_in_gap {
+            {
+                let doc: &Document = &self.doc;
+                for &m in &inserted {
+                    self.subtree_end[m.index()] = doc.post(m) + 1;
+                }
+                let first_pre = doc.pre(tops[0]);
+                let at = self.order.partition_point(|&m| doc.pre(m) < first_pre);
+                self.order.splice(at..at, inserted.iter().copied());
+            }
+            let last = *tops.last().expect("tops is non-empty");
+            ((self.doc.pre(tops[0]), self.doc.post(last) + 1), false)
+        } else {
+            // Gap exhausted: renumber the smallest roomy ancestor.  This
+            // also rebuilds the order segment and subtree ends, including
+            // the new nodes.
+            self.renumber_neighborhood(parent)
+        };
+        self.patch_inserted_indexes(parent, &inserted);
+        Ok(EditOutcome {
+            dirty,
+            renumbered,
+            inserted,
+            removed: 0,
+        })
+    }
+
+    /// Detaches `n` and its whole subtree (attributes included); the arena
+    /// slots stay behind as dead slots — ids stay valid against snapshots
+    /// taken before the edit — and are recycled by later inserts on this
+    /// document.
+    ///
+    /// Never renumbers: removal only widens gaps.
+    pub fn remove_subtree(&mut self, n: NodeId) -> Result<EditOutcome, MutationError> {
+        if n == self.doc.root() {
+            return Err(MutationError::RootTarget);
+        }
+        if !self.doc.is_attached(n) {
+            return Err(MutationError::Detached(n));
+        }
+        if self.doc.kind(n).is_attribute() {
+            return Err(MutationError::NotAnElement(n));
+        }
+        let (pre_n, end_n) = self.pre_interval(n);
+        let (lo, hi) = {
+            let doc: &Document = &self.doc;
+            (
+                self.order.partition_point(|&m| doc.pre(m) < pre_n),
+                self.order.partition_point(|&m| doc.pre(m) < end_n),
+            )
+        };
+        let removed: Vec<NodeId> = self.order[lo..hi].to_vec();
+        debug_assert_eq!(removed.first().copied(), Some(n));
+        // Drop the removed elements from the tag index while links and keys
+        // are still intact (the by-parent bucket needs the parent's key).
+        {
+            let doc: &Document = &self.doc;
+            for &e in &removed {
+                if let Some(name) = doc.kind(e).element_name() {
+                    let id = self.tag_ids[name];
+                    let pre_e = doc.pre(e);
+                    let entry = &mut self.tags[id.index()];
+                    let at = entry.elements.partition_point(|&x| doc.pre(x) < pre_e);
+                    debug_assert_eq!(entry.elements.get(at).copied(), Some(e));
+                    entry.elements.remove(at);
+                    let ppre = doc.parent(e).map_or(0, |p| doc.pre(p));
+                    let at = entry.by_parent.partition_point(|&x| {
+                        let xpp = doc.parent(x).map_or(0, |p| doc.pre(p));
+                        (xpp, doc.pre(x)) < (ppre, pre_e)
+                    });
+                    debug_assert_eq!(entry.by_parent.get(at).copied(), Some(e));
+                    entry.by_parent.remove(at);
+                }
+            }
+        }
+        let parent = self.doc.parent(n).expect("attached non-root has a parent");
+        let next = self.doc.next_sibling(n);
+        {
+            let doc = Arc::make_mut(&mut self.doc);
+            let prev = doc.data(n).prev_sibling;
+            match prev {
+                Some(p) => doc.data_mut(p).next_sibling = next,
+                None => doc.data_mut(parent).first_child = next,
+            }
+            match next {
+                Some(nx) => doc.data_mut(nx).prev_sibling = prev,
+                None => doc.data_mut(parent).last_child = prev,
+            }
+            for &e in &removed {
+                let d = doc.data_mut(e);
+                d.parent = None;
+                d.first_child = None;
+                d.last_child = None;
+                d.next_sibling = None;
+                d.prev_sibling = None;
+                d.attributes = None;
+            }
+            doc.release(&removed);
+        }
+        self.order.drain(lo..hi);
+        for &e in &removed {
+            self.subtree_end[e.index()] = 0;
+            self.sibling_pos[e.index()] = 0;
+            self.child_count[e.index()] = 0;
+        }
+        self.refresh_child_positions(parent);
+        Ok(EditOutcome {
+            dirty: (pre_n, end_n),
+            renumbered: false,
+            inserted: Vec::new(),
+            removed: removed.len(),
+        })
+    }
+
+    /// Replaces `n`'s subtree with the children of `fragment`'s root, at
+    /// `n`'s position.  An empty fragment makes this a pure removal.
+    pub fn replace_subtree(
+        &mut self,
+        n: NodeId,
+        fragment: &Document,
+    ) -> Result<EditOutcome, MutationError> {
+        if n == self.doc.root() {
+            return Err(MutationError::RootTarget);
+        }
+        if !self.doc.is_attached(n) {
+            return Err(MutationError::Detached(n));
+        }
+        if self.doc.kind(n).is_attribute() {
+            return Err(MutationError::NotAnElement(n));
+        }
+        let parent = self.doc.parent(n).expect("attached non-root has a parent");
+        let index = self.sibling_pos[n.index()] as usize - 1;
+        let rm = self.remove_subtree(n)?;
+        if fragment.first_child(fragment.root()).is_none() {
+            return Ok(rm);
+        }
+        let ins = self.insert_subtree(parent, index, fragment)?;
+        Ok(rm.merge(ins))
+    }
+
+    /// Sets (creating if absent) the attribute `name` on element `el`.
+    ///
+    /// Updating an existing attribute touches no index at all; creating one
+    /// keys the new node into the gap between the element's entry key and
+    /// its first child (renumbering the neighborhood only when that gap is
+    /// exhausted).
+    pub fn set_attribute(
+        &mut self,
+        el: NodeId,
+        name: &str,
+        value: &str,
+    ) -> Result<EditOutcome, MutationError> {
+        if !self.doc.is_attached(el) {
+            return Err(MutationError::Detached(el));
+        }
+        if !self.doc.kind(el).is_element() {
+            return Err(MutationError::NotAnElement(el));
+        }
+        let dirty = (self.doc.pre(el), self.subtree_end[el.index()]);
+        let existing = self
+            .doc
+            .attributes(el)
+            .iter()
+            .copied()
+            .find(|&a| self.doc.name(a) == Some(name));
+        if let Some(a) = existing {
+            let doc = Arc::make_mut(&mut self.doc);
+            doc.data_mut(a).kind = NodeKind::Attribute {
+                name: name.into(),
+                value: value.into(),
+            };
+            return Ok(EditOutcome {
+                dirty,
+                renumbered: false,
+                inserted: Vec::new(),
+                removed: 0,
+            });
+        }
+        // New attribute: its single key must land strictly between the
+        // element's last attribute (or entry key) and its first child (or
+        // exit key).
+        let lo = match self.doc.attributes(el).last() {
+            Some(&a) => self.doc.pre(a),
+            None => self.doc.pre(el),
+        };
+        let hi = match self.doc.first_child(el) {
+            Some(c) => self.doc.pre(c),
+            None => self.doc.post(el),
+        };
+        let depth = self.doc.depth(el) + 1;
+        let attr = {
+            let doc = Arc::make_mut(&mut self.doc);
+            let mut d = NodeData::new(NodeKind::Attribute {
+                name: name.into(),
+                value: value.into(),
+            });
+            d.parent = Some(el);
+            let id = doc.alloc(d);
+            doc.keys_mut(id).depth = depth;
+            doc.data_mut(el).push_attr(id);
+            id
+        };
+        self.grow_tables();
+        if hi - lo >= 2 {
+            let key = lo + (hi - lo) / 2;
+            {
+                let doc = Arc::make_mut(&mut self.doc);
+                let k = doc.keys_mut(attr);
+                k.pre = key;
+                k.post = key;
+            }
+            self.subtree_end[attr.index()] = key + 1;
+            {
+                let doc: &Document = &self.doc;
+                let at = self.order.partition_point(|&m| doc.pre(m) < key);
+                self.order.insert(at, attr);
+            }
+            Ok(EditOutcome {
+                dirty,
+                renumbered: false,
+                inserted: vec![attr],
+                removed: 0,
+            })
+        } else {
+            let (dirty, renumbered) = self.renumber_neighborhood(el);
+            Ok(EditOutcome {
+                dirty,
+                renumbered,
+                inserted: vec![attr],
+                removed: 0,
+            })
+        }
+    }
+
+    /// Replaces the content of text node `t`.  No index changes at all —
+    /// text carries no structure.
+    pub fn set_text(&mut self, t: NodeId, text: &str) -> Result<EditOutcome, MutationError> {
+        if !self.doc.is_attached(t) {
+            return Err(MutationError::Detached(t));
+        }
+        if !self.doc.kind(t).is_text() {
+            return Err(MutationError::NotAText(t));
+        }
+        let dirty = (self.doc.pre(t), self.subtree_end[t.index()]);
+        let doc = Arc::make_mut(&mut self.doc);
+        doc.data_mut(t).kind = NodeKind::Text { text: text.into() };
+        Ok(EditOutcome {
+            dirty,
+            renumbered: false,
+            inserted: Vec::new(),
+            removed: 0,
+        })
+    }
+
+    /// Resizes the slot-indexed tables to the (possibly grown) arena.
+    fn grow_tables(&mut self) {
+        let len = self.doc.len();
+        self.subtree_end.resize(len, 0);
+        self.sibling_pos.resize(len, 0);
+        self.child_count.resize(len, 0);
+    }
+
+    /// Recomputes the sibling positions of `n`'s children and `n`'s child
+    /// count by one walk of the child chain.
+    fn refresh_child_positions(&mut self, n: NodeId) {
+        let mut pos = 0u32;
+        let mut c = self.doc.first_child(n);
+        while let Some(ch) = c {
+            pos += 1;
+            self.sibling_pos[ch.index()] = pos;
+            c = self.doc.next_sibling(ch);
+        }
+        self.child_count[n.index()] = pos;
+    }
+
+    /// Splices freshly keyed `inserted` nodes into the tag index and the
+    /// position tables (`parent` is the splice parent whose child chain
+    /// shifted).
+    fn patch_inserted_indexes(&mut self, parent: NodeId, inserted: &[NodeId]) {
+        {
+            let doc: &Document = &self.doc;
+            for &m in inserted {
+                if let Some(name) = doc.kind(m).element_name() {
+                    let id = match self.tag_ids.get(name) {
+                        Some(&id) => id,
+                        None => {
+                            let id = TagId(self.tags.len() as u32);
+                            self.tags.push(TagEntry {
+                                name: name.to_string(),
+                                elements: Vec::new(),
+                                by_parent: Vec::new(),
+                            });
+                            self.tag_ids.insert(name.to_string(), id);
+                            id
+                        }
+                    };
+                    let pre_m = doc.pre(m);
+                    let entry = &mut self.tags[id.index()];
+                    let at = entry.elements.partition_point(|&e| doc.pre(e) < pre_m);
+                    entry.elements.insert(at, m);
+                    let ppre = doc.parent(m).map_or(0, |p| doc.pre(p));
+                    let at = entry.by_parent.partition_point(|&e| {
+                        let epp = doc.parent(e).map_or(0, |p| doc.pre(p));
+                        (epp, doc.pre(e)) < (ppre, pre_m)
+                    });
+                    entry.by_parent.insert(at, m);
+                }
+            }
+        }
+        self.refresh_child_positions(parent);
+        for &m in inserted {
+            if !self.doc.kind(m).is_attribute() {
+                self.refresh_child_positions(m);
+            }
+        }
+    }
+
+    /// Renumbers the smallest ancestor subtree of `from` (possibly the whole
+    /// document) whose key space can absorb its current slot count with a
+    /// gap-preserving stride, then rebuilds the affected order-table segment
+    /// and subtree ends.  Renumbering preserves relative order, so tag lists,
+    /// per-parent buckets and position tables are untouched.
+    ///
+    /// Returns the dirty interval and whether the *whole* document was
+    /// renumbered (keys outside the interval changed).
+    fn renumber_neighborhood(&mut self, from: NodeId) -> ((u32, u32), bool) {
+        let mut anc = from;
+        loop {
+            let Some(parent) = self.doc.parent(anc) else {
+                // Reached the root: renumber the whole document with the
+                // widest stride the u32 key space allows (capped at the
+                // build stride).
+                {
+                    let doc = Arc::make_mut(&mut self.doc);
+                    let root = doc.root();
+                    let total = subtree_key_slots(doc, root);
+                    let widest = u64::from(u32::MAX) / (total + 1);
+                    assert!(widest >= 1, "ordering-key space exhausted");
+                    let stride = widest.min(u64::from(KEY_STRIDE)) as u32;
+                    assign_subtree_keys(doc, root, 0, stride, 0);
+                }
+                let mut order = Vec::with_capacity(self.order.len());
+                {
+                    let doc: &Document = &self.doc;
+                    push_subtree_order(doc, doc.root(), &mut order);
+                }
+                self.order = order;
+                {
+                    let doc: &Document = &self.doc;
+                    for &m in &self.order {
+                        self.subtree_end[m.index()] = doc.post(m) + 1;
+                    }
+                }
+                return ((0, u32::MAX), true);
+            };
+            let pre = self.doc.pre(anc);
+            let post = self.doc.post(anc);
+            // Interior slots: everything in the subtree except anc's own
+            // entry/exit pair, whose keys stay fixed as anchors.
+            let interior = subtree_key_slots(&self.doc, anc) - 2;
+            let stride = u64::from(post - pre) / (interior + 1);
+            if stride < 2 {
+                // Not enough room to renumber with gaps; climb.
+                anc = parent;
+                continue;
+            }
+            let stride = stride as u32;
+            let anc_depth = self.doc.depth(anc);
+            {
+                let doc = Arc::make_mut(&mut self.doc);
+                let mut key = pre + stride;
+                let attrs: Vec<NodeId> = doc.data(anc).attrs().to_vec();
+                for a in attrs {
+                    let k = doc.keys_mut(a);
+                    k.pre = key;
+                    k.post = key;
+                    k.depth = anc_depth + 1;
+                    key += stride;
+                }
+                let mut children = Vec::new();
+                let mut c = doc.data(anc).first_child;
+                while let Some(ch) = c {
+                    children.push(ch);
+                    c = doc.data(ch).next_sibling;
+                }
+                for ch in children {
+                    key = assign_subtree_keys(doc, ch, key, stride, anc_depth + 1);
+                }
+                debug_assert!(
+                    interior == 0 || key - stride < post,
+                    "interior keys must stay inside the anchor interval"
+                );
+            }
+            // Rebuild the order segment for anc's subtree.  Renumbering
+            // preserves relative order and anc's own keys, so the existing
+            // table is still sorted and the segment is found by its anchors;
+            // the rebuilt segment additionally picks up not-yet-listed nodes.
+            let end = post + 1;
+            let mut seg = Vec::new();
+            {
+                let doc: &Document = &self.doc;
+                push_subtree_order(doc, anc, &mut seg);
+                let p_lo = self.order.partition_point(|&m| doc.pre(m) < pre);
+                let p_hi = self.order.partition_point(|&m| doc.pre(m) < end);
+                self.order.splice(p_lo..p_hi, seg.iter().copied());
+            }
+            {
+                let doc: &Document = &self.doc;
+                for &m in &seg {
+                    self.subtree_end[m.index()] = doc.post(m) + 1;
+                }
+            }
+            return ((pre, end), false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_xml, DocumentBuilder};
+
+    /// Every index the mutated document carries must equal what a fresh
+    /// preparation of the same (already edited) document would build.
+    fn assert_matches_rebuild(p: &PreparedDocument) {
+        let fresh = PreparedDocument::new(Arc::clone(p.shared_document()));
+        assert_eq!(p.order, fresh.order, "document-order table");
+        for &n in &p.order {
+            assert_eq!(
+                p.subtree_end[n.index()],
+                fresh.subtree_end[n.index()],
+                "subtree_end of {n:?}"
+            );
+            assert_eq!(
+                p.sibling_pos[n.index()],
+                fresh.sibling_pos[n.index()],
+                "sibling_pos of {n:?}"
+            );
+            assert_eq!(
+                p.child_count[n.index()],
+                fresh.child_count[n.index()],
+                "child_count of {n:?}"
+            );
+        }
+        for entry in &p.tags {
+            assert_eq!(
+                entry.elements.as_slice(),
+                fresh.elements_named(&entry.name),
+                "tag list {}",
+                entry.name
+            );
+            let fresh_bp = fresh
+                .tag_id(&entry.name)
+                .map(|id| fresh.tags[id.index()].by_parent.as_slice())
+                .unwrap_or(&[]);
+            assert_eq!(
+                entry.by_parent.as_slice(),
+                fresh_bp,
+                "by_parent {}",
+                entry.name
+            );
+        }
+        for name in fresh.tag_names() {
+            assert!(p.tag_ids.contains_key(name), "missing tag {name}");
+        }
+    }
+
+    fn fragment(xml: &str) -> Document {
+        parse_xml(xml).unwrap()
+    }
+
+    fn sample() -> PreparedDocument {
+        parse_xml(r#"<r><a k="1"><b/><c>t</c></a><b/><c><a/></c></r>"#)
+            .unwrap()
+            .prepare()
+    }
+
+    #[test]
+    fn insert_into_gap_matches_rebuild() {
+        let mut p = sample();
+        let r = p.first_child(p.root()).unwrap();
+        let out = p
+            .insert_subtree(r, 1, &fragment("<x><y/>text</x>"))
+            .unwrap();
+        assert!(!out.renumbered);
+        assert_eq!(out.inserted.len(), 3);
+        assert_eq!(out.removed, 0);
+        // The dirty interval covers exactly the inserted keys.
+        for &m in &out.inserted {
+            assert!(p.pre(m) >= out.dirty.0 && p.pre(m) < out.dirty.1);
+        }
+        assert_eq!(p.elements_named("x").len(), 1);
+        assert_eq!(p.elements_named("y").len(), 1);
+        assert_matches_rebuild(&p);
+    }
+
+    #[test]
+    fn insert_at_every_position_matches_rebuild() {
+        for index in 0..=3 {
+            let mut p = sample();
+            let r = p.first_child(p.root()).unwrap();
+            p.insert_subtree(r, index, &fragment("<x/>")).unwrap();
+            let x = p.elements_named("x")[0];
+            assert_eq!(p.sibling_position(x), index + 1);
+            assert_matches_rebuild(&p);
+        }
+    }
+
+    #[test]
+    fn repeated_inserts_exhaust_the_gap_and_renumber() {
+        let mut p = sample();
+        let r = p.first_child(p.root()).unwrap();
+        let mut renumbered_any = false;
+        // Repeatedly insert at position 1: the gap between fixed neighbours
+        // shrinks until a renumber must fire.
+        for _ in 0..40 {
+            let out = p.insert_subtree(r, 1, &fragment("<z/>")).unwrap();
+            renumbered_any |= out.renumbered || out.dirty.1 - out.dirty.0 > 64;
+            assert_matches_rebuild(&p);
+        }
+        assert_eq!(p.elements_named("z").len(), 40);
+        assert!(renumbered_any, "40 same-spot inserts must exhaust a gap");
+    }
+
+    #[test]
+    fn remove_matches_rebuild_and_detaches() {
+        let mut p = sample();
+        let r = p.first_child(p.root()).unwrap();
+        let a = p.children_named(r, "a")[0];
+        let out = p.remove_subtree(a).unwrap();
+        assert!(!out.renumbered);
+        assert_eq!(out.removed, 5); // a, @k, b, c, text
+        assert!(!p.document().is_attached(a));
+        assert_eq!(p.elements_named("a").len(), 1);
+        assert_eq!(p.child_count(r), 2);
+        assert_matches_rebuild(&p);
+        // Editing a detached node is rejected.
+        assert_eq!(p.remove_subtree(a).unwrap_err(), MutationError::Detached(a));
+    }
+
+    #[test]
+    fn replace_matches_rebuild() {
+        let mut p = sample();
+        let r = p.first_child(p.root()).unwrap();
+        let a = p.children_named(r, "a")[0];
+        // Fragments may carry several top-level nodes; build one directly.
+        let mut b = DocumentBuilder::new();
+        b.leaf_element("n1");
+        b.open_element("n2");
+        b.leaf_element("n3");
+        b.close_element();
+        let out = p.replace_subtree(a, &b.finish()).unwrap();
+        assert_eq!(out.removed, 5);
+        assert_eq!(out.inserted.len(), 3);
+        assert!(p.elements_named("a").len() == 1);
+        let n1 = p.elements_named("n1")[0];
+        assert_eq!(p.sibling_position(n1), 1);
+        // One child replaced by two fragment tops: 3 - 1 + 2.
+        assert_eq!(p.child_count(r), 4);
+        assert_matches_rebuild(&p);
+        // Empty fragment means pure removal.
+        let b = p.children_named(r, "b")[0];
+        let out = p.replace_subtree(b, &fragment("<e/>")).unwrap();
+        assert_eq!(out.inserted.len(), 1);
+        let e = p.elements_named("e")[0];
+        let out = p
+            .replace_subtree(e, &DocumentBuilder::new().finish())
+            .unwrap();
+        assert_eq!(out.inserted.len(), 0);
+        assert!(p.elements_named("e").is_empty());
+        assert_matches_rebuild(&p);
+    }
+
+    #[test]
+    fn set_attribute_update_create_and_renumber() {
+        let mut p = sample();
+        let r = p.first_child(p.root()).unwrap();
+        let a = p.children_named(r, "a")[0];
+        // Update in place: no new node, no index change.
+        let before = p.order().len();
+        let out = p.set_attribute(a, "k", "2").unwrap();
+        assert!(out.inserted.is_empty());
+        assert_eq!(p.attribute_value(a, "k"), Some("2"));
+        assert_eq!(p.order().len(), before);
+        assert_matches_rebuild(&p);
+        // Create new attributes until the attribute gap is exhausted.
+        for i in 0..20 {
+            let out = p.set_attribute(a, &format!("n{i}"), "v").unwrap();
+            assert_eq!(out.inserted.len(), 1);
+            assert_matches_rebuild(&p);
+        }
+        assert_eq!(p.attribute_value(a, "n19"), Some("v"));
+        assert_eq!(p.attributes(a).len(), 21);
+    }
+
+    #[test]
+    fn set_text_changes_string_value_only() {
+        let mut p = sample();
+        let c = p.elements_named("c")[0];
+        let t = p.first_child(c).unwrap();
+        let out = p.set_text(t, "edited").unwrap();
+        assert!(out.inserted.is_empty());
+        assert_eq!(out.removed, 0);
+        assert_eq!(p.string_value(c), "edited");
+        assert_matches_rebuild(&p);
+        assert_eq!(p.set_text(c, "no").unwrap_err(), MutationError::NotAText(c));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut p = sample();
+        let r = p.first_child(p.root()).unwrap();
+        let a = p.children_named(r, "a")[0];
+        let attr = p.attributes(a)[0];
+        let frag = fragment("<x/>");
+        assert_eq!(
+            p.remove_subtree(p.root()).unwrap_err(),
+            MutationError::RootTarget
+        );
+        assert_eq!(
+            p.replace_subtree(p.root(), &frag).unwrap_err(),
+            MutationError::RootTarget
+        );
+        assert_eq!(
+            p.remove_subtree(attr).unwrap_err(),
+            MutationError::NotAnElement(attr)
+        );
+        assert_eq!(
+            p.insert_subtree(attr, 0, &frag).unwrap_err(),
+            MutationError::NotAnElement(attr)
+        );
+        assert_eq!(
+            p.insert_subtree(r, 99, &frag).unwrap_err(),
+            MutationError::IndexOutOfBounds {
+                parent: r,
+                index: 99,
+                children: 3
+            }
+        );
+        assert_eq!(
+            p.insert_subtree(r, 0, &DocumentBuilder::new().finish())
+                .unwrap_err(),
+            MutationError::EmptyFragment
+        );
+        assert_eq!(
+            p.set_attribute(attr, "x", "y").unwrap_err(),
+            MutationError::NotAnElement(attr)
+        );
+        // Errors leave everything untouched.
+        assert_matches_rebuild(&p);
+    }
+
+    #[test]
+    fn replace_stream_recycles_detached_slots() {
+        // A sustained replace loop must not grow the arena: every replace
+        // detaches one subtree and grafts an equal-sized one, and the graft
+        // reuses the slots the removal released.  Without recycling, the
+        // per-edit copy-on-write cost would grow with the edit count.
+        let mut p = sample();
+        let frag = fragment(r#"<a k="2"><b/><c>u</c></a>"#);
+        let len = p.document().len();
+        for _ in 0..100 {
+            let target = p.elements_named("a")[0];
+            p.replace_subtree(target, &frag).unwrap();
+        }
+        assert_eq!(p.document().len(), len, "arena must stay bounded");
+        assert_matches_rebuild(&p);
+    }
+
+    #[test]
+    fn edit_storm_stays_consistent() {
+        let mut p = sample();
+        let r = p.first_child(p.root()).unwrap();
+        for i in 0..30 {
+            let frag = fragment(&format!("<s{}><u/></s{}>", i % 5, i % 5));
+            let k = i % (p.child_count(r) + 1);
+            p.insert_subtree(r, k, &frag).unwrap();
+            if p.child_count(r) > 4 {
+                let victim = p.nth_child(r, 2).unwrap();
+                if p.kind(victim).is_element() {
+                    p.remove_subtree(victim).unwrap();
+                }
+            }
+            assert_matches_rebuild(&p);
+        }
+    }
+}

@@ -6,6 +6,16 @@
 //! without allocation.
 
 use std::fmt;
+use std::sync::Arc;
+
+/// Spacing between consecutive ordering keys on a fresh build.
+///
+/// `pre`/`post` are *ordering keys*, not dense ranks: a freshly finalized
+/// document assigns keys in multiples of this stride, leaving gaps that
+/// in-place edits (the `xpeval-live` crate) use to key freshly inserted
+/// nodes without renumbering the rest of the document.  Code must compare
+/// keys, never index by them.
+pub const KEY_STRIDE: u32 = 8;
 
 /// Identifier of a node within a [`Document`].
 ///
@@ -49,19 +59,23 @@ impl fmt::Display for NodeId {
 /// The paper (and Core XPath) only needs element nodes and the conceptual
 /// root; text and attribute nodes are included so that the full-XPath string
 /// functions and the `attribute` axis have something to operate on.
+/// Strings are held as `Arc<str>` so that cloning a [`Document`] — the
+/// copy-on-write step behind every in-place mutation — bumps reference
+/// counts instead of reallocating every name, text and attribute value in
+/// the tree.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum NodeKind {
     /// The conceptual root node of the document (parent of the document
     /// element).  Exactly one per document, always [`Document::root`].
     Root,
     /// An element node with a tag name.
-    Element { name: String },
+    Element { name: Arc<str> },
     /// A text node.
-    Text { text: String },
+    Text { text: Arc<str> },
     /// An attribute node.  Attribute nodes have their owner element as
     /// parent but are not children of it (they are reached only through the
     /// `attribute` axis), exactly as in the XPath 1.0 data model.
-    Attribute { name: String, value: String },
+    Attribute { name: Arc<str>, value: Arc<str> },
 }
 
 impl NodeKind {
@@ -103,17 +117,55 @@ pub(crate) struct NodeData {
     pub(crate) last_child: Option<NodeId>,
     pub(crate) next_sibling: Option<NodeId>,
     pub(crate) prev_sibling: Option<NodeId>,
-    /// Attribute nodes owned by this element (empty for non-elements).
-    pub(crate) attributes: Vec<NodeId>,
-    /// Preorder (document order) number, assigned by [`Document::finalize`].
+    /// Attribute nodes owned by this element (`None` for non-elements and
+    /// attribute-less elements).  Shared behind an `Arc` so that the
+    /// copy-on-write `Document` clone taken before every in-place mutation
+    /// bumps one reference count per element instead of reallocating each
+    /// per-element vector; only an edit that changes *this* element's
+    /// attribute list pays for the copy.
+    pub(crate) attributes: Option<Arc<Vec<NodeId>>>,
+}
+
+/// A node's ordering keys, stored in a flat side table
+/// ([`Document::keys`]) rather than in the arena record: they are read in
+/// the hottest loops of document-order comparison and interval scans,
+/// where the flat table is one dependent load instead of the chunked
+/// arena's two — and being plain `u32`s they clone by `memcpy`, so the
+/// copy-on-write `Document` clone stays cheap.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct NodeKeys {
+    /// Preorder ordering key (document order), assigned by the builder's
+    /// finalization pass.  Gapped — see [`KEY_STRIDE`].
     pub(crate) pre: u32,
-    /// Postorder number, assigned by [`Document::finalize`].
+    /// Postorder ordering key: every node's subtree spans the key interval
+    /// `[pre, post]`, intervals nest like the tree does, and children sort
+    /// before parents.  Gapped like `pre`.
     pub(crate) post: u32,
     /// Depth (root = 0).
     pub(crate) depth: u32,
 }
 
 impl NodeData {
+    /// The element's attribute nodes (empty slice when it has none).
+    #[inline]
+    pub(crate) fn attrs(&self) -> &[NodeId] {
+        self.attributes.as_deref().map_or(&[], Vec::as_slice)
+    }
+
+    /// Appends an attribute node, copying the list only if it is shared.
+    pub(crate) fn push_attr(&mut self, id: NodeId) {
+        Arc::make_mut(self.attributes.get_or_insert_with(Default::default)).push(id);
+    }
+
+    /// Replaces the attribute list wholesale.
+    pub(crate) fn set_attrs(&mut self, attrs: Vec<NodeId>) {
+        self.attributes = if attrs.is_empty() {
+            None
+        } else {
+            Some(Arc::new(attrs))
+        };
+    }
+
     pub(crate) fn new(kind: NodeKind) -> Self {
         NodeData {
             kind,
@@ -122,30 +174,140 @@ impl NodeData {
             last_child: None,
             next_sibling: None,
             prev_sibling: None,
-            attributes: Vec::new(),
-            pre: 0,
-            post: 0,
-            depth: 0,
+            attributes: None,
         }
     }
 }
 
 /// An XML document: an arena of nodes rooted at the conceptual root node.
 ///
-/// Documents are immutable once built (via [`crate::DocumentBuilder`] or
-/// [`crate::parse_xml`]); all evaluators in the workspace share `&Document`
-/// references freely, including across threads.
+/// Documents are built via [`crate::DocumentBuilder`] or [`crate::parse_xml`]
+/// and are immutable through this type's API; all evaluators in the workspace
+/// share `&Document` references freely, including across threads.  In-place
+/// edits happen only through [`crate::PreparedDocument`]'s mutation methods
+/// (exposed by the `xpeval-live` crate), which may leave *detached* arena
+/// slots behind after a removal: [`Document::len`] counts slots, while
+/// [`Document::all_nodes`] yields only attached nodes.  Detached slots are
+/// recycled by later inserts on the same document (so a long edit stream
+/// keeps the arena bounded by the peak live size); snapshots taken before
+/// the removal are copy-on-write and keep seeing the original node.
 #[derive(Clone, Debug)]
 pub struct Document {
-    pub(crate) nodes: Vec<NodeData>,
+    pub(crate) nodes: Arena,
+    /// Ordering keys, parallel to the arena — see [`NodeKeys`] for why
+    /// they live outside it.
+    keys: Vec<NodeKeys>,
+    /// Slots detached by removals, available for reuse by the next graft.
+    free: Vec<NodeId>,
+}
+
+/// Chunk granularity of the node arena: 512 nodes per chunk.
+const CHUNK_BITS: usize = 9;
+pub(crate) const CHUNK_SIZE: usize = 1 << CHUNK_BITS;
+
+/// The node store behind [`Document`]: fixed-size *sealed* chunks shared
+/// behind `Arc`s, plus one plain, exclusively-owned *tail* chunk that
+/// absorbs appends.
+///
+/// This is the storage layer of copy-on-write mutation.  Cloning a
+/// `Document` — the step every in-place edit pays so that concurrent
+/// readers keep an immutable pre-edit snapshot — bumps one reference
+/// count per sealed chunk (a few dozen for even large documents) and
+/// copies only the short tail, instead of deep-copying every node record.
+/// A mutable access then un-shares only the chunk it lands in, so an edit
+/// copies the local neighborhood it actually touches, in proportion to
+/// the edit, not to the document.
+///
+/// Sealed chunks are `Arc<[NodeData]>` — the records live inline next to
+/// the refcount, so a read is two dependent loads (chunk table, then
+/// node), not three as with an `Arc<Vec<_>>`.  That matters: every link
+/// in an unprepared tree walk is one of these loads.  Each sealed chunk
+/// holds exactly [`CHUNK_SIZE`] nodes and the tail holds the rest, which
+/// makes slot lookup a shift, a mask and one predictable branch.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Arena {
+    sealed: Vec<Arc<[NodeData]>>,
+    tail: Vec<NodeData>,
+}
+
+impl Arena {
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        (self.sealed.len() << CHUNK_BITS) + self.tail.len()
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> &NodeData {
+        let c = i >> CHUNK_BITS;
+        match self.sealed.get(c) {
+            Some(chunk) => &chunk[i & (CHUNK_SIZE - 1)],
+            None => &self.tail[i & (CHUNK_SIZE - 1)],
+        }
+    }
+
+    pub(crate) fn get_mut(&mut self, i: usize) -> &mut NodeData {
+        let c = i >> CHUNK_BITS;
+        match self.sealed.get_mut(c) {
+            Some(chunk) => {
+                // Copy-on-write by hand: `Arc::make_mut` does not exist
+                // for slices, so un-share the chunk once and then hand out
+                // the unique borrow.
+                if Arc::get_mut(chunk).is_none() {
+                    *chunk = chunk.iter().cloned().collect();
+                }
+                &mut Arc::get_mut(chunk).expect("uniquely owned after un-sharing")
+                    [i & (CHUNK_SIZE - 1)]
+            }
+            None => &mut self.tail[i & (CHUNK_SIZE - 1)],
+        }
+    }
+
+    pub(crate) fn push(&mut self, data: NodeData) {
+        self.tail.push(data);
+        if self.tail.len() == CHUNK_SIZE {
+            self.sealed.push(self.tail.drain(..).collect());
+        }
+    }
 }
 
 impl Document {
     /// Creates an empty document containing only the conceptual root node.
     pub(crate) fn empty() -> Self {
+        let mut nodes = Arena::default();
+        nodes.push(NodeData::new(NodeKind::Root));
         Document {
-            nodes: vec![NodeData::new(NodeKind::Root)],
+            nodes,
+            keys: vec![NodeKeys::default()],
+            free: Vec::new(),
         }
+    }
+
+    /// Appends one node record (and its zeroed key slot) to the arena —
+    /// the builder's append path; edits allocate via [`Document::alloc`].
+    pub(crate) fn append(&mut self, data: NodeData) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(data);
+        self.keys.push(NodeKeys::default());
+        id
+    }
+
+    /// Allocates one arena slot, preferring a slot detached by an earlier
+    /// removal over growing the arena.
+    pub(crate) fn alloc(&mut self, data: NodeData) -> NodeId {
+        match self.free.pop() {
+            Some(id) => {
+                *self.nodes.get_mut(id.index()) = data;
+                self.keys[id.index()] = NodeKeys::default();
+                id
+            }
+            None => self.append(data),
+        }
+    }
+
+    /// Marks detached slots as reusable.  Callers must have unlinked them
+    /// from the tree first; the slots' contents are overwritten on reuse.
+    pub(crate) fn release(&mut self, ids: &[NodeId]) {
+        self.free.extend_from_slice(ids);
     }
 
     /// The conceptual root node of the document.
@@ -154,7 +316,9 @@ impl Document {
         NodeId(0)
     }
 
-    /// Total number of nodes (root + elements + text + attributes).
+    /// Total number of arena slots (root + elements + text + attributes,
+    /// including slots detached by in-place removals).  Bitset-based
+    /// evaluators size their sets from this.
     #[inline]
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -166,11 +330,23 @@ impl Document {
         self.nodes.len() <= 1
     }
 
-    /// Iterator over every node id in arena order (which equals document
-    /// order after the builder's finalization pass since the builder
-    /// appends in preorder).
+    /// True if `id` is attached to the tree (the root, or any node with a
+    /// parent link).  Nodes detached by an in-place removal stay in the
+    /// arena as dead slots — ids never dangle against the snapshot they
+    /// came from — until a later insert on the same document recycles them.
+    #[inline]
+    pub fn is_attached(&self, id: NodeId) -> bool {
+        id.0 == 0 || self.data(id).parent.is_some()
+    }
+
+    /// Iterator over every attached node id in arena order (which equals
+    /// document order for freshly built documents since the builder appends
+    /// in preorder; after in-place edits, sort by [`Document::pre`] when
+    /// order matters).
     pub fn all_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len() as u32).map(NodeId)
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(move |&n| self.is_attached(n))
     }
 
     /// Iterator over every element node id in document order.
@@ -180,12 +356,12 @@ impl Document {
 
     #[inline]
     pub(crate) fn data(&self, id: NodeId) -> &NodeData {
-        &self.nodes[id.index()]
+        self.nodes.get(id.index())
     }
 
     #[inline]
     pub(crate) fn data_mut(&mut self, id: NodeId) -> &mut NodeData {
-        &mut self.nodes[id.index()]
+        self.nodes.get_mut(id.index())
     }
 
     /// The kind of a node.
@@ -198,8 +374,8 @@ impl Document {
     #[inline]
     pub fn name(&self, id: NodeId) -> Option<&str> {
         match self.kind(id) {
-            NodeKind::Element { name } => Some(name),
-            NodeKind::Attribute { name, .. } => Some(name),
+            NodeKind::Element { name } => Some(&**name),
+            NodeKind::Attribute { name, .. } => Some(&**name),
             _ => None,
         }
     }
@@ -237,7 +413,7 @@ impl Document {
     /// Attribute nodes of an element (empty slice for non-elements).
     #[inline]
     pub fn attributes(&self, id: NodeId) -> &[NodeId] {
-        &self.data(id).attributes
+        self.data(id).attrs()
     }
 
     /// Looks up the value of the attribute named `name` on element `id`.
@@ -245,7 +421,7 @@ impl Document {
         self.attributes(id)
             .iter()
             .find_map(|&a| match self.kind(a) {
-                NodeKind::Attribute { name: n, value } if n == name => Some(value.as_str()),
+                NodeKind::Attribute { name: n, value } if &**n == name => Some(&**value),
                 _ => None,
             })
     }
@@ -253,19 +429,30 @@ impl Document {
     /// Depth of the node (the root has depth 0, the document element 1).
     #[inline]
     pub fn depth(&self, id: NodeId) -> u32 {
-        self.data(id).depth
+        self.keys[id.index()].depth
     }
 
-    /// Preorder (document order) number of the node.
+    /// Preorder ordering key of the node: comparing two nodes' keys compares
+    /// their document order.  Keys are gapped (see [`KEY_STRIDE`]) — compare
+    /// them, never index by them.
     #[inline]
     pub fn pre(&self, id: NodeId) -> u32 {
-        self.data(id).pre
+        self.keys[id.index()].pre
     }
 
-    /// Postorder number of the node.
+    /// Postorder ordering key of the node: a node's subtree spans the key
+    /// interval `[pre, post]`, intervals nest like the tree, and children's
+    /// exit keys sort before their parent's.  Attributes have `post == pre`.
     #[inline]
     pub fn post(&self, id: NodeId) -> u32 {
-        self.data(id).post
+        self.keys[id.index()].post
+    }
+
+    /// Mutable access to a node's ordering keys (builder finalization and
+    /// in-place edits only).
+    #[inline]
+    pub(crate) fn keys_mut(&mut self, id: NodeId) -> &mut NodeKeys {
+        &mut self.keys[id.index()]
     }
 
     /// The *string value* of a node per the XPath 1.0 data model:
@@ -273,8 +460,8 @@ impl Document {
     /// itself for text nodes and the attribute value for attribute nodes.
     pub fn string_value(&self, id: NodeId) -> String {
         match self.kind(id) {
-            NodeKind::Text { text } => text.clone(),
-            NodeKind::Attribute { value, .. } => value.clone(),
+            NodeKind::Text { text } => text.to_string(),
+            NodeKind::Attribute { value, .. } => value.to_string(),
             NodeKind::Root | NodeKind::Element { .. } => {
                 let mut out = String::new();
                 self.collect_text(id, &mut out);

@@ -70,7 +70,7 @@ use std::sync::Arc;
 /// exact generation, when the document lives in a catalog): the same tag
 /// can have different ids in different documents.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct TagId(u32);
+pub struct TagId(pub(crate) u32);
 
 impl TagId {
     /// The dense index of this id in the document's tag table.
@@ -81,16 +81,16 @@ impl TagId {
 }
 
 /// Per-tag index data: the element list in document order and the same list
-/// re-sorted by parent preorder number (the `child::tag` buckets).
+/// re-sorted by parent preorder key (the `child::tag` buckets).
 #[derive(Clone, Debug)]
-struct TagEntry {
-    name: String,
+pub(crate) struct TagEntry {
+    pub(crate) name: String,
     /// Elements carrying this tag, in document order.
-    elements: Vec<NodeId>,
-    /// The same elements sorted by the preorder number of their *parent*
-    /// (ties broken by own preorder number), so the children of one parent
+    pub(crate) elements: Vec<NodeId>,
+    /// The same elements sorted by the preorder key of their *parent*
+    /// (ties broken by own preorder key), so the children of one parent
     /// form a contiguous bucket, internally in document order.
-    by_parent: Vec<NodeId>,
+    pub(crate) by_parent: Vec<NodeId>,
 }
 
 /// A [`Document`] plus the axis indexes described in the
@@ -103,26 +103,28 @@ struct TagEntry {
 /// a compiled query plan serves concurrent documents.
 #[derive(Clone, Debug)]
 pub struct PreparedDocument {
-    doc: Arc<Document>,
-    /// All nodes in document order; `order[k]` is the node with preorder
-    /// number `k` (preorder numbers are dense, so this is the inverse of
-    /// [`Document::pre`]).
-    order: Vec<NodeId>,
-    /// Exclusive end of each node's subtree interval in preorder numbers:
+    pub(crate) doc: Arc<Document>,
+    /// All attached nodes in document order (ascending preorder key).
+    /// Preorder keys are gapped, so this is a sorted listing to binary
+    /// search, not an array indexed by key.
+    pub(crate) order: Vec<NodeId>,
+    /// Exclusive end of each node's subtree interval in preorder-key space:
     /// the subtree of `n` (including `n`, its attributes and all
-    /// descendants with their attributes) is exactly the nodes with
-    /// preorder number in `pre(n)..subtree_end[n]`.
-    subtree_end: Vec<u32>,
+    /// descendants with their attributes) is exactly the nodes whose
+    /// preorder key lies in `pre(n)..subtree_end[n]`.  Derived from the
+    /// exit keys: `post(n) + 1` for every node (attributes carry
+    /// `post == pre`).  Indexed by arena slot.
+    pub(crate) subtree_end: Vec<u32>,
     /// Element tag name → interned id; the id indexes `tags`.
-    tag_ids: HashMap<String, TagId>,
+    pub(crate) tag_ids: HashMap<String, TagId>,
     /// Per-tag index data, indexed by [`TagId`]; ids are assigned in
     /// first-occurrence document order.
-    tags: Vec<TagEntry>,
+    pub(crate) tags: Vec<TagEntry>,
     /// 1-based position of each node among its parent's children
     /// (0 for the root and for attribute nodes, which are not children).
-    sibling_pos: Vec<u32>,
+    pub(crate) sibling_pos: Vec<u32>,
     /// Number of children of each node (attributes are not children).
-    child_count: Vec<u32>,
+    pub(crate) child_count: Vec<u32>,
 }
 
 impl PreparedDocument {
@@ -134,24 +136,34 @@ impl PreparedDocument {
         let doc = doc.into();
         let len = doc.len();
 
-        // Document-order table: preorder numbers are dense in 0..len.
-        let mut order = vec![NodeId::from_index(0); len];
-        for n in doc.all_nodes() {
-            order[doc.pre(n) as usize] = n;
-        }
-
-        // Subtree sizes by accumulating each node into its parent in
-        // reverse document order (children and attributes precede their
-        // parent there).
-        let mut size = vec![1u32; len];
-        for &n in order.iter().rev() {
-            if let Some(p) = doc.parent(n) {
-                size[p.index()] += size[n.index()];
+        // Document-order table via a link DFS (node, then attributes, then
+        // children).  Preorder keys are gapped, so the table is built from
+        // the tree structure rather than by indexing with key values; this
+        // also skips arena slots detached by earlier in-place removals.
+        let mut order = Vec::with_capacity(len);
+        let mut stack = vec![doc.root()];
+        while let Some(n) = stack.pop() {
+            order.push(n);
+            order.extend_from_slice(doc.attributes(n));
+            // Push children in reverse so the first child is visited first.
+            let mut c = doc.last_child(n);
+            while let Some(ch) = c {
+                stack.push(ch);
+                c = doc.prev_sibling(ch);
             }
         }
+        debug_assert!(
+            order.windows(2).all(|w| doc.pre(w[0]) < doc.pre(w[1])),
+            "ordering keys must strictly increase along document order"
+        );
+
+        // Subtree intervals straight from the exit keys: the subtree of `n`
+        // is exactly the nodes whose preorder key lies in
+        // `[pre(n), post(n)]`; attributes carry `post == pre`, so the
+        // half-open end is `post + 1` for every node kind.
         let mut subtree_end = vec![0u32; len];
-        for n in doc.all_nodes() {
-            subtree_end[n.index()] = doc.pre(n) + size[n.index()];
+        for &n in &order {
+            subtree_end[n.index()] = doc.post(n) + 1;
         }
 
         // Tag-name index, filled in document order so every list is sorted.
@@ -192,7 +204,7 @@ impl PreparedDocument {
         // Sibling positions and child counts.
         let mut sibling_pos = vec![0u32; len];
         let mut child_count = vec![0u32; len];
-        for n in doc.all_nodes() {
+        for &n in &order {
             let mut pos = 0u32;
             let mut c = doc.first_child(n);
             while let Some(ch) = c {
@@ -226,25 +238,30 @@ impl PreparedDocument {
         &self.doc
     }
 
-    /// Total number of nodes, `|D|` (root + elements + text + attributes).
+    /// Total number of arena slots, `|D|` (root + elements + text +
+    /// attributes, including slots detached by in-place removals) — the
+    /// size bitset-based evaluators allocate for.
     #[inline]
     pub fn node_count(&self) -> usize {
         self.doc.len()
     }
 
-    /// All nodes in document order, precomputed: `order()[k]` is the node
-    /// with preorder number `k`.
+    /// All attached nodes in document order, precomputed.  The listing is
+    /// sorted by preorder key; keys are gapped, so find a key's position
+    /// with `partition_point`, not by indexing.
     #[inline]
     pub fn order(&self) -> &[NodeId] {
         &self.order
     }
 
-    /// The half-open preorder interval `[pre, end)` covering the subtree of
-    /// `n` — `n` itself, its attributes and all descendants (with theirs).
+    /// The half-open preorder-key interval `[pre, end)` covering the
+    /// subtree of `n` — `n` itself, its attributes and all descendants
+    /// (with theirs).
     ///
     /// Intervals nest like the tree does: `m` is in the subtree of `n` iff
     /// `pre(n) <= pre(m) < end(n)`, and the intervals of two nodes are
-    /// either disjoint or one contains the other.
+    /// either disjoint or one contains the other.  The bounds are ordering
+    /// keys (gapped), not dense ranks.
     #[inline]
     pub fn pre_interval(&self, n: NodeId) -> (u32, u32) {
         (self.doc.pre(n), self.subtree_end[n.index()])
@@ -350,8 +367,15 @@ impl PreparedDocument {
     /// attribute's notional subtree inside its owner element, so the
     /// interval complement does not describe its `following` axis).
     pub fn following_named(&self, n: NodeId, name: &str) -> &[NodeId] {
+        self.tag_id(name)
+            .map(|id| self.following_by_tag(n, id))
+            .unwrap_or(&[])
+    }
+
+    /// [`PreparedDocument::following_named`] with a pre-resolved [`TagId`].
+    pub fn following_by_tag(&self, n: NodeId, id: TagId) -> &[NodeId] {
         debug_assert!(!self.doc.kind(n).is_attribute());
-        let list = self.elements_named(name);
+        let list = self.elements_by_tag(id);
         let (_, end) = self.pre_interval(n);
         let lo = list.partition_point(|&m| self.doc.pre(m) < end);
         &list[lo..]
@@ -366,7 +390,14 @@ impl PreparedDocument {
     /// in the prefix whose subtree interval still covers `n`), so the cost
     /// is O(log |D| + prefix size) with no sorting.
     pub fn preceding_named(&self, n: NodeId, name: &str) -> Vec<NodeId> {
-        let list = self.elements_named(name);
+        self.tag_id(name)
+            .map(|id| self.preceding_by_tag(n, id))
+            .unwrap_or_default()
+    }
+
+    /// [`PreparedDocument::preceding_named`] with a pre-resolved [`TagId`].
+    pub fn preceding_by_tag(&self, n: NodeId, id: TagId) -> Vec<NodeId> {
+        let list = self.elements_by_tag(id);
         let pre = self.doc.pre(n);
         let hi = list.partition_point(|&m| self.doc.pre(m) < pre);
         list[..hi]
@@ -387,6 +418,17 @@ impl PreparedDocument {
     /// The last child of `n` with tag `name`, from the per-parent bucket.
     pub fn last_child_named(&self, n: NodeId, name: &str) -> Option<NodeId> {
         self.children_named(n, name).last().copied()
+    }
+
+    /// [`PreparedDocument::nth_child_named`] with a pre-resolved [`TagId`].
+    pub fn nth_child_by_tag(&self, n: NodeId, id: TagId, k: usize) -> Option<NodeId> {
+        let bucket = self.children_by_tag(n, id);
+        k.checked_sub(1).and_then(|ix| bucket.get(ix)).copied()
+    }
+
+    /// [`PreparedDocument::last_child_named`] with a pre-resolved [`TagId`].
+    pub fn last_child_by_tag(&self, n: NodeId, id: TagId) -> Option<NodeId> {
+        self.children_by_tag(n, id).last().copied()
     }
 
     /// The `k`-th (1-based) child of `n`, counting every child node kind
@@ -472,12 +514,13 @@ mod tests {
     }
 
     #[test]
-    fn order_is_the_inverse_of_pre() {
+    fn order_is_sorted_by_pre_and_complete() {
         let p = sample();
-        for (k, &n) in p.order().iter().enumerate() {
-            assert_eq!(p.pre(n) as usize, k);
-        }
+        assert!(p.order().windows(2).all(|w| p.pre(w[0]) < p.pre(w[1])));
         assert_eq!(p.order().len(), p.node_count());
+        let mut expected: Vec<NodeId> = p.document().all_nodes().collect();
+        expected.sort_by_key(|&n| p.pre(n));
+        assert_eq!(p.order(), expected.as_slice());
     }
 
     #[test]
@@ -642,7 +685,9 @@ mod tests {
     fn empty_document() {
         let p = DocumentBuilder::new().finish().prepare();
         assert_eq!(p.node_count(), 1);
-        assert_eq!(p.pre_interval(p.root()), (0, 1));
+        let (lo, hi) = p.pre_interval(p.root());
+        assert_eq!(lo, p.pre(p.root()));
+        assert_eq!(hi, p.post(p.root()) + 1);
         assert!(p.elements_named("a").is_empty());
         assert!(p.descendants_named(p.root(), "a").is_empty());
     }

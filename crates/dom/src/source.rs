@@ -21,7 +21,7 @@
 
 use crate::axes::{Axis, NodeTest};
 use crate::node::{Document, NodeId};
-use crate::prepared::PreparedDocument;
+use crate::prepared::{PreparedDocument, TagId};
 use std::borrow::Cow;
 
 /// Child steps on nodes with at most this many children walk the sibling
@@ -31,6 +31,22 @@ use std::borrow::Cow;
 /// Above it — wide nodes, where the child walk is what hurts — the bucket
 /// wins.
 pub const CHILD_BUCKET_MIN_CHILDREN: usize = 16;
+
+/// Result of resolving an element tag name against an [`AxisSource`]
+/// ([`AxisSource::resolve_tag`]).
+///
+/// Plan specialization uses this to bake interned [`TagId`]s into a query's
+/// per-step name tests ([`NodeTest::Resolved`]) so that artifact-hit
+/// evaluation never hashes tag strings mid-plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TagResolution {
+    /// The source has no tag index; name tests must compare strings.
+    NoIndex,
+    /// The source is indexed and no element in it carries the tag.
+    Absent,
+    /// The interned id of the tag in this source's tag table.
+    Id(TagId),
+}
 
 /// A positional predicate an index can answer directly: `[k]` (equivalently
 /// `[position() = k]`) or `[last()]` (equivalently `[position() = last()]`)
@@ -77,6 +93,20 @@ pub trait AxisSource: Sync {
         None
     }
 
+    /// Resolves an element tag name against this source's tag table, when
+    /// it has one.  The default ([`TagResolution::NoIndex`]) tells plan
+    /// specialization that name tests cannot be pre-resolved here.
+    fn resolve_tag(&self, _name: &str) -> TagResolution {
+        TagResolution::NoIndex
+    }
+
+    /// The elements carrying the interned tag `id` in document order, when
+    /// this source minted the id; `None` means the caller must fall back to
+    /// the string form.
+    fn elements_by_tag(&self, _id: TagId) -> Option<&[NodeId]> {
+        None
+    }
+
     /// The half-open preorder interval `[pre, end)` covering the subtree of
     /// `n`, when an index has it precomputed; `None` means the caller must
     /// walk (e.g. via sibling/parent links) to find the subtree boundary.
@@ -117,12 +147,25 @@ impl AxisSource for PreparedDocument {
         // tag-list range, child steps hit the per-parent bucket, and the
         // following/preceding complements are range scans bounded by the
         // preorder subtree interval.  Everything else falls back to the
-        // document's walks.
-        if let NodeTest::Name(name) = test {
+        // document's walks.  A plain `Name` test pays one hash to reach the
+        // tag table; a `Resolved` test (specialized plans) carries its
+        // interned id and skips the hash entirely — `id == None` means the
+        // tag was absent at specialization time, so the indexed axes below
+        // are empty by construction.
+        let interned: Option<Option<TagId>> = match test {
+            NodeTest::Name(name) => Some(self.tag_id(name)),
+            NodeTest::Resolved { id, .. } => Some(*id),
+            _ => None,
+        };
+        if let Some(id) = interned {
             match axis {
-                Axis::Descendant => return self.descendants_named(n, name).to_vec(),
+                Axis::Descendant => {
+                    return id
+                        .map(|id| self.descendants_by_tag(n, id).to_vec())
+                        .unwrap_or_default()
+                }
                 Axis::DescendantOrSelf => {
-                    let below = self.descendants_named(n, name);
+                    let below = id.map(|id| self.descendants_by_tag(n, id)).unwrap_or(&[]);
                     let mut out = Vec::with_capacity(below.len() + 1);
                     if doc.matches_on_axis(n, test, axis) {
                         out.push(n);
@@ -133,16 +176,22 @@ impl AxisSource for PreparedDocument {
                 // Adaptive: the bucket pays off on wide nodes only; narrow
                 // nodes fall through to the sibling walk below.
                 Axis::Child if self.child_count(n) > CHILD_BUCKET_MIN_CHILDREN => {
-                    return self.children_named(n, name).to_vec()
+                    return id
+                        .map(|id| self.children_by_tag(n, id).to_vec())
+                        .unwrap_or_default()
                 }
                 // The interval complement describes following/preceding only
                 // for tree nodes: an attribute's notional subtree sits inside
                 // its owner, so attribute context nodes take the walk.
                 Axis::Following if !doc.kind(n).is_attribute() => {
-                    return self.following_named(n, name).to_vec()
+                    return id
+                        .map(|id| self.following_by_tag(n, id).to_vec())
+                        .unwrap_or_default()
                 }
                 Axis::Preceding if !doc.kind(n).is_attribute() => {
-                    return self.preceding_named(n, name)
+                    return id
+                        .map(|id| self.preceding_by_tag(n, id))
+                        .unwrap_or_default()
                 }
                 _ => {}
             }
@@ -168,7 +217,9 @@ impl AxisSource for PreparedDocument {
             // whose interval still covers `n`).
             Axis::Following if !doc.kind(n).is_attribute() => {
                 let (_, end) = self.pre_interval(n);
-                self.order()[end as usize..]
+                let order = self.order();
+                let lo = order.partition_point(|&m| doc.pre(m) < end);
+                order[lo..]
                     .iter()
                     .copied()
                     .filter(|&m| !doc.kind(m).is_attribute() && doc.matches_on_axis(m, test, axis))
@@ -176,7 +227,9 @@ impl AxisSource for PreparedDocument {
             }
             Axis::Preceding if !doc.kind(n).is_attribute() => {
                 let (pre, _) = self.pre_interval(n);
-                self.order()[..pre as usize]
+                let order = self.order();
+                let hi = order.partition_point(|&m| doc.pre(m) < pre);
+                order[..hi]
                     .iter()
                     .copied()
                     .filter(|&m| {
@@ -202,6 +255,19 @@ impl AxisSource for PreparedDocument {
     }
 
     #[inline]
+    fn resolve_tag(&self, name: &str) -> TagResolution {
+        match self.tag_id(name) {
+            Some(id) => TagResolution::Id(id),
+            None => TagResolution::Absent,
+        }
+    }
+
+    #[inline]
+    fn elements_by_tag(&self, id: TagId) -> Option<&[NodeId]> {
+        Some(PreparedDocument::elements_by_tag(self, id))
+    }
+
+    #[inline]
     fn subtree_interval(&self, n: NodeId) -> Option<(u32, u32)> {
         Some(self.pre_interval(n))
     }
@@ -217,6 +283,14 @@ impl AxisSource for PreparedDocument {
             // Name tests go straight to the per-parent bucket: O(log |D|).
             (NodeTest::Name(name), PositionalPick::Nth(k)) => self.nth_child_named(n, name, k),
             (NodeTest::Name(name), PositionalPick::Last) => self.last_child_named(n, name),
+            // Pre-resolved tests skip the hash; an absent tag has no
+            // matching children by construction.
+            (NodeTest::Resolved { id, .. }, PositionalPick::Nth(k)) => {
+                id.and_then(|id| self.nth_child_by_tag(n, id, k))
+            }
+            (NodeTest::Resolved { id, .. }, PositionalPick::Last) => {
+                id.and_then(|id| self.last_child_by_tag(n, id))
+            }
             // node() candidates are all children: the child-count table
             // rejects out-of-range k in O(1), the walk stops after k links.
             (NodeTest::AnyNode, PositionalPick::Nth(k)) => self.nth_child(n, k),

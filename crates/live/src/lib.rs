@@ -1,0 +1,315 @@
+//! # xpeval-live — live documents
+//!
+//! A [`LiveDocument`] wraps a shared [`PreparedDocument`] snapshot and lets
+//! it be edited **in place** — [`insert_subtree`](LiveDocument::insert_subtree),
+//! [`remove_subtree`](LiveDocument::remove_subtree),
+//! [`replace_subtree`](LiveDocument::replace_subtree),
+//! [`set_attribute`](LiveDocument::set_attribute) and
+//! [`set_text`](LiveDocument::set_text) — while the axis indexes (tag
+//! lists, per-parent buckets, subtree intervals, position tables) are
+//! maintained *incrementally* instead of being rebuilt by a full O(|D|)
+//! re-preparation.  The substrate is the gap-based ordering keys of
+//! `xpeval-dom` ([`xpeval_dom::KEY_STRIDE`]): inserted nodes are keyed into
+//! the gap between their neighbours, and only when a gap is exhausted is
+//! the smallest roomy ancestor subtree renumbered.
+//!
+//! Snapshots are copy-on-write: the live document hands out
+//! [`Arc<PreparedDocument>`] snapshots ([`LiveDocument::snapshot`]) that
+//! stay valid forever; the first edit after a snapshot was taken clones the
+//! shared state once and edits the private copy.  A reader therefore never
+//! observes a half-patched index — it either holds the pre-edit snapshot or
+//! receives the post-edit one.
+//!
+//! Each edit bumps the document's **revision** counter and accumulates a
+//! *dirty interval* (the preorder-key range the edit touched, see
+//! [`xpeval_dom::EditOutcome`]).  The catalog layer drains that state
+//! ([`LiveDocument::take_pending`]) to invalidate exactly the plan
+//! artifacts whose candidates intersect the edited region, keeping every
+//! other artifact — revision is the fine-grained sibling of the catalog's
+//! whole-replacement *generation* counter.
+//!
+//! ```
+//! use xpeval_live::LiveDocument;
+//! use xpeval_dom::parse_xml;
+//!
+//! let mut live = LiveDocument::new(parse_xml("<inv><item/><item/></inv>").unwrap());
+//! let before = live.snapshot();
+//! let inv = live.prepared().first_child(live.prepared().root()).unwrap();
+//! live.insert_subtree(inv, 2, &parse_xml("<item new=\"1\"/>").unwrap()).unwrap();
+//! assert_eq!(live.revision(), 1);
+//! assert_eq!(live.prepared().elements_named("item").len(), 3);
+//! // The pre-edit snapshot is untouched.
+//! assert_eq!(before.elements_named("item").len(), 2);
+//! ```
+
+use std::ops::Deref;
+use std::sync::Arc;
+use xpeval_dom::{Document, EditOutcome, MutationError, NodeId, PreparedDocument};
+
+/// Edits accumulated on a [`LiveDocument`] since the last
+/// [`take_pending`](LiveDocument::take_pending) drain: the union of the
+/// individual [`EditOutcome`] dirty intervals, ready for subtree-scoped
+/// cache invalidation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PendingEdits {
+    /// Union of the half-open dirty preorder-key intervals of every edit in
+    /// the batch (meaningful in both the pre- and post-batch key spaces,
+    /// unless `renumbered`).
+    pub dirty: (u32, u32),
+    /// True if any edit renumbered the whole document — pre-batch ordering
+    /// keys are then incomparable with post-batch ones and interval-scoped
+    /// invalidation must degrade to dropping everything.
+    pub renumbered: bool,
+    /// Number of edits in the batch.
+    pub edits: u64,
+    /// Total nodes inserted across the batch.
+    pub inserted: usize,
+    /// Total arena slots detached across the batch.
+    pub removed: usize,
+}
+
+impl PendingEdits {
+    fn absorb(&mut self, out: &EditOutcome) {
+        self.dirty = (self.dirty.0.min(out.dirty.0), self.dirty.1.max(out.dirty.1));
+        self.renumbered |= out.renumbered;
+        self.edits += 1;
+        self.inserted += out.inserted.len();
+        self.removed += out.removed;
+    }
+
+    fn from_outcome(out: &EditOutcome) -> Self {
+        PendingEdits {
+            dirty: out.dirty,
+            renumbered: out.renumbered,
+            edits: 1,
+            inserted: out.inserted.len(),
+            removed: out.removed,
+        }
+    }
+}
+
+/// A mutable, versioned view over a shared [`PreparedDocument`]: edits are
+/// applied in place with incremental index maintenance, snapshots are
+/// copy-on-write, and every edit is tracked by a revision counter and a
+/// dirty preorder interval (see the [module docs](self)).
+#[derive(Clone, Debug)]
+pub struct LiveDocument {
+    prepared: Arc<PreparedDocument>,
+    revision: u64,
+    pending: Option<PendingEdits>,
+}
+
+impl LiveDocument {
+    /// Wraps a document (preparing its indexes) as revision 0.
+    pub fn new(doc: impl Into<Arc<Document>>) -> Self {
+        Self::from_prepared(Arc::new(PreparedDocument::new(doc)))
+    }
+
+    /// Wraps an already prepared snapshot as revision 0.  The snapshot is
+    /// shared, not copied — the first edit pays one copy-on-write clone if
+    /// other holders remain.
+    pub fn from_prepared(prepared: Arc<PreparedDocument>) -> Self {
+        Self::resume(prepared, 0)
+    }
+
+    /// Wraps a snapshot continuing at an explicit revision — how a catalog
+    /// resumes editing a document it stored together with its revision
+    /// counter.
+    pub fn resume(prepared: Arc<PreparedDocument>, revision: u64) -> Self {
+        LiveDocument {
+            prepared,
+            revision,
+            pending: None,
+        }
+    }
+
+    /// The current snapshot's indexes (read-only view).
+    #[inline]
+    pub fn prepared(&self) -> &PreparedDocument {
+        &self.prepared
+    }
+
+    /// A shared handle to the current snapshot.  Snapshots are immutable:
+    /// later edits clone-on-write and never disturb handles already given
+    /// out.
+    #[inline]
+    pub fn snapshot(&self) -> Arc<PreparedDocument> {
+        Arc::clone(&self.prepared)
+    }
+
+    /// Number of edits applied since revision 0.  Monotone; bumped by every
+    /// successful edit (rejected edits leave it untouched).
+    #[inline]
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// The edits accumulated since the last drain, if any — without
+    /// clearing them.
+    #[inline]
+    pub fn pending(&self) -> Option<&PendingEdits> {
+        self.pending.as_ref()
+    }
+
+    /// Drains the accumulated edit batch, returning `None` when no edit
+    /// happened since the last drain.  The catalog calls this once per
+    /// mutation closure to scope its artifact invalidation.
+    pub fn take_pending(&mut self) -> Option<PendingEdits> {
+        self.pending.take()
+    }
+
+    fn apply<F>(&mut self, edit: F) -> Result<EditOutcome, MutationError>
+    where
+        F: FnOnce(&mut PreparedDocument) -> Result<EditOutcome, MutationError>,
+    {
+        // Copy-on-write: free when this live document is the only holder
+        // (the common case between snapshots), one deep clone otherwise.
+        let out = edit(Arc::make_mut(&mut self.prepared))?;
+        self.revision += 1;
+        match &mut self.pending {
+            Some(p) => p.absorb(&out),
+            None => self.pending = Some(PendingEdits::from_outcome(&out)),
+        }
+        Ok(out)
+    }
+
+    /// Inserts the children of `fragment`'s root as children of `parent` at
+    /// 0-based position `index`.  See
+    /// [`PreparedDocument::insert_subtree`].
+    pub fn insert_subtree(
+        &mut self,
+        parent: NodeId,
+        index: usize,
+        fragment: &Document,
+    ) -> Result<EditOutcome, MutationError> {
+        self.apply(|p| p.insert_subtree(parent, index, fragment))
+    }
+
+    /// Detaches `n`'s whole subtree.  See
+    /// [`PreparedDocument::remove_subtree`].
+    pub fn remove_subtree(&mut self, n: NodeId) -> Result<EditOutcome, MutationError> {
+        self.apply(|p| p.remove_subtree(n))
+    }
+
+    /// Replaces `n`'s subtree with `fragment`'s content.  See
+    /// [`PreparedDocument::replace_subtree`].
+    pub fn replace_subtree(
+        &mut self,
+        n: NodeId,
+        fragment: &Document,
+    ) -> Result<EditOutcome, MutationError> {
+        self.apply(|p| p.replace_subtree(n, fragment))
+    }
+
+    /// Sets (creating if absent) attribute `name` on element `el`.  See
+    /// [`PreparedDocument::set_attribute`].
+    pub fn set_attribute(
+        &mut self,
+        el: NodeId,
+        name: &str,
+        value: &str,
+    ) -> Result<EditOutcome, MutationError> {
+        self.apply(|p| p.set_attribute(el, name, value))
+    }
+
+    /// Replaces the content of text node `t`.  See
+    /// [`PreparedDocument::set_text`].
+    pub fn set_text(&mut self, t: NodeId, text: &str) -> Result<EditOutcome, MutationError> {
+        self.apply(|p| p.set_text(t, text))
+    }
+}
+
+impl Deref for LiveDocument {
+    type Target = PreparedDocument;
+
+    fn deref(&self) -> &PreparedDocument {
+        &self.prepared
+    }
+}
+
+impl From<Document> for LiveDocument {
+    fn from(doc: Document) -> Self {
+        LiveDocument::new(doc)
+    }
+}
+
+impl From<PreparedDocument> for LiveDocument {
+    fn from(prepared: PreparedDocument) -> Self {
+        LiveDocument::from_prepared(Arc::new(prepared))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpeval_dom::parse_xml;
+
+    fn live() -> LiveDocument {
+        LiveDocument::new(parse_xml("<r><a k=\"1\"><b/></a><c>t</c></r>").unwrap())
+    }
+
+    #[test]
+    fn edits_bump_revision_and_accumulate_pending() {
+        let mut l = live();
+        assert_eq!(l.revision(), 0);
+        assert!(l.pending().is_none());
+        let r = l.first_child(l.root()).unwrap();
+        let a = l.children_named(r, "a")[0];
+        let o1 = l.set_attribute(a, "k", "2").unwrap();
+        let c = l.children_named(r, "c")[0];
+        let t = l.first_child(c).unwrap();
+        let o2 = l.set_text(t, "u").unwrap();
+        assert_eq!(l.revision(), 2);
+        let batch = l.take_pending().unwrap();
+        assert_eq!(batch.edits, 2);
+        assert_eq!(batch.dirty.0, o1.dirty.0.min(o2.dirty.0));
+        assert_eq!(batch.dirty.1, o1.dirty.1.max(o2.dirty.1));
+        assert!(!batch.renumbered);
+        assert!(l.take_pending().is_none());
+        assert_eq!(l.revision(), 2, "draining does not bump the revision");
+    }
+
+    #[test]
+    fn rejected_edits_change_nothing() {
+        let mut l = live();
+        let root = l.root();
+        assert!(l.remove_subtree(root).is_err());
+        assert_eq!(l.revision(), 0);
+        assert!(l.pending().is_none());
+    }
+
+    #[test]
+    fn snapshots_are_copy_on_write() {
+        let mut l = live();
+        let before = l.snapshot();
+        let r = l.first_child(l.root()).unwrap();
+        let a = l.children_named(r, "a")[0];
+        l.remove_subtree(a).unwrap();
+        assert!(l.elements_named("a").is_empty());
+        // The pre-edit snapshot still sees the old tree.
+        assert_eq!(before.elements_named("a").len(), 1);
+        assert!(!Arc::ptr_eq(&before, &l.snapshot()));
+        // With no outstanding snapshot, further edits reuse the allocation.
+        let after = Arc::as_ptr(&l.snapshot());
+        let c = l.children_named(r, "c")[0];
+        l.set_attribute(c, "x", "y").unwrap();
+        assert_eq!(Arc::as_ptr(&l.snapshot()), after);
+    }
+
+    #[test]
+    fn resume_continues_the_revision_sequence() {
+        let mut l = live();
+        let r = l.first_child(l.root()).unwrap();
+        l.set_attribute(l.children_named(r, "a")[0], "k", "2")
+            .unwrap();
+        let snap = l.snapshot();
+        let rev = l.revision();
+        let mut resumed = LiveDocument::resume(snap, rev);
+        assert_eq!(resumed.revision(), 1);
+        let r = resumed.first_child(resumed.root()).unwrap();
+        resumed
+            .insert_subtree(r, 0, &parse_xml("<n/>").unwrap())
+            .unwrap();
+        assert_eq!(resumed.revision(), 2);
+    }
+}

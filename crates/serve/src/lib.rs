@@ -73,7 +73,10 @@ pub mod stats;
 pub mod submit_async;
 
 pub use future::{block_on, DeadlineResult, JobExpired, JobLost, QueryFuture};
-pub use pool::{AsyncEngine, AsyncEngineBuilder, CatalogQueryResult, QueryResult, TrySubmitError};
+pub use pool::{
+    AsyncEngine, AsyncEngineBuilder, CatalogMutationResult, CatalogQueryResult, QueryResult,
+    TrySubmitError,
+};
 pub use stats::{ServeStats, WorkerStats};
 #[cfg(feature = "tokio")]
 pub use submit_async::SubmitFuture;

@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
-use xpeval_catalog::{Catalog, CatalogError};
+use xpeval_catalog::{Catalog, CatalogError, LiveDocument, MutationOutcome};
 use xpeval_core::{default_threads, CompiledQuery, Engine, EvalError, QueryOutput};
 use xpeval_dom::{Document, PreparedDocument};
 
@@ -62,6 +62,12 @@ pub type QueryResult = Result<QueryOutput, EvalError>;
 /// [`CatalogError`] (unknown document name, or the evaluation error) —
 /// exactly what the synchronous `Catalog::evaluate_on` returns.
 pub type CatalogQueryResult = Result<QueryOutput, CatalogError>;
+
+/// What a catalog-named mutation submission resolves to: the
+/// [`MutationOutcome`] (closure return value, post-edit revision, scoped
+/// invalidation counts), or [`CatalogError::UnknownDocument`] — exactly
+/// what the synchronous `Catalog::mutate_named` returns.
+pub type CatalogMutationResult<T> = Result<MutationOutcome<T>, CatalogError>;
 
 /// Shared state between the [`AsyncEngine`] handle and its workers.
 pub(crate) struct Shared {
@@ -475,6 +481,65 @@ impl AsyncEngine {
         let name = name.to_string();
         let query = query.to_string();
         Self::task_job(move |_engine| catalog.evaluate_on(&name, &query))
+    }
+
+    /// Submits an **in-place edit** of a named catalog document
+    /// (`Catalog::mutate_named`) as a pool job: the worker runs the edit
+    /// closure against a [`LiveDocument`] view, the catalog applies it
+    /// with incremental index maintenance, bumps the entry's revision and
+    /// re-targets its plan artifacts — only those intersecting the edit's
+    /// dirty subtree are dropped.
+    ///
+    /// Edits on one catalog serialize through the catalog's own store
+    /// lock, so a mutation and the queries racing it are ordered: each
+    /// query sees either the whole pre-edit snapshot or the whole
+    /// post-edit one, never a half-patched index — while documents in
+    /// *other* catalogs (independent tenants) proceed in parallel on the
+    /// remaining workers.  Parse or build fragments *before* submitting;
+    /// the closure should only apply edits.  Blocking while the queue is
+    /// full, like [`AsyncEngine::submit`].
+    pub fn submit_mutation_named<T, F>(
+        &self,
+        catalog: &Catalog,
+        name: &str,
+        edit: F,
+    ) -> Result<QueryFuture<CatalogMutationResult<T>>, TrySubmitError>
+    where
+        F: FnOnce(&mut LiveDocument) -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (job, future) = Self::mutation_job(catalog, name, edit);
+        self.enqueue(job, future, true)
+    }
+
+    /// Non-blocking [`AsyncEngine::submit_mutation_named`]: fails fast
+    /// with [`TrySubmitError::Full`] instead of waiting for a slot.
+    pub fn try_submit_mutation_named<T, F>(
+        &self,
+        catalog: &Catalog,
+        name: &str,
+        edit: F,
+    ) -> Result<QueryFuture<CatalogMutationResult<T>>, TrySubmitError>
+    where
+        F: FnOnce(&mut LiveDocument) -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (job, future) = Self::mutation_job(catalog, name, edit);
+        self.enqueue(job, future, false)
+    }
+
+    fn mutation_job<T, F>(
+        catalog: &Catalog,
+        name: &str,
+        edit: F,
+    ) -> (Job, QueryFuture<CatalogMutationResult<T>>)
+    where
+        F: FnOnce(&mut LiveDocument) -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let catalog = catalog.clone();
+        let name = name.to_string();
+        Self::task_job(move |_engine| catalog.mutate_named(&name, edit))
     }
 
     /// Submits a whole batch of query strings as **one** job: a worker

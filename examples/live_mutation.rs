@@ -1,0 +1,175 @@
+//! Live documents: in-place mutation with incremental index maintenance
+//! and subtree-scoped artifact invalidation.
+//!
+//! An edit through [`Catalog::mutate_named`] patches the prepared indexes
+//! of the *current* document instead of re-parsing it, bumps a per-entry
+//! revision (the generation stays put — that is reserved for wholesale
+//! replacement), and kills only the cached (query × document) artifacts
+//! whose candidate elements intersect the edited subtree's preorder
+//! interval.  Everything else — plans, pinned strategies, verified-empty
+//! shortcuts — survives the edit untouched.
+//!
+//! ```bash
+//! cargo run --release --example live_mutation
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use xpeval::prelude::*;
+use xpeval::workloads::auction_site_document;
+
+const ITEMS: usize = 600; // ~9.6k nodes, the bench_mutation document
+const EDITS: usize = 50;
+
+fn nodes(v: &Value) -> usize {
+    match v {
+        Value::NodeSet(set) => set.len(),
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(43);
+
+    let engine = Engine::builder().plan_cache_capacity(256).build();
+    let catalog = Catalog::builder()
+        .engine(engine.clone())
+        .capacity(16)
+        .artifact_capacity(256)
+        .build();
+
+    // Part 1: ingest one auction document and warm a few artifacts.
+    let doc = auction_site_document(&mut rng, ITEMS);
+    catalog.insert_document("auction", doc);
+    let info = catalog.info("auction").unwrap();
+    println!("== live document ==\n");
+    println!(
+        "  {:<8} {} gen {} rev {} ({} nodes)",
+        info.name, info.id, info.generation, info.revision, info.node_count
+    );
+
+    // Name-bounded queries (a concrete tag in the final step) carry
+    // their candidate element lists into the artifact, which is what
+    // scoped invalidation intersects against.  Queries without that
+    // bound — say `count(//*)` — are conservatively killed by any edit.
+    let queries = [
+        "//item",
+        "//person",
+        "//item[child::bid]",
+        "//warehouse", // verified empty: no such tag anywhere
+    ];
+    for q in &queries {
+        let out = catalog.evaluate_on("auction", q).unwrap();
+        println!("  {q:<22} -> {} nodes", nodes(&out.value));
+    }
+
+    // Part 2: an in-place edit.  The closure runs against a LiveDocument
+    // view of the entry; the catalog publishes the patched snapshot and
+    // retargets the artifact cache when the closure returns.
+    let new_item =
+        parse_xml("<item id=\"item-live\"><name>Hot item</name><bid increase=\"9\"/></item>")
+            .unwrap();
+    let outcome = catalog
+        .mutate_named("auction", |live| {
+            let region = live.elements_named("europe")[0];
+            live.insert_subtree(region, 0, &new_item)
+        })
+        .unwrap();
+    outcome.value.unwrap();
+    println!(
+        "\ninsert <item> into //europe: rev {} -> {}, artifacts {} killed / {} preserved",
+        0, outcome.revision, outcome.artifacts_killed, outcome.artifacts_preserved
+    );
+    // //item and //item[child::bid] intersected the edit and were killed;
+    // //person (disjoint subtree) and //warehouse (verified empty) kept
+    // their artifacts — including the empty-result shortcut.
+    for q in &queries {
+        let out = catalog.evaluate_on("auction", q).unwrap();
+        println!("  {q:<22} -> {} nodes", nodes(&out.value));
+    }
+
+    // Part 3: value-only edits never intersect element candidates, so
+    // every artifact survives with its statistics intact.
+    let outcome = catalog
+        .mutate_named("auction", |live| {
+            let seller = live.elements_named("seller")[0];
+            live.set_attribute(seller, "person", "person0")
+        })
+        .unwrap();
+    outcome.value.unwrap();
+    println!(
+        "\nset @person on //seller[1]: rev -> {}, artifacts {} killed / {} preserved",
+        outcome.revision, outcome.artifacts_killed, outcome.artifacts_preserved
+    );
+
+    // Part 4: the point of all this — edit + re-query without paying for
+    // parse + prepare.  Contrast an incremental edit loop against the
+    // pre-live alternative (replace the whole document each time).
+    let replacement =
+        parse_xml("<item id=\"swap\"><name>Swapped</name><bid increase=\"3\"/></item>").unwrap();
+
+    let start = Instant::now();
+    for _ in 0..EDITS {
+        catalog
+            .mutate_named("auction", |live| {
+                let item = live.elements_named("item")[7];
+                live.replace_subtree(item, &replacement)
+            })
+            .unwrap()
+            .value
+            .unwrap();
+        catalog
+            .evaluate_on("auction", "count(//item[child::bid])")
+            .unwrap();
+    }
+    let incremental = start.elapsed();
+
+    let mut rng2 = StdRng::seed_from_u64(43);
+    let fresh = auction_site_document(&mut rng2, ITEMS);
+    let xml = xpeval::dom::serialize(&fresh);
+    let start = Instant::now();
+    for _ in 0..EDITS {
+        catalog.insert_xml("auction-rebuilt", &xml).unwrap();
+        catalog
+            .evaluate_on("auction-rebuilt", "count(//item[child::bid])")
+            .unwrap();
+    }
+    let rebuild = start.elapsed();
+    println!(
+        "\n{EDITS}x edit + re-query: incremental {:.2?}  vs  re-parse + prepare {:.2?}  ({:.1}x)",
+        incremental,
+        rebuild,
+        rebuild.as_secs_f64() / incremental.as_secs_f64().max(1e-9)
+    );
+
+    // Part 5: mutations through the serving pool.  Edits serialize
+    // through the catalog's store lock; queries racing the edit see
+    // either the old or the new snapshot, never a torn one.
+    let pool = AsyncEngine::builder()
+        .workers(2)
+        .queue_capacity(32)
+        .engine(engine)
+        .build();
+    let fragment = parse_xml("<item id=\"async\"><bid increase=\"1\"/></item>").unwrap();
+    let edit = pool
+        .submit_mutation_named(&catalog, "auction", move |live| {
+            let region = live.elements_named("asia")[0];
+            live.insert_subtree(region, 0, &fragment)
+                .map(|o| o.inserted)
+        })
+        .unwrap();
+    let query = pool
+        .submit_named(&catalog, "auction", "count(//item)")
+        .unwrap();
+    let outcome = edit.wait().unwrap().unwrap();
+    println!(
+        "\nasync edit: rev -> {} ({} nodes inserted), concurrent count(//item) = {:?}",
+        outcome.revision,
+        outcome.edits.as_ref().map_or(0, |e| e.inserted),
+        query.wait().unwrap().unwrap().value
+    );
+    pool.shutdown();
+
+    println!("\n{}", catalog.stats());
+}

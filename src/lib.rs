@@ -212,11 +212,60 @@
 //! bounds how long any submission may queue: a job whose deadline passes
 //! while it waits is dropped unrun and resolves
 //! [`JobExpired`](serve::JobExpired).
+//!
+//! ## Live documents: edit in place, invalidate by subtree
+//!
+//! Documents are edited far more often than replaced.  A
+//! [`LiveDocument`](live::LiveDocument) edits a prepared document **in
+//! place** — `insert_subtree`, `remove_subtree`, `replace_subtree`,
+//! `set_attribute`, `set_text` — maintaining every axis index
+//! *incrementally* (gap-based ordering keys absorb edits without
+//! renumbering; tag lists, child buckets and position tables are patched
+//! for exactly the dirty subtree) instead of paying a full O(|D|)
+//! re-preparation.  Snapshots are copy-on-write, so concurrent readers
+//! never see a half-patched index.  Through
+//! [`Catalog::mutate_named`](catalog::Catalog::mutate_named) an edit bumps
+//! the entry's **revision** (the fine-grained sibling of the
+//! whole-replacement *generation*) and re-targets the document's plan
+//! artifacts: only those whose candidates intersect the edit's dirty
+//! preorder interval are dropped, the rest keep their specialized plan
+//! across the edit.
+//!
+//! ```
+//! use xpeval::prelude::*;
+//!
+//! let catalog = Catalog::new();
+//! catalog.insert_xml("inv", "<inv><item/><item/><audit/></inv>").unwrap();
+//! catalog.evaluate_on("inv", "//item").unwrap();   // caches an artifact
+//! catalog.evaluate_on("inv", "//audit").unwrap();  // ...and another
+//!
+//! let fragment = parse_xml("<item new=\"1\"/>").unwrap();
+//! let out = catalog
+//!     .mutate_named("inv", |live| {
+//!         let inv = live.first_child(live.root()).unwrap();
+//!         live.insert_subtree(inv, 2, &fragment).unwrap();
+//!     })
+//!     .unwrap();
+//! assert_eq!(out.revision, 1);                       // revision, not generation
+//! assert_eq!(catalog.generation("inv"), Some(1));
+//! assert_eq!(out.artifacts_killed, 1);               // //item intersects the edit
+//! assert_eq!(out.artifacts_preserved, 1);            // //audit survives it
+//! assert_eq!(
+//!     catalog.evaluate_on("inv", "count(//item)").unwrap().value,
+//!     Value::Number(3.0),
+//! );
+//! ```
+//!
+//! The pool submits edits the same way as queries:
+//! [`AsyncEngine::submit_mutation_named`](serve::AsyncEngine::submit_mutation_named)
+//! runs the closure on a worker, serialized with queries on the same
+//! catalog while independent tenants proceed in parallel.
 
 pub use xpeval_catalog as catalog;
 pub use xpeval_circuits as circuits;
 pub use xpeval_core as engine;
 pub use xpeval_dom as dom;
+pub use xpeval_live as live;
 pub use xpeval_reductions as reductions;
 pub use xpeval_serve as serve;
 pub use xpeval_syntax as syntax;
@@ -225,7 +274,8 @@ pub use xpeval_workloads as workloads;
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use xpeval_catalog::{
-        Catalog, CatalogBuilder, CatalogError, CatalogStats, DocId, DocInfo, FanOut, PlanArtifact,
+        Catalog, CatalogBuilder, CatalogError, CatalogStats, DocId, DocInfo, FanOut,
+        MutationOutcome, PlanArtifact,
     };
     pub use xpeval_core::{
         CacheStats, CompileOptions, CompiledQuery, Context, Engine, EngineBuilder, EvalError,
@@ -233,12 +283,13 @@ pub mod prelude {
         Value,
     };
     pub use xpeval_dom::{
-        parse_xml, Axis, AxisSource, Document, DocumentBuilder, NodeId, NodeTest, PositionalPick,
-        PreparedDocument, TagId,
+        parse_xml, Axis, AxisSource, Document, DocumentBuilder, EditOutcome, MutationError, NodeId,
+        NodeTest, PositionalPick, PreparedDocument, TagId,
     };
+    pub use xpeval_live::{LiveDocument, PendingEdits};
     pub use xpeval_serve::{
-        block_on, AsyncEngine, AsyncEngineBuilder, CatalogQueryResult, DeadlineResult, JobExpired,
-        JobLost, QueryFuture, ServeStats, TrySubmitError, WorkerStats,
+        block_on, AsyncEngine, AsyncEngineBuilder, CatalogMutationResult, CatalogQueryResult,
+        DeadlineResult, JobExpired, JobLost, QueryFuture, ServeStats, TrySubmitError, WorkerStats,
     };
     pub use xpeval_syntax::{parse_query, Expr, Fragment, FragmentReport};
 }

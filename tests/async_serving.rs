@@ -281,6 +281,48 @@ fn named_submissions_resolve_through_the_catalog_at_run_time() {
 }
 
 #[test]
+fn mutation_submissions_edit_through_the_pool() {
+    let catalog = Catalog::new();
+    catalog.insert_xml("d", "<r><a/></r>").unwrap();
+    let pool = AsyncEngine::builder()
+        .engine(catalog.engine().clone())
+        .workers(2)
+        .build();
+
+    let frag = parse_xml("<a/>").unwrap();
+    let outcome = pool
+        .submit_mutation_named(&catalog, "d", move |live| {
+            let r = live.elements_named("r")[0];
+            live.insert_subtree(r, 0, &frag).map(|o| o.inserted.len())
+        })
+        .unwrap()
+        .wait()
+        .unwrap()
+        .expect("known name mutates");
+    assert_eq!(outcome.value.unwrap(), 1);
+    assert_eq!(outcome.revision, 1);
+    assert_eq!(outcome.generation, 1, "an edit is not a replacement");
+    assert_eq!(
+        pool.submit_named(&catalog, "d", "count(//a)")
+            .unwrap()
+            .wait()
+            .unwrap()
+            .unwrap()
+            .value,
+        Value::Number(2.0)
+    );
+
+    // An unknown name is a per-job result, not a submission failure.
+    let missing = pool
+        .try_submit_mutation_named(&catalog, "nope", |_| ())
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(matches!(missing, Err(CatalogError::UnknownDocument { .. })));
+    pool.shutdown();
+}
+
+#[test]
 fn named_submissions_see_a_replacement_made_while_queued() {
     let (pool, gate, blocker) = gated_pool(8);
     let catalog = Catalog::new();

@@ -283,3 +283,112 @@ fn artifact_fast_path_agrees_on_absent_tags() {
         assert_eq!(through_catalog, direct, "{query}");
     }
 }
+
+#[test]
+fn concurrent_mutate_query_replace_storm() {
+    // 8 threads: 4 mutators each owning a live document, 2 readers
+    // hammering every name, 2 churners replacing (and re-querying) a
+    // shared document.  Edits publish whole snapshots under the store
+    // lock, so a reader must never see a torn document, and the count it
+    // observes on a live document must be non-decreasing (only its owner
+    // edits it, one <x/> per edit).
+    const MUTATORS: usize = 4;
+    const EDITS: usize = 100;
+
+    let catalog = Catalog::builder()
+        .capacity(32) // > all names: no eviction of live documents
+        .artifact_capacity(128)
+        .build();
+    for t in 0..MUTATORS {
+        catalog.insert_xml(&format!("live-{t}"), "<r></r>").unwrap();
+    }
+    catalog.insert_xml("churn", &marked_xml(0)).unwrap();
+    let churn_log: Mutex<HashSet<u64>> = Mutex::new([0].into_iter().collect());
+    let next_marker = AtomicU64::new(1);
+
+    std::thread::scope(|scope| {
+        for t in 0..MUTATORS {
+            let catalog = catalog.clone();
+            scope.spawn(move || {
+                let name = format!("live-{t}");
+                let frag = parse_xml("<x/>").unwrap();
+                for i in 0..EDITS {
+                    let outcome = catalog
+                        .mutate_named(&name, |live| {
+                            let r = live.elements_named("r")[0];
+                            live.insert_subtree(r, 0, &frag)
+                        })
+                        .unwrap();
+                    outcome.value.unwrap();
+                    // Only this thread edits the document, so revisions
+                    // march in lockstep with its own edit count.
+                    assert_eq!(outcome.revision, i as u64 + 1, "{name}");
+                }
+            });
+        }
+        for _ in 0..2 {
+            let catalog = catalog.clone();
+            scope.spawn(move || {
+                let mut last = [0f64; MUTATORS];
+                for i in 0..400 {
+                    let t = i % MUTATORS;
+                    let out = catalog
+                        .evaluate_on(&format!("live-{t}"), "count(//x)")
+                        .unwrap();
+                    let Value::Number(n) = out.value else {
+                        panic!("count() must be a number")
+                    };
+                    assert!(
+                        n >= last[t],
+                        "live-{t} went backwards: {n} after {}",
+                        last[t]
+                    );
+                    last[t] = n;
+                }
+            });
+        }
+        for _ in 0..2 {
+            let catalog = catalog.clone();
+            let churn_log = &churn_log;
+            let next_marker = &next_marker;
+            scope.spawn(move || {
+                for _ in 0..EDITS {
+                    let marker = next_marker.fetch_add(1, Ordering::Relaxed);
+                    churn_log.lock().unwrap().insert(marker);
+                    catalog.insert_xml("churn", &marked_xml(marker)).unwrap();
+                    let out = catalog.evaluate_on("churn", "count(//x)").unwrap();
+                    let Value::Number(n) = out.value else {
+                        panic!("count() must be a number")
+                    };
+                    assert!(
+                        churn_log.lock().unwrap().contains(&(n as u64)),
+                        "churn returned count {n} that was never inserted"
+                    );
+                }
+            });
+        }
+    });
+
+    // Every mutator's edits landed exactly once.
+    for t in 0..MUTATORS {
+        let name = format!("live-{t}");
+        assert_eq!(
+            catalog.evaluate_on(&name, "count(//x)").unwrap().value,
+            Value::Number(EDITS as f64)
+        );
+        assert_eq!(catalog.revision(&name), Some(EDITS as u64));
+        assert_eq!(
+            catalog.generation(&name),
+            Some(1),
+            "edits are not replacements"
+        );
+    }
+    let stats = catalog.stats();
+    assert_eq!(stats.mutations, (MUTATORS * EDITS) as u64, "{stats}");
+    assert!(stats.replacements >= 2 * EDITS as u64, "{stats}");
+    assert_eq!(
+        stats.evaluations,
+        stats.artifact_hits + stats.artifact_misses,
+        "{stats}"
+    );
+}
