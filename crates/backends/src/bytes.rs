@@ -1,0 +1,234 @@
+//! Byte-level primitives of the snapshot format: the FNV-1a checksum and
+//! the (audited) `u32`-column reinterpretation paths.
+//!
+//! This module is the only place in the workspace that reinterprets raw
+//! bytes as typed data.  The unsafe fast path is deliberately tiny and
+//! fully guarded: it engages only when the slice is 4-byte aligned, its
+//! length is an exact multiple of 4 and the target is little-endian (the
+//! on-disk byte order); everything else takes the portable
+//! `from_le_bytes` decode.  `tests/backends.rs` runs both paths against
+//! each other, and the CI unsafe-audit job (or `cargo miri` where
+//! available) exercises this file specifically.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash of `bytes`.
+///
+/// The reference byte-wise digest — deterministic, dependency-free, one
+/// multiply per byte.  Small keys (names, headers) hash through this;
+/// bulk payloads use [`checksum64`], whose lanes overlap the multiply
+/// latency.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Word-wise, 4-lane FNV-style digest of `bytes` — the snapshot payload
+/// checksum.
+///
+/// Byte-wise FNV-1a is one serial multiply per *byte*; on a ~700 KB
+/// payload that multiply latency chain alone costs more than preparing
+/// the document from scratch, which would defeat the snapshot's
+/// O(validate) opening promise in practice.  This digest consumes eight
+/// bytes per multiply across four *independent* lanes (the chains
+/// overlap in the pipeline), folds the lanes, absorbs the tail bytes
+/// byte-wise, and mixes in the length so differing-length prefixes never
+/// collide.  Deterministic across platforms (little-endian word reads by
+/// construction), same error-detection character as FNV for the
+/// corruption this format guards against: any flipped bit lands in
+/// exactly one lane and avalanches through every later multiply.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut lanes = [
+        FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15,
+        FNV_OFFSET ^ 0xc2b2_ae3d_27d4_eb4f,
+        FNV_OFFSET ^ 0x1656_67b1_9e37_79f9,
+        FNV_OFFSET ^ 0x27d4_eb2f_1656_67c5,
+    ];
+    let mut chunks = bytes.chunks_exact(32);
+    for chunk in &mut chunks {
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            let w = u64::from_le_bytes(chunk[i * 8..i * 8 + 8].try_into().unwrap());
+            *lane = (*lane ^ w).wrapping_mul(FNV_PRIME);
+        }
+    }
+    let mut hash = FNV_OFFSET;
+    for lane in lanes {
+        hash = (hash ^ lane).wrapping_mul(FNV_PRIME);
+    }
+    for &b in chunks.remainder() {
+        hash = (hash ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    (hash ^ bytes.len() as u64).wrapping_mul(FNV_PRIME)
+}
+
+/// Borrows `bytes` as a `u32` slice without copying, when layout permits.
+///
+/// Returns `None` unless *all* of the following hold, in which case the
+/// reinterpretation is sound:
+/// * the pointer is aligned to `align_of::<u32>()` (no misaligned loads),
+/// * the length is an exact multiple of 4 (no partial trailing word),
+/// * the target is little-endian (the snapshot byte order), so the bit
+///   patterns already mean what the column values mean.
+///
+/// Callers fall back to [`decode_u32s`] on `None`; both paths produce the
+/// same values, which the test suite asserts.
+pub fn as_u32s(bytes: &[u8]) -> Option<&[u32]> {
+    if !cfg!(target_endian = "little") {
+        return None;
+    }
+    if bytes.len() % 4 != 0 || bytes.as_ptr().align_offset(std::mem::align_of::<u32>()) != 0 {
+        return None;
+    }
+    // SAFETY: the pointer is non-null (it comes from a valid slice),
+    // aligned for u32 (checked above), and the region spans exactly
+    // `len / 4` u32s within the original allocation (length checked
+    // above).  u32 has no invalid bit patterns, the source bytes are
+    // initialized, and the borrow inherits the input lifetime, so the
+    // aliasing rules are those of the original shared slice.
+    Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u32>(), bytes.len() / 4) })
+}
+
+/// Decodes little-endian `u32`s from `bytes`, copying.
+///
+/// # Panics
+/// Panics if `bytes.len()` is not a multiple of 4 (callers validate
+/// section lengths before decoding).
+pub fn decode_u32s(bytes: &[u8]) -> Vec<u32> {
+    assert!(
+        bytes.len() % 4 == 0,
+        "u32 section length must be a multiple of 4"
+    );
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// Decodes a `u32` column, preferring the zero-copy borrow when layout
+/// permits and falling back to the portable decode otherwise.
+pub fn read_u32s(bytes: &[u8]) -> Vec<u32> {
+    match as_u32s(bytes) {
+        Some(words) => words.to_vec(),
+        None => decode_u32s(bytes),
+    }
+}
+
+/// Appends `v` to `out` in the snapshot byte order (little-endian).
+pub fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends `v` to `out` in the snapshot byte order (little-endian).
+pub fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a little-endian `u32` at `offset`, if in bounds.
+pub fn get_u32(bytes: &[u8], offset: usize) -> Option<u32> {
+    let s = bytes.get(offset..offset + 4)?;
+    Some(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+/// Reads a little-endian `u64` at `offset`, if in bounds.
+pub fn get_u64(bytes: &[u8], offset: usize) -> Option<u64> {
+    let s = bytes.get(offset..offset + 8)?;
+    Some(u64::from_le_bytes([
+        s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fnv_detects_single_bit_flips() {
+        let data = vec![7u8; 1024];
+        let base = fnv1a64(&data);
+        for i in [0usize, 511, 1023] {
+            let mut flipped = data.clone();
+            flipped[i] ^= 1;
+            assert_ne!(fnv1a64(&flipped), base, "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn checksum_detects_single_bit_flips_in_every_region() {
+        // 1000 bytes = 31 full 32-byte chunks + an 8-byte tail, so flips
+        // are probed in each lane position and in the remainder.
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 7) as u8).collect();
+        let base = checksum64(&data);
+        for i in [0usize, 7, 8, 15, 16, 23, 24, 31, 500, 992, 999] {
+            let mut flipped = data.clone();
+            flipped[i] ^= 1;
+            assert_ne!(checksum64(&flipped), base, "flip at {i}");
+        }
+        // Length is part of the digest: a zero-extended payload differs.
+        let mut extended = data.clone();
+        extended.push(0);
+        assert_ne!(checksum64(&extended), base);
+        // Lanes are positional: the same word set in a different order
+        // digests differently (a plain XOR fold would collide here).
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        a[0] = 1;
+        b[8] = 1;
+        assert_ne!(checksum64(&a), checksum64(&b));
+    }
+
+    #[test]
+    fn fast_and_portable_decodes_agree() {
+        let values: Vec<u32> = (0u32..257)
+            .map(|i| i.wrapping_mul(0x0101_0101).wrapping_add(7))
+            .collect();
+        let mut bytes = Vec::new();
+        for &v in &values {
+            push_u32(&mut bytes, v);
+        }
+        assert_eq!(decode_u32s(&bytes), values);
+        assert_eq!(read_u32s(&bytes), values);
+        if let Some(borrowed) = as_u32s(&bytes) {
+            assert_eq!(borrowed, values.as_slice());
+        }
+    }
+
+    #[test]
+    fn misaligned_and_ragged_slices_decline_the_fast_path() {
+        let mut bytes = [0u8; 17];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        // Length not a multiple of 4.
+        assert!(as_u32s(&bytes[..17]).is_none());
+        // Offset by one byte: at most one of the two can be aligned.
+        let a = bytes[..16].as_ptr().align_offset(4) == 0;
+        let b = bytes[1..17].as_ptr().align_offset(4) == 0;
+        assert!(!(a && b));
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        let mut out = Vec::new();
+        push_u32(&mut out, 0xdead_beef);
+        push_u64(&mut out, 0x0123_4567_89ab_cdef);
+        assert_eq!(get_u32(&out, 0), Some(0xdead_beef));
+        assert_eq!(get_u64(&out, 4), Some(0x0123_4567_89ab_cdef));
+        assert_eq!(get_u32(&out, 9), None);
+        assert_eq!(get_u64(&out, 5), None);
+    }
+}

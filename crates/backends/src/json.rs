@@ -1,0 +1,435 @@
+//! JSON as a tree backend: proves the engine is a general tree-query
+//! engine, not an XML engine with extra steps.
+//!
+//! [`JsonProvider`] parses a JSON document (RFC 8259 subset: objects,
+//! arrays, strings with escapes, numbers, booleans, null) and replays it
+//! through the [`TreeBuilder`] event surface, mapping JSON onto the XPath
+//! element/attribute/text model:
+//!
+//! * an **object** becomes an element; each key becomes a child element
+//!   wrapping the value — except keys starting with `@` whose value is a
+//!   scalar, which become **attributes** of the object's element,
+//! * an **array under a key** flattens into repeated elements named after
+//!   the key (the idiomatic XML shape for collections); arrays elsewhere
+//!   (top level, or nested directly in arrays) become an element with
+//!   `item` children,
+//! * **scalars** become text content (`null` becomes an empty element).
+//!
+//! The whole document is wrapped in a root element (default tag `json`) so
+//! that absolute paths have a stable entry point:
+//! `{"user": {"@id": "7", "name": "kim"}}` answers
+//! `/json/user[@id = '7']/name`.
+
+use std::fmt;
+use xpeval_dom::{TreeBuildError, TreeBuilder, TreeProvider};
+
+/// A [`TreeProvider`] over a JSON document.
+///
+/// ```
+/// use xpeval_backends::JsonProvider;
+/// use xpeval_dom::TreeProvider;
+///
+/// let doc = JsonProvider::new(r#"{"user": [{"name": "kim"}, {"name": "ada"}]}"#)
+///     .build_prepared()
+///     .unwrap();
+/// assert_eq!(doc.elements_named("user").len(), 2);
+/// assert_eq!(doc.elements_named("name").len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct JsonProvider {
+    input: String,
+    root_name: String,
+}
+
+impl JsonProvider {
+    /// A provider over a JSON string, rooted at a `json` element.
+    pub fn new(input: impl Into<String>) -> Self {
+        JsonProvider {
+            input: input.into(),
+            root_name: "json".to_string(),
+        }
+    }
+
+    /// Renames the wrapping root element.
+    pub fn with_root_name(mut self, name: impl Into<String>) -> Self {
+        self.root_name = name.into();
+        self
+    }
+}
+
+impl TreeProvider for JsonProvider {
+    fn provide(&self, builder: &mut TreeBuilder) -> Result<(), TreeBuildError> {
+        let mut p = JsonParser {
+            input: self.input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.parse_value()?;
+        p.skip_ws();
+        if p.pos != p.input.len() {
+            return Err(TreeBuildError::at(
+                p.pos,
+                "trailing content after JSON value",
+            ));
+        }
+        emit(builder, &self.root_name, &value);
+        Ok(())
+    }
+}
+
+/// Parsed JSON value.  Numbers keep their source spelling so the text
+/// content round-trips exactly (`1e3` stays `1e3`).
+#[derive(Debug, Clone)]
+enum JsonValue {
+    Null,
+    Bool(bool),
+    Number(String),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// The text form of a scalar; `None` for arrays and objects.
+    fn scalar_text(&self) -> Option<String> {
+        match self {
+            JsonValue::Null => Some(String::new()),
+            JsonValue::Bool(b) => Some(b.to_string()),
+            JsonValue::Number(n) => Some(n.clone()),
+            JsonValue::String(s) => Some(s.clone()),
+            JsonValue::Array(_) | JsonValue::Object(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.scalar_text() {
+            Some(s) => f.write_str(&s),
+            None => f.write_str("<composite>"),
+        }
+    }
+}
+
+fn emit(b: &mut TreeBuilder, name: &str, value: &JsonValue) {
+    match value {
+        JsonValue::Object(pairs) => {
+            b.open_element(name);
+            for (k, v) in pairs {
+                if let (Some(attr), Some(text)) = (k.strip_prefix('@'), v.scalar_text()) {
+                    b.attribute(attr, text);
+                }
+            }
+            for (k, v) in pairs {
+                if k.starts_with('@') && v.scalar_text().is_some() {
+                    continue;
+                }
+                match v {
+                    JsonValue::Array(items) => {
+                        for item in items {
+                            emit(b, k, item);
+                        }
+                    }
+                    _ => emit(b, k, v),
+                }
+            }
+            b.close_element();
+        }
+        JsonValue::Array(items) => {
+            b.open_element(name);
+            for item in items {
+                emit(b, "item", item);
+            }
+            b.close_element();
+        }
+        scalar => {
+            b.open_element(name);
+            if let Some(text) = scalar.scalar_text() {
+                if !text.is_empty() {
+                    b.text(text);
+                }
+            }
+            b.close_element();
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn error(&self, msg: impl Into<String>) -> TreeBuildError {
+        TreeBuildError::at(self.pos, msg)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(
+            self.peek(),
+            Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')
+        ) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), TreeBuildError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.input[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, TreeBuildError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b't') if self.eat_keyword("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(JsonValue::Bool(false)),
+            Some(b'n') if self.eat_keyword("null") => Ok(JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, TreeBuildError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, TreeBuildError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, TreeBuildError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .input
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates are replaced rather than paired —
+                            // enough for the workloads this backend feeds.
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.input.len() && (self.input[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(&String::from_utf8_lossy(&self.input[start..self.pos]));
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, TreeBuildError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if self.pos == start || (self.pos == start + 1 && self.input[start] == b'-') {
+            return Err(self.error("expected a number"));
+        }
+        Ok(JsonValue::Number(
+            String::from_utf8_lossy(&self.input[start..self.pos]).into_owned(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpeval_dom::TreeProvider;
+
+    #[test]
+    fn objects_become_elements_and_scalars_text() {
+        let doc = JsonProvider::new(r#"{"user": {"name": "kim", "age": 41}}"#)
+            .build_prepared()
+            .unwrap();
+        let name = doc.elements_named("name")[0];
+        assert_eq!(doc.string_value(name), "kim");
+        let age = doc.elements_named("age")[0];
+        assert_eq!(doc.string_value(age), "41");
+        assert_eq!(doc.elements_named("json").len(), 1);
+    }
+
+    #[test]
+    fn at_keys_become_attributes() {
+        let doc = JsonProvider::new(r#"{"user": {"@id": "7", "name": "kim"}}"#)
+            .build_prepared()
+            .unwrap();
+        let user = doc.elements_named("user")[0];
+        assert_eq!(doc.attribute_value(user, "id"), Some("7"));
+        assert_eq!(doc.elements_named("name").len(), 1);
+        // The @-key did not also become an element.
+        assert_eq!(doc.elements_named("@id").len(), 0);
+    }
+
+    #[test]
+    fn keyed_arrays_flatten_into_repeated_elements() {
+        let doc = JsonProvider::new(r#"{"xs": [1, 2, 3]}"#)
+            .build_prepared()
+            .unwrap();
+        let xs = doc.elements_named("xs");
+        assert_eq!(xs.len(), 3);
+        let values: Vec<String> = xs.iter().map(|&n| doc.string_value(n)).collect();
+        assert_eq!(values, ["1", "2", "3"]);
+    }
+
+    #[test]
+    fn bare_arrays_get_item_children() {
+        let doc = JsonProvider::new(r#"[true, null, "x"]"#)
+            .build_prepared()
+            .unwrap();
+        let items = doc.elements_named("item");
+        assert_eq!(items.len(), 3);
+        assert_eq!(doc.string_value(items[0]), "true");
+        assert_eq!(doc.string_value(items[1]), "");
+        assert_eq!(doc.string_value(items[2]), "x");
+    }
+
+    #[test]
+    fn escapes_and_number_spellings_survive() {
+        let doc = JsonProvider::new(r#"{"s": "a\"b\ncA", "n": 1e3}"#)
+            .build_prepared()
+            .unwrap();
+        let s = doc.elements_named("s")[0];
+        assert_eq!(
+            doc.string_value(s),
+            "a\"b\nA".replace('A', "c\u{41}").as_str()
+        );
+        let n = doc.elements_named("n")[0];
+        assert_eq!(doc.string_value(n), "1e3");
+    }
+
+    #[test]
+    fn root_name_is_configurable() {
+        let doc = JsonProvider::new("{}")
+            .with_root_name("r")
+            .build_prepared()
+            .unwrap();
+        assert_eq!(doc.elements_named("r").len(), 1);
+        assert_eq!(doc.elements_named("json").len(), 0);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_with_offsets() {
+        for bad in ["{", "[1,", "{\"a\" 1}", "tru", "\"unterminated", "1 2", ""] {
+            let err = JsonProvider::new(bad).build().unwrap_err();
+            assert!(err.offset.is_some(), "{bad}: {err}");
+        }
+    }
+}

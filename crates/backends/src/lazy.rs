@@ -1,0 +1,842 @@
+//! Lazy XML backend: tokenize up front, materialize on demand.
+//!
+//! [`LazyDocument`] scans the XML input **once**, structurally — no arena
+//! nodes, no strings beyond tag names — and splits it into a *spine* (large
+//! elements, kept verbatim in every materialization) and *extents* (small
+//! subtrees, each carrying its byte range and the set of element tags it
+//! contains).  The first query then materializes only the extents whose tag
+//! sets intersect the tags the query can touch
+//! ([`required_tags`]); a query for a rare tag on a large document parses a
+//! fraction of it.
+//!
+//! ## Soundness
+//!
+//! A materialization wave keeps every spine byte and a chosen subset of
+//! extents, so the result is a well-formed document in which
+//!
+//! * every element whose tag is *required* by the query is present with its
+//!   **complete subtree** (an extent is a whole subtree; a required tag in
+//!   a dropped extent would contradict the choice; required tags occurring
+//!   on the spine force full materialization),
+//! * all ancestors of every resident node are resident (spine bytes always
+//!   are), and relative document order among resident nodes is preserved.
+//!
+//! [`required_tags`] is conservative: any construct whose result could
+//! depend on *unnamed* nodes (a trailing `*`/`node()`/`text()` step, a
+//! predicate on a wildcard step, a function outside the analyzed core)
+//! returns `None` and the document is materialized in full.  `//x` style
+//! queries — a predicate-free `descendant-or-self::node()` pass-through
+//! step followed by named steps — stay analyzable.
+//!
+//! ## Caveats
+//!
+//! [`NodeId`](xpeval_dom::NodeId)s are **not stable across waves**: growing
+//! the resident set re-parses into a fresh arena.  Callers that cache node
+//! sets must key them by the returned [`Arc`] identity (the catalog bumps
+//! its revision on every wave for exactly this reason).
+
+use std::collections::HashSet;
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
+use xpeval_dom::{parse_xml, Axis, NodeTest, PreparedDocument, XmlParseError};
+use xpeval_syntax::{Expr, LocationPath};
+
+/// Subtrees up to this many bytes become extents by default; larger
+/// elements join the spine.  Sized so that record-shaped leaves (an item,
+/// a person, a log entry) are extents while containers stay spine.
+pub const DEFAULT_EXTENT_THRESHOLD: usize = 1024;
+
+/// One skippable subtree: its byte range in the input and the element tags
+/// occurring anywhere inside it.
+#[derive(Debug)]
+struct Extent {
+    range: Range<usize>,
+    tags: HashSet<String>,
+}
+
+/// Document pieces in input order: spine bytes are always emitted, extents
+/// only when chosen.
+#[derive(Debug)]
+enum Piece {
+    Verbatim(Range<usize>),
+    Extent(usize),
+}
+
+#[derive(Debug, Default)]
+struct LazyState {
+    /// Monotone per-extent choice flags.
+    chosen: Vec<bool>,
+    /// The prepared document for the current chosen set, if built.
+    resident: Option<Arc<PreparedDocument>>,
+}
+
+/// An XML document tokenized into extents, materialized query by query.
+///
+/// ```
+/// use xpeval_backends::LazyDocument;
+/// use xpeval_syntax::parse_query;
+///
+/// let lazy = LazyDocument::with_threshold("<r><a>x</a><b>y</b></r>", 8).unwrap();
+/// let expr = parse_query("//a").unwrap();
+/// let doc = lazy.materialize_for(&expr).unwrap();
+/// assert_eq!(doc.elements_named("a").len(), 1);
+/// assert!(lazy.resident_nodes() < lazy.total_nodes());
+/// ```
+#[derive(Debug)]
+pub struct LazyDocument {
+    input: String,
+    pieces: Vec<Piece>,
+    extents: Vec<Extent>,
+    /// Tags of elements kept verbatim on the spine.  A query requiring one
+    /// of these needs that element's full subtree, which the spine does not
+    /// guarantee — so it forces full materialization.
+    spine_tags: HashSet<String>,
+    /// Exact node count (root + elements + attributes + text runs) of the
+    /// fully materialized document, from the structural scan.
+    total_nodes: usize,
+    /// When the whole document collapsed into a single extent, its index.
+    /// That extent must stay chosen in every wave — a wave without the
+    /// document element would not be well-formed.
+    root_extent: Option<usize>,
+    state: Mutex<LazyState>,
+}
+
+impl LazyDocument {
+    /// Tokenizes `input` with the [default threshold]
+    /// (DEFAULT_EXTENT_THRESHOLD).  O(bytes), builds no tree.
+    pub fn new(input: impl Into<String>) -> Result<Self, XmlParseError> {
+        Self::with_threshold(input, DEFAULT_EXTENT_THRESHOLD)
+    }
+
+    /// Tokenizes `input`, turning subtrees of at most `threshold` bytes
+    /// into extents.
+    pub fn with_threshold(
+        input: impl Into<String>,
+        threshold: usize,
+    ) -> Result<Self, XmlParseError> {
+        let input = input.into();
+        let mut scanner = Scanner {
+            input: input.as_bytes(),
+            pos: 0,
+            threshold,
+            extents: Vec::new(),
+            spine_tags: HashSet::new(),
+            nodes: 1, // the conceptual root
+        };
+        scanner.skip_prolog()?;
+        let root = scanner.scan_element()?;
+        scanner.skip_misc();
+        if scanner.pos != scanner.input.len() {
+            return Err(scanner.error("trailing content after document element"));
+        }
+        // The root element is one final extent candidate like any other:
+        // a tiny document collapses into a single extent (absorbing any
+        // recorded inside it).
+        let root_extent = if root.end - root.start <= threshold {
+            scanner.extents.clear();
+            scanner.extents.push(Extent {
+                range: root.start..root.end,
+                tags: root.tags,
+            });
+            Some(0)
+        } else {
+            scanner.spine_tags.insert(root.tag);
+            None
+        };
+
+        let mut pieces = Vec::with_capacity(scanner.extents.len() * 2 + 1);
+        let mut cut = 0usize;
+        for (i, e) in scanner.extents.iter().enumerate() {
+            if e.range.start > cut {
+                pieces.push(Piece::Verbatim(cut..e.range.start));
+            }
+            pieces.push(Piece::Extent(i));
+            cut = e.range.end;
+        }
+        if cut < input.len() {
+            pieces.push(Piece::Verbatim(cut..input.len()));
+        }
+        let mut chosen = vec![false; scanner.extents.len()];
+        if let Some(i) = root_extent {
+            chosen[i] = true;
+        }
+        Ok(LazyDocument {
+            pieces,
+            extents: scanner.extents,
+            spine_tags: scanner.spine_tags,
+            total_nodes: scanner.nodes,
+            root_extent,
+            input,
+            state: Mutex::new(LazyState {
+                chosen,
+                resident: None,
+            }),
+        })
+    }
+
+    /// Number of extents the tokenizer produced.
+    pub fn extent_count(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Exact node count of the *fully* materialized document — the
+    /// denominator of the laziness ratio.
+    pub fn total_nodes(&self) -> usize {
+        self.total_nodes
+    }
+
+    /// Node count of the currently resident document (1 — just the
+    /// conceptual root — before any materialization).
+    pub fn resident_nodes(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap()
+            .resident
+            .as_ref()
+            .map_or(1, |p| p.node_count())
+    }
+
+    /// The currently resident document, if any wave has run.
+    pub fn resident(&self) -> Option<Arc<PreparedDocument>> {
+        self.state.lock().unwrap().resident.clone()
+    }
+
+    /// Materializes (at least) every subtree `expr` can touch and returns
+    /// the resident document.  The chosen extent set only grows; if this
+    /// wave adds extents, the arena is rebuilt and **previously returned
+    /// documents (and their node ids) do not describe the new one**.
+    pub fn materialize_for(&self, expr: &Expr) -> Result<Arc<PreparedDocument>, XmlParseError> {
+        let wanted = self.wanted_extents(expr);
+        let mut state = self.state.lock().unwrap();
+        let mut grew = false;
+        match wanted {
+            None => {
+                for c in state.chosen.iter_mut() {
+                    grew |= !*c;
+                    *c = true;
+                }
+            }
+            Some(tags) => {
+                for (i, e) in self.extents.iter().enumerate() {
+                    if !state.chosen[i] && tags.iter().any(|t| e.tags.contains(t)) {
+                        state.chosen[i] = true;
+                        grew = true;
+                    }
+                }
+            }
+        }
+        if grew || state.resident.is_none() {
+            state.resident = Some(Arc::new(self.build_wave(&state.chosen)?));
+        }
+        Ok(state.resident.clone().expect("wave was just built"))
+    }
+
+    /// Materializes every extent (the eager-equivalent document).
+    pub fn materialize_all(&self) -> Result<Arc<PreparedDocument>, XmlParseError> {
+        let mut state = self.state.lock().unwrap();
+        let grew = state.chosen.iter().any(|&c| !c);
+        for c in state.chosen.iter_mut() {
+            *c = true;
+        }
+        if grew || state.resident.is_none() {
+            state.resident = Some(Arc::new(self.build_wave(&state.chosen)?));
+        }
+        Ok(state.resident.clone().expect("wave was just built"))
+    }
+
+    /// Drops all materialized state: the next query starts from an empty
+    /// chosen set.  This is the eviction hook — a demoted lazy document
+    /// keeps only its input string and extent table.
+    pub fn demote(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.chosen.iter_mut().for_each(|c| *c = false);
+        if let Some(i) = self.root_extent {
+            state.chosen[i] = true;
+        }
+        state.resident = None;
+    }
+
+    /// Resets the chosen set to the spine-only minimum, builds that wave
+    /// and installs it as resident.  The catalog's weighted eviction uses
+    /// this to shed a document's materialized extents while keeping it
+    /// answerable: the spine wave is a well-formed document (extents are
+    /// whole subtrees) and the next query re-grows from it.
+    pub fn demote_to_spine(&self) -> Result<Arc<PreparedDocument>, XmlParseError> {
+        let mut state = self.state.lock().unwrap();
+        state.chosen.iter_mut().for_each(|c| *c = false);
+        if let Some(i) = self.root_extent {
+            state.chosen[i] = true;
+        }
+        let doc = Arc::new(self.build_wave(&state.chosen)?);
+        state.resident = Some(Arc::clone(&doc));
+        Ok(doc)
+    }
+
+    /// The extent tags `expr` requires, or `None` when the analysis cannot
+    /// bound the touched set (→ materialize everything).
+    fn wanted_extents(&self, expr: &Expr) -> Option<HashSet<String>> {
+        let tags = required_tags(expr)?;
+        // A required tag on the spine means some required element's subtree
+        // is only partially covered by extents — give up on partiality.
+        if tags.iter().any(|t| self.spine_tags.contains(t)) {
+            return None;
+        }
+        Some(tags)
+    }
+
+    /// Concatenates spine bytes and chosen extents, parses and prepares.
+    fn build_wave(&self, chosen: &[bool]) -> Result<PreparedDocument, XmlParseError> {
+        let mut text = String::with_capacity(self.input.len());
+        for piece in &self.pieces {
+            match piece {
+                Piece::Verbatim(r) => text.push_str(&self.input[r.clone()]),
+                Piece::Extent(i) if chosen[*i] => {
+                    text.push_str(&self.input[self.extents[*i].range.clone()])
+                }
+                Piece::Extent(_) => {}
+            }
+        }
+        Ok(parse_xml(&text)?.prepare())
+    }
+}
+
+/// Summary of one scanned element subtree.
+struct ElemScan {
+    tag: String,
+    start: usize,
+    end: usize,
+    /// Every element tag in the subtree, including `tag` itself.
+    tags: HashSet<String>,
+}
+
+/// Structure-only scanner mirroring the grammar of `xpeval_dom::parse_xml`
+/// (prolog, comments, PIs, both attribute quote styles) without building a
+/// tree.  Nested subtrees at most `threshold` bytes long are recorded as
+/// extents; their inner extent candidates are absorbed.
+struct Scanner<'a> {
+    input: &'a [u8],
+    pos: usize,
+    threshold: usize,
+    extents: Vec<Extent>,
+    spine_tags: HashSet<String>,
+    nodes: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn error(&self, msg: impl Into<String>) -> XmlParseError {
+        XmlParseError {
+            offset: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), XmlParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(
+            self.peek(),
+            Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')
+        ) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<(), XmlParseError> {
+        self.skip_ws();
+        if self.starts_with("<?xml") {
+            match self.input[self.pos..].windows(2).position(|w| w == b"?>") {
+                Some(rel) => self.pos += rel + 2,
+                None => return Err(self.error("unterminated XML declaration")),
+            }
+        }
+        self.skip_misc();
+        Ok(())
+    }
+
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                match self.input[self.pos + 4..]
+                    .windows(3)
+                    .position(|w| w == b"-->")
+                {
+                    Some(rel) => self.pos += 4 + rel + 3,
+                    None => {
+                        self.pos = self.input.len();
+                        return;
+                    }
+                }
+            } else if self.starts_with("<?") {
+                match self.input[self.pos..].windows(2).position(|w| w == b"?>") {
+                    Some(rel) => self.pos += rel + 2,
+                    None => {
+                        self.pos = self.input.len();
+                        return;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn scan_name(&mut self) -> Result<String, XmlParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ch = c as char;
+            if ch.is_ascii_alphanumeric() || matches!(ch, '_' | '-' | '.' | ':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn scan_element(&mut self) -> Result<ElemScan, XmlParseError> {
+        let start = self.pos;
+        self.expect(b'<')?;
+        let tag = self.scan_name()?;
+        self.nodes += 1;
+        let mut tags: HashSet<String> = HashSet::new();
+        tags.insert(tag.clone());
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok(ElemScan {
+                        tag,
+                        start,
+                        end: self.pos,
+                        tags,
+                    });
+                }
+                Some(_) => {
+                    self.scan_name()?;
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    let quote = self
+                        .peek()
+                        .ok_or_else(|| self.error("unexpected end in attribute"))?;
+                    if quote != b'"' && quote != b'\'' {
+                        return Err(self.error("attribute value must be quoted"));
+                    }
+                    self.pos += 1;
+                    while let Some(c) = self.peek() {
+                        if c == quote {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    self.expect(quote)?;
+                    self.nodes += 1;
+                }
+                None => return Err(self.error("unexpected end inside start tag")),
+            }
+        }
+        // Content.
+        loop {
+            let text_start = self.pos;
+            let mut text_nonws = false;
+            loop {
+                match self.peek() {
+                    None => return Err(self.error("unexpected end of input inside element")),
+                    Some(b'<') => break,
+                    Some(c) => {
+                        if !matches!(c, b' ' | b'\t' | b'\n' | b'\r') {
+                            text_nonws = true;
+                        }
+                        self.pos += 1;
+                    }
+                }
+            }
+            if text_nonws && self.pos > text_start {
+                self.nodes += 1;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let name = self.scan_name()?;
+                self.skip_ws();
+                self.expect(b'>')?;
+                if name != tag {
+                    return Err(self.error(format!(
+                        "mismatched end tag: expected </{tag}>, found </{name}>"
+                    )));
+                }
+                return Ok(ElemScan {
+                    tag,
+                    start,
+                    end: self.pos,
+                    tags,
+                });
+            } else if self.starts_with("<!--") {
+                match self.input[self.pos + 4..]
+                    .windows(3)
+                    .position(|w| w == b"-->")
+                {
+                    Some(rel) => self.pos += 4 + rel + 3,
+                    None => return Err(self.error("unterminated comment")),
+                }
+            } else if self.starts_with("<?") {
+                match self.input[self.pos..].windows(2).position(|w| w == b"?>") {
+                    Some(rel) => self.pos += rel + 2,
+                    None => return Err(self.error("unterminated processing instruction")),
+                }
+            } else {
+                let extents_before = self.extents.len();
+                let child = self.scan_element()?;
+                if child.end - child.start <= self.threshold {
+                    // The whole child subtree is skippable: absorb any
+                    // extents recorded inside it (they are covered by the
+                    // child's range) and record the child as one extent.
+                    self.extents.truncate(extents_before);
+                    tags.extend(child.tags.iter().cloned());
+                    self.extents.push(Extent {
+                        range: child.start..child.end,
+                        tags: child.tags,
+                    });
+                } else {
+                    self.spine_tags.insert(child.tag.clone());
+                    tags.extend(child.tags);
+                }
+            }
+        }
+    }
+}
+
+/// The element tags whose nodes (with complete subtrees) are sufficient to
+/// answer `expr` exactly, or `None` when the query's result could depend on
+/// nodes no name test pins down.
+///
+/// The analysis walks every location path:
+/// * `Name`/`Resolved` steps contribute their tag; attribute-axis name
+///   tests contribute nothing (attributes ride with their owner).
+/// * Wildcard steps (`*`, `node()`, `text()`) are allowed only as
+///   predicate-free *pass-through* (non-final) steps — exactly the shape
+///   `//` desugars to.  A trailing wildcard, or a predicate on one, bails.
+///   The one exception is a final `self::node()` step (`.`) inside a
+///   predicate of a named step, whose result is the (resident) context
+///   node.
+/// * Functions outside the analyzed core bail; zero-argument string
+///   functions bail unless the context node is pinned by a name test.
+pub fn required_tags(expr: &Expr) -> Option<HashSet<String>> {
+    let mut out = HashSet::new();
+    if collect_expr(expr, false, &mut out) {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+fn collect_expr(expr: &Expr, ctx_named: bool, out: &mut HashSet<String>) -> bool {
+    match expr {
+        Expr::Path(path) => collect_path(path, ctx_named, out),
+        Expr::Union(a, b) | Expr::Or(a, b) | Expr::And(a, b) => {
+            collect_expr(a, ctx_named, out) && collect_expr(b, ctx_named, out)
+        }
+        Expr::Relational { left, right, .. } | Expr::Arithmetic { left, right, .. } => {
+            collect_expr(left, ctx_named, out) && collect_expr(right, ctx_named, out)
+        }
+        Expr::Not(e) | Expr::Neg(e) => collect_expr(e, ctx_named, out),
+        Expr::Number(_) | Expr::Literal(_) => true,
+        Expr::FunctionCall { name, args } => {
+            let known = matches!(
+                name.as_str(),
+                "position"
+                    | "last"
+                    | "true"
+                    | "false"
+                    | "count"
+                    | "boolean"
+                    | "number"
+                    | "string"
+                    | "sum"
+                    | "string-length"
+                    | "normalize-space"
+                    | "floor"
+                    | "ceiling"
+                    | "round"
+                    | "contains"
+                    | "starts-with"
+                    | "concat"
+                    | "name"
+            );
+            if !known {
+                return false;
+            }
+            // Zero-argument string forms read the *context node's* string
+            // value, which is only complete when a name test pinned it.
+            let context_string = args.is_empty()
+                && matches!(
+                    name.as_str(),
+                    "string" | "string-length" | "normalize-space" | "name"
+                );
+            if context_string && !ctx_named {
+                return false;
+            }
+            args.iter().all(|a| collect_expr(a, ctx_named, out))
+        }
+    }
+}
+
+fn collect_path(path: &LocationPath, ctx_named: bool, out: &mut HashSet<String>) -> bool {
+    if path.steps.is_empty() {
+        // Bare `/`: the root's string value spans the whole document.
+        return false;
+    }
+    let last = path.steps.len() - 1;
+    for (i, step) in path.steps.iter().enumerate() {
+        let is_final = i == last;
+        match &step.node_test {
+            NodeTest::Name(name) | NodeTest::Resolved { name, .. } => {
+                if step.axis != Axis::Attribute {
+                    out.insert(name.clone());
+                }
+                for pred in &step.predicates {
+                    if !collect_expr(pred, true, out) {
+                        return false;
+                    }
+                }
+            }
+            NodeTest::Star | NodeTest::AnyNode | NodeTest::Text => {
+                if !step.predicates.is_empty() {
+                    // Positions / conditions over wildcard candidates can
+                    // see nodes no tag pins down.
+                    return false;
+                }
+                if is_final {
+                    // A wildcard result set — unless it is `.` under a
+                    // named context, whose result is the context node.
+                    let self_dot =
+                        step.axis == Axis::SelfAxis && step.node_test == NodeTest::AnyNode;
+                    if !(self_dot && ctx_named) {
+                        return false;
+                    }
+                }
+                // Predicate-free pass-through (e.g. the
+                // `descendant-or-self::node()` that `//` desugars to):
+                // contributes nothing, forbids nothing.
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpeval_syntax::parse_query;
+
+    fn req(q: &str) -> Option<Vec<String>> {
+        let expr = parse_query(q).unwrap();
+        required_tags(&expr).map(|set| {
+            let mut v: Vec<String> = set.into_iter().collect();
+            v.sort();
+            v
+        })
+    }
+
+    #[test]
+    fn named_paths_collect_their_tags() {
+        assert_eq!(
+            req("/a/b/c"),
+            Some(vec!["a".into(), "b".into(), "c".into()])
+        );
+        assert_eq!(req("//item"), Some(vec!["item".into()]));
+        assert_eq!(
+            req("//item[bid > 3]/name"),
+            Some(vec!["bid".into(), "item".into(), "name".into()])
+        );
+        assert_eq!(
+            req("//a[not(b)] | //c"),
+            Some(vec!["a".into(), "b".into(), "c".into()])
+        );
+        // Attribute name tests ride with their (named) owners.
+        assert_eq!(req("//item/@id"), Some(vec!["item".into()]));
+        assert_eq!(req("//item[@id = '7']"), Some(vec!["item".into()]));
+    }
+
+    #[test]
+    fn wildcards_pass_through_but_never_terminate() {
+        assert_eq!(req("/a/*/b"), Some(vec!["a".into(), "b".into()]));
+        assert_eq!(req("//a"), Some(vec!["a".into()]));
+        assert_eq!(req("//*"), None);
+        assert_eq!(req("/a/b/*"), None);
+        assert_eq!(req("//a/text()"), None);
+        assert_eq!(req("/"), None);
+        // Predicates on wildcard steps bail.
+        assert_eq!(req("/a/*[2]/b"), None);
+    }
+
+    #[test]
+    fn functions_gate_the_analysis() {
+        assert_eq!(req("count(//item)"), Some(vec!["item".into()]));
+        assert_eq!(req("//a[position() = 2]"), Some(vec!["a".into()]));
+        assert_eq!(req("//a[contains(., 'x')]"), Some(vec!["a".into()]));
+        assert_eq!(req("//a[string-length() > 2]"), Some(vec!["a".into()]));
+        // Context string value with no pinning name test.
+        assert_eq!(req("string-length()"), None);
+    }
+
+    #[test]
+    fn tokenizer_splits_spine_and_extents() {
+        let xml = "<root><big><leaf>aaaaaaaaaaaaaaaaaaaaaaaaaaaaaa</leaf>\
+                   <leaf>bbbbbbbbbbbbbbbbbbbbbbbbbbbbbb</leaf></big><tiny>c</tiny></root>";
+        let lazy = LazyDocument::with_threshold(xml, 48).unwrap();
+        // Each <leaf> and <tiny> is an extent; <big> and <root> are spine.
+        assert_eq!(lazy.extent_count(), 3);
+        assert!(lazy.spine_tags.contains("root"));
+        assert!(lazy.spine_tags.contains("big"));
+        assert!(!lazy.spine_tags.contains("leaf"));
+        // root + 4 elements... root elem, big, 2 leaves, tiny = 5 elements,
+        // 3 text nodes, conceptual root.
+        assert_eq!(lazy.total_nodes(), 9);
+        assert_eq!(lazy.resident_nodes(), 1);
+    }
+
+    #[test]
+    fn targeted_query_materializes_a_strict_subset() {
+        let xml = "<root><big><leaf>aaaaaaaaaaaaaaaaaaaaaaaaaaaaaa</leaf>\
+                   <leaf>bbbbbbbbbbbbbbbbbbbbbbbbbbbbbb</leaf></big><tiny>c</tiny></root>";
+        let lazy = LazyDocument::with_threshold(xml, 48).unwrap();
+        let expr = parse_query("//tiny").unwrap();
+        let doc = lazy.materialize_for(&expr).unwrap();
+        assert_eq!(doc.elements_named("tiny").len(), 1);
+        assert_eq!(doc.elements_named("leaf").len(), 0);
+        assert!(lazy.resident_nodes() < lazy.total_nodes());
+        // Growing the set rebuilds; the previous Arc still describes the
+        // old wave.
+        let expr2 = parse_query("//leaf").unwrap();
+        let doc2 = lazy.materialize_for(&expr2).unwrap();
+        assert_eq!(doc2.elements_named("leaf").len(), 2);
+        assert_eq!(doc2.elements_named("tiny").len(), 1);
+        assert_eq!(doc.elements_named("leaf").len(), 0);
+    }
+
+    #[test]
+    fn unanalyzable_queries_materialize_everything() {
+        let xml = "<root><a>xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx</a><b>y</b></root>";
+        let lazy = LazyDocument::with_threshold(xml, 44).unwrap();
+        let expr = parse_query("//*").unwrap();
+        let doc = lazy.materialize_for(&expr).unwrap();
+        assert_eq!(lazy.resident_nodes(), lazy.total_nodes());
+        assert_eq!(doc.node_count(), lazy.total_nodes());
+    }
+
+    #[test]
+    fn spine_tag_queries_materialize_everything() {
+        let xml = "<root><big><leaf>aaaaaaaaaaaaaaaaaaaaaaaaaaaaaa</leaf></big><t>c</t></root>";
+        let lazy = LazyDocument::with_threshold(xml, 40).unwrap();
+        assert!(lazy.spine_tags.contains("big"));
+        let expr = parse_query("//big").unwrap();
+        lazy.materialize_for(&expr).unwrap();
+        assert_eq!(lazy.resident_nodes(), lazy.total_nodes());
+    }
+
+    #[test]
+    fn demote_resets_to_cold() {
+        let xml = "<root><a>xxxxxxxxxxxxxxxxxxxx</a><b>y</b></root>";
+        let lazy = LazyDocument::with_threshold(xml, 30).unwrap();
+        lazy.materialize_all().unwrap();
+        assert_eq!(lazy.resident_nodes(), lazy.total_nodes());
+        lazy.demote();
+        assert_eq!(lazy.resident_nodes(), 1);
+        assert!(lazy.resident().is_none());
+        // Re-materialization works after demotion.
+        let expr = parse_query("//b").unwrap();
+        let doc = lazy.materialize_for(&expr).unwrap();
+        assert_eq!(doc.elements_named("b").len(), 1);
+    }
+
+    #[test]
+    fn demote_to_spine_sheds_extents_but_stays_answerable() {
+        let xml = "<root><big><leaf>aaaaaaaaaaaaaaaaaaaaaaaaaaaaaa</leaf>\
+                   <leaf>bbbbbbbbbbbbbbbbbbbbbbbbbbbbbb</leaf></big><tiny>c</tiny></root>";
+        let lazy = LazyDocument::with_threshold(xml, 48).unwrap();
+        lazy.materialize_all().unwrap();
+        assert_eq!(lazy.resident_nodes(), lazy.total_nodes());
+        let spine = lazy.demote_to_spine().unwrap();
+        assert!(spine.node_count() < lazy.total_nodes());
+        assert_eq!(lazy.resident_nodes(), spine.node_count());
+        // Spine keeps the containers, sheds the leaf subtrees.
+        assert_eq!(spine.elements_named("big").len(), 1);
+        assert_eq!(spine.elements_named("leaf").len(), 0);
+        // The next targeted wave re-grows from the spine.
+        let expr = parse_query("//tiny").unwrap();
+        let doc = lazy.materialize_for(&expr).unwrap();
+        assert_eq!(doc.elements_named("tiny").len(), 1);
+    }
+
+    #[test]
+    fn single_extent_documents_keep_their_root_in_every_wave() {
+        // The whole document fits one extent; a wave must still contain the
+        // document element, including after demotion and for queries that
+        // match no extent tag.
+        let lazy = LazyDocument::with_threshold("<r><a>x</a></r>", 1024).unwrap();
+        assert_eq!(lazy.extent_count(), 1);
+        let expr = parse_query("//zzz").unwrap();
+        let doc = lazy.materialize_for(&expr).unwrap();
+        assert_eq!(doc.elements_named("zzz").len(), 0);
+        assert_eq!(doc.elements_named("a").len(), 1);
+        lazy.demote();
+        let spine = lazy.demote_to_spine().unwrap();
+        assert_eq!(spine.elements_named("r").len(), 1);
+    }
+
+    #[test]
+    fn lazy_agrees_with_eager_on_targeted_tags() {
+        let xml = "<r><grp><x>111111111111111111111111</x><y>2</y></grp>\
+                   <grp><x>333333333333333333333333</x></grp></r>";
+        let eager = parse_xml(xml).unwrap().prepare();
+        let lazy = LazyDocument::with_threshold(xml, 40).unwrap();
+        let expr = parse_query("//y").unwrap();
+        let doc = lazy.materialize_for(&expr).unwrap();
+        // Same y nodes, by name and string value.
+        let eager_y: Vec<String> = eager
+            .elements_named("y")
+            .iter()
+            .map(|&n| eager.string_value(n))
+            .collect();
+        let lazy_y: Vec<String> = doc
+            .elements_named("y")
+            .iter()
+            .map(|&n| doc.string_value(n))
+            .collect();
+        assert_eq!(eager_y, lazy_y);
+    }
+
+    #[test]
+    fn tokenizer_rejects_malformed_input() {
+        assert!(LazyDocument::new("<a><b></a></b>").is_err());
+        assert!(LazyDocument::new("<a/><b/>").is_err());
+        assert!(LazyDocument::new("<a k=v/>").is_err());
+        assert!(LazyDocument::new("").is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Pluggable tree storage backends for the `xpeval` engine.
+//!
+//! The evaluation core (`xpeval-core`) consumes trees through the
+//! [`xpeval_dom::AxisSource`] trait and reports what index structures a
+//! source offers via [`xpeval_dom::SourceCapabilities`].  This crate
+//! provides three alternative ways of *getting* to such a source, each
+//! trading ingest cost against first-query latency differently:
+//!
+//! * **Eager** (the baseline, lives in `xpeval-dom`): parse the whole XML
+//!   document and build every index up front.  Highest ingest cost, lowest
+//!   per-query cost.  [`BackendKind::Eager`].
+//! * **Lazy** ([`LazyDocument`]): tokenize the document into a structural
+//!   spine plus small subtree *extents*, then materialize only the extents
+//!   a query's tag footprint can touch.  A targeted query on a large
+//!   document parses a fraction of it.  [`BackendKind::Lazy`].
+//! * **Snapshot** ([`PreparedSnapshot`]): serialize a fully prepared
+//!   document — arena, keys, *and* index tables — into a versioned,
+//!   checksummed binary image.  Re-opening costs O(validate), not
+//!   O(parse + index); with the `mmap` feature the image is mapped rather
+//!   than read.  [`BackendKind::Snapshot`].
+//! * **Tree providers** ([`JsonProvider`], and anything implementing
+//!   [`xpeval_dom::TreeProvider`]): build documents from non-XML sources
+//!   through the same builder events, so every downstream layer — indexes,
+//!   strategies, caches — works unchanged.  [`BackendKind::Tree`].
+//!
+//! | backend  | ingest          | first query         | re-open        |
+//! |----------|-----------------|---------------------|----------------|
+//! | eager    | parse + index   | fast                | parse + index  |
+//! | lazy     | tokenize only   | parses touched part | tokenize only  |
+//! | snapshot | one-time export | fast                | validate bytes |
+//! | tree     | provider-defined| fast                | provider-defined |
+
+pub mod bytes;
+pub mod json;
+pub mod lazy;
+pub mod snapshot;
+
+pub use json::JsonProvider;
+pub use lazy::{required_tags, LazyDocument, DEFAULT_EXTENT_THRESHOLD};
+pub use snapshot::{
+    PreparedSnapshot, SnapshotError, SNAPSHOT_HEADER_LEN, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
+
+/// Which storage backend a document is served from.
+///
+/// Carried in catalog artifact-cache keys so plans compiled against one
+/// backing never leak to another, and surfaced in stats/introspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Fully parsed and indexed up front (`parse_xml` + `prepare`).
+    Eager,
+    /// Tokenized spine with on-demand subtree materialization.
+    Lazy,
+    /// Zero-copy binary image of a prepared document.
+    Snapshot,
+    /// Built through a [`xpeval_dom::TreeProvider`] (e.g. JSON).
+    Tree,
+}
+
+impl BackendKind {
+    /// Stable label for display and cache-key derivation.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Eager => "eager",
+            BackendKind::Lazy => "lazy",
+            BackendKind::Snapshot => "snapshot",
+            BackendKind::Tree => "tree",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_kind_labels_are_distinct() {
+        let kinds = [
+            BackendKind::Eager,
+            BackendKind::Lazy,
+            BackendKind::Snapshot,
+            BackendKind::Tree,
+        ];
+        for (i, a) in kinds.iter().enumerate() {
+            for b in &kinds[i + 1..] {
+                assert_ne!(a.label(), b.label());
+            }
+        }
+    }
+}

@@ -138,7 +138,7 @@ fn write_serve_stats(path: &str, rows: &[(usize, ServeStats)]) {
 fn bench_async_serving(c: &mut Criterion) {
     let doc = Arc::new(auction_site_document(&mut StdRng::seed_from_u64(42), 600));
     let engine = serving_engine();
-    let prepared = engine.prepare(&doc);
+    let prepared = engine.prepare_keyed(1, &doc);
 
     // Sanity: the pool computes exactly what the loop computes.
     let reference = run_sync(&engine, &prepared, TOTAL);

@@ -87,7 +87,7 @@ fn bench_document_index(c: &mut Criterion) {
     });
 
     let engine = Engine::builder().build();
-    let engine_prepared = engine.prepare(&doc);
+    let engine_prepared = engine.prepare_keyed(1, &doc);
     for q in QUERIES {
         engine.evaluate_str(&doc, q).unwrap(); // warm the plan cache
     }

@@ -1,0 +1,147 @@
+//! Ingest paths: what it costs to get from raw bytes to a queryable
+//! document under each storage backend.
+//!
+//! * `parse_prepare` — the eager baseline: parse the XML and build every
+//!   axis index up front.
+//! * `lazy_tokenize` — `LazyDocument::new`: tokenize into spine +
+//!   extents, materialize nothing.
+//! * `lazy_first_query` — tokenize, grow the wave a targeted query needs
+//!   (`count(//person)`, ~25% of the document) and answer it — the
+//!   cold-start latency of the lazy backend.
+//! * `snapshot_open` — `PreparedSnapshot::from_bytes` on an in-memory
+//!   image: O(validate), the backend's headline number.
+//! * `snapshot_first_query` — open + decode + answer the same query —
+//!   the cold-start latency of the snapshot backend.
+//!
+//! The workload is the ~9.6k-node auction document (600 items) shared
+//! with `bench_mutation` and `bench_catalog`.
+//!
+//! The acceptance bars, hard-asserted under `INGEST_BENCH_STRICT=1` (in
+//! CI the medians feed `bench_gate`): `snapshot_open` at least 10× faster
+//! than `parse_prepare`, and the lazy first query materializing < 50% of
+//! the document's nodes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+use xpeval_backends::{LazyDocument, PreparedSnapshot};
+use xpeval_core::{CompiledQuery, Value};
+use xpeval_dom::{parse_xml, serialize, PreparedDocument};
+use xpeval_workloads::auction_site_document;
+
+const ITEMS: usize = 600; // ~9.6k nodes
+const QUERY: &str = "count(//person)";
+
+fn parse_prepare(xml: &str) -> PreparedDocument {
+    PreparedDocument::new(parse_xml(xml).unwrap())
+}
+
+fn lazy_first_query(xml: &str, plan: &CompiledQuery) -> (f64, usize) {
+    let lazy = LazyDocument::new(xml).unwrap();
+    let wave = lazy.materialize_for(plan.expr()).unwrap();
+    let out = plan.run_prepared(&wave).unwrap();
+    match out.value {
+        Value::Number(n) => (n, wave.node_count()),
+        _ => unreachable!(),
+    }
+}
+
+fn snapshot_first_query(bytes: Vec<u8>, plan: &CompiledQuery) -> f64 {
+    let snapshot = PreparedSnapshot::from_bytes(bytes).unwrap();
+    let doc = snapshot.document().unwrap();
+    match plan.run_prepared(&doc).unwrap().value {
+        Value::Number(n) => n,
+        _ => unreachable!(),
+    }
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let doc = auction_site_document(&mut StdRng::seed_from_u64(43), ITEMS);
+    let xml = serialize(&doc);
+    let plan = CompiledQuery::compile(QUERY).unwrap();
+
+    let eager = parse_prepare(&xml);
+    let total_nodes = eager.node_count();
+    let image = PreparedSnapshot::to_bytes(&eager);
+
+    // Sanity: every path answers the targeted query identically.
+    let expected = match plan.run_prepared(&eager).unwrap().value {
+        Value::Number(n) => n,
+        _ => unreachable!(),
+    };
+    let (lazy_answer, wave_nodes) = lazy_first_query(&xml, &plan);
+    assert_eq!(lazy_answer, expected);
+    assert_eq!(snapshot_first_query(image.clone(), &plan), expected);
+
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("parse_prepare", |b| {
+        b.iter(|| parse_prepare(&xml).node_count())
+    });
+    group.bench_function("lazy_tokenize", |b| {
+        b.iter(|| LazyDocument::new(&xml).unwrap().extent_count())
+    });
+    group.bench_function("lazy_first_query", |b| {
+        b.iter(|| lazy_first_query(&xml, &plan))
+    });
+    group.bench_function("snapshot_open", |b| {
+        b.iter(|| {
+            PreparedSnapshot::from_bytes(image.clone())
+                .unwrap()
+                .node_count()
+        })
+    });
+    group.bench_function("snapshot_first_query", |b| {
+        b.iter(|| snapshot_first_query(image.clone(), &plan))
+    });
+    group.finish();
+
+    // Headline ratios; skipped in `--test` smoke mode.
+    if std::env::args().skip(1).any(|a| a == "--test") {
+        return;
+    }
+    let rounds = 50u32;
+    let time = |f: &mut dyn FnMut() -> usize| {
+        let start = Instant::now();
+        for _ in 0..rounds {
+            criterion::black_box(f());
+        }
+        start.elapsed() / rounds
+    };
+    let eager_cost = time(&mut || parse_prepare(&xml).node_count());
+    let open_cost = time(&mut || {
+        PreparedSnapshot::from_bytes(image.clone())
+            .unwrap()
+            .node_count()
+    });
+    let lazy_cost = time(&mut || lazy_first_query(&xml, &plan).1);
+    let open_speedup = eager_cost.as_secs_f64() / open_cost.as_secs_f64();
+    let wave_fraction = wave_nodes as f64 / total_nodes as f64;
+    println!("ingest/parse_prepare    : {eager_cost:?} for {total_nodes} nodes");
+    println!(
+        "ingest/snapshot_open    : {open_cost:?} ({open_speedup:.1}x faster than parse+prepare)"
+    );
+    println!(
+        "ingest/lazy_first_query : {lazy_cost:?}, materialized {wave_nodes}/{total_nodes} nodes ({:.0}%)",
+        wave_fraction * 100.0
+    );
+    // The acceptance bars, hard-asserted only on request — CI gates the
+    // tracked medians through bench_gate instead of a one-shot ratio.
+    if std::env::var_os("INGEST_BENCH_STRICT").is_some() {
+        assert!(
+            open_speedup >= 10.0,
+            "expected snapshot open >= 10x faster than parse+prepare, got {open_speedup:.1}x"
+        );
+        assert!(
+            wave_fraction < 0.5,
+            "expected the targeted first query to materialize < 50% of nodes, got {:.0}%",
+            wave_fraction * 100.0
+        );
+    }
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

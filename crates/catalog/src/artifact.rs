@@ -42,6 +42,7 @@ use crate::stats::CatalogStats;
 use crate::DocId;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use xpeval_backends::BackendKind;
 use xpeval_core::steps::final_step_tag_names;
 use xpeval_core::{CompiledQuery, EvalError, EvalStats, EvalStrategy, QueryOutput, Value};
 use xpeval_dom::{PreparedDocument, TagId};
@@ -62,6 +63,11 @@ pub struct PlanArtifact {
     doc: DocId,
     generation: u64,
     revision: u64,
+    /// The storage backend the snapshot came from.  Part of the cache key:
+    /// a lazy entry's waves and an eager replacement of the same id must
+    /// never answer each other's lookups, even if their version
+    /// coordinates collide.
+    kind: BackendKind,
     strategy: EvalStrategy,
     /// The final-step name tests resolved against the document's tag
     /// index: `None` for the id when the tag does not occur in this
@@ -92,6 +98,7 @@ impl PlanArtifact {
         doc: DocId,
         generation: u64,
         revision: u64,
+        kind: BackendKind,
         prepared: &Arc<PreparedDocument>,
     ) -> Self {
         let specialized = plan.specialize_for_source(prepared.as_ref());
@@ -110,6 +117,7 @@ impl PlanArtifact {
             doc,
             generation,
             revision,
+            kind,
             strategy,
             resolved_tags,
             candidate_bound,
@@ -154,6 +162,7 @@ impl PlanArtifact {
             doc: self.doc,
             generation: self.generation,
             revision,
+            kind: self.kind,
             strategy: self.strategy,
             resolved_tags,
             candidate_bound,
@@ -199,6 +208,12 @@ impl PlanArtifact {
     /// [`crate::Catalog::mutate_named`] edit.
     pub fn revision(&self) -> u64 {
         self.revision
+    }
+
+    /// The storage backend kind of the entry this artifact was built for
+    /// (part of the cache key).
+    pub fn backend(&self) -> BackendKind {
+        self.kind
     }
 
     /// The pinned strategy choice (what `strategy_for_source` returned at
@@ -292,14 +307,17 @@ pub(crate) struct Retarget {
     pub(crate) generation: u64,
     pub(crate) old_revision: u64,
     pub(crate) new_revision: u64,
+    /// The entry's backend kind (unchanged by an in-place edit; mutations
+    /// that *promote* a backing purge instead of re-targeting).
+    pub(crate) kind: BackendKind,
     pub(crate) dirty: (u32, u32),
     pub(crate) renumbered: bool,
 }
 
 #[derive(Debug, Default)]
 struct ArtifactInner {
-    /// (doc, generation, revision) → query source → artifact.
-    groups: HashMap<(DocId, u64, u64), HashMap<String, ArtifactEntry>>,
+    /// (doc, generation, revision, backend kind) → query source → artifact.
+    groups: HashMap<(DocId, u64, u64, BackendKind), HashMap<String, ArtifactEntry>>,
     /// Total entries across all groups (the capacity the bound applies
     /// to).
     len: usize,
@@ -357,6 +375,7 @@ impl ArtifactCache {
         doc: DocId,
         generation: u64,
         revision: u64,
+        kind: BackendKind,
         query: &str,
     ) -> Option<Arc<PlanArtifact>> {
         let mut inner = self.inner.lock().unwrap();
@@ -364,7 +383,7 @@ impl ArtifactCache {
         let tick = inner.tick;
         match inner
             .groups
-            .get_mut(&(doc, generation, revision))
+            .get_mut(&(doc, generation, revision, kind))
             .and_then(|queries| queries.get_mut(query))
         {
             Some(entry) => {
@@ -386,7 +405,12 @@ impl ArtifactCache {
         if self.capacity == 0 {
             return;
         }
-        let group = (artifact.doc(), artifact.generation(), artifact.revision());
+        let group = (
+            artifact.doc(),
+            artifact.generation(),
+            artifact.revision(),
+            artifact.backend(),
+        );
         let mut inner = self.inner.lock().unwrap();
         inner.tick += 1;
         let tick = inner.tick;
@@ -467,11 +491,12 @@ impl ArtifactCache {
             generation,
             old_revision,
             new_revision,
+            kind,
             dirty,
             renumbered,
         } = edit;
         let mut inner = self.inner.lock().unwrap();
-        let Some(old_group) = inner.groups.remove(&(doc, generation, old_revision)) else {
+        let Some(old_group) = inner.groups.remove(&(doc, generation, old_revision, kind)) else {
             return (0, 0);
         };
         inner.len -= old_group.len();
@@ -495,7 +520,7 @@ impl ArtifactCache {
             // are valid for the new snapshot).
             if inner
                 .groups
-                .entry((doc, generation, new_revision))
+                .entry((doc, generation, new_revision, kind))
                 .or_default()
                 .insert(query, rebased)
                 .is_none()
@@ -548,7 +573,7 @@ mod tests {
     fn build_resolves_tags_and_pins_the_strategy() {
         let doc = prepared("<r><a/><b/><a/></r>");
         let q = plan("//a");
-        let artifact = PlanArtifact::build(&q, DocId::from_raw(1), 1, 0, &doc);
+        let artifact = PlanArtifact::build(&q, DocId::from_raw(1), 1, 0, BackendKind::Eager, &doc);
         assert_eq!(artifact.candidate_bound(), Some(2));
         let tags = artifact.resolved_tags().unwrap();
         assert_eq!(tags.len(), 1);
@@ -568,7 +593,7 @@ mod tests {
     fn zero_candidate_bound_short_circuits_after_one_verified_run() {
         let doc = prepared("<r><a/></r>");
         let q = plan("//nosuch");
-        let artifact = PlanArtifact::build(&q, DocId::from_raw(1), 1, 0, &doc);
+        let artifact = PlanArtifact::build(&q, DocId::from_raw(1), 1, 0, BackendKind::Eager, &doc);
         assert_eq!(artifact.candidate_bound(), Some(0));
         // The first run is a full evaluation (it must surface any error
         // the plan would raise), still empty.
@@ -582,7 +607,8 @@ mod tests {
         assert_eq!(repeat.stats, EvalStats::default());
         // Unions of present and absent tags keep the sum bound.
         let union = plan("//a | //nosuch");
-        let artifact = PlanArtifact::build(&union, DocId::from_raw(1), 1, 0, &doc);
+        let artifact =
+            PlanArtifact::build(&union, DocId::from_raw(1), 1, 0, BackendKind::Eager, &doc);
         assert_eq!(artifact.candidate_bound(), Some(1));
         assert_eq!(artifact.run().unwrap().value.expect_nodes().len(), 1);
     }
@@ -597,7 +623,7 @@ mod tests {
                 .unwrap()
                 .with_strategy(EvalStrategy::CoreXPathLinear),
         );
-        let artifact = PlanArtifact::build(&q, DocId::from_raw(1), 1, 0, &doc);
+        let artifact = PlanArtifact::build(&q, DocId::from_raw(1), 1, 0, BackendKind::Eager, &doc);
         assert_eq!(artifact.candidate_bound(), Some(0));
         for _ in 0..3 {
             assert!(matches!(
@@ -611,7 +637,8 @@ mod tests {
     fn non_name_bounded_queries_have_no_bound() {
         let doc = prepared("<r><a/></r>");
         for q in ["count(//a)", "//a/@id", "//node()"] {
-            let artifact = PlanArtifact::build(&plan(q), DocId::from_raw(1), 1, 0, &doc);
+            let artifact =
+                PlanArtifact::build(&plan(q), DocId::from_raw(1), 1, 0, BackendKind::Eager, &doc);
             assert_eq!(artifact.candidate_bound(), None, "{q}");
             assert!(artifact.resolved_tags().is_none(), "{q}");
             // And evaluation still works through the pinned plan.
@@ -625,21 +652,45 @@ mod tests {
         let cache = ArtifactCache::new(2);
         let d1 = DocId::from_raw(1);
         let d2 = DocId::from_raw(2);
-        assert!(cache.get(d1, 1, 0, "//a").is_none());
-        let a1 = Arc::new(PlanArtifact::build(&plan("//a"), d1, 1, 0, &doc));
+        assert!(cache.get(d1, 1, 0, BackendKind::Eager, "//a").is_none());
+        let a1 = Arc::new(PlanArtifact::build(
+            &plan("//a"),
+            d1,
+            1,
+            0,
+            BackendKind::Eager,
+            &doc,
+        ));
         cache.insert("//a", &a1);
-        assert!(Arc::ptr_eq(&cache.get(d1, 1, 0, "//a").unwrap(), &a1));
+        assert!(Arc::ptr_eq(
+            &cache.get(d1, 1, 0, BackendKind::Eager, "//a").unwrap(),
+            &a1
+        ));
         // A different generation is a different key.
-        assert!(cache.get(d1, 2, 0, "//a").is_none());
+        assert!(cache.get(d1, 2, 0, BackendKind::Eager, "//a").is_none());
 
-        let a2 = Arc::new(PlanArtifact::build(&plan("//a"), d2, 1, 0, &doc));
+        let a2 = Arc::new(PlanArtifact::build(
+            &plan("//a"),
+            d2,
+            1,
+            0,
+            BackendKind::Eager,
+            &doc,
+        ));
         cache.insert("//a", &a2);
         // Capacity 2: a third entry evicts the LRU one (d1 gen 1 was
         // touched most recently via get, so the victim is d2's).
-        cache.get(d1, 1, 0, "//a").unwrap();
-        let a3 = Arc::new(PlanArtifact::build(&plan("//r"), d1, 1, 0, &doc));
+        cache.get(d1, 1, 0, BackendKind::Eager, "//a").unwrap();
+        let a3 = Arc::new(PlanArtifact::build(
+            &plan("//r"),
+            d1,
+            1,
+            0,
+            BackendKind::Eager,
+            &doc,
+        ));
         cache.insert("//r", &a3);
-        assert!(cache.get(d2, 1, 0, "//a").is_none());
+        assert!(cache.get(d2, 1, 0, BackendKind::Eager, "//a").is_none());
 
         // Purging d1 drops all its artifacts, regardless of generation.
         let dropped = cache.purge_doc(d1);
@@ -660,9 +711,12 @@ mod tests {
             DocId::from_raw(1),
             1,
             0,
+            BackendKind::Eager,
             &doc,
         ));
         cache.insert("//a", &a);
-        assert!(cache.get(DocId::from_raw(1), 1, 0, "//a").is_none());
+        assert!(cache
+            .get(DocId::from_raw(1), 1, 0, BackendKind::Eager, "//a")
+            .is_none());
     }
 }

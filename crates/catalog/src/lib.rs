@@ -28,10 +28,21 @@
 //!   [`Catalog::evaluate_on_all`] and [`Catalog::evaluate_matching`] (glob
 //!   selection) run one query across many documents, returning
 //!   per-document [`FanOut`] results.
+//! * **Pluggable storage backends** — beyond the eager default,
+//!   [`Catalog::insert_lazy`] stores a tokenized document that
+//!   materializes subtree extents on demand (each query grows the
+//!   resident wave; `EvalStats::nodes_materialized` witnesses how little
+//!   a targeted query parsed), [`Catalog::insert_snapshot`] pins a
+//!   zero-copy `PreparedSnapshot`, and [`Catalog::insert_tree`] accepts
+//!   any non-XML `TreeProvider` (e.g. JSON).  Artifacts are additionally
+//!   keyed by [`BackendKind`]; [`CatalogBuilder::node_budget`] bounds
+//!   total *resident* nodes, demoting lazy entries back to their spine
+//!   before evicting anyone.
 //! * **Observability** — [`CatalogStats`] counts inserts, replacements,
-//!   evictions, resolve hits, artifact hits/misses/invalidations, with a
-//!   one-line [`Display`](std::fmt::Display) form in the family of
-//!   `CacheStats` and `ServeStats`.
+//!   evictions, demotions, resolve hits, artifact
+//!   hits/misses/invalidations, with a one-line
+//!   [`Display`](std::fmt::Display) form in the family of `CacheStats`
+//!   and `ServeStats`.
 //!
 //! ## Quickstart
 //!
@@ -70,6 +81,7 @@ pub mod store;
 pub use artifact::PlanArtifact;
 pub use stats::{CatalogStats, DocInfo};
 pub use store::{Catalog, CatalogBuilder, CatalogError, DocId, FanOut, MutationOutcome};
+pub use xpeval_backends::BackendKind;
 pub use xpeval_live::{LiveDocument, PendingEdits};
 
 #[cfg(test)]
@@ -540,5 +552,181 @@ mod tests {
         let line = catalog.stats().to_string();
         assert!(line.contains("docs 1/8"), "{line}");
         assert!(line.contains("hits 1/2 (50.0%)"), "{line}");
+    }
+
+    /// A 3-group document whose leaf subtrees are comfortably above the
+    /// tiny-document collapse and give lazy tokenization real extents
+    /// under the default threshold... sized so each <g> is < 1024 bytes
+    /// (an extent) while the whole document is > 1024 (root on the spine).
+    fn grouped_xml() -> String {
+        let mut xml = String::from("<r>");
+        for g in 0..3 {
+            xml.push_str(&format!("<g{g}>"));
+            for i in 0..20 {
+                xml.push_str(&format!("<leaf{g} n='{i}'>payload {g} {i}</leaf{g}>"));
+            }
+            xml.push_str(&format!("</g{g}>"));
+        }
+        xml.push_str("</r>");
+        xml
+    }
+
+    #[test]
+    fn lazy_entries_materialize_per_query_and_witness_it() {
+        let catalog = Catalog::new();
+        let xml = grouped_xml();
+        catalog.insert_lazy("d", &xml).unwrap();
+        assert_eq!(catalog.backend_kind("d"), Some(BackendKind::Lazy));
+        let total = xpeval_dom::parse_xml(&xml).unwrap().prepare().node_count();
+        // The cold entry holds only the spine wave.
+        let spine = catalog.info("d").unwrap().node_count;
+        assert!(spine < total, "spine {spine} vs total {total}");
+
+        // A targeted query materializes its group only — and the stats
+        // witness the resident count.
+        let out = catalog.evaluate_on("d", "count(//leaf1)").unwrap();
+        assert_eq!(out.value, Value::Number(20.0));
+        let resident = out.stats.nodes_materialized as usize;
+        assert!(resident > spine && resident < total, "resident {resident}");
+        assert_eq!(catalog.info("d").unwrap().node_count, resident);
+        // Each wave bumps the revision (node ids are not stable across
+        // waves, so artifacts must not survive).
+        assert_eq!(catalog.revision("d"), Some(1));
+
+        // Repeating the query does not grow the wave again...
+        let repeat = catalog.evaluate_on("d", "count(//leaf1)").unwrap();
+        assert_eq!(repeat.value, Value::Number(20.0));
+        assert_eq!(catalog.revision("d"), Some(1));
+        assert!(catalog.stats().artifact_hits >= 1);
+
+        // ...and the lazy answers agree with an eager insert.
+        catalog.insert_xml("eager", &xml).unwrap();
+        for q in ["count(//leaf0)", "count(//leaf2)", "//leaf1[@n = '3']"] {
+            let lazy = catalog.evaluate_on("d", q).unwrap();
+            let eager = catalog.evaluate_on("eager", q).unwrap();
+            match (&lazy.value, &eager.value) {
+                (Value::NodeSet(a), Value::NodeSet(b)) => assert_eq!(a.len(), b.len(), "{q}"),
+                (a, b) => assert_eq!(a, b, "{q}"),
+            }
+        }
+        assert_eq!(catalog.info("d").unwrap().node_count, total);
+    }
+
+    #[test]
+    fn mutating_a_lazy_entry_promotes_it_to_eager() {
+        let catalog = Catalog::new();
+        catalog.insert_lazy("d", &grouped_xml()).unwrap();
+        let out = catalog
+            .mutate_named("d", |live| {
+                let leaf = live.elements_named("leaf2")[0];
+                live.set_attribute(leaf, "edited", "yes").unwrap();
+            })
+            .unwrap();
+        assert!(out.edits.is_some());
+        assert_eq!(catalog.backend_kind("d"), Some(BackendKind::Eager));
+        let hit = catalog
+            .evaluate_on("d", "count(//leaf2[@edited = 'yes'])")
+            .unwrap();
+        assert_eq!(hit.value, Value::Number(1.0));
+        // Eager entries do not stamp the laziness witness.
+        assert_eq!(hit.stats.nodes_materialized, 0);
+    }
+
+    #[test]
+    fn node_budget_demotes_lazy_entries_before_evicting_anyone() {
+        let xml = grouped_xml();
+        let total = xpeval_dom::parse_xml(&xml).unwrap().prepare().node_count();
+        // Budget fits both documents at spine size plus one materialized
+        // wave, but not both fully materialized.
+        let catalog = Catalog::builder().node_budget(total + total / 2).build();
+        catalog.insert_lazy("a", &xml).unwrap();
+        catalog.insert_lazy("b", &xml).unwrap();
+        // Materialize both fully (wildcard bails the tag analysis).
+        catalog.evaluate_on("a", "count(//*)").unwrap();
+        catalog.evaluate_on("b", "count(//*)").unwrap();
+        let stats = catalog.stats();
+        // Both documents survived: demotion, not eviction, paid the debt.
+        assert_eq!(stats.documents, 2, "{stats}");
+        assert_eq!(stats.evictions, 0, "{stats}");
+        assert!(stats.demotions >= 1, "{stats}");
+        assert!(stats.resident_nodes <= stats.node_budget, "{stats}");
+        // "a" (the LRU entry) was demoted back to its spine; it still
+        // answers queries by re-growing.
+        assert!(catalog.info("a").unwrap().node_count < total);
+        assert_eq!(
+            catalog.evaluate_on("a", "count(//leaf0)").unwrap().value,
+            Value::Number(20.0)
+        );
+    }
+
+    #[test]
+    fn node_budget_evicts_lru_eager_entries_but_never_the_newest() {
+        let catalog = Catalog::builder().node_budget(10).build();
+        catalog.insert_xml("old", "<r><a/><a/><a/></r>").unwrap();
+        catalog.insert_xml("huge", &grouped_xml()).unwrap();
+        // "huge" alone exceeds the budget: the LRU entry goes, the newest
+        // stays (over budget, alone).
+        assert!(!catalog.contains("old"));
+        assert!(catalog.contains("huge"));
+        assert_eq!(catalog.stats().evictions, 1);
+    }
+
+    #[test]
+    fn snapshot_entries_share_the_decoded_document() {
+        use xpeval_backends::PreparedSnapshot;
+        let prepared = xpeval_dom::parse_xml("<r><a/><b/><a/></r>")
+            .unwrap()
+            .prepare();
+        let bytes = PreparedSnapshot::to_bytes(&prepared);
+        let snapshot = Arc::new(PreparedSnapshot::from_bytes(bytes).unwrap());
+        let catalog = Catalog::new();
+        catalog.insert_snapshot("d", &snapshot).unwrap();
+        assert_eq!(catalog.backend_kind("d"), Some(BackendKind::Snapshot));
+        assert_eq!(
+            catalog.evaluate_on("d", "count(//a)").unwrap().value,
+            Value::Number(2.0)
+        );
+        // The catalog holds the snapshot's own decode, not a second copy.
+        assert!(Arc::ptr_eq(
+            &catalog.get("d").unwrap(),
+            &snapshot.document().unwrap()
+        ));
+        // Mutation promotes to eager (the byte image is released).
+        catalog
+            .mutate_named("d", |live| {
+                let a = live.elements_named("a")[0];
+                live.set_attribute(a, "k", "v").unwrap();
+            })
+            .unwrap();
+        assert_eq!(catalog.backend_kind("d"), Some(BackendKind::Eager));
+    }
+
+    #[test]
+    fn corrupt_snapshots_surface_as_backend_errors() {
+        use xpeval_backends::PreparedSnapshot;
+        let prepared = xpeval_dom::parse_xml("<r/>").unwrap().prepare();
+        let mut bytes = PreparedSnapshot::to_bytes(&prepared);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        assert!(PreparedSnapshot::from_bytes(bytes).is_err());
+    }
+
+    #[test]
+    fn tree_provider_documents_enter_the_catalog() {
+        use xpeval_backends::JsonProvider;
+        let catalog = Catalog::new();
+        let provider = JsonProvider::new(r#"{"item": [{"@id": "1"}, {"@id": "2"}]}"#);
+        catalog.insert_tree("j", &provider).unwrap();
+        assert_eq!(catalog.backend_kind("j"), Some(BackendKind::Tree));
+        assert_eq!(
+            catalog.evaluate_on("j", "count(//item)").unwrap().value,
+            Value::Number(2.0)
+        );
+        let bad = JsonProvider::new("{broken");
+        assert!(matches!(
+            catalog.insert_tree("bad", &bad),
+            Err(CatalogError::Backend { .. })
+        ));
+        assert!(!catalog.contains("bad"));
     }
 }

@@ -11,6 +11,12 @@ pub struct CatalogStats {
     pub documents: usize,
     /// Maximum number of documents (0 = unbounded).
     pub capacity: usize,
+    /// Upper bound on total resident nodes (0 = unbounded); see
+    /// [`crate::CatalogBuilder::node_budget`].
+    pub node_budget: usize,
+    /// Total arena nodes currently resident across all entries — lazy
+    /// entries contribute their current wave, not their full document.
+    pub resident_nodes: usize,
     /// Documents inserted under a fresh name.
     pub inserts: u64,
     /// Inserts that replaced an existing name (generation bumps).
@@ -21,8 +27,13 @@ pub struct CatalogStats {
     pub mutations: u64,
     /// Documents removed explicitly.
     pub removals: u64,
-    /// Documents evicted to respect the capacity bound.
+    /// Documents evicted to respect the capacity bound or the node
+    /// budget.
     pub evictions: u64,
+    /// Lazy entries demoted back to their spine wave by node-budget
+    /// enforcement (the entry survived; only its materialized extents
+    /// were freed).
+    pub demotions: u64,
     /// Name lookups that found a document.
     pub resolve_hits: u64,
     /// Name lookups for names not in the catalog.
@@ -119,10 +130,15 @@ pub struct DocInfo {
     /// Generation counter: starts at 1, bumped by every replacement.
     pub generation: u64,
     /// In-place edit revision within the generation: starts at 0, bumped
-    /// by every successful [`crate::Catalog::mutate_named`] edit, reset by
-    /// replacement.
+    /// by every successful [`crate::Catalog::mutate_named`] edit (and by
+    /// every lazy materialization wave), reset by replacement.
     pub revision: u64,
-    /// Total nodes of the prepared document.
+    /// Which storage backend currently holds the document.  Mutations
+    /// promote lazy- and snapshot-backed entries to
+    /// [`BackendKind::Eager`](xpeval_backends::BackendKind).
+    pub backend: xpeval_backends::BackendKind,
+    /// Total nodes of the prepared document — for a lazy entry, of its
+    /// currently resident wave.
     pub node_count: usize,
     /// Evaluations dispatched against this name (carried across
     /// replacements — the counter describes the named slot).

@@ -33,8 +33,9 @@ use crate::stats::{CatalogStats, DocInfo};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use xpeval_backends::{BackendKind, LazyDocument, PreparedSnapshot};
 use xpeval_core::{Engine, EvalError, QueryOutput};
-use xpeval_dom::{parse_xml, Document, PreparedDocument, XmlParseError};
+use xpeval_dom::{parse_xml, Document, PreparedDocument, TreeProvider, XmlParseError};
 use xpeval_live::{LiveDocument, PendingEdits};
 
 /// Stable identity of a catalog document.
@@ -88,6 +89,13 @@ pub enum CatalogError {
     },
     /// [`Catalog::insert_xml`] was given XML that does not parse.
     Xml(XmlParseError),
+    /// A storage backend failed to produce a document: a snapshot failed
+    /// validation or decoding ([`Catalog::insert_snapshot`]), or a tree
+    /// provider reported a build error ([`Catalog::insert_tree`]).
+    Backend {
+        /// The backend's own description of the failure.
+        message: String,
+    },
     /// The query failed to compile or evaluate.
     Eval(EvalError),
 }
@@ -102,6 +110,9 @@ impl std::fmt::Display for CatalogError {
                 write!(f, "no document with id {id} in the catalog")
             }
             CatalogError::Xml(e) => write!(f, "document does not parse: {e}"),
+            CatalogError::Backend { message } => {
+                write!(f, "storage backend failed: {message}")
+            }
             CatalogError::Eval(e) => write!(f, "{e}"),
         }
     }
@@ -110,7 +121,9 @@ impl std::fmt::Display for CatalogError {
 impl std::error::Error for CatalogError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CatalogError::UnknownDocument { .. } | CatalogError::UnknownDocId { .. } => None,
+            CatalogError::UnknownDocument { .. }
+            | CatalogError::UnknownDocId { .. }
+            | CatalogError::Backend { .. } => None,
             CatalogError::Xml(e) => Some(e),
             CatalogError::Eval(e) => Some(e),
         }
@@ -180,6 +193,25 @@ struct SlotCounters {
     artifact_hits: AtomicU64,
 }
 
+/// How an entry's document is stored behind its `prepared` snapshot.
+///
+/// `Eager` holds nothing extra (the snapshot *is* the storage — also the
+/// promotion target when a mutation diverges an entry from its backend).
+/// `Lazy` keeps the tokenized source whose resident wave `prepared`
+/// currently is; `spine_nodes` is the node count of the cold spine wave,
+/// so budget enforcement knows whether a demotion would free anything.
+/// `Snapshot` pins the zero-copy byte image the document was decoded
+/// from (shared with every other holder of the snapshot).
+#[derive(Clone, Debug)]
+enum Backing {
+    Eager,
+    Lazy {
+        doc: Arc<LazyDocument>,
+        spine_nodes: usize,
+    },
+    Snapshot(#[allow(dead_code)] Arc<PreparedSnapshot>),
+}
+
 /// One live entry of the store.  Shared out by `Arc` so evaluation never
 /// holds the store lock; the atomics are the entry's own usage counters.
 #[derive(Debug)]
@@ -189,9 +221,15 @@ struct CatalogEntry {
     generation: u64,
     /// In-place edits applied within this generation
     /// ([`Catalog::mutate_named`]); resets to 0 whenever the generation
-    /// bumps (whole-document replacement).
+    /// bumps (whole-document replacement).  Lazy entries also bump it on
+    /// every materialization wave — node ids are not stable across waves,
+    /// so a wave invalidates artifacts exactly like an edit batch would.
     revision: u64,
     prepared: Arc<PreparedDocument>,
+    /// Which storage backend produced `prepared` (part of every artifact
+    /// key; see [`DocInfo::backend`]).
+    kind: BackendKind,
+    backing: Backing,
     /// Global-tick recency stamp for LRU eviction (updated through a
     /// shared read lock — hence atomic).
     last_used: AtomicU64,
@@ -218,6 +256,7 @@ fn mint_doc_id() -> DocId {
 struct CatalogShared {
     engine: Engine,
     capacity: usize,
+    node_budget: usize,
     docs: RwLock<DocStore>,
     artifacts: ArtifactCache,
     tick: AtomicU64,
@@ -226,6 +265,7 @@ struct CatalogShared {
     mutations: AtomicU64,
     removals: AtomicU64,
     evictions: AtomicU64,
+    demotions: AtomicU64,
     resolve_hits: AtomicU64,
     resolve_misses: AtomicU64,
     evaluations: AtomicU64,
@@ -236,17 +276,20 @@ struct CatalogShared {
 pub struct CatalogBuilder {
     engine: Option<Engine>,
     capacity: usize,
+    node_budget: usize,
     artifact_capacity: usize,
 }
 
 impl CatalogBuilder {
     /// Default configuration: room for 256 documents, 1024 plan
-    /// artifacts, and a default [`Engine`] whose document cache is sized
-    /// to the catalog (so stable-keyed prepared indexes do not churn).
+    /// artifacts, no node budget, and a default [`Engine`] whose document
+    /// cache is sized to the catalog (so stable-keyed prepared indexes do
+    /// not churn).
     pub fn new() -> Self {
         CatalogBuilder {
             engine: None,
             capacity: 256,
+            node_budget: 0,
             artifact_capacity: 1024,
         }
     }
@@ -273,6 +316,25 @@ impl CatalogBuilder {
         self
     }
 
+    /// Upper bound on the total number of *resident* arena nodes across
+    /// all entries; 0 = unbounded (the default).
+    ///
+    /// [`CatalogBuilder::capacity`] counts entries, so a few huge
+    /// documents can blow the memory that bound was meant to cap while
+    /// staying far under it.  The node budget weighs every entry by the
+    /// node count of its currently materialized snapshot instead.
+    /// Enforcement (after every insert and lazy materialization wave)
+    /// first **demotes** least-recently-used lazy entries back to their
+    /// spine wave — shedding their materialized extents while keeping
+    /// them answerable — and only then evicts whole least-recently-used
+    /// entries.  The most recently used entry is never evicted, so a
+    /// single document larger than the budget still works (over budget,
+    /// alone).
+    pub fn node_budget(mut self, nodes: usize) -> Self {
+        self.node_budget = nodes;
+        self
+    }
+
     /// Builds the catalog.
     pub fn build(self) -> Catalog {
         let engine = self.engine.unwrap_or_else(|| {
@@ -287,6 +349,7 @@ impl CatalogBuilder {
             shared: Arc::new(CatalogShared {
                 engine,
                 capacity: self.capacity,
+                node_budget: self.node_budget,
                 docs: RwLock::new(DocStore::default()),
                 artifacts: ArtifactCache::new(self.artifact_capacity),
                 tick: AtomicU64::new(0),
@@ -295,6 +358,7 @@ impl CatalogBuilder {
                 mutations: AtomicU64::new(0),
                 removals: AtomicU64::new(0),
                 evictions: AtomicU64::new(0),
+                demotions: AtomicU64::new(0),
                 resolve_hits: AtomicU64::new(0),
                 resolve_misses: AtomicU64::new(0),
                 evaluations: AtomicU64::new(0),
@@ -377,14 +441,105 @@ impl Catalog {
         let doc = doc.into();
         let (reserved, fresh) = self.reserve_id(name);
         let prepared = self.shared.engine.prepare_keyed(reserved.as_u64(), &doc);
-        self.install(name, reserved, fresh, true, prepared)
+        self.install(
+            name,
+            reserved,
+            fresh,
+            true,
+            prepared,
+            BackendKind::Eager,
+            Backing::Eager,
+        )
     }
 
     /// Stores an already-prepared document under `name`.  Replaces
     /// (generation bump) if the name exists.
     pub fn insert_prepared(&self, name: &str, prepared: Arc<PreparedDocument>) -> DocId {
         let (reserved, fresh) = self.reserve_id(name);
-        self.install(name, reserved, fresh, false, prepared)
+        self.install(
+            name,
+            reserved,
+            fresh,
+            false,
+            prepared,
+            BackendKind::Eager,
+            Backing::Eager,
+        )
+    }
+
+    /// Tokenizes `xml` into a [`LazyDocument`] and stores it under `name`
+    /// holding only its **spine wave**: subtree extents materialize on
+    /// demand, query by query ([`Catalog::evaluate_on`] grows the wave to
+    /// cover each query before evaluating, bumping the entry's revision —
+    /// node ids are not stable across waves).  Replaces (generation bump)
+    /// if the name exists.
+    pub fn insert_lazy(&self, name: &str, xml: &str) -> Result<DocId, CatalogError> {
+        let lazy = Arc::new(LazyDocument::new(xml)?);
+        let spine = lazy.demote_to_spine()?;
+        let spine_nodes = spine.node_count();
+        let (reserved, fresh) = self.reserve_id(name);
+        Ok(self.install(
+            name,
+            reserved,
+            fresh,
+            false,
+            spine,
+            BackendKind::Lazy,
+            Backing::Lazy {
+                doc: lazy,
+                spine_nodes,
+            },
+        ))
+    }
+
+    /// Stores the document decoded from a zero-copy
+    /// [`PreparedSnapshot`] under `name`, pinning the snapshot's byte
+    /// image for the entry's lifetime (the decode happens at most once
+    /// per snapshot and is shared with every other holder).  Replaces
+    /// (generation bump) if the name exists.
+    pub fn insert_snapshot(
+        &self,
+        name: &str,
+        snapshot: &Arc<PreparedSnapshot>,
+    ) -> Result<DocId, CatalogError> {
+        let prepared = snapshot.document().map_err(|e| CatalogError::Backend {
+            message: e.to_string(),
+        })?;
+        let (reserved, fresh) = self.reserve_id(name);
+        Ok(self.install(
+            name,
+            reserved,
+            fresh,
+            false,
+            prepared,
+            BackendKind::Snapshot,
+            Backing::Snapshot(Arc::clone(snapshot)),
+        ))
+    }
+
+    /// Builds a document from a non-XML [`TreeProvider`] (for example the
+    /// JSON provider in `xpeval-backends`) and stores it under `name`.
+    /// Replaces (generation bump) if the name exists.
+    pub fn insert_tree(
+        &self,
+        name: &str,
+        provider: &dyn TreeProvider,
+    ) -> Result<DocId, CatalogError> {
+        let prepared = provider
+            .build_prepared()
+            .map_err(|e| CatalogError::Backend {
+                message: e.to_string(),
+            })?;
+        let (reserved, fresh) = self.reserve_id(name);
+        Ok(self.install(
+            name,
+            reserved,
+            fresh,
+            false,
+            Arc::new(prepared),
+            BackendKind::Tree,
+            Backing::Eager,
+        ))
     }
 
     /// `via_engine_cache` says whether `prepared` was just built through
@@ -392,6 +547,7 @@ impl Catalog {
     /// it was not (the `insert_prepared` path), a replacement must also
     /// drop the id's keyed entry, or the *previous* generation's index
     /// would stay pinned there.
+    #[allow(clippy::too_many_arguments)] // private installer; every call site names the flags
     fn install(
         &self,
         name: &str,
@@ -399,6 +555,8 @@ impl Catalog {
         fresh: bool,
         via_engine_cache: bool,
         prepared: Arc<PreparedDocument>,
+        kind: BackendKind,
+        backing: Backing,
     ) -> DocId {
         let shared = &self.shared;
         let tick = self.next_tick();
@@ -419,6 +577,8 @@ impl Catalog {
                     generation: old.generation + 1,
                     revision: 0,
                     prepared: Arc::clone(&prepared),
+                    kind,
+                    backing,
                     last_used: AtomicU64::new(tick),
                     counters: Arc::clone(&old.counters),
                 });
@@ -453,6 +613,8 @@ impl Catalog {
                     generation: 1,
                     revision: 0,
                     prepared: Arc::clone(&prepared),
+                    kind,
+                    backing,
                     last_used: AtomicU64::new(tick),
                     counters: Arc::new(SlotCounters::default()),
                 });
@@ -501,7 +663,137 @@ impl Catalog {
         for doc in purge {
             shared.artifacts.purge_doc(doc);
         }
+        self.enforce_node_budget();
         id
+    }
+
+    /// Brings the total resident node count back under the configured
+    /// [`CatalogBuilder::node_budget`] (no-op when unbounded).  Two-phase:
+    /// first demote least-recently-used **lazy** entries back to their
+    /// spine wave (the document stays answerable; its materialized extents
+    /// — usually the bulk of its nodes — are freed), then evict whole
+    /// least-recently-used entries.  The most recently used entry is never
+    /// evicted.
+    fn enforce_node_budget(&self) {
+        let budget = self.shared.node_budget;
+        if budget == 0 {
+            return;
+        }
+        enum Action {
+            Demote(Arc<CatalogEntry>),
+            Evict(DocId),
+            Done,
+        }
+        // Entries already demoted (or that failed to demote) this round;
+        // guarantees progress even when demotion frees nothing.
+        let mut tried: Vec<DocId> = Vec::new();
+        loop {
+            let action = {
+                let docs = self.shared.docs.read().unwrap();
+                let resident: usize = docs.entries.values().map(|e| e.prepared.node_count()).sum();
+                if resident <= budget {
+                    Action::Done
+                } else {
+                    let demotable = docs
+                        .entries
+                        .values()
+                        .filter(|e| !tried.contains(&e.id))
+                        .filter(|e| match &e.backing {
+                            Backing::Lazy { spine_nodes, .. } => {
+                                e.prepared.node_count() > *spine_nodes
+                            }
+                            _ => false,
+                        })
+                        .min_by_key(|e| e.last_used.load(Ordering::Relaxed))
+                        .cloned();
+                    match demotable {
+                        Some(entry) => Action::Demote(entry),
+                        None => {
+                            let mru = docs
+                                .entries
+                                .values()
+                                .map(|e| e.last_used.load(Ordering::Relaxed))
+                                .max()
+                                .unwrap_or(0);
+                            docs.entries
+                                .values()
+                                .filter(|e| e.last_used.load(Ordering::Relaxed) != mru)
+                                .min_by_key(|e| e.last_used.load(Ordering::Relaxed))
+                                .map(|e| e.id)
+                                .map_or(Action::Done, Action::Evict)
+                        }
+                    }
+                }
+            };
+            match action {
+                Action::Done => return,
+                Action::Demote(entry) => {
+                    tried.push(entry.id);
+                    let Backing::Lazy { doc: lazy, .. } = &entry.backing else {
+                        unreachable!("demotion candidates are lazy-backed");
+                    };
+                    // The spine re-parse happens outside every lock.
+                    let Ok(spine) = lazy.demote_to_spine() else {
+                        continue; // tokenized input no longer parses; skip
+                    };
+                    let demoted = {
+                        let mut docs = self.shared.docs.write().unwrap();
+                        let cur = docs.entries.get(&entry.id).cloned();
+                        match cur {
+                            // Only demote the generation we selected; a
+                            // replacement racing us wins.
+                            Some(cur)
+                                if cur.generation == entry.generation
+                                    && matches!(cur.backing, Backing::Lazy { .. }) =>
+                            {
+                                let next = Arc::new(CatalogEntry {
+                                    name: cur.name.clone(),
+                                    id: cur.id,
+                                    generation: cur.generation,
+                                    revision: cur.revision + 1,
+                                    prepared: spine,
+                                    kind: cur.kind,
+                                    backing: cur.backing.clone(),
+                                    // Keep the old recency: demotion must
+                                    // not promote the victim over entries
+                                    // that were genuinely used later.
+                                    last_used: AtomicU64::new(
+                                        cur.last_used.load(Ordering::Relaxed),
+                                    ),
+                                    counters: Arc::clone(&cur.counters),
+                                });
+                                docs.entries.insert(cur.id, next);
+                                true
+                            }
+                            _ => false,
+                        }
+                    };
+                    if demoted {
+                        self.shared.demotions.fetch_add(1, Ordering::Relaxed);
+                        self.shared.artifacts.purge_doc(entry.id);
+                    }
+                }
+                Action::Evict(id) => {
+                    let gone = {
+                        let mut docs = self.shared.docs.write().unwrap();
+                        docs.entries.remove(&id).map(|e| {
+                            docs.by_name.remove(&e.name);
+                            e
+                        })
+                    };
+                    match gone {
+                        Some(e) => {
+                            self.shared.evictions.fetch_add(1, Ordering::Relaxed);
+                            self.shared.artifacts.purge_doc(e.id);
+                            self.shared.engine.discard_keyed(e.id.as_u64());
+                        }
+                        // The store changed under us; stop rather than
+                        // spin against concurrent writers.
+                        None => return,
+                    }
+                }
+            }
+        }
     }
 
     /// Removes the named document (and purges its artifacts and its
@@ -578,14 +870,33 @@ impl Catalog {
     ) -> Result<MutationOutcome<T>, CatalogError> {
         let shared = &self.shared;
         let tick = self.next_tick();
-        let (mut outcome, pending, new_prepared);
+        let (mut outcome, pending, new_prepared, promoted);
         {
             let mut docs = shared.docs.write().unwrap();
             let entry = resolve(&docs)
                 .and_then(|id| docs.entries.get(&id))
                 .cloned()
                 .ok_or(missing)?;
-            let mut live = LiveDocument::resume(Arc::clone(&entry.prepared), entry.revision);
+            // Non-eager backings promote to eager on mutation: an edited
+            // document diverges from its storage (a lazy input string, a
+            // snapshot byte image), and a lazy wave must be complete
+            // before editing (node ids across waves are incomparable).
+            let (base, kind, backing) = match &entry.backing {
+                Backing::Lazy { doc: lazy, .. } => {
+                    let full = lazy.materialize_all().map_err(|e| CatalogError::Backend {
+                        message: format!("lazy materialization failed: {e}"),
+                    })?;
+                    (full, BackendKind::Eager, Backing::Eager)
+                }
+                Backing::Snapshot(_) => (
+                    Arc::clone(&entry.prepared),
+                    BackendKind::Eager,
+                    Backing::Eager,
+                ),
+                Backing::Eager => (Arc::clone(&entry.prepared), entry.kind, Backing::Eager),
+            };
+            promoted = kind != entry.kind || !Arc::ptr_eq(&base, &entry.prepared);
+            let mut live = LiveDocument::resume(base, entry.revision);
             let value = edit(&mut live);
             let Some(batch) = live.take_pending() else {
                 return Ok(MutationOutcome {
@@ -605,6 +916,8 @@ impl Catalog {
                 generation: entry.generation,
                 revision: live.revision(),
                 prepared: Arc::clone(&new_prepared),
+                kind,
+                backing,
                 last_used: AtomicU64::new(tick),
                 counters: Arc::clone(&entry.counters),
             });
@@ -623,25 +936,34 @@ impl Catalog {
                 artifacts_killed: 0,
                 artifacts_preserved: 0,
             };
-            pending = (batch, entry.revision);
+            pending = (batch, entry.revision, entry.kind);
         }
         // Outside the write lock: the re-target sweep takes the artifact
         // cache's own mutex and may rebase many entries; evaluation must
         // not wait on it.  An evaluation racing this window may still
         // insert an artifact under the *old* revision — unreachable by
         // key afterwards, aged out by LRU; never a wrong result.
-        let (batch, old_revision) = pending;
-        let (killed, preserved) = shared.artifacts.retarget(
-            Retarget {
-                doc: outcome.doc,
-                generation: outcome.generation,
-                old_revision,
-                new_revision: outcome.revision,
-                dirty: batch.dirty,
-                renumbered: batch.renumbered,
-            },
-            &new_prepared,
-        );
+        let (batch, old_revision, old_kind) = pending;
+        let (killed, preserved) = if promoted {
+            // A promotion changes the backend kind (and, for lazy, the
+            // node numbering the edit batch is relative to): no pre-edit
+            // artifact is comparable with the post-edit snapshot, so the
+            // subtree-scoped rule does not apply — drop them all.
+            (shared.artifacts.purge_doc(outcome.doc) as u64, 0)
+        } else {
+            shared.artifacts.retarget(
+                Retarget {
+                    doc: outcome.doc,
+                    generation: outcome.generation,
+                    old_revision,
+                    new_revision: outcome.revision,
+                    kind: old_kind,
+                    dirty: batch.dirty,
+                    renumbered: batch.renumbered,
+                },
+                &new_prepared,
+            )
+        };
         outcome.edits = Some(batch);
         outcome.artifacts_killed = killed;
         outcome.artifacts_preserved = preserved;
@@ -738,10 +1060,20 @@ impl Catalog {
             id: entry.id,
             generation: entry.generation,
             revision: entry.revision,
+            backend: entry.kind,
             node_count: entry.prepared.node_count(),
             evaluations: entry.counters.evaluations.load(Ordering::Relaxed),
             artifact_hits: entry.counters.artifact_hits.load(Ordering::Relaxed),
         }
+    }
+
+    /// The storage backend kind behind a name (uncounted lookup).
+    pub fn backend_kind(&self, name: &str) -> Option<BackendKind> {
+        let docs = self.shared.docs.read().unwrap();
+        docs.by_name
+            .get(name)
+            .and_then(|id| docs.entries.get(id))
+            .map(|e| e.kind)
     }
 
     /// Snapshot of one entry's identity and usage counters (uncounted
@@ -765,31 +1097,120 @@ impl Catalog {
     }
 
     /// Evaluates one query against the entry, through the artifact cache.
-    fn evaluate_entry(&self, entry: &CatalogEntry, query: &str) -> Result<QueryOutput, EvalError> {
+    fn evaluate_entry(
+        &self,
+        entry: &Arc<CatalogEntry>,
+        query: &str,
+    ) -> Result<QueryOutput, EvalError> {
         let shared = &self.shared;
         shared.evaluations.fetch_add(1, Ordering::Relaxed);
         entry.counters.evaluations.fetch_add(1, Ordering::Relaxed);
-        if let Some(artifact) =
-            shared
-                .artifacts
-                .get(entry.id, entry.generation, entry.revision, query)
-        {
-            entry.counters.artifact_hits.fetch_add(1, Ordering::Relaxed);
-            return artifact.run();
-        }
-        // Miss: compile through the engine's shared plan cache, then
-        // specialize for this document snapshot.  Both steps happen
-        // outside every lock.
-        let plan = shared.engine.compile(query)?;
-        let artifact = Arc::new(PlanArtifact::build(
-            &plan,
+        let entry = self.grown_for(entry, query)?;
+        let mut out = if let Some(artifact) = shared.artifacts.get(
             entry.id,
             entry.generation,
             entry.revision,
-            &entry.prepared,
-        ));
-        shared.artifacts.insert(query, &artifact);
-        artifact.run()
+            entry.kind,
+            query,
+        ) {
+            entry.counters.artifact_hits.fetch_add(1, Ordering::Relaxed);
+            artifact.run()?
+        } else {
+            // Miss: compile through the engine's shared plan cache, then
+            // specialize for this document snapshot.  Both steps happen
+            // outside every lock.
+            let plan = shared.engine.compile(query)?;
+            let artifact = Arc::new(PlanArtifact::build(
+                &plan,
+                entry.id,
+                entry.generation,
+                entry.revision,
+                entry.kind,
+                &entry.prepared,
+            ));
+            shared.artifacts.insert(query, &artifact);
+            artifact.run()?
+        };
+        if entry.kind == BackendKind::Lazy {
+            // Witness the laziness: how many arena nodes the query's wave
+            // actually holds (compare with the document's total to see the
+            // fraction a targeted query materialized).
+            out.stats.nodes_materialized = entry.prepared.node_count() as u64;
+        }
+        Ok(out)
+    }
+
+    /// Grows a lazy entry's resident wave to cover `query` and publishes
+    /// the grown wave as a new revision; pass-through for every other
+    /// backing.  Node ids are not stable across waves, so a grown wave
+    /// invalidates the entry's artifacts exactly like an edit would.
+    fn grown_for(
+        &self,
+        entry: &Arc<CatalogEntry>,
+        query: &str,
+    ) -> Result<Arc<CatalogEntry>, EvalError> {
+        let Backing::Lazy { doc: lazy, .. } = &entry.backing else {
+            return Ok(Arc::clone(entry));
+        };
+        let plan = self.shared.engine.compile(query)?;
+        let doc = lazy
+            .materialize_for(plan.expr())
+            .map_err(|e| EvalError::Unsupported {
+                message: format!("lazy materialization failed: {e}"),
+            })?;
+        if Arc::ptr_eq(&doc, &entry.prepared) {
+            return Ok(Arc::clone(entry));
+        }
+        let tick = self.next_tick();
+        let published = {
+            let mut docs = self.shared.docs.write().unwrap();
+            let cur = docs.entries.get(&entry.id).cloned();
+            match cur {
+                // Publish only onto the generation we resolved; a racing
+                // replacement wins.
+                Some(cur)
+                    if cur.generation == entry.generation
+                        && matches!(cur.backing, Backing::Lazy { .. }) =>
+                {
+                    let next = Arc::new(CatalogEntry {
+                        name: cur.name.clone(),
+                        id: cur.id,
+                        generation: cur.generation,
+                        revision: cur.revision + 1,
+                        prepared: Arc::clone(&doc),
+                        kind: cur.kind,
+                        backing: cur.backing.clone(),
+                        last_used: AtomicU64::new(tick),
+                        counters: Arc::clone(&cur.counters),
+                    });
+                    docs.entries.insert(cur.id, Arc::clone(&next));
+                    Some(next)
+                }
+                _ => None,
+            }
+        };
+        match published {
+            Some(next) => {
+                self.shared.artifacts.purge_doc(entry.id);
+                self.enforce_node_budget();
+                Ok(next)
+            }
+            // The entry was replaced while the wave grew: evaluate against
+            // our wave without publishing (an artifact inserted under the
+            // stale coordinates is unreachable by future lookups and ages
+            // out).
+            None => Ok(Arc::new(CatalogEntry {
+                name: entry.name.clone(),
+                id: entry.id,
+                generation: entry.generation,
+                revision: entry.revision,
+                prepared: doc,
+                kind: entry.kind,
+                backing: entry.backing.clone(),
+                last_used: AtomicU64::new(tick),
+                counters: Arc::clone(&entry.counters),
+            })),
+        }
     }
 
     /// Evaluates a query string against the named document, from the root
@@ -857,14 +1278,21 @@ impl Catalog {
     /// Snapshot of the catalog's counters.
     pub fn stats(&self) -> CatalogStats {
         let shared = &self.shared;
+        let resident_nodes = {
+            let docs = shared.docs.read().unwrap();
+            docs.entries.values().map(|e| e.prepared.node_count()).sum()
+        };
         let mut stats = CatalogStats {
             documents: self.len(),
             capacity: shared.capacity,
+            node_budget: shared.node_budget,
+            resident_nodes,
             inserts: shared.inserts.load(Ordering::Relaxed),
             replacements: shared.replacements.load(Ordering::Relaxed),
             mutations: shared.mutations.load(Ordering::Relaxed),
             removals: shared.removals.load(Ordering::Relaxed),
             evictions: shared.evictions.load(Ordering::Relaxed),
+            demotions: shared.demotions.load(Ordering::Relaxed),
             resolve_hits: shared.resolve_hits.load(Ordering::Relaxed),
             resolve_misses: shared.resolve_misses.load(Ordering::Relaxed),
             evaluations: shared.evaluations.load(Ordering::Relaxed),

@@ -123,16 +123,29 @@ fn degrade_for_size(strategy: EvalStrategy, node_count: usize) -> EvalStrategy {
 /// name-bounded candidate universe is below [`PARALLEL_MIN_CANDIDATES`].
 /// With an unindexed source the selectivity signal is unavailable and only
 /// the size rule applies.
+///
+/// The rule also consults [`xpeval_dom::SourceCapabilities`]: a backend
+/// that does not publish a document-order table
+/// (`capabilities().order_table == false`) degrades the parallel plan
+/// outright — its workers would each rebuild document order from the tree,
+/// turning the parallel speedup into repeated O(n) walks.  The degrade is
+/// *explicit* (a different strategy in the artifact, observable through
+/// [`CompiledQuery::strategy_for_source`]) rather than a silent slow path.
 fn degrade_for_source<S: AxisSource + ?Sized>(
     strategy: EvalStrategy,
     expr: &Expr,
     src: &S,
 ) -> EvalStrategy {
     match degrade_for_size(strategy, src.node_count()) {
-        s @ EvalStrategy::Parallel { .. } => match crate::steps::result_size_bound(expr, src) {
-            Some(bound) if bound < PARALLEL_MIN_CANDIDATES => EvalStrategy::SingletonSuccess,
-            _ => s,
-        },
+        s @ EvalStrategy::Parallel { .. } => {
+            if !src.capabilities().order_table {
+                return EvalStrategy::SingletonSuccess;
+            }
+            match crate::steps::result_size_bound(expr, src) {
+                Some(bound) if bound < PARALLEL_MIN_CANDIDATES => EvalStrategy::SingletonSuccess,
+                _ => s,
+            }
+        }
         s => s,
     }
 }
@@ -321,7 +334,12 @@ impl CompiledQuery {
     /// This is the plan half of a catalog's (query × document) artifact.
     pub fn specialize_for_source<S: AxisSource + ?Sized>(&self, src: &S) -> CompiledQuery {
         let mut specialized = self.clone().with_strategy(self.strategy_for_source(src));
-        crate::steps::resolve_name_tests(&mut specialized.expr, src);
+        // Tag-id pinning only makes sense against a source that actually
+        // publishes a tag index; a capability-masked or unindexed backend
+        // answers name tests by string, so the plan keeps the names.
+        if src.capabilities().tag_index {
+            crate::steps::resolve_name_tests(&mut specialized.expr, src);
+        }
         specialized
     }
 
@@ -826,6 +844,65 @@ mod tests {
             rare.run_prepared(&prepared).unwrap().value,
             rare.run(prepared.document()).unwrap().value
         );
+    }
+
+    #[test]
+    fn missing_order_table_degrades_auto_parallel_plans() {
+        use xpeval_dom::{CapabilityMask, DocumentBuilder, SourceCapabilities};
+        let mut b = DocumentBuilder::new();
+        b.open_element("root");
+        for _ in 0..PARALLEL_MIN_NODES * 2 {
+            b.leaf_element("common");
+        }
+        b.close_element();
+        let prepared = b.finish().prepare();
+        let opts = CompileOptions {
+            threads: 4,
+            ..CompileOptions::default()
+        };
+        let q = CompiledQuery::compile_with("//common[position() = last()]", &opts).unwrap();
+        assert!(matches!(
+            q.strategy_for_source(&prepared),
+            EvalStrategy::Parallel { .. }
+        ));
+        // Same document behind a backend that withholds the order table:
+        // the degrade is explicit, not a silent slow path.
+        let no_order = CapabilityMask::new(
+            prepared.clone(),
+            SourceCapabilities {
+                order_table: false,
+                ..SourceCapabilities::FULL
+            },
+        );
+        assert_eq!(
+            q.strategy_for_source(&no_order),
+            EvalStrategy::SingletonSuccess
+        );
+        // The degraded plan agrees with the reference.
+        assert_eq!(
+            q.clone()
+                .with_strategy(q.strategy_for_source(&no_order))
+                .run_prepared(&prepared)
+                .unwrap()
+                .value,
+            q.run_prepared(&prepared).unwrap().value
+        );
+        // A masked source also declines tag-id pinning at specialize time.
+        let specialized = q.specialize_for_source(&CapabilityMask::new(
+            prepared.clone(),
+            SourceCapabilities::NONE,
+        ));
+        assert_eq!(specialized.strategy(), EvalStrategy::SingletonSuccess);
+        assert_eq!(
+            specialized.run_prepared(&prepared).unwrap().value,
+            q.run_prepared(&prepared).unwrap().value
+        );
+        // Explicit strategy choices remain untouched even here.
+        let fixed = q.with_strategy(EvalStrategy::Parallel { threads: 4 });
+        assert!(matches!(
+            fixed.strategy_for_source(&no_order),
+            EvalStrategy::Parallel { .. }
+        ));
     }
 
     #[test]

@@ -43,6 +43,10 @@ pub struct EvalStats {
     /// Context-value-table entries held when evaluation finished (DP
     /// evaluator only).
     pub table_entries: usize,
+    /// Arena nodes resident in the document the query ran against, when the
+    /// storage backend materializes lazily (0 for eager backends).  A gauge,
+    /// not a counter: [`EvalStats::merged`] takes the maximum.
+    pub nodes_materialized: u64,
 }
 
 impl EvalStats {
@@ -56,6 +60,7 @@ impl EvalStats {
                 + other.step_context_evaluations,
             max_intermediate_list: self.max_intermediate_list.max(other.max_intermediate_list),
             table_entries: self.table_entries.max(other.table_entries),
+            nodes_materialized: self.nodes_materialized.max(other.nodes_materialized),
         }
     }
 }
@@ -85,6 +90,7 @@ mod tests {
             step_context_evaluations: 10,
             max_intermediate_list: 7,
             table_entries: 4,
+            nodes_materialized: 100,
         };
         let b = EvalStats {
             evaluations: 2,
@@ -92,6 +98,7 @@ mod tests {
             step_context_evaluations: 5,
             max_intermediate_list: 3,
             table_entries: 9,
+            nodes_materialized: 60,
         };
         let m = a + b;
         assert_eq!(m.evaluations, 5);
@@ -99,6 +106,7 @@ mod tests {
         assert_eq!(m.step_context_evaluations, 15);
         assert_eq!(m.max_intermediate_list, 7);
         assert_eq!(m.table_entries, 9);
+        assert_eq!(m.nodes_materialized, 100);
         let mut c = a;
         c += b;
         assert_eq!(c, m);

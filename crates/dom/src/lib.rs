@@ -52,6 +52,8 @@ pub mod node;
 pub mod order;
 pub mod parse;
 pub mod prepared;
+pub mod provider;
+pub mod raw;
 pub mod serialize;
 pub mod source;
 
@@ -61,5 +63,10 @@ pub use mutate::{EditOutcome, MutationError};
 pub use node::{Document, NodeId, NodeKind, KEY_STRIDE};
 pub use parse::{parse_xml, XmlParseError};
 pub use prepared::{PreparedDocument, TagId};
+pub use provider::{TreeBuildError, TreeBuilder, TreeProvider, XmlProvider};
+pub use raw::{RawColumns, RawColumnsError, RAW_NONE};
 pub use serialize::serialize;
-pub use source::{AxisSource, PositionalPick, TagResolution, CHILD_BUCKET_MIN_CHILDREN};
+pub use source::{
+    AxisSource, CapabilityMask, PositionalPick, SourceCapabilities, TagResolution,
+    CHILD_BUCKET_MIN_CHILDREN,
+};

@@ -31,10 +31,10 @@ impl fmt::Display for XmlParseError {
 
 impl std::error::Error for XmlParseError {}
 
-struct Parser<'a> {
+struct Parser<'a, 'b> {
     input: &'a [u8],
     pos: usize,
-    builder: DocumentBuilder,
+    builder: &'b mut DocumentBuilder,
     open_names: Vec<String>,
 }
 
@@ -45,10 +45,22 @@ struct Parser<'a> {
 /// assert_eq!(doc.element_count(), 3);
 /// ```
 pub fn parse_xml(input: &str) -> Result<Document, XmlParseError> {
+    let mut builder = DocumentBuilder::new();
+    parse_into(input, &mut builder)?;
+    Ok(builder.finish())
+}
+
+/// Parses an XML document into an existing builder without finishing it.
+///
+/// This is the building block behind [`parse_xml`] and the XML
+/// [`TreeProvider`](crate::provider::TreeProvider): the storage layer owns
+/// the builder (and decides when keys are assigned), the parser only feeds
+/// events into it.
+pub(crate) fn parse_into(input: &str, builder: &mut DocumentBuilder) -> Result<(), XmlParseError> {
     let mut p = Parser {
         input: input.as_bytes(),
         pos: 0,
-        builder: DocumentBuilder::new(),
+        builder,
         open_names: Vec::new(),
     };
     p.skip_prolog()?;
@@ -60,10 +72,10 @@ pub fn parse_xml(input: &str) -> Result<Document, XmlParseError> {
     if !p.open_names.is_empty() {
         return Err(p.error("unclosed element at end of input"));
     }
-    Ok(p.builder.finish())
+    Ok(())
 }
 
-impl<'a> Parser<'a> {
+impl<'a, 'b> Parser<'a, 'b> {
     fn error(&self, msg: impl Into<String>) -> XmlParseError {
         XmlParseError {
             offset: self.pos,

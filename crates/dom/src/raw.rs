@@ -1,0 +1,551 @@
+//! Flat-column interchange form of a [`PreparedDocument`].
+//!
+//! The arena layout ([`Document`]) and the prepared index tables are linked,
+//! chunked and interned — great to evaluate against, wrong to persist.
+//! [`RawColumns`] is the same information flattened into plain `u32`
+//! columns plus one deduplicated string table: exactly the shape a
+//! byte-oriented backend (the snapshot format in `xpeval-backends`) can
+//! write and reload without walking a tree.
+//!
+//! The round trip is exact: `to_columns` followed by [`RawColumns::
+//! into_prepared`] reproduces the same [`NodeId`]s, ordering keys and index
+//! tables, so plans and node sets mean the same thing against the rebuilt
+//! document.  `into_prepared` *validates* before trusting anything — column
+//! lengths, id bounds, prefix monotonicity, document-order sortedness — so a
+//! decoder feeding it corrupted tables gets an error, not a panic deep in an
+//! evaluator.
+
+use crate::node::{Document, NodeData, NodeId, NodeKeys, NodeKind};
+use crate::prepared::{PreparedDocument, TagEntry, TagId};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Sentinel for "no node" / "no string" in the `u32` columns.
+pub const RAW_NONE: u32 = u32::MAX;
+
+/// Node-kind codes used by the `kind` column.
+pub const RAW_KIND_ROOT: u32 = 0;
+/// Element node code.
+pub const RAW_KIND_ELEMENT: u32 = 1;
+/// Text node code.
+pub const RAW_KIND_TEXT: u32 = 2;
+/// Attribute node code.
+pub const RAW_KIND_ATTRIBUTE: u32 = 3;
+
+/// Error produced when [`RawColumns::into_prepared`] rejects inconsistent
+/// tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawColumnsError {
+    /// What failed to validate.
+    pub message: String,
+}
+
+impl RawColumnsError {
+    fn new(message: impl Into<String>) -> Self {
+        RawColumnsError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RawColumnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid raw columns: {}", self.message)
+    }
+}
+
+impl std::error::Error for RawColumnsError {}
+
+/// A [`PreparedDocument`] flattened into plain columns.
+///
+/// Per-node columns are indexed by arena slot (so detached slots from
+/// earlier in-place edits survive the round trip); flat lists carry their
+/// own prefix tables.  All node references are raw arena indexes with
+/// [`RAW_NONE`] for absent links; strings are indexes into `strings`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RawColumns {
+    /// Deduplicated string table (tag names, attribute names/values, text).
+    pub strings: Vec<String>,
+    /// Node kind codes (`RAW_KIND_*`), one per arena slot.
+    pub kind: Vec<u32>,
+    /// Element/attribute name as a string index ([`RAW_NONE`] otherwise).
+    pub name_idx: Vec<u32>,
+    /// Text content / attribute value as a string index ([`RAW_NONE`]
+    /// otherwise).
+    pub value_idx: Vec<u32>,
+    /// Parent links ([`RAW_NONE`] for the root and detached slots).
+    pub parent: Vec<u32>,
+    /// First-child links.
+    pub first_child: Vec<u32>,
+    /// Last-child links.
+    pub last_child: Vec<u32>,
+    /// Next-sibling links.
+    pub next_sibling: Vec<u32>,
+    /// Previous-sibling links.
+    pub prev_sibling: Vec<u32>,
+    /// Prefix table into `attr_list`, length `n + 1`: slot `i` owns
+    /// `attr_list[attr_start[i]..attr_start[i + 1]]`.
+    pub attr_start: Vec<u32>,
+    /// Flattened per-element attribute node lists.
+    pub attr_list: Vec<u32>,
+    /// Preorder ordering keys.
+    pub pre: Vec<u32>,
+    /// Postorder ordering keys.
+    pub post: Vec<u32>,
+    /// Depths.
+    pub depth: Vec<u32>,
+    /// Attached nodes in document order.
+    pub order: Vec<u32>,
+    /// Exclusive subtree-interval ends, per arena slot.
+    pub subtree_end: Vec<u32>,
+    /// 1-based sibling positions, per arena slot.
+    pub sibling_pos: Vec<u32>,
+    /// Child counts, per arena slot.
+    pub child_count: Vec<u32>,
+    /// Tag table: tag name as a string index, per [`TagId`].
+    pub tag_name_idx: Vec<u32>,
+    /// Prefix table into `tag_elems`/`tag_byparent`, length `t + 1`.
+    pub tag_elem_start: Vec<u32>,
+    /// Flattened per-tag element lists (document order).
+    pub tag_elems: Vec<u32>,
+    /// Flattened per-tag element lists (parent-bucket order).
+    pub tag_byparent: Vec<u32>,
+}
+
+fn opt(link: Option<NodeId>) -> u32 {
+    link.map_or(RAW_NONE, |n| n.0)
+}
+
+struct Interner {
+    table: Vec<String>,
+    seen: HashMap<String, u32>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        Interner {
+            table: Vec::new(),
+            seen: HashMap::new(),
+        }
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        match self.seen.get(s) {
+            Some(&ix) => ix,
+            None => {
+                let ix = self.table.len() as u32;
+                self.table.push(s.to_string());
+                self.seen.insert(s.to_string(), ix);
+                ix
+            }
+        }
+    }
+}
+
+impl RawColumns {
+    /// Flattens `prepared` (document, links, keys and every index table)
+    /// into columns.  O(|D|).
+    pub fn from_prepared(prepared: &PreparedDocument) -> RawColumns {
+        let doc = prepared.document();
+        let n = doc.len();
+        let mut strings = Interner::new();
+        let mut out = RawColumns::default();
+        out.kind.reserve(n);
+        for i in 0..n {
+            let id = NodeId(i as u32);
+            let data = doc.data(id);
+            let (kind, name_ix, value_ix) = match &data.kind {
+                NodeKind::Root => (RAW_KIND_ROOT, RAW_NONE, RAW_NONE),
+                NodeKind::Element { name } => (RAW_KIND_ELEMENT, strings.intern(name), RAW_NONE),
+                NodeKind::Text { text } => (RAW_KIND_TEXT, RAW_NONE, strings.intern(text)),
+                NodeKind::Attribute { name, value } => (
+                    RAW_KIND_ATTRIBUTE,
+                    strings.intern(name),
+                    strings.intern(value),
+                ),
+            };
+            out.kind.push(kind);
+            out.name_idx.push(name_ix);
+            out.value_idx.push(value_ix);
+            out.parent.push(opt(data.parent));
+            out.first_child.push(opt(data.first_child));
+            out.last_child.push(opt(data.last_child));
+            out.next_sibling.push(opt(data.next_sibling));
+            out.prev_sibling.push(opt(data.prev_sibling));
+            out.attr_start.push(out.attr_list.len() as u32);
+            out.attr_list.extend(data.attrs().iter().map(|a| a.0));
+            out.pre.push(doc.pre(id));
+            out.post.push(doc.post(id));
+            out.depth.push(doc.depth(id));
+        }
+        out.attr_start.push(out.attr_list.len() as u32);
+        out.order = prepared.order().iter().map(|n| n.0).collect();
+        out.subtree_end = prepared.subtree_end.clone();
+        out.sibling_pos = prepared.sibling_pos.clone();
+        out.child_count = prepared.child_count.clone();
+        for entry in &prepared.tags {
+            out.tag_name_idx.push(strings.intern(&entry.name));
+            out.tag_elem_start.push(out.tag_elems.len() as u32);
+            out.tag_elems.extend(entry.elements.iter().map(|n| n.0));
+            out.tag_byparent.extend(entry.by_parent.iter().map(|n| n.0));
+        }
+        out.tag_elem_start.push(out.tag_elems.len() as u32);
+        out.strings = strings.table;
+        out
+    }
+
+    fn validate(&self) -> Result<(), RawColumnsError> {
+        let n = self.kind.len();
+        let per_slot: [(&str, usize); 13] = [
+            ("name_idx", self.name_idx.len()),
+            ("value_idx", self.value_idx.len()),
+            ("parent", self.parent.len()),
+            ("first_child", self.first_child.len()),
+            ("last_child", self.last_child.len()),
+            ("next_sibling", self.next_sibling.len()),
+            ("prev_sibling", self.prev_sibling.len()),
+            ("pre", self.pre.len()),
+            ("post", self.post.len()),
+            ("depth", self.depth.len()),
+            ("subtree_end", self.subtree_end.len()),
+            ("sibling_pos", self.sibling_pos.len()),
+            ("child_count", self.child_count.len()),
+        ];
+        for (name, len) in per_slot {
+            if len != n {
+                return Err(RawColumnsError::new(format!(
+                    "column {name} has length {len}, expected {n}"
+                )));
+            }
+        }
+        if n == 0 {
+            return Err(RawColumnsError::new("no nodes (missing root)"));
+        }
+        if self.kind[0] != RAW_KIND_ROOT {
+            return Err(RawColumnsError::new("slot 0 is not the root"));
+        }
+        if self.kind[1..].contains(&RAW_KIND_ROOT) {
+            return Err(RawColumnsError::new("root code on a non-root slot"));
+        }
+        // Link columns may carry the "no node" sentinel; flat node lists
+        // (attributes, order, tag lists) must name real slots.
+        let link_in_bounds = |col: &str, list: &[u32]| -> Result<(), RawColumnsError> {
+            match list.iter().find(|&&v| v != RAW_NONE && v as usize >= n) {
+                Some(v) => Err(RawColumnsError::new(format!(
+                    "column {col} references node {v} out of bounds ({n} slots)"
+                ))),
+                None => Ok(()),
+            }
+        };
+        let id_in_bounds = |col: &str, list: &[u32]| -> Result<(), RawColumnsError> {
+            match list.iter().find(|&&v| v as usize >= n) {
+                Some(v) => Err(RawColumnsError::new(format!(
+                    "column {col} references node {v} out of bounds ({n} slots)"
+                ))),
+                None => Ok(()),
+            }
+        };
+        link_in_bounds("parent", &self.parent)?;
+        link_in_bounds("first_child", &self.first_child)?;
+        link_in_bounds("last_child", &self.last_child)?;
+        link_in_bounds("next_sibling", &self.next_sibling)?;
+        link_in_bounds("prev_sibling", &self.prev_sibling)?;
+        id_in_bounds("attr_list", &self.attr_list)?;
+        id_in_bounds("order", &self.order)?;
+        id_in_bounds("tag_elems", &self.tag_elems)?;
+        id_in_bounds("tag_byparent", &self.tag_byparent)?;
+        let s = self.strings.len() as u32;
+        for (col, list) in [("name_idx", &self.name_idx), ("value_idx", &self.value_idx)] {
+            if list.iter().any(|&v| v != RAW_NONE && v >= s) {
+                return Err(RawColumnsError::new(format!(
+                    "column {col} references a string out of bounds ({s} strings)"
+                )));
+            }
+        }
+        for i in 0..n {
+            let kind = self.kind[i];
+            if kind > RAW_KIND_ATTRIBUTE {
+                return Err(RawColumnsError::new(format!("unknown kind code {kind}")));
+            }
+            let needs_name = kind == RAW_KIND_ELEMENT || kind == RAW_KIND_ATTRIBUTE;
+            if needs_name && self.name_idx[i] == RAW_NONE {
+                return Err(RawColumnsError::new(format!("slot {i} is missing a name")));
+            }
+            let needs_value = kind == RAW_KIND_TEXT || kind == RAW_KIND_ATTRIBUTE;
+            if needs_value && self.value_idx[i] == RAW_NONE {
+                return Err(RawColumnsError::new(format!("slot {i} is missing a value")));
+            }
+        }
+        let prefix_ok = |name: &str, prefix: &[u32], expect_len: usize, flat_len: usize| {
+            if prefix.len() != expect_len {
+                return Err(RawColumnsError::new(format!(
+                    "prefix table {name} has length {}, expected {expect_len}",
+                    prefix.len()
+                )));
+            }
+            if prefix.windows(2).any(|w| w[0] > w[1]) {
+                return Err(RawColumnsError::new(format!(
+                    "prefix table {name} is not monotone"
+                )));
+            }
+            if prefix.first() != Some(&0) || *prefix.last().unwrap() as usize != flat_len {
+                return Err(RawColumnsError::new(format!(
+                    "prefix table {name} does not cover its flat list"
+                )));
+            }
+            Ok(())
+        };
+        prefix_ok("attr_start", &self.attr_start, n + 1, self.attr_list.len())?;
+        let t = self.tag_name_idx.len();
+        prefix_ok(
+            "tag_elem_start",
+            &self.tag_elem_start,
+            t + 1,
+            self.tag_elems.len(),
+        )?;
+        if self.tag_byparent.len() != self.tag_elems.len() {
+            return Err(RawColumnsError::new(
+                "tag_byparent and tag_elems lengths differ",
+            ));
+        }
+        if self.tag_name_idx.iter().any(|&v| v >= s) {
+            return Err(RawColumnsError::new(
+                "tag_name_idx references a string out of bounds",
+            ));
+        }
+        if self.order.len() > n {
+            return Err(RawColumnsError::new("order lists more nodes than exist"));
+        }
+        if self.order.first() != Some(&0) {
+            return Err(RawColumnsError::new("order does not start at the root"));
+        }
+        if self
+            .order
+            .windows(2)
+            .any(|w| self.pre[w[0] as usize] >= self.pre[w[1] as usize])
+        {
+            return Err(RawColumnsError::new(
+                "order is not strictly sorted by preorder key",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validates the tables and rebuilds the [`PreparedDocument`] they
+    /// describe — arena, links, ordering keys and index tables — without
+    /// re-running preparation.  O(|D|) copying, no hashing beyond string
+    /// interning.
+    pub fn into_prepared(self) -> Result<PreparedDocument, RawColumnsError> {
+        self.validate()?;
+        let n = self.kind.len();
+        let interned: Vec<Arc<str>> = self.strings.iter().map(|s| Arc::from(s.as_str())).collect();
+        let string_at = |ix: u32| Arc::clone(&interned[ix as usize]);
+        let link = |v: u32| (v != RAW_NONE).then_some(NodeId(v));
+
+        let mut doc = Document::empty();
+        for i in 0..n {
+            let kind = match self.kind[i] {
+                RAW_KIND_ROOT => NodeKind::Root,
+                RAW_KIND_ELEMENT => NodeKind::Element {
+                    name: string_at(self.name_idx[i]),
+                },
+                RAW_KIND_TEXT => NodeKind::Text {
+                    text: string_at(self.value_idx[i]),
+                },
+                _ => NodeKind::Attribute {
+                    name: string_at(self.name_idx[i]),
+                    value: string_at(self.value_idx[i]),
+                },
+            };
+            let mut data = NodeData::new(kind);
+            data.parent = link(self.parent[i]);
+            data.first_child = link(self.first_child[i]);
+            data.last_child = link(self.last_child[i]);
+            data.next_sibling = link(self.next_sibling[i]);
+            data.prev_sibling = link(self.prev_sibling[i]);
+            let attrs: Vec<NodeId> = self.attr_list
+                [self.attr_start[i] as usize..self.attr_start[i + 1] as usize]
+                .iter()
+                .map(|&a| NodeId(a))
+                .collect();
+            data.set_attrs(attrs);
+            let id = if i == 0 {
+                // `Document::empty` created the root slot; adopt its links.
+                let root = doc.root();
+                *doc.data_mut(root) = data;
+                root
+            } else {
+                doc.append(data)
+            };
+            *doc.keys_mut(id) = NodeKeys {
+                pre: self.pre[i],
+                post: self.post[i],
+                depth: self.depth[i],
+            };
+        }
+
+        let mut tag_ids = HashMap::with_capacity(self.tag_name_idx.len());
+        let mut tags = Vec::with_capacity(self.tag_name_idx.len());
+        for (t, &name_ix) in self.tag_name_idx.iter().enumerate() {
+            let name = self.strings[name_ix as usize].clone();
+            let lo = self.tag_elem_start[t] as usize;
+            let hi = self.tag_elem_start[t + 1] as usize;
+            tag_ids.insert(name.clone(), TagId(t as u32));
+            tags.push(TagEntry {
+                name,
+                elements: self.tag_elems[lo..hi].iter().map(|&v| NodeId(v)).collect(),
+                by_parent: self.tag_byparent[lo..hi]
+                    .iter()
+                    .map(|&v| NodeId(v))
+                    .collect(),
+            });
+        }
+
+        Ok(PreparedDocument {
+            doc: Arc::new(doc),
+            order: self.order.into_iter().map(NodeId).collect(),
+            subtree_end: self.subtree_end,
+            tag_ids,
+            tags,
+            sibling_pos: self.sibling_pos,
+            child_count: self.child_count,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_xml, Axis, AxisSource, NodeTest};
+
+    fn roundtrip(xml: &str) -> (PreparedDocument, PreparedDocument) {
+        let original = parse_xml(xml).unwrap().prepare();
+        let rebuilt = RawColumns::from_prepared(&original)
+            .into_prepared()
+            .unwrap();
+        (original, rebuilt)
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let (original, rebuilt) = roundtrip(
+            r#"<site><region n="eu"><item id="1"><bid>5</bid>txt</item></region><b/><b/></site>"#,
+        );
+        assert_eq!(original.node_count(), rebuilt.node_count());
+        assert_eq!(original.order(), rebuilt.order());
+        for n in original.document().all_nodes() {
+            assert_eq!(original.kind(n), rebuilt.kind(n));
+            assert_eq!(original.pre(n), rebuilt.pre(n));
+            assert_eq!(original.post(n), rebuilt.post(n));
+            assert_eq!(original.depth(n), rebuilt.depth(n));
+            assert_eq!(original.pre_interval(n), rebuilt.pre_interval(n));
+            assert_eq!(original.sibling_position(n), rebuilt.sibling_position(n));
+            assert_eq!(original.child_count(n), rebuilt.child_count(n));
+            assert_eq!(original.string_value(n), rebuilt.string_value(n));
+            for axis in Axis::CORE.into_iter().chain([Axis::Attribute]) {
+                for test in [NodeTest::name("item"), NodeTest::Star, NodeTest::AnyNode] {
+                    assert_eq!(
+                        AxisSource::axis_step(&original, n, axis, &test),
+                        AxisSource::axis_step(&rebuilt, n, axis, &test),
+                    );
+                }
+            }
+        }
+        let tags: Vec<&str> = original.tag_names().collect();
+        assert_eq!(tags, rebuilt.tag_names().collect::<Vec<_>>());
+        for tag in tags {
+            assert_eq!(original.elements_named(tag), rebuilt.elements_named(tag));
+            assert_eq!(original.tag_id(tag), rebuilt.tag_id(tag));
+        }
+    }
+
+    #[test]
+    fn string_table_deduplicates() {
+        let p = parse_xml("<a><b k='b'>b</b><b k='b'>b</b></a>")
+            .unwrap()
+            .prepare();
+        let cols = RawColumns::from_prepared(&p);
+        let mut sorted = cols.strings.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), cols.strings.len());
+    }
+
+    #[test]
+    fn validation_rejects_truncated_and_inconsistent_tables() {
+        let p = parse_xml("<a><b/><c/></a>").unwrap().prepare();
+        let good = RawColumns::from_prepared(&p);
+        assert!(good.clone().into_prepared().is_ok());
+
+        let mut bad = good.clone();
+        bad.pre.pop();
+        assert!(bad.into_prepared().is_err());
+
+        let mut bad = good.clone();
+        bad.parent[2] = 999;
+        assert!(bad.into_prepared().is_err());
+
+        let mut bad = good.clone();
+        bad.kind[0] = RAW_KIND_ELEMENT;
+        assert!(bad.into_prepared().is_err());
+
+        let mut bad = good.clone();
+        bad.kind[1] = 77;
+        assert!(bad.into_prepared().is_err());
+
+        let mut bad = good.clone();
+        bad.attr_start[1] = 40;
+        assert!(bad.into_prepared().is_err());
+
+        let mut bad = good.clone();
+        bad.order.swap(1, 2);
+        let err = bad.into_prepared().unwrap_err();
+        assert!(err.to_string().contains("order"), "{err}");
+
+        let mut bad = good.clone();
+        bad.tag_name_idx[0] = 999;
+        assert!(bad.into_prepared().is_err());
+
+        let mut bad = good;
+        bad.name_idx[1] = RAW_NONE;
+        assert!(bad.into_prepared().is_err());
+    }
+
+    #[test]
+    fn detached_slots_survive_the_roundtrip() {
+        // Build a prepared doc, flatten, and confirm arena-slot indexing is
+        // preserved even for slots that are not in document order.
+        let p = parse_xml("<a><b/></a>").unwrap().prepare();
+        let mut cols = RawColumns::from_prepared(&p);
+        // Simulate a detached slot the way live removals leave one behind:
+        // present in the arena columns, absent from order.
+        let extra = cols.kind.len() as u32;
+        cols.kind.push(RAW_KIND_TEXT);
+        cols.name_idx.push(RAW_NONE);
+        let six = cols.strings.len() as u32;
+        cols.strings.push("orphan".into());
+        cols.value_idx.push(six);
+        for col in [
+            &mut cols.parent,
+            &mut cols.first_child,
+            &mut cols.last_child,
+            &mut cols.next_sibling,
+            &mut cols.prev_sibling,
+        ] {
+            col.push(RAW_NONE);
+        }
+        let end = *cols.attr_start.last().unwrap();
+        cols.attr_start.push(end);
+        cols.pre.push(0);
+        cols.post.push(0);
+        cols.depth.push(0);
+        cols.subtree_end.push(0);
+        cols.sibling_pos.push(0);
+        cols.child_count.push(0);
+        let rebuilt = cols.into_prepared().unwrap();
+        assert_eq!(rebuilt.node_count(), p.node_count() + 1);
+        assert!(!rebuilt.document().is_attached(NodeId(extra)));
+        assert_eq!(rebuilt.order().len(), p.order().len());
+    }
+}

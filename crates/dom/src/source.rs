@@ -59,6 +59,68 @@ pub enum PositionalPick {
     Last,
 }
 
+/// What a storage backend can answer without falling back to tree walks.
+///
+/// Plan selection consults this instead of downcasting to a concrete source
+/// type: a backend that cannot serve a capability gets an *explicitly*
+/// degraded plan (visible in the compile report) rather than a silently slow
+/// one.  Capabilities describe index availability, not correctness — every
+/// [`AxisSource`] answers every query correctly through the defaults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SourceCapabilities {
+    /// Tag-name lists and per-parent buckets exist
+    /// ([`AxisSource::elements_named`], [`AxisSource::resolve_tag`]).
+    pub tag_index: bool,
+    /// A precomputed document-order table exists (borrowing
+    /// [`AxisSource::document_order`], required by the parallel evaluator's
+    /// partitioning to be cheap).
+    pub order_table: bool,
+    /// Preorder subtree intervals are precomputed
+    /// ([`AxisSource::subtree_interval`]).
+    pub intervals: bool,
+    /// Positional child tables exist
+    /// ([`AxisSource::positional_child_step`]).
+    pub positional: bool,
+}
+
+impl SourceCapabilities {
+    /// No index structures at all.
+    pub const NONE: SourceCapabilities = SourceCapabilities {
+        tag_index: false,
+        order_table: false,
+        intervals: false,
+        positional: false,
+    };
+
+    /// Every index a [`PreparedDocument`] carries.
+    pub const FULL: SourceCapabilities = SourceCapabilities {
+        tag_index: true,
+        order_table: true,
+        intervals: true,
+        positional: true,
+    };
+
+    /// The capability set a plain unprepared [`Document`] reports: no
+    /// indexes, but document order is still derivable in one traversal
+    /// (which is why unprepared parallel evaluation remains worthwhile).
+    pub const UNINDEXED: SourceCapabilities = SourceCapabilities {
+        tag_index: false,
+        order_table: true,
+        intervals: false,
+        positional: false,
+    };
+
+    /// Bitwise-and of two capability sets.
+    pub fn intersect(self, other: SourceCapabilities) -> SourceCapabilities {
+        SourceCapabilities {
+            tag_index: self.tag_index && other.tag_index,
+            order_table: self.order_table && other.order_table,
+            intervals: self.intervals && other.intervals,
+            positional: self.positional && other.positional,
+        }
+    }
+}
+
 /// Access to a document's nodes and axis relations, with or without
 /// prepared indexes.
 ///
@@ -125,6 +187,13 @@ pub trait AxisSource: Sync {
         _pick: PositionalPick,
     ) -> Option<Vec<NodeId>> {
         None
+    }
+
+    /// The index structures this source can serve.  Plan selection degrades
+    /// strategies that depend on a missing capability (see
+    /// `CompiledQuery::strategy_for_source` in `xpeval-core`).
+    fn capabilities(&self) -> SourceCapabilities {
+        SourceCapabilities::UNINDEXED
     }
 }
 
@@ -328,6 +397,125 @@ impl AxisSource for PreparedDocument {
         };
         Some(picked.into_iter().collect())
     }
+
+    #[inline]
+    fn capabilities(&self) -> SourceCapabilities {
+        SourceCapabilities::FULL
+    }
+}
+
+/// An [`AxisSource`] adaptor that *removes* capabilities from an inner
+/// source.
+///
+/// Masked capabilities behave exactly like the unprepared-[`Document`]
+/// defaults: index probes decline (`None` / [`TagResolution::NoIndex`]) and
+/// axis steps fall back to plain tree walks.  This is how backends that
+/// persist only a subset of the index tables (and the backend test suite)
+/// express "this index does not exist here" without a parallel type
+/// hierarchy — and since results must not change, it doubles as a fixture
+/// proving plan degradation is purely a performance decision.
+#[derive(Debug)]
+pub struct CapabilityMask<S> {
+    inner: S,
+    mask: SourceCapabilities,
+}
+
+impl<S: AxisSource> CapabilityMask<S> {
+    /// Wraps `inner`, exposing only the capabilities present in both
+    /// `inner` and `mask`.
+    pub fn new(inner: S, mask: SourceCapabilities) -> Self {
+        CapabilityMask { inner, mask }
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps the mask.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: AxisSource> AxisSource for CapabilityMask<S> {
+    #[inline]
+    fn document(&self) -> &Document {
+        self.inner.document()
+    }
+
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+
+    fn axis_step(&self, n: NodeId, axis: Axis, test: &NodeTest) -> Vec<NodeId> {
+        // The inner fast paths lean on the tag index and the subtree
+        // intervals; once either is masked away, be honest and walk.
+        let caps = self.capabilities();
+        if caps.tag_index && caps.intervals && caps.order_table {
+            self.inner.axis_step(n, axis, test)
+        } else {
+            self.document().axis_step(n, axis, test)
+        }
+    }
+
+    fn document_order(&self) -> Cow<'_, [NodeId]> {
+        if self.capabilities().order_table {
+            self.inner.document_order()
+        } else {
+            Cow::Owned(self.document().document_order())
+        }
+    }
+
+    fn elements_named(&self, name: &str) -> Option<&[NodeId]> {
+        if self.capabilities().tag_index {
+            self.inner.elements_named(name)
+        } else {
+            None
+        }
+    }
+
+    fn resolve_tag(&self, name: &str) -> TagResolution {
+        if self.capabilities().tag_index {
+            self.inner.resolve_tag(name)
+        } else {
+            TagResolution::NoIndex
+        }
+    }
+
+    fn elements_by_tag(&self, id: TagId) -> Option<&[NodeId]> {
+        if self.capabilities().tag_index {
+            self.inner.elements_by_tag(id)
+        } else {
+            None
+        }
+    }
+
+    fn subtree_interval(&self, n: NodeId) -> Option<(u32, u32)> {
+        if self.capabilities().intervals {
+            self.inner.subtree_interval(n)
+        } else {
+            None
+        }
+    }
+
+    fn positional_child_step(
+        &self,
+        n: NodeId,
+        test: &NodeTest,
+        pick: PositionalPick,
+    ) -> Option<Vec<NodeId>> {
+        if self.capabilities().positional {
+            self.inner.positional_child_step(n, test, pick)
+        } else {
+            None
+        }
+    }
+
+    fn capabilities(&self) -> SourceCapabilities {
+        self.inner.capabilities().intersect(self.mask)
+    }
 }
 
 #[cfg(test)]
@@ -442,5 +630,74 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn capability_sets_reflect_index_availability() {
+        let doc = parse_xml(XML).unwrap();
+        let prepared = PreparedDocument::new(doc.clone());
+        assert_eq!(
+            AxisSource::capabilities(&doc),
+            SourceCapabilities::UNINDEXED
+        );
+        assert_eq!(
+            AxisSource::capabilities(&prepared),
+            SourceCapabilities::FULL
+        );
+        assert_eq!(
+            SourceCapabilities::FULL.intersect(SourceCapabilities::NONE),
+            SourceCapabilities::NONE
+        );
+    }
+
+    #[test]
+    fn capability_mask_declines_masked_probes_but_agrees_on_results() {
+        let doc = parse_xml(XML).unwrap();
+        let prepared = PreparedDocument::new(doc.clone());
+        let masked = CapabilityMask::new(prepared.clone(), SourceCapabilities::NONE);
+        assert_eq!(masked.capabilities(), SourceCapabilities::NONE);
+        assert!(AxisSource::elements_named(&masked, "b").is_none());
+        assert_eq!(masked.resolve_tag("b"), TagResolution::NoIndex);
+        for n in doc.all_nodes() {
+            assert!(AxisSource::subtree_interval(&masked, n).is_none());
+            assert!(AxisSource::positional_child_step(
+                &masked,
+                n,
+                &NodeTest::name("b"),
+                PositionalPick::Last
+            )
+            .is_none());
+            for axis in Axis::CORE.into_iter().chain([Axis::Attribute]) {
+                assert_eq!(
+                    AxisSource::axis_step(&masked, n, axis, &NodeTest::name("b")),
+                    AxisSource::axis_step(&prepared, n, axis, &NodeTest::name("b")),
+                    "{n:?} {axis}"
+                );
+            }
+        }
+        assert!(matches!(AxisSource::document_order(&masked), Cow::Owned(_)));
+        assert_eq!(
+            AxisSource::document_order(&masked).as_ref(),
+            AxisSource::document_order(&prepared).as_ref()
+        );
+    }
+
+    #[test]
+    fn capability_mask_partial_masking_keeps_unmasked_indexes() {
+        let doc = parse_xml(XML).unwrap();
+        let prepared = PreparedDocument::new(doc.clone());
+        let mask = SourceCapabilities {
+            positional: false,
+            ..SourceCapabilities::FULL
+        };
+        let masked = CapabilityMask::new(prepared.clone(), mask);
+        assert_eq!(masked.capabilities(), mask);
+        assert!(AxisSource::elements_named(&masked, "b").is_some());
+        assert!(matches!(
+            AxisSource::document_order(&masked),
+            Cow::Borrowed(_)
+        ));
+        let inner: &PreparedDocument = masked.inner();
+        assert_eq!(inner.node_count(), doc.len());
     }
 }

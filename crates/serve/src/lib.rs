@@ -32,6 +32,11 @@
 //!   an `Arc`; the worker resolves the name when the job runs, so it
 //!   always evaluates the current generation and repeats hit the
 //!   catalog's (query × document) artifact cache.
+//! * **Snapshot submissions** — [`AsyncEngine::submit_snapshot`] accepts
+//!   a zero-copy `xpeval_backends::PreparedSnapshot`: workers share one
+//!   lazily-decoded `PreparedDocument` behind the snapshot's `Arc`, so a
+//!   prepared artifact written offline serves concurrent queries without
+//!   re-parsing or re-indexing.
 //! * **Graceful shutdown** — [`AsyncEngine::shutdown`] stops intake,
 //!   drains every accepted job, joins the workers and returns the final
 //!   [`ServeStats`]; late submissions fail with

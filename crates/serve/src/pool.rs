@@ -27,6 +27,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+use xpeval_backends::PreparedSnapshot;
 use xpeval_catalog::{Catalog, CatalogError, LiveDocument, MutationOutcome};
 use xpeval_core::{default_threads, CompiledQuery, Engine, EvalError, QueryOutput};
 use xpeval_dom::{Document, PreparedDocument};
@@ -584,6 +585,50 @@ impl AsyncEngine {
                 .and_then(|plan| plan.run_prepared(&prepared))
         });
         self.enqueue(job, future, true)
+    }
+
+    /// Submits a query against a **zero-copy prepared snapshot**
+    /// (`xpeval_backends::PreparedSnapshot`): the worker decodes the
+    /// snapshot into its `PreparedDocument` on first touch — subsequent
+    /// submissions against the same snapshot share the already-decoded
+    /// `Arc` — then evaluates through the compile-once pipeline.  A
+    /// corrupt or version-skewed snapshot surfaces as
+    /// [`EvalError::Unsupported`] in the result, not as a submission
+    /// error.  Blocking while the queue is full, like
+    /// [`AsyncEngine::submit`].
+    pub fn submit_snapshot(
+        &self,
+        snapshot: &Arc<PreparedSnapshot>,
+        query: &str,
+    ) -> Result<QueryFuture<QueryResult>, TrySubmitError> {
+        let (job, future) = Self::snapshot_job(snapshot, query);
+        self.enqueue(job, future, true)
+    }
+
+    /// Non-blocking [`AsyncEngine::submit_snapshot`].
+    pub fn try_submit_snapshot(
+        &self,
+        snapshot: &Arc<PreparedSnapshot>,
+        query: &str,
+    ) -> Result<QueryFuture<QueryResult>, TrySubmitError> {
+        let (job, future) = Self::snapshot_job(snapshot, query);
+        self.enqueue(job, future, false)
+    }
+
+    fn snapshot_job(
+        snapshot: &Arc<PreparedSnapshot>,
+        query: &str,
+    ) -> (Job, QueryFuture<QueryResult>) {
+        let snapshot = Arc::clone(snapshot);
+        let query = query.to_string();
+        Self::task_job(move |engine| {
+            let doc = snapshot.document().map_err(|e| EvalError::Unsupported {
+                message: format!("snapshot decode failed: {e}"),
+            })?;
+            engine
+                .compile(&query)
+                .and_then(|plan| plan.run_prepared(&doc))
+        })
     }
 
     /// Submits an arbitrary closure to run on a worker, with access to the

@@ -41,7 +41,7 @@ fn main() {
         .strategy(EvalStrategy::ContextValueTable)
         .plan_cache_capacity(256)
         .build();
-    let prepared = engine.prepare(&doc);
+    let prepared = engine.prepare_keyed(1, &doc);
     let pool = AsyncEngine::builder()
         .engine(engine.clone())
         .workers(4)

@@ -1,0 +1,134 @@
+//! Pluggable tree backends: eager vs lazy vs snapshot vs tree provider.
+//!
+//! The eager path pays parse + full indexing up front.  A
+//! [`LazyDocument`] tokenizes into a spine plus subtree extents and
+//! materializes only what a query's tag footprint can touch; a
+//! [`PreparedSnapshot`] is a checksummed binary image of a prepared
+//! document that re-opens in O(validate); a [`JsonProvider`] feeds a
+//! non-XML tree through the same builder events.  All of them enter the
+//! catalog, where plan artifacts are keyed per backend and a node budget
+//! demotes lazy entries back to their spine before evicting anyone.
+//!
+//! ```bash
+//! cargo run --release --example backends
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+use xpeval::dom::serialize;
+use xpeval::prelude::*;
+use xpeval::workloads::auction_site_document;
+
+const ITEMS: usize = 600; // ~9.6k nodes, the shared bench document
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(43);
+    let doc = auction_site_document(&mut rng, ITEMS);
+    let xml = serialize(&doc);
+
+    // -- Eager: the baseline every backend is measured against. ---------
+    drop(doc);
+    let t = Instant::now();
+    let eager = Arc::new(PreparedDocument::new(parse_xml(&xml).unwrap()));
+    let eager_cost = t.elapsed();
+    println!("== eager ==\n");
+    println!(
+        "  parse + prepare: {} nodes in {eager_cost:.2?}",
+        eager.node_count()
+    );
+
+    // -- Lazy: materialize only what the query touches. ------------------
+    println!("\n== lazy ==\n");
+    let t = Instant::now();
+    let lazy = LazyDocument::new(&xml).unwrap();
+    println!(
+        "  tokenize: {} extents over {} nodes in {:.2?}",
+        lazy.extent_count(),
+        lazy.total_nodes(),
+        t.elapsed()
+    );
+    let plan = CompiledQuery::compile("count(//person)").unwrap();
+    let wave = lazy.materialize_for(plan.expr()).unwrap();
+    println!(
+        "  count(//person) materialized {} / {} nodes ({:.0}%)",
+        wave.node_count(),
+        lazy.total_nodes(),
+        100.0 * wave.node_count() as f64 / lazy.total_nodes() as f64
+    );
+    let out = plan.run_prepared(&wave).unwrap();
+    println!("  -> {:?}", out.value);
+
+    // Through the catalog the same economy is observable per evaluation:
+    // EvalStats::nodes_materialized witnesses the resident wave.
+    let catalog = Catalog::builder().node_budget(50_000).build();
+    catalog.insert_lazy("auction", &xml).unwrap();
+    let out = catalog.evaluate_on("auction", "count(//person)").unwrap();
+    println!(
+        "  catalog witness: nodes_materialized = {} (backend {:?})",
+        out.stats.nodes_materialized,
+        catalog.backend_kind("auction").unwrap()
+    );
+
+    // -- Snapshot: prepare once, re-open in O(validate). -----------------
+    println!("\n== snapshot ==\n");
+    let t = Instant::now();
+    let bytes = PreparedSnapshot::to_bytes(&eager);
+    println!(
+        "  export: {} bytes for {} nodes in {:.2?}",
+        bytes.len(),
+        eager.node_count(),
+        t.elapsed()
+    );
+    let t = Instant::now();
+    let snapshot = Arc::new(PreparedSnapshot::from_bytes(bytes).unwrap());
+    let open_cost = t.elapsed();
+    println!(
+        "  open (validate only): {open_cost:.2?} — {:.0}x faster than parse + prepare",
+        eager_cost.as_secs_f64() / open_cost.as_secs_f64().max(1e-9)
+    );
+    let shared = snapshot.document().unwrap(); // decoded once, shared after
+    let plan = CompiledQuery::compile("count(//item)").unwrap();
+    println!(
+        "  count(//item) -> {:?}",
+        plan.run_prepared(&shared).unwrap().value
+    );
+
+    // A corrupt image is rejected, never misread.
+    let mut broken = PreparedSnapshot::to_bytes(&eager);
+    let last = broken.len() - 1;
+    broken[last] ^= 0xff;
+    println!(
+        "  corrupt image: {}",
+        PreparedSnapshot::from_bytes(broken).unwrap_err()
+    );
+
+    // Snapshots serve through the catalog and the async pool directly.
+    catalog.insert_snapshot("auction-img", &snapshot).unwrap();
+    let pool = AsyncEngine::builder().workers(2).build();
+    let f = pool.submit_snapshot(&snapshot, "count(//bid)").unwrap();
+    println!(
+        "  pool submit_snapshot count(//bid) -> {:?}",
+        f.wait().unwrap().unwrap().value
+    );
+    pool.shutdown();
+
+    // -- Tree provider: non-XML sources, same pipeline. -------------------
+    println!("\n== tree provider (json) ==\n");
+    let json = r#"{
+        "orders": [
+            {"id": 1, "total": 30, "lines": [{"sku": "a"}, {"sku": "b"}]},
+            {"id": 2, "total": 55, "lines": [{"sku": "c"}]}
+        ]
+    }"#;
+    catalog
+        .insert_tree("orders", &JsonProvider::new(json))
+        .unwrap();
+    for q in ["count(//orders)", "count(//sku)", "//lines/sku"] {
+        let out = catalog.evaluate_on("orders", q).unwrap();
+        println!("  {q:<18} -> {:?}", out.value);
+    }
+
+    println!("\n  {}", catalog.stats());
+}

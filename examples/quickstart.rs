@@ -74,7 +74,7 @@ fn main() {
     // index, preorder subtree intervals, position tables), evaluate many.
     // The engine memoizes preparation per document, like plans per string.
     let doc = Arc::new(doc);
-    let prepared = engine.prepare(&doc);
+    let prepared = engine.prepare_keyed(1, &doc);
     let titles = engine
         .evaluate_str_prepared(&prepared, "/descendant::title")
         .unwrap();

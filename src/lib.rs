@@ -95,7 +95,8 @@
 //! cache keyed by
 //! the query string and a document cache memoizing preparation, so repeated
 //! `evaluate_str` calls skip the per-query half and
-//! [`engine::Engine::prepare`] pays the per-document half once:
+//! [`engine::Engine::prepare_keyed`] pays the per-document half once,
+//! under a caller-assigned stable id that survives document replacement:
 //!
 //! ```
 //! use std::sync::Arc;
@@ -103,7 +104,7 @@
 //!
 //! let engine = Engine::builder().threads(2).plan_cache_capacity(256).build();
 //! let doc = Arc::new(parse_xml("<lib><book/><book/></lib>").unwrap());
-//! let prepared = engine.prepare(&doc); // cached per document
+//! let prepared = engine.prepare_keyed(1, &doc); // cached under the stable id
 //! for _ in 0..10 {
 //!     assert_eq!(
 //!         engine.evaluate_str_prepared(&prepared, "count(//book)").unwrap(),
@@ -260,7 +261,73 @@
 //! [`AsyncEngine::submit_mutation_named`](serve::AsyncEngine::submit_mutation_named)
 //! runs the closure on a worker, serialized with queries on the same
 //! catalog while independent tenants proceed in parallel.
+//!
+//! ## Backends: eager, lazy, snapshot, tree providers
+//!
+//! Everything above assumes the eager path: parse the whole document,
+//! build every index, then query.  The [`backends`] crate makes the
+//! *storage* layer pluggable below [`AxisSource`](dom::AxisSource),
+//! trading ingest cost against first-query latency:
+//!
+//! | backend | ingest cost | first query | re-open | best for |
+//! |---|---|---|---|---|
+//! | **eager** (default) | parse + index all | fast | parse + index again | documents queried many times |
+//! | **lazy** ([`LazyDocument`](backends::LazyDocument)) | tokenize only | parses only touched subtrees | tokenize only | large documents, targeted queries |
+//! | **snapshot** ([`PreparedSnapshot`](backends::PreparedSnapshot)) | one-time export | fast | O(validate) on checksummed bytes | prepared-once, served-everywhere |
+//! | **tree** ([`TreeProvider`](dom::TreeProvider), e.g. [`JsonProvider`](backends::JsonProvider)) | provider-defined | fast | provider-defined | non-XML sources |
+//!
+//! A [`LazyDocument`](backends::LazyDocument) tokenizes XML into a
+//! structural spine plus subtree *extents* and materializes only the
+//! extents a query's tag footprint can touch —
+//! [`EvalStats::nodes_materialized`](engine::EvalStats) witnesses how
+//! little a targeted query parsed.  A
+//! [`PreparedSnapshot`](backends::PreparedSnapshot) is a versioned,
+//! checksummed binary image of a fully prepared document (arena, keys and
+//! index tables); re-opening validates bytes instead of re-parsing and
+//! re-indexing, and the non-default `mmap` feature maps the file rather
+//! than reading it.  Corrupt or version-skewed images are rejected, never
+//! misread.  All three enter the catalog
+//! ([`Catalog::insert_lazy`](catalog::Catalog::insert_lazy) /
+//! [`insert_snapshot`](catalog::Catalog::insert_snapshot) /
+//! [`insert_tree`](catalog::Catalog::insert_tree)) where plan artifacts
+//! are additionally keyed by [`BackendKind`](backends::BackendKind) and a
+//! [`node_budget`](catalog::CatalogBuilder::node_budget) demotes lazy
+//! entries back to their spine before evicting anyone; the pool serves
+//! snapshots directly through
+//! [`AsyncEngine::submit_snapshot`](serve::AsyncEngine::submit_snapshot).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xpeval::prelude::*;
+//!
+//! // Lazy: a query for //b materializes b's extent, not c's.
+//! let xml = format!(
+//!     "<r><a>{}</a><b>{}</b><c>{}</c></r>",
+//!     "<x/>".repeat(400), "<y/>".repeat(400), "<z/>".repeat(400),
+//! );
+//! let lazy = LazyDocument::new(&xml).unwrap();
+//! let doc = lazy.materialize_for(
+//!     CompiledQuery::compile("count(//y)").unwrap().expr(),
+//! ).unwrap();
+//! assert!(doc.node_count() < lazy.total_nodes() / 2);
+//!
+//! // Snapshot: export a prepared document, re-open in O(validate).
+//! let prepared = Arc::new(PreparedDocument::new(parse_xml("<r><s/></r>").unwrap()));
+//! let bytes = PreparedSnapshot::to_bytes(&prepared);
+//! let snapshot = PreparedSnapshot::from_bytes(bytes).unwrap();
+//! assert_eq!(snapshot.node_count(), prepared.node_count());
+//!
+//! // Tree provider: JSON enters the same pipeline.
+//! let json = JsonProvider::new(r#"{"order": {"id": 7}}"#);
+//! let catalog = Catalog::new();
+//! catalog.insert_tree("orders", &json).unwrap();
+//! assert_eq!(
+//!     catalog.evaluate_on("orders", "count(//id)").unwrap().value,
+//!     Value::Number(1.0),
+//! );
+//! ```
 
+pub use xpeval_backends as backends;
 pub use xpeval_catalog as catalog;
 pub use xpeval_circuits as circuits;
 pub use xpeval_core as engine;
@@ -273,6 +340,9 @@ pub use xpeval_workloads as workloads;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
+    pub use xpeval_backends::{
+        BackendKind, JsonProvider, LazyDocument, PreparedSnapshot, SnapshotError,
+    };
     pub use xpeval_catalog::{
         Catalog, CatalogBuilder, CatalogError, CatalogStats, DocId, DocInfo, FanOut,
         MutationOutcome, PlanArtifact,
@@ -284,7 +354,8 @@ pub mod prelude {
     };
     pub use xpeval_dom::{
         parse_xml, Axis, AxisSource, Document, DocumentBuilder, EditOutcome, MutationError, NodeId,
-        NodeTest, PositionalPick, PreparedDocument, TagId,
+        NodeTest, PositionalPick, PreparedDocument, TagId, TreeBuildError, TreeBuilder,
+        TreeProvider, XmlProvider,
     };
     pub use xpeval_live::{LiveDocument, PendingEdits};
     pub use xpeval_serve::{

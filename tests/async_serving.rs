@@ -110,7 +110,7 @@ fn shutdown_completes_accepted_work_and_rejects_late_submissions() {
     let mut rng = StdRng::seed_from_u64(7);
     let doc = Arc::new(auction_site_document(&mut rng, 30));
     let engine = Engine::builder().build();
-    let prepared = engine.prepare(&doc);
+    let prepared = engine.prepare_keyed(1, &doc);
     let pool = AsyncEngine::builder()
         .engine(engine)
         .workers(2)
@@ -395,7 +395,7 @@ fn futures_are_awaitable_through_the_own_executor() {
     let mut rng = StdRng::seed_from_u64(8);
     let doc = Arc::new(random_tree_document(&mut rng, 60, &["a", "b", "c"]));
     let pool = AsyncEngine::builder().workers(2).build();
-    let prepared = pool.engine().prepare(&doc);
+    let prepared = pool.engine().prepare_keyed(1, &doc);
 
     let value = block_on(async {
         let a = pool.submit(&prepared, "count(//a)").unwrap();
@@ -500,7 +500,7 @@ fn concurrent_try_submit_storm_accounts_for_every_request() {
     let mut rng = StdRng::seed_from_u64(11);
     let doc = Arc::new(auction_site_document(&mut rng, 20));
     let pool = AsyncEngine::builder().workers(2).queue_capacity(4).build();
-    let prepared = pool.engine().prepare(&doc);
+    let prepared = pool.engine().prepare_keyed(1, &doc);
 
     let (accepted, rejected): (u64, u64) = std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -547,7 +547,7 @@ fn submit_async_round_trip() {
     let mut rng = StdRng::seed_from_u64(12);
     let doc = Arc::new(auction_site_document(&mut rng, 15));
     let pool = AsyncEngine::builder().workers(2).queue_capacity(8).build();
-    let prepared = pool.engine().prepare(&doc);
+    let prepared = pool.engine().prepare_keyed(1, &doc);
 
     let value = block_on(async {
         let accepted = pool.submit_async(&prepared, "count(//item)").await.unwrap();

@@ -1,0 +1,383 @@
+//! Backend agreement: the lazy, snapshot and JSON tree-provider backends
+//! produce exactly the eager `PreparedDocument` results, across all five
+//! evaluation strategies and both query corpora — plus the snapshot
+//! format's rejection guarantees (corruption, truncation, version skew)
+//! and the lazy backend's materialization economy, witnessed through
+//! `EvalStats::nodes_materialized`.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use xpeval::backends::{SNAPSHOT_HEADER_LEN, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+use xpeval::dom::serialize;
+use xpeval::engine::Engine as CoreEngine;
+use xpeval::prelude::*;
+use xpeval::syntax::Expr;
+use xpeval::workloads::{
+    auction_site_document, core_xpath_query_corpus, pwf_query_corpus, random_pf_query,
+    random_tree_document,
+};
+
+const ALL_STRATEGIES: [EvalStrategy; 5] = [
+    EvalStrategy::ContextValueTable,
+    EvalStrategy::Naive,
+    EvalStrategy::CoreXPathLinear,
+    EvalStrategy::Parallel { threads: 2 },
+    EvalStrategy::SingletonSuccess,
+];
+
+/// A node-id-free projection of a query value, so results can be compared
+/// across backings whose arenas number nodes differently (lazy waves
+/// renumber; everything else happens to agree, but nothing should depend
+/// on it).
+#[derive(Debug, Clone, PartialEq)]
+enum Projected {
+    /// `(name, string-value)` per node, in document order.
+    Nodes(Vec<(Option<String>, String)>),
+    Scalar(Value),
+}
+
+fn project(doc: &PreparedDocument, value: &Value) -> Projected {
+    match value {
+        Value::NodeSet(nodes) => Projected::Nodes(
+            nodes
+                .iter()
+                .map(|&n| (doc.name(n).map(str::to_string), doc.string_value(n)))
+                .collect(),
+        ),
+        other => Projected::Scalar(other.clone()),
+    }
+}
+
+/// Evaluates `query` with a pinned strategy, projected for comparison.
+fn run(
+    strategy: EvalStrategy,
+    doc: &PreparedDocument,
+    query: &Expr,
+) -> Result<Projected, EvalError> {
+    CoreEngine::new(strategy)
+        .evaluate_prepared(doc, query)
+        .map(|v| project(doc, &v))
+}
+
+/// Asserts `backend` answers every (corpus query × strategy) pair exactly
+/// as `eager` does — same value on success, an error whenever the eager
+/// path errors (some strategies reject fragments outside their scope;
+/// backends must not change *that* answer either).
+fn assert_agreement(
+    label: &str,
+    eager: &PreparedDocument,
+    backend: &PreparedDocument,
+    corpus: &[(&str, Expr)],
+) {
+    for (name, query) in corpus {
+        for strategy in ALL_STRATEGIES {
+            match (run(strategy, eager, query), run(strategy, backend, query)) {
+                (Ok(expected), Ok(got)) => {
+                    assert_eq!(got, expected, "{label}: {name} under {strategy:?}")
+                }
+                (Err(_), Err(_)) => {}
+                (expected, got) => panic!(
+                    "{label}: {name} under {strategy:?}: eager {expected:?} vs backend {got:?}"
+                ),
+            }
+        }
+    }
+}
+
+type Corpus = Vec<(&'static str, Expr)>;
+
+fn corpora() -> Vec<(&'static str, Document, Corpus)> {
+    vec![
+        (
+            "random-tree/core-corpus",
+            random_tree_document(
+                &mut StdRng::seed_from_u64(7),
+                400,
+                &["a", "b", "c", "d", "root"],
+            ),
+            core_xpath_query_corpus(),
+        ),
+        (
+            "auction/pwf-corpus",
+            auction_site_document(&mut StdRng::seed_from_u64(11), 60),
+            pwf_query_corpus(),
+        ),
+    ]
+}
+
+#[test]
+fn lazy_backend_agrees_with_eager_on_both_corpora() {
+    for (label, doc, corpus) in corpora() {
+        let xml = serialize(&doc);
+        let eager = PreparedDocument::new(doc);
+        let lazy = LazyDocument::new(&xml).unwrap();
+        // Fully materialized wave: same tree content, renumbered arena.
+        let full = lazy.materialize_all().unwrap();
+        assert_eq!(full.node_count(), lazy.total_nodes());
+        assert_agreement(&format!("lazy/{label}"), &eager, &full, &corpus);
+    }
+}
+
+#[test]
+fn lazy_partial_waves_agree_on_the_queries_that_grew_them() {
+    // A wave grown *for* a query answers that query exactly, even though
+    // unrelated subtrees are still unmaterialized.
+    let doc = auction_site_document(&mut StdRng::seed_from_u64(13), 80);
+    let xml = serialize(&doc);
+    let eager = PreparedDocument::new(doc);
+    let lazy = LazyDocument::new(&xml).unwrap();
+    for q in ["//person", "count(//bid)", "//item[child::bid]/name"] {
+        let plan = CompiledQuery::compile(q).unwrap();
+        let wave = lazy.materialize_for(plan.expr()).unwrap();
+        assert!(
+            wave.node_count() <= lazy.total_nodes(),
+            "{q}: wave exceeds the document"
+        );
+        let got = project(&wave, &plan.run_prepared(&wave).unwrap().value);
+        let expected = project(&eager, &plan.run_prepared(&eager).unwrap().value);
+        assert_eq!(got, expected, "{q}");
+    }
+}
+
+#[test]
+fn snapshot_backend_agrees_with_eager_on_both_corpora() {
+    for (label, doc, corpus) in corpora() {
+        let eager = Arc::new(PreparedDocument::new(doc));
+        let bytes = PreparedSnapshot::to_bytes(&eager);
+        let snapshot = PreparedSnapshot::from_bytes(bytes).unwrap();
+        let decoded = snapshot.document().unwrap();
+        // The snapshot round-trip preserves node identity, so the raw
+        // values (NodeIds included) must match, not just projections.
+        for (name, query) in &corpus {
+            let expected = CoreEngine::new(EvalStrategy::ContextValueTable)
+                .evaluate_prepared(&eager, query)
+                .unwrap();
+            let got = CoreEngine::new(EvalStrategy::ContextValueTable)
+                .evaluate_prepared(&decoded, query)
+                .unwrap();
+            assert_eq!(got, expected, "snapshot node identity: {name}");
+        }
+        assert_agreement(&format!("snapshot/{label}"), &eager, &decoded, &corpus);
+    }
+}
+
+#[test]
+fn json_backend_agrees_with_its_eager_xml_equivalent() {
+    let json = r#"{
+        "site": {
+            "people": [
+                {"name": "ann", "age": 34},
+                {"name": "bob", "age": 27},
+                {"name": "cyd"}
+            ],
+            "open": true,
+            "items": [{"sku": "x1"}, {"sku": "x2"}]
+        }
+    }"#;
+    let provided = JsonProvider::new(json).build_prepared().unwrap();
+    // The eager equivalent: serialize the provided tree to XML and push it
+    // through the ordinary parse + prepare pipeline.
+    let eager = PreparedDocument::new(parse_xml(&serialize(&provided)).unwrap());
+    let queries = [
+        "count(//people)",
+        "count(//name)",
+        "//people[child::age]/name",
+        "count(/descendant-or-self::*)",
+        "//sku",
+    ];
+    let corpus: Vec<(&str, Expr)> = queries
+        .iter()
+        .map(|q| (*q, xpeval::syntax::parse_query(q).unwrap()))
+        .collect();
+    assert_agreement("json", &eager, &provided, &corpus);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random PF queries over random documents: the serialize → lazy and
+    /// serialize → snapshot round trips answer exactly like the eager
+    /// document they came from, under every strategy.
+    #[test]
+    fn random_queries_agree_across_backends(seed in 0u64..3000, len in 1usize..6, nodes in 5usize..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = random_tree_document(&mut rng, nodes, &["a", "b", "c"]);
+        let query = random_pf_query(&mut rng, len, &["a", "b", "c"]);
+        let xml = serialize(&doc);
+        let eager = PreparedDocument::new(doc);
+
+        let lazy = LazyDocument::new(&xml).unwrap().materialize_all().unwrap();
+        let snapshot = PreparedSnapshot::from_bytes(PreparedSnapshot::to_bytes(&eager))
+            .unwrap()
+            .document()
+            .unwrap();
+
+        for strategy in ALL_STRATEGIES {
+            let expected = run(strategy, &eager, &query);
+            let via_lazy = run(strategy, &lazy, &query);
+            let via_snapshot = run(strategy, &snapshot, &query);
+            match (&expected, &via_lazy, &via_snapshot) {
+                (Ok(e), Ok(l), Ok(s)) => {
+                    prop_assert_eq!(l, e, "lazy under {:?}", strategy);
+                    prop_assert_eq!(s, e, "snapshot under {:?}", strategy);
+                }
+                (Err(_), Err(_), Err(_)) => {}
+                other => prop_assert!(false, "split verdict under {:?}: {:?}", strategy, other),
+            }
+        }
+    }
+
+    /// Snapshot byte images survive the write → open round trip for any
+    /// document shape, and a flipped byte anywhere in the payload is
+    /// rejected at open.
+    #[test]
+    fn snapshot_roundtrip_and_corruption(seed in 0u64..2000, nodes in 2usize..80, victim in 0usize..1usize << 20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = random_tree_document(&mut rng, nodes, &["p", "q", "r"]);
+        let eager = PreparedDocument::new(doc);
+        let bytes = PreparedSnapshot::to_bytes(&eager);
+
+        let reopened = PreparedSnapshot::from_bytes(bytes.clone()).unwrap();
+        prop_assert_eq!(reopened.node_count(), eager.node_count());
+        prop_assert_eq!(
+            reopened.document().unwrap().elements_named("p").len(),
+            eager.elements_named("p").len()
+        );
+
+        // Corrupt one payload byte; open must fail, never misread.
+        let mut corrupt = bytes;
+        let idx = SNAPSHOT_HEADER_LEN + victim % (corrupt.len() - SNAPSHOT_HEADER_LEN);
+        corrupt[idx] ^= 0x40;
+        prop_assert!(PreparedSnapshot::from_bytes(corrupt).is_err(), "flip at {}", idx);
+    }
+}
+
+#[test]
+fn snapshot_write_open_file_roundtrip() {
+    let doc = auction_site_document(&mut StdRng::seed_from_u64(17), 30);
+    let eager = PreparedDocument::new(doc);
+    let path =
+        std::env::temp_dir().join(format!("xpeval-backends-test-{}.snap", std::process::id()));
+    PreparedSnapshot::write(&eager, &path).unwrap();
+    let snapshot = PreparedSnapshot::open(&path).unwrap();
+    assert_eq!(snapshot.node_count(), eager.node_count());
+    let plan = CompiledQuery::compile("count(//item)").unwrap();
+    assert_eq!(
+        plan.run_prepared(&snapshot.document().unwrap())
+            .unwrap()
+            .value,
+        plan.run_prepared(&eager).unwrap().value,
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[cfg(all(feature = "mmap", unix))]
+#[test]
+fn snapshot_mmap_open_agrees_with_read_open() {
+    let doc = auction_site_document(&mut StdRng::seed_from_u64(19), 30);
+    let eager = PreparedDocument::new(doc);
+    let path = std::env::temp_dir().join(format!(
+        "xpeval-backends-mmap-test-{}.snap",
+        std::process::id()
+    ));
+    PreparedSnapshot::write(&eager, &path).unwrap();
+    let snapshot = PreparedSnapshot::open(&path).unwrap(); // maps under mmap
+    let plan = CompiledQuery::compile("count(//person)").unwrap();
+    assert_eq!(
+        plan.run_prepared(&snapshot.document().unwrap())
+            .unwrap()
+            .value,
+        plan.run_prepared(&eager).unwrap().value,
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn snapshot_version_and_magic_skew_are_rejected() {
+    let eager = PreparedDocument::new(parse_xml("<r><a/><b/></r>").unwrap());
+    let bytes = PreparedSnapshot::to_bytes(&eager);
+
+    // Version bump: a future-format image is refused with the version.
+    let mut skewed = bytes.clone();
+    skewed[8..12].copy_from_slice(&(SNAPSHOT_VERSION + 9).to_le_bytes());
+    match PreparedSnapshot::from_bytes(skewed) {
+        Err(SnapshotError::UnsupportedVersion { found }) => {
+            assert_eq!(found, SNAPSHOT_VERSION + 9)
+        }
+        other => panic!("expected version rejection, got {other:?}"),
+    }
+
+    // Magic skew: not even recognized as a snapshot.
+    let mut alien = bytes.clone();
+    alien[..SNAPSHOT_MAGIC.len()].copy_from_slice(b"NOTASNAP");
+    assert!(matches!(
+        PreparedSnapshot::from_bytes(alien),
+        Err(SnapshotError::BadMagic)
+    ));
+
+    // Truncation: every prefix shorter than the whole image is refused.
+    for cut in [0, 7, SNAPSHOT_HEADER_LEN - 1, bytes.len() - 1] {
+        assert!(
+            PreparedSnapshot::from_bytes(bytes[..cut].to_vec()).is_err(),
+            "truncation at {cut} accepted"
+        );
+    }
+}
+
+#[test]
+fn lazy_targeted_query_materializes_under_half_the_document() {
+    // The acceptance witness: on the ~9.6k-node auction document, the
+    // first targeted query must materialize < 50% of the nodes, and the
+    // catalog surfaces that number through EvalStats.
+    let doc = auction_site_document(&mut StdRng::seed_from_u64(43), 600);
+    let xml = serialize(&doc);
+    let total = PreparedDocument::new(doc).node_count();
+
+    let catalog = Catalog::new();
+    catalog.insert_lazy("auction", &xml).unwrap();
+    assert_eq!(catalog.backend_kind("auction"), Some(BackendKind::Lazy));
+
+    let out = catalog.evaluate_on("auction", "count(//person)").unwrap();
+    assert_eq!(out.value, Value::Number(600.0));
+    let materialized = out.stats.nodes_materialized as usize;
+    assert!(materialized > 0, "witness not stamped");
+    assert!(
+        materialized * 2 < total,
+        "targeted query materialized {materialized} of {total} nodes"
+    );
+
+    // An eager entry never reports materialization.
+    catalog.insert_xml("eager", &xml).unwrap();
+    let out = catalog.evaluate_on("eager", "count(//person)").unwrap();
+    assert_eq!(out.stats.nodes_materialized, 0);
+}
+
+#[test]
+fn unsafe_audit_fast_and_portable_column_decodes_agree() {
+    // The snapshot's only unsafe code is the aligned zero-copy u32 borrow
+    // in `backends::bytes`.  Drive the fast path and the portable decode
+    // over the same images — including deliberately misaligned views —
+    // and require identical values; CI runs this under the unsafe-audit
+    // job (or miri where available).
+    use xpeval::backends::bytes::{as_u32s, decode_u32s, read_u32s};
+    let mut rng = StdRng::seed_from_u64(23);
+    for nodes in [2usize, 17, 120] {
+        let doc = random_tree_document(&mut rng, nodes, &["a", "b"]);
+        let image = PreparedSnapshot::to_bytes(&PreparedDocument::new(doc));
+        let payload = &image[SNAPSHOT_HEADER_LEN..];
+        let aligned = &payload[..payload.len() & !3];
+        let portable = decode_u32s(aligned);
+        assert_eq!(read_u32s(aligned), portable);
+        if let Some(fast) = as_u32s(aligned) {
+            assert_eq!(fast, portable.as_slice());
+        }
+        // A one-byte-shifted view must refuse the fast path or still
+        // agree; either way the portable fallback is the meaning.
+        let shifted = &payload[1..1 + ((payload.len() - 1) & !3)];
+        if let Some(fast) = as_u32s(shifted) {
+            assert_eq!(fast, decode_u32s(shifted).as_slice());
+        }
+    }
+}

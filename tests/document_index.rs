@@ -172,8 +172,8 @@ fn engine_serves_prepared_documents_through_its_cache() {
     let doc = Arc::new(auction_site_document(&mut rng, 8));
     let engine = Engine::builder().threads(2).build();
 
-    let p1 = engine.prepare(&doc);
-    let p2 = engine.prepare(&doc);
+    let p1 = engine.prepare_keyed(93, &doc);
+    let p2 = engine.prepare_keyed(93, &doc);
     assert!(Arc::ptr_eq(&p1, &p2), "preparation must be memoized");
     let stats = engine.document_cache_stats();
     assert_eq!((stats.misses, stats.hits), (1, 1));
