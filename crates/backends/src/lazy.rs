@@ -535,15 +535,22 @@ impl<'a> Scanner<'a> {
 /// answer `expr` exactly, or `None` when the query's result could depend on
 /// nodes no name test pins down.
 ///
-/// The analysis walks every location path:
-/// * `Name`/`Resolved` steps contribute their tag; attribute-axis name
-///   tests contribute nothing (attributes ride with their owner).
-/// * Wildcard steps (`*`, `node()`, `text()`) are allowed only as
+/// The analysis walks every location path, tracking whether the current
+/// context is *pinned* — every node the next step can start from is
+/// guaranteed resident with its complete subtree:
+/// * `Name`/`Resolved` element steps contribute their tag and pin the
+///   context (required tags are materialized whole).
+/// * Attribute-axis steps never bail on their own: attributes ride with
+///   their owner element, so **any** attribute test (`@id`, `@*`, even
+///   with predicates) is exactly answerable when the owner context is
+///   pinned.  An attribute step under an *unpinned* owner (`//@id`, whose
+///   owners are arbitrary elements) bails — some owners may live in
+///   dropped extents.
+/// * Element wildcard steps (`*`, `node()`, `text()`) are allowed only as
 ///   predicate-free *pass-through* (non-final) steps — exactly the shape
-///   `//` desugars to.  A trailing wildcard, or a predicate on one, bails.
-///   The one exception is a final `self::node()` step (`.`) inside a
-///   predicate of a named step, whose result is the (resident) context
-///   node.
+///   `//` desugars to — and unpin the context.  A trailing wildcard, or a
+///   predicate on one, bails.  The one exception is a final `self::node()`
+///   step (`.`) under a pinned context, whose result is the context node.
 /// * Functions outside the analyzed core bail; zero-argument string
 ///   functions bail unless the context node is pinned by a name test.
 pub fn required_tags(expr: &Expr) -> Option<HashSet<String>> {
@@ -612,18 +619,37 @@ fn collect_path(path: &LocationPath, ctx_named: bool, out: &mut HashSet<String>)
         return false;
     }
     let last = path.steps.len() - 1;
+    // Whether every node the next step starts from is resident with its
+    // complete subtree.  Entering the path this is the caller's context
+    // (the node a named step's predicate evaluates under).
+    let mut pinned = ctx_named;
     for (i, step) in path.steps.iter().enumerate() {
         let is_final = i == last;
+        if step.axis == Axis::Attribute {
+            // Attributes ride with their owner element: when the owner
+            // context is pinned, every candidate attribute is resident, so
+            // any node test and any predicate over them is exact.  Unpinned
+            // owners (`//@id`) may live in dropped extents — bail.
+            if !pinned {
+                return false;
+            }
+            for pred in &step.predicates {
+                if !collect_expr(pred, true, out) {
+                    return false;
+                }
+            }
+            // Attribute nodes are leaves and fully resident.
+            continue;
+        }
         match &step.node_test {
             NodeTest::Name(name) | NodeTest::Resolved { name, .. } => {
-                if step.axis != Axis::Attribute {
-                    out.insert(name.clone());
-                }
+                out.insert(name.clone());
                 for pred in &step.predicates {
                     if !collect_expr(pred, true, out) {
                         return false;
                     }
                 }
+                pinned = true;
             }
             NodeTest::Star | NodeTest::AnyNode | NodeTest::Text => {
                 if !step.predicates.is_empty() {
@@ -631,18 +657,22 @@ fn collect_path(path: &LocationPath, ctx_named: bool, out: &mut HashSet<String>)
                     // see nodes no tag pins down.
                     return false;
                 }
+                let self_dot = step.axis == Axis::SelfAxis && step.node_test == NodeTest::AnyNode;
                 if is_final {
                     // A wildcard result set — unless it is `.` under a
-                    // named context, whose result is the context node.
-                    let self_dot =
-                        step.axis == Axis::SelfAxis && step.node_test == NodeTest::AnyNode;
-                    if !(self_dot && ctx_named) {
+                    // pinned context, whose result is the context node.
+                    if !(self_dot && pinned) {
                         return false;
                     }
                 }
                 // Predicate-free pass-through (e.g. the
                 // `descendant-or-self::node()` that `//` desugars to):
-                // contributes nothing, forbids nothing.
+                // contributes nothing, forbids nothing — but its results
+                // are arbitrary nodes, so the context is no longer pinned
+                // (except `.`, which leaves it unchanged).
+                if !self_dot {
+                    pinned = false;
+                }
             }
         }
     }
@@ -681,6 +711,53 @@ mod tests {
         // Attribute name tests ride with their (named) owners.
         assert_eq!(req("//item/@id"), Some(vec!["item".into()]));
         assert_eq!(req("//item[@id = '7']"), Some(vec!["item".into()]));
+    }
+
+    #[test]
+    fn attribute_tests_never_bail_under_a_pinned_owner() {
+        // `@*` and predicates over attributes are exact once the owner is
+        // named: all of an element's attributes ride with its subtree.
+        assert_eq!(req("//item/@*"), Some(vec!["item".into()]));
+        assert_eq!(req("//item[@*]"), Some(vec!["item".into()]));
+        assert_eq!(req("//item/@*[position() = 1]"), Some(vec!["item".into()]));
+        assert_eq!(
+            req("//item[@* = 'x']/name"),
+            Some(vec!["item".into(), "name".into()])
+        );
+        // An unpinned owner can live in a dropped extent: bail so the wave
+        // materializes everything (soundness, not just precision).
+        assert_eq!(req("//@id"), None);
+        assert_eq!(req("//@*"), None);
+        assert_eq!(req("//*/@id"), None);
+    }
+
+    #[test]
+    fn unpinned_attribute_queries_stay_sound_on_lazy_waves() {
+        // `//@k`'s owners include elements inside extents; the analysis
+        // must refuse partiality or the wave would drop their attributes.
+        let xml = "<r><grp><x k='1'>111111111111111111111111</x></grp><y k='2'>2</y></r>";
+        let lazy = LazyDocument::with_threshold(xml, 40).unwrap();
+        let expr = parse_query("//@k").unwrap();
+        let doc = lazy.materialize_for(&expr).unwrap();
+        let attrs = |d: &PreparedDocument| {
+            d.all_nodes()
+                .filter(|&n| matches!(d.kind(n), xpeval_dom::NodeKind::Attribute { .. }))
+                .count()
+        };
+        let eager = parse_xml(xml).unwrap().prepare();
+        assert_eq!(attrs(&doc), attrs(&eager));
+        assert_eq!(lazy.resident_nodes(), lazy.total_nodes());
+    }
+
+    #[test]
+    fn pinned_attribute_queries_materialize_a_strict_subset() {
+        let xml = "<r><grp><x k='1'>111111111111111111111111</x></grp>\
+                   <grp><x k='3'>333333333333333333333333</x></grp><y k='2'>2</y></r>";
+        let lazy = LazyDocument::with_threshold(xml, 40).unwrap();
+        let expr = parse_query("//y/@*").unwrap();
+        let doc = lazy.materialize_for(&expr).unwrap();
+        assert_eq!(doc.elements_named("y").len(), 1);
+        assert!(lazy.resident_nodes() < lazy.total_nodes());
     }
 
     #[test]

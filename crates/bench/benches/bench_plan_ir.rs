@@ -1,0 +1,188 @@
+//! The flat plan IR, measured where it pays: evaluation without the AST.
+//!
+//! Three views of the same repeated (query, small document) workload as
+//! `bench_catalog`:
+//!
+//! * `ir_dispatch` — `CompiledQuery::run_prepared`: the lowered
+//!   [`PlanIr`](xpeval_core::PlanIr) executed directly (resolved global
+//!   `TagId`s, precomputed positional picks, fused `//` steps).
+//! * `ast_rewalk` — the pre-IR evaluation path: the recursive AST
+//!   evaluator re-walking the expression tree per call, hashing tag
+//!   strings at every name test.  This is what an artifact hit paid
+//!   before lowering existed.
+//! * `artifact_hit_dispatch` — the headline: a warm catalog where every
+//!   evaluation finds its content-hash keyed artifact and dispatches —
+//!   no compile, no strategy selection, no re-walk.
+//!
+//! A fourth group, `tenant_shared_hit`, spreads the same round over eight
+//! *identical* tenant documents: content-hash artifact keying means all
+//! eight share the artifacts the first tenant built
+//! (`CatalogStats::artifact_cross_doc_hits` witnesses it below).
+//!
+//! The acceptance bar (ROADMAP item 2): artifact-hit dispatch at least
+//! 3× faster than the AST re-walk it replaced — hard-asserted under
+//! `PLAN_IR_BENCH_STRICT=1`; in CI the medians feed `bench_gate`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xpeval_catalog::Catalog;
+use xpeval_core::{CompiledQuery, CoreXPathEvaluator, EvalStrategy, Value};
+use xpeval_dom::PreparedDocument;
+use xpeval_workloads::auction_site_document;
+
+/// The `bench_catalog` serving mix: multi-step Core XPath location paths
+/// with boolean predicates, all linear-strategy, on a small tree.
+const QUERIES: [&str; 4] = [
+    "/site/people/person[child::watches and not(child::nosuch)]/name",
+    "/descendant-or-self::item[child::bid and not(child::reserve)]/child::name",
+    "//europe/item[descendant::bid or child::name]/name",
+    "/site/regions/europe/item[not(child::nosuch)]/bid",
+];
+
+const TENANTS: usize = 8;
+
+fn value_weight(v: &Value) -> usize {
+    match v {
+        Value::NodeSet(ns) => ns.len(),
+        _ => 1,
+    }
+}
+
+fn ast_rewalk_round(compiled: &[CompiledQuery], prepared: &PreparedDocument) -> usize {
+    let root = prepared.document().root();
+    compiled
+        .iter()
+        .map(|q| {
+            CoreXPathEvaluator::new(prepared)
+                .evaluate_from(q.expr(), &[root])
+                .unwrap()
+                .len()
+        })
+        .sum()
+}
+
+fn ir_dispatch_round(compiled: &[CompiledQuery], prepared: &PreparedDocument) -> usize {
+    compiled
+        .iter()
+        .map(|q| value_weight(&q.run_prepared(prepared).unwrap().value))
+        .sum()
+}
+
+fn catalog_round(catalog: &Catalog, name: &str) -> usize {
+    QUERIES
+        .iter()
+        .map(|q| value_weight(&catalog.evaluate_on(name, q).unwrap().value))
+        .sum()
+}
+
+fn tenant_round(catalog: &Catalog) -> usize {
+    (0..TENANTS)
+        .map(|i| {
+            value_weight(
+                &catalog
+                    .evaluate_on(&format!("tenant-{i}"), QUERIES[0])
+                    .unwrap()
+                    .value,
+            )
+        })
+        .sum()
+}
+
+fn bench_plan_ir(c: &mut Criterion) {
+    let doc = auction_site_document(&mut StdRng::seed_from_u64(42), 4);
+    let prepared = Arc::new(PreparedDocument::new(doc.clone()));
+    let compiled: Vec<CompiledQuery> = QUERIES
+        .iter()
+        .map(|q| CompiledQuery::compile(q).unwrap())
+        .collect();
+    for q in &compiled {
+        // The mix is uniformly linear-strategy, so the AST comparator
+        // below re-walks with the *same* algorithm the IR dispatch runs.
+        assert_eq!(q.strategy(), EvalStrategy::CoreXPathLinear);
+    }
+
+    // Sanity: IR dispatch and AST re-walk agree on every query.
+    let root = prepared.document().root();
+    for q in &compiled {
+        let via_ir = q.run_prepared(&prepared).unwrap().value;
+        let ast = CoreXPathEvaluator::new(prepared.as_ref())
+            .evaluate_from(q.expr(), &[root])
+            .unwrap();
+        assert_eq!(via_ir, Value::NodeSet(ast), "{}", q.source());
+    }
+
+    // Warm catalog: artifacts built once in this priming round.
+    let warm = Catalog::builder().build();
+    warm.insert_document("auction", doc.clone());
+    catalog_round(&warm, "auction");
+
+    // Eight identical tenants; only the first builds artifacts.
+    let tenants = Catalog::builder().build();
+    for i in 0..TENANTS {
+        tenants.insert_document(&format!("tenant-{i}"), doc.clone());
+    }
+    tenant_round(&tenants);
+
+    let mut group = c.benchmark_group("plan_ir");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("ir_dispatch", |b| {
+        b.iter(|| ir_dispatch_round(&compiled, &prepared))
+    });
+    group.bench_function("ast_rewalk", |b| {
+        b.iter(|| ast_rewalk_round(&compiled, &prepared))
+    });
+    group.bench_function("artifact_hit_dispatch", |b| {
+        b.iter(|| catalog_round(&warm, "auction"))
+    });
+    group.bench_function("tenant_shared_hit", |b| b.iter(|| tenant_round(&tenants)));
+    group.finish();
+
+    // The tenants really shared: one build served all eight names.
+    let stats = tenants.stats();
+    assert_eq!(stats.artifact_misses, 1, "{stats}");
+    assert!(
+        stats.artifact_cross_doc_hits >= (TENANTS - 1) as u64,
+        "content-hash sharing must serve the other tenants: {stats}"
+    );
+
+    // Headline ratio; skipped in `--test` smoke mode.
+    if std::env::args().skip(1).any(|a| a == "--test") {
+        return;
+    }
+    let rounds = 200u32;
+    let time = |f: &mut dyn FnMut() -> usize| {
+        let start = Instant::now();
+        for _ in 0..rounds {
+            criterion::black_box(f());
+        }
+        start.elapsed() / rounds
+    };
+    let hit = time(&mut || catalog_round(&warm, "auction"));
+    let ir = time(&mut || ir_dispatch_round(&compiled, &prepared));
+    let rewalk = time(&mut || ast_rewalk_round(&compiled, &prepared));
+    let speedup = rewalk.as_secs_f64() / hit.as_secs_f64();
+    println!(
+        "plan_ir/artifact_hit_dispatch : {hit:?} per {}-query round",
+        QUERIES.len()
+    );
+    println!("plan_ir/ir_dispatch           : {ir:?}");
+    println!(
+        "plan_ir/ast_rewalk            : {rewalk:?} ({speedup:.2}x slower than artifact hits)"
+    );
+    // The acceptance bar, hard-asserted only on request — CI gates the
+    // tracked medians through bench_gate instead of a one-shot ratio.
+    if std::env::var_os("PLAN_IR_BENCH_STRICT").is_some() {
+        assert!(
+            speedup >= 3.0,
+            "expected artifact-hit dispatch >= 3x faster than the AST re-walk, got {speedup:.2}x"
+        );
+    }
+}
+
+criterion_group!(benches, bench_plan_ir);
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! ```text
 //! bench_gate --results <raw.jsonl>... [--out BENCH_results.json]
 //!            [--baseline BENCH_baseline.json] [--max-regression 0.25]
-//!            [--update-baseline] [--track-prefix <p>]
+//!            [--summary-md <file>] [--update-baseline] [--track-prefix <p>]
 //! ```
 //!
 //! * `--results` (repeatable): JSON-lines files produced by
@@ -21,6 +21,11 @@
 //!   prefix wins).  Lets inherently noisier benches — e.g. the
 //!   thread-spawning serving benches — stay tracked without flaking the
 //!   gate at the tight default.
+//! * `--summary-md`: **append** a GitHub-flavored markdown table of
+//!   per-bench before/after deltas to this file — pass
+//!   `"$GITHUB_STEP_SUMMARY"` in CI to make the gate's verdict readable
+//!   on the run page without downloading artifacts.  Appending (not
+//!   truncating) preserves whatever earlier steps wrote.
 //! * `--update-baseline`: instead of gating, rewrite the baseline from the
 //!   merged results (optionally filtered by `--track-prefix`).
 //!
@@ -40,6 +45,7 @@ fn main() -> ExitCode {
     let mut tolerances: Vec<(String, f64)> = Vec::new();
     let mut update_baseline = false;
     let mut track_prefix: Option<String> = None;
+    let mut summary_md: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -63,6 +69,7 @@ fn main() -> ExitCode {
             }
             "--update-baseline" => update_baseline = true,
             "--track-prefix" => track_prefix = it.next(),
+            "--summary-md" => summary_md = it.next(),
             other => return usage(&format!("unknown argument {other}")),
         }
     }
@@ -131,6 +138,7 @@ fn main() -> ExitCode {
     }
 
     let mut failures = 0usize;
+    let mut rows: Vec<SummaryRow> = Vec::new();
     println!(
         "bench_gate: gating {} tracked benches at +{:.0}%",
         baseline.len(),
@@ -147,10 +155,18 @@ fn main() -> ExitCode {
             None => {
                 failures += 1;
                 println!("  FAIL  {name}: tracked bench missing from results");
+                rows.push(SummaryRow {
+                    name: name.clone(),
+                    base: *base,
+                    now: None,
+                    budget,
+                    failed: true,
+                });
             }
             Some(&now) => {
                 let ratio = now / base;
-                let verdict = if ratio > 1.0 + budget {
+                let failed = ratio > 1.0 + budget;
+                let verdict = if failed {
                     failures += 1;
                     "FAIL"
                 } else {
@@ -161,8 +177,22 @@ fn main() -> ExitCode {
                     (ratio - 1.0) * 100.0,
                     budget * 100.0
                 );
+                rows.push(SummaryRow {
+                    name: name.clone(),
+                    base: *base,
+                    now: Some(now),
+                    budget,
+                    failed,
+                });
             }
         }
+    }
+    if let Some(path) = &summary_md {
+        if let Err(e) = append_file(path, &render_summary_md(&rows, max_regression)) {
+            eprintln!("bench_gate: cannot append summary to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bench_gate: appended markdown summary to {path}");
     }
     if failures > 0 {
         eprintln!("bench_gate: {failures} tracked bench(es) regressed or went missing");
@@ -256,6 +286,70 @@ fn extract_number_field(line: &str, field: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// One gated bench, as rendered into the markdown summary.
+struct SummaryRow {
+    name: String,
+    base: f64,
+    now: Option<f64>,
+    budget: f64,
+    failed: bool,
+}
+
+/// Renders the per-bench before/after table GitHub shows on the run page
+/// (`$GITHUB_STEP_SUMMARY`).  Durations are kept in nanoseconds — the
+/// unit every other bench artifact of this repo uses — with the delta as
+/// a signed percentage so regressions read at a glance.
+fn render_summary_md(rows: &[SummaryRow], max_regression: f64) -> String {
+    let mut s = String::new();
+    s.push_str("## Bench regression gate\n\n");
+    let failed = rows.iter().filter(|r| r.failed).count();
+    if failed == 0 {
+        s.push_str(&format!(
+            "All {} tracked benches within budget (default +{:.0}%).\n\n",
+            rows.len(),
+            max_regression * 100.0
+        ));
+    } else {
+        s.push_str(&format!(
+            "**{failed} of {} tracked benches regressed or went missing.**\n\n",
+            rows.len()
+        ));
+    }
+    s.push_str("| bench | baseline (ns) | now (ns) | delta | budget | verdict |\n");
+    s.push_str("|---|---:|---:|---:|---:|---|\n");
+    for r in rows {
+        let (now, delta) = match r.now {
+            Some(now) => (
+                format!("{now:.0}"),
+                format!("{:+.1}%", (now / r.base - 1.0) * 100.0),
+            ),
+            None => ("—".to_string(), "missing".to_string()),
+        };
+        s.push_str(&format!(
+            "| `{}` | {:.0} | {} | {} | +{:.0}% | {} |\n",
+            r.name,
+            r.base,
+            now,
+            delta,
+            r.budget * 100.0,
+            if r.failed { "❌ FAIL" } else { "✅ ok" }
+        ));
+    }
+    s.push('\n');
+    s
+}
+
+/// Appends to `path`, creating it when absent — `$GITHUB_STEP_SUMMARY` is
+/// shared with earlier steps, so truncating would eat their sections.
+fn append_file(path: &str, text: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(text.as_bytes())
+}
+
 /// Renders a flat name→median map as the committed JSON format: one sorted
 /// `"name": value` pair per line.
 fn render_map(map: &BTreeMap<String, f64>) -> String {
@@ -302,6 +396,52 @@ mod tests {
         assert_eq!(map.get("y"), Some(&200.0));
         assert_eq!(map.len(), 2);
         assert!(parse_flat_object("").is_empty());
+    }
+
+    #[test]
+    fn summary_markdown_reports_deltas_and_failures() {
+        let rows = vec![
+            SummaryRow {
+                name: "g/fast".into(),
+                base: 1000.0,
+                now: Some(900.0),
+                budget: 0.25,
+                failed: false,
+            },
+            SummaryRow {
+                name: "g/slow".into(),
+                base: 1000.0,
+                now: Some(1500.0),
+                budget: 0.25,
+                failed: true,
+            },
+            SummaryRow {
+                name: "g/gone".into(),
+                base: 1000.0,
+                now: None,
+                budget: 0.6,
+                failed: true,
+            },
+        ];
+        let md = render_summary_md(&rows, 0.25);
+        assert!(md.contains("**2 of 3 tracked benches regressed or went missing.**"));
+        assert!(md.contains("| `g/fast` | 1000 | 900 | -10.0% | +25% | ✅ ok |"));
+        assert!(md.contains("| `g/slow` | 1000 | 1500 | +50.0% | +25% | ❌ FAIL |"));
+        assert!(md.contains("| `g/gone` | 1000 | — | missing | +60% | ❌ FAIL |"));
+
+        let clean = render_summary_md(&rows[..1], 0.25);
+        assert!(clean.contains("All 1 tracked benches within budget"));
+    }
+
+    #[test]
+    fn summary_file_is_appended_not_truncated() {
+        let path = std::env::temp_dir().join(format!("bench_gate_summary_{}", std::process::id()));
+        let path = path.to_str().unwrap();
+        std::fs::write(path, "earlier step\n").unwrap();
+        append_file(path, "gate section\n").unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        std::fs::remove_file(path).unwrap();
+        assert_eq!(text, "earlier step\ngate section\n");
     }
 
     #[test]

@@ -28,24 +28,96 @@
 //!
 //! Artifacts are only valid for the exact document snapshot they were
 //! built against (tag ids and counts are per-snapshot); the catalog's
-//! internal artifact cache keys them by (query, [`DocId`], generation,
-//! revision) and purges a document's artifacts whenever its generation
-//! bumps.  In-place mutations ([`crate::Catalog::mutate_named`]) are
-//! finer-grained: `ArtifactCache::retarget` moves a document's artifacts
-//! from the pre-edit revision to the post-edit one, **killing** only the
-//! artifacts whose name-bounded candidates intersect the edit's dirty
-//! preorder interval (in either snapshot) and **rebasing** every other
-//! artifact onto the new snapshot — the specialized plan, pinned strategy
-//! and verified-empty shortcut all survive the edit.
+//! internal artifact cache keys them by (query, [`ArtifactScope`],
+//! backend kind).  The scope is the novelty: an unmutated eager entry is
+//! keyed by its **document content hash**
+//! ([`xpeval_dom::PreparedDocument::content_hash`]) rather than its
+//! `(DocId, generation)` coordinates, so equal-shaped documents — two
+//! names inserted from the same bytes, a replacement that re-installs
+//! identical content — resolve to **one shared artifact**, result cache
+//! included.  Equal content hashes imply identical node numbering, so
+//! even node-set results transfer across holder documents verbatim.
+//! Lazy entries and post-mutation revisions fall back to a private
+//! `(DocId, generation, revision)` scope; their snapshots are not
+//! content-comparable across documents.
+//!
+//! Shared groups are reference-held: the cache tracks which documents
+//! hold each `(content, kind)` scope and drops the group only when the
+//! last holder is replaced, removed or evicted.  In-place mutations
+//! ([`crate::Catalog::mutate_named`]) diverge the mutated document from
+//! the shared content: while other holders remain, the mutating document
+//! simply releases its hold (the others keep every artifact); the sole
+//! holder instead re-targets the group into its post-edit private scope —
+//! `ArtifactCache::retarget` **kills** only the artifacts whose
+//! name-bounded candidates intersect the edit's dirty preorder interval
+//! (in either snapshot) and **rebases** every other artifact onto the new
+//! snapshot — the specialized plan, pinned strategy and verified-empty
+//! shortcut all survive the edit.
 
 use crate::stats::CatalogStats;
 use crate::DocId;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use xpeval_backends::BackendKind;
 use xpeval_core::steps::final_step_tag_names;
 use xpeval_core::{CompiledQuery, EvalError, EvalStats, EvalStrategy, QueryOutput, Value};
 use xpeval_dom::{PreparedDocument, TagId};
+
+/// The cache-key namespace a [`PlanArtifact`] lives in (see the
+/// [module docs](self)).
+///
+/// * [`ArtifactScope::Shared`] — the document is an unmutated, fully
+///   materialized snapshot, keyed by its content hash: every document
+///   holding equal content answers from (and contributes to) the same
+///   artifact group.
+/// * [`ArtifactScope::Private`] — lazy waves and post-mutation revisions,
+///   keyed by exact `(DocId, generation, revision)` coordinates as
+///   before: their node numbering is not comparable across documents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArtifactScope {
+    /// Keyed by [`xpeval_dom::PreparedDocument::content_hash`]; shared by
+    /// every unmutated document with equal content.
+    Shared {
+        /// The structural fingerprint of the snapshot.
+        content: u64,
+    },
+    /// Keyed by exact document coordinates; never shared.
+    Private {
+        /// The owning document.
+        doc: DocId,
+        /// Its replacement generation.
+        generation: u64,
+        /// Its in-place edit (or lazy wave) revision within the
+        /// generation.
+        revision: u64,
+    },
+}
+
+impl ArtifactScope {
+    /// The scope rule, written once: an entry shares iff it is not
+    /// lazy-backed (wave node ids are never content-comparable) and has
+    /// not been edited in place (revision 0).  The content hash is
+    /// memoized on the prepared document, so repeated calls are O(1).
+    pub(crate) fn of(
+        doc: DocId,
+        generation: u64,
+        revision: u64,
+        kind: BackendKind,
+        prepared: &PreparedDocument,
+    ) -> ArtifactScope {
+        if kind != BackendKind::Lazy && revision == 0 {
+            ArtifactScope::Shared {
+                content: prepared.content_hash(),
+            }
+        } else {
+            ArtifactScope::Private {
+                doc,
+                generation,
+                revision,
+            }
+        }
+    }
+}
 
 /// A query plan specialized for one document generation: pinned strategy,
 /// pre-resolved tag ids, pre-computed candidate bound.  See the
@@ -68,6 +140,9 @@ pub struct PlanArtifact {
     /// never answer each other's lookups, even if their version
     /// coordinates collide.
     kind: BackendKind,
+    /// The cache-key namespace this artifact lives in, derived once at
+    /// build time ([`ArtifactScope::of`]).
+    scope: ArtifactScope,
     strategy: EvalStrategy,
     /// The final-step name tests resolved against the document's tag
     /// index: `None` for the id when the tag does not occur in this
@@ -86,6 +161,14 @@ pub struct PlanArtifact {
     /// (an unsupported-fragment strategy override, an unknown function in
     /// a predicate) behind a semantically-plausible empty result.
     verified: std::sync::atomic::AtomicBool,
+    /// The root-context result, cached after the first successful run.
+    /// Sound because the artifact owns an immutable snapshot and a pinned
+    /// strategy, so every run is deterministic; errors are never cached
+    /// (they must re-surface on every run).  Shared-scope artifacts hand
+    /// this result to every holder document — equal content hashes imply
+    /// identical node numbering, so node-set values transfer verbatim.
+    /// Rebasing onto a post-edit snapshot resets the cache.
+    root_result: OnceLock<QueryOutput>,
 }
 
 impl PlanArtifact {
@@ -118,10 +201,12 @@ impl PlanArtifact {
             generation,
             revision,
             kind,
+            scope: ArtifactScope::of(doc, generation, revision, kind, prepared),
             strategy,
             resolved_tags,
             candidate_bound,
             verified: std::sync::atomic::AtomicBool::new(false),
+            root_result: OnceLock::new(),
         }
     }
 
@@ -147,7 +232,19 @@ impl PlanArtifact {
     /// only rebases artifacts whose candidates are disjoint from the
     /// edit's dirty interval, so the re-derived bound always matches the
     /// old one.
-    fn rebase(&self, revision: u64, prepared: &Arc<PreparedDocument>) -> PlanArtifact {
+    ///
+    /// `doc`/`generation` are the *mutating* document's coordinates: a
+    /// shared-scope artifact may have been built by a different (since
+    /// departed) holder of the same content, and the rebased artifact
+    /// belongs to the sole holder that edited.  The cached root result
+    /// does **not** carry over — the document changed.
+    fn rebase(
+        &self,
+        doc: DocId,
+        generation: u64,
+        revision: u64,
+        prepared: &Arc<PreparedDocument>,
+    ) -> PlanArtifact {
         use std::sync::atomic::Ordering;
         let resolved_tags: Option<Vec<(String, Option<TagId>)>> =
             self.resolved_tags.as_ref().map(|tags| {
@@ -159,14 +256,20 @@ impl PlanArtifact {
         PlanArtifact {
             plan: Arc::clone(&self.plan),
             prepared: Arc::clone(prepared),
-            doc: self.doc,
-            generation: self.generation,
+            doc,
+            generation,
             revision,
             kind: self.kind,
+            scope: ArtifactScope::Private {
+                doc,
+                generation,
+                revision,
+            },
             strategy: self.strategy,
             resolved_tags,
             candidate_bound,
             verified: std::sync::atomic::AtomicBool::new(self.verified.load(Ordering::Relaxed)),
+            root_result: OnceLock::new(),
         }
     }
 
@@ -216,6 +319,18 @@ impl PlanArtifact {
         self.kind
     }
 
+    /// The cache-key namespace this artifact lives in: content-hash
+    /// shared, or document-private.
+    pub fn scope(&self) -> ArtifactScope {
+        self.scope
+    }
+
+    /// Whether a root-context result is cached (observability for tests
+    /// and stats; repeats of a cached artifact run no evaluator at all).
+    pub fn has_cached_result(&self) -> bool {
+        self.root_result.get().is_some()
+    }
+
     /// The pinned strategy choice (what `strategy_for_source` returned at
     /// build time).
     pub fn strategy(&self) -> EvalStrategy {
@@ -252,6 +367,11 @@ impl PlanArtifact {
     /// *accepts* the query — an unverified shortcut could mask an
     /// unsupported-fragment or unknown-function error behind a plausible
     /// empty result.
+    ///
+    /// Beyond the shortcut, the first successful run's output is cached
+    /// (`root_result`): every later run clones it without
+    /// dispatching an evaluator.  Errors are never cached — a failing
+    /// plan keeps failing observably on every run.
     pub fn run(&self) -> Result<QueryOutput, EvalError> {
         use std::sync::atomic::Ordering;
         if self.candidate_bound == Some(0) && self.verified.load(Ordering::Relaxed) {
@@ -261,11 +381,13 @@ impl PlanArtifact {
                 fragment: self.plan.fragment(),
             });
         }
-        let out = self.plan.run_prepared(&self.prepared);
-        if out.is_ok() {
-            self.verified.store(true, Ordering::Relaxed);
+        if let Some(cached) = self.root_result.get() {
+            return Ok(cached.clone());
         }
-        out
+        let out = self.plan.run_prepared(&self.prepared)?;
+        self.verified.store(true, Ordering::Relaxed);
+        let _ = self.root_result.set(out.clone());
+        Ok(out)
     }
 }
 
@@ -276,22 +398,27 @@ struct ArtifactEntry {
 }
 
 /// The bounded LRU cache of [`PlanArtifact`]s, keyed by
-/// (query, [`DocId`], generation, revision) — the catalog's third cache,
+/// (query, [`ArtifactScope`], backend kind) — the catalog's third cache,
 /// next to the engine's plan cache (per query) and document cache (per
 /// document).
 ///
-/// The key is split in two levels — an outer `(DocId, generation,
-/// revision)` map over inner per-query maps — so the hot-path lookup
-/// borrows the query `&str` (no allocation; `HashMap<String, _>` answers
-/// `&str` probes via `Borrow`), document-level invalidation is an
-/// outer-key sweep, and a mutation's revision bump re-targets one whole
-/// group at once ([`ArtifactCache::retarget`]).
+/// The key is split in two levels — an outer `(scope, kind)` map over
+/// inner per-query maps — so the hot-path lookup borrows the query
+/// `&str` (no allocation; `HashMap<String, _>` answers `&str` probes via
+/// `Borrow`), document-level invalidation is an outer-key sweep, and a
+/// mutation's revision bump re-targets one whole group at once
+/// ([`ArtifactCache::retarget`]).  Shared scopes are reference-held: the
+/// `holders` table mirrors which documents currently carry each
+/// `(content, kind)` scope (it tracks the doc store, not cache contents,
+/// and so survives [`ArtifactCache::clear`]); a shared group is dropped
+/// only when its last holder departs ([`ArtifactCache::release_doc`]).
 ///
 /// Same discipline as the other two caches: `get` under the lock, build
 /// outside it, `insert` racing benignly (last writer wins; both artifacts
 /// are valid).  Invalidation is by document:
-/// [`ArtifactCache::purge_doc`] drops every generation of a document's
-/// artifacts when the catalog replaces, removes or evicts it.
+/// [`ArtifactCache::release_doc`] drops every private group of a
+/// document and releases its shared hold when the catalog replaces,
+/// removes or evicts it.
 #[derive(Debug)]
 pub(crate) struct ArtifactCache {
     capacity: usize,
@@ -299,13 +426,15 @@ pub(crate) struct ArtifactCache {
 }
 
 /// One in-place edit as [`ArtifactCache::retarget`] sees it: which
-/// `(doc, generation)` group moves from `old_revision` to `new_revision`,
-/// and the dirty preorder interval the kill-or-rebase rule tests against.
+/// pre-edit scope's group moves into the post-edit private revision, and
+/// the dirty preorder interval the kill-or-rebase rule tests against.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct Retarget {
     pub(crate) doc: DocId,
     pub(crate) generation: u64,
-    pub(crate) old_revision: u64,
+    /// The mutating entry's pre-edit scope — shared (content hash) for an
+    /// unmutated eager entry, private for a re-edit.
+    pub(crate) old_scope: ArtifactScope,
     pub(crate) new_revision: u64,
     /// The entry's backend kind (unchanged by an in-place edit; mutations
     /// that *promote* a backing purge instead of re-targeting).
@@ -316,8 +445,14 @@ pub(crate) struct Retarget {
 
 #[derive(Debug, Default)]
 struct ArtifactInner {
-    /// (doc, generation, revision, backend kind) → query source → artifact.
-    groups: HashMap<(DocId, u64, u64, BackendKind), HashMap<String, ArtifactEntry>>,
+    /// (scope, backend kind) → query source → artifact.
+    groups: HashMap<(ArtifactScope, BackendKind), HashMap<String, ArtifactEntry>>,
+    /// Which documents currently hold each shared `(content, kind)`
+    /// scope, with hold counts (a replacement registers the incoming
+    /// generation *before* releasing the outgoing one, so identical
+    /// content replacing itself keeps the group alive throughout).
+    /// Mirrors the doc store, not cache contents: survives `clear`.
+    holders: HashMap<(u64, BackendKind), HashMap<DocId, u32>>,
     /// Total entries across all groups (the capacity the bound applies
     /// to).
     len: usize,
@@ -356,6 +491,29 @@ impl ArtifactInner {
             self.evictions += 1;
         }
     }
+
+    /// Drops `doc`'s hold on a shared `(content, kind)` scope, returning
+    /// whether the scope lost its **last** holder (the caller then drops
+    /// the group).  A scope with no holder record at all reads as
+    /// released — conservative-drop is always safe (artifacts are
+    /// rebuildable derived state).
+    fn release_hold(&mut self, content: u64, kind: BackendKind, doc: DocId) -> bool {
+        let Some(holders) = self.holders.get_mut(&(content, kind)) else {
+            return true;
+        };
+        if let Some(count) = holders.get_mut(&doc) {
+            *count -= 1;
+            if *count == 0 {
+                holders.remove(&doc);
+            }
+        }
+        if holders.is_empty() {
+            self.holders.remove(&(content, kind));
+            true
+        } else {
+            false
+        }
+    }
 }
 
 impl ArtifactCache {
@@ -368,13 +526,11 @@ impl ArtifactCache {
         }
     }
 
-    /// Looks up the artifact for (query, doc, generation), refreshing its
+    /// Looks up the artifact for (query, scope, kind), refreshing its
     /// recency on a hit.  Allocation-free.
     pub(crate) fn get(
         &self,
-        doc: DocId,
-        generation: u64,
-        revision: u64,
+        scope: ArtifactScope,
         kind: BackendKind,
         query: &str,
     ) -> Option<Arc<PlanArtifact>> {
@@ -383,7 +539,7 @@ impl ArtifactCache {
         let tick = inner.tick;
         match inner
             .groups
-            .get_mut(&(doc, generation, revision, kind))
+            .get_mut(&(scope, kind))
             .and_then(|queries| queries.get_mut(query))
         {
             Some(entry) => {
@@ -399,18 +555,13 @@ impl ArtifactCache {
         }
     }
 
-    /// Stores an artifact under its own (query, doc, generation, revision)
-    /// key, evicting the least-recently-used entry when full.
+    /// Stores an artifact under its own (query, scope, kind) key,
+    /// evicting the least-recently-used entry when full.
     pub(crate) fn insert(&self, query: &str, artifact: &Arc<PlanArtifact>) {
         if self.capacity == 0 {
             return;
         }
-        let group = (
-            artifact.doc(),
-            artifact.generation(),
-            artifact.revision(),
-            artifact.backend(),
-        );
+        let group = (artifact.scope(), artifact.backend());
         let mut inner = self.inner.lock().unwrap();
         inner.tick += 1;
         let tick = inner.tick;
@@ -436,29 +587,61 @@ impl ArtifactCache {
         }
     }
 
-    /// Drops every artifact of `doc` (all generations), counting them as
-    /// invalidations.  Called when the catalog replaces, removes or evicts
-    /// the document.
-    pub(crate) fn purge_doc(&self, doc: DocId) -> usize {
+    /// Records that `doc` now holds the given scope (no-op for private
+    /// scopes).  Called on install; a replacement registers the new
+    /// generation's scope *before* releasing the old one, so identical
+    /// content replacing itself keeps its shared artifacts alive.
+    pub(crate) fn register(&self, scope: ArtifactScope, kind: BackendKind, doc: DocId) {
+        if let ArtifactScope::Shared { content } = scope {
+            let mut inner = self.inner.lock().unwrap();
+            *inner
+                .holders
+                .entry((content, kind))
+                .or_default()
+                .entry(doc)
+                .or_insert(0) += 1;
+        }
+    }
+
+    /// Releases everything `doc` contributed under `scope`: its private
+    /// groups (all generations and revisions) always die with it; its
+    /// hold on a shared scope is released, and the shared group is
+    /// dropped only when `doc` was the last holder.  Called when the
+    /// catalog replaces, removes or evicts the document.  Returns the
+    /// number of artifacts dropped (counted as invalidations).
+    pub(crate) fn release_doc(&self, doc: DocId, scope: ArtifactScope, kind: BackendKind) -> usize {
         let mut inner = self.inner.lock().unwrap();
         let mut dropped = 0usize;
-        inner.groups.retain(|&(d, ..), queries| {
-            if d == doc {
+        inner.groups.retain(|&(scope, _), queries| match scope {
+            ArtifactScope::Private { doc: d, .. } if d == doc => {
                 dropped += queries.len();
                 false
-            } else {
-                true
             }
+            _ => true,
         });
+        if let ArtifactScope::Shared { content } = scope {
+            if inner.release_hold(content, kind, doc) {
+                if let Some(queries) = inner.groups.remove(&(scope, kind)) {
+                    dropped += queries.len();
+                }
+            }
+        }
         inner.len -= dropped;
         inner.invalidations += dropped as u64;
         dropped
     }
 
-    /// Moves a mutated document's artifacts from the pre-edit revision
-    /// group to the post-edit one: the **subtree-scoped invalidation** an
-    /// in-place edit buys over whole-document replacement.  Returns
+    /// Moves a mutated document's artifacts from the pre-edit scope group
+    /// to the post-edit private one: the **subtree-scoped invalidation**
+    /// an in-place edit buys over whole-document replacement.  Returns
     /// `(killed, preserved)`.
+    ///
+    /// When the pre-edit scope is shared and *other documents still hold
+    /// it*, the mutating document merely releases its hold and the sweep
+    /// is skipped entirely — the edit diverged this document from the
+    /// shared content, but the other holders' artifacts are untouched
+    /// (returns `(0, 0)`; the mutated document re-specializes privately
+    /// on its next evaluation).  Only the sole holder migrates the group.
     ///
     /// Per artifact the rule is: **kill** it (drop it, counted as an
     /// invalidation — the next evaluation re-specializes from scratch)
@@ -489,17 +672,29 @@ impl ArtifactCache {
         let Retarget {
             doc,
             generation,
-            old_revision,
+            old_scope,
             new_revision,
             kind,
             dirty,
             renumbered,
         } = edit;
         let mut inner = self.inner.lock().unwrap();
-        let Some(old_group) = inner.groups.remove(&(doc, generation, old_revision, kind)) else {
+        if let ArtifactScope::Shared { content } = old_scope {
+            if !inner.release_hold(content, kind, doc) {
+                // Other holders remain: their artifacts stay; the mutated
+                // document simply left the shared scope.
+                return (0, 0);
+            }
+        }
+        let Some(old_group) = inner.groups.remove(&(old_scope, kind)) else {
             return (0, 0);
         };
         inner.len -= old_group.len();
+        let new_scope = ArtifactScope::Private {
+            doc,
+            generation,
+            revision: new_revision,
+        };
         let (mut killed, mut preserved) = (0u64, 0u64);
         for (query, entry) in old_group {
             let artifact = &entry.artifact;
@@ -512,7 +707,7 @@ impl ArtifactCache {
             }
             preserved += 1;
             let rebased = ArtifactEntry {
-                artifact: Arc::new(artifact.rebase(new_revision, new_prepared)),
+                artifact: Arc::new(artifact.rebase(doc, generation, new_revision, new_prepared)),
                 last_used: entry.last_used,
             };
             // A racing evaluation may have built a fresh artifact under
@@ -520,7 +715,7 @@ impl ArtifactCache {
             // are valid for the new snapshot).
             if inner
                 .groups
-                .entry((doc, generation, new_revision, kind))
+                .entry((new_scope, kind))
                 .or_default()
                 .insert(query, rebased)
                 .is_none()
@@ -534,7 +729,9 @@ impl ArtifactCache {
         (killed, preserved)
     }
 
-    /// Drops every artifact (counters are kept).
+    /// Drops every artifact (counters are kept; the shared-scope holder
+    /// table mirrors the doc store, not cache contents, so it survives —
+    /// re-built artifacts land back in their still-held shared groups).
     pub(crate) fn clear(&self) {
         let mut inner = self.inner.lock().unwrap();
         inner.groups.clear();
@@ -648,26 +845,37 @@ mod tests {
 
     #[test]
     fn cache_hits_evicts_and_purges() {
-        let doc = prepared("<r><a/></r>");
+        let doc1 = prepared("<r><a/></r>");
+        let doc2 = prepared("<r><a/><a/></r>");
         let cache = ArtifactCache::new(2);
         let d1 = DocId::from_raw(1);
         let d2 = DocId::from_raw(2);
-        assert!(cache.get(d1, 1, 0, BackendKind::Eager, "//a").is_none());
+        let s1 = ArtifactScope::of(d1, 1, 0, BackendKind::Eager, &doc1);
+        let s2 = ArtifactScope::of(d2, 1, 0, BackendKind::Eager, &doc2);
+        assert_ne!(s1, s2, "different content, different scope");
+        assert!(cache.get(s1, BackendKind::Eager, "//a").is_none());
         let a1 = Arc::new(PlanArtifact::build(
             &plan("//a"),
             d1,
             1,
             0,
             BackendKind::Eager,
-            &doc,
+            &doc1,
         ));
+        assert_eq!(a1.scope(), s1);
+        cache.register(s1, BackendKind::Eager, d1);
         cache.insert("//a", &a1);
         assert!(Arc::ptr_eq(
-            &cache.get(d1, 1, 0, BackendKind::Eager, "//a").unwrap(),
+            &cache.get(s1, BackendKind::Eager, "//a").unwrap(),
             &a1
         ));
-        // A different generation is a different key.
-        assert!(cache.get(d1, 2, 0, BackendKind::Eager, "//a").is_none());
+        // A mutated revision is a different (private) key.
+        let rev1 = ArtifactScope::Private {
+            doc: d1,
+            generation: 1,
+            revision: 1,
+        };
+        assert!(cache.get(rev1, BackendKind::Eager, "//a").is_none());
 
         let a2 = Arc::new(PlanArtifact::build(
             &plan("//a"),
@@ -675,31 +883,104 @@ mod tests {
             1,
             0,
             BackendKind::Eager,
-            &doc,
+            &doc2,
         ));
+        cache.register(s2, BackendKind::Eager, d2);
         cache.insert("//a", &a2);
-        // Capacity 2: a third entry evicts the LRU one (d1 gen 1 was
+        // Capacity 2: a third entry evicts the LRU one (d1's group was
         // touched most recently via get, so the victim is d2's).
-        cache.get(d1, 1, 0, BackendKind::Eager, "//a").unwrap();
+        cache.get(s1, BackendKind::Eager, "//a").unwrap();
         let a3 = Arc::new(PlanArtifact::build(
             &plan("//r"),
             d1,
             1,
             0,
             BackendKind::Eager,
-            &doc,
+            &doc1,
         ));
         cache.insert("//r", &a3);
-        assert!(cache.get(d2, 1, 0, BackendKind::Eager, "//a").is_none());
+        assert!(cache.get(s2, BackendKind::Eager, "//a").is_none());
 
-        // Purging d1 drops all its artifacts, regardless of generation.
-        let dropped = cache.purge_doc(d1);
+        // Releasing d1 (sole holder of its content) drops all its
+        // artifacts.
+        let dropped = cache.release_doc(d1, s1, BackendKind::Eager);
         assert_eq!(dropped, 2);
         let mut stats = CatalogStats::default();
         cache.fill_stats(&mut stats);
         assert_eq!(stats.artifact_len, 0);
         assert_eq!(stats.artifact_invalidations, 2);
         assert_eq!(stats.artifact_evictions, 1);
+    }
+
+    #[test]
+    fn equal_content_shares_one_group_until_the_last_holder_leaves() {
+        let doc1 = prepared("<r><a/></r>");
+        let doc2 = prepared("<r><a/></r>");
+        assert_eq!(doc1.content_hash(), doc2.content_hash());
+        let cache = ArtifactCache::new(8);
+        let d1 = DocId::from_raw(1);
+        let d2 = DocId::from_raw(2);
+        let s1 = ArtifactScope::of(d1, 1, 0, BackendKind::Eager, &doc1);
+        let s2 = ArtifactScope::of(d2, 3, 0, BackendKind::Eager, &doc2);
+        assert_eq!(s1, s2, "scope is content, not coordinates");
+        cache.register(s1, BackendKind::Eager, d1);
+        cache.register(s2, BackendKind::Eager, d2);
+        let a = Arc::new(PlanArtifact::build(
+            &plan("//a"),
+            d1,
+            1,
+            0,
+            BackendKind::Eager,
+            &doc1,
+        ));
+        cache.insert("//a", &a);
+        // d2 answers from d1's artifact.
+        assert!(Arc::ptr_eq(
+            &cache.get(s2, BackendKind::Eager, "//a").unwrap(),
+            &a
+        ));
+        // Releasing one holder keeps the group for the other...
+        assert_eq!(cache.release_doc(d1, s1, BackendKind::Eager), 0);
+        assert!(cache.get(s2, BackendKind::Eager, "//a").is_some());
+        // ...and releasing the last holder drops it.
+        assert_eq!(cache.release_doc(d2, s2, BackendKind::Eager), 1);
+        assert!(cache.get(s2, BackendKind::Eager, "//a").is_none());
+    }
+
+    #[test]
+    fn lazy_and_mutated_snapshots_stay_private() {
+        let doc = prepared("<r><a/></r>");
+        let d = DocId::from_raw(1);
+        assert!(matches!(
+            ArtifactScope::of(d, 1, 0, BackendKind::Lazy, &doc),
+            ArtifactScope::Private { .. }
+        ));
+        assert!(matches!(
+            ArtifactScope::of(d, 1, 2, BackendKind::Eager, &doc),
+            ArtifactScope::Private { .. }
+        ));
+        assert!(matches!(
+            ArtifactScope::of(d, 1, 0, BackendKind::Snapshot, &doc),
+            ArtifactScope::Shared { .. }
+        ));
+    }
+
+    #[test]
+    fn the_first_successful_run_caches_the_root_result() {
+        let doc = prepared("<r><a/><a/></r>");
+        let artifact = PlanArtifact::build(
+            &plan("//a"),
+            DocId::from_raw(1),
+            1,
+            0,
+            BackendKind::Eager,
+            &doc,
+        );
+        assert!(!artifact.has_cached_result());
+        let first = artifact.run().unwrap();
+        assert!(artifact.has_cached_result());
+        let repeat = artifact.run().unwrap();
+        assert_eq!(first, repeat, "repeats clone the cached output");
     }
 
     #[test]
@@ -715,8 +996,6 @@ mod tests {
             &doc,
         ));
         cache.insert("//a", &a);
-        assert!(cache
-            .get(DocId::from_raw(1), 1, 0, BackendKind::Eager, "//a")
-            .is_none());
+        assert!(cache.get(a.scope(), BackendKind::Eager, "//a").is_none());
     }
 }

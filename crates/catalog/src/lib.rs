@@ -78,7 +78,7 @@ pub(crate) mod glob;
 pub mod stats;
 pub mod store;
 
-pub use artifact::PlanArtifact;
+pub use artifact::{ArtifactScope, PlanArtifact};
 pub use stats::{CatalogStats, DocInfo};
 pub use store::{Catalog, CatalogBuilder, CatalogError, DocId, FanOut, MutationOutcome};
 pub use xpeval_backends::BackendKind;
@@ -168,6 +168,57 @@ mod tests {
         let hits_before = catalog.stats().artifact_hits;
         catalog.evaluate_on("right", "//a").unwrap();
         assert_eq!(catalog.stats().artifact_hits, hits_before + 1);
+    }
+
+    #[test]
+    fn identical_documents_share_one_artifact() {
+        let catalog = Catalog::new();
+        let xml = "<library><book><title/></book><book><title/></book></library>";
+        catalog.insert_xml("mirror-a", xml).unwrap();
+        catalog.insert_xml("mirror-b", xml).unwrap();
+
+        let a = catalog.evaluate_on("mirror-a", "//book/title").unwrap();
+        let b = catalog.evaluate_on("mirror-b", "//book/title").unwrap();
+        assert_eq!(a.value, b.value);
+
+        let s = catalog.stats();
+        // One build served both names: the second evaluation hit the
+        // artifact built for the first document.
+        assert_eq!(s.artifact_misses, 1, "{s}");
+        assert_eq!(s.artifact_hits, 1, "{s}");
+        assert_eq!(s.artifact_len, 1, "{s}");
+        assert_eq!(s.artifact_cross_doc_hits, 1, "{s}");
+        assert!(s.to_string().contains("shared 1 cross-doc"), "{s}");
+
+        // Divergence ends the sharing: replacing one copy with different
+        // content leaves the other copy's artifact alive and hot.
+        catalog.insert_xml("mirror-a", "<library/>").unwrap();
+        let hits = catalog.stats().artifact_hits;
+        catalog.evaluate_on("mirror-b", "//book/title").unwrap();
+        let s = catalog.stats();
+        assert_eq!(s.artifact_hits, hits + 1, "{s}");
+        assert_eq!(s.artifact_len, 1, "{s}");
+    }
+
+    #[test]
+    fn replacement_with_identical_content_keeps_the_shared_artifact() {
+        let catalog = Catalog::new();
+        let xml = "<r><a/><b/><a/></r>";
+        catalog.insert_xml("d", xml).unwrap();
+        catalog.evaluate_on("d", "//a").unwrap();
+        assert_eq!(catalog.stats().artifact_misses, 1);
+
+        // Re-inserting byte-identical content under the same name bumps
+        // the generation but lands on the same content hash, so the
+        // artifact survives and the next evaluation is a hit.
+        catalog.insert_xml("d", xml).unwrap();
+        let out = catalog.evaluate_on("d", "//a").unwrap();
+        assert_eq!(out.value.expect_nodes().len(), 2);
+        let s = catalog.stats();
+        assert_eq!(s.replacements, 1, "{s}");
+        assert_eq!(s.artifact_misses, 1, "{s}");
+        assert_eq!(s.artifact_hits, 1, "{s}");
+        assert_eq!(s.artifact_invalidations, 0, "{s}");
     }
 
     #[test]

@@ -64,6 +64,11 @@ pub struct CatalogStats {
     /// post-edit snapshot with specialized plan, pinned strategy and
     /// verified shortcut intact.
     pub artifact_scope_preserved: u64,
+    /// Artifact-cache hits answered by an artifact built for a
+    /// *different* document with equal content — the witness that
+    /// content-hash keying shares (query × document) work across
+    /// documents (a subset of [`CatalogStats::artifact_hits`]).
+    pub artifact_cross_doc_hits: u64,
 }
 
 impl CatalogStats {
@@ -91,11 +96,11 @@ fn rate(hits: u64, misses: u64) -> f64 {
 
 impl std::fmt::Display for CatalogStats {
     /// One-line summary used by the examples, e.g.
-    /// `docs 3/64 (5 inserted, 2 replaced, 3 mutated, 0 evicted), resolves 10/12 (83.3%), evals 40, artifacts 7/256 hits 33/40 (82.5%), invalidated 4, scoped 2 killed / 5 kept`.
+    /// `docs 3/64 (5 inserted, 2 replaced, 3 mutated, 0 evicted), resolves 10/12 (83.3%), evals 40, artifacts 7/256 hits 33/40 (82.5%), invalidated 4, scoped 2 killed / 5 kept, shared 3 cross-doc`.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "docs {}/{} ({} inserted, {} replaced, {} mutated, {} evicted), resolves {}/{} ({:.1}%), evals {}, artifacts {}/{} hits {}/{} ({:.1}%), invalidated {}, scoped {} killed / {} kept",
+            "docs {}/{} ({} inserted, {} replaced, {} mutated, {} evicted), resolves {}/{} ({:.1}%), evals {}, artifacts {}/{} hits {}/{} ({:.1}%), invalidated {}, scoped {} killed / {} kept, shared {} cross-doc",
             self.documents,
             self.capacity,
             self.inserts,
@@ -114,6 +119,7 @@ impl std::fmt::Display for CatalogStats {
             self.artifact_invalidations,
             self.artifact_scope_killed,
             self.artifact_scope_preserved,
+            self.artifact_cross_doc_hits,
         )
     }
 }
@@ -173,6 +179,7 @@ mod tests {
         assert!(line.contains("hits 33/40 (82.5%)"), "{line}");
         assert!(line.contains("invalidated 4"), "{line}");
         assert!(line.contains("scoped 0 killed / 0 kept"), "{line}");
+        assert!(line.contains("shared 0 cross-doc"), "{line}");
         assert!(!line.contains('\n'));
     }
 

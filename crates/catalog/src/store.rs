@@ -27,7 +27,7 @@
 //! artifact in the cache, unreachable by key, until it ages out) — it
 //! never sees a mix of generations.
 
-use crate::artifact::{ArtifactCache, PlanArtifact, Retarget};
+use crate::artifact::{ArtifactCache, ArtifactScope, PlanArtifact, Retarget};
 use crate::glob::glob_match;
 use crate::stats::{CatalogStats, DocInfo};
 use std::collections::HashMap;
@@ -237,6 +237,22 @@ struct CatalogEntry {
     counters: Arc<SlotCounters>,
 }
 
+impl CatalogEntry {
+    /// The artifact-cache namespace this entry answers from: its content
+    /// hash while unmutated and fully materialized, its exact coordinates
+    /// otherwise ([`ArtifactScope::of`]).  O(1): the hash is primed at
+    /// install time and memoized on the prepared document.
+    fn scope(&self) -> ArtifactScope {
+        ArtifactScope::of(
+            self.id,
+            self.generation,
+            self.revision,
+            self.kind,
+            &self.prepared,
+        )
+    }
+}
+
 #[derive(Debug, Default)]
 struct DocStore {
     by_name: HashMap<String, DocId>,
@@ -269,6 +285,10 @@ struct CatalogShared {
     resolve_hits: AtomicU64,
     resolve_misses: AtomicU64,
     evaluations: AtomicU64,
+    /// Artifact-cache hits answered by an artifact built for a *different*
+    /// document with equal content — the witness that content-hash
+    /// keying actually shares work across documents.
+    artifact_cross_doc_hits: AtomicU64,
 }
 
 /// Configures and builds a [`Catalog`].
@@ -362,6 +382,7 @@ impl CatalogBuilder {
                 resolve_hits: AtomicU64::new(0),
                 resolve_misses: AtomicU64::new(0),
                 evaluations: AtomicU64::new(0),
+                artifact_cross_doc_hits: AtomicU64::new(0),
             }),
         }
     }
@@ -560,7 +581,14 @@ impl Catalog {
     ) -> DocId {
         let shared = &self.shared;
         let tick = self.next_tick();
-        let mut purge: Vec<DocId> = Vec::new();
+        // Prime the content hash outside every lock: entry scopes (and the
+        // shared-artifact keying they drive) read it on hot paths, and the
+        // one O(|D|) computation is memoized on the prepared document.
+        if !matches!(backing, Backing::Lazy { .. }) {
+            prepared.content_hash();
+        }
+        let mut purge: Vec<Arc<CatalogEntry>> = Vec::new();
+        let installed;
         let id;
         {
             let mut docs = shared.docs.write().unwrap();
@@ -570,6 +598,7 @@ impl Catalog {
                 let old = docs
                     .entries
                     .get(&existing)
+                    .cloned()
                     .expect("name index points at a live entry");
                 let entry = Arc::new(CatalogEntry {
                     name: name.to_string(),
@@ -582,9 +611,10 @@ impl Catalog {
                     last_used: AtomicU64::new(tick),
                     counters: Arc::clone(&old.counters),
                 });
+                installed = Arc::clone(&entry);
                 docs.entries.insert(existing, entry);
                 shared.replacements.fetch_add(1, Ordering::Relaxed);
-                purge.push(existing);
+                purge.push(old);
                 id = existing;
             } else {
                 if shared.capacity > 0 && docs.entries.len() >= shared.capacity {
@@ -597,7 +627,7 @@ impl Catalog {
                         let gone = docs.entries.remove(&victim).expect("victim is live");
                         docs.by_name.remove(&gone.name);
                         shared.evictions.fetch_add(1, Ordering::Relaxed);
-                        purge.push(victim);
+                        purge.push(gone);
                     }
                 }
                 // A reservation that was *not* freshly minted named an
@@ -618,6 +648,7 @@ impl Catalog {
                     last_used: AtomicU64::new(tick),
                     counters: Arc::new(SlotCounters::default()),
                 });
+                installed = Arc::clone(&entry);
                 docs.by_name.insert(name.to_string(), id);
                 docs.entries.insert(id, entry);
                 shared.inserts.fetch_add(1, Ordering::Relaxed);
@@ -644,24 +675,31 @@ impl Catalog {
             // previous generation's index must not stay pinned), and a
             // reservation the store moved under (its speculatively
             // cached index was never installed).
-            for &doc in &purge {
-                if doc != id || !via_engine_cache {
-                    shared.engine.discard_keyed(doc.as_u64());
+            for e in &purge {
+                if e.id != id || !via_engine_cache {
+                    shared.engine.discard_keyed(e.id.as_u64());
                 }
             }
             if reserved != id {
                 shared.engine.discard_keyed(reserved.as_u64());
             }
         }
-        // Outside the write lock: the artifact purge takes the artifact
+        // Register the installed entry's scope hold *before* releasing the
+        // replaced/evicted entries below: a replacement that re-installs
+        // identical content keeps its shared artifacts alive through the
+        // swap (the hold count never touches zero).
+        shared
+            .artifacts
+            .register(installed.scope(), installed.kind, id);
+        // Outside the write lock: the artifact release takes the artifact
         // cache's own mutex, can sweep many entries, and evaluation must
-        // not wait on it.  A purge deferred past the lock can race an
+        // not wait on it.  A release deferred past the lock can race an
         // evaluation of the *new* generation and drop its freshly built
-        // artifact too (purge_doc sweeps every generation of the id) —
-        // benign: artifacts are rebuildable derived state, so the cost is
-        // one re-specialize on the next evaluation, never a wrong result.
-        for doc in purge {
-            shared.artifacts.purge_doc(doc);
+        // artifact too — benign: artifacts are rebuildable derived state,
+        // so the cost is one re-specialize on the next evaluation, never
+        // a wrong result.
+        for e in purge {
+            shared.artifacts.release_doc(e.id, e.scope(), e.kind);
         }
         self.enforce_node_budget();
         id
@@ -770,7 +808,9 @@ impl Catalog {
                     };
                     if demoted {
                         self.shared.demotions.fetch_add(1, Ordering::Relaxed);
-                        self.shared.artifacts.purge_doc(entry.id);
+                        self.shared
+                            .artifacts
+                            .release_doc(entry.id, entry.scope(), entry.kind);
                     }
                 }
                 Action::Evict(id) => {
@@ -784,7 +824,7 @@ impl Catalog {
                     match gone {
                         Some(e) => {
                             self.shared.evictions.fetch_add(1, Ordering::Relaxed);
-                            self.shared.artifacts.purge_doc(e.id);
+                            self.shared.artifacts.release_doc(e.id, e.scope(), e.kind);
                             self.shared.engine.discard_keyed(e.id.as_u64());
                         }
                         // The store changed under us; stop rather than
@@ -802,16 +842,15 @@ impl Catalog {
     pub fn remove(&self, name: &str) -> bool {
         let removed = {
             let mut docs = self.shared.docs.write().unwrap();
-            docs.by_name.remove(name).map(|id| {
-                docs.entries.remove(&id);
-                id
-            })
+            docs.by_name
+                .remove(name)
+                .and_then(|id| docs.entries.remove(&id))
         };
         match removed {
-            Some(id) => {
+            Some(e) => {
                 self.shared.removals.fetch_add(1, Ordering::Relaxed);
-                self.shared.artifacts.purge_doc(id);
-                self.shared.engine.discard_keyed(id.as_u64());
+                self.shared.artifacts.release_doc(e.id, e.scope(), e.kind);
+                self.shared.engine.discard_keyed(e.id.as_u64());
                 true
             }
             None => false,
@@ -936,26 +975,34 @@ impl Catalog {
                 artifacts_killed: 0,
                 artifacts_preserved: 0,
             };
-            pending = (batch, entry.revision, entry.kind);
+            pending = (batch, entry.scope(), entry.kind);
         }
         // Outside the write lock: the re-target sweep takes the artifact
         // cache's own mutex and may rebase many entries; evaluation must
         // not wait on it.  An evaluation racing this window may still
-        // insert an artifact under the *old* revision — unreachable by
-        // key afterwards, aged out by LRU; never a wrong result.
-        let (batch, old_revision, old_kind) = pending;
+        // insert an artifact under the *old* scope — unreachable by this
+        // document afterwards, aged out by LRU (or still live for other
+        // holders of a shared scope); never a wrong result.
+        let (batch, old_scope, old_kind) = pending;
         let (killed, preserved) = if promoted {
             // A promotion changes the backend kind (and, for lazy, the
             // node numbering the edit batch is relative to): no pre-edit
             // artifact is comparable with the post-edit snapshot, so the
-            // subtree-scoped rule does not apply — drop them all.
-            (shared.artifacts.purge_doc(outcome.doc) as u64, 0)
+            // subtree-scoped rule does not apply — drop this document's
+            // artifacts (releasing a shared hold rather than sweeping
+            // when other documents still share the content).
+            (
+                shared
+                    .artifacts
+                    .release_doc(outcome.doc, old_scope, old_kind) as u64,
+                0,
+            )
         } else {
             shared.artifacts.retarget(
                 Retarget {
                     doc: outcome.doc,
                     generation: outcome.generation,
-                    old_revision,
+                    old_scope,
                     new_revision: outcome.revision,
                     kind: old_kind,
                     dirty: batch.dirty,
@@ -1106,14 +1153,16 @@ impl Catalog {
         shared.evaluations.fetch_add(1, Ordering::Relaxed);
         entry.counters.evaluations.fetch_add(1, Ordering::Relaxed);
         let entry = self.grown_for(entry, query)?;
-        let mut out = if let Some(artifact) = shared.artifacts.get(
-            entry.id,
-            entry.generation,
-            entry.revision,
-            entry.kind,
-            query,
-        ) {
+        let mut out = if let Some(artifact) = shared.artifacts.get(entry.scope(), entry.kind, query)
+        {
             entry.counters.artifact_hits.fetch_add(1, Ordering::Relaxed);
+            if artifact.doc() != entry.id {
+                // Served by an artifact another document built: the
+                // content-hash sharing witness.
+                shared
+                    .artifact_cross_doc_hits
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             artifact.run()?
         } else {
             // Miss: compile through the engine's shared plan cache, then
@@ -1191,7 +1240,9 @@ impl Catalog {
         };
         match published {
             Some(next) => {
-                self.shared.artifacts.purge_doc(entry.id);
+                self.shared
+                    .artifacts
+                    .release_doc(entry.id, entry.scope(), entry.kind);
                 self.enforce_node_budget();
                 Ok(next)
             }
@@ -1296,6 +1347,7 @@ impl Catalog {
             resolve_hits: shared.resolve_hits.load(Ordering::Relaxed),
             resolve_misses: shared.resolve_misses.load(Ordering::Relaxed),
             evaluations: shared.evaluations.load(Ordering::Relaxed),
+            artifact_cross_doc_hits: shared.artifact_cross_doc_hits.load(Ordering::Relaxed),
             ..CatalogStats::default()
         };
         shared.artifacts.fill_stats(&mut stats);

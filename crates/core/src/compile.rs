@@ -27,12 +27,14 @@ use crate::corexpath::CoreXPathEvaluator;
 use crate::dp::DpEvaluator;
 use crate::engine::EvalStrategy;
 use crate::error::EvalError;
+use crate::ir::PlanIr;
 use crate::naive::NaiveEvaluator;
 use crate::parallel::ParallelEvaluator;
 use crate::stats::EvalStats;
 use crate::stream::NodeStream;
 use crate::success::SingletonSuccess;
 use crate::value::Value;
+use std::sync::Arc;
 use xpeval_dom::{AxisSource, Document, NodeId, PreparedDocument};
 use xpeval_syntax::ast::ExprType;
 use xpeval_syntax::normalize::expand_iterated_predicates;
@@ -207,6 +209,11 @@ pub struct CompiledQuery {
     /// to an explicit override); only auto plans are re-tuned by document
     /// size on the prepared paths.
     auto_plan: bool,
+    /// The flat instruction form every run path executes
+    /// ([`crate::exec::execute_ir`]); lowered once at compile time and
+    /// shared by reference across clones, specializations and catalog
+    /// artifacts.
+    ir: Arc<PlanIr>,
 }
 
 impl CompiledQuery {
@@ -244,6 +251,7 @@ impl CompiledQuery {
             expr
         };
         let report = classify(&expr);
+        let ir = PlanIr::lower(&expr, &report);
         let auto_plan = options.strategy.is_none();
         let plan = options
             .strategy
@@ -254,6 +262,7 @@ impl CompiledQuery {
             report,
             plan,
             auto_plan,
+            ir,
         }
     }
 
@@ -271,6 +280,18 @@ impl CompiledQuery {
     /// The full classification report (Figure 1).
     pub fn report(&self) -> &FragmentReport {
         &self.report
+    }
+
+    /// The flat instruction form of the plan — the program every run path
+    /// executes.  Shared by reference across clones and specializations.
+    pub fn ir(&self) -> &PlanIr {
+        &self.ir
+    }
+
+    /// The shared handle to the lowered plan, for callers that cache plan
+    /// artifacts (e.g. a document catalog) and want to witness sharing.
+    pub fn plan_ir(&self) -> &Arc<PlanIr> {
+        &self.ir
     }
 
     /// Least fragment of Figure 1 containing the query.
@@ -363,7 +384,7 @@ impl CompiledQuery {
         ctx: Context,
     ) -> Result<QueryOutput, EvalError> {
         let strategy = self.strategy_for_source(doc);
-        let (value, stats) = execute(strategy, doc, &self.expr, ctx)?;
+        let (value, stats) = crate::exec::execute_ir(strategy, doc, &self.expr, &self.ir, ctx)?;
         Ok(QueryOutput {
             value,
             stats,
@@ -373,7 +394,7 @@ impl CompiledQuery {
 
     /// Evaluates against a document from an explicit context triple.
     pub fn run_with_context(&self, doc: &Document, ctx: Context) -> Result<QueryOutput, EvalError> {
-        let (value, stats) = execute(self.plan, doc, &self.expr, ctx)?;
+        let (value, stats) = crate::exec::execute_ir(self.plan, doc, &self.expr, &self.ir, ctx)?;
         Ok(QueryOutput {
             value,
             stats,
@@ -509,10 +530,10 @@ impl CompiledQuery {
     ) -> Result<Vec<QueryOutput>, EvalError> {
         match strategy {
             EvalStrategy::ContextValueTable => {
-                let mut ev = DpEvaluator::new(src, &self.expr);
+                let mut ev = crate::exec::IrEvaluator::memoized(src, &self.ir);
                 let mut out = Vec::with_capacity(contexts.len());
                 for &ctx in contexts {
-                    let value = ev.evaluate_with_context(ctx)?;
+                    let value = ev.eval(self.ir.root(), ctx)?;
                     out.push(QueryOutput {
                         value,
                         stats: ev.stats(),
@@ -524,7 +545,8 @@ impl CompiledQuery {
             _ => contexts
                 .iter()
                 .map(|&ctx| {
-                    let (value, stats) = execute(strategy, src, &self.expr, ctx)?;
+                    let (value, stats) =
+                        crate::exec::execute_ir(strategy, src, &self.expr, &self.ir, ctx)?;
                     Ok(QueryOutput {
                         value,
                         stats,

@@ -334,7 +334,7 @@ impl<'d, S: AxisSource + ?Sized> CoreXPathEvaluator<'d, S> {
 
     /// All nodes matching a node test (taking the axis' principal node type
     /// into account).
-    fn test_set(&self, test: &NodeTest, axis: Axis) -> NodeBitSet {
+    pub(crate) fn test_set(&self, test: &NodeTest, axis: Axis) -> NodeBitSet {
         // Indexed fast path: a tag-name test on an element-principal axis
         // is exactly the tag index — no per-node string comparison.  A
         // pre-resolved test skips even the one string hash.

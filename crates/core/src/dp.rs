@@ -200,7 +200,7 @@ impl<'d, 'q, S: AxisSource + ?Sized> DpEvaluator<'d, 'q, S> {
 }
 
 /// Static position-sensitivity analysis (see [`DpEvaluator::is_sensitive`]).
-fn sensitivity(expr: &Expr) -> bool {
+pub(crate) fn sensitivity(expr: &Expr) -> bool {
     match expr {
         Expr::FunctionCall { name, args } => {
             name == "position" || name == "last" || args.iter().any(sensitivity)

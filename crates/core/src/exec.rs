@@ -1,0 +1,1015 @@
+//! Executors for the flat plan IR.
+//!
+//! Each machine here is the [`crate::ir::PlanIr`] counterpart of one of the
+//! AST evaluators, with identical observable semantics — same values, same
+//! error variants, same work-counter protocol:
+//!
+//! | IR machine | AST counterpart | strategy |
+//! |---|---|---|
+//! | `IrEvaluator` (memoized) | [`crate::DpEvaluator`] | `ContextValueTable` |
+//! | `IrEvaluator` (eager) | [`crate::NaiveEvaluator`] | `Naive` |
+//! | `IrLinear` | [`crate::CoreXPathEvaluator`] | `CoreXPathLinear` |
+//! | `IrSingletonSuccess` | [`crate::SingletonSuccess`] | `SingletonSuccess` / `Parallel` |
+//!
+//! What the IR machines do *not* redo at run time is the point: fragment
+//! admission and Definition 6.1 validation are precomputed verdicts
+//! ([`PlanIr::linear_check`] / [`PlanIr::ss_check`]), positional picks are
+//! pre-recognized per step, and name tests arrive pre-resolved to global
+//! [`xpeval_dom::TagId`]s, so the hot loops run without a single string
+//! hash or AST pointer chase.
+//!
+//! `execute_ir` is the strategy dispatch funnel the compiled-query run
+//! paths go through ([`crate::CompiledQuery::run_with_context`] and
+//! friends); the `&Expr` entry points of [`crate::Engine`] keep using the
+//! AST funnel in [`crate::compile`].
+
+use crate::context::{Context, ContextKey};
+use crate::corexpath::{CoreXPathEvaluator, NodeBitSet};
+use crate::engine::EvalStrategy;
+use crate::error::EvalError;
+use crate::functions::call_function;
+use crate::ir::{OpId, OpKind, PlanIr, StepIr};
+use crate::stats::EvalStats;
+use crate::steps::predicate_holds;
+use crate::value::Value;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use xpeval_dom::{AxisSource, Document, NodeId, NodeTest};
+use xpeval_syntax::ast::ExprType;
+use xpeval_syntax::Expr;
+
+/// Dispatches one evaluation of a lowered plan to a strategy — the IR twin
+/// of [`crate::compile::execute`].  The AST is still passed alongside: the
+/// one corner the IR does not cover bit-for-bit (a *scalar* expression
+/// handed to the linear strategy, whose rejection message renders the
+/// original expression) falls back to the AST evaluator.
+pub(crate) fn execute_ir<S: AxisSource + ?Sized>(
+    strategy: EvalStrategy,
+    src: &S,
+    expr: &Expr,
+    ir: &PlanIr,
+    ctx: Context,
+) -> Result<(Value, EvalStats), EvalError> {
+    match strategy {
+        EvalStrategy::ContextValueTable => {
+            let mut ev = IrEvaluator::memoized(src, ir);
+            let value = ev.eval(ir.root(), ctx)?;
+            Ok((value, ev.stats()))
+        }
+        EvalStrategy::Naive => {
+            let mut ev = IrEvaluator::eager(src, ir);
+            let value = ev.eval(ir.root(), ctx)?;
+            Ok((value, ev.stats()))
+        }
+        EvalStrategy::CoreXPathLinear => {
+            ir.linear_check()?;
+            if ir.op(ir.root()).kind.is_nodeset() {
+                let ev = IrLinear::new(src, ir);
+                let nodes = ev.evaluate_from(ir.root(), &[ctx.node])?;
+                Ok((Value::NodeSet(nodes), ev.stats()))
+            } else {
+                // Non-node-set root inside Core XPath: the AST machine
+                // produces the exact historical rejection text.
+                let ev = CoreXPathEvaluator::new(src);
+                let nodes = ev.evaluate_from(expr, &[ctx.node])?;
+                Ok((Value::NodeSet(nodes), ev.stats()))
+            }
+        }
+        EvalStrategy::Parallel { threads } => parallel_ir(src, ir, threads.max(1), ctx),
+        EvalStrategy::SingletonSuccess => {
+            let checker = IrSingletonSuccess::new(src, ir)?;
+            let root = ir.root();
+            let value = match ir.op(root).ty {
+                ExprType::NodeSet => Value::NodeSet(checker.node_set(ctx)?),
+                ExprType::Boolean => Value::Boolean(checker.eval_boolean(root, ctx)?),
+                _ => checker.eval_scalar(root, ctx)?,
+            };
+            Ok((value, checker.stats()))
+        }
+    }
+}
+
+/// The recursive tree-walk executor, in two modes sharing one step loop:
+///
+/// * **memoized** — the context-value-table dynamic program of
+///   [`crate::DpEvaluator`]: every `(opcode, context-key)` value is computed
+///   once, paths use set semantics (sort + dedup between steps), `and`/`or`
+///   short-circuit.
+/// * **eager** — the naive baseline of [`crate::NaiveEvaluator`]: every
+///   occurrence re-evaluates, paths use list semantics with the
+///   max-intermediate-list watermark, `and`/`or` evaluate both sides.
+pub(crate) struct IrEvaluator<'d, 'q, S: AxisSource + ?Sized = Document> {
+    src: &'d S,
+    doc: &'d Document,
+    ir: &'q PlanIr,
+    memoized: bool,
+    memo: HashMap<(OpId, ContextKey), Value>,
+    stats: EvalStats,
+    list_limit: usize,
+}
+
+impl<'d, 'q, S: AxisSource + ?Sized> IrEvaluator<'d, 'q, S> {
+    /// Context-value-table mode (the `ContextValueTable` strategy).
+    pub fn memoized(src: &'d S, ir: &'q PlanIr) -> Self {
+        Self::new(src, ir, true)
+    }
+
+    /// Naive re-evaluation mode (the `Naive` strategy).
+    pub fn eager(src: &'d S, ir: &'q PlanIr) -> Self {
+        Self::new(src, ir, false)
+    }
+
+    fn new(src: &'d S, ir: &'q PlanIr, memoized: bool) -> Self {
+        IrEvaluator {
+            src,
+            doc: src.document(),
+            ir,
+            memoized,
+            memo: HashMap::new(),
+            stats: EvalStats::default(),
+            list_limit: usize::MAX,
+        }
+    }
+
+    /// Work counters accumulated so far (cumulative across calls, exactly
+    /// like the AST evaluators when shared over a batch).
+    pub fn stats(&self) -> EvalStats {
+        if self.memoized {
+            EvalStats {
+                table_entries: self.memo.len(),
+                ..self.stats
+            }
+        } else {
+            self.stats
+        }
+    }
+
+    /// Evaluates one opcode in a context.
+    pub fn eval(&mut self, id: OpId, ctx: Context) -> Result<Value, EvalError> {
+        if self.memoized {
+            let key = (id, ContextKey::for_context(ctx, self.ir.op(id).sensitive));
+            if let Some(v) = self.memo.get(&key) {
+                self.stats.cache_hits += 1;
+                return Ok(v.clone());
+            }
+            self.stats.evaluations += 1;
+            let value = self.eval_op(id, ctx)?;
+            self.memo.insert(key, value.clone());
+            Ok(value)
+        } else {
+            self.stats.evaluations += 1;
+            self.eval_op(id, ctx)
+        }
+    }
+
+    fn eval_op(&mut self, id: OpId, ctx: Context) -> Result<Value, EvalError> {
+        let ir = self.ir;
+        match &ir.op(id).kind {
+            OpKind::Number(n) => Ok(Value::Number(*n)),
+            OpKind::Literal(s) => Ok(Value::Str(s.clone())),
+            OpKind::Path { absolute, steps } => self.eval_path(*absolute, *steps, ctx),
+            OpKind::Union(a, b) => {
+                let mut left = self.eval(*a, ctx)?.into_nodes()?;
+                let right = self.eval(*b, ctx)?.into_nodes()?;
+                left.extend(right);
+                Ok(Value::node_set(self.doc, left))
+            }
+            OpKind::Or(a, b) => {
+                if self.memoized {
+                    if self.eval(*a, ctx)?.to_boolean() {
+                        return Ok(Value::Boolean(true));
+                    }
+                    Ok(Value::Boolean(self.eval(*b, ctx)?.to_boolean()))
+                } else {
+                    let l = self.eval(*a, ctx)?.to_boolean();
+                    let r = self.eval(*b, ctx)?.to_boolean();
+                    Ok(Value::Boolean(l || r))
+                }
+            }
+            OpKind::And(a, b) => {
+                if self.memoized {
+                    if !self.eval(*a, ctx)?.to_boolean() {
+                        return Ok(Value::Boolean(false));
+                    }
+                    Ok(Value::Boolean(self.eval(*b, ctx)?.to_boolean()))
+                } else {
+                    let l = self.eval(*a, ctx)?.to_boolean();
+                    let r = self.eval(*b, ctx)?.to_boolean();
+                    Ok(Value::Boolean(l && r))
+                }
+            }
+            OpKind::Not(e) => Ok(Value::Boolean(!self.eval(*e, ctx)?.to_boolean())),
+            OpKind::Relational { op, left, right } => {
+                let l = self.eval(*left, ctx)?;
+                let r = self.eval(*right, ctx)?;
+                Ok(Value::Boolean(l.compare(*op, &r, self.doc)))
+            }
+            OpKind::Arithmetic { op, left, right } => {
+                let l = self.eval(*left, ctx)?.to_number(self.doc);
+                let r = self.eval(*right, ctx)?.to_number(self.doc);
+                Ok(Value::Number(op.apply(l, r)))
+            }
+            OpKind::Neg(e) => {
+                let n = self.eval(*e, ctx)?.to_number(self.doc);
+                Ok(Value::Number(-n))
+            }
+            OpKind::Call { name, args } => {
+                let arg_ids = ir.call_args(*args);
+                let mut values = Vec::with_capacity(arg_ids.len());
+                for &a in arg_ids {
+                    values.push(self.eval(a, ctx)?);
+                }
+                call_function(name, values, &ctx, self.doc)
+            }
+        }
+    }
+
+    fn eval_path(
+        &mut self,
+        absolute: bool,
+        range: (u32, u32),
+        ctx: Context,
+    ) -> Result<Value, EvalError> {
+        let ir = self.ir;
+        let mut current: Vec<NodeId> = if absolute {
+            vec![self.doc.root()]
+        } else {
+            vec![ctx.node]
+        };
+        for step in ir.path_steps(range) {
+            let preds = ir.step_preds(step);
+            let mut next: Vec<NodeId> = Vec::new();
+            for &node in &current {
+                self.stats.step_context_evaluations += 1;
+                let mut selected = self.apply_step(node, step, preds)?;
+                next.append(&mut selected);
+            }
+            if self.memoized {
+                // Set semantics: document order, no duplicates.
+                self.doc.sort_document_order(&mut next);
+            } else {
+                // List semantics: duplicates preserved, watermark recorded.
+                self.stats.max_intermediate_list = self.stats.max_intermediate_list.max(next.len());
+                if next.len() > self.list_limit {
+                    return Err(EvalError::unsupported(format!(
+                        "naive evaluation aborted: intermediate node list exceeded {} entries",
+                        self.list_limit
+                    )));
+                }
+            }
+            current = next;
+        }
+        if self.memoized {
+            Ok(Value::NodeSet(current))
+        } else {
+            Ok(Value::node_set(self.doc, current))
+        }
+    }
+
+    /// One location step from one context node — the IR mirror of
+    /// [`crate::steps::apply_step`], with the positional pick already
+    /// recognized at lowering.
+    fn apply_step(
+        &mut self,
+        from: NodeId,
+        step: &StepIr,
+        preds: &[OpId],
+    ) -> Result<Vec<NodeId>, EvalError> {
+        let mut candidates: Vec<NodeId>;
+        let mut remaining = preds;
+        if let Some(pick) = step.pick {
+            match self.src.positional_child_step(from, &step.test, pick) {
+                Some(picked) => {
+                    candidates = picked;
+                    remaining = &preds[1..];
+                }
+                None => candidates = self.src.axis_step(from, step.axis, &step.test),
+            }
+        } else {
+            candidates = self.src.axis_step(from, step.axis, &step.test);
+        }
+        for &pred in remaining {
+            candidates = self.filter(&candidates, step.axis.is_reverse(), pred)?;
+        }
+        Ok(candidates)
+    }
+
+    fn filter(
+        &mut self,
+        candidates: &[NodeId],
+        reverse_axis: bool,
+        pred: OpId,
+    ) -> Result<Vec<NodeId>, EvalError> {
+        let size = candidates.len();
+        let mut kept = Vec::with_capacity(size);
+        for (idx, &node) in candidates.iter().enumerate() {
+            let position = if reverse_axis { size - idx } else { idx + 1 };
+            let value = self.eval(pred, Context::new(node, position, size))?;
+            if predicate_holds(&value, position) {
+                kept.push(node);
+            }
+        }
+        Ok(kept)
+    }
+}
+
+/// Set-at-a-time executor over the IR — the [`crate::CoreXPathEvaluator`]
+/// algorithms (forward images, backwards `sat` through inverse axes) reading
+/// lowered steps.  The bitset primitives are borrowed from the AST machine
+/// (`axis_image`, `test_set`); only the expression walk is replaced.
+pub(crate) struct IrLinear<'d, 'q, S: AxisSource + ?Sized = Document> {
+    core: CoreXPathEvaluator<'d, S>,
+    doc: &'d Document,
+    ir: &'q PlanIr,
+    n: usize,
+    evaluations: Cell<u64>,
+    steps_applied: Cell<u64>,
+}
+
+impl<'d, 'q, S: AxisSource + ?Sized> IrLinear<'d, 'q, S> {
+    pub fn new(src: &'d S, ir: &'q PlanIr) -> Self {
+        let doc = src.document();
+        IrLinear {
+            core: CoreXPathEvaluator::new(src),
+            doc,
+            ir,
+            n: doc.len(),
+            evaluations: Cell::new(0),
+            steps_applied: Cell::new(0),
+        }
+    }
+
+    pub fn stats(&self) -> EvalStats {
+        EvalStats {
+            evaluations: self.evaluations.get(),
+            step_context_evaluations: self.steps_applied.get(),
+            ..EvalStats::default()
+        }
+    }
+
+    pub fn evaluate_from(
+        &self,
+        root: OpId,
+        context_nodes: &[NodeId],
+    ) -> Result<Vec<NodeId>, EvalError> {
+        let mut start = NodeBitSet::empty(self.n);
+        for &c in context_nodes {
+            start.insert(c);
+        }
+        let result = self.eval_nodeset(root, &start)?;
+        let mut nodes: Vec<NodeId> = result.iter_nodes().collect();
+        self.doc.sort_document_order(&mut nodes);
+        Ok(nodes)
+    }
+
+    fn eval_nodeset(&self, id: OpId, from: &NodeBitSet) -> Result<NodeBitSet, EvalError> {
+        self.evaluations.set(self.evaluations.get() + 1);
+        match &self.ir.op(id).kind {
+            OpKind::Path { absolute, steps } => self.eval_path(*absolute, *steps, from),
+            OpKind::Union(a, b) => {
+                let mut left = self.eval_nodeset(*a, from)?;
+                let right = self.eval_nodeset(*b, from)?;
+                left.union_with(&right);
+                Ok(left)
+            }
+            _ => Err(EvalError::fragment(
+                xpeval_syntax::Fragment::CoreXPath,
+                format!(
+                    "non-path expression {} in node-set position",
+                    self.ir.display_op(id)
+                ),
+            )),
+        }
+    }
+
+    fn eval_path(
+        &self,
+        absolute: bool,
+        range: (u32, u32),
+        from: &NodeBitSet,
+    ) -> Result<NodeBitSet, EvalError> {
+        let mut current = if absolute {
+            NodeBitSet::singleton(self.n, self.doc.root())
+        } else {
+            from.clone()
+        };
+        for step in self.ir.path_steps(range) {
+            current = self.apply_step_forward(step, &current)?;
+        }
+        Ok(current)
+    }
+
+    fn apply_step_forward(
+        &self,
+        step: &StepIr,
+        from: &NodeBitSet,
+    ) -> Result<NodeBitSet, EvalError> {
+        self.steps_applied.set(self.steps_applied.get() + 1);
+        let mut image = self.core.axis_image(step.axis, from);
+        image.intersect_with(&self.core.test_set(&step.test, step.axis));
+        for &pred in self.ir.step_preds(step) {
+            image.intersect_with(&self.sat(pred)?);
+        }
+        Ok(image)
+    }
+
+    fn sat(&self, id: OpId) -> Result<NodeBitSet, EvalError> {
+        self.evaluations.set(self.evaluations.get() + 1);
+        match &self.ir.op(id).kind {
+            OpKind::And(a, b) => {
+                let mut l = self.sat(*a)?;
+                l.intersect_with(&self.sat(*b)?);
+                Ok(l)
+            }
+            OpKind::Or(a, b) | OpKind::Union(a, b) => {
+                let mut l = self.sat(*a)?;
+                l.union_with(&self.sat(*b)?);
+                Ok(l)
+            }
+            OpKind::Not(e) => {
+                let mut s = self.sat(*e)?;
+                s.complement();
+                Ok(s)
+            }
+            OpKind::Path { absolute, steps } => self.sat_path(*absolute, *steps),
+            _ => Err(EvalError::fragment(
+                xpeval_syntax::Fragment::CoreXPath,
+                format!("condition {}", self.ir.display_op(id)),
+            )),
+        }
+    }
+
+    fn sat_path(&self, absolute: bool, range: (u32, u32)) -> Result<NodeBitSet, EvalError> {
+        let mut suffix_ok = NodeBitSet::full(self.n);
+        for step in self.ir.path_steps(range).iter().rev() {
+            self.steps_applied.set(self.steps_applied.get() + 1);
+            let mut target = self.core.test_set(&step.test, step.axis);
+            for &pred in self.ir.step_preds(step) {
+                target.intersect_with(&self.sat(pred)?);
+            }
+            target.intersect_with(&suffix_ok);
+            suffix_ok = self.core.axis_image(step.axis.inverse(), &target);
+        }
+        if absolute {
+            if suffix_ok.contains(self.doc.root()) {
+                Ok(NodeBitSet::full(self.n))
+            } else {
+                Ok(NodeBitSet::empty(self.n))
+            }
+        } else {
+            Ok(suffix_ok)
+        }
+    }
+}
+
+/// Deterministic simulation of the Lemma 5.4 NAuxPDA over the IR — the
+/// [`crate::SingletonSuccess`] checker with the Definition 6.1 validation
+/// replaced by the precomputed [`PlanIr::ss_check`] verdict.  The reach memo
+/// keys on the *arena index* of a step (globally unique per lowered path),
+/// which replaces the AST version's pointer-identity keys.
+pub(crate) struct IrSingletonSuccess<'d, 'q, S: AxisSource + ?Sized = Document> {
+    src: &'d S,
+    doc: &'d Document,
+    ir: &'q PlanIr,
+    reach_memo: RefCell<HashMap<(u32, NodeId, NodeId), bool>>,
+    bool_memo: RefCell<HashMap<(OpId, NodeId, usize, usize), bool>>,
+    decisions: Cell<u64>,
+    memo_hits: Cell<u64>,
+    steps_applied: Cell<u64>,
+}
+
+impl<'d, 'q, S: AxisSource + ?Sized> IrSingletonSuccess<'d, 'q, S> {
+    pub fn new(src: &'d S, ir: &'q PlanIr) -> Result<Self, EvalError> {
+        ir.ss_check()?;
+        Ok(IrSingletonSuccess {
+            src,
+            doc: src.document(),
+            ir,
+            reach_memo: RefCell::new(HashMap::new()),
+            bool_memo: RefCell::new(HashMap::new()),
+            decisions: Cell::new(0),
+            memo_hits: Cell::new(0),
+            steps_applied: Cell::new(0),
+        })
+    }
+
+    pub fn stats(&self) -> EvalStats {
+        EvalStats {
+            evaluations: self.decisions.get(),
+            cache_hits: self.memo_hits.get(),
+            step_context_evaluations: self.steps_applied.get(),
+            ..EvalStats::default()
+        }
+    }
+
+    /// Recovers the node-set result by deciding membership once per
+    /// candidate (Theorem 5.5), pruned by the plan's final-step tests when
+    /// the source has a tag index.
+    pub fn node_set(&self, ctx: Context) -> Result<Vec<NodeId>, EvalError> {
+        let root = self.ir.root();
+        let mut out = Vec::new();
+        match ir_result_candidates(self.ir, self.src) {
+            Some(candidates) => {
+                for v in candidates {
+                    if self.selects(root, ctx, v)? {
+                        out.push(v);
+                    }
+                }
+            }
+            None => {
+                for v in self.doc.all_nodes() {
+                    if self.selects(root, ctx, v)? {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        self.doc.sort_document_order(&mut out);
+        Ok(out)
+    }
+
+    /// Membership test "node `target` is selected by opcode `id` from
+    /// context `ctx`".
+    pub fn selects(&self, id: OpId, ctx: Context, target: NodeId) -> Result<bool, EvalError> {
+        match &self.ir.op(id).kind {
+            OpKind::Path { absolute, steps } => {
+                let start = if *absolute { self.doc.root() } else { ctx.node };
+                self.can_reach(*steps, 0, start, target)
+            }
+            OpKind::Union(a, b) => {
+                Ok(self.selects(*a, ctx, target)? || self.selects(*b, ctx, target)?)
+            }
+            _ => Err(EvalError::type_error(format!(
+                "expression {} is not node-set typed",
+                self.ir.display_op(id)
+            ))),
+        }
+    }
+
+    fn can_reach(
+        &self,
+        range: (u32, u32),
+        k: u32,
+        from: NodeId,
+        target: NodeId,
+    ) -> Result<bool, EvalError> {
+        if k == range.1 {
+            return Ok(from == target);
+        }
+        let abs_ix = range.0 + k;
+        let key = (abs_ix, from, target);
+        if let Some(&b) = self.reach_memo.borrow().get(&key) {
+            self.memo_hits.set(self.memo_hits.get() + 1);
+            return Ok(b);
+        }
+        self.decisions.set(self.decisions.get() + 1);
+        self.steps_applied.set(self.steps_applied.get() + 1);
+        let step = &self.ir.steps()[abs_ix as usize];
+        let preds = self.ir.step_preds(step);
+        let candidates = self.src.axis_step(from, step.axis, &step.test);
+        let size = candidates.len();
+        let mut result = false;
+        for (idx, &cand) in candidates.iter().enumerate() {
+            let position = if step.axis.is_reverse() {
+                size - idx
+            } else {
+                idx + 1
+            };
+            let mut ok = true;
+            for &pred in preds {
+                if !self.predicate_holds_at(pred, Context::new(cand, position, size))? {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok && self.can_reach(range, k + 1, cand, target)? {
+                result = true;
+                break;
+            }
+        }
+        self.reach_memo.borrow_mut().insert(key, result);
+        Ok(result)
+    }
+
+    fn predicate_holds_at(&self, pred: OpId, ctx: Context) -> Result<bool, EvalError> {
+        if self.ir.op(pred).kind.is_nodeset() {
+            return self.exists(pred, ctx);
+        }
+        let v = self.eval_scalar(pred, ctx)?;
+        Ok(predicate_holds(&v, ctx.position))
+    }
+
+    fn exists(&self, id: OpId, ctx: Context) -> Result<bool, EvalError> {
+        for v in self.doc.all_nodes() {
+            if self.selects(id, ctx, v)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    fn first_selected(&self, id: OpId, ctx: Context) -> Result<Option<NodeId>, EvalError> {
+        let mut best: Option<NodeId> = None;
+        for v in self.doc.all_nodes() {
+            if self.selects(id, ctx, v)? {
+                best = match best {
+                    Some(b) if self.doc.pre(b) <= self.doc.pre(v) => Some(b),
+                    _ => Some(v),
+                };
+            }
+        }
+        Ok(best)
+    }
+
+    pub fn eval_boolean(&self, id: OpId, ctx: Context) -> Result<bool, EvalError> {
+        let key = (id, ctx.node, ctx.position, ctx.size);
+        if let Some(&b) = self.bool_memo.borrow().get(&key) {
+            self.memo_hits.set(self.memo_hits.get() + 1);
+            return Ok(b);
+        }
+        self.decisions.set(self.decisions.get() + 1);
+        let out = match &self.ir.op(id).kind {
+            OpKind::And(a, b) => self.eval_boolean(*a, ctx)? && self.eval_boolean(*b, ctx)?,
+            OpKind::Or(a, b) => self.eval_boolean(*a, ctx)? || self.eval_boolean(*b, ctx)?,
+            OpKind::Not(e) => !self.eval_boolean(*e, ctx)?,
+            OpKind::Path { .. } | OpKind::Union(_, _) => self.exists(id, ctx)?,
+            OpKind::Relational { op, left, right } => self.relational(*op, *left, *right, ctx)?,
+            _ => self.eval_scalar(id, ctx)?.to_boolean(),
+        };
+        self.bool_memo.borrow_mut().insert(key, out);
+        Ok(out)
+    }
+
+    fn relational(
+        &self,
+        op: xpeval_syntax::RelOp,
+        left: OpId,
+        right: OpId,
+        ctx: Context,
+    ) -> Result<bool, EvalError> {
+        let lvals = self.atomic_values(left, ctx)?;
+        let rvals = self.atomic_values(right, ctx)?;
+        for l in &lvals {
+            for r in &rvals {
+                if l.compare(op, r, self.doc) {
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    fn atomic_values(&self, id: OpId, ctx: Context) -> Result<Vec<Value>, EvalError> {
+        if self.ir.op(id).kind.is_nodeset() {
+            let mut out = Vec::new();
+            for v in self.doc.all_nodes() {
+                if self.selects(id, ctx, v)? {
+                    out.push(Value::Str(self.doc.string_value(v)));
+                }
+            }
+            Ok(out)
+        } else {
+            Ok(vec![self.eval_scalar(id, ctx)?])
+        }
+    }
+
+    pub fn eval_scalar(&self, id: OpId, ctx: Context) -> Result<Value, EvalError> {
+        match &self.ir.op(id).kind {
+            OpKind::Number(n) => Ok(Value::Number(*n)),
+            OpKind::Literal(s) => Ok(Value::Str(s.clone())),
+            OpKind::Arithmetic { op, left, right } => {
+                let l = self.scalar_number(*left, ctx)?;
+                let r = self.scalar_number(*right, ctx)?;
+                Ok(Value::Number(op.apply(l, r)))
+            }
+            OpKind::Neg(e) => Ok(Value::Number(-self.scalar_number(*e, ctx)?)),
+            OpKind::And(_, _) | OpKind::Or(_, _) | OpKind::Not(_) | OpKind::Relational { .. } => {
+                Ok(Value::Boolean(self.eval_boolean(id, ctx)?))
+            }
+            OpKind::Path { .. } | OpKind::Union(_, _) => Err(EvalError::type_error(
+                "node-set expression in scalar position (use selects/exists)",
+            )),
+            OpKind::Call { name, args } => {
+                let arg_ids = self.ir.call_args(*args);
+                if name == "boolean"
+                    && arg_ids.len() == 1
+                    && self.ir.op(arg_ids[0]).kind.is_nodeset()
+                {
+                    return Ok(Value::Boolean(self.exists(arg_ids[0], ctx)?));
+                }
+                let mut values = Vec::with_capacity(arg_ids.len());
+                for &a in arg_ids {
+                    if self.ir.op(a).kind.is_nodeset() {
+                        let s = match self.first_selected(a, ctx)? {
+                            Some(n) => self.doc.string_value(n),
+                            None => String::new(),
+                        };
+                        values.push(Value::Str(s));
+                    } else {
+                        values.push(self.eval_scalar(a, ctx)?);
+                    }
+                }
+                call_function(name, values, &ctx, self.doc)
+            }
+        }
+    }
+
+    fn scalar_number(&self, id: OpId, ctx: Context) -> Result<f64, EvalError> {
+        if self.ir.op(id).kind.is_nodeset() {
+            let s = match self.first_selected(id, ctx)? {
+                Some(n) => self.doc.string_value(n),
+                None => String::new(),
+            };
+            return Ok(crate::value::parse_xpath_number(&s));
+        }
+        Ok(self.eval_scalar(id, ctx)?.to_number(self.doc))
+    }
+}
+
+/// The IR form of [`crate::steps::result_candidates`]: the candidate
+/// universe bounded by the plan's final-step tests, preferring the
+/// pre-interned global tag id over the string lookup when the source
+/// answers it.
+fn ir_result_candidates<S: AxisSource + ?Sized>(ir: &PlanIr, src: &S) -> Option<Vec<NodeId>> {
+    let tests = ir.final_step_tests()?;
+    let mut out = Vec::new();
+    for test in tests {
+        let elements = match test {
+            NodeTest::Resolved { name, id: Some(id) } => src
+                .elements_by_tag(*id)
+                .or_else(|| src.elements_named(name))?,
+            NodeTest::Resolved { name, id: None } => src.elements_named(name)?,
+            NodeTest::Name(name) => src.elements_named(name)?,
+            _ => return None,
+        };
+        out.extend_from_slice(elements);
+    }
+    src.document().sort_document_order(&mut out);
+    Some(out)
+}
+
+/// The Theorem 5.5 loop over the IR — [`crate::ParallelEvaluator`] with
+/// per-worker [`IrSingletonSuccess`] checkers.  Constructing a worker is
+/// nearly free: the Definition 6.1 validation is the plan's precomputed
+/// verdict instead of a fresh AST walk per thread.
+pub(crate) fn parallel_ir<S: AxisSource + ?Sized>(
+    src: &S,
+    ir: &PlanIr,
+    threads: usize,
+    ctx: Context,
+) -> Result<(Value, EvalStats), EvalError> {
+    let checker = IrSingletonSuccess::new(src, ir)?;
+    let root = ir.root();
+    match ir.op(root).ty {
+        ExprType::NodeSet => {
+            drop(checker);
+            let (nodes, stats) = parallel_node_set(src, ir, threads, ctx)?;
+            Ok((Value::NodeSet(nodes), stats))
+        }
+        ExprType::Boolean => {
+            let value = Value::Boolean(checker.eval_boolean(root, ctx)?);
+            Ok((value, checker.stats()))
+        }
+        ExprType::Number | ExprType::Str => {
+            let value = checker.eval_scalar(root, ctx)?;
+            Ok((value, checker.stats()))
+        }
+    }
+}
+
+fn parallel_node_set<S: AxisSource + ?Sized>(
+    src: &S,
+    ir: &PlanIr,
+    threads: usize,
+    ctx: Context,
+) -> Result<(Vec<NodeId>, EvalStats), EvalError> {
+    let doc = src.document();
+    let candidates: Vec<NodeId> =
+        ir_result_candidates(ir, src).unwrap_or_else(|| doc.all_nodes().collect());
+    if threads <= 1 || candidates.len() < 2 {
+        let checker = IrSingletonSuccess::new(src, ir)?;
+        let nodes = checker.node_set(ctx)?;
+        return Ok((nodes, checker.stats()));
+    }
+
+    let chunk_size = candidates.len().div_ceil(threads);
+    let root = ir.root();
+    let results: Result<Vec<(Vec<NodeId>, EvalStats)>, EvalError> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in candidates.chunks(chunk_size) {
+            handles.push(
+                scope.spawn(move || -> Result<(Vec<NodeId>, EvalStats), EvalError> {
+                    // Each worker owns independent memo tables, mirroring the
+                    // independent NAuxPDA runs of the membership proof.
+                    let checker = IrSingletonSuccess::new(src, ir)?;
+                    let mut selected = Vec::new();
+                    for &v in chunk {
+                        if checker.selects(root, ctx, v)? {
+                            selected.push(v);
+                        }
+                    }
+                    Ok((selected, checker.stats()))
+                }),
+            );
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+
+    let mut out: Vec<NodeId> = Vec::new();
+    let mut stats = EvalStats::default();
+    for (selected, worker_stats) in results? {
+        out.extend(selected);
+        stats += worker_stats;
+    }
+    doc.sort_document_order(&mut out);
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::execute;
+    use crate::ir::PlanIr;
+    use std::sync::Arc;
+    use xpeval_dom::{parse_xml, PreparedDocument};
+    use xpeval_syntax::{classify, parse_query};
+
+    const BOOKS: &str = r#"<lib><book year="2001"><title>A</title></book><book year="2003"><title>B</title><cite/></book><paper year="2003"><title>C</title></paper></lib>"#;
+    const TREE: &str =
+        "<r><a><b><c/></b><b/><d/></a><a><b><c/></b><d/><b><c/></b></a><e><a><b/></a></e></r>";
+
+    const STRATEGIES: [EvalStrategy; 5] = [
+        EvalStrategy::ContextValueTable,
+        EvalStrategy::Naive,
+        EvalStrategy::CoreXPathLinear,
+        EvalStrategy::Parallel { threads: 3 },
+        EvalStrategy::SingletonSuccess,
+    ];
+
+    const QUERIES: [&str; 22] = [
+        "/lib/book/title",
+        "//title",
+        "//a/b",
+        "//book[@year = 2003]/title",
+        "//book[position() = 2]",
+        "//book[1]/title",
+        "//book[last()]",
+        "//book[position() + 1 = last()]",
+        "//book[not(child::cite)]",
+        "//b[parent::a and not(descendant::c)]",
+        "//a[child::b or child::d]/child::b",
+        "//title | //cite",
+        "/descendant::a/child::b[descendant::c and not(following-sibling::d)]",
+        "//c/preceding::b",
+        "//b/following::d",
+        "count(//book)",
+        "string(//book[1]/title)",
+        "boolean(//cite)",
+        "not(//nosuch)",
+        "1 + 2 * 3",
+        "concat('x', string(count(//title)))",
+        "//book[title = 'B']",
+    ];
+
+    fn lower(src: &str) -> (Expr, Arc<PlanIr>) {
+        let expr = parse_query(src).unwrap();
+        let report = classify(&expr);
+        let ir = PlanIr::lower(&expr, &report);
+        (expr, ir)
+    }
+
+    /// Every strategy produces the same value (or rejects with the same
+    /// error variant) through the IR funnel as through the AST funnel, on
+    /// both a plain and a prepared document.
+    #[test]
+    fn ir_agrees_with_ast_across_strategies_and_sources() {
+        for xml in [BOOKS, TREE] {
+            let doc = parse_xml(xml).unwrap();
+            let prepared = PreparedDocument::new(doc.clone());
+            let ctx = Context::root(&doc);
+            for q in QUERIES {
+                let (expr, ir) = lower(q);
+                for strategy in STRATEGIES {
+                    let ast = execute(strategy, &doc, &expr, ctx);
+                    let via_ir = execute_ir(strategy, &doc, &expr, &ir, ctx);
+                    match (&ast, &via_ir) {
+                        (Ok((a, _)), Ok((b, _))) => {
+                            assert_eq!(a, b, "{q} via {strategy:?} on Document")
+                        }
+                        (Err(ea), Err(eb)) => assert_eq!(
+                            std::mem::discriminant(ea),
+                            std::mem::discriminant(eb),
+                            "{q} via {strategy:?}: {ea:?} vs {eb:?}"
+                        ),
+                        other => panic!("{q} via {strategy:?}: {other:?}"),
+                    }
+                    let ast_p = execute(strategy, &prepared, &expr, ctx);
+                    let ir_p = execute_ir(strategy, &prepared, &expr, &ir, ctx);
+                    match (&ast_p, &ir_p) {
+                        (Ok((a, _)), Ok((b, _))) => {
+                            assert_eq!(a, b, "{q} via {strategy:?} on Prepared")
+                        }
+                        (Err(ea), Err(eb)) => assert_eq!(
+                            std::mem::discriminant(ea),
+                            std::mem::discriminant(eb),
+                            "{q} via {strategy:?} prepared: {ea:?} vs {eb:?}"
+                        ),
+                        other => panic!("{q} via {strategy:?} prepared: {other:?}"),
+                    }
+                    // IR evaluation is source-agnostic: plain and prepared
+                    // answers agree with each other too.
+                    if let (Ok((a, _)), Ok((b, _))) = (&via_ir, &ir_p) {
+                        assert_eq!(a, b, "{q} via {strategy:?}: Document vs Prepared");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memoized_mode_shares_tables_like_dp() {
+        let xml = "<r><a><b/></a><a><b/></a><a><b/></a></r>";
+        let doc = parse_xml(xml).unwrap();
+        let (_, ir) = lower("//b/ancestor::*[child::b]");
+        let mut ev = IrEvaluator::memoized(&doc, &ir);
+        ev.eval(ir.root(), Context::root(&doc)).unwrap();
+        let stats = ev.stats();
+        assert!(stats.cache_hits > 0, "expected cache hits, got {stats:?}");
+        assert!(stats.table_entries > 0);
+    }
+
+    #[test]
+    fn eager_mode_reports_list_growth_like_naive() {
+        let doc = parse_xml("<a><b/><b/><b/></a>").unwrap();
+        let (_, ir) = lower("//a/b/parent::a/b/parent::a/b");
+        let mut ev = IrEvaluator::eager(&doc, &ir);
+        ev.eval(ir.root(), Context::root(&doc)).unwrap();
+        let eager = ev.stats();
+        assert!(eager.max_intermediate_list >= 27, "{eager:?}");
+        let mut memo = IrEvaluator::memoized(&doc, &ir);
+        memo.eval(ir.root(), Context::root(&doc)).unwrap();
+        assert!(
+            memo.stats().step_context_evaluations < eager.step_context_evaluations,
+            "memoized {} vs eager {}",
+            memo.stats().step_context_evaluations,
+            eager.step_context_evaluations
+        );
+    }
+
+    #[test]
+    fn fused_plans_evaluate_identically() {
+        // `//a/b` fuses to descendant::a/descendant::b; all strategies must
+        // agree with the unfused AST on list- and set-semantics alike.
+        let doc = parse_xml(TREE).unwrap();
+        let ctx = Context::root(&doc);
+        let (expr, ir) = lower("//a//b");
+        assert_eq!(ir.fused_steps(), 2);
+        for strategy in STRATEGIES {
+            let (ast, _) = execute(strategy, &doc, &expr, ctx).unwrap();
+            let (via_ir, _) = execute_ir(strategy, &doc, &expr, &ir, ctx).unwrap();
+            assert_eq!(ast, via_ir, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn positional_picks_hit_the_prepared_index() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let prepared = PreparedDocument::new(doc.clone());
+        let (_, ir) = lower("/lib/book[2]/title");
+        let mut ev = IrEvaluator::memoized(&prepared, &ir);
+        let v = ev.eval(ir.root(), Context::root(&doc)).unwrap();
+        let nodes = v.expect_nodes();
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(doc.string_value(nodes[0]), "B");
+    }
+
+    #[test]
+    fn linear_rejections_survive_precomputation() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let ctx = Context::root(&doc);
+        let (expr, ir) = lower("//book[position() = 2]");
+        let err = execute_ir(EvalStrategy::CoreXPathLinear, &doc, &expr, &ir, ctx).unwrap_err();
+        assert!(matches!(err, EvalError::UnsupportedFragment { .. }));
+        // Identical message to the AST rejection.
+        let ast_err = execute(EvalStrategy::CoreXPathLinear, &doc, &expr, ctx).unwrap_err();
+        assert_eq!(err, ast_err);
+    }
+
+    #[test]
+    fn ss_rejections_survive_precomputation() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let ctx = Context::root(&doc);
+        let (expr, ir) = lower("count(//book)");
+        for strategy in [
+            EvalStrategy::SingletonSuccess,
+            EvalStrategy::Parallel { threads: 2 },
+        ] {
+            let err = execute_ir(strategy, &doc, &expr, &ir, ctx).unwrap_err();
+            let ast_err = execute(strategy, &doc, &expr, ctx).unwrap_err();
+            assert_eq!(err, ast_err, "{strategy:?}");
+        }
+    }
+}

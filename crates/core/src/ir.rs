@@ -1,0 +1,705 @@
+//! The flat plan IR every compiled query lowers into.
+//!
+//! [`crate::CompiledQuery`] used to hand the normalized AST to whichever
+//! evaluator the plan selected; every strategy then re-walked `Box`-linked
+//! expression nodes, re-recognized positional predicates, re-validated its
+//! fragment and re-hashed name-test strings per step.  [`PlanIr`] does all
+//! of that once, at compile time:
+//!
+//! * the expression tree is flattened into an arena of [`OpIr`] opcodes
+//!   addressed by dense [`OpId`]s (children before parents, the root last),
+//!   with location steps, predicate lists and function arguments stored in
+//!   side arenas — evaluation walks indices, not pointers;
+//! * every name test on an element-principal axis is resolved to a
+//!   **workspace-global** [`xpeval_dom::TagId`] ([`xpeval_dom::intern`]), so
+//!   the lowered test is valid against *every* document: an indexed source
+//!   translates the global id to its local tag table (absent → empty set), an
+//!   unindexed source falls back to the string the test still carries.  This
+//!   is what makes one lowered plan shareable across equal documents;
+//! * per-step metadata is precomputed: the leading positional pick of a
+//!   child step ([`xpeval_dom::PositionalPick`]), a static
+//!   [`StepSelectivity`] hint, and the `//`-expansion fusion
+//!   (`descendant-or-self::node()/child::t` → `descendant::t`, applied only
+//!   when neither step carries predicates, where it is list- and
+//!   set-semantics preserving);
+//! * per-opcode static analysis survives lowering: the [`Fragment`] that
+//!   admitted each subexpression, its static `ExprType`, and the
+//!   position-sensitivity bit the context-value tables key on;
+//! * the per-strategy admission checks are precomputed verdicts:
+//!   [`PlanIr::linear_check`] (Core XPath, Definition 2.5) and
+//!   [`PlanIr::ss_check`] (pWF/pXPath, Definition 6.1) are stored
+//!   `Result`s, so dispatch fails fast without re-classifying.
+//!
+//! The executors live in [`crate::exec`].
+
+use crate::error::EvalError;
+use std::sync::Arc;
+use xpeval_dom::{Axis, NodeTest, PositionalPick};
+use xpeval_syntax::{classify, ArithOp, Expr, Fragment, FragmentReport, LocationPath, RelOp, Step};
+
+/// Index of an [`OpIr`] in the plan's opcode arena.
+pub type OpId = u32;
+
+/// Static selectivity hint of a lowered step, read off the axis, the node
+/// test and the positional pick — no document required.  Executors use it to
+/// size frontier buffers; introspection surfaces it per step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepSelectivity {
+    /// At most one node per context: `self::`/`parent::` steps and child
+    /// steps answered by a positional pick.
+    Singleton,
+    /// Name-bounded: a tag-name test, answerable from a tag index.
+    Named,
+    /// Unbounded axis enumeration (`*`, `node()`, `text()`).
+    Scan,
+}
+
+/// One lowered location step `axis::test[preds...]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StepIr {
+    /// The axis (after `//`-fusion this can be an axis the surface syntax
+    /// never wrote, e.g. `descendant` for a fused `//t`).
+    pub axis: Axis,
+    /// The node test.  Name tests on element-principal axes are lowered to
+    /// [`NodeTest::Resolved`] with the **global** interned id; the name is
+    /// kept alongside so unindexed sources still match by string.
+    pub test: NodeTest,
+    /// Precomputed leading positional pick (`child::t[k]`, `[last()]` and
+    /// the `position() =` spellings — the [`crate::steps`] recognition, run
+    /// once here instead of per evaluation).  When the source answers the
+    /// pick from an index, the first predicate is skipped at runtime.
+    pub pick: Option<PositionalPick>,
+    /// `(start, len)` range of predicate [`OpId`]s in [`PlanIr::preds`].
+    preds: (u32, u32),
+    /// Static selectivity hint.
+    pub selectivity: StepSelectivity,
+    /// True when this step is the fusion of a pred-less
+    /// `descendant-or-self::node()` with the pred-less step that followed it.
+    pub fused: bool,
+}
+
+/// A lowered opcode: the operator [`OpKind`] plus the static analysis that
+/// survives lowering.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpIr {
+    /// The operator.
+    pub kind: OpKind,
+    /// Least fragment of Figure 1 that admits this subexpression — the
+    /// classification does not stop at the query root.
+    pub fragment: Fragment,
+    /// Static XPath 1.0 type.
+    pub ty: xpeval_syntax::ast::ExprType,
+    /// Does the value, for a fixed context node, depend on the context
+    /// position/size?  Decides the context-value-table key width
+    /// ([`crate::context::ContextKey`]).
+    pub sensitive: bool,
+}
+
+/// The flat operator set, mirroring [`Expr`] with arena indices in place of
+/// boxed children.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpKind {
+    /// Numeric literal.
+    Number(f64),
+    /// String literal.
+    Literal(String),
+    /// A location path; `steps` is a `(start, len)` range in
+    /// [`PlanIr::steps`].
+    Path { absolute: bool, steps: (u32, u32) },
+    /// `π1 | π2`.
+    Union(OpId, OpId),
+    /// `e1 or e2`.
+    Or(OpId, OpId),
+    /// `e1 and e2`.
+    And(OpId, OpId),
+    /// `not(e)`.
+    Not(OpId),
+    /// `e1 relop e2`.
+    Relational { op: RelOp, left: OpId, right: OpId },
+    /// `e1 arithop e2`.
+    Arithmetic {
+        op: ArithOp,
+        left: OpId,
+        right: OpId,
+    },
+    /// Unary minus.
+    Neg(OpId),
+    /// Core-library call; `args` is a `(start, len)` range in
+    /// `PlanIr::args`.
+    Call { name: String, args: (u32, u32) },
+}
+
+impl OpKind {
+    /// Syntactically node-set typed (a path or a union) — the routing test
+    /// of the Singleton-Success rows, mirroring the AST checker.
+    pub fn is_nodeset(&self) -> bool {
+        matches!(self, OpKind::Path { .. } | OpKind::Union(_, _))
+    }
+}
+
+/// A compiled query lowered to flat form: opcode arena, step arena,
+/// predicate and argument index lists, and the precomputed per-strategy
+/// admission verdicts.  Document-independent and immutable — the
+/// [`crate::CompiledQuery`] shares one behind an [`Arc`], and a catalog can
+/// share that `Arc` across every document with equal content.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanIr {
+    ops: Vec<OpIr>,
+    steps: Vec<StepIr>,
+    preds: Vec<OpId>,
+    args: Vec<OpId>,
+    root: OpId,
+    linear_check: Result<(), EvalError>,
+    ss_check: Result<(), EvalError>,
+    fused_steps: u32,
+}
+
+impl PlanIr {
+    /// Lowers a normalized expression.  `report` must be the classification
+    /// of exactly this expression (the caller already has it; re-deriving it
+    /// here would double the classifier work).
+    pub fn lower(expr: &Expr, report: &FragmentReport) -> Arc<PlanIr> {
+        let mut lowering = Lowering::default();
+        let root = lowering.lower_expr(expr);
+        let linear_check = if report.fragment > Fragment::CoreXPath {
+            // Verbatim the linear evaluator's rejection, decided once here.
+            Err(EvalError::fragment(
+                Fragment::CoreXPath,
+                format!("a {} construct", report.fragment),
+            ))
+        } else {
+            Ok(())
+        };
+        let ss_check = crate::success::validate_expr(expr);
+        Arc::new(PlanIr {
+            ops: lowering.ops,
+            steps: lowering.steps,
+            preds: lowering.preds,
+            args: lowering.args,
+            root,
+            linear_check,
+            ss_check,
+            fused_steps: lowering.fused_steps,
+        })
+    }
+
+    /// The root opcode id (always the last op in the arena).
+    pub fn root(&self) -> OpId {
+        self.root
+    }
+
+    /// The opcode behind an id.
+    #[inline]
+    pub fn op(&self, id: OpId) -> &OpIr {
+        &self.ops[id as usize]
+    }
+
+    /// All opcodes, children before parents.
+    pub fn ops(&self) -> &[OpIr] {
+        &self.ops
+    }
+
+    /// All lowered steps (of every path and nested predicate path).
+    pub fn steps(&self) -> &[StepIr] {
+        &self.steps
+    }
+
+    /// The steps of a `Path` opcode's `(start, len)` range.
+    #[inline]
+    pub fn path_steps(&self, range: (u32, u32)) -> &[StepIr] {
+        &self.steps[range.0 as usize..(range.0 + range.1) as usize]
+    }
+
+    /// The predicate opcode ids of a step.
+    #[inline]
+    pub fn step_preds(&self, step: &StepIr) -> &[OpId] {
+        &self.preds[step.preds.0 as usize..(step.preds.0 + step.preds.1) as usize]
+    }
+
+    /// The argument opcode ids of a `Call` opcode's range.
+    #[inline]
+    pub fn call_args(&self, range: (u32, u32)) -> &[OpId] {
+        &self.args[range.0 as usize..(range.0 + range.1) as usize]
+    }
+
+    /// Precomputed Core XPath admission (Definition 2.5): `Ok` when the
+    /// linear set-at-a-time machine may run this plan.
+    pub fn linear_check(&self) -> Result<(), EvalError> {
+        self.linear_check.clone()
+    }
+
+    /// Precomputed pWF/pXPath admission (Definition 6.1 plus bounded
+    /// negation): `Ok` when the Singleton-Success machines may run this
+    /// plan.
+    pub fn ss_check(&self) -> Result<(), EvalError> {
+        self.ss_check.clone()
+    }
+
+    /// Number of `//`-expansion step pairs fused at lowering.
+    pub fn fused_steps(&self) -> u32 {
+        self.fused_steps
+    }
+
+    /// The element tag names the result is bounded by: the final step's
+    /// name test, one per union arm, under exactly the soundness conditions
+    /// of [`crate::steps::final_step_tag_names`] — element-principal final
+    /// axis, name test.  `None` when the result is not name-bounded.
+    ///
+    /// Tests are returned as lowered, so callers get the pre-interned
+    /// global id next to the name.
+    pub fn final_step_tests(&self) -> Option<Vec<&NodeTest>> {
+        fn collect<'p>(ir: &'p PlanIr, id: OpId, out: &mut Vec<&'p NodeTest>) -> Option<()> {
+            match &ir.op(id).kind {
+                OpKind::Path { steps, .. } => {
+                    let last = ir.path_steps(*steps).last()?;
+                    if last.axis.principal_is_attribute() {
+                        return None;
+                    }
+                    match &last.test {
+                        NodeTest::Name(_) | NodeTest::Resolved { .. } => {
+                            out.push(&last.test);
+                            Some(())
+                        }
+                        _ => None,
+                    }
+                }
+                OpKind::Union(a, b) => {
+                    collect(ir, *a, out)?;
+                    collect(ir, *b, out)
+                }
+                _ => None,
+            }
+        }
+        let mut out = Vec::new();
+        collect(self, self.root, &mut out)?;
+        Some(out)
+    }
+
+    /// Renders one opcode back to XPath-ish surface syntax (used in
+    /// diagnostics; lowering is not otherwise reversible).
+    pub fn display_op(&self, id: OpId) -> String {
+        let mut out = String::new();
+        self.render(id, &mut out);
+        out
+    }
+
+    fn render(&self, id: OpId, out: &mut String) {
+        use std::fmt::Write;
+        match &self.op(id).kind {
+            OpKind::Number(n) => {
+                let _ = write!(out, "{n}");
+            }
+            OpKind::Literal(s) => {
+                let _ = write!(out, "'{s}'");
+            }
+            OpKind::Path { absolute, steps } => {
+                if *absolute {
+                    out.push('/');
+                }
+                let steps = self.path_steps(*steps);
+                for (i, step) in steps.iter().enumerate() {
+                    if i > 0 {
+                        out.push('/');
+                    }
+                    let _ = write!(out, "{}::{}", step.axis, step.test);
+                    for &pred in self.step_preds(step) {
+                        out.push('[');
+                        self.render(pred, out);
+                        out.push(']');
+                    }
+                }
+            }
+            OpKind::Union(a, b) => self.render_binary(*a, " | ", *b, out),
+            OpKind::Or(a, b) => self.render_binary(*a, " or ", *b, out),
+            OpKind::And(a, b) => self.render_binary(*a, " and ", *b, out),
+            OpKind::Not(e) => {
+                out.push_str("not(");
+                self.render(*e, out);
+                out.push(')');
+            }
+            OpKind::Relational { op, left, right } => {
+                let sep = format!(" {} ", op.symbol());
+                self.render_binary(*left, &sep, *right, out);
+            }
+            OpKind::Arithmetic { op, left, right } => {
+                let sep = format!(" {} ", op.symbol());
+                self.render_binary(*left, &sep, *right, out);
+            }
+            OpKind::Neg(e) => {
+                out.push('-');
+                self.render(*e, out);
+            }
+            OpKind::Call { name, args } => {
+                out.push_str(name);
+                out.push('(');
+                for (i, &arg) in self.call_args(*args).iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    self.render(arg, out);
+                }
+                out.push(')');
+            }
+        }
+    }
+
+    fn render_binary(&self, a: OpId, sep: &str, b: OpId, out: &mut String) {
+        out.push('(');
+        self.render(a, out);
+        out.push_str(sep);
+        self.render(b, out);
+        out.push(')');
+    }
+}
+
+#[derive(Default)]
+struct Lowering {
+    ops: Vec<OpIr>,
+    steps: Vec<StepIr>,
+    preds: Vec<OpId>,
+    args: Vec<OpId>,
+    fused_steps: u32,
+}
+
+impl Lowering {
+    fn push_op(&mut self, expr: &Expr, kind: OpKind) -> OpId {
+        let id = OpId::try_from(self.ops.len()).expect("plan IR op arena overflowed u32");
+        self.ops.push(OpIr {
+            kind,
+            fragment: classify(expr).fragment,
+            ty: expr.expr_type(),
+            sensitive: crate::dp::sensitivity(expr),
+        });
+        id
+    }
+
+    fn lower_expr(&mut self, expr: &Expr) -> OpId {
+        let kind = match expr {
+            Expr::Number(n) => OpKind::Number(*n),
+            Expr::Literal(s) => OpKind::Literal(s.clone()),
+            Expr::Path(path) => {
+                let steps = self.lower_path(path);
+                OpKind::Path {
+                    absolute: path.absolute,
+                    steps,
+                }
+            }
+            Expr::Union(a, b) => OpKind::Union(self.lower_expr(a), self.lower_expr(b)),
+            Expr::Or(a, b) => OpKind::Or(self.lower_expr(a), self.lower_expr(b)),
+            Expr::And(a, b) => OpKind::And(self.lower_expr(a), self.lower_expr(b)),
+            Expr::Not(e) => OpKind::Not(self.lower_expr(e)),
+            Expr::Relational { op, left, right } => OpKind::Relational {
+                op: *op,
+                left: self.lower_expr(left),
+                right: self.lower_expr(right),
+            },
+            Expr::Arithmetic { op, left, right } => OpKind::Arithmetic {
+                op: *op,
+                left: self.lower_expr(left),
+                right: self.lower_expr(right),
+            },
+            Expr::Neg(e) => OpKind::Neg(self.lower_expr(e)),
+            Expr::FunctionCall { name, args } => {
+                // Arguments are lowered before the range is claimed so that
+                // nested calls interleave without splitting this call's
+                // argument block.
+                let ids: Vec<OpId> = args.iter().map(|a| self.lower_expr(a)).collect();
+                let start = u32::try_from(self.args.len()).expect("arg arena overflowed u32");
+                let len = u32::try_from(ids.len()).expect("arg list overflowed u32");
+                self.args.extend(ids);
+                OpKind::Call {
+                    name: name.clone(),
+                    args: (start, len),
+                }
+            }
+        };
+        self.push_op(expr, kind)
+    }
+
+    fn lower_path(&mut self, path: &LocationPath) -> (u32, u32) {
+        // Build the step block locally first: predicate lowering recurses
+        // into nested paths, which push their own steps — appending the
+        // block in one go afterwards keeps this path's steps contiguous.
+        let mut built: Vec<StepIr> = Vec::with_capacity(path.steps.len());
+        let mut fused_steps = 0u32;
+        let mut i = 0;
+        while i < path.steps.len() {
+            let step = &path.steps[i];
+            if let Some(next) = path.steps.get(i + 1) {
+                if fusable(step, next) {
+                    // `//t` expands to `descendant-or-self::node()/child::t`;
+                    // with no predicates on either step this is exactly
+                    // `descendant::t` under both set and list semantics
+                    // (every descendant has a unique parent on the
+                    // descendant-or-self frontier).
+                    built.push(self.lower_step(next, Some(Axis::Descendant)));
+                    fused_steps += 1;
+                    i += 2;
+                    continue;
+                }
+            }
+            built.push(self.lower_step(step, None));
+            i += 1;
+        }
+        self.fused_steps += fused_steps;
+        let start = u32::try_from(self.steps.len()).expect("step arena overflowed u32");
+        let len = u32::try_from(built.len()).expect("step list overflowed u32");
+        self.steps.extend(built);
+        (start, len)
+    }
+
+    fn lower_step(&mut self, step: &Step, fused_axis: Option<Axis>) -> StepIr {
+        let axis = fused_axis.unwrap_or(step.axis);
+        // Resolve name tests to the global symbol table.  Element-principal
+        // axes only: the tag interner covers element names, and attribute
+        // tests keep matching by string.
+        let test = match &step.node_test {
+            NodeTest::Name(name) | NodeTest::Resolved { name, .. }
+                if !axis.principal_is_attribute() =>
+            {
+                NodeTest::Resolved {
+                    name: name.clone(),
+                    id: Some(xpeval_dom::intern::intern(name)),
+                }
+            }
+            other => other.clone(),
+        };
+        let pick = match (axis, step.predicates.first()) {
+            (Axis::Child, Some(first)) => crate::steps::positional_pick(first),
+            _ => None,
+        };
+        let pred_ids: Vec<OpId> = step.predicates.iter().map(|p| self.lower_expr(p)).collect();
+        let start = u32::try_from(self.preds.len()).expect("pred arena overflowed u32");
+        let len = u32::try_from(pred_ids.len()).expect("pred list overflowed u32");
+        self.preds.extend(pred_ids);
+        let selectivity = if pick.is_some() || matches!(axis, Axis::SelfAxis | Axis::Parent) {
+            StepSelectivity::Singleton
+        } else if matches!(test, NodeTest::Name(_) | NodeTest::Resolved { .. }) {
+            StepSelectivity::Named
+        } else {
+            StepSelectivity::Scan
+        };
+        StepIr {
+            axis,
+            test,
+            pick,
+            preds: (start, len),
+            selectivity,
+            fused: fused_axis.is_some(),
+        }
+    }
+}
+
+/// The `//`-fusion guard: a predicate-free `descendant-or-self::node()`
+/// immediately followed by a predicate-free child step.
+fn fusable(step: &Step, next: &Step) -> bool {
+    step.axis == Axis::DescendantOrSelf
+        && matches!(step.node_test, NodeTest::AnyNode)
+        && step.predicates.is_empty()
+        && next.axis == Axis::Child
+        && next.predicates.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xpeval_syntax::parse_query;
+
+    fn lower(src: &str) -> Arc<PlanIr> {
+        let expr = parse_query(src).unwrap();
+        let report = classify(&expr);
+        PlanIr::lower(&expr, &report)
+    }
+
+    #[test]
+    fn ops_are_flat_and_root_is_last() {
+        let ir = lower("//a[child::b]/title | count(//c) = 1");
+        assert_eq!(ir.root() as usize, ir.ops().len() - 1);
+        // Every child reference points strictly backwards.
+        for (i, op) in ir.ops().iter().enumerate() {
+            let check = |c: OpId| assert!((c as usize) < i, "op {i} references forward id {c}");
+            match &op.kind {
+                OpKind::Union(a, b)
+                | OpKind::Or(a, b)
+                | OpKind::And(a, b)
+                | OpKind::Relational {
+                    left: a, right: b, ..
+                }
+                | OpKind::Arithmetic {
+                    left: a, right: b, ..
+                } => {
+                    check(*a);
+                    check(*b);
+                }
+                OpKind::Not(e) | OpKind::Neg(e) => check(*e),
+                OpKind::Call { args, .. } => ir.call_args(*args).iter().copied().for_each(check),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn name_tests_are_interned_globally() {
+        let ir = lower("/lib/book[child::cite]/title");
+        let mut seen = Vec::new();
+        for step in ir.steps() {
+            match &step.test {
+                NodeTest::Resolved { name, id } => {
+                    let id = id.expect("lowered tests carry a global id");
+                    assert_eq!(xpeval_dom::intern::tag_name(id), name.as_str());
+                    seen.push(name.clone());
+                }
+                other => panic!("unlowered test {other:?}"),
+            }
+        }
+        seen.sort();
+        assert_eq!(seen, ["book", "cite", "lib", "title"]);
+        // The same name lowers to the same id in a different plan.
+        let again = lower("//title");
+        let (a, b) = match (&again.steps()[0].test, ir.steps().last().map(|s| &s.test)) {
+            (NodeTest::Resolved { id: a, .. }, Some(NodeTest::Resolved { id: b, .. })) => (*a, *b),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn attribute_steps_keep_string_tests() {
+        let ir = lower("//book[attribute::year = 2003]");
+        let attr = ir
+            .steps()
+            .iter()
+            .find(|s| s.axis == Axis::Attribute)
+            .unwrap();
+        assert_eq!(attr.test, NodeTest::Name("year".into()));
+    }
+
+    #[test]
+    fn descendant_expansion_is_fused() {
+        // /descendant-or-self::node()/child::a → descendant::a, same for b.
+        let ir = lower("//a//b");
+        assert_eq!(ir.fused_steps(), 2);
+        let path = match &ir.op(ir.root()).kind {
+            OpKind::Path { steps, .. } => ir.path_steps(*steps),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(path.len(), 2);
+        assert!(path.iter().all(|s| s.axis == Axis::Descendant && s.fused));
+        // A trailing plain child step stays a child step.
+        let ir = lower("//a/b");
+        assert_eq!(ir.fused_steps(), 1);
+        let path = match &ir.op(ir.root()).kind {
+            OpKind::Path { steps, .. } => ir.path_steps(*steps),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(path.len(), 2);
+        assert!(path[0].axis == Axis::Descendant && path[0].fused);
+        assert!(path[1].axis == Axis::Child && !path[1].fused);
+        // A predicate on the child step blocks the fusion.
+        let ir = lower("//a[child::b]");
+        assert_eq!(ir.fused_steps(), 0);
+        let path = match &ir.op(ir.root()).kind {
+            OpKind::Path { steps, .. } => ir.path_steps(*steps),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].axis, Axis::DescendantOrSelf);
+    }
+
+    #[test]
+    fn positional_picks_are_precomputed() {
+        use PositionalPick::*;
+        let cases = [
+            ("/r/a[2]", Some(Nth(2))),
+            ("/r/a[last()]", Some(Last)),
+            ("/r/a[position() = 3]", Some(Nth(3))),
+            ("/r/a[position() >= 2]", None),
+        ];
+        for (src, expected) in cases {
+            let ir = lower(src);
+            let last = ir.steps().last().unwrap();
+            assert_eq!(last.pick, expected, "{src}");
+        }
+        // `//a[1]`: the DoS step is not fused (predicate on child), and the
+        // child step's pick is recognized.
+        let ir = lower("//a[1]");
+        let child = ir.steps().iter().find(|s| s.axis == Axis::Child).unwrap();
+        assert_eq!(child.pick, Some(Nth(1)));
+    }
+
+    #[test]
+    fn fragments_and_sensitivity_survive_lowering() {
+        let ir = lower("//a[position() = last()]");
+        // The root path sits in PWF; the positional predicate's relational
+        // op is position-sensitive while the path itself is not.
+        assert_eq!(ir.op(ir.root()).fragment, Fragment::PWF);
+        assert!(!ir.op(ir.root()).sensitive);
+        let rel = ir
+            .ops()
+            .iter()
+            .find(|o| matches!(o.kind, OpKind::Relational { .. }))
+            .unwrap();
+        assert!(rel.sensitive);
+        // A pure Core XPath subexpression is tagged as such even inside a
+        // larger query.
+        let ir = lower("//a[child::b and position() = 1]");
+        let inner_path_frags: Vec<Fragment> = ir
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Path { .. }))
+            .map(|o| o.fragment)
+            .collect();
+        assert!(inner_path_frags.contains(&Fragment::PF));
+    }
+
+    #[test]
+    fn admission_verdicts_are_precomputed() {
+        assert!(lower("//a[not(child::b)]").linear_check().is_ok());
+        let err = lower("//a[position() = 1]").linear_check().unwrap_err();
+        assert!(matches!(err, EvalError::UnsupportedFragment { .. }));
+        assert!(lower("//a[position() = 1]").ss_check().is_ok());
+        let err = lower("count(//a)").ss_check().unwrap_err();
+        assert!(matches!(err, EvalError::UnsupportedFragment { .. }));
+    }
+
+    #[test]
+    fn selectivity_hints() {
+        let ir = lower("/r/a[1]/self::a/descendant::*");
+        let sel: Vec<StepSelectivity> = ir.steps().iter().map(|s| s.selectivity).collect();
+        assert_eq!(
+            sel,
+            [
+                StepSelectivity::Named,     // child::r
+                StepSelectivity::Singleton, // child::a[1] (pick)
+                StepSelectivity::Singleton, // self::a
+                StepSelectivity::Scan,      // descendant::*
+            ]
+        );
+    }
+
+    #[test]
+    fn final_step_tests_mirror_the_ast_bound() {
+        let ir = lower("//a/b | //c");
+        let tests = ir.final_step_tests().unwrap();
+        let names: Vec<&str> = tests
+            .iter()
+            .map(|t| match t {
+                NodeTest::Resolved { name, .. } => name.as_str(),
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(names, ["b", "c"]);
+        assert!(lower("//a/@x").final_step_tests().is_none());
+        assert!(lower("//a/text()").final_step_tests().is_none());
+        assert!(lower("count(//a)").final_step_tests().is_none());
+    }
+
+    #[test]
+    fn display_round_trips_recognizably() {
+        let ir = lower("//a[child::b and not(@x = 'v')]/c");
+        let shown = ir.display_op(ir.root());
+        for needle in ["descendant-or-self", "child::b", "not(", "'v'", "::c"] {
+            assert!(shown.contains(needle), "{shown} missing {needle}");
+        }
+    }
+}

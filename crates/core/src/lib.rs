@@ -51,7 +51,9 @@ pub mod corexpath;
 pub mod dp;
 pub mod engine;
 pub mod error;
+pub mod exec;
 pub mod functions;
+pub mod ir;
 pub mod naive;
 pub mod parallel;
 pub mod stats;
@@ -71,6 +73,7 @@ pub use corexpath::{CoreXPathEvaluator, NodeBitSet};
 pub use dp::{DpEvaluator, DpStats};
 pub use engine::{Engine, EngineBuilder, EvalStrategy};
 pub use error::EvalError;
+pub use ir::{OpId, OpIr, OpKind, PlanIr, StepIr, StepSelectivity};
 pub use naive::{NaiveEvaluator, NaiveStats};
 pub use parallel::ParallelEvaluator;
 pub use stats::EvalStats;

@@ -79,7 +79,7 @@ fn leading_positional_pick(step: &Step) -> Option<(PositionalPick, &[Expr])> {
 }
 
 /// The [`PositionalPick`] a predicate expression reduces to, if any.
-fn positional_pick(pred: &Expr) -> Option<PositionalPick> {
+pub(crate) fn positional_pick(pred: &Expr) -> Option<PositionalPick> {
     match pred {
         Expr::Number(k) => literal_pick(*k),
         Expr::FunctionCall { name, args } if name == "last" && args.is_empty() => {

@@ -417,6 +417,12 @@ impl NodeSetTyped for Expr {
     }
 }
 
+/// Crate-facing admission check used by plan lowering: the verdict is
+/// precomputed into [`crate::ir::PlanIr`] so dispatch never re-validates.
+pub(crate) fn validate_expr(query: &Expr) -> Result<(), EvalError> {
+    validate(query)
+}
+
 /// Validates that a query lies in the fragment covered by the checker
 /// (pWF / pXPath, optionally with negation per Theorems 5.9/6.3).
 fn validate(query: &Expr) -> Result<(), EvalError> {

@@ -47,6 +47,7 @@
 
 pub mod axes;
 pub mod build;
+pub mod intern;
 pub mod mutate;
 pub mod node;
 pub mod order;

@@ -23,7 +23,7 @@
 
 use crate::build::{assign_subtree_keys, subtree_key_slots};
 use crate::node::{Document, NodeData, NodeId, NodeKind, KEY_STRIDE};
-use crate::prepared::{PreparedDocument, TagEntry, TagId};
+use crate::prepared::{PreparedDocument, TagEntry};
 use std::fmt;
 use std::sync::Arc;
 
@@ -332,7 +332,10 @@ impl PreparedDocument {
                 if let Some(name) = doc.kind(e).element_name() {
                     let id = self.tag_ids[name];
                     let pre_e = doc.pre(e);
-                    let entry = &mut self.tags[id.index()];
+                    let slot = self
+                        .local_slot(id)
+                        .expect("indexed tag has a local table slot");
+                    let entry = &mut self.tags[slot];
                     let at = entry.elements.partition_point(|&x| doc.pre(x) < pre_e);
                     debug_assert_eq!(entry.elements.get(at).copied(), Some(e));
                     entry.elements.remove(at);
@@ -554,21 +557,32 @@ impl PreparedDocument {
             let doc: &Document = &self.doc;
             for &m in inserted {
                 if let Some(name) = doc.kind(m).element_name() {
-                    let id = match self.tag_ids.get(name) {
-                        Some(&id) => id,
+                    let slot = match self.tag_ids.get(name) {
+                        Some(&id) => self
+                            .local_slot(id)
+                            .expect("indexed tag has a local table slot"),
                         None => {
-                            let id = TagId(self.tags.len() as u32);
+                            // First occurrence in this document: the id is
+                            // global (and may predate this document), only
+                            // the local slot is new.
+                            let id = crate::intern::intern(name);
+                            let slot = self.tags.len();
                             self.tags.push(TagEntry {
                                 name: name.to_string(),
                                 elements: Vec::new(),
                                 by_parent: Vec::new(),
                             });
+                            if self.local_of_global.len() <= id.index() {
+                                self.local_of_global
+                                    .resize(id.index() + 1, crate::prepared::NO_LOCAL_TAG);
+                            }
+                            self.local_of_global[id.index()] = slot as u32;
                             self.tag_ids.insert(name.to_string(), id);
-                            id
+                            slot
                         }
                     };
                     let pre_m = doc.pre(m);
-                    let entry = &mut self.tags[id.index()];
+                    let entry = &mut self.tags[slot];
                     let at = entry.elements.partition_point(|&e| doc.pre(e) < pre_m);
                     entry.elements.insert(at, m);
                     let ppre = doc.parent(m).map_or(0, |p| doc.pre(p));
@@ -724,7 +738,8 @@ mod tests {
             );
             let fresh_bp = fresh
                 .tag_id(&entry.name)
-                .map(|id| fresh.tags[id.index()].by_parent.as_slice())
+                .and_then(|id| fresh.local_slot(id))
+                .map(|slot| fresh.tags[slot].by_parent.as_slice())
                 .unwrap_or(&[]);
             assert_eq!(
                 entry.by_parent.as_slice(),

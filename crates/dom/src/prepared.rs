@@ -51,34 +51,16 @@
 //! assert_eq!(prepared.descendants_named(r, "a").len(), 2);
 //! ```
 
-use crate::node::{Document, NodeId};
+use crate::node::{Document, NodeId, NodeKind};
 use std::collections::HashMap;
 use std::ops::Deref;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-/// An interned element tag name of one [`PreparedDocument`].
-///
-/// Tag ids are dense indexes into the document's tag table, assigned in
-/// first-occurrence (document) order during preparation.  Resolving a name
-/// to its id ([`PreparedDocument::tag_id`]) pays the string hash once;
-/// every id-keyed lookup afterwards ([`PreparedDocument::elements_by_tag`],
-/// [`PreparedDocument::children_by_tag`]) is a plain array index.  This is
-/// the hook document-specialized plan artifacts build on: resolve a query's
-/// name tests against a document once, evaluate many times.
-///
-/// Ids are only meaningful for the document that minted them (and for its
-/// exact generation, when the document lives in a catalog): the same tag
-/// can have different ids in different documents.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct TagId(pub(crate) u32);
+pub use crate::intern::TagId;
 
-impl TagId {
-    /// The dense index of this id in the document's tag table.
-    #[inline]
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
-}
+/// Sentinel in [`PreparedDocument::local_of_global`]: the global tag does
+/// not occur in this document.
+pub(crate) const NO_LOCAL_TAG: u32 = u32::MAX;
 
 /// Per-tag index data: the element list in document order and the same list
 /// re-sorted by parent preorder key (the `child::tag` buckets).
@@ -115,16 +97,25 @@ pub struct PreparedDocument {
     /// exit keys: `post(n) + 1` for every node (attributes carry
     /// `post == pre`).  Indexed by arena slot.
     pub(crate) subtree_end: Vec<u32>,
-    /// Element tag name → interned id; the id indexes `tags`.
+    /// Element tag name → workspace-global interned id
+    /// ([`crate::intern::intern`]), covering exactly the tags occurring in
+    /// this document.
     pub(crate) tag_ids: HashMap<String, TagId>,
-    /// Per-tag index data, indexed by [`TagId`]; ids are assigned in
-    /// first-occurrence document order.
+    /// Per-tag index data in first-occurrence document order (local dense
+    /// slots; translate global ids through `local_of_global`).
     pub(crate) tags: Vec<TagEntry>,
+    /// Global [`TagId`] index → local slot in `tags`, [`NO_LOCAL_TAG`] when
+    /// the tag does not occur here.  Global ids minted after preparation
+    /// fall off the end, which reads as absent — exactly right.
+    pub(crate) local_of_global: Vec<u32>,
     /// 1-based position of each node among its parent's children
     /// (0 for the root and for attribute nodes, which are not children).
     pub(crate) sibling_pos: Vec<u32>,
     /// Number of children of each node (attributes are not children).
     pub(crate) child_count: Vec<u32>,
+    /// Lazily computed structural fingerprint ([`Self::content_hash`]).
+    /// Cloning a prepared document carries the cached value along.
+    pub(crate) content_hash: OnceLock<u64>,
 }
 
 impl PreparedDocument {
@@ -167,29 +158,37 @@ impl PreparedDocument {
         }
 
         // Tag-name index, filled in document order so every list is sorted.
-        // Tags are interned as they are first seen, so TagIds follow
-        // document order too.  Probe by `&str` first: this loop runs once
-        // per element, and allocating an owned key for the (overwhelmingly
-        // common) already-interned case would put |D| throwaway Strings on
-        // the O(|D|) preparation path.
+        // Names are interned into the workspace-global symbol table
+        // ([`crate::intern::intern`]); the local dense `tags` slots keep
+        // first-occurrence document order, with `local_of_global`
+        // translating global ids to them.  Probe by `&str` first: this loop
+        // runs once per element, and allocating an owned key for the
+        // (overwhelmingly common) already-interned case would put |D|
+        // throwaway Strings on the O(|D|) preparation path.
         let mut tag_ids: HashMap<String, TagId> = HashMap::new();
         let mut tags: Vec<TagEntry> = Vec::new();
+        let mut local_of_global: Vec<u32> = Vec::new();
         for &n in &order {
             if let Some(name) = doc.kind(n).element_name() {
-                let id = match tag_ids.get(name) {
-                    Some(&id) => id,
+                let local = match tag_ids.get(name) {
+                    Some(&id) => local_of_global[id.index()] as usize,
                     None => {
-                        let id = TagId(tags.len() as u32);
+                        let id = crate::intern::intern(name);
+                        let local = tags.len();
                         tags.push(TagEntry {
                             name: name.to_string(),
                             elements: Vec::new(),
                             by_parent: Vec::new(),
                         });
+                        if local_of_global.len() <= id.index() {
+                            local_of_global.resize(id.index() + 1, NO_LOCAL_TAG);
+                        }
+                        local_of_global[id.index()] = local as u32;
                         tag_ids.insert(name.to_string(), id);
-                        id
+                        local
                     }
                 };
-                tags[id.index()].elements.push(n);
+                tags[local].elements.push(n);
             }
         }
 
@@ -221,9 +220,69 @@ impl PreparedDocument {
             subtree_end,
             tag_ids,
             tags,
+            local_of_global,
             sibling_pos,
             child_count,
+            content_hash: OnceLock::new(),
         }
+    }
+
+    /// A structural fingerprint of the document: node count, arena layout,
+    /// preorder numbering, tree shape, names, text and attribute values all
+    /// feed the hash.  Two prepared documents with equal fingerprints are
+    /// byte-for-byte interchangeable snapshots — in particular their
+    /// [`NodeId`]s and pre/post keys coincide, so node-set results computed
+    /// on one are valid on the other.  (Documents that merely *serialize*
+    /// identically but were assembled through different mutation histories
+    /// hash differently, because detached arena slots shift indices and gap
+    /// the preorder keys — exactly the cases where node ids would not
+    /// transfer.)
+    ///
+    /// Computed once on first use (O(|D|)) and cached.
+    pub fn content_hash(&self) -> u64 {
+        *self.content_hash.get_or_init(|| {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            self.order.len().hash(&mut h);
+            for &n in &self.order {
+                n.index().hash(&mut h);
+                self.doc.pre(n).hash(&mut h);
+                self.doc.depth(n).hash(&mut h);
+                match self.doc.kind(n) {
+                    NodeKind::Root => 0u8.hash(&mut h),
+                    NodeKind::Element { name } => {
+                        1u8.hash(&mut h);
+                        name.hash(&mut h);
+                    }
+                    NodeKind::Text { text } => {
+                        2u8.hash(&mut h);
+                        text.hash(&mut h);
+                    }
+                    NodeKind::Attribute { name, value } => {
+                        3u8.hash(&mut h);
+                        name.hash(&mut h);
+                        value.hash(&mut h);
+                    }
+                }
+            }
+            h.finish()
+        })
+    }
+
+    /// The local tag-table slot of a global id, `None` when the tag does
+    /// not occur in this document (including ids minted after this document
+    /// was prepared).
+    #[inline]
+    pub(crate) fn local_slot(&self, id: TagId) -> Option<usize> {
+        match self.local_of_global.get(id.index()) {
+            Some(&slot) if slot != NO_LOCAL_TAG => Some(slot as usize),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn local_entry(&self, id: TagId) -> Option<&TagEntry> {
+        self.local_slot(id).map(|slot| &self.tags[slot])
     }
 
     /// The underlying document.
@@ -275,27 +334,30 @@ impl PreparedDocument {
         self.tag_ids.get(name).copied()
     }
 
-    /// The tag name an id was interned from.
+    /// The tag name an id was interned from (resolved against the global
+    /// symbol table, so it answers for ids of *any* document).
     ///
     /// # Panics
-    /// Panics if `id` was minted by a different document.
+    /// Panics if `id` did not come from the global interner.
     #[inline]
     pub fn tag_name(&self, id: TagId) -> &str {
-        &self.tags[id.index()].name
+        crate::intern::tag_name(id)
     }
 
-    /// Number of distinct element tags (the size of the tag table; valid
-    /// [`TagId`] indexes are `0..distinct_tag_count()`).
+    /// Number of distinct element tags occurring in this document.
     #[inline]
     pub fn distinct_tag_count(&self) -> usize {
         self.tags.len()
     }
 
-    /// All elements with the interned tag `id`, in document order — a plain
-    /// array index, no hashing.
+    /// All elements with the interned tag `id`, in document order — two
+    /// plain array indexes, no hashing.  Empty for global ids whose tag
+    /// does not occur in this document.
     #[inline]
     pub fn elements_by_tag(&self, id: TagId) -> &[NodeId] {
-        &self.tags[id.index()].elements
+        self.local_entry(id)
+            .map(|e| e.elements.as_slice())
+            .unwrap_or(&[])
     }
 
     /// All elements with tag `name`, in document order.  O(1) lookup;
@@ -345,7 +407,10 @@ impl PreparedDocument {
     /// [`PreparedDocument::children_named`] with a pre-resolved [`TagId`]:
     /// two binary searches into the per-parent bucket, no string hashing.
     pub fn children_by_tag(&self, n: NodeId, id: TagId) -> &[NodeId] {
-        let list = self.tags[id.index()].by_parent.as_slice();
+        let Some(entry) = self.local_entry(id) else {
+            return &[];
+        };
+        let list = entry.by_parent.as_slice();
         let parent_pre = self.doc.pre(n);
         let lo = list.partition_point(|&m| self.parent_pre(m) < parent_pre);
         let hi = list.partition_point(|&m| self.parent_pre(m) <= parent_pre);
@@ -679,6 +744,27 @@ mod tests {
         // Deref exposes the full Document API.
         assert_eq!(p.len(), doc.len());
         assert!(Arc::ptr_eq(p.shared_document(), &doc));
+    }
+
+    #[test]
+    fn content_hash_matches_iff_snapshots_are_interchangeable() {
+        let xml = r#"<r><a k="1"><b/>text</a><b/></r>"#;
+        let p1 = parse_xml(xml).unwrap().prepare();
+        let p2 = parse_xml(xml).unwrap().prepare();
+        assert_eq!(p1.content_hash(), p2.content_hash());
+        // Repeated calls return the cached value; clones carry it along.
+        assert_eq!(p1.content_hash(), p1.clone().content_hash());
+
+        // Any difference in names, text, attributes or shape diverges.
+        for other in [
+            r#"<r><a k="1"><b/>text</a><c/></r>"#, // tag name
+            r#"<r><a k="2"><b/>text</a><b/></r>"#, // attribute value
+            r#"<r><a k="1"><b/>texx</a><b/></r>"#, // text content
+            r#"<r><a k="1"><b/>text<b/></a></r>"#, // shape
+        ] {
+            let q = parse_xml(other).unwrap().prepare();
+            assert_ne!(p1.content_hash(), q.content_hash(), "{other}");
+        }
     }
 
     #[test]

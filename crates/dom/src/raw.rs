@@ -16,7 +16,7 @@
 //! evaluator.
 
 use crate::node::{Document, NodeData, NodeId, NodeKeys, NodeKind};
-use crate::prepared::{PreparedDocument, TagEntry, TagId};
+use crate::prepared::{PreparedDocument, TagEntry};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -103,7 +103,7 @@ pub struct RawColumns {
     pub sibling_pos: Vec<u32>,
     /// Child counts, per arena slot.
     pub child_count: Vec<u32>,
-    /// Tag table: tag name as a string index, per [`TagId`].
+    /// Tag table: tag name as a string index, per [`crate::intern::TagId`].
     pub tag_name_idx: Vec<u32>,
     /// Prefix table into `tag_elems`/`tag_byparent`, length `t + 1`.
     pub tag_elem_start: Vec<u32>,
@@ -385,13 +385,23 @@ impl RawColumns {
             };
         }
 
+        // The columns persist tag *names*, not ids: decoding re-interns
+        // into the process-global symbol table, so a prepared snapshot
+        // decoded in another process (or after other documents interned
+        // more tags) still resolves to the canonical global ids.
         let mut tag_ids = HashMap::with_capacity(self.tag_name_idx.len());
         let mut tags = Vec::with_capacity(self.tag_name_idx.len());
+        let mut local_of_global: Vec<u32> = Vec::new();
         for (t, &name_ix) in self.tag_name_idx.iter().enumerate() {
             let name = self.strings[name_ix as usize].clone();
             let lo = self.tag_elem_start[t] as usize;
             let hi = self.tag_elem_start[t + 1] as usize;
-            tag_ids.insert(name.clone(), TagId(t as u32));
+            let id = crate::intern::intern(&name);
+            if local_of_global.len() <= id.index() {
+                local_of_global.resize(id.index() + 1, crate::prepared::NO_LOCAL_TAG);
+            }
+            local_of_global[id.index()] = t as u32;
+            tag_ids.insert(name.clone(), id);
             tags.push(TagEntry {
                 name,
                 elements: self.tag_elems[lo..hi].iter().map(|&v| NodeId(v)).collect(),
@@ -410,6 +420,8 @@ impl RawColumns {
             tags,
             sibling_pos: self.sibling_pos,
             child_count: self.child_count,
+            local_of_global,
+            content_hash: std::sync::OnceLock::new(),
         })
     }
 }

@@ -143,6 +143,17 @@ pub trait AxisSource: Sync {
         self.document().axis_step(n, axis, test)
     }
 
+    /// Whether at least one node is reachable from `n` via `axis` matching
+    /// `test` — the existence form of [`AxisSource::axis_step`], used by
+    /// predicate decisions that do not need the node list.  The default
+    /// walks the axis lazily; indexed sources answer from their tag lists
+    /// without allocating.
+    fn step_exists(&self, n: NodeId, axis: Axis, test: &NodeTest) -> bool {
+        let doc = self.document();
+        doc.axis_iter(n, axis)
+            .any(|m| doc.matches_on_axis(m, test, axis))
+    }
+
     /// All nodes in document order.  Borrowed from the index when prepared,
     /// computed (allocating) otherwise.
     fn document_order(&self) -> Cow<'_, [NodeId]> {
@@ -313,6 +324,50 @@ impl AxisSource for PreparedDocument {
         }
     }
 
+    fn step_exists(&self, n: NodeId, axis: Axis, test: &NodeTest) -> bool {
+        // Mirrors [`AxisSource::axis_step`]'s dispatch exactly (same arms,
+        // same `id == None` emptiness) but answers existence by slicing the
+        // tag lists — no candidate vector is ever built.  The fall-through
+        // cases walk the axis lazily instead of collecting it.
+        let doc = self.document();
+        let interned: Option<Option<TagId>> = match test {
+            NodeTest::Name(name) => Some(self.tag_id(name)),
+            NodeTest::Resolved { id, .. } => Some(*id),
+            _ => None,
+        };
+        if let Some(id) = interned {
+            match axis {
+                Axis::Descendant => {
+                    return id.is_some_and(|id| !self.descendants_by_tag(n, id).is_empty())
+                }
+                Axis::DescendantOrSelf => {
+                    return doc.matches_on_axis(n, test, axis)
+                        || id.is_some_and(|id| !self.descendants_by_tag(n, id).is_empty())
+                }
+                Axis::Child if self.child_count(n) > CHILD_BUCKET_MIN_CHILDREN => {
+                    return id.is_some_and(|id| !self.children_by_tag(n, id).is_empty())
+                }
+                Axis::Following if !doc.kind(n).is_attribute() => {
+                    return id.is_some_and(|id| !self.following_by_tag(n, id).is_empty())
+                }
+                Axis::Preceding if !doc.kind(n).is_attribute() => {
+                    // Prefix scan without materializing the list: any
+                    // earlier element of the tag whose subtree ends at or
+                    // before n is on the preceding axis.
+                    return id.is_some_and(|id| {
+                        let list = self.elements_by_tag(id);
+                        let pre = doc.pre(n);
+                        let hi = list.partition_point(|&m| doc.pre(m) < pre);
+                        list[..hi].iter().any(|&m| self.pre_interval(m).1 <= pre)
+                    });
+                }
+                _ => {}
+            }
+        }
+        doc.axis_iter(n, axis)
+            .any(|m| doc.matches_on_axis(m, test, axis))
+    }
+
     #[inline]
     fn document_order(&self) -> Cow<'_, [NodeId]> {
         Cow::Borrowed(self.order())
@@ -460,6 +515,17 @@ impl<S: AxisSource> AxisSource for CapabilityMask<S> {
         }
     }
 
+    fn step_exists(&self, n: NodeId, axis: Axis, test: &NodeTest) -> bool {
+        let caps = self.capabilities();
+        if caps.tag_index && caps.intervals && caps.order_table {
+            self.inner.step_exists(n, axis, test)
+        } else {
+            let doc = self.document();
+            doc.axis_iter(n, axis)
+                .any(|m| doc.matches_on_axis(m, test, axis))
+        }
+    }
+
     fn document_order(&self) -> Cow<'_, [NodeId]> {
         if self.capabilities().order_table {
             self.inner.document_order()
@@ -544,6 +610,57 @@ mod tests {
                         AxisSource::axis_step(&prepared, n, axis, test),
                         AxisSource::axis_step(&doc, n, axis, test),
                         "{n:?} {axis} {test}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_exists_agrees_with_axis_step_emptiness() {
+        let doc = parse_xml(XML).unwrap();
+        let prepared = PreparedDocument::new(doc.clone());
+        let masked = CapabilityMask::new(prepared.clone(), SourceCapabilities::NONE);
+        let tests = [
+            NodeTest::name("a"),
+            NodeTest::name("b"),
+            NodeTest::name("k"),
+            NodeTest::name("nosuch"),
+            NodeTest::Resolved {
+                name: "b".into(),
+                id: prepared.tag_id("b"),
+            },
+            NodeTest::Resolved {
+                name: "b".into(),
+                id: None,
+            },
+            NodeTest::Star,
+            NodeTest::AnyNode,
+            NodeTest::Text,
+        ];
+        for n in doc.all_nodes() {
+            for axis in Axis::CORE.into_iter().chain([Axis::Attribute]) {
+                for test in &tests {
+                    // Each source is held to its own axis_step: the
+                    // existence form must agree with the list form
+                    // source-by-source (a `Resolved { id: None }` test is
+                    // empty through an index but matches by string through
+                    // a walk, so sources legitimately differ among
+                    // themselves).
+                    assert_eq!(
+                        AxisSource::step_exists(&doc, n, axis, test),
+                        !AxisSource::axis_step(&doc, n, axis, test).is_empty(),
+                        "doc: {n:?} {axis} {test}"
+                    );
+                    assert_eq!(
+                        AxisSource::step_exists(&prepared, n, axis, test),
+                        !AxisSource::axis_step(&prepared, n, axis, test).is_empty(),
+                        "prepared: {n:?} {axis} {test}"
+                    );
+                    assert_eq!(
+                        AxisSource::step_exists(&masked, n, axis, test),
+                        !AxisSource::axis_step(&masked, n, axis, test).is_empty(),
+                        "masked: {n:?} {axis} {test}"
                     );
                 }
             }

@@ -205,6 +205,44 @@
 //! println!("{}", catalog.stats()); // one-line CatalogStats summary
 //! ```
 //!
+//! ### Flat plan IR and content-hash sharing
+//!
+//! Behind every compiled query sits a flat, arena-allocated instruction
+//! IR ([`PlanIr`](engine::PlanIr)): operators in one contiguous
+//! [`OpIr`](engine::OpIr) arena (each tagged with the Figure 1 fragment
+//! that admitted it, so the complexity classification survives lowering)
+//! and location-path steps in a [`StepIr`](engine::StepIr) table carrying
+//! per-step metadata — axis, name test pre-resolved to the
+//! **workspace-global** interned [`TagId`](dom::TagId), precomputed
+//! positional pick, selectivity hint, `//`-fusion flag.  All five
+//! evaluation strategies execute this IR instead of re-walking the AST,
+//! which turns an artifact-cache hit into a dispatch.
+//!
+//! Because tag ids are global (one lock-sharded symbol table for the whole
+//! process, [`dom::intern`]), specialized plans compare across documents —
+//! so artifacts are keyed by **document content hash**
+//! ([`ArtifactScope`](catalog::ArtifactScope)): two identical documents
+//! inserted under different names share one artifact, and its cached
+//! evaluation carries over.  Mutation divergence ends the sharing for
+//! exactly the diverging document.
+//!
+//! ```
+//! use xpeval::prelude::*;
+//!
+//! let query = CompiledQuery::compile("//book/title").unwrap();
+//! let ir: &PlanIr = query.ir();     // the lowered program
+//! assert_eq!(ir.fused_steps(), 1);  // pred-less `//book` → descendant::book
+//!
+//! let catalog = Catalog::new();
+//! let xml = "<lib><book><title/></book></lib>";
+//! catalog.insert_xml("a", xml).unwrap();
+//! catalog.insert_xml("b", xml).unwrap();  // same content, same hash
+//! catalog.evaluate_on("a", "//book/title").unwrap();
+//! catalog.evaluate_on("b", "//book/title").unwrap(); // shares a's artifact
+//! let s = catalog.stats();
+//! assert_eq!((s.artifact_misses, s.artifact_cross_doc_hits), (1, 1));
+//! ```
+//!
 //! The serving pool accepts names too —
 //! [`AsyncEngine::submit_named`](serve::AsyncEngine::submit_named) targets
 //! a catalog document by name (resolved when the job runs, so it always
@@ -344,13 +382,13 @@ pub mod prelude {
         BackendKind, JsonProvider, LazyDocument, PreparedSnapshot, SnapshotError,
     };
     pub use xpeval_catalog::{
-        Catalog, CatalogBuilder, CatalogError, CatalogStats, DocId, DocInfo, FanOut,
+        ArtifactScope, Catalog, CatalogBuilder, CatalogError, CatalogStats, DocId, DocInfo, FanOut,
         MutationOutcome, PlanArtifact,
     };
     pub use xpeval_core::{
         CacheStats, CompileOptions, CompiledQuery, Context, Engine, EngineBuilder, EvalError,
-        EvalStats, EvalStrategy, NodeStream, QueryOutput, ShardStats, SingletonSuccess, StreamMode,
-        Value,
+        EvalStats, EvalStrategy, NodeStream, OpIr, OpKind, PlanIr, QueryOutput, ShardStats,
+        SingletonSuccess, StepIr, StreamMode, Value,
     };
     pub use xpeval_dom::{
         parse_xml, Axis, AxisSource, Document, DocumentBuilder, EditOutcome, MutationError, NodeId,

@@ -281,6 +281,45 @@ fn named_submissions_resolve_through_the_catalog_at_run_time() {
 }
 
 #[test]
+fn templated_tenants_share_one_artifact_across_the_pool() {
+    // The content-hash keyed artifact cache makes templated-tenant
+    // fan-out cheap: identical per-tenant documents share one
+    // (query × content) artifact, so only the first evaluation builds.
+    let catalog = Catalog::new();
+    let template = "<tenant><user role='admin'/><user role='guest'/></tenant>";
+    for i in 0..8 {
+        catalog
+            .insert_xml(&format!("tenant-{i}"), template)
+            .unwrap();
+    }
+    // Warm the artifact once, synchronously, so the pooled fan-out below
+    // is deterministic (no two workers racing to build the first one).
+    catalog.evaluate_on("tenant-0", "//user").unwrap();
+
+    let pool = AsyncEngine::builder()
+        .engine(catalog.engine().clone())
+        .workers(4)
+        .build();
+    let futures: Vec<_> = (1..8)
+        .map(|i| {
+            pool.submit_named(&catalog, &format!("tenant-{i}"), "//user")
+                .unwrap()
+        })
+        .collect();
+    for f in futures {
+        let out = f.wait().unwrap().expect("tenant evaluates");
+        assert_eq!(out.value.expect_nodes().len(), 2);
+    }
+    pool.shutdown();
+
+    let s = catalog.stats();
+    assert_eq!(s.artifact_misses, 1, "{s}");
+    assert_eq!(s.artifact_hits, 7, "{s}");
+    assert_eq!(s.artifact_cross_doc_hits, 7, "{s}");
+    assert_eq!(s.artifact_len, 1, "{s}");
+}
+
+#[test]
 fn mutation_submissions_edit_through_the_pool() {
     let catalog = Catalog::new();
     catalog.insert_xml("d", "<r><a/></r>").unwrap();

@@ -26,6 +26,79 @@ fn dp_nodes<S: AxisSource + ?Sized>(src: &S, query: &Expr) -> Vec<NodeId> {
         .unwrap()
 }
 
+const ALL_STRATEGIES: [EvalStrategy; 5] = [
+    EvalStrategy::ContextValueTable,
+    EvalStrategy::Naive,
+    EvalStrategy::CoreXPathLinear,
+    EvalStrategy::Parallel { threads: 2 },
+    EvalStrategy::SingletonSuccess,
+];
+
+/// The pre-IR evaluation path: the public AST-walking evaluator behind each
+/// strategy, invoked directly on the expression tree.
+fn ast_walk(doc: &Document, query: &Expr, strategy: EvalStrategy) -> Result<Value, EvalError> {
+    match strategy {
+        EvalStrategy::ContextValueTable => DpEvaluator::new(doc, query).evaluate(),
+        EvalStrategy::Naive => NaiveEvaluator::new(doc).evaluate(query),
+        EvalStrategy::CoreXPathLinear => CoreXPathEvaluator::new(doc)
+            .evaluate_query(query)
+            .map(Value::NodeSet),
+        EvalStrategy::Parallel { threads } => ParallelEvaluator::new(doc, threads).evaluate(query),
+        EvalStrategy::SingletonSuccess => SingletonSuccess::new(doc, query)
+            .and_then(|ss| ss.node_set(Context::root(doc)).map(Value::NodeSet)),
+    }
+}
+
+/// Lowering must be semantics-preserving *per strategy*: for every query and
+/// every strategy, the [`CompiledQuery`] path (lower to [`PlanIr`], execute
+/// the flat program) and the AST walk either produce the same value or
+/// reject the query in the same way (a strategy that refuses a fragment on
+/// the AST must refuse its lowering too).
+fn assert_ir_matches_ast_walk(doc: &Document, prepared: &PreparedDocument, query: &Expr) {
+    for strategy in ALL_STRATEGIES {
+        let compiled = CompiledQuery::from_expr(query.clone()).with_strategy(strategy);
+        let via_ir = compiled.run(doc).map(|out| out.value);
+        let via_prepared = compiled.run_prepared(prepared).map(|out| out.value);
+        let ast = ast_walk(doc, query, strategy);
+        match (via_ir, via_prepared, ast) {
+            (Ok(ir), Ok(pir), Ok(ast)) => {
+                assert_eq!(ir, ast, "{} via {strategy:?}", compiled.source());
+                assert_eq!(pir, ast, "{} prepared via {strategy:?}", compiled.source());
+            }
+            (Err(_), Err(_), Err(_)) => {}
+            (ir, pir, ast) => panic!(
+                "lowering/AST divergence on {} via {strategy:?}: ir={ir:?} prepared={pir:?} ast={ast:?}",
+                compiled.source()
+            ),
+        }
+    }
+}
+
+/// Lowering→eval ≡ AST walk across all five strategies × both query
+/// corpora, on the auction workload and a random tree (direct and prepared
+/// sources both dispatch through the IR).
+#[test]
+fn lowered_ir_matches_ast_walk_on_both_corpora() {
+    let docs = [
+        auction_site_document(&mut StdRng::seed_from_u64(7), 20),
+        random_tree_document(
+            &mut StdRng::seed_from_u64(8),
+            200,
+            &["site", "item", "bid", "name", "a", "b"],
+        ),
+    ];
+    let corpus: Vec<_> = core_xpath_query_corpus()
+        .into_iter()
+        .chain(pwf_query_corpus())
+        .collect();
+    for doc in &docs {
+        let prepared = PreparedDocument::new(doc.clone());
+        for (_, query) in &corpus {
+            assert_ir_matches_ast_walk(doc, &prepared, query);
+        }
+    }
+}
+
 #[test]
 fn corpus_agreement_on_core_xpath_queries() {
     let docs = vec![
@@ -215,6 +288,77 @@ proptest! {
                 .into_nodes()
                 .unwrap();
             prop_assert_eq!(&par, &reference, "parallel prepared on {}", src);
+        }
+    }
+
+    /// Random Core XPath and pWF queries through every strategy: the
+    /// lowered-IR path and the AST walk agree (or reject identically) on
+    /// direct and prepared sources alike.
+    #[test]
+    fn lowered_ir_matches_ast_walk_on_random_queries(
+        seed in 0u64..5000, depth in 0usize..4, nodes in 5usize..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tags = ["a", "b", "c"];
+        let doc = random_tree_document(&mut rng, nodes, &tags);
+        let prepared = PreparedDocument::new(doc.clone());
+        let queries = [
+            random_core_query(&mut rng, depth, &tags),
+            xpeval::workloads::random_pwf_query(&mut rng, &tags),
+        ];
+        for query in &queries {
+            assert_ir_matches_ast_walk(&doc, &prepared, query);
+        }
+    }
+
+    /// The workspace-global intern table hands out *stable* [`TagId`]s: the
+    /// same name interned from racing threads resolves to one id, and two
+    /// documents built over the same tag pool agree on the id of every tag
+    /// they share — the property that lets specialized plans and artifacts
+    /// transfer between documents.
+    #[test]
+    fn tag_ids_are_stable_across_threads_and_documents(
+        seed in 0u64..5000, nodes in 5usize..80,
+    ) {
+        use xpeval::dom::intern;
+
+        // Names fresh to this seed: the winning thread interns, the rest
+        // must observe the identical id (and the reverse mapping).
+        let names: Vec<String> = (0..8).map(|i| format!("p{seed}-t{i}")).collect();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let mut order = names.clone();
+                order.rotate_left(t * 2);
+                std::thread::spawn(move || {
+                    order
+                        .into_iter()
+                        .map(|n| { let id = intern::intern(&n); (n, id) })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut agreed = std::collections::HashMap::new();
+        for handle in handles {
+            for (name, id) in handle.join().unwrap() {
+                let first = *agreed.entry(name.clone()).or_insert(id);
+                prop_assert_eq!(first, id, "thread disagreement on {}", name);
+                prop_assert_eq!(intern::tag_name(id), name.as_str());
+                prop_assert_eq!(intern::lookup(&name), Some(id));
+            }
+        }
+
+        // Two independent documents over one tag pool: every shared tag
+        // resolves to the same workspace-global id in both.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tags = ["a", "b", "c"];
+        let one = PreparedDocument::new(random_tree_document(&mut rng, nodes, &tags));
+        let two = PreparedDocument::new(random_tree_document(&mut rng, nodes, &tags));
+        for tag in tags {
+            if let (Some(in_one), Some(in_two)) = (one.tag_id(tag), two.tag_id(tag)) {
+                prop_assert_eq!(in_one, in_two, "documents disagree on {}", tag);
+                prop_assert_eq!(intern::lookup(tag), Some(in_one));
+                prop_assert_eq!(one.tag_name(in_one), two.tag_name(in_two));
+            }
         }
     }
 }
