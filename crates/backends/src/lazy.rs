@@ -565,14 +565,23 @@ pub fn required_tags(expr: &Expr) -> Option<HashSet<String>> {
 fn collect_expr(expr: &Expr, ctx_named: bool, out: &mut HashSet<String>) -> bool {
     match expr {
         Expr::Path(path) => collect_path(path, ctx_named, out),
-        Expr::Union(a, b) | Expr::Or(a, b) | Expr::And(a, b) => {
-            collect_expr(a, ctx_named, out) && collect_expr(b, ctx_named, out)
-        }
-        Expr::Relational { left, right, .. } | Expr::Arithmetic { left, right, .. } => {
+        // Set operators need both operand node sets to compute exactly
+        // (`except` discards right-side nodes but must *see* them), so both
+        // sides contribute required tags like a union's do.
+        Expr::Union(a, b)
+        | Expr::Intersect(a, b)
+        | Expr::Except(a, b)
+        | Expr::Or(a, b)
+        | Expr::And(a, b) => collect_expr(a, ctx_named, out) && collect_expr(b, ctx_named, out),
+        Expr::Relational { left, right, .. }
+        | Expr::Arithmetic { left, right, .. }
+        | Expr::NodeCompare { left, right, .. } => {
             collect_expr(left, ctx_named, out) && collect_expr(right, ctx_named, out)
         }
         Expr::Not(e) | Expr::Neg(e) => collect_expr(e, ctx_named, out),
-        Expr::Number(_) | Expr::Literal(_) => true,
+        // An external variable's value is supplied by the caller at
+        // evaluation time; it reads no document nodes.
+        Expr::Number(_) | Expr::Literal(_) | Expr::Variable(_) => true,
         Expr::FunctionCall { name, args } => {
             let known = matches!(
                 name.as_str(),
@@ -652,6 +661,26 @@ fn collect_path(path: &LocationPath, ctx_named: bool, out: &mut HashSet<String>)
                 pinned = true;
             }
             NodeTest::Star | NodeTest::AnyNode | NodeTest::Text => {
+                // A wildcard along a *downward* axis under a pinned context
+                // stays inside subtrees that are resident in full: every
+                // candidate — and its own complete subtree, and all of its
+                // axis siblings — is materialized, so the step is exact
+                // even as a final step or with predicates, and its results
+                // are themselves pinned.  (`//a/*`, `//a//node()[2]`.)
+                // Upward and lateral axes can leave the resident subtree,
+                // so they fall through to the conservative rules below.
+                let downward = matches!(
+                    step.axis,
+                    Axis::SelfAxis | Axis::Child | Axis::Descendant | Axis::DescendantOrSelf
+                );
+                if pinned && downward {
+                    for pred in &step.predicates {
+                        if !collect_expr(pred, true, out) {
+                            return false;
+                        }
+                    }
+                    continue;
+                }
                 if !step.predicates.is_empty() {
                     // Positions / conditions over wildcard candidates can
                     // see nodes no tag pins down.
@@ -762,14 +791,41 @@ mod tests {
 
     #[test]
     fn wildcards_pass_through_but_never_terminate() {
+        // Unpinned wildcards pass through mid-path and bail as final steps.
         assert_eq!(req("/a/*/b"), Some(vec!["a".into(), "b".into()]));
         assert_eq!(req("//a"), Some(vec!["a".into()]));
         assert_eq!(req("//*"), None);
-        assert_eq!(req("/a/b/*"), None);
-        assert_eq!(req("//a/text()"), None);
         assert_eq!(req("/"), None);
-        // Predicates on wildcard steps bail.
-        assert_eq!(req("/a/*[2]/b"), None);
+    }
+
+    #[test]
+    fn downward_wildcards_under_a_pinned_context_are_exact() {
+        // A named step pins its results — their subtrees are resident in
+        // full — so a downward wildcard cannot leave the wave: it is exact
+        // even as a final step, with predicates, or as `text()`.
+        assert_eq!(req("/a/b/*"), Some(vec!["a".into(), "b".into()]));
+        assert_eq!(req("//a/*"), Some(vec!["a".into()]));
+        assert_eq!(req("//item/*[2]"), Some(vec!["item".into()]));
+        assert_eq!(req("/a/*[2]/b"), Some(vec!["a".into(), "b".into()]));
+        assert_eq!(req("//a/text()"), Some(vec!["a".into()]));
+        assert_eq!(req("//a//node()"), Some(vec!["a".into()]));
+        // Upward and lateral axes can escape the resident subtree, so a
+        // wildcard along them still bails even when the context is pinned.
+        assert_eq!(req("//a/*/parent::*"), None);
+        assert_eq!(req("//a/following-sibling::*"), None);
+        assert_eq!(req("//a/b/.."), None);
+    }
+
+    #[test]
+    fn wildcard_under_named_ancestor_materializes_a_strict_subset() {
+        let xml = "<r><g1><a>111111111111111111111111111111</a></g1>\
+                   <g2><b>222222222222222222222222222222</b></g2>\
+                   <g3><c>333333333333333333333333333333</c></g3></r>";
+        let lazy = LazyDocument::with_threshold(xml, 60).unwrap();
+        let expr = parse_query("//g2/*").unwrap();
+        let doc = lazy.materialize_for(&expr).unwrap();
+        assert_eq!(doc.elements_named("b").len(), 1);
+        assert!(lazy.resident_nodes() < lazy.total_nodes());
     }
 
     #[test]

@@ -29,7 +29,7 @@ use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xpeval_catalog::Catalog;
-use xpeval_core::{CompiledQuery, CoreXPathEvaluator, EvalStrategy, Value};
+use xpeval_core::{Bindings, CompiledQuery, CoreXPathEvaluator, Engine, EvalStrategy, Value};
 use xpeval_dom::PreparedDocument;
 use xpeval_workloads::auction_site_document;
 
@@ -43,6 +43,15 @@ const QUERIES: [&str; 4] = [
 ];
 
 const TENANTS: usize = 8;
+
+/// Overlapping union arms: `//name` already contains every `//item/name`,
+/// so the merge must dedup — from the prepared order keys, not a sort.
+const UNION_QUERY: &str = "//name | //item/name | //person/name";
+
+/// One compilation, many parameterizations: the binding is resolved at IR
+/// execution time, so the plan-cache key stays the query string alone.
+const BOUND_QUERY: &str = "count(//bid[@increase = $inc])";
+const BINDING_SETS: usize = 64;
 
 fn value_weight(v: &Value) -> usize {
     match v {
@@ -91,6 +100,23 @@ fn tenant_round(catalog: &Catalog) -> usize {
         .sum()
 }
 
+fn union_dedup_round(q: &CompiledQuery, prepared: &PreparedDocument) -> usize {
+    value_weight(&q.run_prepared(prepared).unwrap().value)
+}
+
+fn bound_reuse_round(engine: &Engine, prepared: &PreparedDocument, bindings: &[Bindings]) -> usize {
+    bindings
+        .iter()
+        .map(|b| {
+            value_weight(
+                &engine
+                    .evaluate_str_prepared_bound(prepared, BOUND_QUERY, b)
+                    .unwrap(),
+            )
+        })
+        .sum()
+}
+
 fn bench_plan_ir(c: &mut Criterion) {
     let doc = auction_site_document(&mut StdRng::seed_from_u64(42), 4);
     let prepared = Arc::new(PreparedDocument::new(doc.clone()));
@@ -126,6 +152,39 @@ fn bench_plan_ir(c: &mut Criterion) {
     }
     tenant_round(&tenants);
 
+    // Union with overlapping arms: the result must be deduped in document
+    // order without a sort pass.
+    let union_q = CompiledQuery::compile(UNION_QUERY).unwrap();
+    let union_out = union_q.run_prepared(&prepared).unwrap();
+    let union_nodes = union_out.value.expect_nodes();
+    let arm_sum: usize = ["//name", "//item/name", "//person/name"]
+        .iter()
+        .map(|q| {
+            let out = CompiledQuery::compile(q)
+                .unwrap()
+                .run_prepared(&prepared)
+                .unwrap();
+            out.value.expect_nodes().len()
+        })
+        .sum();
+    assert!(
+        union_nodes.len() < arm_sum,
+        "the arms must overlap ({} vs {arm_sum}) or dedup is not measured",
+        union_nodes.len()
+    );
+    assert!(
+        union_nodes.windows(2).all(|w| w[0] < w[1]),
+        "union results must be deduped in document order"
+    );
+
+    // One compiled plan under many distinct binding sets: compile once,
+    // parameterize per evaluation.
+    let bound_engine = Engine::builder().build();
+    let bindings: Vec<Bindings> = (0..BINDING_SETS)
+        .map(|i| Bindings::new().with_number("inc", (3 * (i % 16 + 1)) as f64))
+        .collect();
+    bound_reuse_round(&bound_engine, &prepared, &bindings); // prime: the one miss
+
     let mut group = c.benchmark_group("plan_ir");
     group.sample_size(20);
     group.measurement_time(Duration::from_secs(2));
@@ -140,7 +199,26 @@ fn bench_plan_ir(c: &mut Criterion) {
         b.iter(|| catalog_round(&warm, "auction"))
     });
     group.bench_function("tenant_shared_hit", |b| b.iter(|| tenant_round(&tenants)));
+    group.bench_function("union_dedup", |b| {
+        b.iter(|| union_dedup_round(&union_q, &prepared))
+    });
+    group.bench_function("bound_variable_reuse", |b| {
+        b.iter(|| bound_reuse_round(&bound_engine, &prepared, &bindings))
+    });
     group.finish();
+
+    // The acceptance bar for bindings: every evaluation after the priming
+    // compile was a plan-cache hit — the cache key is binding-independent.
+    let stats = bound_engine.cache_stats();
+    assert_eq!(
+        stats.misses, 1,
+        "one compile serves all binding sets: {stats}"
+    );
+    assert_eq!(stats.len, 1, "{stats}");
+    assert!(
+        stats.hits >= (BINDING_SETS - 1) as u64,
+        "binding sets after the first must hit: {stats}"
+    );
 
     // The tenants really shared: one build served all eight names.
     let stats = tenants.stats();

@@ -60,7 +60,9 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 use xpeval_backends::BackendKind;
 use xpeval_core::steps::final_step_tag_names;
-use xpeval_core::{CompiledQuery, EvalError, EvalStats, EvalStrategy, QueryOutput, Value};
+use xpeval_core::{
+    Bindings, CompiledQuery, EvalError, EvalStats, EvalStrategy, QueryOutput, Value,
+};
 use xpeval_dom::{PreparedDocument, TagId};
 
 /// The cache-key namespace a [`PlanArtifact`] lives in (see the
@@ -388,6 +390,21 @@ impl PlanArtifact {
         self.verified.store(true, Ordering::Relaxed);
         let _ = self.root_result.set(out.clone());
         Ok(out)
+    }
+
+    /// [`PlanArtifact::run`] with external variable bindings for the
+    /// query's `$name` references.
+    ///
+    /// A variable-free plan ignores the bindings and keeps every `run`
+    /// shortcut (cached result, verified empty answer).  A plan with
+    /// variables always dispatches: its result is parameterized by the
+    /// binding values, and the artifact's cached result — like its cache
+    /// key — is deliberately binding-independent.
+    pub fn run_bound(&self, bindings: &Bindings) -> Result<QueryOutput, EvalError> {
+        if self.plan.variables().is_empty() {
+            return self.run();
+        }
+        self.plan.run_prepared_bound(&self.prepared, bindings)
     }
 }
 

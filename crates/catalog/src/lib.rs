@@ -664,6 +664,25 @@ mod tests {
     }
 
     #[test]
+    fn wildcard_under_named_ancestor_stays_lazy() {
+        // `//g1/*` pins the context at <g1>, so the wildcard child step
+        // needs only that group's extent — the wave stays a strict subset
+        // and `nodes_materialized` witnesses it.
+        let catalog = Catalog::new();
+        let xml = grouped_xml();
+        catalog.insert_lazy("d", &xml).unwrap();
+        let total = xpeval_dom::parse_xml(&xml).unwrap().prepare().node_count();
+        let spine = catalog.info("d").unwrap().node_count;
+        let out = catalog.evaluate_on("d", "count(//g1/*)").unwrap();
+        assert_eq!(out.value, Value::Number(20.0));
+        let resident = out.stats.nodes_materialized as usize;
+        assert!(
+            resident > spine && resident < total,
+            "resident {resident} spine {spine} total {total}"
+        );
+    }
+
+    #[test]
     fn mutating_a_lazy_entry_promotes_it_to_eager() {
         let catalog = Catalog::new();
         catalog.insert_lazy("d", &grouped_xml()).unwrap();

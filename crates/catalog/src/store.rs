@@ -34,7 +34,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use xpeval_backends::{BackendKind, LazyDocument, PreparedSnapshot};
-use xpeval_core::{Engine, EvalError, QueryOutput};
+use xpeval_core::{Bindings, Engine, EvalError, QueryOutput};
 use xpeval_dom::{parse_xml, Document, PreparedDocument, TreeProvider, XmlParseError};
 use xpeval_live::{LiveDocument, PendingEdits};
 
@@ -1149,6 +1149,15 @@ impl Catalog {
         entry: &Arc<CatalogEntry>,
         query: &str,
     ) -> Result<QueryOutput, EvalError> {
+        self.evaluate_entry_bound(entry, query, &Bindings::new())
+    }
+
+    fn evaluate_entry_bound(
+        &self,
+        entry: &Arc<CatalogEntry>,
+        query: &str,
+        bindings: &Bindings,
+    ) -> Result<QueryOutput, EvalError> {
         let shared = &self.shared;
         shared.evaluations.fetch_add(1, Ordering::Relaxed);
         entry.counters.evaluations.fetch_add(1, Ordering::Relaxed);
@@ -1163,7 +1172,7 @@ impl Catalog {
                     .artifact_cross_doc_hits
                     .fetch_add(1, Ordering::Relaxed);
             }
-            artifact.run()?
+            artifact.run_bound(bindings)?
         } else {
             // Miss: compile through the engine's shared plan cache, then
             // specialize for this document snapshot.  Both steps happen
@@ -1178,7 +1187,7 @@ impl Catalog {
                 &entry.prepared,
             ));
             shared.artifacts.insert(query, &artifact);
-            artifact.run()?
+            artifact.run_bound(bindings)?
         };
         if entry.kind == BackendKind::Lazy {
             // Witness the laziness: how many arena nodes the query's wave
@@ -1278,6 +1287,25 @@ impl Catalog {
             .map_err(CatalogError::Eval)
     }
 
+    /// [`Catalog::evaluate_on`] with external variable bindings for the
+    /// query's `$name` references.  The artifact cache key stays the query
+    /// string alone — re-binding the same query against the same document
+    /// is an artifact hit, never a recompile.
+    pub fn evaluate_on_bound(
+        &self,
+        name: &str,
+        query: &str,
+        bindings: &Bindings,
+    ) -> Result<QueryOutput, CatalogError> {
+        let entry = self
+            .entry(name)
+            .ok_or_else(|| CatalogError::UnknownDocument {
+                name: name.to_string(),
+            })?;
+        self.evaluate_entry_bound(&entry, query, bindings)
+            .map_err(CatalogError::Eval)
+    }
+
     /// Entries matching an optional glob, sorted by name, LRU-touched.
     fn select(&self, pattern: Option<&str>) -> Vec<Arc<CatalogEntry>> {
         let mut selected: Vec<Arc<CatalogEntry>> = {
@@ -1299,24 +1327,41 @@ impl Catalog {
     /// results sorted by name.  One failing document does not poison the
     /// fan-out.
     pub fn evaluate_on_all(&self, query: &str) -> Vec<FanOut> {
-        self.fan_out(self.select(None), query)
+        self.fan_out(self.select(None), query, &Bindings::new())
     }
 
     /// Fans one query out over the documents whose names match the glob
     /// `pattern` (`*` = any run, `?` = one character), sorted by name.  An
     /// empty selection returns an empty vector.
     pub fn evaluate_matching(&self, pattern: &str, query: &str) -> Vec<FanOut> {
-        self.fan_out(self.select(Some(pattern)), query)
+        self.fan_out(self.select(Some(pattern)), query, &Bindings::new())
     }
 
-    fn fan_out(&self, entries: Vec<Arc<CatalogEntry>>, query: &str) -> Vec<FanOut> {
+    /// [`Catalog::evaluate_matching`] with one binding set shared by every
+    /// selected document — the parameterized fan-out: one compiled plan,
+    /// one `$name` environment, many documents.
+    pub fn evaluate_matching_bound(
+        &self,
+        pattern: &str,
+        query: &str,
+        bindings: &Bindings,
+    ) -> Vec<FanOut> {
+        self.fan_out(self.select(Some(pattern)), query, bindings)
+    }
+
+    fn fan_out(
+        &self,
+        entries: Vec<Arc<CatalogEntry>>,
+        query: &str,
+        bindings: &Bindings,
+    ) -> Vec<FanOut> {
         entries
             .into_iter()
             .map(|entry| FanOut {
                 name: entry.name.clone(),
                 doc: entry.id,
                 generation: entry.generation,
-                result: self.evaluate_entry(&entry, query),
+                result: self.evaluate_entry_bound(&entry, query, bindings),
             })
             .collect()
     }

@@ -22,14 +22,17 @@
 //! [`CompiledQuery::run_streaming`] yields node-set results through a
 //! [`NodeStream`] instead of materializing them.
 
+use crate::bindings::Bindings;
 use crate::context::Context;
 use crate::corexpath::CoreXPathEvaluator;
 use crate::dp::DpEvaluator;
 use crate::engine::EvalStrategy;
 use crate::error::EvalError;
+use crate::exec::EvalEnv;
 use crate::ir::PlanIr;
 use crate::naive::NaiveEvaluator;
 use crate::parallel::ParallelEvaluator;
+use crate::registry::{FragmentImpact, FunctionRegistry};
 use crate::stats::EvalStats;
 use crate::stream::NodeStream;
 use crate::success::SingletonSuccess;
@@ -42,7 +45,7 @@ use xpeval_syntax::{classify, Expr, Fragment, FragmentReport};
 
 /// Options controlling compilation; the builder's
 /// [`crate::EngineBuilder`] produces these from its configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CompileOptions {
     /// Fixed strategy, or `None` to let the classifier pick the one the
     /// paper recommends for the query's fragment.
@@ -52,6 +55,10 @@ pub struct CompileOptions {
     /// Apply the semantics-preserving Remark 5.2 normalization (merge
     /// iterated predicates) before classification.
     pub normalize: bool,
+    /// The registered functions visible to the compiled query (empty by
+    /// default).  Shared by `Arc` so every plan compiled by one
+    /// [`crate::Engine`] points at the same registry.
+    pub registry: Arc<FunctionRegistry>,
 }
 
 impl Default for CompileOptions {
@@ -60,6 +67,7 @@ impl Default for CompileOptions {
             strategy: None,
             threads: default_threads(),
             normalize: true,
+            registry: FunctionRegistry::empty_shared(),
         }
     }
 }
@@ -199,7 +207,13 @@ impl QueryOutput {
 
 /// A query compiled once — parsed, normalized, classified, planned — and
 /// evaluatable many times, against any document.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// A plan is also **binding-independent**: a query referencing external
+/// variables (`$name`) compiles to one plan, and each evaluation supplies
+/// its own [`Bindings`] through the `*_bound` entry points — so one
+/// compilation (and one plan-cache entry, one catalog artifact) serves any
+/// number of parameterizations.
+#[derive(Clone, Debug)]
 pub struct CompiledQuery {
     source: String,
     expr: Expr,
@@ -214,6 +228,29 @@ pub struct CompiledQuery {
     /// shared by reference across clones, specializations and catalog
     /// artifacts.
     ir: Arc<PlanIr>,
+    /// The registered functions this plan may call, shared with the engine
+    /// (or options) that compiled it.
+    registry: Arc<FunctionRegistry>,
+    /// The external variables the query references, sorted by name; the
+    /// bound entry points check these against the supplied [`Bindings`]
+    /// *before* any document work.
+    variables: Vec<String>,
+}
+
+impl PartialEq for CompiledQuery {
+    fn eq(&self, other: &Self) -> bool {
+        // Handlers are opaque, so registries compare by identity; every
+        // plan compiled through one engine (or with default options) shares
+        // one Arc, which is exactly the sameness that matters here.
+        self.source == other.source
+            && self.expr == other.expr
+            && self.report == other.report
+            && self.plan == other.plan
+            && self.auto_plan == other.auto_plan
+            && self.ir == other.ir
+            && self.variables == other.variables
+            && Arc::ptr_eq(&self.registry, &other.registry)
+    }
 }
 
 impl CompiledQuery {
@@ -224,12 +261,41 @@ impl CompiledQuery {
     }
 
     /// Compiles a query string with explicit options.
+    ///
+    /// Every function call in the query is validated here, at compile
+    /// time: an unknown name (neither built-in nor registered in
+    /// `options.registry`) is an [`EvalError::UnknownFunction`], and an
+    /// argument count outside the signature's range is an
+    /// [`EvalError::WrongArity`] — no document is touched either way.
     pub fn compile_with(source: &str, options: &CompileOptions) -> Result<Self, EvalError> {
         let expr = xpeval_syntax::parse_query(source)?;
-        Ok(Self::build(source.to_string(), expr, options))
+        let compiled = Self::build(source.to_string(), expr, options);
+        validate_calls(&compiled.expr, &compiled.registry)?;
+        Ok(compiled)
+    }
+
+    /// Compiles a query string against a function registry, with the other
+    /// options at their defaults.  Equivalent to [`CompiledQuery::compile_with`]
+    /// with `options.registry = registry`.
+    pub fn compile_with_registry(
+        source: &str,
+        registry: Arc<FunctionRegistry>,
+    ) -> Result<Self, EvalError> {
+        Self::compile_with(
+            source,
+            &CompileOptions {
+                registry,
+                ..CompileOptions::default()
+            },
+        )
     }
 
     /// Compiles an already-parsed expression with default options.
+    ///
+    /// Unlike the string entry points this is infallible — programmatically
+    /// built expressions skip call validation (their calls are typically
+    /// generated against the built-in library); a bad call is still caught
+    /// at evaluation time.
     pub fn from_expr(expr: Expr) -> Self {
         Self::from_expr_with(expr, &CompileOptions::default())
     }
@@ -250,8 +316,17 @@ impl CompiledQuery {
         } else {
             expr
         };
-        let report = classify(&expr);
-        let ir = PlanIr::lower(&expr, &report);
+        let registry = options.registry.clone();
+        let mut report = classify(&expr);
+        // A registered function with no complexity claim defeats the
+        // syntactic classifier: degrade the whole query to full XPath so
+        // the plan never claims a bound the opaque handler cannot honour.
+        // (CoreSafe registrations keep the classifier's verdict.)
+        if report.fragment < Fragment::XPath && uses_general_registration(&expr, &registry) {
+            report.fragment = Fragment::XPath;
+        }
+        let ir = PlanIr::lower_with_registry(&expr, &report, &registry);
+        let variables = referenced_variables(&expr);
         let auto_plan = options.strategy.is_none();
         let plan = options
             .strategy
@@ -263,6 +338,8 @@ impl CompiledQuery {
             plan,
             auto_plan,
             ir,
+            registry,
+            variables,
         }
     }
 
@@ -297,6 +374,46 @@ impl CompiledQuery {
     /// Least fragment of Figure 1 containing the query.
     pub fn fragment(&self) -> Fragment {
         self.report.fragment
+    }
+
+    /// The external variables (`$name`) the query references, sorted by
+    /// name.  Empty for variable-free queries; every name listed here must
+    /// be bound when evaluating through the `*_bound` entry points.
+    pub fn variables(&self) -> &[String] {
+        &self.variables
+    }
+
+    /// The function registry the plan was compiled against.
+    pub fn registry(&self) -> &Arc<FunctionRegistry> {
+        &self.registry
+    }
+
+    /// The environment of a binding-less evaluation: the plan's registry
+    /// plus empty bindings (a `$name` reference then errors at the point of
+    /// use).
+    fn base_env(&self) -> EvalEnv<'_> {
+        EvalEnv {
+            registry: &self.registry,
+            bindings: Bindings::empty(),
+        }
+    }
+
+    fn bound_env<'e>(&'e self, bindings: &'e Bindings) -> EvalEnv<'e> {
+        EvalEnv {
+            registry: &self.registry,
+            bindings,
+        }
+    }
+
+    /// Errors eagerly — before any document work — when `bindings` is
+    /// missing a variable the query references.
+    fn check_bindings(&self, bindings: &Bindings) -> Result<(), EvalError> {
+        match self.variables.iter().find(|n| bindings.get(n).is_none()) {
+            Some(missing) => Err(EvalError::UnboundVariable {
+                name: missing.clone(),
+            }),
+            None => Ok(()),
+        }
     }
 
     /// The evaluation strategy this plan will dispatch to.
@@ -384,7 +501,8 @@ impl CompiledQuery {
         ctx: Context,
     ) -> Result<QueryOutput, EvalError> {
         let strategy = self.strategy_for_source(doc);
-        let (value, stats) = crate::exec::execute_ir(strategy, doc, &self.expr, &self.ir, ctx)?;
+        let (value, stats) =
+            crate::exec::execute_ir(strategy, doc, &self.expr, &self.ir, ctx, self.base_env())?;
         Ok(QueryOutput {
             value,
             stats,
@@ -394,7 +512,75 @@ impl CompiledQuery {
 
     /// Evaluates against a document from an explicit context triple.
     pub fn run_with_context(&self, doc: &Document, ctx: Context) -> Result<QueryOutput, EvalError> {
-        let (value, stats) = crate::exec::execute_ir(self.plan, doc, &self.expr, &self.ir, ctx)?;
+        let (value, stats) =
+            crate::exec::execute_ir(self.plan, doc, &self.expr, &self.ir, ctx, self.base_env())?;
+        Ok(QueryOutput {
+            value,
+            stats,
+            fragment: self.report.fragment,
+        })
+    }
+
+    /// Evaluates with external variable bindings, from the canonical root
+    /// context.  The plan itself is binding-independent — compile once,
+    /// then call this any number of times with different [`Bindings`];
+    /// every referenced variable must be bound or the call errors with
+    /// [`EvalError::UnboundVariable`] before touching the document.
+    pub fn run_bound(&self, doc: &Document, bindings: &Bindings) -> Result<QueryOutput, EvalError> {
+        self.run_with_context_bound(doc, Context::root(doc), bindings)
+    }
+
+    /// [`CompiledQuery::run_bound`] from an explicit context triple.
+    pub fn run_with_context_bound(
+        &self,
+        doc: &Document,
+        ctx: Context,
+        bindings: &Bindings,
+    ) -> Result<QueryOutput, EvalError> {
+        self.check_bindings(bindings)?;
+        let (value, stats) = crate::exec::execute_ir(
+            self.plan,
+            doc,
+            &self.expr,
+            &self.ir,
+            ctx,
+            self.bound_env(bindings),
+        )?;
+        Ok(QueryOutput {
+            value,
+            stats,
+            fragment: self.report.fragment,
+        })
+    }
+
+    /// [`CompiledQuery::run_bound`] over a prepared document (strategy
+    /// re-tuned by document size and selectivity, exactly like
+    /// [`CompiledQuery::run_prepared`]).
+    pub fn run_prepared_bound(
+        &self,
+        doc: &PreparedDocument,
+        bindings: &Bindings,
+    ) -> Result<QueryOutput, EvalError> {
+        self.run_prepared_with_context_bound(doc, Context::root(doc.document()), bindings)
+    }
+
+    /// [`CompiledQuery::run_prepared_bound`] from an explicit context.
+    pub fn run_prepared_with_context_bound(
+        &self,
+        doc: &PreparedDocument,
+        ctx: Context,
+        bindings: &Bindings,
+    ) -> Result<QueryOutput, EvalError> {
+        self.check_bindings(bindings)?;
+        let strategy = self.strategy_for_source(doc);
+        let (value, stats) = crate::exec::execute_ir(
+            strategy,
+            doc,
+            &self.expr,
+            &self.ir,
+            ctx,
+            self.bound_env(bindings),
+        )?;
         Ok(QueryOutput {
             value,
             stats,
@@ -440,23 +626,32 @@ impl CompiledQuery {
                 // Theorem 5.5 as an iterator: one Singleton-Success
                 // decision per candidate, made when the stream reaches it.
                 // (The parallel plan streams through the same sequential
-                // loop — a stream is consumed in order anyway.)
-                if self.expr.expr_type() != ExprType::NodeSet {
+                // loop — a stream is consumed in order anyway.)  The IR
+                // checker also carries the plan's registry, so queries over
+                // registered functions stream like everything else.
+                if self.ir.op(self.ir.root()).ty != ExprType::NodeSet {
                     return Err(EvalError::type_error(format!(
                         "streaming requires a node-set query, got {}",
                         self.source
                     )));
                 }
-                let checker = SingletonSuccess::new(src, &self.expr)?;
-                let expr = &self.expr;
+                let checker = crate::exec::IrSingletonSuccess::new(src, &self.ir, self.base_env())?;
+                let root = self.ir.root();
                 Ok(NodeStream::from_decide(
                     src.document_order(),
-                    Box::new(move |node: NodeId| checker.selects(expr, ctx, node)),
+                    Box::new(move |node: NodeId| checker.selects(root, ctx, node)),
                 ))
             }
             EvalStrategy::ContextValueTable | EvalStrategy::Naive => {
                 // No incremental formulation; materialize, then stream.
-                let (value, _) = execute(strategy, src, &self.expr, ctx)?;
+                let (value, _) = crate::exec::execute_ir(
+                    strategy,
+                    src,
+                    &self.expr,
+                    &self.ir,
+                    ctx,
+                    self.base_env(),
+                )?;
                 Ok(NodeStream::from_vec(value.into_nodes()?))
             }
         }
@@ -509,7 +704,7 @@ impl CompiledQuery {
         doc: &Document,
         contexts: &[Context],
     ) -> Result<Vec<QueryOutput>, EvalError> {
-        self.run_many_on(doc, self.plan, contexts)
+        self.run_many_on(doc, self.plan, contexts, self.base_env())
     }
 
     /// [`CompiledQuery::run_many`] over a prepared document (strategy
@@ -519,7 +714,24 @@ impl CompiledQuery {
         doc: &PreparedDocument,
         contexts: &[Context],
     ) -> Result<Vec<QueryOutput>, EvalError> {
-        self.run_many_on(doc, self.strategy_for_source(doc), contexts)
+        self.run_many_on(
+            doc,
+            self.strategy_for_source(doc),
+            contexts,
+            self.base_env(),
+        )
+    }
+
+    /// [`CompiledQuery::run_many`] with external variable bindings (one
+    /// binding set for the whole batch; recompile nothing to change it).
+    pub fn run_many_bound(
+        &self,
+        doc: &Document,
+        contexts: &[Context],
+        bindings: &Bindings,
+    ) -> Result<Vec<QueryOutput>, EvalError> {
+        self.check_bindings(bindings)?;
+        self.run_many_on(doc, self.plan, contexts, self.bound_env(bindings))
     }
 
     fn run_many_on<S: AxisSource>(
@@ -527,10 +739,11 @@ impl CompiledQuery {
         src: &S,
         strategy: EvalStrategy,
         contexts: &[Context],
+        env: EvalEnv<'_>,
     ) -> Result<Vec<QueryOutput>, EvalError> {
         match strategy {
             EvalStrategy::ContextValueTable => {
-                let mut ev = crate::exec::IrEvaluator::memoized(src, &self.ir);
+                let mut ev = crate::exec::IrEvaluator::memoized(src, &self.ir, env);
                 let mut out = Vec::with_capacity(contexts.len());
                 for &ctx in contexts {
                     let value = ev.eval(self.ir.root(), ctx)?;
@@ -546,7 +759,7 @@ impl CompiledQuery {
                 .iter()
                 .map(|&ctx| {
                     let (value, stats) =
-                        crate::exec::execute_ir(strategy, src, &self.expr, &self.ir, ctx)?;
+                        crate::exec::execute_ir(strategy, src, &self.expr, &self.ir, ctx, env)?;
                     Ok(QueryOutput {
                         value,
                         stats,
@@ -572,6 +785,114 @@ impl std::fmt::Display for CompiledQuery {
             self.source, self.report.fragment, self.plan
         )
     }
+}
+
+/// Calls `f` on every subexpression of `expr`, including predicate
+/// expressions inside location steps.
+fn walk_expr<'e>(expr: &'e Expr, f: &mut impl FnMut(&'e Expr)) {
+    f(expr);
+    match expr {
+        Expr::Path(path) => {
+            for step in &path.steps {
+                for pred in &step.predicates {
+                    walk_expr(pred, f);
+                }
+            }
+        }
+        Expr::Union(a, b)
+        | Expr::Intersect(a, b)
+        | Expr::Except(a, b)
+        | Expr::Or(a, b)
+        | Expr::And(a, b)
+        | Expr::Relational {
+            left: a, right: b, ..
+        }
+        | Expr::NodeCompare {
+            left: a, right: b, ..
+        }
+        | Expr::Arithmetic {
+            left: a, right: b, ..
+        } => {
+            walk_expr(a, f);
+            walk_expr(b, f);
+        }
+        Expr::Not(e) | Expr::Neg(e) => walk_expr(e, f),
+        Expr::FunctionCall { args, .. } => {
+            for arg in args {
+                walk_expr(arg, f);
+            }
+        }
+        Expr::Number(_) | Expr::Literal(_) | Expr::Variable(_) => {}
+    }
+}
+
+/// Compile-time validation of every function call in the query: the name
+/// must be a built-in or a registration, and the argument count must be in
+/// the signature's accepted range.
+fn validate_calls(expr: &Expr, registry: &FunctionRegistry) -> Result<(), EvalError> {
+    let mut first_err: Option<EvalError> = None;
+    walk_expr(expr, &mut |e| {
+        if first_err.is_some() {
+            return;
+        }
+        let Expr::FunctionCall { name, args } = e else {
+            return;
+        };
+        if let Some((min, max)) = crate::functions::builtin_signature(name) {
+            if args.len() < min || max.is_some_and(|max| args.len() > max) {
+                let expected = match max {
+                    Some(max) if max == min => max.to_string(),
+                    Some(max) => format!("{min} to {max}"),
+                    None => format!("{min} or more"),
+                };
+                first_err = Some(EvalError::WrongArity {
+                    name: name.clone(),
+                    expected,
+                    got: args.len(),
+                });
+            }
+        } else if let Some(f) = registry.lookup(name) {
+            if !f.signature.accepts_arity(args.len()) {
+                first_err = Some(EvalError::WrongArity {
+                    name: name.clone(),
+                    expected: f.signature.arity_description(),
+                    got: args.len(),
+                });
+            }
+        } else {
+            first_err = Some(EvalError::UnknownFunction { name: name.clone() });
+        }
+    });
+    first_err.map_or(Ok(()), Err)
+}
+
+/// Whether the query calls any registered function that declared the
+/// conservative [`FragmentImpact::General`] contract (those degrade the
+/// classification to full XPath in [`CompiledQuery`]'s `build`).
+fn uses_general_registration(expr: &Expr, registry: &FunctionRegistry) -> bool {
+    let mut found = false;
+    walk_expr(expr, &mut |e| {
+        if let Expr::FunctionCall { name, .. } = e {
+            if let Some(f) = registry.lookup(name) {
+                found |= f.signature.fragment_impact() == FragmentImpact::General;
+            }
+        }
+    });
+    found
+}
+
+/// The external variables referenced anywhere in the query, sorted and
+/// deduplicated.
+fn referenced_variables(expr: &Expr) -> Vec<String> {
+    let mut names = Vec::new();
+    walk_expr(expr, &mut |e| {
+        if let Expr::Variable(name) = e {
+            names.push(name.clone());
+        }
+    });
+    names.sort();
+    names.dedup();
+    names
 }
 
 /// Dispatches one evaluation to a strategy.  This is the single funnel every
@@ -1002,6 +1323,124 @@ mod tests {
                 EvalError::TypeError { .. }
             ));
         }
+    }
+
+    #[test]
+    fn compile_validates_function_calls() {
+        // Unknown names and mis-arity calls fail at compile time, before
+        // any document exists — including calls inside predicates.
+        let err = CompiledQuery::compile("frobnicate(//a)").unwrap_err();
+        assert!(matches!(err, EvalError::UnknownFunction { .. }), "{err:?}");
+        for bad in [
+            "count(//a, //b)",
+            "substring('abc')",
+            "//a[concat('x')]",
+            "position(1)",
+        ] {
+            let err = CompiledQuery::compile(bad).unwrap_err();
+            assert!(
+                matches!(err, EvalError::WrongArity { .. }),
+                "{bad}: {err:?}"
+            );
+        }
+        // The same spellings pass with a correct argument count.
+        for good in ["count(//a)", "substring('abc', 2)", "//a[concat('x', 'y')]"] {
+            CompiledQuery::compile(good).unwrap();
+        }
+    }
+
+    #[test]
+    fn registered_functions_compile_run_and_degrade() {
+        use crate::registry::{FragmentImpact, FunctionSignature};
+        let mut registry = FunctionRegistry::new();
+        registry.register(
+            FunctionSignature::new("double", 1, Some(1))
+                .returns_number()
+                .impact(FragmentImpact::CoreSafe),
+            |args, _, doc| Ok(Value::Number(args[0].to_number(doc) * 2.0)),
+        );
+        registry.register(
+            // Default contract: General impact, string return.
+            FunctionSignature::new("shout", 1, Some(1)),
+            |args, _, doc| Ok(Value::Str(args[0].to_xpath_string(doc).to_uppercase())),
+        );
+        let registry = Arc::new(registry);
+        let doc = parse_xml(BOOKS).unwrap();
+
+        // A core-safe registration keeps the classifier's verdict — the
+        // query stays in pXPath and gets the linear-bound parallel plan,
+        // never the context-value-table fallback.
+        let q = CompiledQuery::compile_with_registry(
+            "//book[double(@year) = 4006]/title",
+            registry.clone(),
+        )
+        .unwrap();
+        assert_eq!(q.fragment(), Fragment::PXPath);
+        assert!(matches!(q.strategy(), EvalStrategy::Parallel { .. }));
+        let out = q.run(&doc).unwrap();
+        let nodes = out.value.expect_nodes();
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(doc.string_value(nodes[0]), "B");
+
+        // A general registration degrades the plan to full XPath → CVT.
+        let q = CompiledQuery::compile_with_registry(
+            "//book[shout(title) = 'B']/title",
+            registry.clone(),
+        )
+        .unwrap();
+        assert_eq!(q.fragment(), Fragment::XPath);
+        assert_eq!(q.strategy(), EvalStrategy::ContextValueTable);
+        let out = q.run(&doc).unwrap();
+        let nodes = out.value.expect_nodes();
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(doc.string_value(nodes[0]), "B");
+
+        // Registered signatures are enforced at compile time like built-ins.
+        let err = CompiledQuery::compile_with_registry("double(1, 2)", registry).unwrap_err();
+        assert!(matches!(err, EvalError::WrongArity { .. }), "{err:?}");
+        // Without the registration the name is simply unknown.
+        let err = CompiledQuery::compile("double(1)").unwrap_err();
+        assert!(matches!(err, EvalError::UnknownFunction { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn bound_runs_reuse_one_compilation() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let prepared = xpeval_dom::PreparedDocument::new(doc.clone());
+        let q = CompiledQuery::compile("//book[@year = $year]/title").unwrap();
+        assert_eq!(q.variables(), ["year".to_string()]);
+        let title = |bindings: &Bindings| {
+            let out = q.run_bound(&doc, bindings).unwrap();
+            out.value
+                .expect_nodes()
+                .iter()
+                .map(|&n| doc.string_value(n))
+                .collect::<Vec<String>>()
+        };
+        // One compilation, many parameterizations.
+        assert_eq!(title(&Bindings::new().with_number("year", 2001.0)), ["A"]);
+        assert_eq!(title(&Bindings::new().with_number("year", 2003.0)), ["B"]);
+        assert_eq!(
+            title(&Bindings::new().with_number("year", 1999.0)),
+            Vec::<String>::new()
+        );
+        // The prepared path takes the same bindings.
+        let b = Bindings::new().with_number("year", 2003.0);
+        assert_eq!(
+            q.run_prepared_bound(&prepared, &b).unwrap().value,
+            q.run_bound(&doc, &b).unwrap().value
+        );
+        // A missing binding errors eagerly, before any document work...
+        let err = q.run_bound(&doc, &Bindings::new()).unwrap_err();
+        assert!(matches!(err, EvalError::UnboundVariable { .. }), "{err:?}");
+        // ...and the binding-less entry points report the same error lazily.
+        let err = q.run(&doc).unwrap_err();
+        assert!(matches!(err, EvalError::UnboundVariable { .. }), "{err:?}");
+        // Batch evaluation shares one binding set across contexts.
+        let ctxs = [Context::root(&doc), Context::root(&doc)];
+        let outs = q.run_many_bound(&doc, &ctxs, &b).unwrap();
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[0].value, outs[1].value);
     }
 
     #[test]

@@ -233,6 +233,21 @@ impl<'d, S: AxisSource + ?Sized> CoreXPathEvaluator<'d, S> {
                 left.union_with(&right);
                 Ok(left)
             }
+            // The set operators are native bitset operations here — this is
+            // the evaluator where `intersect`/`except` are closest to free.
+            Expr::Intersect(a, b) => {
+                let mut left = self.eval_nodeset(a, from)?;
+                let right = self.eval_nodeset(b, from)?;
+                left.intersect_with(&right);
+                Ok(left)
+            }
+            Expr::Except(a, b) => {
+                let mut left = self.eval_nodeset(a, from)?;
+                let mut right = self.eval_nodeset(b, from)?;
+                right.complement();
+                left.intersect_with(&right);
+                Ok(left)
+            }
             other => Err(EvalError::fragment(
                 Fragment::CoreXPath,
                 format!("non-path expression {other} in node-set position"),
@@ -642,6 +657,20 @@ mod tests {
         // And it can be used inside predicates.
         agree(DOC, "//a[/descendant::c]");
         agree(DOC, "//a[not(/descendant::nosuch)]");
+    }
+
+    #[test]
+    fn set_operators_run_on_bitsets() {
+        for q in [
+            "//b intersect //a/b",
+            "//b except //a/b",
+            "//b[child::c] intersect //a/b",
+            "(//b | //d) except //a[child::d]/b",
+            "//c except //nosuch",
+            "//nosuch intersect //b",
+        ] {
+            agree(DOC, q);
+        }
     }
 
     #[test]

@@ -133,6 +133,22 @@ impl<'d, 'q, S: AxisSource + ?Sized> DpEvaluator<'d, 'q, S> {
                 left.extend(right);
                 Ok(Value::node_set(self.doc, left))
             }
+            Expr::Intersect(a, b) => {
+                let left = self.eval(a, ctx)?.into_nodes()?;
+                let right = self.eval(b, ctx)?.into_nodes()?;
+                Ok(Value::NodeSet(set_intersect(left, &right)))
+            }
+            Expr::Except(a, b) => {
+                let left = self.eval(a, ctx)?.into_nodes()?;
+                let right = self.eval(b, ctx)?.into_nodes()?;
+                Ok(Value::NodeSet(set_except(left, &right)))
+            }
+            Expr::NodeCompare { op, left, right } => {
+                let l = self.eval(left, ctx)?.into_nodes()?;
+                let r = self.eval(right, ctx)?.into_nodes()?;
+                Ok(Value::Boolean(node_compare(*op, self.doc, &l, &r)))
+            }
+            Expr::Variable(name) => Err(EvalError::UnboundVariable { name: name.clone() }),
             Expr::Or(a, b) => {
                 if self.eval(a, ctx)?.to_boolean() {
                     return Ok(Value::Boolean(true));
@@ -199,13 +215,44 @@ impl<'d, 'q, S: AxisSource + ?Sized> DpEvaluator<'d, 'q, S> {
     }
 }
 
+/// Node-set intersection preserving the document order of `left` (both
+/// inputs are already sorted and duplicate-free, so the result is too).
+pub(crate) fn set_intersect(left: Vec<NodeId>, right: &[NodeId]) -> Vec<NodeId> {
+    left.into_iter().filter(|n| right.contains(n)).collect()
+}
+
+/// Node-set difference preserving the document order of `left`.
+pub(crate) fn set_except(left: Vec<NodeId>, right: &[NodeId]) -> Vec<NodeId> {
+    left.into_iter().filter(|n| !right.contains(n)).collect()
+}
+
+/// The engine's node-comparison semantics: compare the first node in
+/// document order of each (already sorted) operand set by preorder rank; an
+/// empty operand never compares true.
+pub(crate) fn node_compare(
+    op: xpeval_syntax::NodeCompOp,
+    doc: &Document,
+    left: &[NodeId],
+    right: &[NodeId],
+) -> bool {
+    match (left.first(), right.first()) {
+        (Some(&l), Some(&r)) => op.apply(doc.pre(l), doc.pre(r)),
+        _ => false,
+    }
+}
+
 /// Static position-sensitivity analysis (see [`DpEvaluator::is_sensitive`]).
 pub(crate) fn sensitivity(expr: &Expr) -> bool {
     match expr {
         Expr::FunctionCall { name, args } => {
             name == "position" || name == "last" || args.iter().any(sensitivity)
         }
-        Expr::Path(_) | Expr::Union(_, _) => false,
+        Expr::Path(_) | Expr::Union(_, _) | Expr::Intersect(_, _) | Expr::Except(_, _) => false,
+        // Node comparisons compare nodes of their operand *paths*, which
+        // receive fresh positions — the value cannot depend on the outer
+        // context position.
+        Expr::NodeCompare { .. } => false,
+        Expr::Variable(_) => false,
         Expr::Or(a, b)
         | Expr::And(a, b)
         | Expr::Relational {
@@ -463,6 +510,54 @@ mod tests {
                 "work not linear per added step: {work:?}"
             );
         }
+    }
+
+    #[test]
+    fn set_operators_follow_document_order() {
+        // //title ∩ //book/title: the paper's title drops out.
+        assert_eq!(
+            eval_values(BOOKS, "//title intersect //book/title"),
+            vec!["A", "B"]
+        );
+        assert_eq!(eval_values(BOOKS, "//title except //book/title"), vec!["C"]);
+        assert_eq!(
+            eval_values(BOOKS, "(//title | //cite) except //paper/title"),
+            vec!["A", "B", ""]
+        );
+        // Disjoint operands intersect to the empty set.
+        assert_eq!(
+            eval(BOOKS, "//book intersect //paper"),
+            Value::NodeSet(vec![])
+        );
+        // a except a = ∅; a intersect a = a.
+        assert_eq!(
+            eval(BOOKS, "//title except //title"),
+            Value::NodeSet(vec![])
+        );
+        assert_eq!(eval_names(BOOKS, "//title intersect //title").len(), 3);
+    }
+
+    #[test]
+    fn node_comparisons_use_first_nodes_in_document_order() {
+        assert_eq!(eval(BOOKS, "//book is //book"), Value::Boolean(true));
+        assert_eq!(eval(BOOKS, "//book is //paper"), Value::Boolean(false));
+        assert_eq!(eval(BOOKS, "//book << //paper"), Value::Boolean(true));
+        assert_eq!(eval(BOOKS, "//paper >> //cite"), Value::Boolean(true));
+        assert_eq!(eval(BOOKS, "//paper << //book"), Value::Boolean(false));
+        // Empty operands never compare true, on either side.
+        assert_eq!(eval(BOOKS, "//nosuch is //book"), Value::Boolean(false));
+        assert_eq!(eval(BOOKS, "//book << //nosuch"), Value::Boolean(false));
+    }
+
+    #[test]
+    fn variables_are_unbound_without_a_bindings_channel() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let q = parse_query("//book[@year = $year]").unwrap();
+        let mut ev = DpEvaluator::new(&doc, &q);
+        assert!(matches!(
+            ev.evaluate(),
+            Err(EvalError::UnboundVariable { .. })
+        ));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! the parse.  All five evaluation strategies are reachable through the
 //! compiled form; the engine adds only configuration and caching on top.
 
+use crate::bindings::Bindings;
 use crate::cache::{CacheStats, DocumentCache, ShardedPlanCache};
 use crate::compile::{
     default_threads, recommended_strategy, recommended_strategy_for_source, CompileOptions,
@@ -21,6 +22,7 @@ use crate::compile::{
 };
 use crate::context::Context;
 use crate::error::EvalError;
+use crate::registry::{FunctionRegistry, FunctionSignature};
 use crate::value::Value;
 use std::sync::Arc;
 use xpeval_dom::{Document, PreparedDocument};
@@ -56,23 +58,26 @@ pub enum EvalStrategy {
 ///     .build();
 /// # let _ = engine;
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineBuilder {
     strategy: Option<EvalStrategy>,
     threads: usize,
     cache_capacity: usize,
     document_cache_capacity: usize,
+    registry: FunctionRegistry,
 }
 
 impl EngineBuilder {
     /// Default configuration: automatic per-query strategy selection, all
-    /// available threads, a 128-plan cache, an 8-document index cache.
+    /// available threads, a 128-plan cache, an 8-document index cache, no
+    /// registered functions.
     pub fn new() -> Self {
         EngineBuilder {
             strategy: None,
             threads: default_threads(),
             cache_capacity: 128,
             document_cache_capacity: 8,
+            registry: FunctionRegistry::new(),
         }
     }
 
@@ -116,14 +121,56 @@ impl EngineBuilder {
         self
     }
 
+    /// Registers a user-defined function with the engine being built.  Every
+    /// query compiled through the engine sees the registration: its
+    /// signature is validated at compile time and its declared
+    /// [`FragmentImpact`](crate::registry::FragmentImpact) participates in
+    /// strategy selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name shadows a built-in function (see
+    /// [`FunctionRegistry::register`]).
+    ///
+    /// ```
+    /// use xpeval_core::{Engine, FragmentImpact, FunctionSignature, Value};
+    ///
+    /// let engine = Engine::builder()
+    ///     .register_function(
+    ///         FunctionSignature::new("double", 1, Some(1))
+    ///             .returns_number()
+    ///             .impact(FragmentImpact::CoreSafe),
+    ///         |args, _ctx, doc| Ok(Value::Number(args[0].to_number(doc) * 2.0)),
+    ///     )
+    ///     .build();
+    /// let doc = xpeval_dom::parse_xml("<a n='21'/>").unwrap();
+    /// assert_eq!(
+    ///     engine.evaluate_str(&doc, "double(/a/@n)").unwrap(),
+    ///     Value::Number(42.0)
+    /// );
+    /// ```
+    pub fn register_function<F>(mut self, signature: FunctionSignature, handler: F) -> Self
+    where
+        F: Fn(&[Value], &Context, &Document) -> Result<Value, EvalError> + Send + Sync + 'static,
+    {
+        self.registry.register(signature, handler);
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> Engine {
+        let registry = if self.registry.is_empty() {
+            FunctionRegistry::empty_shared()
+        } else {
+            Arc::new(self.registry)
+        };
         Engine {
             inner: Arc::new(EngineInner {
                 strategy: self.strategy,
                 threads: self.threads,
                 cache: ShardedPlanCache::new(self.cache_capacity),
                 documents: DocumentCache::new(self.document_cache_capacity),
+                registry,
             }),
         }
     }
@@ -156,6 +203,8 @@ struct EngineInner {
     threads: usize,
     cache: ShardedPlanCache,
     documents: DocumentCache,
+    /// User-registered functions, shared by every plan this engine compiles.
+    registry: Arc<FunctionRegistry>,
 }
 
 impl Default for Engine {
@@ -196,11 +245,17 @@ impl Engine {
         Engine::new(recommended_strategy(&report, threads.max(1)))
     }
 
+    /// The function registry this engine compiles queries against.
+    pub fn registry(&self) -> &Arc<FunctionRegistry> {
+        &self.inner.registry
+    }
+
     fn compile_options(&self, normalize: bool) -> CompileOptions {
         CompileOptions {
             strategy: self.inner.strategy,
             threads: self.inner.threads,
             normalize,
+            registry: Arc::clone(&self.inner.registry),
         }
     }
 
@@ -396,6 +451,67 @@ impl Engine {
         queries: &[&CompiledQuery],
     ) -> Vec<Result<QueryOutput, EvalError>> {
         queries.iter().map(|q| q.run_prepared(doc)).collect()
+    }
+
+    /// Parses (through the plan cache) and evaluates a query string with
+    /// external variable bindings for its `$name` references.  The plan
+    /// cache key is the source string alone: sixty-four different binding
+    /// sets against one query are one compile and sixty-three cache hits.
+    pub fn evaluate_str_bound(
+        &self,
+        doc: &Document,
+        query: &str,
+        bindings: &Bindings,
+    ) -> Result<Value, EvalError> {
+        Ok(self.compile(query)?.run_bound(doc, bindings)?.value)
+    }
+
+    /// [`Engine::query_str`] with external variable bindings.
+    pub fn query_str_bound(
+        &self,
+        doc: &Document,
+        query: &str,
+        bindings: &Bindings,
+    ) -> Result<QueryOutput, EvalError> {
+        self.compile(query)?.run_bound(doc, bindings)
+    }
+
+    /// [`Engine::evaluate_str_prepared`] with external variable bindings.
+    pub fn evaluate_str_prepared_bound(
+        &self,
+        doc: &PreparedDocument,
+        query: &str,
+        bindings: &Bindings,
+    ) -> Result<Value, EvalError> {
+        Ok(self
+            .compile(query)?
+            .run_prepared_bound(doc, bindings)?
+            .value)
+    }
+
+    /// [`Engine::query_str_prepared`] with external variable bindings.
+    pub fn query_str_prepared_bound(
+        &self,
+        doc: &PreparedDocument,
+        query: &str,
+        bindings: &Bindings,
+    ) -> Result<QueryOutput, EvalError> {
+        self.compile(query)?.run_prepared_bound(doc, bindings)
+    }
+
+    /// [`Engine::evaluate_batch_prepared`] with one binding set shared by
+    /// the whole batch.  Queries without variables ignore the bindings, so
+    /// mixed batches are fine.
+    pub fn evaluate_batch_prepared_bound(
+        &self,
+        doc: &PreparedDocument,
+        queries: &[&CompiledQuery],
+        bindings: &Bindings,
+    ) -> Vec<Result<QueryOutput, EvalError>> {
+        queries
+            .iter()
+            .map(|q| q.run_prepared_bound(doc, bindings))
+            .collect()
     }
 
     /// Counters of the plan cache, aggregate and per shard.
@@ -674,6 +790,91 @@ mod tests {
         assert!(line.contains("hits 1/2 (50.0%)"), "{line}");
         assert!(line.contains("8 shards"), "{line}");
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn registered_functions_flow_through_the_engine() {
+        use crate::registry::FragmentImpact;
+        let doc = parse_xml(BOOKS).unwrap();
+        let engine = Engine::builder()
+            .threads(2)
+            .register_function(
+                FunctionSignature::new("double", 1, Some(1))
+                    .returns_number()
+                    .impact(FragmentImpact::CoreSafe),
+                |args, _, doc| Ok(Value::Number(args[0].to_number(doc) * 2.0)),
+            )
+            .build();
+        assert_eq!(engine.registry().len(), 1);
+        let v = engine
+            .evaluate_str(&doc, "//book[double(@year) = 4006]/title")
+            .unwrap();
+        assert_eq!(doc.string_value(v.expect_nodes()[0]), "B");
+        // Core-safe registration keeps the linear-bound parallel plan.
+        let plan = engine
+            .compile("//book[double(@year) = 4006]/title")
+            .unwrap();
+        assert!(matches!(plan.strategy(), EvalStrategy::Parallel { .. }));
+        // Compile-time arity validation applies to registered names too.
+        let err = engine.compile("double(1, 2)").unwrap_err();
+        assert!(matches!(err, EvalError::WrongArity { .. }), "{err:?}");
+        // An engine without the registration rejects the name at compile.
+        let err = Engine::builder().build().compile("double(1)").unwrap_err();
+        assert!(matches!(err, EvalError::UnknownFunction { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn one_plan_serves_many_bindings_without_cache_misses() {
+        let doc = Arc::new(parse_xml(BOOKS).unwrap());
+        let engine = Engine::builder().build();
+        let prepared = engine.prepare(&doc);
+        let query = "//book[@year = $year]/title";
+        let mut non_empty = 0;
+        for year in 0..64 {
+            let b = Bindings::new().with_number("year", 1990.0 + year as f64);
+            let out = engine.query_str_bound(&doc, query, &b).unwrap();
+            assert_eq!(
+                engine
+                    .evaluate_str_prepared_bound(&prepared, query, &b)
+                    .unwrap(),
+                out.value
+            );
+            if !out.value.clone().expect_nodes().is_empty() {
+                non_empty += 1;
+            }
+        }
+        assert_eq!(non_empty, 2, "years 2001 and 2003 match");
+        // Binding values never enter the plan-cache key: one miss compiles
+        // the query, every later parameterization is a hit.
+        let s = engine.cache_stats();
+        assert_eq!(s.misses, 1, "{s:?}");
+        assert_eq!(s.hits, 127, "{s:?}");
+        assert_eq!(s.len, 1, "{s:?}");
+
+        // Unbound evaluation of the same cached plan errors eagerly.
+        let err = engine.evaluate_str(&doc, query).unwrap_err();
+        assert!(matches!(err, EvalError::UnboundVariable { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn bound_batches_share_one_binding_set() {
+        let doc = Arc::new(parse_xml(BOOKS).unwrap());
+        let engine = Engine::builder().build();
+        let prepared = engine.prepare(&doc);
+        let with_var = engine.compile("count(//book[@year = $year])").unwrap();
+        let without = engine.compile("count(//book)").unwrap();
+        let b = Bindings::new().with_number("year", 2003.0);
+        let results = engine.evaluate_batch_prepared_bound(&prepared, &[&with_var, &without], &b);
+        assert_eq!(results[0].as_ref().unwrap().value, Value::Number(1.0));
+        assert_eq!(results[1].as_ref().unwrap().value, Value::Number(2.0));
+        // A missing binding fails only the query that needs it.
+        let results = engine.evaluate_batch_prepared_bound(
+            &prepared,
+            &[&with_var, &without],
+            &Bindings::new(),
+        );
+        assert!(matches!(results[0], Err(EvalError::UnboundVariable { .. })));
+        assert!(results[1].is_ok());
     }
 
     #[test]

@@ -32,6 +32,12 @@ pub enum EvalError {
         /// Description of the offending construct.
         construct: String,
     },
+    /// The query references a variable (`$name`) for which the evaluation
+    /// call supplied no binding.  Raised eagerly by the bound entry points
+    /// of [`crate::compile::CompiledQuery`] (before any document work) and
+    /// lazily by evaluators reached without a
+    /// [`Bindings`](crate::bindings::Bindings) value.
+    UnboundVariable { name: String },
     /// Any other unsupported construct.
     Unsupported { message: String },
 }
@@ -100,6 +106,7 @@ impl fmt::Display for EvalError {
                 f,
                 "this evaluator supports only the {supported} fragment; query uses {construct}"
             ),
+            EvalError::UnboundVariable { name } => write!(f, "unbound variable '${name}'"),
             EvalError::Unsupported { message } => write!(f, "unsupported: {message}"),
         }
     }
@@ -129,6 +136,8 @@ mod tests {
         assert!(e.to_string().contains("Core XPath"));
         let e = EvalError::unsupported("variables");
         assert!(e.to_string().contains("variables"));
+        let e = EvalError::UnboundVariable { name: "max".into() };
+        assert_eq!(e.to_string(), "unbound variable '$max'");
         let e = EvalError::Parse {
             position: 3,
             message: "at token 3: expected ']'".into(),

@@ -23,12 +23,14 @@
 //! friends); the `&Expr` entry points of [`crate::Engine`] keep using the
 //! AST funnel in [`crate::compile`].
 
+use crate::bindings::Bindings;
 use crate::context::{Context, ContextKey};
 use crate::corexpath::{CoreXPathEvaluator, NodeBitSet};
 use crate::engine::EvalStrategy;
 use crate::error::EvalError;
 use crate::functions::call_function;
 use crate::ir::{OpId, OpKind, PlanIr, StepIr};
+use crate::registry::FunctionRegistry;
 use crate::stats::EvalStats;
 use crate::steps::predicate_holds;
 use crate::value::Value;
@@ -37,6 +39,74 @@ use std::collections::HashMap;
 use xpeval_dom::{AxisSource, Document, NodeId, NodeTest};
 use xpeval_syntax::ast::ExprType;
 use xpeval_syntax::Expr;
+
+/// Per-evaluation environment threaded through the IR machines: the
+/// registered functions visible to `Call` opcodes whose name is not a
+/// built-in, and the external variable bindings visible to `Variable`
+/// opcodes.  Deliberately `Copy` — the parallel strategy hands the same
+/// environment to every worker (handlers are `Send + Sync` by the
+/// [`crate::registry::FunctionHandler`] bound).
+#[derive(Clone, Copy)]
+pub(crate) struct EvalEnv<'e> {
+    pub registry: &'e FunctionRegistry,
+    pub bindings: &'e Bindings,
+}
+
+#[cfg(test)]
+impl EvalEnv<'static> {
+    /// The empty environment: built-ins only, no variable bindings.
+    /// Production entry points build their environment from the plan's
+    /// registry ([`crate::compile`]); tests use this shorthand.
+    pub fn base() -> Self {
+        EvalEnv {
+            registry: FunctionRegistry::empty(),
+            bindings: Bindings::empty(),
+        }
+    }
+}
+
+impl<'e> EvalEnv<'e> {
+    /// Dispatches a function call: built-ins first (they cannot be
+    /// shadowed), then the registry.  Registered handlers are guarded by
+    /// their signature's arity check even at run time, so a handler never
+    /// observes an argument count its signature rejects.
+    fn call(
+        &self,
+        name: &str,
+        args: Vec<Value>,
+        ctx: &Context,
+        doc: &Document,
+    ) -> Result<Value, EvalError> {
+        if crate::functions::is_supported(name) {
+            return call_function(name, args, ctx, doc);
+        }
+        match self.registry.lookup(name) {
+            Some(f) => {
+                if !f.signature.accepts_arity(args.len()) {
+                    return Err(EvalError::WrongArity {
+                        name: name.to_string(),
+                        expected: f.signature.arity_description(),
+                        got: args.len(),
+                    });
+                }
+                (f.handler)(&args, ctx, doc)
+            }
+            None => Err(EvalError::UnknownFunction {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Resolves a `$name` reference against the bindings.
+    fn variable(&self, name: &str) -> Result<Value, EvalError> {
+        self.bindings
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EvalError::UnboundVariable {
+                name: name.to_string(),
+            })
+    }
+}
 
 /// Dispatches one evaluation of a lowered plan to a strategy — the IR twin
 /// of [`crate::compile::execute`].  The AST is still passed alongside: the
@@ -49,15 +119,16 @@ pub(crate) fn execute_ir<S: AxisSource + ?Sized>(
     expr: &Expr,
     ir: &PlanIr,
     ctx: Context,
+    env: EvalEnv<'_>,
 ) -> Result<(Value, EvalStats), EvalError> {
     match strategy {
         EvalStrategy::ContextValueTable => {
-            let mut ev = IrEvaluator::memoized(src, ir);
+            let mut ev = IrEvaluator::memoized(src, ir, env);
             let value = ev.eval(ir.root(), ctx)?;
             Ok((value, ev.stats()))
         }
         EvalStrategy::Naive => {
-            let mut ev = IrEvaluator::eager(src, ir);
+            let mut ev = IrEvaluator::eager(src, ir, env);
             let value = ev.eval(ir.root(), ctx)?;
             Ok((value, ev.stats()))
         }
@@ -75,9 +146,9 @@ pub(crate) fn execute_ir<S: AxisSource + ?Sized>(
                 Ok((Value::NodeSet(nodes), ev.stats()))
             }
         }
-        EvalStrategy::Parallel { threads } => parallel_ir(src, ir, threads.max(1), ctx),
+        EvalStrategy::Parallel { threads } => parallel_ir(src, ir, threads.max(1), ctx, env),
         EvalStrategy::SingletonSuccess => {
-            let checker = IrSingletonSuccess::new(src, ir)?;
+            let checker = IrSingletonSuccess::new(src, ir, env)?;
             let root = ir.root();
             let value = match ir.op(root).ty {
                 ExprType::NodeSet => Value::NodeSet(checker.node_set(ctx)?),
@@ -102,6 +173,7 @@ pub(crate) struct IrEvaluator<'d, 'q, S: AxisSource + ?Sized = Document> {
     src: &'d S,
     doc: &'d Document,
     ir: &'q PlanIr,
+    env: EvalEnv<'q>,
     memoized: bool,
     memo: HashMap<(OpId, ContextKey), Value>,
     stats: EvalStats,
@@ -110,20 +182,21 @@ pub(crate) struct IrEvaluator<'d, 'q, S: AxisSource + ?Sized = Document> {
 
 impl<'d, 'q, S: AxisSource + ?Sized> IrEvaluator<'d, 'q, S> {
     /// Context-value-table mode (the `ContextValueTable` strategy).
-    pub fn memoized(src: &'d S, ir: &'q PlanIr) -> Self {
-        Self::new(src, ir, true)
+    pub fn memoized(src: &'d S, ir: &'q PlanIr, env: EvalEnv<'q>) -> Self {
+        Self::new(src, ir, env, true)
     }
 
     /// Naive re-evaluation mode (the `Naive` strategy).
-    pub fn eager(src: &'d S, ir: &'q PlanIr) -> Self {
-        Self::new(src, ir, false)
+    pub fn eager(src: &'d S, ir: &'q PlanIr, env: EvalEnv<'q>) -> Self {
+        Self::new(src, ir, env, false)
     }
 
-    fn new(src: &'d S, ir: &'q PlanIr, memoized: bool) -> Self {
+    fn new(src: &'d S, ir: &'q PlanIr, env: EvalEnv<'q>, memoized: bool) -> Self {
         IrEvaluator {
             src,
             doc: src.document(),
             ir,
+            env,
             memoized,
             memo: HashMap::new(),
             stats: EvalStats::default(),
@@ -174,6 +247,24 @@ impl<'d, 'q, S: AxisSource + ?Sized> IrEvaluator<'d, 'q, S> {
                 left.extend(right);
                 Ok(Value::node_set(self.doc, left))
             }
+            OpKind::Intersect(a, b) => {
+                let left = self.eval(*a, ctx)?.into_nodes()?;
+                let right = self.eval(*b, ctx)?.into_nodes()?;
+                Ok(Value::NodeSet(crate::dp::set_intersect(left, &right)))
+            }
+            OpKind::Except(a, b) => {
+                let left = self.eval(*a, ctx)?.into_nodes()?;
+                let right = self.eval(*b, ctx)?.into_nodes()?;
+                Ok(Value::NodeSet(crate::dp::set_except(left, &right)))
+            }
+            OpKind::NodeCompare { op, left, right } => {
+                let l = self.eval(*left, ctx)?.into_nodes()?;
+                let r = self.eval(*right, ctx)?.into_nodes()?;
+                Ok(Value::Boolean(crate::dp::node_compare(
+                    *op, self.doc, &l, &r,
+                )))
+            }
+            OpKind::Variable(name) => self.env.variable(name),
             OpKind::Or(a, b) => {
                 if self.memoized {
                     if self.eval(*a, ctx)?.to_boolean() {
@@ -219,7 +310,7 @@ impl<'d, 'q, S: AxisSource + ?Sized> IrEvaluator<'d, 'q, S> {
                 for &a in arg_ids {
                     values.push(self.eval(a, ctx)?);
                 }
-                call_function(name, values, &ctx, self.doc)
+                self.env.call(name, values, &ctx, self.doc)
             }
         }
     }
@@ -372,6 +463,21 @@ impl<'d, 'q, S: AxisSource + ?Sized> IrLinear<'d, 'q, S> {
                 left.union_with(&right);
                 Ok(left)
             }
+            OpKind::Intersect(a, b) => {
+                let mut left = self.eval_nodeset(*a, from)?;
+                let right = self.eval_nodeset(*b, from)?;
+                left.intersect_with(&right);
+                Ok(left)
+            }
+            OpKind::Except(a, b) => {
+                // A \ B as A ∩ complement(B): the set operators stay native
+                // bitset operations, like everything else in this machine.
+                let mut left = self.eval_nodeset(*a, from)?;
+                let mut right = self.eval_nodeset(*b, from)?;
+                right.complement();
+                left.intersect_with(&right);
+                Ok(left)
+            }
             _ => Err(EvalError::fragment(
                 xpeval_syntax::Fragment::CoreXPath,
                 format!(
@@ -471,6 +577,7 @@ pub(crate) struct IrSingletonSuccess<'d, 'q, S: AxisSource + ?Sized = Document> 
     src: &'d S,
     doc: &'d Document,
     ir: &'q PlanIr,
+    env: EvalEnv<'q>,
     reach_memo: RefCell<HashMap<(u32, NodeId, NodeId), bool>>,
     bool_memo: RefCell<HashMap<(OpId, NodeId, usize, usize), bool>>,
     decisions: Cell<u64>,
@@ -479,12 +586,13 @@ pub(crate) struct IrSingletonSuccess<'d, 'q, S: AxisSource + ?Sized = Document> 
 }
 
 impl<'d, 'q, S: AxisSource + ?Sized> IrSingletonSuccess<'d, 'q, S> {
-    pub fn new(src: &'d S, ir: &'q PlanIr) -> Result<Self, EvalError> {
+    pub fn new(src: &'d S, ir: &'q PlanIr, env: EvalEnv<'q>) -> Result<Self, EvalError> {
         ir.ss_check()?;
         Ok(IrSingletonSuccess {
             src,
             doc: src.document(),
             ir,
+            env,
             reach_memo: RefCell::new(HashMap::new()),
             bool_memo: RefCell::new(HashMap::new()),
             decisions: Cell::new(0),
@@ -538,6 +646,15 @@ impl<'d, 'q, S: AxisSource + ?Sized> IrSingletonSuccess<'d, 'q, S> {
             }
             OpKind::Union(a, b) => {
                 Ok(self.selects(*a, ctx, target)? || self.selects(*b, ctx, target)?)
+            }
+            // The set operators stay membership tests: `target` is in the
+            // intersection (difference) exactly when both (only the left)
+            // membership checks succeed.
+            OpKind::Intersect(a, b) => {
+                Ok(self.selects(*a, ctx, target)? && self.selects(*b, ctx, target)?)
+            }
+            OpKind::Except(a, b) => {
+                Ok(self.selects(*a, ctx, target)? && !self.selects(*b, ctx, target)?)
             }
             _ => Err(EvalError::type_error(format!(
                 "expression {} is not node-set typed",
@@ -632,8 +749,14 @@ impl<'d, 'q, S: AxisSource + ?Sized> IrSingletonSuccess<'d, 'q, S> {
             OpKind::And(a, b) => self.eval_boolean(*a, ctx)? && self.eval_boolean(*b, ctx)?,
             OpKind::Or(a, b) => self.eval_boolean(*a, ctx)? || self.eval_boolean(*b, ctx)?,
             OpKind::Not(e) => !self.eval_boolean(*e, ctx)?,
-            OpKind::Path { .. } | OpKind::Union(_, _) => self.exists(id, ctx)?,
+            OpKind::Path { .. }
+            | OpKind::Union(_, _)
+            | OpKind::Intersect(_, _)
+            | OpKind::Except(_, _) => self.exists(id, ctx)?,
             OpKind::Relational { op, left, right } => self.relational(*op, *left, *right, ctx)?,
+            OpKind::NodeCompare { op, left, right } => {
+                self.node_compare(*op, *left, *right, ctx)?
+            }
             _ => self.eval_scalar(id, ctx)?.to_boolean(),
         };
         self.bool_memo.borrow_mut().insert(key, out);
@@ -657,6 +780,27 @@ impl<'d, 'q, S: AxisSource + ?Sized> IrSingletonSuccess<'d, 'q, S> {
             }
         }
         Ok(false)
+    }
+
+    /// Node comparison without materializing either operand: the engine's
+    /// `is`/`<<`/`>>` semantics compare the *first* node (in document
+    /// order) of each side, which [`Self::first_selected`] recovers one
+    /// membership test at a time.  An empty side makes the comparison
+    /// false.
+    fn node_compare(
+        &self,
+        op: xpeval_syntax::NodeCompOp,
+        left: OpId,
+        right: OpId,
+        ctx: Context,
+    ) -> Result<bool, EvalError> {
+        let (Some(l), Some(r)) = (
+            self.first_selected(left, ctx)?,
+            self.first_selected(right, ctx)?,
+        ) else {
+            return Ok(false);
+        };
+        Ok(op.apply(self.doc.pre(l), self.doc.pre(r)))
     }
 
     fn atomic_values(&self, id: OpId, ctx: Context) -> Result<Vec<Value>, EvalError> {
@@ -683,12 +827,18 @@ impl<'d, 'q, S: AxisSource + ?Sized> IrSingletonSuccess<'d, 'q, S> {
                 Ok(Value::Number(op.apply(l, r)))
             }
             OpKind::Neg(e) => Ok(Value::Number(-self.scalar_number(*e, ctx)?)),
-            OpKind::And(_, _) | OpKind::Or(_, _) | OpKind::Not(_) | OpKind::Relational { .. } => {
-                Ok(Value::Boolean(self.eval_boolean(id, ctx)?))
-            }
-            OpKind::Path { .. } | OpKind::Union(_, _) => Err(EvalError::type_error(
+            OpKind::And(_, _)
+            | OpKind::Or(_, _)
+            | OpKind::Not(_)
+            | OpKind::Relational { .. }
+            | OpKind::NodeCompare { .. } => Ok(Value::Boolean(self.eval_boolean(id, ctx)?)),
+            OpKind::Path { .. }
+            | OpKind::Union(_, _)
+            | OpKind::Intersect(_, _)
+            | OpKind::Except(_, _) => Err(EvalError::type_error(
                 "node-set expression in scalar position (use selects/exists)",
             )),
+            OpKind::Variable(name) => self.env.variable(name),
             OpKind::Call { name, args } => {
                 let arg_ids = self.ir.call_args(*args);
                 if name == "boolean"
@@ -709,7 +859,7 @@ impl<'d, 'q, S: AxisSource + ?Sized> IrSingletonSuccess<'d, 'q, S> {
                         values.push(self.eval_scalar(a, ctx)?);
                     }
                 }
-                call_function(name, values, &ctx, self.doc)
+                self.env.call(name, values, &ctx, self.doc)
             }
         }
     }
@@ -757,13 +907,14 @@ pub(crate) fn parallel_ir<S: AxisSource + ?Sized>(
     ir: &PlanIr,
     threads: usize,
     ctx: Context,
+    env: EvalEnv<'_>,
 ) -> Result<(Value, EvalStats), EvalError> {
-    let checker = IrSingletonSuccess::new(src, ir)?;
+    let checker = IrSingletonSuccess::new(src, ir, env)?;
     let root = ir.root();
     match ir.op(root).ty {
         ExprType::NodeSet => {
             drop(checker);
-            let (nodes, stats) = parallel_node_set(src, ir, threads, ctx)?;
+            let (nodes, stats) = parallel_node_set(src, ir, threads, ctx, env)?;
             Ok((Value::NodeSet(nodes), stats))
         }
         ExprType::Boolean => {
@@ -782,12 +933,13 @@ fn parallel_node_set<S: AxisSource + ?Sized>(
     ir: &PlanIr,
     threads: usize,
     ctx: Context,
+    env: EvalEnv<'_>,
 ) -> Result<(Vec<NodeId>, EvalStats), EvalError> {
     let doc = src.document();
     let candidates: Vec<NodeId> =
         ir_result_candidates(ir, src).unwrap_or_else(|| doc.all_nodes().collect());
     if threads <= 1 || candidates.len() < 2 {
-        let checker = IrSingletonSuccess::new(src, ir)?;
+        let checker = IrSingletonSuccess::new(src, ir, env)?;
         let nodes = checker.node_set(ctx)?;
         return Ok((nodes, checker.stats()));
     }
@@ -800,8 +952,9 @@ fn parallel_node_set<S: AxisSource + ?Sized>(
             handles.push(
                 scope.spawn(move || -> Result<(Vec<NodeId>, EvalStats), EvalError> {
                     // Each worker owns independent memo tables, mirroring the
-                    // independent NAuxPDA runs of the membership proof.
-                    let checker = IrSingletonSuccess::new(src, ir)?;
+                    // independent NAuxPDA runs of the membership proof.  The
+                    // environment is shared: handlers are Send + Sync.
+                    let checker = IrSingletonSuccess::new(src, ir, env)?;
                     let mut selected = Vec::new();
                     for &v in chunk {
                         if checker.selects(root, ctx, v)? {
@@ -849,7 +1002,7 @@ mod tests {
         EvalStrategy::SingletonSuccess,
     ];
 
-    const QUERIES: [&str; 22] = [
+    const QUERIES: [&str; 27] = [
         "/lib/book/title",
         "//title",
         "//a/b",
@@ -872,6 +1025,11 @@ mod tests {
         "1 + 2 * 3",
         "concat('x', string(count(//title)))",
         "//book[title = 'B']",
+        "//title intersect //book/title",
+        "(//title | //cite) except //paper/title",
+        "//b except //a/b",
+        "//book << //paper",
+        "//cite is //book/cite",
     ];
 
     fn lower(src: &str) -> (Expr, Arc<PlanIr>) {
@@ -894,7 +1052,7 @@ mod tests {
                 let (expr, ir) = lower(q);
                 for strategy in STRATEGIES {
                     let ast = execute(strategy, &doc, &expr, ctx);
-                    let via_ir = execute_ir(strategy, &doc, &expr, &ir, ctx);
+                    let via_ir = execute_ir(strategy, &doc, &expr, &ir, ctx, EvalEnv::base());
                     match (&ast, &via_ir) {
                         (Ok((a, _)), Ok((b, _))) => {
                             assert_eq!(a, b, "{q} via {strategy:?} on Document")
@@ -907,7 +1065,7 @@ mod tests {
                         other => panic!("{q} via {strategy:?}: {other:?}"),
                     }
                     let ast_p = execute(strategy, &prepared, &expr, ctx);
-                    let ir_p = execute_ir(strategy, &prepared, &expr, &ir, ctx);
+                    let ir_p = execute_ir(strategy, &prepared, &expr, &ir, ctx, EvalEnv::base());
                     match (&ast_p, &ir_p) {
                         (Ok((a, _)), Ok((b, _))) => {
                             assert_eq!(a, b, "{q} via {strategy:?} on Prepared")
@@ -934,7 +1092,7 @@ mod tests {
         let xml = "<r><a><b/></a><a><b/></a><a><b/></a></r>";
         let doc = parse_xml(xml).unwrap();
         let (_, ir) = lower("//b/ancestor::*[child::b]");
-        let mut ev = IrEvaluator::memoized(&doc, &ir);
+        let mut ev = IrEvaluator::memoized(&doc, &ir, EvalEnv::base());
         ev.eval(ir.root(), Context::root(&doc)).unwrap();
         let stats = ev.stats();
         assert!(stats.cache_hits > 0, "expected cache hits, got {stats:?}");
@@ -945,11 +1103,11 @@ mod tests {
     fn eager_mode_reports_list_growth_like_naive() {
         let doc = parse_xml("<a><b/><b/><b/></a>").unwrap();
         let (_, ir) = lower("//a/b/parent::a/b/parent::a/b");
-        let mut ev = IrEvaluator::eager(&doc, &ir);
+        let mut ev = IrEvaluator::eager(&doc, &ir, EvalEnv::base());
         ev.eval(ir.root(), Context::root(&doc)).unwrap();
         let eager = ev.stats();
         assert!(eager.max_intermediate_list >= 27, "{eager:?}");
-        let mut memo = IrEvaluator::memoized(&doc, &ir);
+        let mut memo = IrEvaluator::memoized(&doc, &ir, EvalEnv::base());
         memo.eval(ir.root(), Context::root(&doc)).unwrap();
         assert!(
             memo.stats().step_context_evaluations < eager.step_context_evaluations,
@@ -969,7 +1127,7 @@ mod tests {
         assert_eq!(ir.fused_steps(), 2);
         for strategy in STRATEGIES {
             let (ast, _) = execute(strategy, &doc, &expr, ctx).unwrap();
-            let (via_ir, _) = execute_ir(strategy, &doc, &expr, &ir, ctx).unwrap();
+            let (via_ir, _) = execute_ir(strategy, &doc, &expr, &ir, ctx, EvalEnv::base()).unwrap();
             assert_eq!(ast, via_ir, "{strategy:?}");
         }
     }
@@ -979,7 +1137,7 @@ mod tests {
         let doc = parse_xml(BOOKS).unwrap();
         let prepared = PreparedDocument::new(doc.clone());
         let (_, ir) = lower("/lib/book[2]/title");
-        let mut ev = IrEvaluator::memoized(&prepared, &ir);
+        let mut ev = IrEvaluator::memoized(&prepared, &ir, EvalEnv::base());
         let v = ev.eval(ir.root(), Context::root(&doc)).unwrap();
         let nodes = v.expect_nodes();
         assert_eq!(nodes.len(), 1);
@@ -991,7 +1149,15 @@ mod tests {
         let doc = parse_xml(BOOKS).unwrap();
         let ctx = Context::root(&doc);
         let (expr, ir) = lower("//book[position() = 2]");
-        let err = execute_ir(EvalStrategy::CoreXPathLinear, &doc, &expr, &ir, ctx).unwrap_err();
+        let err = execute_ir(
+            EvalStrategy::CoreXPathLinear,
+            &doc,
+            &expr,
+            &ir,
+            ctx,
+            EvalEnv::base(),
+        )
+        .unwrap_err();
         assert!(matches!(err, EvalError::UnsupportedFragment { .. }));
         // Identical message to the AST rejection.
         let ast_err = execute(EvalStrategy::CoreXPathLinear, &doc, &expr, ctx).unwrap_err();
@@ -1007,9 +1173,78 @@ mod tests {
             EvalStrategy::SingletonSuccess,
             EvalStrategy::Parallel { threads: 2 },
         ] {
-            let err = execute_ir(strategy, &doc, &expr, &ir, ctx).unwrap_err();
+            let err = execute_ir(strategy, &doc, &expr, &ir, ctx, EvalEnv::base()).unwrap_err();
             let ast_err = execute(strategy, &doc, &expr, ctx).unwrap_err();
             assert_eq!(err, ast_err, "{strategy:?}");
         }
+    }
+
+    #[test]
+    fn bindings_and_registered_functions_flow_through_the_ir() {
+        use crate::registry::{FragmentImpact, FunctionSignature};
+        let doc = parse_xml(BOOKS).unwrap();
+        let ctx = Context::root(&doc);
+        let mut registry = FunctionRegistry::new();
+        registry.register(
+            FunctionSignature::new("double", 1, Some(1))
+                .returns_number()
+                .impact(FragmentImpact::CoreSafe),
+            |args, _, doc| Ok(Value::Number(args[0].to_number(doc) * 2.0)),
+        );
+        let bindings = Bindings::new().with_number("year", 2003.0);
+        let env = EvalEnv {
+            registry: &registry,
+            bindings: &bindings,
+        };
+
+        // Variables resolve from the bindings on the tree-walk machines...
+        let expr = parse_query("//book[@year = $year]/title").unwrap();
+        let report = classify(&expr);
+        let ir = PlanIr::lower_with_registry(&expr, &report, &registry);
+        for strategy in [EvalStrategy::ContextValueTable, EvalStrategy::Naive] {
+            let (v, _) = execute_ir(strategy, &doc, &expr, &ir, ctx, env).unwrap();
+            let nodes = v.expect_nodes();
+            assert_eq!(nodes.len(), 1, "{strategy:?}");
+            assert_eq!(doc.string_value(nodes[0]), "B", "{strategy:?}");
+        }
+        // ...and are an error under the empty environment.
+        let err = execute_ir(
+            EvalStrategy::ContextValueTable,
+            &doc,
+            &expr,
+            &ir,
+            ctx,
+            EvalEnv::base(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EvalError::UnboundVariable { .. }), "{err:?}");
+
+        // A core-safe registered function runs on every admitted machine,
+        // including the Singleton-Success workers of the parallel strategy.
+        let expr = parse_query("//book[double(@year) = 4006]/title").unwrap();
+        let report = classify(&expr);
+        let ir = PlanIr::lower_with_registry(&expr, &report, &registry);
+        for strategy in [
+            EvalStrategy::ContextValueTable,
+            EvalStrategy::Naive,
+            EvalStrategy::SingletonSuccess,
+            EvalStrategy::Parallel { threads: 2 },
+        ] {
+            let (v, _) = execute_ir(strategy, &doc, &expr, &ir, ctx, env).unwrap();
+            let nodes = v.expect_nodes();
+            assert_eq!(nodes.len(), 1, "{strategy:?}");
+            assert_eq!(doc.string_value(nodes[0]), "B", "{strategy:?}");
+        }
+        // Without the registration the same plan reports the call unknown.
+        let err = execute_ir(
+            EvalStrategy::ContextValueTable,
+            &doc,
+            &expr,
+            &ir,
+            ctx,
+            EvalEnv::base(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EvalError::UnknownFunction { .. }), "{err:?}");
     }
 }

@@ -43,6 +43,26 @@ pub fn is_supported(name: &str) -> bool {
     name == "not" || SUPPORTED_FUNCTIONS.contains(&name)
 }
 
+/// Compile-time arity signature of a built-in function:
+/// `(min_args, max_args)` with `None` meaning unbounded.  Mirrors the
+/// runtime checks inside [`call_function`] so the compiler can reject a
+/// wrong-arity call before any document is touched.  Returns `None` for
+/// names that are not built-ins (the registry then gets a say).
+pub fn builtin_signature(name: &str) -> Option<(usize, Option<usize>)> {
+    Some(match name {
+        "position" | "last" | "true" | "false" => (0, Some(0)),
+        "count" | "sum" | "boolean" | "floor" | "ceiling" | "round" | "not" => (1, Some(1)),
+        "number" | "string" | "string-length" | "normalize-space" | "name" | "local-name" => {
+            (0, Some(1))
+        }
+        "contains" | "starts-with" | "substring-before" | "substring-after" => (2, Some(2)),
+        "substring" => (2, Some(3)),
+        "translate" => (3, Some(3)),
+        "concat" => (2, None),
+        _ => return None,
+    })
+}
+
 fn arity_error(name: &str, expected: &str, got: usize) -> EvalError {
     EvalError::WrongArity {
         name: name.to_string(),
@@ -520,5 +540,25 @@ mod tests {
             );
         }
         assert!(!is_supported("id"));
+    }
+
+    #[test]
+    fn builtin_signatures_cover_exactly_the_supported_set() {
+        assert!(builtin_signature("not").is_some());
+        assert!(builtin_signature("id").is_none());
+        for &name in SUPPORTED_FUNCTIONS {
+            let (min, max) = builtin_signature(name)
+                .unwrap_or_else(|| panic!("{name} missing a compile-time signature"));
+            if let Some(max) = max {
+                assert!(min <= max, "{name}");
+            }
+            // Calling with `min` arguments must never be a WrongArity error.
+            let (doc, ctx) = setup();
+            let r = call_function(name, vec![Value::Str("a".into()); min], &ctx, &doc);
+            assert!(
+                !matches!(r, Err(EvalError::WrongArity { .. })),
+                "{name} rejects its own minimum arity"
+            );
+        }
     }
 }

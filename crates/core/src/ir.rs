@@ -33,9 +33,12 @@
 //! The executors live in [`crate::exec`].
 
 use crate::error::EvalError;
+use crate::registry::FunctionRegistry;
 use std::sync::Arc;
 use xpeval_dom::{Axis, NodeTest, PositionalPick};
-use xpeval_syntax::{classify, ArithOp, Expr, Fragment, FragmentReport, LocationPath, RelOp, Step};
+use xpeval_syntax::{
+    classify, ArithOp, Expr, Fragment, FragmentReport, LocationPath, NodeCompOp, RelOp, Step,
+};
 
 /// Index of an [`OpIr`] in the plan's opcode arena.
 pub type OpId = u32;
@@ -108,6 +111,23 @@ pub enum OpKind {
     Path { absolute: bool, steps: (u32, u32) },
     /// `π1 | π2`.
     Union(OpId, OpId),
+    /// `π1 intersect π2` (XPath 2.0 node-set intersection).
+    Intersect(OpId, OpId),
+    /// `π1 except π2` (XPath 2.0 node-set difference).
+    Except(OpId, OpId),
+    /// Node comparison `e1 is e2` / `e1 << e2` / `e1 >> e2`, decided on the
+    /// first node in document order of each operand.
+    NodeCompare {
+        /// The comparison operator.
+        op: NodeCompOp,
+        /// Left node-set operand.
+        left: OpId,
+        /// Right node-set operand.
+        right: OpId,
+    },
+    /// External variable reference `$name`, resolved at execution time from
+    /// the per-evaluation [`crate::bindings::Bindings`].
+    Variable(String),
     /// `e1 or e2`.
     Or(OpId, OpId),
     /// `e1 and e2`.
@@ -130,10 +150,17 @@ pub enum OpKind {
 }
 
 impl OpKind {
-    /// Syntactically node-set typed (a path or a union) — the routing test
-    /// of the Singleton-Success rows, mirroring the AST checker.
+    /// Syntactically node-set typed (a path or a set operator over paths) —
+    /// the routing test of the Singleton-Success rows, mirroring the AST
+    /// checker.
     pub fn is_nodeset(&self) -> bool {
-        matches!(self, OpKind::Path { .. } | OpKind::Union(_, _))
+        matches!(
+            self,
+            OpKind::Path { .. }
+                | OpKind::Union(_, _)
+                | OpKind::Intersect(_, _)
+                | OpKind::Except(_, _)
+        )
     }
 }
 
@@ -159,7 +186,23 @@ impl PlanIr {
     /// of exactly this expression (the caller already has it; re-deriving it
     /// here would double the classifier work).
     pub fn lower(expr: &Expr, report: &FragmentReport) -> Arc<PlanIr> {
-        let mut lowering = Lowering::default();
+        PlanIr::lower_with_registry(expr, report, FunctionRegistry::empty())
+    }
+
+    /// Like [`PlanIr::lower`], but admitting calls to functions registered
+    /// in `registry`: the Singleton-Success admission check accepts
+    /// [`FragmentImpact::CoreSafe`](crate::registry::FragmentImpact)
+    /// registrations, and `Call` opcodes carry the registered return type so
+    /// result routing matches what the handler will produce.  The caller is
+    /// responsible for passing a `report` already degraded for
+    /// `General`-impact registrations (see
+    /// [`crate::compile::CompiledQuery::compile_with_registry`]).
+    pub fn lower_with_registry(
+        expr: &Expr,
+        report: &FragmentReport,
+        registry: &FunctionRegistry,
+    ) -> Arc<PlanIr> {
+        let mut lowering = Lowering::new(registry);
         let root = lowering.lower_expr(expr);
         let linear_check = if report.fragment > Fragment::CoreXPath {
             // Verbatim the linear evaluator's rejection, decided once here.
@@ -170,7 +213,7 @@ impl PlanIr {
         } else {
             Ok(())
         };
-        let ss_check = crate::success::validate_expr(expr);
+        let ss_check = crate::success::validate_expr_with(expr, registry);
         Arc::new(PlanIr {
             ops: lowering.ops,
             steps: lowering.steps,
@@ -267,6 +310,9 @@ impl PlanIr {
                     collect(ir, *a, out)?;
                     collect(ir, *b, out)
                 }
+                // `intersect`/`except` results are subsets of the left
+                // operand, so the left arm's bound is sound for the whole.
+                OpKind::Intersect(a, _) | OpKind::Except(a, _) => collect(ir, *a, out),
                 _ => None,
             }
         }
@@ -310,6 +356,15 @@ impl PlanIr {
                 }
             }
             OpKind::Union(a, b) => self.render_binary(*a, " | ", *b, out),
+            OpKind::Intersect(a, b) => self.render_binary(*a, " intersect ", *b, out),
+            OpKind::Except(a, b) => self.render_binary(*a, " except ", *b, out),
+            OpKind::NodeCompare { op, left, right } => {
+                let sep = format!(" {} ", op.symbol());
+                self.render_binary(*left, &sep, *right, out);
+            }
+            OpKind::Variable(name) => {
+                let _ = write!(out, "${name}");
+            }
             OpKind::Or(a, b) => self.render_binary(*a, " or ", *b, out),
             OpKind::And(a, b) => self.render_binary(*a, " and ", *b, out),
             OpKind::Not(e) => {
@@ -352,8 +407,8 @@ impl PlanIr {
     }
 }
 
-#[derive(Default)]
-struct Lowering {
+struct Lowering<'r> {
+    registry: &'r FunctionRegistry,
     ops: Vec<OpIr>,
     steps: Vec<StepIr>,
     preds: Vec<OpId>,
@@ -361,13 +416,35 @@ struct Lowering {
     fused_steps: u32,
 }
 
-impl Lowering {
+impl<'r> Lowering<'r> {
+    fn new(registry: &'r FunctionRegistry) -> Self {
+        Lowering {
+            registry,
+            ops: Vec::new(),
+            steps: Vec::new(),
+            preds: Vec::new(),
+            args: Vec::new(),
+            fused_steps: 0,
+        }
+    }
+
     fn push_op(&mut self, expr: &Expr, kind: OpKind) -> OpId {
         let id = OpId::try_from(self.ops.len()).expect("plan IR op arena overflowed u32");
+        // The AST's static typing does not know registered functions; the
+        // registry's declared return type wins for them so that result
+        // routing matches what the handler produces.
+        let ty = match expr {
+            Expr::FunctionCall { name, .. } if !crate::functions::is_supported(name) => self
+                .registry
+                .lookup(name)
+                .map(|f| f.signature.return_type())
+                .unwrap_or_else(|| expr.expr_type()),
+            _ => expr.expr_type(),
+        };
         self.ops.push(OpIr {
             kind,
             fragment: classify(expr).fragment,
-            ty: expr.expr_type(),
+            ty,
             sensitive: crate::dp::sensitivity(expr),
         });
         id
@@ -385,6 +462,14 @@ impl Lowering {
                 }
             }
             Expr::Union(a, b) => OpKind::Union(self.lower_expr(a), self.lower_expr(b)),
+            Expr::Intersect(a, b) => OpKind::Intersect(self.lower_expr(a), self.lower_expr(b)),
+            Expr::Except(a, b) => OpKind::Except(self.lower_expr(a), self.lower_expr(b)),
+            Expr::NodeCompare { op, left, right } => OpKind::NodeCompare {
+                op: *op,
+                left: self.lower_expr(left),
+                right: self.lower_expr(right),
+            },
+            Expr::Variable(name) => OpKind::Variable(name.clone()),
             Expr::Or(a, b) => OpKind::Or(self.lower_expr(a), self.lower_expr(b)),
             Expr::And(a, b) => OpKind::And(self.lower_expr(a), self.lower_expr(b)),
             Expr::Not(e) => OpKind::Not(self.lower_expr(e)),
@@ -520,9 +605,14 @@ mod tests {
             let check = |c: OpId| assert!((c as usize) < i, "op {i} references forward id {c}");
             match &op.kind {
                 OpKind::Union(a, b)
+                | OpKind::Intersect(a, b)
+                | OpKind::Except(a, b)
                 | OpKind::Or(a, b)
                 | OpKind::And(a, b)
                 | OpKind::Relational {
+                    left: a, right: b, ..
+                }
+                | OpKind::NodeCompare {
                     left: a, right: b, ..
                 }
                 | OpKind::Arithmetic {
@@ -692,6 +782,83 @@ mod tests {
         assert!(lower("//a/@x").final_step_tests().is_none());
         assert!(lower("//a/text()").final_step_tests().is_none());
         assert!(lower("count(//a)").final_step_tests().is_none());
+    }
+
+    #[test]
+    fn set_operators_and_variables_lower_and_render() {
+        let ir = lower("//a intersect //b");
+        assert!(matches!(ir.op(ir.root()).kind, OpKind::Intersect(_, _)));
+        assert!(ir.op(ir.root()).kind.is_nodeset());
+        assert!(ir.display_op(ir.root()).contains(" intersect "));
+        // Intersection of two core location paths keeps the linear bound.
+        assert!(ir.linear_check().is_ok());
+        assert!(lower("//a except //b").linear_check().is_ok());
+
+        let ir = lower("//a except //b");
+        assert!(matches!(ir.op(ir.root()).kind, OpKind::Except(_, _)));
+        assert!(ir.display_op(ir.root()).contains(" except "));
+
+        let ir = lower("//a << //b");
+        assert!(
+            matches!(&ir.op(ir.root()).kind, OpKind::NodeCompare { op, .. } if *op == NodeCompOp::Precedes)
+        );
+        assert!(!ir.op(ir.root()).kind.is_nodeset());
+        assert!(ir.display_op(ir.root()).contains(" << "));
+
+        let ir = lower("//row[@limit = $max]");
+        assert!(ir
+            .ops()
+            .iter()
+            .any(|o| matches!(&o.kind, OpKind::Variable(name) if name == "max")));
+        assert!(ir.display_op(ir.root()).contains("$max"));
+        // Variables push the query beyond Core XPath: no linear bound.
+        assert!(ir.linear_check().is_err());
+    }
+
+    #[test]
+    fn set_operator_results_are_bounded_by_the_left_arm() {
+        let tests = |src: &str| -> Vec<String> {
+            lower(src)
+                .final_step_tests()
+                .unwrap()
+                .iter()
+                .map(|t| match t {
+                    NodeTest::Resolved { name, .. } => name.clone(),
+                    other => panic!("{other:?}"),
+                })
+                .collect()
+        };
+        assert_eq!(tests("//a intersect //b"), ["a"]);
+        assert_eq!(tests("//a except //b"), ["a"]);
+        assert_eq!(tests("(//a | //b) except //c"), ["a", "b"]);
+        assert!(lower("//a is //b").final_step_tests().is_none());
+    }
+
+    #[test]
+    fn registered_return_types_override_the_ast_guess() {
+        use crate::registry::{FragmentImpact, FunctionSignature};
+        use xpeval_syntax::ast::ExprType;
+        let mut registry = FunctionRegistry::new();
+        registry.register(
+            FunctionSignature::new("double", 1, Some(1))
+                .returns_number()
+                .impact(FragmentImpact::CoreSafe),
+            |args, _, doc| Ok(crate::value::Value::Number(args[0].to_number(doc) * 2.0)),
+        );
+        let expr = parse_query("//a[double(@x) = 4]").unwrap();
+        let report = classify(&expr);
+        let ir = PlanIr::lower_with_registry(&expr, &report, &registry);
+        let call_ty = ir
+            .ops()
+            .iter()
+            .find(|o| matches!(&o.kind, OpKind::Call { name, .. } if name == "double"))
+            .map(|o| o.ty)
+            .unwrap();
+        assert_eq!(call_ty, ExprType::Number);
+        // With the registration, the SS machines admit the call...
+        assert!(ir.ss_check().is_ok());
+        // ...without it, they reject it as unknown.
+        assert!(PlanIr::lower(&expr, &report).ss_check().is_err());
     }
 
     #[test]

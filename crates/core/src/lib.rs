@@ -44,6 +44,7 @@
 //! [`NodeStream`], the lazy node-set result iterator behind
 //! [`CompiledQuery::run_streaming`].
 
+pub mod bindings;
 pub mod cache;
 pub mod compile;
 pub mod context;
@@ -56,12 +57,14 @@ pub mod functions;
 pub mod ir;
 pub mod naive;
 pub mod parallel;
+pub mod registry;
 pub mod stats;
 pub mod steps;
 pub mod stream;
 pub mod success;
 pub mod value;
 
+pub use bindings::Bindings;
 pub use cache::{CacheStats, DocKey, DocumentCache, PlanCache, ShardStats, ShardedPlanCache};
 pub use compile::{
     default_threads, recommended_strategy, recommended_strategy_for_document,
@@ -76,6 +79,7 @@ pub use error::EvalError;
 pub use ir::{OpId, OpIr, OpKind, PlanIr, StepIr, StepSelectivity};
 pub use naive::{NaiveEvaluator, NaiveStats};
 pub use parallel::ParallelEvaluator;
+pub use registry::{FragmentImpact, FunctionHandler, FunctionRegistry, FunctionSignature};
 pub use stats::EvalStats;
 pub use stream::{NodeStream, StreamMode};
 pub use success::{SingletonSuccess, SuccessTarget};

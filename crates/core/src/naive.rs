@@ -101,6 +101,24 @@ impl<'d, S: AxisSource + ?Sized> NaiveEvaluator<'d, S> {
                 left.extend(right);
                 Ok(Value::node_set(self.doc, left))
             }
+            Expr::Intersect(a, b) => {
+                let left = self.eval(a, ctx)?.into_nodes()?;
+                let right = self.eval(b, ctx)?.into_nodes()?;
+                Ok(Value::NodeSet(crate::dp::set_intersect(left, &right)))
+            }
+            Expr::Except(a, b) => {
+                let left = self.eval(a, ctx)?.into_nodes()?;
+                let right = self.eval(b, ctx)?.into_nodes()?;
+                Ok(Value::NodeSet(crate::dp::set_except(left, &right)))
+            }
+            Expr::NodeCompare { op, left, right } => {
+                let l = self.eval(left, ctx)?.into_nodes()?;
+                let r = self.eval(right, ctx)?.into_nodes()?;
+                Ok(Value::Boolean(crate::dp::node_compare(
+                    *op, self.doc, &l, &r,
+                )))
+            }
+            Expr::Variable(name) => Err(EvalError::UnboundVariable { name: name.clone() }),
             Expr::Or(a, b) => {
                 let l = self.eval(a, ctx)?.to_boolean();
                 let r = self.eval(b, ctx)?.to_boolean();
@@ -202,6 +220,10 @@ mod tests {
             "//book/title | //paper/title",
             "string(//book[1]/title)",
             "//book[child::cite or child::title][last()]",
+            "//title intersect //book/title",
+            "//title except //book/title",
+            "//book << //paper",
+            "//cite is //book/cite",
         ] {
             let query = parse_query(q).unwrap();
             let naive = NaiveEvaluator::new(&doc).evaluate(&query).unwrap();

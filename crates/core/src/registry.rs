@@ -1,0 +1,344 @@
+//! Extensible function registry.
+//!
+//! The engine's built-in function library ([`crate::functions`]) is closed:
+//! its complexity behaviour is known, so the fragment classifier can place
+//! any query using it on the lattice of Figure 1.  User-defined functions
+//! break that closure — the classifier cannot see inside an opaque handler.
+//! This module restores honesty by making every registered function *declare*
+//! its complexity contract up front:
+//!
+//! * a [`FunctionSignature`] fixes the name, the accepted arity range and
+//!   the static return type, so mis-arity calls are rejected at **compile
+//!   time**, exactly like built-ins;
+//! * a [`FragmentImpact`] states whether the function preserves the query's
+//!   fragment classification ([`FragmentImpact::CoreSafe`]) or forces the
+//!   query into full XPath ([`FragmentImpact::General`]).  A `General`
+//!   function degrades the plan's [`FragmentReport`](xpeval_syntax::FragmentReport)
+//!   to [`Fragment::XPath`](xpeval_syntax::Fragment), which routes it to the
+//!   polynomial context-value-table evaluator — the plan never *claims* a
+//!   linear bound it cannot honour.
+//!
+//! Registries are immutable once attached to an
+//! [`Engine`](crate::engine::Engine): registration happens on
+//! [`EngineBuilder`](crate::engine::EngineBuilder) (or directly on a
+//! [`FunctionRegistry`] handed to
+//! [`CompiledQuery::compile_with_registry`](crate::compile::CompiledQuery::compile_with_registry)),
+//! and the built engine shares the registry across clones behind an `Arc`.
+//!
+//! ```
+//! use xpeval_core::{FragmentImpact, FunctionRegistry, FunctionSignature, Value};
+//!
+//! let mut registry = FunctionRegistry::new();
+//! registry.register(
+//!     FunctionSignature::new("double", 1, Some(1))
+//!         .returns_number()
+//!         .impact(FragmentImpact::CoreSafe),
+//!     |args, _ctx, doc| Ok(Value::Number(args[0].to_number(doc) * 2.0)),
+//! );
+//! assert!(registry.lookup("double").is_some());
+//! ```
+
+use crate::context::Context;
+use crate::error::EvalError;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+use xpeval_dom::Document;
+use xpeval_syntax::ast::ExprType;
+
+/// The complexity contract a registered function declares.
+///
+/// The fragment classifier (Figure 1 of the paper) assigns complexity
+/// bounds to queries by *syntactic* inspection; an opaque user function
+/// defeats that inspection, so the function must state which side of the
+/// line it is on.  The declaration is trusted — it is the registrant's
+/// claim, and the engine's strategy selection honours it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FragmentImpact {
+    /// The function behaves like a core-library scalar function: it runs in
+    /// time polynomial in its inputs and has no effect on which fragment
+    /// the query belongs to.  A query that is Core XPath apart from calls
+    /// to `CoreSafe` functions keeps its linear-bound strategy.
+    CoreSafe,
+    /// No complexity claim: the query is conservatively reclassified as
+    /// full XPath and evaluated by the context-value-table dynamic program
+    /// (polynomial combined complexity, Proposition 2.7).  This is the
+    /// default — degrading is always sound.
+    #[default]
+    General,
+}
+
+impl fmt::Display for FragmentImpact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FragmentImpact::CoreSafe => f.write_str("core-safe"),
+            FragmentImpact::General => f.write_str("general"),
+        }
+    }
+}
+
+/// Compile-time signature of a registered function: name, arity range,
+/// static return type and declared [`FragmentImpact`].
+#[derive(Clone, Debug)]
+pub struct FunctionSignature {
+    name: String,
+    min_args: usize,
+    /// `None` = variadic above `min_args` (like `concat`).
+    max_args: Option<usize>,
+    impact: FragmentImpact,
+    returns: ExprType,
+}
+
+impl FunctionSignature {
+    /// A signature accepting between `min_args` and `max_args` arguments
+    /// (`None` = unbounded), returning a string and declaring the
+    /// conservative [`FragmentImpact::General`] contract.  Refine with the
+    /// builder methods.
+    pub fn new(name: impl Into<String>, min_args: usize, max_args: Option<usize>) -> Self {
+        FunctionSignature {
+            name: name.into(),
+            min_args,
+            max_args,
+            impact: FragmentImpact::General,
+            returns: ExprType::Str,
+        }
+    }
+
+    /// Declares the function's complexity contract.
+    pub fn impact(mut self, impact: FragmentImpact) -> Self {
+        self.impact = impact;
+        self
+    }
+
+    /// Declares the static return type as number.
+    pub fn returns_number(mut self) -> Self {
+        self.returns = ExprType::Number;
+        self
+    }
+
+    /// Declares the static return type as boolean.
+    pub fn returns_boolean(mut self) -> Self {
+        self.returns = ExprType::Boolean;
+        self
+    }
+
+    /// Declares the static return type as string (the default).
+    pub fn returns_string(mut self) -> Self {
+        self.returns = ExprType::Str;
+        self
+    }
+
+    /// The function's name as written in queries.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The accepted arity range, `(min, max)` with `None` = unbounded.
+    pub fn arity(&self) -> (usize, Option<usize>) {
+        (self.min_args, self.max_args)
+    }
+
+    /// The declared complexity contract.
+    pub fn fragment_impact(&self) -> FragmentImpact {
+        self.impact
+    }
+
+    /// The declared static return type.
+    pub fn return_type(&self) -> ExprType {
+        self.returns
+    }
+
+    /// Whether `got` arguments satisfy this signature.
+    pub fn accepts_arity(&self, got: usize) -> bool {
+        got >= self.min_args && self.max_args.map_or(true, |max| got <= max)
+    }
+
+    /// Human-readable arity range for error messages (`"2"`, `"1 to 3"`,
+    /// `"2 or more"`).
+    pub fn arity_description(&self) -> String {
+        match self.max_args {
+            Some(max) if max == self.min_args => max.to_string(),
+            Some(max) => format!("{} to {}", self.min_args, max),
+            None => format!("{} or more", self.min_args),
+        }
+    }
+}
+
+/// The handler invoked at evaluation time: already-evaluated argument
+/// values, the evaluation context and the document.  Must be thread-safe —
+/// the parallel strategy calls handlers from worker threads.
+pub type FunctionHandler =
+    Arc<dyn Fn(&[Value], &Context, &Document) -> Result<Value, EvalError> + Send + Sync>;
+
+/// A registered function: signature plus handler.
+#[derive(Clone)]
+pub struct RegisteredFunction {
+    /// The compile-time signature.
+    pub signature: FunctionSignature,
+    /// The evaluation-time handler.
+    pub handler: FunctionHandler,
+}
+
+impl fmt::Debug for RegisteredFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegisteredFunction")
+            .field("signature", &self.signature)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A set of user-registered functions consulted by the compiler (for
+/// signature validation and fragment degradation) and by the IR evaluators
+/// (for dispatch on names the built-in library does not know).
+///
+/// Built-in names cannot be shadowed: [`FunctionRegistry::register`]
+/// panics when given a name from
+/// [`SUPPORTED_FUNCTIONS`](crate::functions::SUPPORTED_FUNCTIONS) (or
+/// `not`), because every evaluator resolves built-ins first and a shadow
+/// registration would silently never be called.
+#[derive(Clone, Debug, Default)]
+pub struct FunctionRegistry {
+    functions: HashMap<String, RegisteredFunction>,
+}
+
+impl FunctionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        FunctionRegistry::default()
+    }
+
+    /// The process-wide empty registry, used by entry points that predate
+    /// registries so they need not allocate one per call.
+    pub(crate) fn empty() -> &'static FunctionRegistry {
+        static EMPTY: OnceLock<FunctionRegistry> = OnceLock::new();
+        EMPTY.get_or_init(FunctionRegistry::new)
+    }
+
+    /// The shared (`Arc`) form of [`FunctionRegistry::empty`], for the
+    /// default of [`crate::CompileOptions`] — every registry-less plan in
+    /// the process points at the same allocation.
+    pub(crate) fn empty_shared() -> Arc<FunctionRegistry> {
+        static EMPTY: OnceLock<Arc<FunctionRegistry>> = OnceLock::new();
+        EMPTY
+            .get_or_init(|| Arc::new(FunctionRegistry::new()))
+            .clone()
+    }
+
+    /// Registers a function, replacing any previous registration of the
+    /// same name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name shadows a built-in function — the built-in would
+    /// always win at dispatch time, so the registration could never take
+    /// effect.
+    pub fn register<F>(&mut self, signature: FunctionSignature, handler: F) -> &mut Self
+    where
+        F: Fn(&[Value], &Context, &Document) -> Result<Value, EvalError> + Send + Sync + 'static,
+    {
+        assert!(
+            !crate::functions::is_supported(signature.name()),
+            "cannot shadow built-in function '{}'",
+            signature.name()
+        );
+        self.functions.insert(
+            signature.name.clone(),
+            RegisteredFunction {
+                signature,
+                handler: Arc::new(handler),
+            },
+        );
+        self
+    }
+
+    /// Looks up a registered function by name.
+    pub fn lookup(&self, name: &str) -> Option<&RegisteredFunction> {
+        self.functions.get(name)
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// Iterates over the registered signatures in unspecified order.
+    pub fn signatures(&self) -> impl Iterator<Item = &FunctionSignature> {
+        self.functions.values().map(|f| &f.signature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn double() -> FunctionSignature {
+        FunctionSignature::new("double", 1, Some(1))
+            .returns_number()
+            .impact(FragmentImpact::CoreSafe)
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = FunctionRegistry::new();
+        assert!(r.is_empty());
+        r.register(double(), |args, _, doc| {
+            Ok(Value::Number(args[0].to_number(doc) * 2.0))
+        });
+        assert_eq!(r.len(), 1);
+        let f = r.lookup("double").unwrap();
+        assert_eq!(f.signature.name(), "double");
+        assert_eq!(f.signature.return_type(), ExprType::Number);
+        assert_eq!(f.signature.fragment_impact(), FragmentImpact::CoreSafe);
+        assert!(r.lookup("triple").is_none());
+        assert_eq!(r.signatures().count(), 1);
+    }
+
+    #[test]
+    fn arity_checks() {
+        let s = double();
+        assert!(s.accepts_arity(1));
+        assert!(!s.accepts_arity(0));
+        assert!(!s.accepts_arity(2));
+        assert_eq!(s.arity_description(), "1");
+        let v = FunctionSignature::new("join", 2, None);
+        assert!(v.accepts_arity(2));
+        assert!(v.accepts_arity(9));
+        assert!(!v.accepts_arity(1));
+        assert_eq!(v.arity_description(), "2 or more");
+        let r = FunctionSignature::new("pick", 1, Some(3));
+        assert_eq!(r.arity_description(), "1 to 3");
+    }
+
+    #[test]
+    fn default_contract_is_general_string() {
+        let s = FunctionSignature::new("f", 0, Some(0));
+        assert_eq!(s.fragment_impact(), FragmentImpact::General);
+        assert_eq!(s.return_type(), ExprType::Str);
+        assert_eq!(FragmentImpact::General.to_string(), "general");
+        assert_eq!(FragmentImpact::CoreSafe.to_string(), "core-safe");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shadow built-in")]
+    fn shadowing_builtins_panics() {
+        let mut r = FunctionRegistry::new();
+        r.register(FunctionSignature::new("count", 1, Some(1)), |_, _, _| {
+            Ok(Value::Number(0.0))
+        });
+    }
+
+    #[test]
+    fn debug_and_clone_work() {
+        let mut r = FunctionRegistry::new();
+        r.register(double(), |_, _, _| Ok(Value::Number(0.0)));
+        let c = r.clone();
+        assert!(format!("{c:?}").contains("double"));
+        assert!(FunctionRegistry::empty().is_empty());
+    }
+}

@@ -236,9 +236,14 @@ pub fn resolve_name_tests<S: AxisSource + ?Sized>(expr: &mut Expr, src: &S) {
                 }
             }
             Expr::Union(a, b)
+            | Expr::Intersect(a, b)
+            | Expr::Except(a, b)
             | Expr::Or(a, b)
             | Expr::And(a, b)
             | Expr::Relational {
+                left: a, right: b, ..
+            }
+            | Expr::NodeCompare {
                 left: a, right: b, ..
             }
             | Expr::Arithmetic {
@@ -253,7 +258,7 @@ pub fn resolve_name_tests<S: AxisSource + ?Sized>(expr: &mut Expr, src: &S) {
                     walk(arg, src);
                 }
             }
-            Expr::Number(_) | Expr::Literal(_) => {}
+            Expr::Number(_) | Expr::Literal(_) | Expr::Variable(_) => {}
         }
     }
 

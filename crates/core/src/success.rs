@@ -166,11 +166,21 @@ impl<'d, 'q, S: AxisSource + ?Sized> SingletonSuccess<'d, 'q, S> {
     // -- Table 1, node-set rows ---------------------------------------------
 
     /// Membership test "node `target` is selected by `expr` from context
-    /// `ctx`" — the `χ::t`, `/π`, `π1/π2` and `π1|π2` rows of Table 1.
+    /// `ctx`" — the `χ::t`, `/π`, `π1/π2` and `π1|π2` rows of Table 1, plus
+    /// the derived set-operator rows: membership in an intersection is a
+    /// conjunction of memberships, membership in a difference a conjunction
+    /// with a negated membership — both decided without materializing
+    /// either operand set.
     pub fn selects(&self, expr: &Expr, ctx: Context, target: NodeId) -> Result<bool, EvalError> {
         match expr {
             Expr::Path(path) => self.path_selects(path, ctx, target),
             Expr::Union(a, b) => Ok(self.selects(a, ctx, target)? || self.selects(b, ctx, target)?),
+            Expr::Intersect(a, b) => {
+                Ok(self.selects(a, ctx, target)? && self.selects(b, ctx, target)?)
+            }
+            Expr::Except(a, b) => {
+                Ok(self.selects(a, ctx, target)? && !self.selects(b, ctx, target)?)
+            }
             other => Err(EvalError::type_error(format!(
                 "expression {other} is not node-set typed"
             ))),
@@ -301,7 +311,10 @@ impl<'d, 'q, S: AxisSource + ?Sized> SingletonSuccess<'d, 'q, S> {
             // that no node is selected; nested occurrences recurse, with the
             // nesting depth bounded by the query.
             Expr::Not(e) => !self.eval_boolean(e, ctx)?,
-            Expr::Path(_) | Expr::Union(_, _) => self.exists(expr, ctx)?,
+            Expr::Path(_) | Expr::Union(_, _) | Expr::Intersect(_, _) | Expr::Except(_, _) => {
+                self.exists(expr, ctx)?
+            }
+            Expr::NodeCompare { op, left, right } => self.node_compare(*op, left, right, ctx)?,
             Expr::Relational { op, left, right } => self.relational(*op, left, right, ctx)?,
             other => self.eval_scalar(other, ctx)?.to_boolean(),
         };
@@ -330,6 +343,25 @@ impl<'d, 'q, S: AxisSource + ?Sized> SingletonSuccess<'d, 'q, S> {
             }
         }
         Ok(false)
+    }
+
+    /// A node comparison `π1 is/<</>> π2`, decided on the first node in
+    /// document order of each operand (found by iteration, never by
+    /// materializing the sets); an empty operand never compares true.
+    fn node_compare(
+        &self,
+        op: xpeval_syntax::NodeCompOp,
+        left: &Expr,
+        right: &Expr,
+        ctx: Context,
+    ) -> Result<bool, EvalError> {
+        let (Some(l), Some(r)) = (
+            self.first_selected(left, ctx)?,
+            self.first_selected(right, ctx)?,
+        ) else {
+            return Ok(false);
+        };
+        Ok(op.apply(self.doc.pre(l), self.doc.pre(r)))
     }
 
     /// The atomic values contributed by an operand of a comparison: a scalar
@@ -361,12 +393,19 @@ impl<'d, 'q, S: AxisSource + ?Sized> SingletonSuccess<'d, 'q, S> {
                 Ok(Value::Number(op.apply(l, r)))
             }
             Expr::Neg(e) => Ok(Value::Number(-self.scalar_number(e, ctx)?)),
-            Expr::And(_, _) | Expr::Or(_, _) | Expr::Not(_) | Expr::Relational { .. } => {
-                Ok(Value::Boolean(self.eval_boolean(expr, ctx)?))
+            Expr::And(_, _)
+            | Expr::Or(_, _)
+            | Expr::Not(_)
+            | Expr::Relational { .. }
+            | Expr::NodeCompare { .. } => Ok(Value::Boolean(self.eval_boolean(expr, ctx)?)),
+            Expr::Path(_) | Expr::Union(_, _) | Expr::Intersect(_, _) | Expr::Except(_, _) => {
+                Err(EvalError::type_error(
+                    "node-set expression in scalar position (use selects/exists)",
+                ))
             }
-            Expr::Path(_) | Expr::Union(_, _) => Err(EvalError::type_error(
-                "node-set expression in scalar position (use selects/exists)",
-            )),
+            // The AST checker has no bindings channel; variables are only
+            // resolvable on the compiled (IR) paths.
+            Expr::Variable(name) => Err(EvalError::UnboundVariable { name: name.clone() }),
             Expr::FunctionCall { name, args } => {
                 if name == "boolean" && args.len() == 1 && args[0].is_nodeset_typed() {
                     // Table 1 row "boolean(π)".
@@ -413,19 +452,58 @@ trait NodeSetTyped {
 
 impl NodeSetTyped for Expr {
     fn is_nodeset_typed(&self) -> bool {
-        matches!(self, Expr::Path(_) | Expr::Union(_, _))
+        matches!(
+            self,
+            Expr::Path(_) | Expr::Union(_, _) | Expr::Intersect(_, _) | Expr::Except(_, _)
+        )
     }
 }
 
-/// Crate-facing admission check used by plan lowering: the verdict is
-/// precomputed into [`crate::ir::PlanIr`] so dispatch never re-validates.
+/// Registry-less admission check (kept for tests; plan lowering uses
+/// [`validate_expr_with`] so registered core-safe functions are admitted).
+#[cfg(test)]
 pub(crate) fn validate_expr(query: &Expr) -> Result<(), EvalError> {
     validate(query)
+}
+
+/// Registry-aware variant of [`validate_expr`]: calls to registered
+/// functions declaring [`FragmentImpact::CoreSafe`] are admitted alongside
+/// the built-ins; `General`-impact registrations are rejected (the whole
+/// query has already been degraded to full XPath, which these machines do
+/// not cover).
+pub(crate) fn validate_expr_with(
+    query: &Expr,
+    registry: &crate::registry::FunctionRegistry,
+) -> Result<(), EvalError> {
+    validate_inner(query, registry)
 }
 
 /// Validates that a query lies in the fragment covered by the checker
 /// (pWF / pXPath, optionally with negation per Theorems 5.9/6.3).
 fn validate(query: &Expr) -> Result<(), EvalError> {
+    validate_inner(query, crate::registry::FunctionRegistry::empty())
+}
+
+/// Registry-aware static type of a relational operand: a registered
+/// function's declared return type is authoritative; the AST guess covers
+/// everything else (including unknown names, which a later visit rejects
+/// with the more precise [`EvalError::UnknownFunction`]).
+fn operand_type(e: &Expr, registry: &crate::registry::FunctionRegistry) -> ExprType {
+    if let Expr::FunctionCall { name, .. } = e {
+        if !is_supported(name) {
+            if let Some(f) = registry.lookup(name) {
+                return f.signature.return_type();
+            }
+        }
+    }
+    e.expr_type()
+}
+
+fn validate_inner(
+    query: &Expr,
+    registry: &crate::registry::FunctionRegistry,
+) -> Result<(), EvalError> {
+    use crate::registry::FragmentImpact;
     let mut error: Option<EvalError> = None;
     query.visit(&mut |e| {
         if error.is_some() {
@@ -443,8 +521,8 @@ fn validate(query: &Expr) -> Result<(), EvalError> {
                 }
             }
             Expr::Relational { left, right, .. } => {
-                let boolean_operand = matches!(left.expr_type(), ExprType::Boolean)
-                    || matches!(right.expr_type(), ExprType::Boolean);
+                let boolean_operand = matches!(operand_type(left, registry), ExprType::Boolean)
+                    || matches!(operand_type(right, registry), ExprType::Boolean);
                 if boolean_operand {
                     error = Some(EvalError::fragment(
                         Fragment::PXPath,
@@ -459,7 +537,20 @@ fn validate(query: &Expr) -> Result<(), EvalError> {
                         format!("the {name}() function (Definition 6.1(2))"),
                     ));
                 } else if !is_supported(name) {
-                    error = Some(EvalError::UnknownFunction { name: name.clone() });
+                    match registry.lookup(name).map(|f| f.signature.fragment_impact()) {
+                        Some(FragmentImpact::CoreSafe) => {}
+                        Some(FragmentImpact::General) => {
+                            error = Some(EvalError::fragment(
+                                Fragment::PXPath,
+                                format!(
+                                    "the registered function {name}() (declared general impact)"
+                                ),
+                            ));
+                        }
+                        None => {
+                            error = Some(EvalError::UnknownFunction { name: name.clone() });
+                        }
+                    }
                 }
             }
             _ => {}
@@ -619,6 +710,62 @@ mod tests {
         checker_agrees_with_dp(BOOKS, "//book[@year = //paper/@year]");
         checker_agrees_with_dp(BOOKS, "//book[@year < 2002]");
         checker_agrees_with_dp(BOOKS, "//book[title = 'B']");
+    }
+
+    #[test]
+    fn set_operators_and_node_comparisons_agree_with_dp() {
+        for q in [
+            "//title intersect //book/title",
+            "//title except //book/title",
+            "(//title | //cite) except //paper/title",
+            "//book intersect //paper",
+            "//book[child::cite] intersect //book[@year = 2003]",
+            "//book is //book",
+            "//cite << //paper",
+            "//paper >> //cite",
+            "//nosuch is //book",
+        ] {
+            checker_agrees_with_dp(BOOKS, q);
+        }
+    }
+
+    #[test]
+    fn variables_are_unbound_on_the_ast_path() {
+        let doc = parse_xml(BOOKS).unwrap();
+        let q = parse_query("$threshold").unwrap();
+        let ss = SingletonSuccess::new(&doc, &q).unwrap();
+        let err = ss.eval_scalar(&q, Context::root(&doc)).unwrap_err();
+        assert!(
+            matches!(&err, EvalError::UnboundVariable { name } if name == "threshold"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn registry_aware_validation_admits_core_safe_functions() {
+        use crate::registry::{FragmentImpact, FunctionRegistry, FunctionSignature};
+        let q = parse_query("//book[double(@year) = 4006]").unwrap();
+        assert!(matches!(
+            validate_expr(&q),
+            Err(EvalError::UnknownFunction { .. })
+        ));
+        let mut registry = FunctionRegistry::new();
+        registry.register(
+            FunctionSignature::new("double", 1, Some(1))
+                .returns_number()
+                .impact(FragmentImpact::CoreSafe),
+            |args, _, doc| Ok(Value::Number(args[0].to_number(doc) * 2.0)),
+        );
+        assert!(validate_expr_with(&q, &registry).is_ok());
+        // A general-impact registration is known but not admitted here.
+        let mut general = FunctionRegistry::new();
+        general.register(FunctionSignature::new("double", 1, Some(1)), |_, _, _| {
+            Ok(Value::Str(String::new()))
+        });
+        assert!(matches!(
+            validate_expr_with(&q, &general),
+            Err(EvalError::UnsupportedFragment { .. })
+        ));
     }
 
     #[test]

@@ -29,7 +29,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 use xpeval_backends::PreparedSnapshot;
 use xpeval_catalog::{Catalog, CatalogError, LiveDocument, MutationOutcome};
-use xpeval_core::{default_threads, CompiledQuery, Engine, EvalError, QueryOutput};
+use xpeval_core::{default_threads, Bindings, CompiledQuery, Engine, EvalError, QueryOutput};
 use xpeval_dom::{Document, PreparedDocument};
 
 /// Why a non-blocking submission was not accepted.
@@ -305,6 +305,20 @@ impl AsyncEngine {
         })
     }
 
+    fn query_job_bound(
+        doc: &Arc<PreparedDocument>,
+        query: &str,
+        bindings: Bindings,
+    ) -> (Job, QueryFuture<QueryResult>) {
+        let doc = Arc::clone(doc);
+        let query = query.to_string();
+        Self::task_job(move |engine| {
+            engine
+                .compile(&query)
+                .and_then(|plan| plan.run_prepared_bound(&doc, &bindings))
+        })
+    }
+
     fn batch_job(
         doc: &Arc<PreparedDocument>,
         queries: &[&str],
@@ -350,6 +364,32 @@ impl AsyncEngine {
         query: &str,
     ) -> Result<QueryFuture<QueryResult>, TrySubmitError> {
         let (job, future) = Self::query_job(doc, query);
+        self.enqueue(job, future, false)
+    }
+
+    /// [`AsyncEngine::submit`] with external variable bindings for the
+    /// query's `$name` references.  The bindings are captured by value into
+    /// the job; the plan cache key stays the query string alone, so many
+    /// in-flight submissions of one query under different bindings share a
+    /// single compilation.
+    pub fn submit_bound(
+        &self,
+        doc: &Arc<PreparedDocument>,
+        query: &str,
+        bindings: &Bindings,
+    ) -> Result<QueryFuture<QueryResult>, TrySubmitError> {
+        let (job, future) = Self::query_job_bound(doc, query, bindings.clone());
+        self.enqueue(job, future, true)
+    }
+
+    /// Non-blocking [`AsyncEngine::submit_bound`].
+    pub fn try_submit_bound(
+        &self,
+        doc: &Arc<PreparedDocument>,
+        query: &str,
+        bindings: &Bindings,
+    ) -> Result<QueryFuture<QueryResult>, TrySubmitError> {
+        let (job, future) = Self::query_job_bound(doc, query, bindings.clone());
         self.enqueue(job, future, false)
     }
 

@@ -60,6 +60,42 @@ impl RelOp {
     }
 }
 
+/// Node comparison operators over node-set operands: identity (`is`) and
+/// document order (`<<` / `>>`).  Borrowed from the XPath 2.0 operator
+/// matrix; the engine compares the *first node in document order* of each
+/// operand and treats an empty operand as never comparing true.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeCompOp {
+    /// `a is b`: the two operands select the same first node.
+    Is,
+    /// `a << b`: the first node of `a` strictly precedes the first node of
+    /// `b` in document order.
+    Precedes,
+    /// `a >> b`: the first node of `a` strictly follows the first node of
+    /// `b` in document order.
+    Follows,
+}
+
+impl NodeCompOp {
+    /// XPath surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            NodeCompOp::Is => "is",
+            NodeCompOp::Precedes => "<<",
+            NodeCompOp::Follows => ">>",
+        }
+    }
+
+    /// Applies the operator to the preorder ranks of the two compared nodes.
+    pub fn apply<T: Ord>(self, a: T, b: T) -> bool {
+        match self {
+            NodeCompOp::Is => a == b,
+            NodeCompOp::Precedes => a < b,
+            NodeCompOp::Follows => a > b,
+        }
+    }
+}
+
 /// Arithmetic operators of the Wadler fragment ("arithop").
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ArithOp {
@@ -176,8 +212,18 @@ impl LocationPath {
 pub enum Expr {
     /// A location path (node-set typed).
     Path(LocationPath),
-    /// Union of two node-set expressions, `π1 | π2`.
+    /// Union of two node-set expressions, `π1 | π2` (also spelled
+    /// `π1 union π2`).
     Union(Box<Expr>, Box<Expr>),
+    /// Intersection of two node-set expressions, `π1 intersect π2`
+    /// (XPath 2.0 set algebra; monotone, so it stays inside the positive
+    /// fragments in node-set position).
+    Intersect(Box<Expr>, Box<Expr>),
+    /// Set difference of two node-set expressions, `π1 except π2`.  The
+    /// complement makes this a negation-bearing construct: it leaves the
+    /// positive fragments even though no `not()` appears in the surface
+    /// syntax.
+    Except(Box<Expr>, Box<Expr>),
     /// `e1 or e2`.
     Or(Box<Expr>, Box<Expr>),
     /// `e1 and e2`.
@@ -198,8 +244,19 @@ pub enum Expr {
         left: Box<Expr>,
         right: Box<Expr>,
     },
+    /// A node comparison `π1 is π2`, `π1 << π2` or `π1 >> π2` between two
+    /// node-set operands (boolean typed).
+    NodeCompare {
+        op: NodeCompOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// Unary minus `-e`.
     Neg(Box<Expr>),
+    /// An external variable reference `$name`, bound per evaluation (never
+    /// at compile time) by a `Bindings` value.  Statically typed as an
+    /// opaque scalar; the runtime value decides conversions.
+    Variable(String),
     /// Numeric literal.
     Number(f64),
     /// String literal.
@@ -244,6 +301,30 @@ impl Expr {
             left: Box::new(left),
             right: Box::new(right),
         }
+    }
+
+    /// Convenience constructor: `e1 intersect e2`.
+    pub fn intersect(a: Expr, b: Expr) -> Expr {
+        Expr::Intersect(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `e1 except e2`.
+    pub fn except(a: Expr, b: Expr) -> Expr {
+        Expr::Except(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: a node comparison.
+    pub fn node_compare(op: NodeCompOp, left: Expr, right: Expr) -> Expr {
+        Expr::NodeCompare {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Convenience constructor: a variable reference `$name`.
+    pub fn variable(name: &str) -> Expr {
+        Expr::Variable(name.to_string())
     }
 
     /// Convenience constructor: an arithmetic operation.
@@ -308,6 +389,8 @@ impl Expr {
                     .unwrap_or(0)
             }
             Expr::Union(a, b)
+            | Expr::Intersect(a, b)
+            | Expr::Except(a, b)
             | Expr::Or(a, b)
             | Expr::And(a, b)
             | Expr::Relational {
@@ -315,9 +398,12 @@ impl Expr {
             }
             | Expr::Arithmetic {
                 left: a, right: b, ..
+            }
+            | Expr::NodeCompare {
+                left: a, right: b, ..
             } => 1 + a.depth().max(b.depth()),
             Expr::Not(e) | Expr::Neg(e) => 1 + e.depth(),
-            Expr::Number(_) | Expr::Literal(_) => 1,
+            Expr::Number(_) | Expr::Literal(_) | Expr::Variable(_) => 1,
             Expr::FunctionCall { args, .. } => {
                 1 + args.iter().map(|a| a.depth()).max().unwrap_or(0)
             }
@@ -337,6 +423,8 @@ impl Expr {
                 }
             }
             Expr::Union(a, b)
+            | Expr::Intersect(a, b)
+            | Expr::Except(a, b)
             | Expr::Or(a, b)
             | Expr::And(a, b)
             | Expr::Relational {
@@ -344,12 +432,15 @@ impl Expr {
             }
             | Expr::Arithmetic {
                 left: a, right: b, ..
+            }
+            | Expr::NodeCompare {
+                left: a, right: b, ..
             } => {
                 a.visit(f);
                 b.visit(f);
             }
             Expr::Not(e) | Expr::Neg(e) => e.visit(f),
-            Expr::Number(_) | Expr::Literal(_) => {}
+            Expr::Number(_) | Expr::Literal(_) | Expr::Variable(_) => {}
             Expr::FunctionCall { args, .. } => {
                 for a in args {
                     a.visit(f);
@@ -365,12 +456,20 @@ impl Expr {
     /// in pXPath because they can encode negation.
     pub fn expr_type(&self) -> ExprType {
         match self {
-            Expr::Path(_) | Expr::Union(_, _) => ExprType::NodeSet,
-            Expr::Or(_, _) | Expr::And(_, _) | Expr::Not(_) | Expr::Relational { .. } => {
-                ExprType::Boolean
+            Expr::Path(_) | Expr::Union(_, _) | Expr::Intersect(_, _) | Expr::Except(_, _) => {
+                ExprType::NodeSet
             }
+            Expr::Or(_, _)
+            | Expr::And(_, _)
+            | Expr::Not(_)
+            | Expr::Relational { .. }
+            | Expr::NodeCompare { .. } => ExprType::Boolean,
             Expr::Arithmetic { .. } | Expr::Neg(_) | Expr::Number(_) => ExprType::Number,
-            Expr::Literal(_) => ExprType::Str,
+            // A variable's value is only known at bind time; statically it is
+            // an opaque scalar.  `Str` is the conservative choice: it never
+            // trips the boolean-operand restriction of Definition 6.1(3) and
+            // every dynamic conversion is decided by the bound `Value`.
+            Expr::Literal(_) | Expr::Variable(_) => ExprType::Str,
             Expr::FunctionCall { name, .. } => match name.as_str() {
                 "position" | "last" | "count" | "sum" | "number" | "floor" | "ceiling"
                 | "round" | "string-length" => ExprType::Number,
@@ -381,7 +480,13 @@ impl Expr {
                 | "normalize-space" | "substring" | "substring-before" | "substring-after"
                 | "translate" => ExprType::Str,
                 "id" => ExprType::NodeSet,
-                _ => ExprType::Boolean,
+                // A name the built-in library does not know is either a
+                // compile error or a registered function; the registry's
+                // declared return type (unavailable here) is authoritative,
+                // so like `Variable` the static guess is the neutral `Str` —
+                // it never trips the boolean-operand restriction of
+                // Definition 6.1(3) on a name the classifier cannot see into.
+                _ => ExprType::Str,
             },
         }
     }

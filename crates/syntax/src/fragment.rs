@@ -146,6 +146,19 @@ pub struct QueryFeatures {
     pub uses_string_literals: bool,
     /// Function names used (other than `not`, which is tracked separately).
     pub functions: Vec<String>,
+    /// External variable names referenced (`$name`), deduplicated in first
+    /// occurrence order.
+    pub variables: Vec<String>,
+    /// `intersect` or `except` used (the XPath 2.0 set operators; plain `|`
+    /// union is not counted here because every fragment of Figure 1 already
+    /// admits it).
+    pub uses_set_operators: bool,
+    /// `except` used — tracked separately because set difference carries an
+    /// implicit complement and therefore leaves the positive (negation-free)
+    /// fragments.
+    pub uses_except: bool,
+    /// A node comparison (`is`, `<<`, `>>`) used.
+    pub uses_node_comparison: bool,
     /// Total AST size |Q|.
     pub size: usize,
 }
@@ -213,6 +226,27 @@ fn collect(expr: &Expr, _depth: usize, f: &mut QueryFeatures) {
             collect(a, 0, f);
             collect(b, 0, f);
         }
+        Expr::Intersect(a, b) => {
+            f.uses_set_operators = true;
+            collect(a, 0, f);
+            collect(b, 0, f);
+        }
+        Expr::Except(a, b) => {
+            f.uses_set_operators = true;
+            f.uses_except = true;
+            collect(a, 0, f);
+            collect(b, 0, f);
+        }
+        Expr::NodeCompare { left, right, .. } => {
+            f.uses_node_comparison = true;
+            collect(left, 0, f);
+            collect(right, 0, f);
+        }
+        Expr::Variable(name) => {
+            if !f.variables.contains(name) {
+                f.variables.push(name.clone());
+            }
+        }
         Expr::Not(e) => {
             f.negation_count += 1;
             collect(e, 0, f);
@@ -267,13 +301,18 @@ fn arith_depth(expr: &Expr) -> usize {
             .max()
             .unwrap_or(0),
         Expr::Union(a, b)
+        | Expr::Intersect(a, b)
+        | Expr::Except(a, b)
         | Expr::Or(a, b)
         | Expr::And(a, b)
         | Expr::Relational {
             left: a, right: b, ..
+        }
+        | Expr::NodeCompare {
+            left: a, right: b, ..
         } => arith_depth(a).max(arith_depth(b)),
         Expr::Not(e) => arith_depth(e),
-        Expr::Number(_) | Expr::Literal(_) => 0,
+        Expr::Number(_) | Expr::Literal(_) | Expr::Variable(_) => 0,
         Expr::FunctionCall { args, .. } => args.iter().map(arith_depth).max().unwrap_or(0),
     }
 }
@@ -294,8 +333,19 @@ fn is_pf(expr: &Expr) -> bool {
     }
 }
 
-/// Is `expr` a Core XPath location path ("locpath" of Definition 2.5)?
-fn is_core_locpath(expr: &Expr, allow_negation: bool) -> bool {
+/// Is `expr` a Core XPath location path ("locpath" of Definition 2.5,
+/// extended with the set operators)?
+///
+/// `in_condition` distinguishes node-set position (the query result, or an
+/// operand of a set operator) from condition position (inside a predicate).
+/// `intersect`/`except` are admitted only in node-set position: there the
+/// linear set-at-a-time algorithm of Theorem 3.1 answers them with one
+/// bitset operation per occurrence, preserving the `O(|D|·|Q|)` bound,
+/// whereas as a *condition* they would need a per-context-node join that the
+/// inverse-axis `sat` pass cannot express.  A condition-position set
+/// operator therefore pushes the query up to pWF/WF (decided by the
+/// Singleton-Success machinery instead).
+fn is_core_locpath(expr: &Expr, allow_negation: bool, in_condition: bool) -> bool {
     match expr {
         Expr::Path(p) => p.steps.iter().all(|s| {
             s.axis != Axis::Attribute
@@ -304,7 +354,22 @@ fn is_core_locpath(expr: &Expr, allow_negation: bool) -> bool {
                     .all(|e| is_core_bexpr(e, allow_negation))
         }),
         Expr::Union(a, b) => {
-            is_core_locpath(a, allow_negation) && is_core_locpath(b, allow_negation)
+            is_core_locpath(a, allow_negation, in_condition)
+                && is_core_locpath(b, allow_negation, in_condition)
+        }
+        // Intersection is monotone: it stays in the positive fragment.
+        Expr::Intersect(a, b) => {
+            !in_condition
+                && is_core_locpath(a, allow_negation, in_condition)
+                && is_core_locpath(b, allow_negation, in_condition)
+        }
+        // Difference carries an implicit complement: negation must be
+        // admitted for it (Core XPath yes, positive Core XPath no).
+        Expr::Except(a, b) => {
+            !in_condition
+                && allow_negation
+                && is_core_locpath(a, allow_negation, in_condition)
+                && is_core_locpath(b, allow_negation, in_condition)
         }
         _ => false,
     }
@@ -317,7 +382,7 @@ fn is_core_bexpr(expr: &Expr, allow_negation: bool) -> bool {
             is_core_bexpr(a, allow_negation) && is_core_bexpr(b, allow_negation)
         }
         Expr::Not(e) => allow_negation && is_core_bexpr(e, allow_negation),
-        _ => is_core_locpath(expr, allow_negation),
+        _ => is_core_locpath(expr, allow_negation, true),
     }
 }
 
@@ -357,8 +422,17 @@ fn is_wf_locpath(expr: &Expr, allow_negation: bool, iterated_ok: bool) -> bool {
                     .iter()
                     .all(|e| is_wf_bexpr(e, allow_negation, iterated_ok))
         }),
-        Expr::Union(a, b) => {
+        // The Singleton-Success machinery decides `intersect` membership as
+        // a conjunction of memberships, so it is admitted wherever unions
+        // are; `except` needs the complement of a membership decision, which
+        // only the negation-bearing fragments admit.
+        Expr::Union(a, b) | Expr::Intersect(a, b) => {
             is_wf_locpath(a, allow_negation, iterated_ok)
+                && is_wf_locpath(b, allow_negation, iterated_ok)
+        }
+        Expr::Except(a, b) => {
+            allow_negation
+                && is_wf_locpath(a, allow_negation, iterated_ok)
                 && is_wf_locpath(b, allow_negation, iterated_ok)
         }
         _ => false,
@@ -389,6 +463,9 @@ fn is_pxpath(expr: &Expr, limits: &ClassifierLimits) -> bool {
     if f.relational_on_boolean {
         return false; // restriction 3
     }
+    if f.uses_except {
+        return false; // `except` is an implicit negation (restriction 2)
+    }
     if f.arith_nesting_depth > limits.max_arith_depth {
         return false; // restriction 4 (bounded arithmetic / concat nesting)
     }
@@ -410,8 +487,10 @@ fn is_pxpath(expr: &Expr, limits: &ClassifierLimits) -> bool {
 pub fn is_in_fragment(expr: &Expr, fragment: Fragment, limits: &ClassifierLimits) -> bool {
     match fragment {
         Fragment::PF => is_pf(expr),
-        Fragment::PositiveCoreXPath => is_core_locpath(expr, false) || is_core_bexpr(expr, false),
-        Fragment::CoreXPath => is_core_locpath(expr, true) || is_core_bexpr(expr, true),
+        Fragment::PositiveCoreXPath => {
+            is_core_locpath(expr, false, false) || is_core_bexpr(expr, false)
+        }
+        Fragment::CoreXPath => is_core_locpath(expr, true, false) || is_core_bexpr(expr, true),
         Fragment::PWF => is_pwf(expr, limits),
         Fragment::WF => is_wf(expr, true, true),
         Fragment::PXPath => is_pxpath(expr, limits),
@@ -615,6 +694,44 @@ mod tests {
         let f = features(&q);
         assert_eq!(f.negation_count, 2);
         assert_eq!(f.negation_depth, 2);
+    }
+
+    #[test]
+    fn set_operators_classify_by_position_and_negation() {
+        // Node-set-position intersect is monotone: the linear bitset pass
+        // answers it, so it stays in the positive core fragment.
+        assert_eq!(frag("//a intersect //b"), Fragment::PositiveCoreXPath);
+        // `union` is a surface synonym for `|` and changes nothing.
+        assert_eq!(frag("//a union //b"), Fragment::PF);
+        // except carries an implicit complement: Core XPath at best, and it
+        // never enters the positive fragments or pXPath.
+        assert_eq!(frag("//a except //b"), Fragment::CoreXPath);
+        let ms = classify(&parse_query("//a except //b").unwrap()).memberships;
+        assert!(!ms.contains(&Fragment::PWF));
+        assert!(!ms.contains(&Fragment::PXPath));
+        // Condition-position set operators need a per-context-node join the
+        // inverse-axis satisfaction pass cannot express: out of Core, into pWF.
+        assert_eq!(frag("//a[child::b intersect child::c]"), Fragment::PWF);
+        assert_eq!(frag("//a[child::b except child::c]"), Fragment::WF);
+    }
+
+    #[test]
+    fn variables_and_node_comparisons_are_pxpath() {
+        assert_eq!(frag("//row[@limit = $x]"), Fragment::PXPath);
+        assert_eq!(frag("$v"), Fragment::PXPath);
+        assert_eq!(frag("//a is /child::b"), Fragment::PXPath);
+        assert_eq!(frag("//a << //b"), Fragment::PXPath);
+        assert_eq!(frag("//a >> //b"), Fragment::PXPath);
+        // Negation over a variable comparison leaves pXPath entirely.
+        assert_eq!(frag("//a[not(@id = $x)]"), Fragment::XPath);
+        let f = features(&parse_query("//a[@x = $p or @y = $q or @z = $p]").unwrap());
+        assert_eq!(f.variables, vec!["p".to_string(), "q".to_string()]);
+        assert!(!f.uses_set_operators);
+        let f = features(&parse_query("//a except //b").unwrap());
+        assert!(f.uses_set_operators);
+        assert!(f.uses_except);
+        let f = features(&parse_query("//a is //b").unwrap());
+        assert!(f.uses_node_comparison);
     }
 
     #[test]

@@ -1,9 +1,15 @@
 //! Tokenizer for XPath 1.0 expressions.
 //!
 //! Implements the lexical structure of XPath 1.0 §3.7 including the two
-//! special disambiguation rules: a `*` (and the names `and`, `or`, `div`,
-//! `mod`) is an *operator* exactly when the preceding token is not itself an
-//! operator, `@`, `::`, `(`, `[` or `,`.
+//! special disambiguation rules: a `*` (and the operator names `and`, `or`,
+//! `div`, `mod`, `union`, `intersect`, `except`, `is`) is an *operator*
+//! exactly when the preceding token is not itself an operator, `@`, `::`,
+//! `(`, `[` or `,`.
+//!
+//! Beyond XPath 1.0 the lexer knows three extensions of the engine's query
+//! language: variable references `$name`, the XPath 2.0 node-set operator
+//! words (`union` as a synonym for `|`, plus `intersect` / `except`), and
+//! the node comparisons `is`, `<<`, `>>`.
 
 use std::fmt;
 
@@ -16,6 +22,8 @@ pub enum Token {
     Literal(String),
     /// An NCName/QName that is not an operator name in this position.
     Name(String),
+    /// A variable reference `$name` (the `$` and the name lex as one token).
+    Variable(String),
     Slash,
     DoubleSlash,
     LBracket,
@@ -44,6 +52,16 @@ pub enum Token {
     Or,
     Div,
     Mod,
+    /// The `intersect` node-set operator word.
+    Intersect,
+    /// The `except` node-set operator word.
+    Except,
+    /// The `is` node comparison word.
+    Is,
+    /// The `<<` (precedes in document order) node comparison.
+    Precedes,
+    /// The `>>` (follows in document order) node comparison.
+    Follows,
 }
 
 impl Token {
@@ -73,6 +91,11 @@ impl Token {
                 | Token::Le
                 | Token::Gt
                 | Token::Ge
+                | Token::Intersect
+                | Token::Except
+                | Token::Is
+                | Token::Precedes
+                | Token::Follows
         )
     }
 }
@@ -109,6 +132,12 @@ impl fmt::Display for Token {
             Token::Or => write!(f, "or"),
             Token::Div => write!(f, "div"),
             Token::Mod => write!(f, "mod"),
+            Token::Variable(s) => write!(f, "${s}"),
+            Token::Intersect => write!(f, "intersect"),
+            Token::Except => write!(f, "except"),
+            Token::Is => write!(f, "is"),
+            Token::Precedes => write!(f, "<<"),
+            Token::Follows => write!(f, ">>"),
         }
     }
 }
@@ -206,6 +235,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 if bytes.get(pos + 1) == Some(&b'=') {
                     tokens.push(Token::Le);
                     pos += 2;
+                } else if bytes.get(pos + 1) == Some(&b'<') {
+                    tokens.push(Token::Precedes);
+                    pos += 2;
                 } else {
                     tokens.push(Token::Lt);
                     pos += 1;
@@ -215,10 +247,33 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 if bytes.get(pos + 1) == Some(&b'=') {
                     tokens.push(Token::Ge);
                     pos += 2;
+                } else if bytes.get(pos + 1) == Some(&b'>') {
+                    tokens.push(Token::Follows);
+                    pos += 2;
                 } else {
                     tokens.push(Token::Gt);
                     pos += 1;
                 }
+            }
+            '$' => {
+                let start = pos + 1;
+                let mut end = start;
+                while end < bytes.len() {
+                    let ch = bytes[end] as char;
+                    if (end == start && (ch.is_ascii_alphabetic() || ch == '_'))
+                        || (end > start
+                            && (ch.is_ascii_alphanumeric() || matches!(ch, '_' | '-' | '.')))
+                    {
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if end == start {
+                    return Err(err(pos, "expected a variable name after '$'"));
+                }
+                tokens.push(Token::Variable(input[start..end].to_string()));
+                pos = end;
             }
             ':' => {
                 if bytes.get(pos + 1) == Some(&b':') {
@@ -289,22 +344,27 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     .last()
                     .map(|t| !t.forces_operand_next())
                     .unwrap_or(false);
-                let tok = if operator_position {
-                    match name {
-                        "and" => Token::And,
-                        "or" => Token::Or,
-                        "div" => Token::Div,
-                        "mod" => Token::Mod,
-                        _ => {
-                            return Err(err(
+                let tok =
+                    if operator_position {
+                        match name {
+                            "and" => Token::And,
+                            "or" => Token::Or,
+                            "div" => Token::Div,
+                            "mod" => Token::Mod,
+                            // `union` is a surface synonym for `|`.
+                            "union" => Token::Pipe,
+                            "intersect" => Token::Intersect,
+                            "except" => Token::Except,
+                            "is" => Token::Is,
+                            _ => return Err(err(
                                 start,
-                                "expected an operator (and/or/div/mod) in this position",
-                            ))
+                                "expected an operator (and/or/div/mod/union/intersect/except/is) \
+                                 in this position",
+                            )),
                         }
-                    }
-                } else {
-                    Token::Name(name.to_string())
-                };
+                    } else {
+                        Token::Name(name.to_string())
+                    };
                 tokens.push(tok);
             }
             _ => return Err(err(pos, "unexpected character")),

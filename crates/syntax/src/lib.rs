@@ -26,7 +26,7 @@ pub mod lexer;
 pub mod normalize;
 pub mod parser;
 
-pub use ast::{ArithOp, Expr, LocationPath, RelOp, Step};
+pub use ast::{ArithOp, Expr, LocationPath, NodeCompOp, RelOp, Step};
 pub use fragment::{
     classify, classify_with_limits, ClassifierLimits, Fragment, FragmentReport, QueryFeatures,
 };

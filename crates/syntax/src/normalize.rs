@@ -28,6 +28,8 @@ pub fn negation_depth(expr: &Expr) -> usize {
             .max()
             .unwrap_or(0),
         Expr::Union(a, b)
+        | Expr::Intersect(a, b)
+        | Expr::Except(a, b)
         | Expr::Or(a, b)
         | Expr::And(a, b)
         | Expr::Relational {
@@ -35,9 +37,12 @@ pub fn negation_depth(expr: &Expr) -> usize {
         }
         | Expr::Arithmetic {
             left: a, right: b, ..
+        }
+        | Expr::NodeCompare {
+            left: a, right: b, ..
         } => negation_depth(a).max(negation_depth(b)),
         Expr::Neg(e) => negation_depth(e),
-        Expr::Number(_) | Expr::Literal(_) => 0,
+        Expr::Number(_) | Expr::Literal(_) | Expr::Variable(_) => 0,
         Expr::FunctionCall { args, .. } => args.iter().map(negation_depth).max().unwrap_or(0),
     }
 }
@@ -119,6 +124,17 @@ fn rewrite_inner(expr: &Expr) -> Expr {
                 .collect(),
         }),
         Expr::Union(a, b) => Expr::Union(Box::new(rewrite_inner(a)), Box::new(rewrite_inner(b))),
+        Expr::Intersect(a, b) => {
+            Expr::Intersect(Box::new(rewrite_inner(a)), Box::new(rewrite_inner(b)))
+        }
+        Expr::Except(a, b) => Expr::Except(Box::new(rewrite_inner(a)), Box::new(rewrite_inner(b))),
+        // A node comparison is a boolean atom: negation cannot be pushed
+        // through it, but its node-set operands may contain predicates.
+        Expr::NodeCompare { op, left, right } => Expr::NodeCompare {
+            op: *op,
+            left: Box::new(rewrite_inner(left)),
+            right: Box::new(rewrite_inner(right)),
+        },
         Expr::Arithmetic { op, left, right } => Expr::Arithmetic {
             op: *op,
             left: Box::new(rewrite_inner(left)),
@@ -132,7 +148,7 @@ fn rewrite_inner(expr: &Expr) -> Expr {
         Expr::And(_, _) | Expr::Or(_, _) | Expr::Not(_) | Expr::Relational { .. } => {
             rewrite(expr, false)
         }
-        Expr::Number(_) | Expr::Literal(_) => expr.clone(),
+        Expr::Number(_) | Expr::Literal(_) | Expr::Variable(_) => expr.clone(),
     }
 }
 
@@ -164,6 +180,19 @@ pub fn expand_iterated_predicates(expr: &Expr) -> Expr {
             Box::new(expand_iterated_predicates(a)),
             Box::new(expand_iterated_predicates(b)),
         ),
+        Expr::Intersect(a, b) => Expr::Intersect(
+            Box::new(expand_iterated_predicates(a)),
+            Box::new(expand_iterated_predicates(b)),
+        ),
+        Expr::Except(a, b) => Expr::Except(
+            Box::new(expand_iterated_predicates(a)),
+            Box::new(expand_iterated_predicates(b)),
+        ),
+        Expr::NodeCompare { op, left, right } => Expr::NodeCompare {
+            op: *op,
+            left: Box::new(expand_iterated_predicates(left)),
+            right: Box::new(expand_iterated_predicates(right)),
+        },
         Expr::Or(a, b) => Expr::or(expand_iterated_predicates(a), expand_iterated_predicates(b)),
         Expr::And(a, b) => Expr::and(expand_iterated_predicates(a), expand_iterated_predicates(b)),
         Expr::Not(e) => Expr::not(expand_iterated_predicates(e)),
@@ -182,7 +211,7 @@ pub fn expand_iterated_predicates(expr: &Expr) -> Expr {
             name: name.clone(),
             args: args.iter().map(expand_iterated_predicates).collect(),
         },
-        Expr::Number(_) | Expr::Literal(_) => expr.clone(),
+        Expr::Number(_) | Expr::Literal(_) | Expr::Variable(_) => expr.clone(),
     }
 }
 

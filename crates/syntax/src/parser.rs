@@ -7,22 +7,31 @@
 //! Expr        ::= OrExpr
 //! OrExpr      ::= AndExpr ('or' AndExpr)*
 //! AndExpr     ::= EqualityExpr ('and' EqualityExpr)*
-//! EqualityExpr::= RelationalExpr (('='|'!=') RelationalExpr)*
-//! RelationalExpr ::= AdditiveExpr (('<'|'<='|'>'|'>=') AdditiveExpr)*
+//! EqualityExpr::= RelationalExpr (('='|'!='|'is') RelationalExpr)*
+//! RelationalExpr ::= AdditiveExpr (('<'|'<='|'>'|'>='|'<<'|'>>') AdditiveExpr)*
 //! AdditiveExpr::= MultiplicativeExpr (('+'|'-') MultiplicativeExpr)*
 //! MultiplicativeExpr ::= UnaryExpr (('*'|'div'|'mod') UnaryExpr)*
 //! UnaryExpr   ::= '-' UnaryExpr | UnionExpr
-//! UnionExpr   ::= PathExpr ('|' PathExpr)*
+//! UnionExpr   ::= IntersectExceptExpr (('|'|'union') IntersectExceptExpr)*
+//! IntersectExceptExpr ::= PathExpr (('intersect'|'except') PathExpr)*
 //! PathExpr    ::= LocationPath | PrimaryExpr
-//! PrimaryExpr ::= '(' Expr ')' | Literal | Number | FunctionCall
+//! PrimaryExpr ::= '(' Expr ')' | Literal | Number | VariableReference
+//!               | FunctionCall
 //! ```
+//!
+//! The set operators `union`/`intersect`/`except`, the node comparisons
+//! `is`/`<<`/`>>` and variable references `$name` follow XPath 2.0 surface
+//! syntax: `union` is a synonym for `|`, and `intersect`/`except` bind
+//! tighter than union.  Node comparisons require node-set-typed operands
+//! and do not chain (`a is b is c` is rejected at parse time because the
+//! left operand of the second `is` is boolean-typed).
 //!
 //! Abbreviated location-path syntax is expanded during parsing exactly as
 //! the recommendation prescribes: `//` becomes `/descendant-or-self::node()/`,
 //! `.` becomes `self::node()`, `..` becomes `parent::node()` and `@n` becomes
 //! `attribute::n`.  Calls `not(e)` are represented as [`Expr::Not`].
 
-use crate::ast::{ArithOp, Expr, LocationPath, RelOp, Step};
+use crate::ast::{ArithOp, Expr, ExprType, LocationPath, NodeCompOp, RelOp, Step};
 use crate::lexer::{tokenize, LexError, Token};
 use std::fmt;
 use xpeval_dom::{Axis, NodeTest};
@@ -143,14 +152,24 @@ impl Parser {
     fn parse_equality(&mut self) -> Result<Expr, ParseError> {
         let mut left = self.parse_relational()?;
         loop {
-            let op = match self.peek() {
-                Some(Token::Eq) => RelOp::Eq,
-                Some(Token::Ne) => RelOp::Ne,
+            match self.peek() {
+                Some(Token::Eq) => {
+                    self.pos += 1;
+                    let right = self.parse_relational()?;
+                    left = Expr::relational(RelOp::Eq, left, right);
+                }
+                Some(Token::Ne) => {
+                    self.pos += 1;
+                    let right = self.parse_relational()?;
+                    left = Expr::relational(RelOp::Ne, left, right);
+                }
+                Some(Token::Is) => {
+                    self.pos += 1;
+                    let right = self.parse_relational()?;
+                    left = self.node_compare(NodeCompOp::Is, left, right)?;
+                }
                 _ => break,
-            };
-            self.pos += 1;
-            let right = self.parse_relational()?;
-            left = Expr::relational(op, left, right);
+            }
         }
         Ok(left)
     }
@@ -158,18 +177,49 @@ impl Parser {
     fn parse_relational(&mut self) -> Result<Expr, ParseError> {
         let mut left = self.parse_additive()?;
         loop {
-            let op = match self.peek() {
-                Some(Token::Lt) => RelOp::Lt,
-                Some(Token::Le) => RelOp::Le,
-                Some(Token::Gt) => RelOp::Gt,
-                Some(Token::Ge) => RelOp::Ge,
-                _ => break,
+            let rel = match self.peek() {
+                Some(Token::Lt) => Some(RelOp::Lt),
+                Some(Token::Le) => Some(RelOp::Le),
+                Some(Token::Gt) => Some(RelOp::Gt),
+                Some(Token::Ge) => Some(RelOp::Ge),
+                _ => None,
             };
-            self.pos += 1;
-            let right = self.parse_additive()?;
-            left = Expr::relational(op, left, right);
+            if let Some(op) = rel {
+                self.pos += 1;
+                let right = self.parse_additive()?;
+                left = Expr::relational(op, left, right);
+                continue;
+            }
+            let node = match self.peek() {
+                Some(Token::Precedes) => Some(NodeCompOp::Precedes),
+                Some(Token::Follows) => Some(NodeCompOp::Follows),
+                _ => None,
+            };
+            match node {
+                Some(op) => {
+                    self.pos += 1;
+                    let right = self.parse_additive()?;
+                    left = self.node_compare(op, left, right)?;
+                }
+                None => break,
+            }
         }
         Ok(left)
+    }
+
+    /// Builds a node comparison, rejecting operands that are not node-set
+    /// typed.  This also prevents chaining: the result of a comparison is
+    /// boolean, so it can never feed another comparison.
+    fn node_compare(&self, op: NodeCompOp, left: Expr, right: Expr) -> Result<Expr, ParseError> {
+        for side in [&left, &right] {
+            if side.expr_type() != ExprType::NodeSet {
+                return Err(self.err(&format!(
+                    "node comparison '{}' requires node-set operands, found '{side}'",
+                    op.symbol()
+                )));
+            }
+        }
+        Ok(Expr::node_compare(op, left, right))
     }
 
     fn parse_additive(&mut self) -> Result<Expr, ParseError> {
@@ -213,10 +263,39 @@ impl Parser {
     }
 
     fn parse_union(&mut self) -> Result<Expr, ParseError> {
-        let mut left = self.parse_path_expr()?;
+        let mut left = self.parse_intersect_except()?;
         while self.eat(&Token::Pipe) {
-            let right = self.parse_path_expr()?;
+            let right = self.parse_intersect_except()?;
             left = Expr::Union(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    /// `intersect` and `except` bind tighter than `|`/`union`, matching the
+    /// XPath 2.0 operator table.
+    fn parse_intersect_except(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_path_expr()?;
+        loop {
+            let except = match self.peek() {
+                Some(Token::Intersect) => false,
+                Some(Token::Except) => true,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_path_expr()?;
+            for side in [&left, &right] {
+                if side.expr_type() != ExprType::NodeSet {
+                    return Err(self.err(&format!(
+                        "'{}' requires node-set operands, found '{side}'",
+                        if except { "except" } else { "intersect" }
+                    )));
+                }
+            }
+            left = if except {
+                Expr::except(left, right)
+            } else {
+                Expr::intersect(left, right)
+            };
         }
         Ok(left)
     }
@@ -257,6 +336,7 @@ impl Parser {
         match self.bump() {
             Some(Token::Number(n)) => Ok(Expr::Number(n)),
             Some(Token::Literal(s)) => Ok(Expr::Literal(s)),
+            Some(Token::Variable(name)) => Ok(Expr::Variable(name)),
             Some(Token::LParen) => {
                 let e = self.parse_or()?;
                 self.expect(&Token::RParen)?;
@@ -646,6 +726,83 @@ mod tests {
         ));
         let q = parse("(child::a or child::b) and child::c");
         assert!(matches!(q, Expr::And(_, _)));
+    }
+
+    #[test]
+    fn set_operators_and_precedence() {
+        // intersect/except bind tighter than union: `a | b intersect c`
+        // parses as `a | (b intersect c)`.
+        let q = parse("child::a | child::b intersect child::c");
+        match q {
+            Expr::Union(_, rhs) => assert!(matches!(*rhs, Expr::Intersect(_, _))),
+            other => panic!("expected Union at top, got {other:?}"),
+        }
+        // `union` is a synonym for `|`.
+        let q = parse("child::a union child::b");
+        assert!(matches!(q, Expr::Union(_, _)));
+        // intersect/except are left-associative at the same level.
+        let q = parse("child::a intersect child::b except child::c");
+        match q {
+            Expr::Except(lhs, _) => assert!(matches!(*lhs, Expr::Intersect(_, _))),
+            other => panic!("expected Except at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_comparisons() {
+        let q = parse("child::a is child::b");
+        assert!(matches!(
+            q,
+            Expr::NodeCompare {
+                op: NodeCompOp::Is,
+                ..
+            }
+        ));
+        let q = parse("//a << //b");
+        assert!(matches!(
+            q,
+            Expr::NodeCompare {
+                op: NodeCompOp::Precedes,
+                ..
+            }
+        ));
+        let q = parse("//a >> //b");
+        assert!(matches!(
+            q,
+            Expr::NodeCompare {
+                op: NodeCompOp::Follows,
+                ..
+            }
+        ));
+        // Comparisons sit below `and` in the precedence chain.
+        let q = parse("child::a is child::b and child::c");
+        assert!(matches!(q, Expr::And(_, _)));
+    }
+
+    #[test]
+    fn variable_references() {
+        let q = parse("$x");
+        assert_eq!(q, Expr::Variable("x".to_string()));
+        let q = parse("//row[@limit = $max-rows]");
+        let path = q.as_path().unwrap();
+        match &path.steps[1].predicates[0] {
+            Expr::Relational { right, .. } => {
+                assert_eq!(**right, Expr::Variable("max-rows".to_string()));
+            }
+            other => panic!("expected relational predicate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_comparison_operand_typing() {
+        // Both sides of a node comparison must be node-set typed.
+        assert!(parse_query("1 is child::a").is_err());
+        assert!(parse_query("child::a is 'x'").is_err());
+        // Chaining is impossible: the first comparison yields a boolean.
+        assert!(parse_query("child::a is child::b is child::c").is_err());
+        // Same rule for intersect/except.
+        assert!(parse_query("1 intersect child::a").is_err());
+        assert!(parse_query("child::a except $x").is_err());
     }
 
     #[test]

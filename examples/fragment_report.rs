@@ -36,14 +36,22 @@ fn main() {
             Err(e) => println!("{src}\n  !! parse error: {e}\n"),
             Ok(query) => {
                 let report = xpeval::syntax::classify(&query);
-                let compiled = CompiledQuery::compile_with(
+                // Parsing is not the whole admission check: compilation
+                // also validates function calls (unknown names, arity)
+                // against the engine's library.
+                let compiled = match CompiledQuery::compile_with(
                     &src,
                     &CompileOptions {
                         threads: 4,
                         ..CompileOptions::default()
                     },
-                )
-                .expect("already parsed once");
+                ) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        println!("{src}\n  !! compile error: {e}\n");
+                        continue;
+                    }
+                };
                 println!("{src}");
                 println!("  least fragment      : {}", report.fragment);
                 println!("  combined complexity : {}", report.complexity);

@@ -122,6 +122,89 @@
 //! document ([`engine::Engine::evaluate_batch`] /
 //! [`engine::Engine::evaluate_batch_prepared`]).
 //!
+//! ## Extending the query language
+//!
+//! Three extension axes grow the language without giving up the
+//! complexity classification (the full map lives in `docs/fragments.md`
+//! in the repository — the fragment-complexity reference):
+//!
+//! **External variables.**  `$name` references are free in XPath; values
+//! arrive per evaluation through [`Bindings`](engine::Bindings).  Bindings
+//! are an evaluation-time input, deliberately excluded from plan-cache and
+//! artifact keys: one compiled plan serves any number of
+//! parameterizations, and re-binding never recompiles.
+//!
+//! ```
+//! use xpeval::prelude::*;
+//!
+//! let doc = parse_xml(
+//!     "<lib><book year='2001'><title>A</title></book>\
+//!      <book year='2003'><title>B</title></book></lib>",
+//! ).unwrap();
+//! let query = CompiledQuery::compile("//book[@year = $year]/title").unwrap();
+//! assert_eq!(query.variables(), ["year".to_string()]);
+//!
+//! // One compilation, many parameterizations.
+//! for (year, expect) in [(2001.0, "A"), (2003.0, "B")] {
+//!     let bindings = Bindings::new().with_number("year", year);
+//!     let out = query.run_bound(&doc, &bindings).unwrap();
+//!     let nodes = out.value.expect_nodes();
+//!     assert_eq!(doc.string_value(nodes[0]), expect);
+//! }
+//!
+//! // A missing binding is an eager, named error — not a silent empty set.
+//! let err = query.run_bound(&doc, &Bindings::new()).unwrap_err();
+//! assert!(matches!(err, EvalError::UnboundVariable { .. }));
+//! ```
+//!
+//! **Registered functions.**  A [`FunctionRegistry`](engine::FunctionRegistry)
+//! adds user functions with compile-time signature/arity validation, each
+//! declaring a [`FragmentImpact`](engine::FragmentImpact): `CoreSafe`
+//! keeps the query's fragment (and with it a linear-bound strategy);
+//! `General` — the default — conservatively degrades the plan to full
+//! XPath, which routes it to the polynomial context-value-table
+//! evaluator.  The plan never *claims* a complexity bound an opaque
+//! handler could break:
+//!
+//! ```
+//! use xpeval::prelude::*;
+//!
+//! let engine = Engine::builder()
+//!     .register_function(
+//!         FunctionSignature::new("double", 1, Some(1))
+//!             .returns_number()
+//!             .impact(FragmentImpact::CoreSafe),
+//!         |args, _ctx, doc| Ok(Value::Number(args[0].to_number(doc) * 2.0)),
+//!     )
+//!     .build();
+//! let doc = parse_xml("<lib><book year='2003'><title>B</title></book></lib>").unwrap();
+//! let out = engine.evaluate_str(&doc, "//book[double(@year) = 4006]/title").unwrap();
+//! assert_eq!(out.expect_nodes().len(), 1);
+//!
+//! // Mis-arity is rejected at compile time, like a built-in.
+//! assert!(matches!(
+//!     engine.compile("double(1, 2)").unwrap_err(),
+//!     EvalError::WrongArity { .. },
+//! ));
+//! ```
+//!
+//! **Node-set operators.**  `union` (`|`), `intersect` and `except`
+//! combine node sets in document order, and the node comparisons `is`,
+//! `<<`, `>>` compare identity and document order — all lowered to
+//! [`PlanIr`](engine::PlanIr) opcodes executed by every strategy, with the
+//! linear evaluator running `intersect`/`except` natively on its bitsets:
+//!
+//! ```
+//! use xpeval::prelude::*;
+//!
+//! let doc = parse_xml("<r><a><b/></a><b/><c/></r>").unwrap();
+//! let q = CompiledQuery::compile("//b except //a/b").unwrap();
+//! let out = q.run(&doc).unwrap();
+//! assert_eq!(out.value.expect_nodes().len(), 1); // the top-level <b/>
+//! let q = CompiledQuery::compile("//a << //c").unwrap();
+//! assert_eq!(q.run(&doc).unwrap().value, Value::Boolean(true));
+//! ```
+//!
 //! ## Serving many clients: the async layer
 //!
 //! All of the above occupies its caller; under concurrent load, wrap the
@@ -365,6 +448,13 @@
 //! );
 //! ```
 
+// The fragment-complexity reference manual is executable documentation:
+// compiling its code blocks as doctests keeps `docs/fragments.md` honest
+// against the real API (`cargo test --doc` runs them).
+#[cfg(doctest)]
+#[doc = include_str!("../docs/fragments.md")]
+struct FragmentsManual;
+
 pub use xpeval_backends as backends;
 pub use xpeval_catalog as catalog;
 pub use xpeval_circuits as circuits;
@@ -386,8 +476,9 @@ pub mod prelude {
         MutationOutcome, PlanArtifact,
     };
     pub use xpeval_core::{
-        CacheStats, CompileOptions, CompiledQuery, Context, Engine, EngineBuilder, EvalError,
-        EvalStats, EvalStrategy, NodeStream, OpIr, OpKind, PlanIr, QueryOutput, ShardStats,
+        Bindings, CacheStats, CompileOptions, CompiledQuery, Context, Engine, EngineBuilder,
+        EvalError, EvalStats, EvalStrategy, FragmentImpact, FunctionHandler, FunctionRegistry,
+        FunctionSignature, NodeStream, OpIr, OpKind, PlanIr, QueryOutput, ShardStats,
         SingletonSuccess, StepIr, StreamMode, Value,
     };
     pub use xpeval_dom::{

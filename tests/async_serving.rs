@@ -594,3 +594,32 @@ fn submit_async_round_trip() {
     });
     assert_eq!(value, Value::Number(15.0));
 }
+
+/// Bound submission: many in-flight parameterizations of one query share a
+/// single compilation through the pool's plan cache.
+#[test]
+fn bound_submissions_share_one_compilation() {
+    let pool = AsyncEngine::builder().workers(2).queue_capacity(32).build();
+    let doc = Arc::new(PreparedDocument::new(
+        parse_xml("<lib><book year='2001'/><book year='2003'/></lib>").unwrap(),
+    ));
+    let query = "count(//book[@year = $year])";
+    let futures: Vec<_> = (0..16)
+        .map(|i| {
+            let b = Bindings::new().with_number("year", 2001.0 + (i % 2) as f64 * 2.0);
+            pool.submit_bound(&doc, query, &b).unwrap()
+        })
+        .collect();
+    for f in futures {
+        assert_eq!(f.wait().unwrap().unwrap().value, Value::Number(1.0));
+    }
+    let cache = pool.engine().cache_stats();
+    assert_eq!(cache.misses, 1, "{cache:?}");
+    assert_eq!(cache.hits, 15, "{cache:?}");
+
+    // A missing binding resolves to the eager unbound-variable error.
+    let f = pool.submit_bound(&doc, query, &Bindings::new()).unwrap();
+    let err = f.wait().unwrap().unwrap_err();
+    assert!(matches!(err, EvalError::UnboundVariable { .. }), "{err:?}");
+    pool.shutdown();
+}

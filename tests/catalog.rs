@@ -392,3 +392,46 @@ fn concurrent_mutate_query_replace_storm() {
         "{stats}"
     );
 }
+
+/// Bound evaluation through the catalog: one query string, many `$name`
+/// parameterizations — every re-binding is an artifact hit, never a
+/// recompile, because artifact keys stay binding-independent.
+#[test]
+fn bound_evaluation_reuses_binding_independent_artifacts() {
+    let catalog = Catalog::new();
+    catalog
+        .insert_xml("inv", "<inv><item n='1'/><item n='2'/><item n='3'/></inv>")
+        .unwrap();
+    let query = "count(//item[@n = $n])";
+    for n in 1..=3 {
+        let b = Bindings::new().with_number("n", n as f64);
+        let out = catalog.evaluate_on_bound("inv", query, &b).unwrap();
+        assert_eq!(out.value, Value::Number(1.0), "n = {n}");
+    }
+    let s = catalog.stats();
+    assert_eq!(s.artifact_misses, 1, "{s}");
+    assert_eq!(s.artifact_hits, 2, "{s}");
+
+    // The unbound entry point reports the missing binding by name.
+    let err = catalog.evaluate_on("inv", query).unwrap_err();
+    assert!(
+        matches!(&err, CatalogError::Eval(EvalError::UnboundVariable { name }) if name == "n"),
+        "{err:?}"
+    );
+
+    // Fan-out shares one binding set across every matching document.
+    catalog
+        .insert_xml("inv2", "<inv><item n='2'/></inv>")
+        .unwrap();
+    let b = Bindings::new().with_number("n", 2.0);
+    let outs = catalog.evaluate_matching_bound("inv*", query, &b);
+    assert_eq!(outs.len(), 2);
+    for fan in &outs {
+        assert_eq!(
+            fan.result.as_ref().unwrap().value,
+            Value::Number(1.0),
+            "{}",
+            fan.name
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Link check over the repository's markdown documentation.
+//!
+//! Every relative link in `README.md` and `docs/*.md` must resolve to a
+//! file that exists in the repository — a renamed crate or a moved manual
+//! breaks this test instead of rotting silently. External (`http*`,
+//! `mailto:`) and in-page (`#anchor`) targets are out of scope: the
+//! build is offline and anchors are renderer-specific.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The documentation files under the link check. `docs/` is globbed so a
+/// new manual is covered the day it lands.
+fn documentation_files() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = vec![root.join("README.md")];
+    if let Ok(entries) = fs::read_dir(root.join("docs")) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "md") {
+                files.push(path);
+            }
+        }
+    }
+    files
+}
+
+/// Strips fenced code blocks: `[k]` indexing and `[dependencies]` table
+/// headers inside ``` fences are code, not links.
+fn without_code_fences(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if !in_fence {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Extracts link targets: inline `[text](target)` and reference
+/// definitions `[label]: target`.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    // Inline links.
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+            if let Some(end) = text[i + 2..].find(')') {
+                targets.push(text[i + 2..i + 2 + end].to_string());
+                i += 2 + end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    // Reference-style definitions at line start.
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix('[') {
+            if let Some(close) = rest.find("]:") {
+                let target = rest[close + 2..].trim();
+                if !target.is_empty() {
+                    targets.push(target.split_whitespace().next().unwrap().to_string());
+                }
+            }
+        }
+    }
+    targets
+}
+
+#[test]
+fn relative_links_in_documentation_resolve() {
+    let files = documentation_files();
+    assert!(
+        files.iter().any(|f| f.ends_with("docs/fragments.md")),
+        "the fragment manual must be under the link check"
+    );
+    let mut broken = Vec::new();
+    for file in &files {
+        let text = fs::read_to_string(file).unwrap();
+        let dir = file.parent().unwrap();
+        for target in link_targets(&without_code_fences(&text)) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+            {
+                continue;
+            }
+            // Drop an in-page anchor suffix before resolving.
+            let path_part = target.split('#').next().unwrap();
+            if path_part.is_empty() {
+                continue;
+            }
+            if !dir.join(path_part).exists() {
+                broken.push(format!("{}: {target}", file.display()));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken relative links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn readme_links_the_fragment_manual() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let readme = fs::read_to_string(root.join("README.md")).unwrap();
+    assert!(
+        readme.contains("docs/fragments.md"),
+        "README must link the fragment-complexity manual"
+    );
+}

@@ -162,6 +162,164 @@ fn engine_facade_strategies_agree() {
     }
 }
 
+/// Node-set operators (`union`/`intersect`/`except`) and node comparisons
+/// (`is`/`<<`/`>>`) through every strategy: whoever accepts the query must
+/// agree with the context-value-table reference, and node-set results come
+/// back deduplicated in document order.
+#[test]
+fn set_operators_and_node_comparisons_agree() {
+    let doc = auction_site_document(&mut StdRng::seed_from_u64(11), 30);
+    let prepared = PreparedDocument::new(doc.clone());
+    for src in [
+        "//name intersect //item/name",
+        "//name except //item/name",
+        "(//name | //bid) except //item/name",
+        "//item[child::bid] intersect //item",
+        "(//bid | //bid) | //bid",
+        "//item << //item/name",
+        "//name >> //item",
+        "//item/name is //item/name",
+        "//nosuch is //item",
+    ] {
+        let reference = CompiledQuery::compile(src)
+            .unwrap()
+            .with_strategy(EvalStrategy::ContextValueTable)
+            .run(&doc)
+            .unwrap()
+            .value;
+        if let Value::NodeSet(nodes) = &reference {
+            assert!(
+                nodes.windows(2).all(|w| w[0] < w[1]),
+                "{src}: result not deduplicated in document order: {nodes:?}"
+            );
+        }
+        let mut accepted = 1;
+        for strategy in ALL_STRATEGIES {
+            if strategy == EvalStrategy::ContextValueTable {
+                continue;
+            }
+            let compiled = CompiledQuery::compile(src).unwrap().with_strategy(strategy);
+            match (compiled.run(&doc), compiled.run_prepared(&prepared)) {
+                (Ok(plain), Ok(fast)) => {
+                    accepted += 1;
+                    assert_eq!(plain.value, reference, "{src} via {strategy:?}");
+                    assert_eq!(fast.value, reference, "{src} prepared via {strategy:?}");
+                }
+                (Err(_), Err(_)) => {} // a strategy may reject the fragment, consistently
+                (plain, fast) => panic!(
+                    "{src} via {strategy:?}: direct and prepared disagree on acceptance: {plain:?} vs {fast:?}"
+                ),
+            }
+        }
+        assert!(accepted >= 2, "{src}: only the reference strategy accepted");
+    }
+}
+
+/// Registered functions through every strategy that admits them: a
+/// core-safe registration must evaluate identically under the DP
+/// reference, the naive baseline, Singleton-Success and the parallel
+/// evaluator.
+#[test]
+fn registered_functions_agree_across_strategies() {
+    use std::sync::Arc;
+
+    let mut registry = FunctionRegistry::new();
+    registry.register(
+        FunctionSignature::new("double", 1, Some(1))
+            .returns_number()
+            .impact(FragmentImpact::CoreSafe),
+        |args, _, doc| Ok(Value::Number(args[0].to_number(doc) * 2.0)),
+    );
+    let registry = Arc::new(registry);
+    let doc = auction_site_document(&mut StdRng::seed_from_u64(12), 25);
+    let prepared = PreparedDocument::new(doc.clone());
+    for src in ["//bid[double(@increase) = 6]", "double(count(//bid))"] {
+        let compiled = CompiledQuery::compile_with_registry(src, registry.clone()).unwrap();
+        let reference = compiled
+            .clone()
+            .with_strategy(EvalStrategy::ContextValueTable)
+            .run(&doc)
+            .unwrap()
+            .value;
+        for strategy in [
+            EvalStrategy::Naive,
+            EvalStrategy::SingletonSuccess,
+            EvalStrategy::Parallel { threads: 2 },
+        ] {
+            let q = compiled.clone().with_strategy(strategy);
+            match (q.run(&doc), q.run_prepared(&prepared)) {
+                (Ok(plain), Ok(fast)) => {
+                    assert_eq!(plain.value, reference, "{src} via {strategy:?}");
+                    assert_eq!(fast.value, reference, "{src} prepared via {strategy:?}");
+                }
+                (Err(_), Err(_)) => {}
+                (plain, fast) => {
+                    panic!("{src} via {strategy:?}: acceptance divergence: {plain:?} vs {fast:?}")
+                }
+            }
+        }
+    }
+}
+
+/// Bound variables through every strategy: one compilation, one binding
+/// set, identical answers — and the eager unbound-variable error on every
+/// bound entry point when a referenced name is missing.
+#[test]
+fn bound_variables_agree_across_strategies() {
+    let doc = auction_site_document(&mut StdRng::seed_from_u64(13), 25);
+    let prepared = PreparedDocument::new(doc.clone());
+    let compiled = CompiledQuery::compile("//bid[@increase = $inc]").unwrap();
+    assert_eq!(compiled.variables(), ["inc".to_string()]);
+    let bindings = Bindings::new().with_number("inc", 3.0);
+    let reference = compiled
+        .clone()
+        .with_strategy(EvalStrategy::ContextValueTable)
+        .run_bound(&doc, &bindings)
+        .unwrap()
+        .value;
+    for strategy in ALL_STRATEGIES {
+        let q = compiled.clone().with_strategy(strategy);
+        match (
+            q.run_bound(&doc, &bindings),
+            q.run_prepared_bound(&prepared, &bindings),
+        ) {
+            (Ok(plain), Ok(fast)) => {
+                assert_eq!(plain.value, reference, "bound via {strategy:?}");
+                assert_eq!(fast.value, reference, "bound prepared via {strategy:?}");
+            }
+            (Err(_), Err(_)) => {}
+            (plain, fast) => {
+                panic!("bound via {strategy:?}: acceptance divergence: {plain:?} vs {fast:?}")
+            }
+        }
+        // A missing binding is an eager, named error under every strategy.
+        let err = q.run_bound(&doc, &Bindings::new()).unwrap_err();
+        assert!(
+            matches!(&err, EvalError::UnboundVariable { name } if name == "inc"),
+            "{strategy:?}: {err:?}"
+        );
+    }
+}
+
+/// The compile-time gate: unknown functions and arity mismatches never
+/// reach a document.
+#[test]
+fn compile_time_call_validation() {
+    assert!(matches!(
+        CompiledQuery::compile("frobnicate(//a)").unwrap_err(),
+        EvalError::UnknownFunction { .. }
+    ));
+    for bad in ["count(//a, //b)", "substring('x')", "//a[count()]"] {
+        assert!(
+            matches!(
+                CompiledQuery::compile(bad).unwrap_err(),
+                EvalError::WrongArity { .. }
+            ),
+            "{bad}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
