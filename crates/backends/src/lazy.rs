@@ -39,7 +39,56 @@ use std::collections::HashSet;
 use std::ops::Range;
 use std::sync::{Arc, Mutex};
 use xpeval_dom::{parse_xml, Axis, NodeTest, PreparedDocument, XmlParseError};
+use xpeval_obs::{Field, FieldValue, MetricSource};
 use xpeval_syntax::{Expr, LocationPath};
+
+/// Residency snapshot of a [`LazyDocument`], from
+/// [`LazyDocument::residency_stats`]: how much of the document is
+/// actually materialized, node- and extent-wise.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResidencyStats {
+    /// Arena nodes of the currently resident wave (1 before any wave).
+    pub resident_nodes: usize,
+    /// Node count of the fully materialized document.
+    pub total_nodes: usize,
+    /// Extents chosen into the resident set so far.
+    pub chosen_extents: usize,
+    /// Extents the tokenizer produced.
+    pub extent_count: usize,
+}
+
+impl MetricSource for ResidencyStats {
+    fn source_name(&self) -> &'static str {
+        "lazy_backend"
+    }
+
+    fn fields(&self) -> Vec<Field> {
+        vec![
+            Field::new(
+                "nodes",
+                FieldValue::Frac {
+                    num: self.resident_nodes as u64,
+                    den: self.total_nodes as u64,
+                },
+            ),
+            Field::new(
+                "extents",
+                FieldValue::Frac {
+                    num: self.chosen_extents as u64,
+                    den: self.extent_count as u64,
+                },
+            ),
+        ]
+    }
+}
+
+impl std::fmt::Display for ResidencyStats {
+    /// One-line summary shared with [`MetricSource::summary_line`]:
+    /// `nodes 7/31, extents 1/4`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.summary_line())
+    }
+}
 
 /// Subtrees up to this many bytes become extents by default; larger
 /// elements join the spine.  Sized so that record-shaped leaves (an item,
@@ -177,6 +226,23 @@ impl LazyDocument {
     /// Number of extents the tokenizer produced.
     pub fn extent_count(&self) -> usize {
         self.extents.len()
+    }
+
+    /// Snapshot of the laziness ratio — resident vs total nodes and chosen
+    /// vs total extents — as an `xpeval_obs::MetricSource`, so a lazy
+    /// backend reports its residency through the same telemetry protocol
+    /// as the caches and the serving pool.
+    pub fn residency_stats(&self) -> ResidencyStats {
+        let chosen = {
+            let state = self.state.lock().unwrap();
+            state.chosen.iter().filter(|&&c| c).count()
+        };
+        ResidencyStats {
+            resident_nodes: self.resident_nodes(),
+            total_nodes: self.total_nodes,
+            chosen_extents: chosen,
+            extent_count: self.extents.len(),
+        }
     }
 
     /// Exact node count of the *fully* materialized document — the

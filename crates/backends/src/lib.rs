@@ -36,7 +36,7 @@ pub mod lazy;
 pub mod snapshot;
 
 pub use json::JsonProvider;
-pub use lazy::{required_tags, LazyDocument, DEFAULT_EXTENT_THRESHOLD};
+pub use lazy::{required_tags, LazyDocument, ResidencyStats, DEFAULT_EXTENT_THRESHOLD};
 pub use snapshot::{
     PreparedSnapshot, SnapshotError, SNAPSHOT_HEADER_LEN, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };

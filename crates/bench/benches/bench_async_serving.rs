@@ -10,20 +10,26 @@
 //! exactly the serving layer: queueing overhead at 1 client, parallel
 //! drain at 4/16.
 //!
-//! After the criterion groups (skipped in `--test` smoke mode) the bench
-//! prints a throughput headline per client count and, when
-//! `SERVE_STATS_JSON` is set, dumps each pool's final `ServeStats` (queue
-//! high-watermark, enqueue→dequeue latency, per-worker completions) to
-//! that path as a flat JSON map — CI uploads it next to
-//! `BENCH_results.json`.
+//! The serving engine carries an `xpeval_obs::Telemetry` handle, so the
+//! pool's workers stream queue-wait / execution / end-to-end latency
+//! histograms into its metrics registry as they drain.  After the
+//! criterion groups the bench exports the observability artifacts through
+//! **both** exporters — `target/serve-stats.json` (each pool's final
+//! `ServeStats` via `MetricSource::to_json`, with p50/p99 per lifecycle
+//! stage) and `target/serve-stats.prom` (the registry as a Prometheus
+//! scrape, validated against the crate's own exposition-format parser) —
+//! and CI uploads them next to `BENCH_results.json`.  The old
+//! `SERVE_STATS_JSON` env side channel is gone.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xpeval_core::{Engine, EvalStrategy};
 use xpeval_dom::PreparedDocument;
+use xpeval_obs::{parse_prometheus, render_prometheus, MetricSource, Telemetry};
 use xpeval_serve::{AsyncEngine, ServeStats};
 use xpeval_workloads::auction_site_document;
 
@@ -44,12 +50,16 @@ const TOTAL: usize = 64;
 /// Client-thread counts driving the pool.
 const CLIENTS: [usize; 3] = [1, 4, 16];
 
-fn serving_engine() -> Engine {
+fn serving_engine(telemetry: &Arc<Telemetry>) -> Engine {
     // Pinned strategy: every path runs the identical algorithm, so the
-    // comparison isolates the serving layer, not plan selection.
+    // comparison isolates the serving layer, not plan selection.  The
+    // telemetry handle is attached with sampling off: the registry
+    // accumulates query counts and the serve lifecycle histograms, but no
+    // per-opcode traces are recorded on the measured paths.
     Engine::builder()
         .strategy(EvalStrategy::ContextValueTable)
         .plan_cache_capacity(256)
+        .telemetry(Arc::clone(telemetry))
         .build()
 }
 
@@ -103,41 +113,57 @@ fn new_pool(engine: &Engine) -> AsyncEngine {
         .build()
 }
 
-/// Writes the collected `ServeStats` as one flat JSON map (no
-/// dependencies, same discipline as `bench_gate`).
-fn write_serve_stats(path: &str, rows: &[(usize, ServeStats)]) {
+/// The workspace `target/` directory — benches run with the package as
+/// cwd, so the path is anchored at the manifest instead.
+fn target_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target")
+}
+
+/// Writes each pool's final `ServeStats` as one JSON object keyed by
+/// client count; `MetricSource::to_json` renders the per-pool objects,
+/// lifecycle histograms (count/sum/mean/p50/p90/p99/max) included.
+fn write_serve_stats(path: &Path, rows: &[(usize, ServeStats)]) {
     let mut out = String::from("{\n");
-    let mut first = true;
-    for (clients, s) in rows {
-        let prefix = format!("async_serving/clients_{clients}");
-        for (key, value) in [
-            ("queue_high_watermark", s.queue_high_watermark as u64),
-            ("queue_capacity", s.queue_capacity as u64),
-            ("workers", s.workers as u64),
-            ("submitted", s.submitted),
-            ("completed", s.completed),
-            ("panicked", s.panicked),
-            ("mean_queue_wait_ns", s.mean_queue_wait().as_nanos() as u64),
-            ("max_queue_wait_ns", s.queue_wait_max_ns),
-        ] {
-            if !first {
-                out.push_str(",\n");
-            }
-            first = false;
-            out.push_str(&format!("  \"{prefix}/{key}\": {value}"));
+    for (i, (clients, s)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
         }
+        out.push_str(&format!(
+            "  \"async_serving/clients_{clients}\": {}",
+            s.to_json()
+        ));
     }
     out.push_str("\n}\n");
-    if let Err(e) = std::fs::write(path, out) {
-        eprintln!("bench_async_serving: cannot write {path}: {e}");
-    } else {
-        println!("bench_async_serving: wrote ServeStats to {path}");
+    match std::fs::write(path, out) {
+        Err(e) => eprintln!("bench_async_serving: cannot write {}: {e}", path.display()),
+        Ok(()) => println!(
+            "bench_async_serving: wrote ServeStats to {}",
+            path.display()
+        ),
+    }
+}
+
+/// Renders the telemetry registry as a Prometheus scrape, proves it
+/// against the crate's own exposition-format parser, and writes it next
+/// to the JSON export.
+fn write_prometheus(path: &Path, telemetry: &Telemetry) {
+    let scrape = render_prometheus(telemetry.registry());
+    if let Err(e) = parse_prometheus(&scrape) {
+        panic!("bench_async_serving: invalid Prometheus exposition: {e}");
+    }
+    match std::fs::write(path, &scrape) {
+        Err(e) => eprintln!("bench_async_serving: cannot write {}: {e}", path.display()),
+        Ok(()) => println!(
+            "bench_async_serving: wrote Prometheus scrape to {}",
+            path.display()
+        ),
     }
 }
 
 fn bench_async_serving(c: &mut Criterion) {
     let doc = Arc::new(auction_site_document(&mut StdRng::seed_from_u64(42), 600));
-    let engine = serving_engine();
+    let telemetry = Arc::new(Telemetry::new());
+    let engine = serving_engine(&telemetry);
     let prepared = engine.prepare_keyed(1, &doc);
 
     // Sanity: the pool computes exactly what the loop computes.
@@ -174,10 +200,21 @@ fn bench_async_serving(c: &mut Criterion) {
     }
     group.finish();
 
-    if let Ok(path) = std::env::var("SERVE_STATS_JSON") {
-        if !path.is_empty() {
-            write_serve_stats(&path, &stats_rows);
-        }
+    // Export through both exporters: the per-pool JSON snapshots and the
+    // accumulated registry as a Prometheus scrape.  A 16-client run thus
+    // always leaves queue-wait and end-to-end histograms (p50/p99) on
+    // disk for CI to upload.
+    let dir = target_dir();
+    write_serve_stats(&dir.join("serve-stats.json"), &stats_rows);
+    write_prometheus(&dir.join("serve-stats.prom"), &telemetry);
+    if let Some((clients, s)) = stats_rows.last() {
+        println!(
+            "async_serving/clients_{clients}: queue_wait p50={:?} p99={:?}, end_to_end p50={:?} p99={:?}",
+            Duration::from_nanos(s.queue_wait.p50()),
+            Duration::from_nanos(s.queue_wait.p99()),
+            Duration::from_nanos(s.end_to_end.p50()),
+            Duration::from_nanos(s.end_to_end.p99()),
+        );
     }
 
     // Headline ratios; skipped in `--test` smoke mode (CI only proves the

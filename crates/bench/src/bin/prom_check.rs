@@ -1,0 +1,60 @@
+//! Validates Prometheus text-exposition files with the workspace's own
+//! minimal parser — the CI scrape check for telemetry exporters.
+//!
+//! ```bash
+//! prom_check target/serve-stats.prom target/observability.prom
+//! ```
+//!
+//! Each argument is a file path (or `-` for stdin).  A file passes when it
+//! parses cleanly — `# TYPE` declarations present, sample syntax valid,
+//! histogram series complete with non-decreasing cumulative buckets — and
+//! contains at least one sample.  Exits non-zero on the first violation,
+//! printing the parser's line-numbered message.
+
+use std::io::Read;
+use std::process::ExitCode;
+use xpeval_obs::parse_prometheus;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: prom_check <file.prom|-> [more files...]");
+        return ExitCode::FAILURE;
+    }
+    for arg in &args {
+        let text = if arg == "-" {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("prom_check: stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            buf
+        } else {
+            match std::fs::read_to_string(arg) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("prom_check: {arg}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        match parse_prometheus(&text) {
+            Ok(parsed) if parsed.samples.is_empty() => {
+                eprintln!("prom_check: {arg}: exposition is empty");
+                return ExitCode::FAILURE;
+            }
+            Ok(parsed) => {
+                println!(
+                    "prom_check: {arg}: ok ({} families, {} samples)",
+                    parsed.families.len(),
+                    parsed.samples.len()
+                );
+            }
+            Err(message) => {
+                eprintln!("prom_check: {arg}: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

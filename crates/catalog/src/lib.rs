@@ -188,7 +188,7 @@ mod tests {
         assert_eq!(s.artifact_hits, 1, "{s}");
         assert_eq!(s.artifact_len, 1, "{s}");
         assert_eq!(s.artifact_cross_doc_hits, 1, "{s}");
-        assert!(s.to_string().contains("shared 1 cross-doc"), "{s}");
+        assert!(s.to_string().contains("cross_doc_hits 1"), "{s}");
 
         // Divergence ends the sharing: replacing one copy with different
         // content leaves the other copy's artifact alive and hot.
@@ -556,7 +556,8 @@ mod tests {
         assert_eq!(s.artifact_scope_killed, 1, "{s}");
         assert_eq!(s.artifact_scope_preserved, 2, "{s}");
         let line = s.to_string();
-        assert!(line.contains("scoped 1 killed / 2 kept"), "{line}");
+        assert!(line.contains("scope_killed 1"), "{line}");
+        assert!(line.contains("scope_preserved 2"), "{line}");
 
         // A removal inside `right` kills //b (candidates in the *old*
         // snapshot intersect the dirty interval) and preserves //a.

@@ -2,6 +2,12 @@
 //! `xpeval_core::CacheStats` and `xpeval_serve::ServeStats`: everything the
 //! store and its artifact cache do is countable, so tests and benches can
 //! assert hit/miss/invalidation behaviour instead of guessing.
+//!
+//! [`CatalogStats`] implements `xpeval_obs::MetricSource`, so one field
+//! enumeration drives the `Display` summary line, `to_json()`, and
+//! publication into a metrics registry for the Prometheus exporter.
+
+use xpeval_obs::{Field, FieldValue, MetricSource};
 
 /// Snapshot of a [`crate::Catalog`]'s counters: the document store on the
 /// left, the (query × document) artifact cache on the right.
@@ -94,33 +100,85 @@ fn rate(hits: u64, misses: u64) -> f64 {
     }
 }
 
+impl MetricSource for CatalogStats {
+    fn source_name(&self) -> &'static str {
+        "catalog"
+    }
+
+    fn fields(&self) -> Vec<Field> {
+        vec![
+            Field::new(
+                "docs",
+                FieldValue::Frac {
+                    num: self.documents as u64,
+                    den: self.capacity as u64,
+                },
+            ),
+            Field::new(
+                "resident_nodes",
+                FieldValue::Gauge(self.resident_nodes as i64),
+            ),
+            Field::new("node_budget", FieldValue::Gauge(self.node_budget as i64)),
+            Field::new("inserted", FieldValue::Counter(self.inserts)),
+            Field::new("replaced", FieldValue::Counter(self.replacements)),
+            Field::new("mutated", FieldValue::Counter(self.mutations)),
+            Field::new("removed", FieldValue::Counter(self.removals)),
+            Field::new("evicted", FieldValue::Counter(self.evictions)),
+            Field::new("demoted", FieldValue::Counter(self.demotions)),
+            Field::new(
+                "resolves",
+                FieldValue::Ratio {
+                    num: self.resolve_hits,
+                    den: self.resolve_hits + self.resolve_misses,
+                },
+            ),
+            Field::new("evals", FieldValue::Counter(self.evaluations)),
+            Field::new(
+                "artifacts",
+                FieldValue::Frac {
+                    num: self.artifact_len as u64,
+                    den: self.artifact_capacity as u64,
+                },
+            ),
+            Field::new(
+                "hits",
+                FieldValue::Ratio {
+                    num: self.artifact_hits,
+                    den: self.artifact_hits + self.artifact_misses,
+                },
+            ),
+            Field::new(
+                "artifact_evictions",
+                FieldValue::Counter(self.artifact_evictions),
+            ),
+            Field::new(
+                "invalidated",
+                FieldValue::Counter(self.artifact_invalidations),
+            ),
+            Field::new(
+                "scope_killed",
+                FieldValue::Counter(self.artifact_scope_killed),
+            ),
+            Field::new(
+                "scope_preserved",
+                FieldValue::Counter(self.artifact_scope_preserved),
+            ),
+            Field::new(
+                "cross_doc_hits",
+                FieldValue::Counter(self.artifact_cross_doc_hits),
+            ),
+        ]
+    }
+}
+
 impl std::fmt::Display for CatalogStats {
-    /// One-line summary used by the examples, e.g.
-    /// `docs 3/64 (5 inserted, 2 replaced, 3 mutated, 0 evicted), resolves 10/12 (83.3%), evals 40, artifacts 7/256 hits 33/40 (82.5%), invalidated 4, scoped 2 killed / 5 kept, shared 3 cross-doc`.
+    /// One-line summary shared with [`MetricSource::summary_line`], e.g.
+    /// `docs 3/64, resident_nodes 0, node_budget 0, inserted 5, replaced 2,
+    /// mutated 3, removed 0, evicted 0, demoted 0, resolves 10/12 (83.3%),
+    /// evals 40, artifacts 7/256, hits 33/40 (82.5%), artifact_evictions 0,
+    /// invalidated 4, scope_killed 2, scope_preserved 5, cross_doc_hits 3`.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "docs {}/{} ({} inserted, {} replaced, {} mutated, {} evicted), resolves {}/{} ({:.1}%), evals {}, artifacts {}/{} hits {}/{} ({:.1}%), invalidated {}, scoped {} killed / {} kept, shared {} cross-doc",
-            self.documents,
-            self.capacity,
-            self.inserts,
-            self.replacements,
-            self.mutations,
-            self.evictions,
-            self.resolve_hits,
-            self.resolve_hits + self.resolve_misses,
-            self.resolve_hit_rate() * 100.0,
-            self.evaluations,
-            self.artifact_len,
-            self.artifact_capacity,
-            self.artifact_hits,
-            self.artifact_hits + self.artifact_misses,
-            self.artifact_hit_rate() * 100.0,
-            self.artifact_invalidations,
-            self.artifact_scope_killed,
-            self.artifact_scope_preserved,
-            self.artifact_cross_doc_hits,
-        )
+        f.write_str(&self.summary_line())
     }
 }
 
@@ -178,9 +236,42 @@ mod tests {
         assert!(line.contains("docs 3/64"), "{line}");
         assert!(line.contains("hits 33/40 (82.5%)"), "{line}");
         assert!(line.contains("invalidated 4"), "{line}");
-        assert!(line.contains("scoped 0 killed / 0 kept"), "{line}");
-        assert!(line.contains("shared 0 cross-doc"), "{line}");
+        assert!(line.contains("scope_killed 0"), "{line}");
+        assert!(line.contains("scope_preserved 0"), "{line}");
+        assert!(line.contains("cross_doc_hits 0"), "{line}");
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn to_json_is_a_flat_object_with_ratio_totals() {
+        let stats = CatalogStats {
+            documents: 3,
+            capacity: 64,
+            artifact_hits: 33,
+            artifact_misses: 7,
+            ..CatalogStats::default()
+        };
+        let json = stats.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"docs\": 3"), "{json}");
+        assert!(json.contains("\"docs_total\": 64"), "{json}");
+        assert!(json.contains("\"hits\": 33"), "{json}");
+        assert!(json.contains("\"hits_total\": 40"), "{json}");
+    }
+
+    #[test]
+    fn publish_prefixes_metrics_with_the_source_name() {
+        let stats = CatalogStats {
+            evaluations: 12,
+            artifact_hits: 9,
+            artifact_misses: 3,
+            ..CatalogStats::default()
+        };
+        let registry = xpeval_obs::MetricsRegistry::new();
+        stats.publish(&registry);
+        let text = xpeval_obs::render_prometheus(&registry);
+        assert!(text.contains("catalog_evals 12"), "{text}");
+        assert!(text.contains("catalog_hits 9"), "{text}");
     }
 
     #[test]

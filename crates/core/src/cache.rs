@@ -32,6 +32,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 use xpeval_dom::{Document, PreparedDocument};
+use xpeval_obs::{Field, FieldValue, MetricSource};
 
 /// Maximum number of shards of a [`ShardedPlanCache`].  Small caches use a
 /// single shard so capacity semantics stay exact; see
@@ -67,14 +68,25 @@ pub struct CacheStats {
     pub per_shard: Vec<ShardStats>,
 }
 
+impl MetricSource for ShardStats {
+    fn source_name(&self) -> &'static str {
+        "plan_cache_shard"
+    }
+
+    fn fields(&self) -> Vec<Field> {
+        vec![
+            Field::new("hits", FieldValue::Counter(self.hits)),
+            Field::new("misses", FieldValue::Counter(self.misses)),
+            Field::new("len", FieldValue::Gauge(self.len as i64)),
+        ]
+    }
+}
+
 impl std::fmt::Display for ShardStats {
-    /// One-line summary: `hits 5, misses 2, len 3`.
+    /// One-line summary shared with [`MetricSource::summary_line`]:
+    /// `hits 5, misses 2, len 3`.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "hits {}, misses {}, len {}",
-            self.hits, self.misses, self.len
-        )
+        f.write_str(&self.summary_line())
     }
 }
 
@@ -91,24 +103,44 @@ impl CacheStats {
     }
 }
 
-impl std::fmt::Display for CacheStats {
-    /// One-line summary used by the examples, e.g.
-    /// `hits 9/10 (90.0%), len 1/128, evictions 0, 8 shards`.
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "hits {}/{} ({:.1}%), len {}/{}, evictions {}",
-            self.hits,
-            self.hits + self.misses,
-            self.hit_rate() * 100.0,
-            self.len,
-            self.capacity,
-            self.evictions,
-        )?;
+impl MetricSource for CacheStats {
+    fn source_name(&self) -> &'static str {
+        "plan_cache"
+    }
+
+    fn fields(&self) -> Vec<Field> {
+        let mut fields = vec![
+            Field::new(
+                "hits",
+                FieldValue::Ratio {
+                    num: self.hits,
+                    den: self.hits + self.misses,
+                },
+            ),
+            Field::new(
+                "len",
+                FieldValue::Frac {
+                    num: self.len as u64,
+                    den: self.capacity as u64,
+                },
+            ),
+            Field::new("evictions", FieldValue::Counter(self.evictions)),
+        ];
         if self.per_shard.len() > 1 {
-            write!(f, ", {} shards", self.per_shard.len())?;
+            fields.push(Field::new(
+                "shards",
+                FieldValue::Gauge(self.per_shard.len() as i64),
+            ));
         }
-        Ok(())
+        fields
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    /// One-line summary shared with [`MetricSource::summary_line`], e.g.
+    /// `hits 9/10 (90.0%), len 1/128, evictions 0, shards 8`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.summary_line())
     }
 }
 

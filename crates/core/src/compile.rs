@@ -38,7 +38,9 @@ use crate::stream::NodeStream;
 use crate::success::SingletonSuccess;
 use crate::value::Value;
 use std::sync::Arc;
+use std::time::Instant;
 use xpeval_dom::{AxisSource, Document, NodeId, PreparedDocument};
+use xpeval_obs::{Counter, Histogram, OpTrace, QueryTrace, SpanKind, Telemetry, TraceSpan};
 use xpeval_syntax::ast::ExprType;
 use xpeval_syntax::normalize::expand_iterated_predicates;
 use xpeval_syntax::{classify, Expr, Fragment, FragmentReport};
@@ -235,6 +237,39 @@ pub struct CompiledQuery {
     /// bound entry points check these against the supplied [`Bindings`]
     /// *before* any document work.
     variables: Vec<String>,
+    /// Nanoseconds spent parsing, normalizing and classifying the query
+    /// (everything in `build` except the lowering), stamped at compile
+    /// time and reported as the `compile` span of sampled traces.
+    compile_nanos: u64,
+    /// Nanoseconds spent lowering the AST to [`PlanIr`] — the `lower`
+    /// span of sampled traces.
+    lower_nanos: u64,
+    /// The telemetry handle sampled traces and latency metrics flow into;
+    /// `None` (the default) keeps every run path telemetry-free.
+    telemetry: Option<DispatchMeter>,
+}
+
+/// A telemetry handle plus the dispatch instruments resolved from its
+/// registry once, at attach time — so the metered dispatch path touches
+/// only atomics: no registry lock, no name lookup, no allocation.
+#[derive(Clone, Debug)]
+struct DispatchMeter {
+    handle: Arc<Telemetry>,
+    query_total: Arc<Counter>,
+    query_errors_total: Arc<Counter>,
+    query_latency_ns: Arc<Histogram>,
+}
+
+impl DispatchMeter {
+    fn new(handle: Arc<Telemetry>) -> Self {
+        let registry = handle.registry();
+        DispatchMeter {
+            query_total: registry.counter("query_total"),
+            query_errors_total: registry.counter("query_errors_total"),
+            query_latency_ns: registry.histogram("query_latency_ns"),
+            handle,
+        }
+    }
 }
 
 impl PartialEq for CompiledQuery {
@@ -307,6 +342,7 @@ impl CompiledQuery {
     }
 
     fn build(source: String, expr: Expr, options: &CompileOptions) -> Self {
+        let started = Instant::now();
         // Remark 5.2: merging iterated predicates is semantics-preserving
         // (the rewrite skips any step where it would not be) and can only
         // move the query *down* the fragment lattice, enabling a cheaper
@@ -325,12 +361,15 @@ impl CompiledQuery {
         if report.fragment < Fragment::XPath && uses_general_registration(&expr, &registry) {
             report.fragment = Fragment::XPath;
         }
+        let lower_started = Instant::now();
         let ir = PlanIr::lower_with_registry(&expr, &report, &registry);
+        let lower_nanos = lower_started.elapsed().as_nanos() as u64;
         let variables = referenced_variables(&expr);
         let auto_plan = options.strategy.is_none();
         let plan = options
             .strategy
             .unwrap_or_else(|| recommended_strategy(&report, options.threads.max(1)));
+        let compile_nanos = (started.elapsed().as_nanos() as u64).saturating_sub(lower_nanos);
         CompiledQuery {
             source,
             expr,
@@ -340,6 +379,9 @@ impl CompiledQuery {
             ir,
             registry,
             variables,
+            compile_nanos,
+            lower_nanos,
+            telemetry: None,
         }
     }
 
@@ -395,6 +437,7 @@ impl CompiledQuery {
         EvalEnv {
             registry: &self.registry,
             bindings: Bindings::empty(),
+            trace: None,
         }
     }
 
@@ -402,6 +445,7 @@ impl CompiledQuery {
         EvalEnv {
             registry: &self.registry,
             bindings,
+            trace: None,
         }
     }
 
@@ -414,6 +458,139 @@ impl CompiledQuery {
             }),
             None => Ok(()),
         }
+    }
+
+    /// The single strategy-dispatch funnel of every run path: exactly
+    /// [`crate::exec::execute_ir`] when no telemetry is attached (one
+    /// branch of overhead), and the metered path otherwise.
+    fn dispatch<S: AxisSource + ?Sized>(
+        &self,
+        strategy: EvalStrategy,
+        src: &S,
+        ctx: Context,
+        env: EvalEnv<'_>,
+    ) -> Result<(Value, EvalStats), EvalError> {
+        match &self.telemetry {
+            None => crate::exec::execute_ir(strategy, src, &self.expr, &self.ir, ctx, env),
+            Some(meter) => self.dispatch_observed(meter, strategy, src, ctx, env),
+        }
+    }
+
+    /// The metered dispatch.  Every run bumps the query counters; runs
+    /// picked by the handle's sampler are additionally timed into the
+    /// `query_latency_ns` histogram and thread an [`OpTrace`] through the
+    /// evaluation, retaining the resulting [`QueryTrace`].  Unsampled runs
+    /// never read a clock or allocate.
+    fn dispatch_observed<S: AxisSource + ?Sized>(
+        &self,
+        meter: &DispatchMeter,
+        strategy: EvalStrategy,
+        src: &S,
+        ctx: Context,
+        env: EvalEnv<'_>,
+    ) -> Result<(Value, EvalStats), EvalError> {
+        meter.query_total.inc();
+        if !meter.handle.should_sample() {
+            // Unsampled runs pay counters only — no clock reads, no
+            // allocation; this is what keeps sampling-off telemetry within
+            // the 2% bar `bench_telemetry` prices.
+            let result = crate::exec::execute_ir(strategy, src, &self.expr, &self.ir, ctx, env);
+            if result.is_err() {
+                meter.query_errors_total.inc();
+            }
+            return result;
+        }
+        let trace = OpTrace::new(self.ir.ops().len());
+        let env = EvalEnv {
+            trace: Some(&trace),
+            ..env
+        };
+        let start = Instant::now();
+        let result = crate::exec::execute_ir(strategy, src, &self.expr, &self.ir, ctx, env);
+        let elapsed = start.elapsed();
+        if result.is_err() {
+            meter.query_errors_total.inc();
+        }
+        meter.query_latency_ns.record_duration(elapsed);
+        meter
+            .handle
+            .push_trace(self.build_trace(strategy, &trace, elapsed.as_nanos() as u64));
+        result
+    }
+
+    /// Converts accumulated per-opcode cells into the span list of a
+    /// [`QueryTrace`]: the compile and lower phases first, then one span
+    /// per plan opcode *in plan order* — which is what makes the emitted
+    /// span sequence identical across all five strategies by construction.
+    fn build_trace(&self, strategy: EvalStrategy, trace: &OpTrace, total_nanos: u64) -> QueryTrace {
+        let ops = self.ir.ops().len();
+        let mut spans = Vec::with_capacity(ops + 2);
+        let fragment = self.report.fragment.name();
+        spans.push(TraceSpan::phase(
+            SpanKind::Compile,
+            "parse + classify",
+            fragment,
+            self.compile_nanos,
+        ));
+        spans.push(TraceSpan::phase(
+            SpanKind::Lower,
+            "lower to PlanIr",
+            fragment,
+            self.lower_nanos,
+        ));
+        for id in 0..ops as u32 {
+            let (calls, candidates_in, candidates_out, nanos) = trace.cell(id);
+            spans.push(TraceSpan {
+                kind: SpanKind::Op,
+                label: self.ir.display_op(id),
+                op: Some(id),
+                fragment: self.ir.op(id).fragment.name(),
+                calls,
+                candidates_in,
+                candidates_out,
+                nanos,
+            });
+        }
+        QueryTrace {
+            query: self.source.clone(),
+            strategy: format!("{strategy:?}"),
+            spans,
+            total_nanos,
+        }
+    }
+
+    /// Nanoseconds spent parsing, normalizing and classifying the query at
+    /// compile time (excludes lowering; see
+    /// [`CompiledQuery::lower_nanos`]).
+    pub fn compile_nanos(&self) -> u64 {
+        self.compile_nanos
+    }
+
+    /// Nanoseconds spent lowering the AST to the flat plan IR at compile
+    /// time.
+    pub fn lower_nanos(&self) -> u64 {
+        self.lower_nanos
+    }
+
+    /// Attaches a telemetry handle: every later run through this plan
+    /// counts into the handle's registry (`query_total`,
+    /// `query_errors_total`), and runs picked by the handle's sampler are
+    /// additionally timed into the `query_latency_ns` histogram and record
+    /// a full [`QueryTrace`] — compile and lower spans plus one span per
+    /// plan opcode.  The dispatch instruments are resolved from the registry
+    /// here, once, so the metered run path touches only atomics — and with
+    /// no handle attached (the default) the run paths stay allocation- and
+    /// lock-free entirely.  An engine built with
+    /// [`crate::EngineBuilder::telemetry`] attaches its handle to every
+    /// plan it compiles.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(DispatchMeter::new(telemetry));
+        self
+    }
+
+    /// The attached telemetry handle, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref().map(|meter| &meter.handle)
     }
 
     /// The evaluation strategy this plan will dispatch to.
@@ -501,8 +678,7 @@ impl CompiledQuery {
         ctx: Context,
     ) -> Result<QueryOutput, EvalError> {
         let strategy = self.strategy_for_source(doc);
-        let (value, stats) =
-            crate::exec::execute_ir(strategy, doc, &self.expr, &self.ir, ctx, self.base_env())?;
+        let (value, stats) = self.dispatch(strategy, doc, ctx, self.base_env())?;
         Ok(QueryOutput {
             value,
             stats,
@@ -512,8 +688,7 @@ impl CompiledQuery {
 
     /// Evaluates against a document from an explicit context triple.
     pub fn run_with_context(&self, doc: &Document, ctx: Context) -> Result<QueryOutput, EvalError> {
-        let (value, stats) =
-            crate::exec::execute_ir(self.plan, doc, &self.expr, &self.ir, ctx, self.base_env())?;
+        let (value, stats) = self.dispatch(self.plan, doc, ctx, self.base_env())?;
         Ok(QueryOutput {
             value,
             stats,
@@ -538,14 +713,7 @@ impl CompiledQuery {
         bindings: &Bindings,
     ) -> Result<QueryOutput, EvalError> {
         self.check_bindings(bindings)?;
-        let (value, stats) = crate::exec::execute_ir(
-            self.plan,
-            doc,
-            &self.expr,
-            &self.ir,
-            ctx,
-            self.bound_env(bindings),
-        )?;
+        let (value, stats) = self.dispatch(self.plan, doc, ctx, self.bound_env(bindings))?;
         Ok(QueryOutput {
             value,
             stats,
@@ -573,14 +741,7 @@ impl CompiledQuery {
     ) -> Result<QueryOutput, EvalError> {
         self.check_bindings(bindings)?;
         let strategy = self.strategy_for_source(doc);
-        let (value, stats) = crate::exec::execute_ir(
-            strategy,
-            doc,
-            &self.expr,
-            &self.ir,
-            ctx,
-            self.bound_env(bindings),
-        )?;
+        let (value, stats) = self.dispatch(strategy, doc, ctx, self.bound_env(bindings))?;
         Ok(QueryOutput {
             value,
             stats,
@@ -644,14 +805,7 @@ impl CompiledQuery {
             }
             EvalStrategy::ContextValueTable | EvalStrategy::Naive => {
                 // No incremental formulation; materialize, then stream.
-                let (value, _) = crate::exec::execute_ir(
-                    strategy,
-                    src,
-                    &self.expr,
-                    &self.ir,
-                    ctx,
-                    self.base_env(),
-                )?;
+                let (value, _) = self.dispatch(strategy, src, ctx, self.base_env())?;
                 Ok(NodeStream::from_vec(value.into_nodes()?))
             }
         }
@@ -758,8 +912,7 @@ impl CompiledQuery {
             _ => contexts
                 .iter()
                 .map(|&ctx| {
-                    let (value, stats) =
-                        crate::exec::execute_ir(strategy, src, &self.expr, &self.ir, ctx, env)?;
+                    let (value, stats) = self.dispatch(strategy, src, ctx, env)?;
                     Ok(QueryOutput {
                         value,
                         stats,

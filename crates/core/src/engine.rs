@@ -26,6 +26,7 @@ use crate::registry::{FunctionRegistry, FunctionSignature};
 use crate::value::Value;
 use std::sync::Arc;
 use xpeval_dom::{Document, PreparedDocument};
+use xpeval_obs::Telemetry;
 use xpeval_syntax::{classify, Expr, FragmentReport};
 
 /// The evaluation strategies implemented by this crate.
@@ -65,6 +66,7 @@ pub struct EngineBuilder {
     cache_capacity: usize,
     document_cache_capacity: usize,
     registry: FunctionRegistry,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl EngineBuilder {
@@ -78,7 +80,19 @@ impl EngineBuilder {
             cache_capacity: 128,
             document_cache_capacity: 8,
             registry: FunctionRegistry::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry handle to the engine being built: every plan
+    /// the engine compiles records query counts and latency histograms
+    /// into the handle's registry, and the handle's sampler picks runs to
+    /// trace per opcode (see [`CompiledQuery::with_telemetry`]).  Without
+    /// a handle (the default) the evaluation hot paths stay entirely
+    /// telemetry-free.
+    pub fn telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// Fixes the evaluation strategy for every query, overriding the
@@ -171,6 +185,7 @@ impl EngineBuilder {
                 cache: ShardedPlanCache::new(self.cache_capacity),
                 documents: DocumentCache::new(self.document_cache_capacity),
                 registry,
+                telemetry: self.telemetry,
             }),
         }
     }
@@ -205,6 +220,9 @@ struct EngineInner {
     documents: DocumentCache,
     /// User-registered functions, shared by every plan this engine compiles.
     registry: Arc<FunctionRegistry>,
+    /// Telemetry handle attached to every plan this engine compiles;
+    /// `None` keeps the run paths telemetry-free.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Default for Engine {
@@ -266,10 +284,8 @@ impl Engine {
         if let Some(hit) = self.inner.cache.get(source) {
             return Ok(hit);
         }
-        let plan = Arc::new(CompiledQuery::compile_with(
-            source,
-            &self.compile_options(true),
-        )?);
+        let compiled = CompiledQuery::compile_with(source, &self.compile_options(true))?;
+        let plan = Arc::new(self.attach_telemetry(compiled));
         self.inner
             .cache
             .insert(source.to_string(), Arc::clone(&plan));
@@ -281,7 +297,22 @@ impl Engine {
     /// as-is, without normalization, so the evaluation behaves exactly like
     /// the classic `evaluate(&doc, &expr)` always did.
     pub fn compile_expr(&self, expr: &Expr) -> CompiledQuery {
-        CompiledQuery::from_expr_with(expr.clone(), &self.compile_options(false))
+        self.attach_telemetry(CompiledQuery::from_expr_with(
+            expr.clone(),
+            &self.compile_options(false),
+        ))
+    }
+
+    /// The telemetry handle attached at build time, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.inner.telemetry.as_ref()
+    }
+
+    fn attach_telemetry(&self, plan: CompiledQuery) -> CompiledQuery {
+        match &self.inner.telemetry {
+            Some(telemetry) => plan.with_telemetry(Arc::clone(telemetry)),
+            None => plan,
+        }
     }
 
     /// Evaluates a query against a document from the canonical root context.
@@ -788,7 +819,7 @@ mod tests {
         engine.compile("//a").unwrap();
         let line = engine.cache_stats().to_string();
         assert!(line.contains("hits 1/2 (50.0%)"), "{line}");
-        assert!(line.contains("8 shards"), "{line}");
+        assert!(line.contains("shards 8"), "{line}");
         assert!(!line.contains('\n'));
     }
 

@@ -36,32 +36,52 @@ use crate::steps::predicate_holds;
 use crate::value::Value;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::time::Instant;
 use xpeval_dom::{AxisSource, Document, NodeId, NodeTest};
+use xpeval_obs::OpTrace;
 use xpeval_syntax::ast::ExprType;
 use xpeval_syntax::Expr;
 
 /// Per-evaluation environment threaded through the IR machines: the
 /// registered functions visible to `Call` opcodes whose name is not a
-/// built-in, and the external variable bindings visible to `Variable`
-/// opcodes.  Deliberately `Copy` — the parallel strategy hands the same
-/// environment to every worker (handlers are `Send + Sync` by the
-/// [`crate::registry::FunctionHandler`] bound).
+/// built-in, the external variable bindings visible to `Variable`
+/// opcodes, and the telemetry hook.  Deliberately `Copy` — the parallel
+/// strategy hands the same environment to every worker (handlers are
+/// `Send + Sync` by the [`crate::registry::FunctionHandler`] bound, and
+/// [`OpTrace`] is atomic, so workers record into one trace concurrently).
 #[derive(Clone, Copy)]
 pub(crate) struct EvalEnv<'e> {
     pub registry: &'e FunctionRegistry,
     pub bindings: &'e Bindings,
+    /// Per-opcode trace accumulation cells when this evaluation is
+    /// sampled; `None` when telemetry is off or the query was not
+    /// sampled.  Every recording site guards on this `Option` — the
+    /// disabled path costs exactly one predictable branch, no allocation
+    /// and no lock.
+    pub trace: Option<&'e OpTrace>,
 }
 
 #[cfg(test)]
 impl EvalEnv<'static> {
-    /// The empty environment: built-ins only, no variable bindings.
-    /// Production entry points build their environment from the plan's
-    /// registry ([`crate::compile`]); tests use this shorthand.
+    /// The empty environment: built-ins only, no variable bindings, no
+    /// telemetry.  Production entry points build their environment from the
+    /// plan's registry ([`crate::compile`]); tests use this shorthand.
     pub fn base() -> Self {
         EvalEnv {
             registry: FunctionRegistry::empty(),
             bindings: Bindings::empty(),
+            trace: None,
         }
+    }
+}
+
+/// The candidate width a traced op span reports for a computed value:
+/// node-set cardinality for node sets, 1 for scalars, 0 for errors.
+fn value_width(out: &Result<Value, EvalError>) -> u64 {
+    match out {
+        Ok(Value::NodeSet(nodes)) => nodes.len() as u64,
+        Ok(_) => 1,
+        Err(_) => 0,
     }
 }
 
@@ -135,7 +155,7 @@ pub(crate) fn execute_ir<S: AxisSource + ?Sized>(
         EvalStrategy::CoreXPathLinear => {
             ir.linear_check()?;
             if ir.op(ir.root()).kind.is_nodeset() {
-                let ev = IrLinear::new(src, ir);
+                let ev = IrLinear::new(src, ir, env.trace);
                 let nodes = ev.evaluate_from(ir.root(), &[ctx.node])?;
                 Ok((Value::NodeSet(nodes), ev.stats()))
             } else {
@@ -219,6 +239,16 @@ impl<'d, 'q, S: AxisSource + ?Sized> IrEvaluator<'d, 'q, S> {
 
     /// Evaluates one opcode in a context.
     pub fn eval(&mut self, id: OpId, ctx: Context) -> Result<Value, EvalError> {
+        let Some(trace) = self.env.trace else {
+            return self.eval_inner(id, ctx);
+        };
+        let start = Instant::now();
+        let out = self.eval_inner(id, ctx);
+        trace.record(id, 1, value_width(&out), start.elapsed().as_nanos() as u64);
+        out
+    }
+
+    fn eval_inner(&mut self, id: OpId, ctx: Context) -> Result<Value, EvalError> {
         if self.memoized {
             let key = (id, ContextKey::for_context(ctx, self.ir.op(id).sensitive));
             if let Some(v) = self.memo.get(&key) {
@@ -413,18 +443,20 @@ pub(crate) struct IrLinear<'d, 'q, S: AxisSource + ?Sized = Document> {
     doc: &'d Document,
     ir: &'q PlanIr,
     n: usize,
+    trace: Option<&'q OpTrace>,
     evaluations: Cell<u64>,
     steps_applied: Cell<u64>,
 }
 
 impl<'d, 'q, S: AxisSource + ?Sized> IrLinear<'d, 'q, S> {
-    pub fn new(src: &'d S, ir: &'q PlanIr) -> Self {
+    pub fn new(src: &'d S, ir: &'q PlanIr, trace: Option<&'q OpTrace>) -> Self {
         let doc = src.document();
         IrLinear {
             core: CoreXPathEvaluator::new(src),
             doc,
             ir,
             n: doc.len(),
+            trace,
             evaluations: Cell::new(0),
             steps_applied: Cell::new(0),
         }
@@ -454,6 +486,22 @@ impl<'d, 'q, S: AxisSource + ?Sized> IrLinear<'d, 'q, S> {
     }
 
     fn eval_nodeset(&self, id: OpId, from: &NodeBitSet) -> Result<NodeBitSet, EvalError> {
+        let Some(trace) = self.trace else {
+            return self.eval_nodeset_inner(id, from);
+        };
+        let start = Instant::now();
+        let out = self.eval_nodeset_inner(id, from);
+        let width = out.as_ref().map_or(0, |s| s.count() as u64);
+        trace.record(
+            id,
+            from.count() as u64,
+            width,
+            start.elapsed().as_nanos() as u64,
+        );
+        out
+    }
+
+    fn eval_nodeset_inner(&self, id: OpId, from: &NodeBitSet) -> Result<NodeBitSet, EvalError> {
         self.evaluations.set(self.evaluations.get() + 1);
         match &self.ir.op(id).kind {
             OpKind::Path { absolute, steps } => self.eval_path(*absolute, *steps, from),
@@ -520,6 +568,19 @@ impl<'d, 'q, S: AxisSource + ?Sized> IrLinear<'d, 'q, S> {
     }
 
     fn sat(&self, id: OpId) -> Result<NodeBitSet, EvalError> {
+        let Some(trace) = self.trace else {
+            return self.sat_inner(id);
+        };
+        let start = Instant::now();
+        let out = self.sat_inner(id);
+        let width = out.as_ref().map_or(0, |s| s.count() as u64);
+        // A `sat` set is context-free (computed over the whole document),
+        // so the span's candidates-in is 0 by convention.
+        trace.record(id, 0, width, start.elapsed().as_nanos() as u64);
+        out
+    }
+
+    fn sat_inner(&self, id: OpId) -> Result<NodeBitSet, EvalError> {
         self.evaluations.set(self.evaluations.get() + 1);
         match &self.ir.op(id).kind {
             OpKind::And(a, b) => {
@@ -639,6 +700,19 @@ impl<'d, 'q, S: AxisSource + ?Sized> IrSingletonSuccess<'d, 'q, S> {
     /// Membership test "node `target` is selected by opcode `id` from
     /// context `ctx`".
     pub fn selects(&self, id: OpId, ctx: Context, target: NodeId) -> Result<bool, EvalError> {
+        let Some(trace) = self.env.trace else {
+            return self.selects_inner(id, ctx, target);
+        };
+        let start = Instant::now();
+        let out = self.selects_inner(id, ctx, target);
+        // One membership decision: one candidate in, 0 or 1 selected out —
+        // summed over candidates the root op's out-count is the result size.
+        let selected = matches!(out, Ok(true)) as u64;
+        trace.record(id, 1, selected, start.elapsed().as_nanos() as u64);
+        out
+    }
+
+    fn selects_inner(&self, id: OpId, ctx: Context, target: NodeId) -> Result<bool, EvalError> {
         match &self.ir.op(id).kind {
             OpKind::Path { absolute, steps } => {
                 let start = if *absolute { self.doc.root() } else { ctx.node };
@@ -739,6 +813,17 @@ impl<'d, 'q, S: AxisSource + ?Sized> IrSingletonSuccess<'d, 'q, S> {
     }
 
     pub fn eval_boolean(&self, id: OpId, ctx: Context) -> Result<bool, EvalError> {
+        let Some(trace) = self.env.trace else {
+            return self.eval_boolean_inner(id, ctx);
+        };
+        let start = Instant::now();
+        let out = self.eval_boolean_inner(id, ctx);
+        let truthy = matches!(out, Ok(true)) as u64;
+        trace.record(id, 1, truthy, start.elapsed().as_nanos() as u64);
+        out
+    }
+
+    fn eval_boolean_inner(&self, id: OpId, ctx: Context) -> Result<bool, EvalError> {
         let key = (id, ctx.node, ctx.position, ctx.size);
         if let Some(&b) = self.bool_memo.borrow().get(&key) {
             self.memo_hits.set(self.memo_hits.get() + 1);
@@ -1195,6 +1280,7 @@ mod tests {
         let env = EvalEnv {
             registry: &registry,
             bindings: &bindings,
+            trace: None,
         };
 
         // Variables resolve from the bindings on the tree-walk machines...

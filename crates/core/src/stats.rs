@@ -8,6 +8,7 @@
 //! ran.
 
 use std::ops::{Add, AddAssign};
+use xpeval_obs::{Field, FieldValue, MetricSource};
 
 /// Work counters of one evaluation, uniform across strategies.
 ///
@@ -62,6 +63,44 @@ impl EvalStats {
             table_entries: self.table_entries.max(other.table_entries),
             nodes_materialized: self.nodes_materialized.max(other.nodes_materialized),
         }
+    }
+}
+
+impl MetricSource for EvalStats {
+    fn source_name(&self) -> &'static str {
+        "eval"
+    }
+
+    fn fields(&self) -> Vec<Field> {
+        vec![
+            Field::new("evaluations", FieldValue::Counter(self.evaluations)),
+            Field::new("cache_hits", FieldValue::Counter(self.cache_hits)),
+            Field::new(
+                "step_contexts",
+                FieldValue::Counter(self.step_context_evaluations),
+            ),
+            Field::new(
+                "max_list",
+                FieldValue::Gauge(self.max_intermediate_list as i64),
+            ),
+            Field::new(
+                "table_entries",
+                FieldValue::Gauge(self.table_entries as i64),
+            ),
+            Field::new(
+                "nodes_materialized",
+                FieldValue::Gauge(self.nodes_materialized as i64),
+            ),
+        ]
+    }
+}
+
+impl std::fmt::Display for EvalStats {
+    /// One-line summary shared with [`MetricSource::summary_line`], e.g.
+    /// `evaluations 41, cache_hits 12, step_contexts 80, max_list 0,
+    /// table_entries 41, nodes_materialized 0`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.summary_line())
     }
 }
 

@@ -1,0 +1,402 @@
+//! Exporters: Prometheus text exposition and JSON snapshots — plus a
+//! minimal exposition-format *parser* used by CI to validate scrapes.
+//!
+//! Both exporters walk a [`MetricsRegistry`] snapshot in name order, so
+//! output is deterministic for a given registry state.  Histograms render
+//! in the cumulative-bucket form Prometheus expects (`le` labels with
+//! monotonically non-decreasing counts ending at `+Inf`).
+
+use crate::metrics::{bucket_upper_bound, Metric, MetricsRegistry, HISTOGRAM_BUCKETS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders the registry in the Prometheus text exposition format
+/// (version 0.0.4): `# TYPE` headers, one sample per line, cumulative
+/// histogram buckets.
+pub fn render_prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, metric) in registry.collect() {
+        let name = prometheus_sanitize(&name);
+        match metric {
+            Metric::Counter(c) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {}", c.get());
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {}", g.get());
+            }
+            Metric::Histogram(h) => {
+                let s = h.snapshot();
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = 0u64;
+                for i in 0..HISTOGRAM_BUCKETS {
+                    if s.buckets[i] == 0 {
+                        continue;
+                    }
+                    cumulative += s.buckets[i];
+                    let _ = writeln!(
+                        out,
+                        "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                        bucket_upper_bound(i)
+                    );
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", s.count);
+                let _ = writeln!(out, "{name}_sum {}", s.sum);
+                let _ = writeln!(out, "{name}_count {}", s.count);
+            }
+        }
+    }
+    out
+}
+
+/// Renders the registry as one JSON object: counters and gauges as
+/// numbers, histograms as `{count, sum, mean, p50, p90, p99, max}`
+/// sub-objects.  Pretty-printed with two-space indent.
+pub fn render_json(registry: &MetricsRegistry) -> String {
+    let mut out = String::from("{\n");
+    let metrics = registry.collect();
+    for (i, (name, metric)) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        match metric {
+            Metric::Counter(c) => {
+                let _ = writeln!(out, "  \"{}\": {}{comma}", json_escape(name), c.get());
+            }
+            Metric::Gauge(g) => {
+                let _ = writeln!(out, "  \"{}\": {}{comma}", json_escape(name), g.get());
+            }
+            Metric::Histogram(h) => {
+                let s = h.snapshot();
+                let _ = writeln!(
+                    out,
+                    "  \"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \
+                     \"p90\": {}, \"p99\": {}, \"max\": {}}}{comma}",
+                    json_escape(name),
+                    s.count,
+                    s.sum,
+                    s.mean(),
+                    s.p50(),
+                    s.p90(),
+                    s.p99(),
+                    s.max,
+                );
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Replaces every character outside `[a-zA-Z0-9_:]` with `_` so any field
+/// name becomes a legal Prometheus metric name.
+pub fn prometheus_sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Escapes `"` and `\` (and control characters) for embedding in a JSON
+/// string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One sample parsed from a Prometheus exposition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedSample {
+    /// The metric name, with any `{labels}` suffix stripped.
+    pub name: String,
+    /// The raw label block (without braces), empty when absent.
+    pub labels: String,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A minimal parser for the Prometheus text exposition format, enough to
+/// validate a scrape: checks `# TYPE` declarations, sample syntax,
+/// histogram completeness (`_sum`/`_count`/`+Inf` bucket present,
+/// cumulative bucket counts non-decreasing), and that every sample's name
+/// matches a declared family.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedExposition {
+    /// Declared metric families: name → type ("counter" | "gauge" | ...).
+    pub families: BTreeMap<String, String>,
+    /// All samples in document order.
+    pub samples: Vec<ParsedSample>,
+}
+
+impl ParsedExposition {
+    /// The value of the first sample with this exact name and no labels.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+
+    /// Samples belonging to a histogram family's `_bucket` series.
+    pub fn buckets(&self, family: &str) -> Vec<&ParsedSample> {
+        let bucket = format!("{family}_bucket");
+        self.samples.iter().filter(|s| s.name == bucket).collect()
+    }
+}
+
+/// Parses and validates a Prometheus text exposition.  Returns a
+/// structured view on success, a line-numbered message on the first
+/// violation.
+pub fn parse_prometheus(text: &str) -> Result<ParsedExposition, String> {
+    let mut parsed = ParsedExposition::default();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let ln = ln + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| format!("line {ln}: TYPE without a name"))?;
+                let ty = parts
+                    .next()
+                    .ok_or_else(|| format!("line {ln}: TYPE {name} without a type"))?;
+                if !matches!(
+                    ty,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {ln}: unknown metric type {ty}"));
+                }
+                parsed.families.insert(name.to_string(), ty.to_string());
+            }
+            continue; // other comments are legal and ignored
+        }
+        // Sample: name[{labels}] value [timestamp]
+        let (name_part, value_part) = match line.find([' ', '\t']) {
+            Some(split) if !line[..split].contains('{') || line[..split].contains('}') => {
+                (&line[..split], line[split..].trim_start())
+            }
+            _ => {
+                // Labels may contain spaces; split after the closing brace.
+                let close = line
+                    .find('}')
+                    .ok_or_else(|| format!("line {ln}: malformed sample {line:?}"))?;
+                (&line[..=close], line[close + 1..].trim_start())
+            }
+        };
+        let (name, labels) = match name_part.find('{') {
+            Some(open) => {
+                let close = name_part
+                    .rfind('}')
+                    .ok_or_else(|| format!("line {ln}: unclosed label block"))?;
+                (&name_part[..open], &name_part[open + 1..close])
+            }
+            None => (name_part, ""),
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {ln}: invalid metric name {name:?}"));
+        }
+        let value_token = value_part
+            .split_whitespace()
+            .next()
+            .ok_or_else(|| format!("line {ln}: sample {name} has no value"))?;
+        let value = parse_value(value_token)
+            .ok_or_else(|| format!("line {ln}: invalid value {value_token:?}"))?;
+        let family = histogram_family(name, &parsed.families).unwrap_or(name);
+        if !parsed.families.contains_key(family) {
+            return Err(format!(
+                "line {ln}: sample {name} has no # TYPE declaration"
+            ));
+        }
+        parsed.samples.push(ParsedSample {
+            name: name.to_string(),
+            labels: labels.to_string(),
+            value,
+        });
+    }
+    validate_histograms(&parsed)?;
+    Ok(parsed)
+}
+
+fn parse_value(token: &str) -> Option<f64> {
+    match token {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        t => t.parse().ok(),
+    }
+}
+
+/// Maps `foo_bucket`/`foo_sum`/`foo_count` back to a declared histogram
+/// family `foo`.
+fn histogram_family<'a>(name: &'a str, families: &BTreeMap<String, String>) -> Option<&'a str> {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            if families.get(stem).map(String::as_str) == Some("histogram") {
+                return Some(stem);
+            }
+        }
+    }
+    None
+}
+
+fn validate_histograms(parsed: &ParsedExposition) -> Result<(), String> {
+    for (family, ty) in &parsed.families {
+        if ty != "histogram" {
+            continue;
+        }
+        let buckets = parsed.buckets(family);
+        if buckets.is_empty() {
+            return Err(format!("histogram {family} has no _bucket samples"));
+        }
+        let mut prev = 0.0f64;
+        let mut saw_inf = false;
+        for b in &buckets {
+            let le = b
+                .labels
+                .split(',')
+                .find_map(|l| l.trim().strip_prefix("le="))
+                .map(|v| v.trim_matches('"'))
+                .ok_or_else(|| format!("histogram {family} bucket missing le label"))?;
+            if b.value < prev {
+                return Err(format!(
+                    "histogram {family} bucket le={le} count {} below previous {prev}",
+                    b.value
+                ));
+            }
+            prev = b.value;
+            saw_inf |= le == "+Inf";
+        }
+        if !saw_inf {
+            return Err(format!("histogram {family} missing the +Inf bucket"));
+        }
+        let count = parsed
+            .value(&format!("{family}_count"))
+            .ok_or_else(|| format!("histogram {family} missing _count"))?;
+        parsed
+            .value(&format!("{family}_sum"))
+            .ok_or_else(|| format!("histogram {family} missing _sum"))?;
+        if (buckets.last().unwrap().value - count).abs() > f64::EPSILON {
+            return Err(format!(
+                "histogram {family}: +Inf bucket {} disagrees with _count {count}",
+                buckets.last().unwrap().value
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_registry() -> MetricsRegistry {
+        let r = MetricsRegistry::new();
+        r.counter("queries_total").set(42);
+        r.gauge("queue_depth").set(3);
+        let h = r.histogram("wait_ns");
+        h.record(100);
+        h.record(100);
+        h.record(5000);
+        r
+    }
+
+    #[test]
+    fn prometheus_roundtrips_through_the_parser() {
+        let r = demo_registry();
+        let text = render_prometheus(&r);
+        let parsed = parse_prometheus(&text).expect("own output must validate");
+        assert_eq!(parsed.families.get("queries_total").unwrap(), "counter");
+        assert_eq!(parsed.families.get("wait_ns").unwrap(), "histogram");
+        assert_eq!(parsed.value("queries_total"), Some(42.0));
+        assert_eq!(parsed.value("queue_depth"), Some(3.0));
+        assert_eq!(parsed.value("wait_ns_count"), Some(3.0));
+        assert_eq!(parsed.value("wait_ns_sum"), Some(5200.0));
+        // Cumulative buckets: two at le=127, all three at le=8191 and +Inf.
+        let buckets = parsed.buckets("wait_ns");
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0].labels, "le=\"127\"");
+        assert_eq!(buckets[0].value, 2.0);
+        assert_eq!(buckets[1].value, 3.0);
+        assert_eq!(buckets.last().unwrap().labels, "le=\"+Inf\"");
+    }
+
+    #[test]
+    fn json_snapshot_carries_quantiles() {
+        let json = render_json(&demo_registry());
+        assert!(json.contains("\"queries_total\": 42"), "json: {json}");
+        assert!(json.contains("\"queue_depth\": 3"), "json: {json}");
+        assert!(json.contains("\"count\": 3"), "json: {json}");
+        assert!(json.contains("\"p50\":"), "json: {json}");
+        assert!(json.contains("\"p99\":"), "json: {json}");
+    }
+
+    #[test]
+    fn parser_rejects_undeclared_samples() {
+        let err = parse_prometheus("orphan 1\n").unwrap_err();
+        assert!(err.contains("no # TYPE"), "err: {err}");
+    }
+
+    #[test]
+    fn parser_rejects_non_monotone_histograms() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"10\"} 5\n\
+                    h_bucket{le=\"+Inf\"} 3\n\
+                    h_sum 50\n\
+                    h_count 3\n";
+        let err = parse_prometheus(text).unwrap_err();
+        assert!(err.contains("below previous"), "err: {err}");
+    }
+
+    #[test]
+    fn parser_rejects_missing_inf_bucket() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"10\"} 5\n\
+                    h_sum 50\n\
+                    h_count 5\n";
+        let err = parse_prometheus(text).unwrap_err();
+        assert!(err.contains("+Inf"), "err: {err}");
+    }
+
+    #[test]
+    fn parser_rejects_bad_values_and_names() {
+        assert!(parse_prometheus("# TYPE x counter\nx abc\n").is_err());
+        assert!(parse_prometheus("# TYPE {bad} counter\n{bad} 1\n").is_err());
+    }
+
+    #[test]
+    fn sanitize_makes_names_legal() {
+        assert_eq!(prometheus_sanitize("a.b-c/d"), "a_b_c_d");
+        assert_eq!(prometheus_sanitize("ok_name:sub"), "ok_name:sub");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

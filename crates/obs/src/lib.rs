@@ -1,0 +1,200 @@
+//! Dependency-free telemetry for the `xpeval` workspace.
+//!
+//! Three pieces, all usable independently:
+//!
+//! * **Metrics** ([`MetricsRegistry`], [`Counter`], [`Gauge`],
+//!   [`Histogram`]): lock-free atomic instruments with log2-bucketed
+//!   latency histograms and `p50/p90/p99` estimation.
+//! * **Exporters** ([`render_prometheus`], [`render_json`]): deterministic
+//!   Prometheus text exposition and JSON snapshots of a registry, plus a
+//!   minimal exposition parser ([`parse_prometheus`]) so CI can validate
+//!   scrapes without external tooling.
+//! * **Traces** ([`OpTrace`], [`QueryTrace`], [`TraceSpan`]): sampled
+//!   per-query spans covering compile → lower → per-opcode execution,
+//!   accumulated in atomic per-opcode cells so all evaluation strategies
+//!   emit identical span sequences and the disabled path costs one branch.
+//!
+//! The [`Telemetry`] handle ties them together: a shared registry, a trace
+//! ring buffer, and a deterministic counter-based sampler.  The engine
+//! crate attaches an `Arc<Telemetry>` and feeds it; this crate knows
+//! nothing about queries, documents, or servers — it depends on nothing in
+//! the workspace (or outside it) so every layer can feed it.
+
+mod export;
+mod metrics;
+mod source;
+mod trace;
+
+pub use export::{
+    json_escape, parse_prometheus, prometheus_sanitize, render_json, render_prometheus,
+    ParsedExposition, ParsedSample,
+};
+pub use metrics::{
+    bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, Metric,
+    MetricsRegistry, HISTOGRAM_BUCKETS,
+};
+pub use source::{render_line, Field, FieldValue, MetricSource};
+pub use trace::{OpTrace, QueryTrace, SpanKind, TraceSpan};
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default capacity of the retained-trace ring buffer.
+pub const DEFAULT_TRACE_CAPACITY: usize = 64;
+
+/// The shared telemetry handle an engine (or server) records into.
+///
+/// Sampling is deterministic and counter-based: with `sample_every == n`,
+/// every `n`-th query (per handle) is traced; `0` disables tracing
+/// entirely.  Determinism matters here — benches and tests get the same
+/// traces on every run, with no randomness source required.
+#[derive(Debug)]
+pub struct Telemetry {
+    registry: MetricsRegistry,
+    sample_every: AtomicU64,
+    seq: AtomicU64,
+    traces: Mutex<VecDeque<QueryTrace>>,
+    trace_capacity: usize,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// A handle with tracing disabled (`sample_every == 0`) and the
+    /// default trace-buffer capacity.
+    pub fn new() -> Self {
+        Telemetry {
+            registry: MetricsRegistry::new(),
+            sample_every: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            traces: Mutex::new(VecDeque::new()),
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+        }
+    }
+
+    /// A handle that traces every `n`-th query.
+    pub fn with_sampling(n: u64) -> Self {
+        let t = Telemetry::new();
+        t.set_sample_every(n);
+        t
+    }
+
+    /// The shared metrics registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Sets the sampling period: trace every `n`-th query, `0` = off.
+    pub fn set_sample_every(&self, n: u64) {
+        self.sample_every.store(n, Ordering::Relaxed);
+    }
+
+    /// The current sampling period (`0` = tracing disabled).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every.load(Ordering::Relaxed)
+    }
+
+    /// Decides whether the next query should be traced, advancing the
+    /// sample counter.  The first query after enabling is always sampled
+    /// (sequence numbers 0, n, 2n, … hit).
+    pub fn should_sample(&self) -> bool {
+        let every = self.sample_every.load(Ordering::Relaxed);
+        if every == 0 {
+            return false;
+        }
+        self.seq.fetch_add(1, Ordering::Relaxed) % every == 0
+    }
+
+    /// Stores a completed trace in the ring buffer, evicting the oldest
+    /// when full.
+    pub fn push_trace(&self, trace: QueryTrace) {
+        let mut traces = self.traces.lock().unwrap();
+        if traces.len() >= self.trace_capacity {
+            traces.pop_front();
+        }
+        traces.push_back(trace);
+    }
+
+    /// Drains and returns all retained traces, oldest first.
+    pub fn take_traces(&self) -> Vec<QueryTrace> {
+        self.traces.lock().unwrap().drain(..).collect()
+    }
+
+    /// The most recent retained trace, if any, cloned out.
+    pub fn last_trace(&self) -> Option<QueryTrace> {
+        self.traces.lock().unwrap().back().cloned()
+    }
+
+    /// Number of retained traces.
+    pub fn trace_count(&self) -> usize {
+        self.traces.lock().unwrap().len()
+    }
+
+    /// Renders the registry in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        render_prometheus(&self.registry)
+    }
+
+    /// Renders the registry as a JSON snapshot.
+    pub fn render_json(&self) -> String {
+        render_json(&self.registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_and_counter_based() {
+        let t = Telemetry::with_sampling(3);
+        let hits: Vec<bool> = (0..9).map(|_| t.should_sample()).collect();
+        assert_eq!(
+            hits,
+            [true, false, false, true, false, false, true, false, false]
+        );
+    }
+
+    #[test]
+    fn sampling_zero_means_disabled() {
+        let t = Telemetry::new();
+        assert_eq!(t.sample_every(), 0);
+        assert!((0..100).all(|_| !t.should_sample()));
+        t.set_sample_every(1);
+        assert!((0..10).all(|_| t.should_sample()));
+    }
+
+    #[test]
+    fn trace_ring_buffer_evicts_oldest() {
+        let t = Telemetry::new();
+        for i in 0..(DEFAULT_TRACE_CAPACITY + 5) {
+            t.push_trace(QueryTrace {
+                query: format!("q{i}"),
+                strategy: "test".into(),
+                spans: Vec::new(),
+                total_nanos: 0,
+            });
+        }
+        assert_eq!(t.trace_count(), DEFAULT_TRACE_CAPACITY);
+        assert_eq!(
+            t.last_trace().unwrap().query,
+            format!("q{}", DEFAULT_TRACE_CAPACITY + 4)
+        );
+        let drained = t.take_traces();
+        assert_eq!(drained.first().unwrap().query, "q5");
+        assert_eq!(t.trace_count(), 0);
+    }
+
+    #[test]
+    fn handle_exports_its_registry() {
+        let t = Telemetry::new();
+        t.registry().counter("demo_total").set(7);
+        assert!(t.render_prometheus().contains("demo_total 7"));
+        assert!(t.render_json().contains("\"demo_total\": 7"));
+    }
+}

@@ -1,0 +1,435 @@
+//! Atomic metric instruments and the workspace registry.
+//!
+//! Three instrument kinds, all lock-free on the record path:
+//!
+//! * [`Counter`] — a monotonically increasing `u64` (plus [`Counter::set`]
+//!   for publishing absolute values from a stats snapshot).
+//! * [`Gauge`] — a signed value that can move both ways.
+//! * [`Histogram`] — log2-bucketed value distribution with `p50/p90/p99`
+//!   quantile estimation.  Values land in bucket `k` when they fall in
+//!   `[2^(k-1), 2^k - 1]` (value 0 has its own bucket), so 65 buckets
+//!   cover the full `u64` range with one `leading_zeros` per record and a
+//!   bounded, allocation-free memory footprint.
+//!
+//! [`MetricsRegistry`] names instruments and hands out shared handles; the
+//! exporters in [`crate::export`] walk it to render a Prometheus scrape or
+//! a JSON snapshot.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Number of histogram buckets: value 0, then one bucket per power of two
+/// up to `2^63..u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value — for publishing an absolute count taken from a
+    /// stats snapshot rather than accumulating live increments.
+    pub fn set(&self, n: u64) {
+        self.value.store(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// The bucket index a value lands in: 0 for 0, else `64 - leading_zeros`
+/// (so 1 → bucket 1, 2..=3 → bucket 2, 4..=7 → bucket 3, …).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The inclusive upper bound of a bucket (`2^k - 1`; `u64::MAX` for the
+/// last).  Quantile estimates report this bound, so they err high by at
+/// most 2x — the right direction for latency gates.
+#[inline]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// A log2-bucketed histogram.  `record` is four relaxed atomic operations;
+/// there is no lock and no allocation anywhere on the record path.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (the workspace's latency unit).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Folds a snapshot's observations in — used to publish a histogram
+    /// captured elsewhere (e.g. a `ServeStats` snapshot) into a registry.
+    pub fn merge(&self, snap: &HistogramSnapshot) {
+        for (i, &n) in snap.buckets.iter().enumerate() {
+            if n > 0 {
+                self.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.max.fetch_max(snap.max, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state, with quantile estimation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value (exact, not bucketed).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) as the upper bound of the
+    /// bucket holding the `ceil(q * count)`-th observation, clamped to the
+    /// exact observed maximum.  Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// A named instrument held by a [`MetricsRegistry`].
+#[derive(Clone, Debug)]
+pub enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The workspace metrics registry: names → shared instrument handles.
+///
+/// Handle lookup takes a lock; the handles themselves are lock-free, so the
+/// intended pattern is to resolve a handle once and record through it.  The
+/// registry iterates in name order, which makes both exporters
+/// deterministic.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use.
+    ///
+    /// # Panics
+    /// When `name` is already registered as a different instrument kind —
+    /// that is a programming error, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it on first
+    /// use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.get_or_insert(name, || Metric::Histogram(Arc::new(Histogram::new()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut metrics = self.metrics.lock().unwrap();
+        // Look up by `&str` first so the steady state (the instrument
+        // already exists) never allocates; only a genuine first
+        // registration pays for the owned key.
+        if let Some(metric) = metrics.get(name) {
+            return metric.clone();
+        }
+        let metric = make();
+        metrics.insert(name.to_string(), metric.clone());
+        metric
+    }
+
+    /// A name-ordered snapshot of every registered instrument.
+    pub fn collect(&self) -> Vec<(String, Metric)> {
+        self.metrics
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Number of registered instruments.
+    pub fn len(&self) -> usize {
+        self.metrics.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_u64_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(10), 1023);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        // Every value is within its bucket's bounds.
+        for v in [0u64, 1, 2, 7, 100, 4095, 1 << 40, u64::MAX] {
+            let b = bucket_index(v);
+            assert!(v <= bucket_upper_bound(b), "{v} above bucket {b}");
+            if b > 0 {
+                assert!(
+                    v > bucket_upper_bound(b - 1),
+                    "{v} not above bucket {}",
+                    b - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_estimate_within_one_bucket() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 500_500);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.mean(), 500);
+        // The true p50 is 500; the estimate is its bucket's upper bound.
+        let p50 = s.p50();
+        assert!(
+            (500..=1023).contains(&p50),
+            "p50 estimate {p50} outside [500, 1023]"
+        );
+        // p99 (true 990) and the max clamp.
+        let p99 = s.p99();
+        assert!(
+            (990..=1000).contains(&p99),
+            "p99 estimate {p99} outside [990, 1000]"
+        );
+        assert_eq!(s.quantile(1.0), 1000, "q=1 clamps to the exact max");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.mean(), 0);
+    }
+
+    #[test]
+    fn merge_folds_snapshots_in() {
+        let a = Histogram::new();
+        a.record(10);
+        a.record(100);
+        let b = Histogram::new();
+        b.record(1000);
+        b.merge(&a.snapshot());
+        let s = b.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 1110);
+        assert_eq!(s.max, 1000);
+    }
+
+    #[test]
+    fn registry_hands_out_shared_handles() {
+        let r = MetricsRegistry::new();
+        r.counter("queries").inc();
+        r.counter("queries").add(2);
+        assert_eq!(r.counter("queries").get(), 3);
+        r.gauge("depth").set(7);
+        r.gauge("depth").sub(2);
+        assert_eq!(r.gauge("depth").get(), 5);
+        r.histogram("latency").record(42);
+        assert_eq!(r.histogram("latency").snapshot().count, 1);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_is_a_programming_error() {
+        let r = MetricsRegistry::new();
+        r.counter("x").inc();
+        r.gauge("x");
+    }
+}

@@ -1,0 +1,278 @@
+//! The [`MetricSource`] trait: one protocol for every `*Stats` struct.
+//!
+//! The workspace accumulates statistics in plain structs (`EvalStats`,
+//! `CacheStats`, `CatalogStats`, `ServeStats`, …) because that is cheap and
+//! lock-free.  `MetricSource` is the bridge out of those structs: a source
+//! names itself and enumerates typed [`Field`]s, and the trait derives the
+//! three presentation formats from that one enumeration — the traditional
+//! one-line summary ([`render_line`]), a JSON object ([`MetricSource::to_json`]),
+//! and publication into a [`MetricsRegistry`] ([`MetricSource::publish`])
+//! from which the Prometheus exporter renders a scrape.
+
+use crate::export::{json_escape, prometheus_sanitize};
+use crate::metrics::{HistogramSnapshot, MetricsRegistry};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One named statistic reported by a [`MetricSource`].
+#[derive(Clone, Debug)]
+pub struct Field {
+    pub name: &'static str,
+    pub value: FieldValue,
+}
+
+impl Field {
+    pub fn new(name: &'static str, value: FieldValue) -> Self {
+        Field { name, value }
+    }
+}
+
+/// The typed value of a [`Field`].  The variant decides how the field
+/// renders in each export format.
+// Histogram carries a full bucket array inline; fields are transient
+// rendering values built a handful at a time, so the size skew is fine.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum FieldValue {
+    /// A monotonic count.
+    Counter(u64),
+    /// A signed point-in-time value.
+    Gauge(i64),
+    /// A hit-rate style pair, rendered as `name n/d (p.p%)`.
+    Ratio { num: u64, den: u64 },
+    /// An occupancy style pair, rendered as `name n/d`.
+    Frac { num: u64, den: u64 },
+    /// A duration in nanoseconds, rendered with `Duration`'s `{:.1?}`.
+    DurationNs(u64),
+    /// A full latency distribution, rendered as `name p50=... p99=...`.
+    Histogram(HistogramSnapshot),
+    /// Free-form text (JSON string; skipped by `publish`).
+    Text(String),
+}
+
+/// Anything that can report its statistics through the telemetry layer.
+pub trait MetricSource {
+    /// Stable snake_case name, used as the metric-name prefix and the JSON
+    /// envelope key (e.g. `"serve"`, `"eval"`, `"catalog"`).
+    fn source_name(&self) -> &'static str;
+
+    /// The fields, in display order.
+    fn fields(&self) -> Vec<Field>;
+
+    /// The traditional one-line human summary, shared by the `Display`
+    /// impls of the workspace's stats structs.
+    fn summary_line(&self) -> String {
+        render_line(&self.fields())
+    }
+
+    /// A single-level JSON object of the fields.
+    fn to_json(&self) -> String {
+        let fields = self.fields();
+        let mut out = String::with_capacity(32 * fields.len());
+        out.push('{');
+        let mut first = true;
+        for f in &fields {
+            match &f.value {
+                FieldValue::Counter(v) => push_json_field(&mut out, &mut first, f.name, v),
+                FieldValue::Gauge(v) => push_json_field(&mut out, &mut first, f.name, v),
+                FieldValue::Ratio { num, den } | FieldValue::Frac { num, den } => {
+                    push_json_field(&mut out, &mut first, f.name, num);
+                    let total = format!("{}_total", f.name);
+                    sep(&mut out, &mut first);
+                    let _ = write!(out, "\"{}\": {}", json_escape(&total), den);
+                }
+                FieldValue::DurationNs(v) => {
+                    let key = ns_key(f.name);
+                    sep(&mut out, &mut first);
+                    let _ = write!(out, "\"{}\": {}", json_escape(&key), v);
+                }
+                FieldValue::Histogram(h) => {
+                    sep(&mut out, &mut first);
+                    let _ = write!(
+                        out,
+                        "\"{}\": {{\"count\": {}, \"sum_ns\": {}, \"mean_ns\": {}, \
+                         \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                        json_escape(f.name),
+                        h.count,
+                        h.sum,
+                        h.mean(),
+                        h.p50(),
+                        h.p90(),
+                        h.p99(),
+                        h.max,
+                    );
+                }
+                FieldValue::Text(s) => {
+                    sep(&mut out, &mut first);
+                    let _ = write!(out, "\"{}\": \"{}\"", json_escape(f.name), json_escape(s));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Publishes the fields into `registry` as `<source_name>_<field>`
+    /// instruments.  Counters/ratios publish absolute values (the source
+    /// struct is the accumulator); histograms merge their snapshot in.
+    fn publish(&self, registry: &MetricsRegistry) {
+        let prefix = self.source_name();
+        for f in self.fields() {
+            let name = prometheus_sanitize(&format!("{prefix}_{}", f.name));
+            match f.value {
+                FieldValue::Counter(v) => registry.counter(&name).set(v),
+                FieldValue::Gauge(v) => registry.gauge(&name).set(v),
+                FieldValue::Ratio { num, den } | FieldValue::Frac { num, den } => {
+                    registry.counter(&name).set(num);
+                    registry.counter(&format!("{name}_total")).set(den);
+                }
+                FieldValue::DurationNs(v) => registry
+                    .counter(&prometheus_sanitize(&ns_key(&name)))
+                    .set(v),
+                FieldValue::Histogram(h) => registry.histogram(&name).merge(&h),
+                FieldValue::Text(_) => {}
+            }
+        }
+    }
+}
+
+/// Renders fields as the workspace's one-line summary format:
+/// comma-separated `name value` pairs.
+pub fn render_line(fields: &[Field]) -> String {
+    let mut out = String::with_capacity(16 * fields.len());
+    let mut first = true;
+    for f in fields {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        match &f.value {
+            FieldValue::Counter(v) => {
+                let _ = write!(out, "{} {}", f.name, v);
+            }
+            FieldValue::Gauge(v) => {
+                let _ = write!(out, "{} {}", f.name, v);
+            }
+            FieldValue::Ratio { num, den } => {
+                let pct = if *den == 0 {
+                    0.0
+                } else {
+                    *num as f64 / *den as f64 * 100.0
+                };
+                let _ = write!(out, "{} {}/{} ({:.1}%)", f.name, num, den, pct);
+            }
+            FieldValue::Frac { num, den } => {
+                let _ = write!(out, "{} {}/{}", f.name, num, den);
+            }
+            FieldValue::DurationNs(v) => {
+                let _ = write!(out, "{} {:.1?}", f.name, Duration::from_nanos(*v));
+            }
+            FieldValue::Histogram(h) => {
+                let _ = write!(
+                    out,
+                    "{} p50={:.1?} p99={:.1?} max={:.1?} (n={})",
+                    f.name,
+                    Duration::from_nanos(h.p50()),
+                    Duration::from_nanos(h.p99()),
+                    Duration::from_nanos(h.max),
+                    h.count,
+                );
+            }
+            FieldValue::Text(s) => {
+                let _ = write!(out, "{} {}", f.name, s);
+            }
+        }
+    }
+    out
+}
+
+fn ns_key(name: &str) -> String {
+    if name.ends_with("_ns") {
+        name.to_string()
+    } else {
+        format!("{name}_ns")
+    }
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if !*first {
+        out.push_str(", ");
+    }
+    *first = false;
+}
+
+fn push_json_field<T: std::fmt::Display>(out: &mut String, first: &mut bool, name: &str, v: T) {
+    sep(out, first);
+    let _ = write!(out, "\"{}\": {}", json_escape(name), v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    struct Demo;
+
+    impl MetricSource for Demo {
+        fn source_name(&self) -> &'static str {
+            "demo"
+        }
+
+        fn fields(&self) -> Vec<Field> {
+            let h = Histogram::new();
+            h.record(100);
+            h.record(1000);
+            vec![
+                Field::new("hits", FieldValue::Ratio { num: 1, den: 2 }),
+                Field::new("docs", FieldValue::Frac { num: 3, den: 64 }),
+                Field::new("queries", FieldValue::Counter(9)),
+                Field::new("depth", FieldValue::Gauge(-2)),
+                Field::new("wait", FieldValue::Histogram(h.snapshot())),
+            ]
+        }
+    }
+
+    #[test]
+    fn render_line_matches_the_workspace_idiom() {
+        let line = Demo.summary_line();
+        assert!(line.contains("hits 1/2 (50.0%)"), "line: {line}");
+        assert!(line.contains("docs 3/64"), "line: {line}");
+        assert!(line.contains("queries 9"), "line: {line}");
+        assert!(line.contains("depth -2"), "line: {line}");
+        assert!(line.contains("wait p50="), "line: {line}");
+    }
+
+    #[test]
+    fn ratio_with_zero_denominator_is_zero_percent() {
+        let line = render_line(&[Field::new("hits", FieldValue::Ratio { num: 0, den: 0 })]);
+        assert_eq!(line, "hits 0/0 (0.0%)");
+    }
+
+    #[test]
+    fn to_json_flattens_fields() {
+        let json = Demo.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "json: {json}");
+        assert!(json.contains("\"hits\": 1"), "json: {json}");
+        assert!(json.contains("\"hits_total\": 2"), "json: {json}");
+        assert!(json.contains("\"queries\": 9"), "json: {json}");
+        assert!(json.contains("\"wait\": {\"count\": 2"), "json: {json}");
+        assert!(json.contains("\"p99_ns\":"), "json: {json}");
+    }
+
+    #[test]
+    fn publish_lands_in_the_registry() {
+        let r = MetricsRegistry::new();
+        Demo.publish(&r);
+        assert_eq!(r.counter("demo_hits").get(), 1);
+        assert_eq!(r.counter("demo_hits_total").get(), 2);
+        assert_eq!(r.counter("demo_queries").get(), 9);
+        assert_eq!(r.gauge("demo_depth").get(), -2);
+        assert_eq!(r.histogram("demo_wait").snapshot().count, 2);
+    }
+
+    #[test]
+    fn duration_fields_render_humanly_and_export_raw() {
+        let f = [Field::new("mean_wait", FieldValue::DurationNs(1_500_000))];
+        assert_eq!(render_line(&f), "mean_wait 1.5ms");
+    }
+}

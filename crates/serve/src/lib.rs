@@ -41,9 +41,15 @@
 //!   drains every accepted job, joins the workers and returns the final
 //!   [`ServeStats`]; late submissions fail with
 //!   [`TrySubmitError::ShutDown`].
-//! * [`ServeStats`] — queue depth and high-watermark, enqueue→dequeue
-//!   latency (mean/max), expired-job and per-worker completed/panicked
-//!   counters — the serving-side sibling of `xpeval_core::CacheStats`.
+//! * [`ServeStats`] — queue depth and high-watermark, full request
+//!   lifecycle latency histograms (queue-wait, execution and end-to-end,
+//!   each with p50/p90/p99), expired-job and per-worker
+//!   completed/panicked counters — the serving-side sibling of
+//!   `xpeval_core::CacheStats`.  It implements
+//!   `xpeval_obs::MetricSource`, so the same snapshot renders as a
+//!   summary line, a JSON object, or a Prometheus scrape; and when the
+//!   pool's engine carries an `xpeval_obs::Telemetry` handle, workers
+//!   stream the same distributions into its metrics registry live.
 //!
 //! ## Quickstart
 //!

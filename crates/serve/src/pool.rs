@@ -31,6 +31,7 @@ use xpeval_backends::PreparedSnapshot;
 use xpeval_catalog::{Catalog, CatalogError, LiveDocument, MutationOutcome};
 use xpeval_core::{default_threads, Bindings, CompiledQuery, Engine, EvalError, QueryOutput};
 use xpeval_dom::{Document, PreparedDocument};
+use xpeval_obs::Histogram;
 
 /// Why a non-blocking submission was not accepted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -76,9 +77,12 @@ pub(crate) struct Shared {
     pub(crate) queue: BoundedQueue,
     pub(crate) rejected_full: AtomicU64,
     pub(crate) rejected_shutdown: AtomicU64,
-    wait_count: AtomicU64,
-    wait_total_ns: AtomicU64,
-    wait_max_ns: AtomicU64,
+    /// Request lifecycle distributions, all in nanoseconds: enqueue→dequeue,
+    /// dequeue→done, enqueue→done.  Atomic log2 histograms — workers record
+    /// into them lock-free.
+    queue_wait: Histogram,
+    execution: Histogram,
+    end_to_end: Histogram,
     workers: Vec<WorkerCounters>,
 }
 
@@ -140,9 +144,9 @@ impl AsyncEngineBuilder {
             queue: BoundedQueue::new(queue_capacity),
             rejected_full: AtomicU64::new(0),
             rejected_shutdown: AtomicU64::new(0),
-            wait_count: AtomicU64::new(0),
-            wait_total_ns: AtomicU64::new(0),
-            wait_max_ns: AtomicU64::new(0),
+            queue_wait: Histogram::new(),
+            execution: Histogram::new(),
+            end_to_end: Histogram::new(),
             workers: (0..workers).map(|_| WorkerCounters::default()).collect(),
         });
         let handles = (0..workers)
@@ -168,19 +172,41 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
     // The worker's own engine handle: clones share the plan and document
     // caches, so a plan compiled by any worker is a hit for all.
     let engine = shared.engine.clone();
+    // When the engine carries a telemetry handle, the same lifecycle
+    // distributions also stream into its metrics registry, so a scrape
+    // sees the pool live rather than only at shutdown.  The handles are
+    // resolved once here: per-job recording is then purely atomic.
+    let live = engine.telemetry().map(|t| {
+        let registry = t.registry();
+        (
+            registry.histogram("serve_queue_wait_ns"),
+            registry.histogram("serve_execution_ns"),
+            registry.histogram("serve_end_to_end_ns"),
+            registry.gauge("serve_queue_depth"),
+        )
+    });
     while let Some((job, waited)) = shared.queue.pop() {
-        let waited_ns = u64::try_from(waited.as_nanos()).unwrap_or(u64::MAX);
-        shared.wait_count.fetch_add(1, Ordering::Relaxed);
-        shared.wait_total_ns.fetch_add(waited_ns, Ordering::Relaxed);
-        shared.wait_max_ns.fetch_max(waited_ns, Ordering::Relaxed);
+        shared.queue_wait.record_duration(waited);
+        let enqueued = job.enqueued;
         let counters = &shared.workers[index];
         // A panicking job must not take the worker (or the pool) down: the
         // submitter's future resolves to JobLost (its sender is dropped
         // during unwinding) and the worker moves on.
+        let started = Instant::now();
         match catch_unwind(AssertUnwindSafe(|| (job.run)(&engine))) {
             Ok(()) => counters.completed.fetch_add(1, Ordering::Relaxed),
             Err(_) => counters.panicked.fetch_add(1, Ordering::Relaxed),
         };
+        let ran = started.elapsed();
+        let total = enqueued.elapsed();
+        shared.execution.record_duration(ran);
+        shared.end_to_end.record_duration(total);
+        if let Some((wait_h, exec_h, e2e_h, depth_g)) = &live {
+            wait_h.record_duration(waited);
+            exec_h.record_duration(ran);
+            e2e_h.record_duration(total);
+            depth_g.set(shared.queue.depth() as i64);
+        }
     }
 }
 
@@ -716,9 +742,9 @@ impl AsyncEngine {
             rejected_shutdown: shared.rejected_shutdown.load(Ordering::Relaxed),
             completed: per_worker.iter().map(|w| w.completed).sum(),
             panicked: per_worker.iter().map(|w| w.panicked).sum(),
-            queue_wait_count: shared.wait_count.load(Ordering::Relaxed),
-            queue_wait_total_ns: shared.wait_total_ns.load(Ordering::Relaxed),
-            queue_wait_max_ns: shared.wait_max_ns.load(Ordering::Relaxed),
+            queue_wait: shared.queue_wait.snapshot(),
+            execution: shared.execution.snapshot(),
+            end_to_end: shared.end_to_end.snapshot(),
             per_worker,
         }
     }

@@ -2,8 +2,15 @@
 //! `xpeval_core::CacheStats`: everything the pool does is countable, so
 //! tests and benches can assert backpressure and drain behaviour instead
 //! of guessing from wall-clock.
+//!
+//! The request lifecycle is measured as three latency distributions, each
+//! an `xpeval_obs` log2-bucketed histogram: **queue wait** (enqueue →
+//! dequeue), **execution** (dequeue → job done) and **end-to-end**
+//! (enqueue → job done).  [`ServeStats`] carries their snapshots, so a
+//! drained pool reports p50/p90/p99 tail latency, not just a mean.
 
 use std::time::Duration;
+use xpeval_obs::{Field, FieldValue, HistogramSnapshot, MetricSource};
 
 /// Counters of one pool worker.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -52,13 +59,15 @@ pub struct ServeStats {
     pub completed: u64,
     /// Jobs whose closure panicked (sum of [`WorkerStats::panicked`]).
     pub panicked: u64,
-    /// Dequeued jobs whose enqueue→dequeue latency is accumulated below.
-    pub queue_wait_count: u64,
-    /// Total enqueue→dequeue latency over all dequeued jobs, in
+    /// Enqueue→dequeue latency distribution over every dequeued job, in
     /// nanoseconds.
-    pub queue_wait_total_ns: u64,
-    /// Largest single enqueue→dequeue latency, in nanoseconds.
-    pub queue_wait_max_ns: u64,
+    pub queue_wait: HistogramSnapshot,
+    /// Dequeue→completion (pure execution) latency distribution, in
+    /// nanoseconds.
+    pub execution: HistogramSnapshot,
+    /// Enqueue→completion latency distribution — what a submitter
+    /// actually waits, in nanoseconds.
+    pub end_to_end: HistogramSnapshot,
     /// Per-worker completed/panicked counters, one entry per worker.
     pub per_worker: Vec<WorkerStats>,
 }
@@ -66,53 +75,78 @@ pub struct ServeStats {
 impl ServeStats {
     /// Mean enqueue→dequeue latency (zero before the first dequeue).
     pub fn mean_queue_wait(&self) -> Duration {
-        self.queue_wait_total_ns
-            .checked_div(self.queue_wait_count)
-            .map_or(Duration::ZERO, Duration::from_nanos)
+        Duration::from_nanos(self.queue_wait.mean())
     }
 
     /// Largest observed enqueue→dequeue latency.
     pub fn max_queue_wait(&self) -> Duration {
-        Duration::from_nanos(self.queue_wait_max_ns)
+        Duration::from_nanos(self.queue_wait.max)
+    }
+}
+
+impl MetricSource for ServeStats {
+    fn source_name(&self) -> &'static str {
+        "serve"
+    }
+
+    fn fields(&self) -> Vec<Field> {
+        vec![
+            Field::new("workers", FieldValue::Gauge(self.workers as i64)),
+            Field::new(
+                "queue",
+                FieldValue::Frac {
+                    num: self.queue_depth as u64,
+                    den: self.queue_capacity as u64,
+                },
+            ),
+            Field::new("hwm", FieldValue::Gauge(self.queue_high_watermark as i64)),
+            Field::new("submitted", FieldValue::Counter(self.submitted)),
+            Field::new("completed", FieldValue::Counter(self.completed)),
+            Field::new("expired", FieldValue::Counter(self.expired)),
+            Field::new("rejected_full", FieldValue::Counter(self.rejected_full)),
+            Field::new(
+                "rejected_shutdown",
+                FieldValue::Counter(self.rejected_shutdown),
+            ),
+            Field::new("panicked", FieldValue::Counter(self.panicked)),
+            Field::new("queue_wait", FieldValue::Histogram(self.queue_wait.clone())),
+            Field::new("execution", FieldValue::Histogram(self.execution.clone())),
+            Field::new("end_to_end", FieldValue::Histogram(self.end_to_end.clone())),
+        ]
     }
 }
 
 impl std::fmt::Display for ServeStats {
-    /// One-line summary used by the examples, e.g.
-    /// `4 workers, queue 0/64 (hwm 17), submitted 128, completed 126, expired 2, rejected 3+0, panicked 0, wait mean 12.4µs max 310.0µs`.
+    /// One-line summary shared with [`MetricSource::summary_line`], e.g.
+    /// `workers 4, queue 0/64, hwm 17, submitted 128, completed 126,
+    /// expired 2, rejected_full 3, rejected_shutdown 0, panicked 0,
+    /// queue_wait p50=12.4µs p99=310µs ...`.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{} workers, queue {}/{} (hwm {}), submitted {}, completed {}, expired {}, rejected {}+{}, panicked {}, wait mean {:.1?} max {:.1?}",
-            self.workers,
-            self.queue_depth,
-            self.queue_capacity,
-            self.queue_high_watermark,
-            self.submitted,
-            self.completed,
-            self.expired,
-            self.rejected_full,
-            self.rejected_shutdown,
-            self.panicked,
-            self.mean_queue_wait(),
-            self.max_queue_wait(),
-        )
+        f.write_str(&self.summary_line())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xpeval_obs::Histogram;
+
+    fn wait_histogram() -> HistogramSnapshot {
+        let h = Histogram::new();
+        h.record(500);
+        h.record(1_000);
+        h.record(2_000);
+        h.record(2_500);
+        h.snapshot()
+    }
 
     #[test]
     fn latency_helpers() {
         let stats = ServeStats {
-            queue_wait_count: 4,
-            queue_wait_total_ns: 4_000,
-            queue_wait_max_ns: 2_500,
+            queue_wait: wait_histogram(),
             ..ServeStats::default()
         };
-        assert_eq!(stats.mean_queue_wait(), Duration::from_nanos(1_000));
+        assert_eq!(stats.mean_queue_wait(), Duration::from_nanos(1_500));
         assert_eq!(stats.max_queue_wait(), Duration::from_nanos(2_500));
         assert_eq!(ServeStats::default().mean_queue_wait(), Duration::ZERO);
     }
@@ -128,12 +162,53 @@ mod tests {
             ..ServeStats::default()
         };
         let line = stats.to_string();
-        assert!(line.contains("2 workers"), "{line}");
-        assert!(line.contains("queue 0/8 (hwm 5)"), "{line}");
+        assert!(line.contains("workers 2"), "{line}");
+        assert!(line.contains("queue 0/8"), "{line}");
+        assert!(line.contains("hwm 5"), "{line}");
+        assert!(line.contains("submitted 10"), "{line}");
         assert!(!line.contains('\n'));
         assert_eq!(
             WorkerStats::default().to_string(),
             "completed 0, panicked 0"
         );
+    }
+
+    #[test]
+    fn to_json_reports_lifecycle_histograms() {
+        let stats = ServeStats {
+            workers: 2,
+            queue_capacity: 8,
+            submitted: 4,
+            completed: 4,
+            queue_wait: wait_histogram(),
+            end_to_end: wait_histogram(),
+            ..ServeStats::default()
+        };
+        let json = stats.to_json();
+        assert!(json.contains("\"queue_wait\""), "{json}");
+        assert!(json.contains("\"p99_ns\""), "{json}");
+        assert!(json.contains("\"end_to_end\""), "{json}");
+        assert!(json.contains("\"submitted\": 4"), "{json}");
+    }
+
+    #[test]
+    fn publish_exports_prometheus_histograms() {
+        let stats = ServeStats {
+            workers: 2,
+            queue_capacity: 8,
+            submitted: 4,
+            completed: 4,
+            queue_wait: wait_histogram(),
+            execution: wait_histogram(),
+            end_to_end: wait_histogram(),
+            ..ServeStats::default()
+        };
+        let registry = xpeval_obs::MetricsRegistry::new();
+        stats.publish(&registry);
+        let text = xpeval_obs::render_prometheus(&registry);
+        assert!(text.contains("serve_queue_wait_bucket"), "{text}");
+        assert!(text.contains("serve_end_to_end_count 4"), "{text}");
+        // The scrape must satisfy our own exposition-format parser.
+        xpeval_obs::parse_prometheus(&text).expect("valid exposition format");
     }
 }

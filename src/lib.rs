@@ -13,6 +13,12 @@
 //!   naive exponential baseline, the linear-time Core XPath evaluator, the
 //!   parallel LOGCFL-fragment evaluator, and the Singleton-Success decision
 //!   procedure of Lemma 5.4,
+//! * [`obs`] — the telemetry layer: a dependency-free metrics registry
+//!   (counters, gauges, log2-bucketed latency histograms with
+//!   p50/p90/p99), sampled per-opcode query traces, the
+//!   [`MetricSource`](obs::MetricSource) protocol unifying the
+//!   workspace's `*Stats` structs, and
+//!   Prometheus/JSON exporters (see `docs/observability.md`),
 //! * [`circuits`] — monotone and SAC¹ boolean circuits with the layered
 //!   serialization of Figure 3,
 //! * [`reductions`] — the reductions of Theorems 3.2, 4.2, 4.3 and 5.7,
@@ -461,6 +467,7 @@ pub use xpeval_circuits as circuits;
 pub use xpeval_core as engine;
 pub use xpeval_dom as dom;
 pub use xpeval_live as live;
+pub use xpeval_obs as obs;
 pub use xpeval_reductions as reductions;
 pub use xpeval_serve as serve;
 pub use xpeval_syntax as syntax;
@@ -487,6 +494,10 @@ pub mod prelude {
         TreeProvider, XmlProvider,
     };
     pub use xpeval_live::{LiveDocument, PendingEdits};
+    pub use xpeval_obs::{
+        parse_prometheus, render_json, render_prometheus, Field, FieldValue, Histogram,
+        HistogramSnapshot, MetricSource, MetricsRegistry, QueryTrace, Telemetry, TraceSpan,
+    };
     pub use xpeval_serve::{
         block_on, AsyncEngine, AsyncEngineBuilder, CatalogMutationResult, CatalogQueryResult,
         DeadlineResult, JobExpired, JobLost, QueryFuture, ServeStats, TrySubmitError, WorkerStats,

@@ -177,10 +177,17 @@ fn queue_latency_counters_cover_every_dequeued_job() {
         fut.wait().unwrap();
     }
     let stats = pool.shutdown();
-    // blocker + 5 jobs were dequeued, each with a measured wait.
-    assert_eq!(stats.queue_wait_count, 6);
-    assert!(stats.queue_wait_max_ns >= 20_000_000, "{stats:?}");
+    // blocker + 5 jobs were dequeued, each with a measured wait — and each
+    // lifecycle histogram saw every one of them.
+    assert_eq!(stats.queue_wait.count, 6);
+    assert_eq!(stats.execution.count, 6);
+    assert_eq!(stats.end_to_end.count, 6);
+    assert!(stats.queue_wait.max >= 20_000_000, "{stats:?}");
     assert!(stats.mean_queue_wait() <= stats.max_queue_wait());
+    // A job's end-to-end time includes its queue wait, so the tails are
+    // ordered: max(e2e) >= max(wait), and the p99 bound follows the max.
+    assert!(stats.end_to_end.max >= stats.queue_wait.max, "{stats:?}");
+    assert!(stats.end_to_end.p99() <= stats.end_to_end.max);
     assert_eq!(stats.queue_high_watermark, 5);
 }
 

@@ -520,3 +520,90 @@ proptest! {
         }
     }
 }
+
+/// The per-strategy work-counter protocol of [`EvalStats`]: every strategy
+/// fills the counters that are meaningful for it and leaves the rest at
+/// zero, exactly as the table in `xpeval-core/src/stats.rs` documents.
+/// This is what makes the paper's complexity separations *observable*
+/// through `QueryOutput::stats` without wall-clock timing — so the IR
+/// executor must never silently stop filling one of these.
+#[test]
+fn work_counters_follow_the_per_strategy_protocol() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let doc = random_tree_document(&mut rng, 400, &["a", "b", "c"]);
+    let plan = CompiledQuery::compile("//a[child::b]/c").unwrap();
+    let stats_for = |strategy| {
+        plan.clone()
+            .with_strategy(strategy)
+            .run(&doc)
+            .unwrap()
+            .stats
+    };
+
+    // Context-value table: computed entries and the final table size.
+    let cvt = stats_for(EvalStrategy::ContextValueTable);
+    assert!(cvt.evaluations > 0, "{cvt:?}");
+    assert!(cvt.step_context_evaluations > 0, "{cvt:?}");
+    assert!(cvt.table_entries > 0, "{cvt:?}");
+    assert_eq!(cvt.max_intermediate_list, 0, "{cvt:?}");
+
+    // Naive re-evaluation: the exploding intermediate list is its witness;
+    // it owns no table.
+    let naive = stats_for(EvalStrategy::Naive);
+    assert!(naive.evaluations > 0, "{naive:?}");
+    assert!(naive.step_context_evaluations > 0, "{naive:?}");
+    assert!(naive.max_intermediate_list > 0, "{naive:?}");
+    assert_eq!(naive.table_entries, 0, "{naive:?}");
+    assert_eq!(naive.cache_hits, 0, "{naive:?}");
+
+    // Linear Core XPath: set-at-a-time, so counters are per *step*, not
+    // per (step, node) — small numbers, but never zero.
+    let linear = stats_for(EvalStrategy::CoreXPathLinear);
+    assert!(linear.evaluations > 0, "{linear:?}");
+    assert!(linear.step_context_evaluations > 0, "{linear:?}");
+    assert_eq!(linear.cache_hits, 0, "{linear:?}");
+    assert_eq!(linear.table_entries, 0, "{linear:?}");
+    assert_eq!(linear.max_intermediate_list, 0, "{linear:?}");
+
+    // Singleton-Success and its parallel fan-out: decision counts plus
+    // memo-table hits (the LOGCFL checker memoizes heavily).
+    for strategy in [
+        EvalStrategy::SingletonSuccess,
+        EvalStrategy::Parallel { threads: 2 },
+    ] {
+        let ss = stats_for(strategy);
+        assert!(ss.evaluations > 0, "{strategy:?}: {ss:?}");
+        assert!(ss.step_context_evaluations > 0, "{strategy:?}: {ss:?}");
+        assert!(ss.cache_hits > 0, "{strategy:?}: {ss:?}");
+        assert_eq!(ss.table_entries, 0, "{strategy:?}: {ss:?}");
+        assert_eq!(ss.max_intermediate_list, 0, "{strategy:?}: {ss:?}");
+    }
+
+    // Eager storage: no strategy reports lazy residency (that gauge is
+    // owned by the catalog's lazy backend, not the executor).
+    for strategy in ALL_STRATEGIES {
+        assert_eq!(stats_for(strategy).nodes_materialized, 0, "{strategy:?}");
+    }
+
+    // The DP memo table pays off on overlapping contexts: an ancestor
+    // query revisits (subexpression, context) pairs, so CVT reports hits
+    // where naive reports re-evaluations and list growth instead.
+    let doc = parse_xml("<r><a><b/></a><a><b/></a><a><b/></a></r>").unwrap();
+    let plan = CompiledQuery::compile("//b/ancestor::*[child::b]").unwrap();
+    let cvt = plan
+        .clone()
+        .with_strategy(EvalStrategy::ContextValueTable)
+        .run(&doc)
+        .unwrap()
+        .stats;
+    assert!(cvt.cache_hits > 0, "{cvt:?}");
+    let naive = plan
+        .with_strategy(EvalStrategy::Naive)
+        .run(&doc)
+        .unwrap()
+        .stats;
+    assert!(
+        naive.evaluations > cvt.evaluations,
+        "naive {naive:?} vs cvt {cvt:?}"
+    );
+}
